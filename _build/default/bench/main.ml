@@ -1,0 +1,763 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   Section 5 (see DESIGN.md for the per-experiment index and EXPERIMENTS.md
+   for paper-vs-measured results).
+
+   Usage:
+     dune exec bench/main.exe                    all experiments, quick scale
+     dune exec bench/main.exe -- --scale full    paper-scale parameters
+     dune exec bench/main.exe -- fig12a fig14a   a subset
+
+   Quick scale shrinks tuple counts so the whole suite finishes in a few
+   minutes; the qualitative shape (who wins, by what factor) is what the
+   reproduction validates — absolute times are hardware-bound. *)
+
+open Qc_cube
+module Tf = Qc_util.Tablefmt
+
+type scale = Quick | Full
+
+let scale = ref Quick
+
+let csv_out_dir : string option ref = ref None
+
+(* Print the table; additionally write it as CSV when --out was given. *)
+let emit table =
+  Tf.print table;
+  match !csv_out_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let slug =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+          | _ -> '_')
+        (String.lowercase_ascii (Tf.title table))
+    in
+    let slug = if String.length slug > 60 then String.sub slug 0 60 else slug in
+    let path = Filename.concat dir (slug ^ ".csv") in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc (Tf.to_csv table))
+
+let pct part whole = Tf.cell_ratio (float_of_int part /. float_of_int whole)
+
+let mb bytes = Printf.sprintf "%.2f" (Qc_util.Size.mb bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Shared builders                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type sizes = {
+  cube_cells : int;
+  cube_bytes : int;
+  qtab_bytes : int;
+  tree_bytes : int;
+  dwarf_bytes : int;
+}
+
+let measure_sizes table =
+  let cube_cells = Buc.count_cells table in
+  let cube_bytes = Qc_util.Size.bytes_of_cells ~dims:(Table.n_dims table) ~cells:cube_cells in
+  let qtab = Qc_core.Qc_table.of_table table in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let dwarf = Qc_dwarf.Dwarf.build table in
+  {
+    cube_cells;
+    cube_bytes;
+    qtab_bytes = Qc_core.Qc_table.bytes qtab;
+    tree_bytes = Qc_core.Qc_tree.bytes tree;
+    dwarf_bytes = Qc_dwarf.Dwarf.bytes dwarf;
+  }
+
+let size_row label s =
+  [
+    label;
+    Tf.cell_i s.cube_cells;
+    mb s.cube_bytes;
+    pct s.qtab_bytes s.cube_bytes;
+    pct s.tree_bytes s.cube_bytes;
+    pct s.dwarf_bytes s.cube_bytes;
+  ]
+
+let size_columns first =
+  [ first; "cube cells"; "cube MB"; "QC-table"; "QC-tree"; "Dwarf" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12(a): compression ratio vs number of tuples                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig12a () =
+  let tuples =
+    match !scale with
+    | Quick -> [ 10_000; 20_000; 40_000 ]
+    | Full -> [ 20_000; 40_000; 60_000; 80_000; 100_000 ]
+  in
+  let t =
+    Tf.create
+      ~title:"Figure 12(a) - compression ratio vs #tuples (d=6, card=100, Zipf 2)"
+      ~columns:(size_columns "#tuples")
+  in
+  List.iter
+    (fun rows ->
+      let table =
+        Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; seed = 42 }
+      in
+      Tf.add_row t (size_row (Tf.cell_i rows) (measure_sizes table)))
+    tuples;
+  Tf.note t "ratios are size/size(full cube by BUC); smaller is better";
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12(b): compression ratio vs cardinality                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig12b () =
+  let cards =
+    match !scale with
+    | Quick -> [ 10; 100; 1000 ]
+    | Full -> [ 10; 50; 100; 500; 1000; 5000 ]
+  in
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "Figure 12(b) - compression ratio vs cardinality (d=6, n=%d, Zipf 2)" rows)
+      ~columns:(size_columns "cardinality")
+  in
+  List.iter
+    (fun cardinality ->
+      let table =
+        Qc_data.Synthetic.generate
+          { Qc_data.Synthetic.default with rows; cardinality; seed = 43 }
+      in
+      Tf.add_row t (size_row (Tf.cell_i cardinality) (measure_sizes table)))
+    cards;
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12(c): compression ratio vs dimensionality                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig12c () =
+  let dims =
+    match !scale with Quick -> [ 3; 4; 5; 6; 7 ] | Full -> [ 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "Figure 12(c) - compression ratio vs #dimensions (n=%d, card=100, Zipf 2)" rows)
+      ~columns:(size_columns "#dims")
+  in
+  List.iter
+    (fun d ->
+      let table =
+        Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; dims = d; seed = 44 }
+      in
+      Tf.add_row t (size_row (Tf.cell_i d) (measure_sizes table)))
+    dims;
+  Tf.note t "higher dimensionality -> sparser cube -> better compression (paper Sec 5.2)";
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12(d): construction time vs number of tuples                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig12d () =
+  let tuples =
+    match !scale with
+    | Quick -> [ 10_000; 20_000; 40_000 ]
+    | Full -> [ 20_000; 40_000; 60_000; 80_000; 100_000 ]
+  in
+  let t =
+    Tf.create
+      ~title:"Figure 12(d) - construction time (s) vs #tuples (d=6, card=100, Zipf 2)"
+      ~columns:[ "#tuples"; "BUC (full cube)"; "QC-table"; "QC-tree"; "Dwarf" ]
+  in
+  List.iter
+    (fun rows ->
+      let table =
+        Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; seed = 42 }
+      in
+      let t_buc = Qc_util.Timer.time_s (fun () -> ignore (Buc.count_cells table)) in
+      let t_qtab = Qc_util.Timer.time_s (fun () -> ignore (Qc_core.Qc_table.of_table table)) in
+      let t_tree = Qc_util.Timer.time_s (fun () -> ignore (Qc_core.Qc_tree.of_table table)) in
+      let t_dwarf = Qc_util.Timer.time_s (fun () -> ignore (Qc_dwarf.Dwarf.build table)) in
+      Tf.add_row t
+        [ Tf.cell_i rows; Tf.cell_f t_buc; Tf.cell_f t_qtab; Tf.cell_f t_tree; Tf.cell_f t_dwarf ])
+    tuples;
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: query answering, QC-tree vs Dwarf                        *)
+(* ------------------------------------------------------------------ *)
+
+let time_point_queries tree dwarf queries =
+  let n = List.length queries in
+  let t_tree =
+    Qc_util.Timer.time_s (fun () ->
+        List.iter (fun q -> ignore (Qc_core.Query.point tree q)) queries)
+  in
+  let t_dwarf =
+    Qc_util.Timer.time_s (fun () ->
+        List.iter (fun q -> ignore (Qc_dwarf.Dwarf.point dwarf q)) queries)
+  in
+  let hits = List.length (List.filter (fun q -> Qc_core.Query.point tree q <> None) queries) in
+  let acc_tree =
+    List.fold_left (fun acc q -> acc + Qc_core.Query.node_accesses tree q) 0 queries
+  in
+  let acc_dwarf =
+    List.fold_left (fun acc q -> acc + Qc_dwarf.Dwarf.node_accesses dwarf q) 0 queries
+  in
+  ( t_tree /. float_of_int n *. 1e6,
+    t_dwarf /. float_of_int n *. 1e6,
+    hits,
+    float_of_int acc_tree /. float_of_int n,
+    float_of_int acc_dwarf /. float_of_int n )
+
+let fig13a () =
+  let cards =
+    match !scale with Quick -> [ 10; 100; 1000 ] | Full -> [ 10; 50; 100; 500; 1000; 5000 ]
+  in
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let n_queries = 1000 in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "Figure 13(a) - point queries vs cardinality, us/query (d=6, n=%d, %d queries)"
+           rows n_queries)
+      ~columns:
+        [ "cardinality"; "QC-tree us"; "Dwarf us"; "QC-tree nodes/q"; "Dwarf nodes/q"; "non-null" ]
+  in
+  List.iter
+    (fun cardinality ->
+      let table =
+        Qc_data.Synthetic.generate
+          { Qc_data.Synthetic.default with rows; cardinality; seed = 45 }
+      in
+      let tree = Qc_core.Qc_tree.of_table table in
+      let dwarf = Qc_dwarf.Dwarf.build table in
+      let queries = Qc_data.Synthetic.random_point_queries ~seed:46 table n_queries in
+      let us_tree, us_dwarf, hits, acc_tree, acc_dwarf = time_point_queries tree dwarf queries in
+      Tf.add_row t
+        [
+          Tf.cell_i cardinality;
+          Tf.cell_f us_tree;
+          Tf.cell_f us_dwarf;
+          Printf.sprintf "%.2f" acc_tree;
+          Printf.sprintf "%.2f" acc_dwarf;
+          Tf.cell_i hits;
+        ])
+    cards;
+  Tf.note t "paper: Dwarf slows down as cardinality grows, QC-tree is insensitive";
+  emit t
+
+let weather_spec () =
+  match !scale with
+  | Quick -> { Qc_data.Weather.default with rows = 30_000; scale = 0.05 }
+  | Full -> { Qc_data.Weather.default with rows = 200_000; scale = 0.2 }
+
+let fig13b () =
+  let n_queries = 1000 in
+  let spec = weather_spec () in
+  let table = Qc_data.Weather.generate spec in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let dwarf = Qc_dwarf.Dwarf.build table in
+  let queries = Qc_data.Synthetic.random_point_queries ~seed:47 table n_queries in
+  let us_tree, us_dwarf, hits, acc_tree, acc_dwarf = time_point_queries tree dwarf queries in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf "Figure 13(b) - point queries on weather, us/query (n=%d, 9 dims)"
+           (Table.n_rows table))
+      ~columns:[ "structure"; "us/query"; "nodes/query"; "non-null answers" ]
+  in
+  Tf.add_row t [ "QC-tree"; Tf.cell_f us_tree; Printf.sprintf "%.2f" acc_tree; Tf.cell_i hits ];
+  Tf.add_row t [ "Dwarf"; Tf.cell_f us_dwarf; Printf.sprintf "%.2f" acc_dwarf; Tf.cell_i hits ];
+  emit t
+
+let time_range_queries tree dwarf ranges =
+  let n = List.length ranges in
+  let t_tree =
+    Qc_util.Timer.time_s (fun () ->
+        List.iter (fun r -> ignore (Qc_core.Query.range tree r)) ranges)
+  in
+  let t_dwarf =
+    Qc_util.Timer.time_s (fun () ->
+        List.iter (fun r -> ignore (Qc_dwarf.Dwarf.range dwarf r)) ranges)
+  in
+  let answers =
+    List.fold_left (fun acc r -> acc + List.length (Qc_core.Query.range tree r)) 0 ranges
+  in
+  (t_tree /. float_of_int n *. 1e3, t_dwarf /. float_of_int n *. 1e3, answers)
+
+let fig13c () =
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let table = Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; seed = 48 } in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let dwarf = Qc_dwarf.Dwarf.build table in
+  (* paper: 100 range queries, 1-3 range dimensions with 3 values each *)
+  let ranges = Qc_data.Synthetic.random_range_queries ~seed:49 ~values_per_range:3 table 100 in
+  let ms_tree, ms_dwarf, answers = time_range_queries tree dwarf ranges in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "Figure 13(c) - range queries on synthetic, ms/query (n=%d, 100 queries, 1-3 range dims x 3 values)"
+           rows)
+      ~columns:[ "structure"; "ms/query"; "total answer cells" ]
+  in
+  Tf.add_row t [ "QC-tree"; Tf.cell_f ms_tree; Tf.cell_i answers ];
+  Tf.add_row t [ "Dwarf"; Tf.cell_f ms_dwarf; Tf.cell_i answers ];
+  emit t
+
+let fig13d () =
+  let spec = weather_spec () in
+  let table = Qc_data.Weather.generate spec in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let dwarf = Qc_dwarf.Dwarf.build table in
+  (* paper: ranges span the full cardinality of 1-3 dimensions *)
+  let ranges = Qc_data.Synthetic.random_range_queries ~seed:50 ~values_per_range:0 table 100 in
+  let ms_tree, ms_dwarf, answers = time_range_queries tree dwarf ranges in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "Figure 13(d) - range queries on weather, ms/query (n=%d, 100 queries, full-cardinality ranges)"
+           (Table.n_rows table))
+      ~columns:[ "structure"; "ms/query"; "total answer cells" ]
+  in
+  Tf.add_row t [ "QC-tree"; Tf.cell_f ms_tree; Tf.cell_i answers ];
+  Tf.add_row t [ "Dwarf"; Tf.cell_f ms_dwarf; Tf.cell_i answers ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: incremental maintenance vs recomputation                 *)
+(* ------------------------------------------------------------------ *)
+
+let insertion_sweep ~title base mk_delta fractions =
+  let t =
+    Tf.create ~title
+      ~columns:
+        [
+          "delta (%)";
+          "#tuples";
+          "recompute (s)";
+          "tuple-by-tuple (s)";
+          "batch (s)";
+          "speedup vs recompute";
+        ]
+  in
+  List.iter
+    (fun frac ->
+      let k = max 1 (int_of_float (float_of_int (Table.n_rows base) *. frac)) in
+      let delta = mk_delta k in
+      (* recompute: rebuild from base + delta *)
+      let merged = Table.copy base in
+      Table.append merged delta;
+      let t_rebuild = Qc_util.Timer.time_s (fun () -> ignore (Qc_core.Qc_tree.of_table merged)) in
+      (* tuple-by-tuple *)
+      let tree1 = Qc_core.Qc_tree.of_table base in
+      let base1 = Table.copy base in
+      let t_tuple =
+        Qc_util.Timer.time_s (fun () ->
+            ignore (Qc_core.Maintenance.insert_tuples tree1 ~base:base1 ~delta))
+      in
+      (* batch *)
+      let tree2 = Qc_core.Qc_tree.of_table base in
+      let base2 = Table.copy base in
+      let t_batch =
+        Qc_util.Timer.time_s (fun () ->
+            ignore (Qc_core.Maintenance.insert_batch tree2 ~base:base2 ~delta))
+      in
+      Tf.add_row t
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. frac);
+          Tf.cell_i k;
+          Tf.cell_f t_rebuild;
+          Tf.cell_f t_tuple;
+          Tf.cell_f t_batch;
+          Printf.sprintf "%.1fx" (t_rebuild /. Float.max 1e-9 t_batch);
+        ])
+    fractions;
+  emit t
+
+let fig14a () =
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let fractions =
+    match !scale with Quick -> [ 0.01; 0.05; 0.10 ] | Full -> [ 0.01; 0.02; 0.05; 0.10; 0.20 ]
+  in
+  let spec = { Qc_data.Synthetic.default with rows; seed = 51 } in
+  let base = Qc_data.Synthetic.generate spec in
+  insertion_sweep
+    ~title:
+      (Printf.sprintf
+         "Figure 14(a) - incremental insertion on synthetic (base n=%d, d=6, card=100)" rows)
+    base
+    (fun k -> Qc_data.Synthetic.generate_delta spec base k)
+    fractions
+
+let fig14b () =
+  let spec = weather_spec () in
+  let base = Qc_data.Weather.generate spec in
+  let fractions =
+    match !scale with Quick -> [ 0.01; 0.05 ] | Full -> [ 0.01; 0.02; 0.05; 0.10 ]
+  in
+  insertion_sweep
+    ~title:
+      (Printf.sprintf "Figure 14(b) - incremental insertion on weather (base n=%d, 9 dims)"
+         (Table.n_rows base))
+    base
+    (fun k -> Qc_data.Weather.generate_delta spec base k)
+    fractions
+
+let fig14c () =
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let fractions =
+    match !scale with Quick -> [ 0.01; 0.05; 0.10 ] | Full -> [ 0.01; 0.02; 0.05; 0.10; 0.20 ]
+  in
+  let spec = { Qc_data.Synthetic.default with rows; seed = 52 } in
+  let base = Qc_data.Synthetic.generate spec in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "Figure 14(c) - incremental deletion on synthetic (base n=%d; paper: results on deletions are similar)"
+           rows)
+      ~columns:[ "delta (%)"; "#tuples"; "recompute (s)"; "batch delete (s)"; "speedup" ]
+  in
+  List.iter
+    (fun frac ->
+      let k = max 1 (int_of_float (float_of_int rows *. frac)) in
+      let delta = Qc_data.Synthetic.pick_delete_delta ~seed:53 base k in
+      let tree = Qc_core.Qc_tree.of_table base in
+      let new_base = ref base in
+      let t_batch =
+        Qc_util.Timer.time_s (fun () ->
+            let nb, _ = Qc_core.Maintenance.delete_batch tree ~base ~delta in
+            new_base := nb)
+      in
+      let t_rebuild =
+        Qc_util.Timer.time_s (fun () -> ignore (Qc_core.Qc_tree.of_table !new_base))
+      in
+      Tf.add_row t
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. frac);
+          Tf.cell_i k;
+          Tf.cell_f t_rebuild;
+          Tf.cell_f t_batch;
+          Printf.sprintf "%.1fx" (t_rebuild /. Float.max 1e-9 t_batch);
+        ])
+    fractions;
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: storage on weather data vs number of dimensions          *)
+(* ------------------------------------------------------------------ *)
+
+(* Project the weather table onto its first [k] dimensions. *)
+let project table k =
+  let schema = Table.schema table in
+  let names = List.init k (fun i -> Schema.dim_name schema i) in
+  let out_schema = Schema.create ~measure_name:(Schema.measure_name schema) names in
+  (* keep the same dictionary codes *)
+  for i = 0 to k - 1 do
+    Array.iter
+      (fun v -> ignore (Schema.encode_value out_schema i v))
+      (Qc_util.Dict.values (Schema.dict schema i))
+  done;
+  let out = Table.create out_schema in
+  Table.iter (fun cell m -> Table.add_encoded out (Array.sub cell 0 k) m) table;
+  out
+
+let fig15 () =
+  let spec = weather_spec () in
+  let table = Qc_data.Weather.generate spec in
+  let dims_list = [ 3; 4; 5; 6; 7; 8; 9 ] in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf "Figure 15 - storage (MB) on weather data vs #dims (n=%d, scale %.2f)"
+           (Table.n_rows table) spec.scale)
+      ~columns:[ "#dims"; "cube cells"; "Cube MB"; "Dwarf MB"; "QC-table MB"; "QC-tree MB" ]
+  in
+  List.iter
+    (fun k ->
+      let sub = project table k in
+      let s = measure_sizes sub in
+      Tf.add_row t
+        [
+          Tf.cell_i k;
+          Tf.cell_i s.cube_cells;
+          mb s.cube_bytes;
+          mb s.dwarf_bytes;
+          mb s.qtab_bytes;
+          mb s.tree_bytes;
+        ])
+    dims_list;
+  Tf.note t "paper Figure 15 reports MB for the 1M-row 1985 weather data; shapes should match";
+  emit t
+
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices the paper calls out                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild [table] with its dimensions permuted by [perm] (new position i
+   takes old dimension perm.(i)), preserving dictionary codes. *)
+let permute_dims table perm =
+  let schema = Table.schema table in
+  let k = Array.length perm in
+  let names = List.init k (fun i -> Schema.dim_name schema perm.(i)) in
+  let out_schema = Schema.create ~measure_name:(Schema.measure_name schema) names in
+  for i = 0 to k - 1 do
+    Array.iter
+      (fun v -> ignore (Schema.encode_value out_schema i v))
+      (Qc_util.Dict.values (Schema.dict schema perm.(i)))
+  done;
+  let out = Table.create out_schema in
+  Table.iter
+    (fun cell m -> Table.add_encoded out (Array.map (fun j -> cell.(j)) perm) m)
+    table;
+  out
+
+(* Paper footnote 2: "heuristically, dimensions can be sorted in the
+   cardinality ascending order, so that more sharing is likely achieved at
+   the upper part of the tree". *)
+let abl_order () =
+  let spec = weather_spec () in
+  let table = Qc_data.Weather.generate spec in
+  let d = Table.n_dims table in
+  let cards = Schema.cardinalities (Table.schema table) in
+  let by_card ascending =
+    let perm = Array.init d Fun.id in
+    Array.sort
+      (fun a b -> if ascending then compare cards.(a) cards.(b) else compare cards.(b) cards.(a))
+      perm;
+    perm
+  in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: dimension order heuristic (weather proxy, n=%d; paper footnote 2)"
+           (Table.n_rows table))
+      ~columns:[ "dimension order"; "nodes"; "links"; "classes"; "bytes"; "build (s)" ]
+  in
+  List.iter
+    (fun (label, perm) ->
+      let permuted = permute_dims table perm in
+      let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table permuted) in
+      Tf.add_row t
+        [
+          label;
+          Tf.cell_i (Qc_core.Qc_tree.n_nodes tree);
+          Tf.cell_i (Qc_core.Qc_tree.n_links tree);
+          Tf.cell_i (Qc_core.Qc_tree.n_classes tree);
+          Tf.cell_i (Qc_core.Qc_tree.bytes tree);
+          Tf.cell_f dt;
+        ])
+    [
+      ("natural (paper schema)", Array.init d Fun.id);
+      ("cardinality ascending", by_card true);
+      ("cardinality descending", by_card false);
+    ];
+  Tf.note t "class count is order-independent; nodes/links/bytes are not";
+  emit t
+
+let abl_dwarf () =
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let table = Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; seed = 57 } in
+  let cube_bytes = Qc_util.Size.bytes_of_cells ~dims:(Table.n_dims table) ~cells:(Buc.count_cells table) in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf "Ablation: Dwarf suffix-coalescing strategies (d=6, n=%d)" rows)
+      ~columns:[ "strategy"; "nodes"; "cells"; "bytes"; "% of cube"; "build (s)" ]
+  in
+  List.iter
+    (fun (label, coalescing) ->
+      let dwarf, dt = Qc_util.Timer.time (fun () -> Qc_dwarf.Dwarf.build ~coalescing table) in
+      Tf.add_row t
+        [
+          label;
+          Tf.cell_i (Qc_dwarf.Dwarf.n_nodes dwarf);
+          Tf.cell_i (Qc_dwarf.Dwarf.n_cells dwarf);
+          Tf.cell_i (Qc_dwarf.Dwarf.bytes dwarf);
+          pct (Qc_dwarf.Dwarf.bytes dwarf) cube_bytes;
+          Tf.cell_f dt;
+        ])
+    [
+      ("hash-consing (ours)", Qc_dwarf.Dwarf.Hash_cons);
+      ("single-cell rule only", Qc_dwarf.Dwarf.Single_cell);
+      ("prefix sharing only", Qc_dwarf.Dwarf.No_coalescing);
+    ];
+  Tf.note t "QC-tree vs Dwarf comparisons elsewhere use the strongest (most favourable) Dwarf";
+  emit t
+
+let abl_links () =
+  let t =
+    Tf.create ~title:"Ablation: drill-down link structure across workloads"
+      ~columns:
+        [ "workload"; "classes"; "tree nodes"; "links"; "links/class"; "avg path len"; "dims" ]
+  in
+  let measure label table =
+    let tree = Qc_core.Qc_tree.of_table table in
+    let classes = Qc_core.Qc_tree.n_classes tree in
+    let total_depth = ref 0 in
+    Qc_core.Qc_tree.iter_classes
+      (fun _ ub _ ->
+        total_depth := !total_depth + (Array.length ub - Cell.n_stars ub))
+      tree;
+    Tf.add_row t
+      [
+        label;
+        Tf.cell_i classes;
+        Tf.cell_i (Qc_core.Qc_tree.n_nodes tree);
+        Tf.cell_i (Qc_core.Qc_tree.n_links tree);
+        Printf.sprintf "%.2f" (float_of_int (Qc_core.Qc_tree.n_links tree) /. float_of_int (max 1 classes));
+        Printf.sprintf "%.2f" (float_of_int !total_depth /. float_of_int (max 1 classes));
+        Tf.cell_i (Table.n_dims table);
+      ]
+  in
+  let rows = match !scale with Quick -> 10_000 | Full -> 50_000 in
+  measure "synthetic d=4" (Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; dims = 4; seed = 58 });
+  measure "synthetic d=6" (Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; dims = 6; seed = 58 });
+  measure "synthetic d=8, card=20"
+    (Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; dims = 8; cardinality = 20; seed = 58 });
+  measure "weather proxy" (Qc_data.Weather.generate { Qc_data.Weather.default with rows; scale = 0.05 });
+  Tf.note t "avg path len < dims is why QC-tree point queries touch fewer nodes than Dwarf";
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: steady-state query latency               *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  let table = Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; seed = 54 } in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let dwarf = Qc_dwarf.Dwarf.build table in
+  let queries = Array.of_list (Qc_data.Synthetic.random_point_queries ~seed:55 table 512) in
+  let ranges = Array.of_list (Qc_data.Synthetic.random_range_queries ~seed:56 table 64) in
+  let i = ref 0 in
+  let j = ref 0 in
+  let tests =
+    Test.make_grouped ~name:"queries"
+      [
+        Test.make ~name:"point/qc-tree"
+          (Staged.stage (fun () ->
+               incr i;
+               ignore (Qc_core.Query.point tree queries.(!i land 511))));
+        Test.make ~name:"point/dwarf"
+          (Staged.stage (fun () ->
+               incr i;
+               ignore (Qc_dwarf.Dwarf.point dwarf queries.(!i land 511))));
+        Test.make ~name:"range/qc-tree"
+          (Staged.stage (fun () ->
+               incr j;
+               ignore (Qc_core.Query.range tree ranges.(!j land 63))));
+        Test.make ~name:"range/dwarf"
+          (Staged.stage (fun () ->
+               incr j;
+               ignore (Qc_dwarf.Dwarf.range dwarf ranges.(!j land 63))));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let results = Benchmark.all cfg [ instance ] tests in
+  let analyzed =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      instance results
+  in
+  let tbl =
+    Tf.create ~title:"Bechamel micro-benchmarks - steady-state latency (ns/run)"
+      ~columns:[ "benchmark"; "ns/run (ols)"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some [ e ] -> Printf.sprintf "%.1f" e
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := (name, est, r2) :: !rows)
+    analyzed;
+  List.iter
+    (fun (name, est, r2) -> Tf.add_row tbl [ name; est; r2 ])
+    (List.sort compare !rows);
+  emit tbl
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig12a", fig12a);
+    ("fig12b", fig12b);
+    ("fig12c", fig12c);
+    ("fig12d", fig12d);
+    ("fig13a", fig13a);
+    ("fig13b", fig13b);
+    ("fig13c", fig13c);
+    ("fig13d", fig13d);
+    ("fig14a", fig14a);
+    ("fig14b", fig14b);
+    ("fig14c", fig14c);
+    ("fig15", fig15);
+    ("abl-order", abl_order);
+    ("abl-dwarf", abl_dwarf);
+    ("abl-links", abl_links);
+    ("micro", micro);
+  ]
+
+let () =
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: "full" :: rest ->
+      scale := Full;
+      parse rest
+    | "--scale" :: "quick" :: rest ->
+      scale := Quick;
+      parse rest
+    | "--out" :: dir :: rest ->
+      csv_out_dir := Some dir;
+      parse rest
+    | name :: rest ->
+      if List.mem_assoc name experiments then selected := name :: !selected
+      else begin
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 2
+      end;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let to_run =
+    match !selected with
+    | [] -> experiments
+    | names -> List.filter (fun (n, _) -> List.mem n names) experiments
+  in
+  Printf.printf "QC-tree benchmark suite - scale: %s, experiments: %s\n"
+    (match !scale with Quick -> "quick" | Full -> "full")
+    (String.concat " " (List.map fst to_run));
+  List.iter
+    (fun (name, f) ->
+      let dt = Qc_util.Timer.time_s f in
+      Printf.printf "[%s finished in %.1fs]\n%!" name dt)
+    to_run

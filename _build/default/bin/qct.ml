@@ -1,0 +1,363 @@
+(* qct — the QC-tree warehouse command line.
+
+   Subcommands:
+     generate   write a synthetic or weather-proxy dataset as CSV
+     build      construct a QC-tree from a CSV base table and save it
+     stats      report sizes of the cube / QC-table / QC-tree / Dwarf
+     query      answer a point query against a saved tree
+     iceberg    list classes whose aggregate passes a threshold
+     insert     batch-insert a CSV delta into a saved tree
+     classes    dump quotient-cube classes of a CSV base table *)
+
+open Cmdliner
+open Qc_cube
+
+(* ---------- shared arguments ---------- *)
+
+let csv_arg p doc = Arg.(required & pos p (some file) None & info [] ~docv:"CSV" ~doc)
+
+let tree_arg p doc = Arg.(required & pos p (some string) None & info [] ~docv:"TREE" ~doc)
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+(* ---------- generate ---------- *)
+
+let generate kind rows dims cardinality zipf scale seed out =
+  let table =
+    match kind with
+    | `Synthetic ->
+      Qc_data.Synthetic.generate { dims; cardinality; rows; zipf; seed }
+    | `Weather -> Qc_data.Weather.generate { rows; scale; seed }
+  in
+  Qc_data.Csv.save table out;
+  Printf.printf "wrote %d rows (%d dimensions) to %s\n" (Table.n_rows table)
+    (Table.n_dims table) out
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("synthetic", `Synthetic); ("weather", `Weather) ]) `Synthetic
+      & info [ "kind" ] ~doc:"Dataset kind: $(b,synthetic) (Zipf) or $(b,weather) (proxy).")
+  in
+  let rows = Arg.(value & opt int 10_000 & info [ "rows"; "n" ] ~doc:"Number of tuples.") in
+  let dims = Arg.(value & opt int 6 & info [ "dims"; "d" ] ~doc:"Dimensions (synthetic).") in
+  let card =
+    Arg.(value & opt int 100 & info [ "cardinality"; "c" ] ~doc:"Cardinality per dimension (synthetic).")
+  in
+  let zipf = Arg.(value & opt float 2.0 & info [ "zipf" ] ~doc:"Zipf factor (synthetic).") in
+  let scale = Arg.(value & opt float 0.1 & info [ "scale" ] ~doc:"Cardinality scale (weather).") in
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output file.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a benchmark dataset as CSV.")
+    Term.(const generate $ kind $ rows $ dims $ card $ zipf $ scale $ seed_arg $ out)
+
+(* ---------- build ---------- *)
+
+let build csv out =
+  let table = Qc_data.Csv.load csv in
+  let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table table) in
+  Qc_core.Serial.save tree out;
+  Printf.printf "built QC-tree of %d tuples in %.2fs: %d nodes, %d links, %d classes, %s\n"
+    (Table.n_rows table) dt
+    (Qc_core.Qc_tree.n_nodes tree) (Qc_core.Qc_tree.n_links tree)
+    (Qc_core.Qc_tree.n_classes tree)
+    (Format.asprintf "%a" Qc_util.Size.pp_bytes (Qc_core.Qc_tree.bytes tree));
+  Printf.printf "saved to %s\n" out
+
+let build_cmd =
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a QC-tree from a CSV base table and save it.")
+    Term.(const build $ csv_arg 0 "Base table CSV." $ tree_arg 1 "Output tree file.")
+
+(* ---------- stats ---------- *)
+
+let stats csv =
+  let table = Qc_data.Csv.load csv in
+  let cube_bytes = Buc.cube_bytes table in
+  let cube_cells = Buc.count_cells table in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let qtab = Qc_core.Qc_table.of_table table in
+  let dwarf = Qc_dwarf.Dwarf.build table in
+  let row name bytes =
+    Printf.printf "  %-9s %12d bytes   %6.2f%% of the cube\n" name bytes
+      (100.0 *. float_of_int bytes /. float_of_int cube_bytes)
+  in
+  Printf.printf "base table: %d tuples, %d dimensions\n" (Table.n_rows table) (Table.n_dims table);
+  Printf.printf "full cube:  %d cells, %d bytes\n" cube_cells cube_bytes;
+  Printf.printf "quotient:   %d classes\n" (Qc_core.Qc_table.n_classes qtab);
+  row "QC-tree" (Qc_core.Qc_tree.bytes tree);
+  row "QC-table" (Qc_core.Qc_table.bytes qtab);
+  row "Dwarf" (Qc_dwarf.Dwarf.bytes dwarf)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Compare storage structures over a CSV base table.")
+    Term.(const stats $ csv_arg 0 "Base table CSV.")
+
+(* ---------- query ---------- *)
+
+let query tree_path cell_spec func =
+  let tree = Qc_core.Serial.load tree_path in
+  let schema = Qc_core.Qc_tree.schema tree in
+  let values = String.split_on_char ',' cell_spec in
+  let cell = Cell.parse schema values in
+  match Qc_core.Query.point tree cell with
+  | Some agg ->
+    Printf.printf "%s: %s = %g   (count=%d sum=%g min=%g max=%g)\n"
+      (Cell.to_string schema cell) (Agg.func_to_string func) (Agg.value func agg)
+      agg.Agg.count agg.Agg.sum agg.Agg.min agg.Agg.max
+  | None -> Printf.printf "%s: NULL (empty cover)\n" (Cell.to_string schema cell)
+
+let func_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("count", Agg.Count); ("sum", Agg.Sum); ("avg", Agg.Avg); ("min", Agg.Min); ("max", Agg.Max) ])
+        Agg.Avg
+    & info [ "f"; "function" ] ~doc:"Aggregate function.")
+
+let query_cmd =
+  let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Comma-separated values, * for ALL.") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a point query against a saved QC-tree.")
+    Term.(const query $ tree_arg 0 "Saved tree file." $ cell $ func_arg)
+
+(* ---------- iceberg ---------- *)
+
+let iceberg tree_path func threshold limit =
+  let tree = Qc_core.Serial.load tree_path in
+  let schema = Qc_core.Qc_tree.schema tree in
+  let index = Qc_core.Query.make_index tree func in
+  let results = Qc_core.Query.iceberg index ~threshold in
+  Printf.printf "%d classes with %s >= %g\n" (List.length results)
+    (Agg.func_to_string func) threshold;
+  List.iteri
+    (fun i (cell, agg) ->
+      if i < limit then
+        Printf.printf "  %s -> %g\n" (Cell.to_string schema cell) (Agg.value func agg))
+    results
+
+let iceberg_cmd =
+  let threshold =
+    Arg.(required & pos 1 (some float) None & info [] ~docv:"THRESHOLD" ~doc:"Aggregate threshold.")
+  in
+  let limit = Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Rows to print.") in
+  Cmd.v
+    (Cmd.info "iceberg" ~doc:"List classes whose aggregate passes a threshold.")
+    Term.(const iceberg $ tree_arg 0 "Saved tree file." $ func_arg $ threshold $ limit)
+
+(* ---------- insert ---------- *)
+
+let insert tree_path base_csv delta_csv out =
+  let tree = Qc_core.Serial.load tree_path in
+  let base = Qc_data.Csv.load base_csv in
+  let delta_raw = Qc_data.Csv.load delta_csv in
+  (* re-encode the delta under the base schema *)
+  let delta = Table.create (Table.schema base) in
+  let schema_raw = Table.schema delta_raw in
+  Table.iter
+    (fun cell m ->
+      let values =
+        List.init (Table.n_dims delta_raw) (fun i -> Schema.decode_value schema_raw i cell.(i))
+      in
+      Table.add_row delta values m)
+    delta_raw;
+  let stats, dt =
+    Qc_util.Timer.time (fun () -> Qc_core.Maintenance.insert_batch tree ~base ~delta)
+  in
+  Qc_core.Serial.save tree out;
+  Printf.printf
+    "inserted %d tuples in %.2fs: %d classes updated, %d split, %d created; tree saved to %s\n"
+    (Table.n_rows delta) dt stats.updated stats.carved stats.fresh out
+
+let insert_cmd =
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Batch-insert a CSV delta into a saved tree (Algorithm 2); base CSV required to keep the warehouse consistent.")
+    Term.(
+      const insert $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
+      $ csv_arg 2 "Delta CSV." $ tree_arg 3 "Output tree file.")
+
+(* ---------- delete ---------- *)
+
+let reencode base table_raw =
+  (* re-encode a loaded CSV under the base schema *)
+  let out = Table.create (Table.schema base) in
+  let schema_raw = Table.schema table_raw in
+  Table.iter
+    (fun cell m ->
+      let values =
+        List.init (Table.n_dims table_raw) (fun i -> Schema.decode_value schema_raw i cell.(i))
+      in
+      Table.add_row out values m)
+    table_raw;
+  out
+
+let delete tree_path base_csv delta_csv out_tree out_csv =
+  let tree = Qc_core.Serial.load tree_path in
+  let base = Qc_data.Csv.load base_csv in
+  let delta = reencode base (Qc_data.Csv.load delta_csv) in
+  let (new_base, stats), dt =
+    Qc_util.Timer.time (fun () -> Qc_core.Maintenance.delete_batch tree ~base ~delta)
+  in
+  Qc_core.Serial.save tree out_tree;
+  Qc_data.Csv.save new_base out_csv;
+  Printf.printf
+    "deleted %d tuples in %.2fs: %d classes removed, %d merged, %d updated; tree -> %s, base -> %s\n"
+    (Table.n_rows delta) dt stats.removed stats.merged stats.updated_classes out_tree out_csv
+
+let delete_cmd =
+  Cmd.v
+    (Cmd.info "delete" ~doc:"Batch-delete a CSV delta from a saved tree and base table.")
+    Term.(
+      const delete $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
+      $ csv_arg 2 "Delta CSV." $ tree_arg 3 "Output tree file."
+      $ Arg.(required & pos 4 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output base CSV."))
+
+(* ---------- rollup ---------- *)
+
+let rollup csv cell_spec func =
+  let table = Qc_data.Csv.load csv in
+  let schema = Table.schema table in
+  let quotient = Qc_core.Quotient.of_table table in
+  let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
+  match Qc_core.Explore.intelligent_rollup quotient func cell with
+  | None -> Printf.printf "%s is not in the cube\n" (Cell.to_string schema cell)
+  | Some r -> Format.printf "%a" (Qc_core.Explore.pp_rollup schema) r
+
+let rollup_cmd =
+  let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Start cell; comma-separated, * for ALL.") in
+  Cmd.v
+    (Cmd.info "rollup"
+       ~doc:"Intelligent roll-up: the most general contexts where the aggregate keeps its value.")
+    Term.(const rollup $ csv_arg 0 "Base table CSV." $ cell $ func_arg)
+
+(* ---------- whatif ---------- *)
+
+let whatif base_csv delta_csv kind cells =
+  let base = Qc_data.Csv.load base_csv in
+  let schema = Table.schema base in
+  let tree = Qc_core.Qc_tree.of_table base in
+  let delta = reencode base (Qc_data.Csv.load delta_csv) in
+  let scenario = Qc_core.Whatif.create tree base in
+  (match kind with
+  | `Insert -> Qc_core.Whatif.assume_inserted scenario delta
+  | `Delete -> Qc_core.Whatif.assume_deleted scenario delta);
+  match cells with
+  | [] ->
+    let affected = Qc_core.Whatif.affected_classes scenario ~against:tree in
+    Printf.printf "%d classes would change:\n" (List.length affected);
+    List.iteri
+      (fun i (ub, before, after) ->
+        if i < 25 then
+          Printf.printf "  %s : %s -> %s\n" (Cell.to_string schema ub)
+            (match before with None -> "-" | Some a -> Format.asprintf "%a" Agg.pp a)
+            (match after with None -> "gone" | Some a -> Format.asprintf "%a" Agg.pp a))
+      affected
+  | cells ->
+    let cells = List.map (fun c -> Cell.parse schema (String.split_on_char ',' c)) cells in
+    let deltas = Qc_core.Whatif.compare_cells scenario ~against:tree cells in
+    if deltas = [] then print_endline "no change in the given cells"
+    else
+      List.iter
+        (fun (d : Qc_core.Whatif.delta) ->
+          Printf.printf "  %s : %s -> %s\n" (Cell.to_string schema d.cell)
+            (match d.before with None -> "-" | Some a -> Format.asprintf "%a" Agg.pp a)
+            (match d.after with None -> "gone" | Some a -> Format.asprintf "%a" Agg.pp a))
+        deltas
+
+let whatif_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("insert", `Insert); ("delete", `Delete) ]) `Insert
+      & info [ "kind" ] ~doc:"Hypothesis kind: $(b,insert) or $(b,delete).")
+  in
+  let cells =
+    Arg.(value & opt_all string [] & info [ "cell" ] ~doc:"Cell to compare (repeatable); default: list all affected classes.")
+  in
+  Cmd.v
+    (Cmd.info "whatif" ~doc:"Evaluate a hypothetical update without committing it.")
+    Term.(const whatif $ csv_arg 0 "Base table CSV." $ csv_arg 1 "Hypothetical delta CSV." $ kind $ cells)
+
+(* ---------- selfcheck ---------- *)
+
+let selfcheck tree_path base_csv =
+  let tree = Qc_core.Serial.load tree_path in
+  let base_raw = Qc_data.Csv.load base_csv in
+  (* re-encode against the tree's schema so codes coincide *)
+  let schema = Qc_core.Qc_tree.schema tree in
+  let raw_schema = Table.schema base_raw in
+  let base = Table.create schema in
+  Table.iter
+    (fun cell m ->
+      let values =
+        List.init (Table.n_dims base_raw) (fun i -> Schema.decode_value raw_schema i cell.(i))
+      in
+      Table.add_row base values m)
+    base_raw;
+  match Qc_core.Qc_tree.validate tree with
+  | Error e ->
+    Printf.printf "INVALID tree structure: %s\n" e;
+    exit 1
+  | Ok () ->
+    let rebuilt = Qc_core.Qc_tree.of_table base in
+    let ok = ref true in
+    Qc_core.Qc_tree.iter_classes
+      (fun _ ub agg ->
+        match Qc_core.Query.point tree ub with
+        | Some a when Agg.approx_equal a agg -> ()
+        | _ ->
+          ok := false;
+          Printf.printf "MISMATCH at %s\n" (Cell.to_string schema ub))
+      rebuilt;
+    if Qc_core.Qc_tree.n_classes tree <> Qc_core.Qc_tree.n_classes rebuilt then begin
+      ok := false;
+      Printf.printf "class count differs: tree %d vs rebuild %d\n"
+        (Qc_core.Qc_tree.n_classes tree) (Qc_core.Qc_tree.n_classes rebuilt)
+    end;
+    if !ok then print_endline "OK: tree is consistent with the base table"
+    else exit 1
+
+let selfcheck_cmd =
+  Cmd.v
+    (Cmd.info "selfcheck" ~doc:"Verify that a saved tree is consistent with its base table.")
+    Term.(const selfcheck $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV.")
+
+(* ---------- classes ---------- *)
+
+let classes csv limit =
+  let table = Qc_data.Csv.load csv in
+  let schema = Table.schema table in
+  let quotient = Qc_core.Quotient.of_table table in
+  Printf.printf "%d classes\n" (Qc_core.Quotient.n_classes quotient);
+  Array.iteri
+    (fun i cls ->
+      if i < limit then Format.printf "  %a@." (Qc_core.Quotient.pp_class schema) cls)
+    (Qc_core.Quotient.classes quotient)
+
+let classes_cmd =
+  let limit = Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Classes to print.") in
+  Cmd.v
+    (Cmd.info "classes" ~doc:"Dump quotient-cube classes of a CSV base table.")
+    Term.(const classes $ csv_arg 0 "Base table CSV." $ limit)
+
+let () =
+  let info = Cmd.info "qct" ~version:"1.0.0" ~doc:"QC-tree semantic OLAP warehouse tool." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            build_cmd;
+            stats_cmd;
+            query_cmd;
+            iceberg_cmd;
+            insert_cmd;
+            delete_cmd;
+            rollup_cmd;
+            whatif_cmd;
+            selfcheck_cmd;
+            classes_cmd;
+          ]))

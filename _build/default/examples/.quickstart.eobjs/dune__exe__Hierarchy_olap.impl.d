@@ -1,0 +1,1 @@
+examples/hierarchy_olap.ml: Agg Hierarchy List Printf Qc_core Qc_cube Qc_util Schema Table

@@ -1,0 +1,1 @@
+examples/hierarchy_olap.mli:

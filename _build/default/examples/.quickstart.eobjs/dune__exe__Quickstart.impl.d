@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agg Array Buc Cell Format List Printf Qc_core Qc_cube Schema Table

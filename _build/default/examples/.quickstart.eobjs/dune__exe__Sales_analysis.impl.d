@@ -1,0 +1,1 @@
+examples/sales_analysis.ml: Agg Array Buc Cell Hashtbl List Option Printf Qc_core Qc_cube Qc_data Qc_util Schema String Table

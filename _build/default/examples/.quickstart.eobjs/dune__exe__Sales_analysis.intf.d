@@ -1,0 +1,1 @@
+examples/sales_analysis.mli:

@@ -1,0 +1,1 @@
+examples/warehouse_lifecycle.ml: Agg Cell Filename List Printf Qc_core Qc_cube Qc_data Schema String Sys Table

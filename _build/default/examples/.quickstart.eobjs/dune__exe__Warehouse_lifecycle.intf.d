@@ -1,0 +1,1 @@
+examples/warehouse_lifecycle.mli:

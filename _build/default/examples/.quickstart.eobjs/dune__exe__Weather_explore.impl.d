@@ -1,0 +1,1 @@
+examples/weather_explore.ml: Agg Array Buc Cell Float List Printf Qc_core Qc_cube Qc_data Qc_dwarf Qc_util Schema String Table

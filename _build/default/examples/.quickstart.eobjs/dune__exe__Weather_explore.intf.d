@@ -1,0 +1,1 @@
+examples/weather_explore.mli:

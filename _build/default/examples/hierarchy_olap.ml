@@ -1,0 +1,91 @@
+(* Hierarchical OLAP over the QC-tree.
+
+   The paper's range queries enumerate value sets precisely so that
+   "numerical and hierarchical ranges" are both expressible (Section 4.2).
+   This example builds concept hierarchies over two dimensions of a sales
+   cube — a calendar over days and a geography over cities — and answers
+   queries at arbitrary hierarchy levels through the same QC-tree.
+   Run with:  dune exec examples/hierarchy_olap.exe *)
+
+open Qc_cube
+
+let days = [ "d01"; "d02"; "d03"; "d04"; "d05"; "d06" ]
+let cities = [ "tokyo"; "osaka"; "berlin"; "munich"; "paris" ]
+let products = [ "laptop"; "phone"; "tablet" ]
+
+let () =
+  (* A deterministic little fact table. *)
+  let schema = Schema.create ~measure_name:"revenue" [ "day"; "city"; "product" ] in
+  let table = Table.create schema in
+  let rng = Qc_util.Rng.create 7 in
+  for _ = 1 to 400 do
+    let pick l = List.nth l (Qc_util.Rng.int rng (List.length l)) in
+    Table.add_row table
+      [ pick days; pick cities; pick products ]
+      (float_of_int (50 + Qc_util.Rng.int rng 500))
+  done;
+  let tree = Qc_core.Qc_tree.of_table table in
+  Printf.printf "%d sales, %d classes in the quotient cube\n" (Table.n_rows table)
+    (Qc_core.Qc_tree.n_classes tree);
+
+  (* Calendar hierarchy: days -> weeks. *)
+  let calendar = Hierarchy.create schema ~dim:0 in
+  Hierarchy.add_concept calendar "week1";
+  Hierarchy.add_concept calendar "week2";
+  List.iteri
+    (fun i d -> Hierarchy.assign calendar ~value:d (if i < 3 then "week1" else "week2"))
+    days;
+
+  (* Geography: cities -> countries -> regions. *)
+  let geo = Hierarchy.create schema ~dim:1 in
+  Hierarchy.add_concept geo "asia";
+  Hierarchy.add_concept geo "europe";
+  Hierarchy.add_concept geo ~parent:"asia" "japan";
+  Hierarchy.add_concept geo ~parent:"europe" "germany";
+  Hierarchy.add_concept geo ~parent:"europe" "france";
+  Hierarchy.assign geo ~value:"tokyo" "japan";
+  Hierarchy.assign geo ~value:"osaka" "japan";
+  Hierarchy.assign geo ~value:"berlin" "germany";
+  Hierarchy.assign geo ~value:"munich" "germany";
+  Hierarchy.assign geo ~value:"paris" "france";
+
+  (* Revenue per region, any week, any product: one hierarchical range
+     query per concept. *)
+  print_endline "\nRevenue by region:";
+  List.iter
+    (fun region ->
+      let range = [| [||]; Hierarchy.range_for geo region; [||] |] in
+      let results = Qc_core.Query.range tree range in
+      let total = List.fold_left (fun acc (_, a) -> acc +. a.Agg.sum) 0.0 results in
+      Printf.printf "  %-7s %8.0f  (over %d cities)\n" region total (List.length results))
+    [ "asia"; "europe" ];
+
+  (* Cross hierarchy levels: week1 x germany, per product. *)
+  print_endline "\nWeek 1 in Germany, by product:";
+  List.iter
+    (fun product ->
+      let code = Schema.encode_value schema 2 product in
+      let range =
+        [|
+          Hierarchy.range_for calendar "week1";
+          Hierarchy.range_for geo "germany";
+          [| code |];
+        |]
+      in
+      let results = Qc_core.Query.range tree range in
+      let total = List.fold_left (fun acc (_, a) -> acc +. a.Agg.sum) 0.0 results in
+      Printf.printf "  %-7s %8.0f\n" product total)
+    products;
+
+  (* Drill down the geography: europe -> germany -> berlin. *)
+  print_endline "\nDrilling down the geography (all weeks, all products):";
+  let show label range =
+    let results = Qc_core.Query.range tree range in
+    let total = List.fold_left (fun acc (_, a) -> acc +. a.Agg.sum) 0.0 results in
+    let count = List.fold_left (fun acc (_, a) -> acc + a.Agg.count) 0 results in
+    Printf.printf "  %-8s revenue %8.0f over %d sales\n" label total count
+  in
+  show "europe" [| [||]; Hierarchy.range_for geo "europe"; [||] |];
+  show "germany" [| [||]; Hierarchy.range_for geo "germany"; [||] |];
+  show "berlin"
+    [| [||]; [| Schema.encode_value schema 1 "berlin" |]; [||] |]

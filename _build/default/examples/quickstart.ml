@@ -1,0 +1,68 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Builds the QC-tree of the 3-tuple sales table of Figure 1, prints the
+   quotient cube's classes and the tree, and answers the queries of
+   Example 5.  Run with:  dune exec examples/quickstart.exe *)
+
+open Qc_cube
+
+let () =
+  (* 1. A base table: sales(Store, Product, Season) with measure Sale. *)
+  let schema = Schema.create ~measure_name:"Sale" [ "Store"; "Product"; "Season" ] in
+  let table = Table.create schema in
+  Table.add_row table [ "S1"; "P1"; "s" ] 6.0;
+  Table.add_row table [ "S1"; "P2"; "s" ] 12.0;
+  Table.add_row table [ "S2"; "P1"; "f" ] 9.0;
+  Printf.printf "Base table: %d tuples, %d dimensions\n\n" (Table.n_rows table)
+    (Table.n_dims table);
+
+  (* 2. The cover quotient cube: classes of cover-equivalent cells. *)
+  let quotient = Qc_core.Quotient.of_table table in
+  Printf.printf "Quotient cube: %d classes (the full cube has %d cells)\n"
+    (Qc_core.Quotient.n_classes quotient)
+    (Buc.count_cells table);
+  Array.iter
+    (fun cls -> Format.printf "  %a@." (Qc_core.Quotient.pp_class schema) cls)
+    (Qc_core.Quotient.classes quotient);
+
+  (* 3. The QC-tree: the compact store of those classes (paper Figure 4). *)
+  let tree = Qc_core.Qc_tree.of_table table in
+  Printf.printf "\nQC-tree: %d nodes, %d links, %d class nodes, %d bytes\n"
+    (Qc_core.Qc_tree.n_nodes tree) (Qc_core.Qc_tree.n_links tree)
+    (Qc_core.Qc_tree.n_classes tree) (Qc_core.Qc_tree.bytes tree);
+  Format.printf "%a@." Qc_core.Qc_tree.pp tree;
+
+  (* 4. Point queries (paper Example 5). *)
+  let q vals =
+    let cell = Cell.parse schema vals in
+    match Qc_core.Query.point_value tree Agg.Avg cell with
+    | Some avg -> Printf.printf "  AVG(Sale) at %s = %g\n" (Cell.to_string schema cell) avg
+    | None -> Printf.printf "  AVG(Sale) at %s = NULL (empty cover)\n" (Cell.to_string schema cell)
+  in
+  print_endline "Point queries:";
+  q [ "S2"; "*"; "f" ];
+  q [ "S2"; "*"; "s" ];
+  q [ "*"; "P2"; "*" ];
+  q [ "*"; "*"; "*" ];
+
+  (* 5. A range query (paper Example 6): stores {S1,S2}, product P1, fall. *)
+  let range =
+    [|
+      [| Schema.encode_value schema 0 "S1"; Schema.encode_value schema 0 "S2" |];
+      [| Schema.encode_value schema 1 "P1" |];
+      [| Schema.encode_value schema 2 "f" |];
+    |]
+  in
+  print_endline "Range query ({S1,S2}, P1, f):";
+  List.iter
+    (fun (cell, agg) ->
+      Printf.printf "  %s -> AVG %g\n" (Cell.to_string schema cell) (Agg.value Agg.Avg agg))
+    (Qc_core.Query.range tree range);
+
+  (* 6. An iceberg query: classes with SUM(Sale) of at least 10. *)
+  let index = Qc_core.Query.make_index tree Agg.Sum in
+  print_endline "Iceberg query (SUM >= 10):";
+  List.iter
+    (fun (cell, agg) ->
+      Printf.printf "  %s -> SUM %g\n" (Cell.to_string schema cell) (Agg.value Agg.Sum agg))
+    (Qc_core.Query.iceberg index ~threshold:10.0)

@@ -1,0 +1,1 @@
+lib/cube/agg.ml: Float Format Printf

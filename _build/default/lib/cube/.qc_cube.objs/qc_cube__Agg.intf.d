@@ -1,0 +1,1 @@
+lib/cube/agg.mli: Format

@@ -1,0 +1,1 @@
+lib/cube/buc.ml: Array Cell List Qc_util Table

@@ -1,0 +1,1 @@
+lib/cube/buc.mli: Agg Cell Table

@@ -1,0 +1,1 @@
+lib/cube/cell.ml: Array Hashtbl List Printf Qc_util Schema String

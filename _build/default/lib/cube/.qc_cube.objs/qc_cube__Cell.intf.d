@@ -1,0 +1,1 @@
+lib/cube/cell.mli: Hashtbl Schema

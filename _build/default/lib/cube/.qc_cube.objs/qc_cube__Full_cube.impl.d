@@ -1,0 +1,1 @@
+lib/cube/full_cube.ml: Agg Buc Cell Qc_util

@@ -1,0 +1,1 @@
+lib/cube/full_cube.mli: Agg Cell Table

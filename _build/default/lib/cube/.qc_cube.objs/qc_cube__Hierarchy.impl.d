@@ -1,0 +1,1 @@
+lib/cube/hierarchy.ml: Array Hashtbl List Printf Qc_util Schema

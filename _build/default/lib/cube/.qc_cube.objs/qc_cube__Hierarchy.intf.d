@@ -1,0 +1,1 @@
+lib/cube/hierarchy.mli: Schema

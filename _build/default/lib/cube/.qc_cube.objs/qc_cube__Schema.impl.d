@@ -1,0 +1,1 @@
+lib/cube/schema.ml: Array List Qc_util

@@ -1,0 +1,1 @@
+lib/cube/schema.mli: Qc_util

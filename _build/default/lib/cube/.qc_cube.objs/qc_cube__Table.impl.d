@@ -1,0 +1,1 @@
+lib/cube/table.ml: Agg Array Cell List Schema

@@ -1,0 +1,1 @@
+lib/cube/table.mli: Agg Cell Schema

@@ -1,0 +1,57 @@
+type t = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type func = Count | Sum | Avg | Min | Max
+
+let empty = { count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+let of_measure m = { count = 1; sum = m; min = m; max = m }
+
+let merge a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+  }
+
+let unmerge a b =
+  { count = a.count - b.count; sum = a.sum -. b.sum; min = a.min; max = a.max }
+
+let value func t =
+  match func with
+  | Count -> float_of_int t.count
+  | Sum -> t.sum
+  | Avg -> if t.count = 0 then nan else t.sum /. float_of_int t.count
+  | Min -> t.min
+  | Max -> t.max
+
+let equal a b = a.count = b.count && a.sum = b.sum && a.min = b.min && a.max = b.max
+
+let approx_equal ?(eps = 1e-6) a b =
+  let close x y =
+    x = y || Float.abs (x -. y) <= eps *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  in
+  a.count = b.count && close a.sum b.sum && close a.min b.min && close a.max b.max
+
+let func_of_string = function
+  | "count" | "COUNT" -> Count
+  | "sum" | "SUM" -> Sum
+  | "avg" | "AVG" -> Avg
+  | "min" | "MIN" -> Min
+  | "max" | "MAX" -> Max
+  | s -> invalid_arg (Printf.sprintf "Agg.func_of_string: %S" s)
+
+let func_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let pp ppf t =
+  Format.fprintf ppf "{count=%d; sum=%g; min=%g; max=%g}" t.count t.sum t.min t.max

@@ -1,0 +1,47 @@
+(** Aggregate summaries.
+
+    Cover-equivalent cells have the same value for {e any} aggregate of any
+    measure (Lemma 1), so a QC-tree class node stores one mergeable summary
+    from which COUNT, SUM, AVG, MIN and MAX are all read off.  Summaries form
+    a commutative monoid under {!merge}, which is what the construction and
+    insertion algorithms need; deletion additionally uses {!unmerge} for the
+    COUNT/SUM/AVG part (MIN/MAX are not invertible and are recomputed by the
+    maintenance layer). *)
+
+type t = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type func = Count | Sum | Avg | Min | Max
+
+val empty : t
+(** Identity of {!merge}; the summary of zero tuples. *)
+
+val of_measure : float -> t
+(** Summary of a single tuple. *)
+
+val merge : t -> t -> t
+
+val unmerge : t -> t -> t
+(** [unmerge a b] removes [b]'s contribution from [a] for the invertible
+    components; the [min]/[max] fields of the result are {b stale} and must
+    be recomputed by the caller if needed. *)
+
+val value : func -> t -> float
+(** Read one aggregate off the summary.  [Avg] of an empty summary is
+    [nan]. *)
+
+val equal : t -> t -> bool
+(** Structural equality with exact float comparison — summaries built from
+    the same multiset of measures by any merge tree compare equal only if
+    float addition orders agree, so tests use {!approx_equal} instead. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val func_of_string : string -> func
+val func_to_string : func -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** BUC: BottomUpCube computation (Beyer & Ramakrishnan, SIGMOD 1999).
+
+    BUC materializes every non-empty cube cell (optionally with iceberg
+    pruning on COUNT) by recursive partitioning of an index array.  The paper
+    uses BUC's output as the reference "original data cube" against which the
+    compression ratios of Figure 12 and Figure 15 are measured; we use it the
+    same way and additionally as the ground-truth oracle for query tests.
+
+    The interface is streaming — cells are handed to a callback — so that
+    Figure 15-scale cubes can be {e counted} without being stored. *)
+
+val compute : ?min_support:int -> Table.t -> (Cell.t -> Agg.t -> unit) -> unit
+(** [compute ?min_support table emit] calls [emit cell agg] exactly once for
+    every cube cell whose cover set contains at least [min_support] tuples
+    (default 1, i.e. the full cube).  The cell passed to [emit] is fresh and
+    owned by the callback. *)
+
+val count_cells : ?min_support:int -> Table.t -> int
+(** Number of cells the full (or iceberg) cube materializes. *)
+
+val cube_bytes : ?min_support:int -> Table.t -> int
+(** Size of the materialized cube under the shared byte-cost model. *)

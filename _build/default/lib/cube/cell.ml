@@ -1,0 +1,80 @@
+type t = int array
+
+let all = 0
+
+let make_all n = Array.make n all
+
+let copy = Array.copy
+
+let equal (a : t) (b : t) = a = b
+
+let is_base c = Array.for_all (fun v -> v <> all) c
+
+let n_stars c = Array.fold_left (fun acc v -> if v = all then acc + 1 else acc) 0 c
+
+let rolls_up_to c d =
+  let n = Array.length c in
+  let rec go i = i >= n || ((d.(i) = all || d.(i) = c.(i)) && go (i + 1)) in
+  go 0
+
+let covers c t =
+  let n = Array.length c in
+  let rec go i = i >= n || ((c.(i) = all || c.(i) = t.(i)) && go (i + 1)) in
+  go 0
+
+let meet a b = Array.init (Array.length a) (fun i -> if a.(i) = b.(i) then a.(i) else all)
+
+let dominates d c =
+  let n = Array.length c in
+  let rec go i = i >= n || ((c.(i) = all || d.(i) = c.(i)) && go (i + 1)) in
+  go 0
+
+let compare_dict (a : t) (b : t) =
+  (* Code 0 is [*] and integer comparison already puts it first; value codes
+     within a dimension are compared by their dictionary codes, which is the
+     "arbitrary but fixed" per-dimension order the paper allows. *)
+  compare a b
+
+let compare_rev_dict (a : t) (b : t) =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else if a.(i) = b.(i) then go (i + 1)
+    else if a.(i) = all then 1
+    else if b.(i) = all then -1
+    else compare a.(i) b.(i)
+  in
+  go 0
+
+let to_string schema c =
+  let render i v = Schema.decode_value schema i v in
+  "(" ^ String.concat ", " (Array.to_list (Array.mapi render c)) ^ ")"
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash (c : t) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length c - 1 do
+      h := (!h lxor c.(i)) * 0x01000193 land max_int
+    done;
+    !h
+end)
+
+let parse schema values =
+  let n = Schema.n_dims schema in
+  if List.length values <> n then invalid_arg "Cell.parse: arity mismatch";
+  let cell = Array.make n all in
+  List.iteri
+    (fun i v ->
+      if v <> "*" then
+        match Qc_util.Dict.find (Schema.dict schema i) v with
+        | Some code -> cell.(i) <- code
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Cell.parse: unknown value %S in dimension %s" v
+               (Schema.dim_name schema i)))
+    values;
+  cell

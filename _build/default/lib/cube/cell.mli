@@ -1,0 +1,65 @@
+(** Cube cells and the roll-up / drill-down lattice.
+
+    A cell is an [int array] of dimension value codes; code [0] denotes [*]
+    (the ALL value).  A base-table tuple is a cell without [*].  Cell [c]
+    {e rolls up to} [d] when [d] generalizes [c]: on every dimension where
+    they differ, [d] holds [*].  Equivalently [d] {e covers} every tuple that
+    [c] covers. *)
+
+type t = int array
+
+val all : int
+(** The code of the [*] value (0). *)
+
+val make_all : int -> t
+(** [make_all n] is the n-dimensional cell [(*, ..., *)]. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val is_base : t -> bool
+(** A cell with no [*] value, i.e. a potential base tuple. *)
+
+val n_stars : t -> int
+
+val rolls_up_to : t -> t -> bool
+(** [rolls_up_to c d]: [d] generalizes [c] ([c ⊑ d] would be written [d ≼ c]
+    in cover-set terms; here we follow the paper: wherever [c] and [d]
+    differ, [d] is [*]). *)
+
+val covers : t -> t -> bool
+(** [covers c t] holds when base tuple [t] rolls up to cell [c]: on every
+    non-[*] dimension of [c], [t] agrees with [c]. *)
+
+val meet : t -> t -> t
+(** [meet a b] is the greatest lower bound in the generalization order used
+    by the maintenance algorithms: it keeps a value where [a] and [b] agree
+    and puts [*] elsewhere (written [a ⋀ b] in the paper). *)
+
+val dominates : t -> t -> bool
+(** [dominates d c]: on every non-[*] dimension of [c], [d] agrees with [c].
+    This is [meet d c = c], i.e. [c] rolls up to... note the direction:
+    [dominates d c = rolls_up_to c d] would require [d]'s extra dimensions to
+    be [*]; here instead [d] may specialize further.  Used to check that a
+    class upper bound is consistent with a query cell. *)
+
+val compare_dict : t -> t -> int
+(** Dictionary order on upper-bound strings: dimension by dimension with [*]
+    preceding every proper value.  This is the insertion order of
+    Algorithm 1. *)
+
+val compare_rev_dict : t -> t -> int
+(** Reverse dictionary order with [*] last — the processing order of the
+    deletion algorithm. *)
+
+val to_string : Schema.t -> t -> string
+(** Render as [(v1, v2, ..., vn)] with [*] for ALL values. *)
+
+val parse : Schema.t -> string list -> t
+(** [parse schema values] encodes a list of external values ("*" for ALL),
+    one per dimension, into a cell.
+    @raise Invalid_argument on arity mismatch or unknown value. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by cells (FNV-1a over the value codes). *)

@@ -1,0 +1,18 @@
+module Tbl = Cell.Tbl
+
+type t = Agg.t Tbl.t
+
+let compute ?min_support table =
+  let t = Tbl.create 4096 in
+  Buc.compute ?min_support table (fun cell agg -> Tbl.replace t cell agg);
+  t
+
+let find t c = Tbl.find_opt t c
+
+let n_cells t = Tbl.length t
+
+let iter f t = Tbl.iter f t
+
+let fold f t init = Tbl.fold f t init
+
+let bytes t ~dims = Qc_util.Size.bytes_of_cells ~dims ~cells:(n_cells t)

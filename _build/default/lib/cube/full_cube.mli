@@ -1,0 +1,22 @@
+(** Materialized full cube: the ground-truth oracle.
+
+    A hash table from cells to aggregate summaries, filled by {!Buc}.  Used
+    by the test suite to validate QC-tree and Dwarf query answering, and by
+    the benchmark harness when the cube is small enough to store. *)
+
+type t
+
+val compute : ?min_support:int -> Table.t -> t
+
+val find : t -> Cell.t -> Agg.t option
+(** [find t c] is the aggregate of cell [c], or [None] when [c]'s cover set
+    is empty (below the iceberg threshold). *)
+
+val n_cells : t -> int
+
+val iter : (Cell.t -> Agg.t -> unit) -> t -> unit
+
+val fold : (Cell.t -> Agg.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val bytes : t -> dims:int -> int
+(** Size under the shared byte-cost model. *)

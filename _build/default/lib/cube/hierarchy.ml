@@ -1,0 +1,97 @@
+type concept = string
+
+type node = {
+  name : concept;
+  parent : concept option;
+  mutable sub : concept list;  (** reverse declaration order *)
+  mutable values : string list;  (** reverse assignment order *)
+}
+
+type t = {
+  schema : Schema.t;
+  dim : int;
+  nodes : (concept, node) Hashtbl.t;
+  mutable order : concept list;  (** reverse declaration order *)
+  of_value : (string, concept) Hashtbl.t;
+}
+
+let create schema ~dim =
+  if dim < 0 || dim >= Schema.n_dims schema then
+    invalid_arg "Hierarchy.create: dimension out of range";
+  {
+    schema;
+    dim;
+    nodes = Hashtbl.create 64;
+    order = [];
+    of_value = Hashtbl.create 64;
+  }
+
+let dim t = t.dim
+
+let find_node t name =
+  match Hashtbl.find_opt t.nodes name with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Hierarchy: unknown concept %S" name)
+
+let add_concept t ?parent name =
+  if Hashtbl.mem t.nodes name then
+    invalid_arg (Printf.sprintf "Hierarchy.add_concept: duplicate concept %S" name);
+  (match parent with
+  | Some p ->
+    let pnode = find_node t p in
+    pnode.sub <- name :: pnode.sub
+  | None -> ());
+  Hashtbl.replace t.nodes name { name; parent; sub = []; values = [] };
+  t.order <- name :: t.order
+
+let assign t ~value name =
+  (match Qc_util.Dict.find (Schema.dict t.schema t.dim) value with
+  | Some _ -> ()
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Hierarchy.assign: %S is not a value of dimension %s" value
+         (Schema.dim_name t.schema t.dim)));
+  let node = find_node t name in
+  (* drop a previous assignment, if any *)
+  (match Hashtbl.find_opt t.of_value value with
+  | Some old ->
+    let old_node = find_node t old in
+    old_node.values <- List.filter (fun v -> v <> value) old_node.values
+  | None -> ());
+  node.values <- value :: node.values;
+  Hashtbl.replace t.of_value value name
+
+let parent t name = (find_node t name).parent
+
+let children t name = List.rev (find_node t name).sub
+
+let values_of t name = List.rev (find_node t name).values
+
+let leaves t name =
+  let acc = ref [] in
+  let rec go name =
+    let node = find_node t name in
+    List.iter
+      (fun v ->
+        match Qc_util.Dict.find (Schema.dict t.schema t.dim) v with
+        | Some code -> acc := code :: !acc
+        | None -> ())
+      node.values;
+    List.iter go node.sub
+  in
+  go name;
+  let arr = Array.of_list !acc in
+  Array.sort compare arr;
+  arr
+
+let concepts t = List.rev t.order
+
+let concept_of_value t value = Hashtbl.find_opt t.of_value value
+
+let level t name =
+  let rec up name acc =
+    match (find_node t name).parent with None -> acc | Some p -> up p (acc + 1)
+  in
+  up name 1
+
+let range_for = leaves

@@ -1,0 +1,59 @@
+(** Dimension hierarchies.
+
+    OLAP dimensions usually carry concept hierarchies (day → month →
+    quarter, city → state → country).  The paper handles them through its
+    set-valued ranges: "we have chosen to enumerate each range as a set —
+    this way, we can handle both numerical and hierarchical ranges"
+    (Section 4.2).  This module supplies the machinery that turns a
+    hierarchy node into exactly such a set: per-dimension trees over the
+    dictionary codes, with ancestor/descendant navigation and expansion of
+    an internal concept into the leaf values a range query enumerates.
+
+    A hierarchy is layered: every leaf (a dictionary value of the
+    dimension) sits at level 0 and each value has at most one parent
+    concept.  Concepts are named; they live outside the dimension's
+    dictionary. *)
+
+type t
+
+type concept = string
+
+val create : Schema.t -> dim:int -> t
+(** An empty hierarchy over dimension [dim]: every value is its own root. *)
+
+val dim : t -> int
+
+val add_concept : t -> ?parent:concept -> concept -> unit
+(** Declare a concept, optionally under a parent concept.
+    @raise Invalid_argument on duplicate concepts, unknown parents, or
+    cycles. *)
+
+val assign : t -> value:string -> concept -> unit
+(** Place a dictionary value under a concept (re-assignment allowed; the
+    value must already be in the dimension's dictionary).
+    @raise Invalid_argument on unknown values or concepts. *)
+
+val parent : t -> concept -> concept option
+
+val children : t -> concept -> concept list
+(** Direct sub-concepts, in declaration order. *)
+
+val values_of : t -> concept -> string list
+(** Dictionary values directly assigned to the concept (not descendants'). *)
+
+val leaves : t -> concept -> int array
+(** All dictionary codes under the concept, transitively — the set a range
+    query enumerates for this concept.  Sorted ascending. *)
+
+val concepts : t -> concept list
+(** All declared concepts, in declaration order. *)
+
+val concept_of_value : t -> string -> concept option
+
+val level : t -> concept -> int
+(** Distance to the concept's root (roots are level 1; raw values are
+    level 0 conceptually). *)
+
+val range_for : t -> concept -> int array
+(** Alias of {!leaves}, named for building {!Qc_core.Query.range} entries:
+    [range.(dim) <- Hierarchy.range_for h concept]. *)

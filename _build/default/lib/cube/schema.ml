@@ -1,0 +1,28 @@
+type t = {
+  dims : Qc_util.Dict.t array;
+  measure_name : string;
+}
+
+let create ?(measure_name = "measure") names =
+  if names = [] then invalid_arg "Schema.create: at least one dimension required";
+  let dims =
+    Array.of_list (List.map (fun name -> Qc_util.Dict.create ~name ()) names)
+  in
+  { dims; measure_name }
+
+let n_dims t = Array.length t.dims
+
+let dim_name t i = Qc_util.Dict.name t.dims.(i)
+
+let measure_name t = t.measure_name
+
+let dict t i = t.dims.(i)
+
+let cardinality t i = Qc_util.Dict.size t.dims.(i)
+
+let cardinalities t = Array.map Qc_util.Dict.size t.dims
+
+let encode_value t i v = Qc_util.Dict.encode t.dims.(i) v
+
+let decode_value t i code =
+  if code = 0 then "*" else Qc_util.Dict.decode t.dims.(i) code

@@ -1,0 +1,36 @@
+(** Cube schema: named dimensions with dictionary encodings and one measure.
+
+    A schema fixes the dimension order used everywhere downstream — the
+    QC-tree and Dwarf structures, dictionary sort order of class upper
+    bounds, and query representations all refer to dimensions by their
+    position in this schema. *)
+
+type t
+
+val create : ?measure_name:string -> string list -> t
+(** [create dims] builds a schema with the given dimension names, in order.
+    Each dimension starts with an empty dictionary that grows as tuples are
+    encoded. *)
+
+val n_dims : t -> int
+
+val dim_name : t -> int -> string
+
+val measure_name : t -> string
+
+val dict : t -> int -> Qc_util.Dict.t
+(** [dict t i] is the dictionary of dimension [i]. *)
+
+val cardinality : t -> int -> int
+(** [cardinality t i] is the number of distinct values seen so far in
+    dimension [i]. *)
+
+val cardinalities : t -> int array
+
+val encode_value : t -> int -> string -> int
+(** [encode_value t i v] encodes [v] in dimension [i], allocating a code if
+    needed. *)
+
+val decode_value : t -> int -> int -> string
+(** [decode_value t i code] renders a code of dimension [i]; code [0] is
+    rendered as ["*"]. *)

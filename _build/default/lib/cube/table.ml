@@ -1,0 +1,118 @@
+type t = {
+  schema : Schema.t;
+  mutable tuples : Cell.t array;
+  mutable measures : float array;
+  mutable len : int;
+}
+
+let create schema = { schema; tuples = [||]; measures = [||]; len = 0 }
+
+let schema t = t.schema
+
+let n_rows t = t.len
+
+let n_dims t = Schema.n_dims t.schema
+
+let grow t =
+  if t.len >= Array.length t.tuples then begin
+    let cap = max 16 (2 * Array.length t.tuples) in
+    let tuples = Array.make cap [||] in
+    let measures = Array.make cap 0.0 in
+    Array.blit t.tuples 0 tuples 0 t.len;
+    Array.blit t.measures 0 measures 0 t.len;
+    t.tuples <- tuples;
+    t.measures <- measures
+  end
+
+let add_encoded t cell m =
+  if Array.length cell <> n_dims t then invalid_arg "Table.add_encoded: arity mismatch";
+  if not (Cell.is_base cell) then
+    invalid_arg "Table.add_encoded: base tuples may not contain *";
+  grow t;
+  t.tuples.(t.len) <- Cell.copy cell;
+  t.measures.(t.len) <- m;
+  t.len <- t.len + 1
+
+let add_row t values m =
+  let n = n_dims t in
+  if List.length values <> n then invalid_arg "Table.add_row: arity mismatch";
+  let cell = Array.make n 0 in
+  List.iteri (fun i v -> cell.(i) <- Schema.encode_value t.schema i v) values;
+  grow t;
+  t.tuples.(t.len) <- cell;
+  t.measures.(t.len) <- m;
+  t.len <- t.len + 1
+
+let tuple t i = t.tuples.(i)
+
+let measure t i = t.measures.(i)
+
+let append t delta =
+  if delta.schema != t.schema then invalid_arg "Table.append: schemas differ";
+  for i = 0 to delta.len - 1 do
+    add_encoded t delta.tuples.(i) delta.measures.(i)
+  done
+
+let remove_rows t keep_out =
+  let out = create t.schema in
+  for i = 0 to t.len - 1 do
+    if not (keep_out i) then add_encoded out t.tuples.(i) t.measures.(i)
+  done;
+  out
+
+let sub t rows =
+  let out = create t.schema in
+  List.iter (fun i -> add_encoded out t.tuples.(i) t.measures.(i)) rows;
+  out
+
+let copy t = remove_rows t (fun _ -> false)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.tuples.(i) t.measures.(i)
+  done
+
+let find_row t cell =
+  let rec go i =
+    if i >= t.len then None
+    else if Cell.equal t.tuples.(i) cell then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let cover_agg t c =
+  let acc = ref Agg.empty in
+  for i = 0 to t.len - 1 do
+    if Cell.covers c t.tuples.(i) then acc := Agg.merge !acc (Agg.of_measure t.measures.(i))
+  done;
+  !acc
+
+let all_indices t = Array.init t.len (fun i -> i)
+
+let partition_by_dim t idx ~lo ~hi ~dim =
+  let m = hi - lo in
+  if m <= 0 then []
+  else begin
+    let slice = Array.sub idx lo m in
+    let key i = t.tuples.(i).(dim) in
+    Array.sort (fun a b -> compare (key a) (key b)) slice;
+    Array.blit slice 0 idx lo m;
+    (* Scan for group boundaries. *)
+    let groups = ref [] in
+    let start = ref lo in
+    for i = lo + 1 to hi - 1 do
+      if key idx.(i) <> key idx.(!start) then begin
+        groups := (key idx.(!start), !start, i) :: !groups;
+        start := i
+      end
+    done;
+    groups := (key idx.(!start), !start, hi) :: !groups;
+    List.rev !groups
+  end
+
+let agg_of_range t idx ~lo ~hi =
+  let acc = ref Agg.empty in
+  for i = lo to hi - 1 do
+    acc := Agg.merge !acc (Agg.of_measure t.measures.(idx.(i)))
+  done;
+  !acc

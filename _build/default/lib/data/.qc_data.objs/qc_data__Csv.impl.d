@@ -1,0 +1,1 @@
+lib/data/csv.ml: Array Buffer Fun List Printf Qc_cube Schema String Table

@@ -1,0 +1,1 @@
+lib/data/synthetic.ml: Array Cell Fun Hashtbl List Printf Qc_cube Qc_util Schema Table Zipf

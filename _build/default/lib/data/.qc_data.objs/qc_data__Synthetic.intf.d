@@ -1,0 +1,1 @@
+lib/data/synthetic.mli: Cell Qc_cube Table

@@ -1,0 +1,1 @@
+lib/data/weather.ml: Array Float List Printf Qc_cube Qc_util Schema Table Zipf

@@ -1,0 +1,1 @@
+lib/data/weather.mli: Qc_cube Table

@@ -1,0 +1,1 @@
+lib/data/zipf.ml: Array Qc_util

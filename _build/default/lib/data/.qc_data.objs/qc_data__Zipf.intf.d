@@ -1,0 +1,1 @@
+lib/data/zipf.mli: Qc_util

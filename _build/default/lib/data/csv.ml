@@ -1,0 +1,111 @@
+open Qc_cube
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_string table =
+  let schema = Table.schema table in
+  let d = Schema.n_dims schema in
+  let buf = Buffer.create 65536 in
+  let header =
+    List.init d (fun i -> Schema.dim_name schema i) @ [ Schema.measure_name schema ]
+  in
+  Buffer.add_string buf (String.concat "," (List.map quote header));
+  Buffer.add_char buf '\n';
+  Table.iter
+    (fun cell m ->
+      for i = 0 to d - 1 do
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (quote (Schema.decode_value schema i cell.(i)))
+      done;
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.17g" m);
+      Buffer.add_char buf '\n')
+    table;
+  Buffer.contents buf
+
+let save table path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string table))
+
+(* Minimal RFC-4180 field splitter. *)
+let parse_line line =
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length line in
+  let rec plain i =
+    if i >= n then finish ()
+    else
+      match line.[i] with
+      | ',' ->
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv: unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  and finish () =
+    fields := Buffer.contents buf :: !fields;
+    List.rev !fields
+  in
+  plain 0
+
+let of_string data =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' data)
+  in
+  match lines with
+  | [] -> failwith "Csv: empty input"
+  | header :: rows ->
+    let columns = parse_line header in
+    let k = List.length columns in
+    if k < 2 then failwith "Csv: need at least one dimension and a measure";
+    let dims = List.filteri (fun i _ -> i < k - 1) columns in
+    let measure_name = List.nth columns (k - 1) in
+    let schema = Schema.create ~measure_name dims in
+    let table = Table.create schema in
+    List.iter
+      (fun line ->
+        let fields = parse_line line in
+        if List.length fields <> k then
+          failwith (Printf.sprintf "Csv: row arity %d, expected %d" (List.length fields) k);
+        let values = List.filteri (fun i _ -> i < k - 1) fields in
+        let m =
+          match float_of_string_opt (List.nth fields (k - 1)) with
+          | Some m -> m
+          | None -> failwith "Csv: measure is not a number"
+        in
+        Table.add_row table values m)
+      rows;
+    table
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,18 @@
+(** CSV import and export for base tables.
+
+    The format is one header line of dimension names followed by the measure
+    name, then one line per tuple.  Fields are comma-separated; values
+    containing commas, quotes or newlines are double-quoted with embedded
+    quotes doubled (RFC 4180). *)
+
+open Qc_cube
+
+val save : Table.t -> string -> unit
+
+val to_string : Table.t -> string
+
+val load : string -> Table.t
+(** Reads the file, building a fresh schema from the header.
+    @raise Failure on malformed input. *)
+
+val of_string : string -> Table.t

@@ -1,0 +1,90 @@
+open Qc_cube
+
+type spec = {
+  dims : int;
+  cardinality : int;
+  rows : int;
+  zipf : float;
+  seed : int;
+}
+
+let default = { dims = 6; cardinality = 100; rows = 50_000; zipf = 2.0; seed = 42 }
+
+let make_schema spec =
+  let schema = Schema.create (List.init spec.dims (fun i -> Printf.sprintf "D%d" i)) in
+  for i = 0 to spec.dims - 1 do
+    for v = 1 to spec.cardinality do
+      ignore (Schema.encode_value schema i (Printf.sprintf "v%d" v))
+    done
+  done;
+  schema
+
+let fill spec rng table k =
+  let sampler = Zipf.create ~s:spec.zipf spec.cardinality in
+  let cell = Array.make spec.dims 0 in
+  for _ = 1 to k do
+    for i = 0 to spec.dims - 1 do
+      cell.(i) <- Zipf.sample sampler rng
+    done;
+    Table.add_encoded table cell (float_of_int (Qc_util.Rng.int rng 1000))
+  done
+
+let generate spec =
+  let schema = make_schema spec in
+  let table = Table.create schema in
+  fill spec (Qc_util.Rng.create spec.seed) table spec.rows;
+  table
+
+let generate_delta spec base k =
+  let delta = Table.create (Table.schema base) in
+  (* A distinct stream so the delta does not replay the base rows. *)
+  fill spec (Qc_util.Rng.create (spec.seed + 7919)) delta k;
+  delta
+
+let pick_delete_delta ~seed base k =
+  if k > Table.n_rows base then invalid_arg "Synthetic.pick_delete_delta: k too large";
+  let rng = Qc_util.Rng.create seed in
+  let idxs = Array.init (Table.n_rows base) Fun.id in
+  Qc_util.Rng.shuffle rng idxs;
+  Table.sub base (Array.to_list (Array.sub idxs 0 k))
+
+let random_point_queries ~seed ?(star_prob = 0.5) base k =
+  let rng = Qc_util.Rng.create seed in
+  let d = Table.n_dims base in
+  let n = Table.n_rows base in
+  List.init k (fun _ ->
+      (* Anchor on a random base tuple, then star out dimensions — this
+         mirrors the paper's workload where a good share of queries have
+         non-empty answers. *)
+      let anchor = Table.tuple base (Qc_util.Rng.int rng n) in
+      Array.init d (fun i ->
+          if Qc_util.Rng.float rng 1.0 < star_prob then Cell.all else anchor.(i)))
+
+let random_range_queries ~seed ?(range_dims = (1, 3)) ?(values_per_range = 3) base k =
+  let rng = Qc_util.Rng.create seed in
+  let d = Table.n_dims base in
+  let n = Table.n_rows base in
+  let lo_r, hi_r = range_dims in
+  List.init k (fun _ ->
+      let n_ranges = lo_r + Qc_util.Rng.int rng (hi_r - lo_r + 1) in
+      let dims = Array.init d Fun.id in
+      Qc_util.Rng.shuffle rng dims;
+      let range_set = Array.sub dims 0 (min n_ranges d) in
+      let anchor = Table.tuple base (Qc_util.Rng.int rng n) in
+      Array.init d (fun i ->
+          if Array.exists (( = ) i) range_set then begin
+            let card = Schema.cardinality (Table.schema base) i in
+            if values_per_range = 0 then Array.init card (fun v -> v + 1)
+            else begin
+              (* A few distinct values, anchored so ranges often hit data. *)
+              let seen = Hashtbl.create 4 in
+              Hashtbl.replace seen anchor.(i) ();
+              while Hashtbl.length seen < min values_per_range card do
+                Hashtbl.replace seen (1 + Qc_util.Rng.int rng card) ()
+              done;
+              let vs = Hashtbl.fold (fun v () acc -> v :: acc) seen [] in
+              Array.of_list (List.sort compare vs)
+            end
+          end
+          else if Qc_util.Rng.bool rng then [||]
+          else [| anchor.(i) |]))

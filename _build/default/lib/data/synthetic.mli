@@ -1,0 +1,47 @@
+(** Synthetic workloads for the Section 5 experiments.
+
+    Tuples are drawn with independent Zipf(2)-distributed dimensions, the
+    configuration the paper states for all its synthetic datasets.  All
+    generation is deterministic in the seed. *)
+
+open Qc_cube
+
+type spec = {
+  dims : int;
+  cardinality : int;  (** per dimension *)
+  rows : int;
+  zipf : float;  (** Zipf factor; the paper uses 2.0 *)
+  seed : int;
+}
+
+val default : spec
+(** 6 dimensions, cardinality 100, 50_000 rows, Zipf 2.0, seed 42. *)
+
+val generate : spec -> Table.t
+(** A fresh table under a fresh schema with dimensions [D0 .. D(dims-1)] and
+    all [cardinality] values pre-registered in each dictionary. *)
+
+val generate_delta : spec -> Table.t -> int -> Table.t
+(** [generate_delta spec base k] draws [k] additional rows under [base]'s
+    schema and distribution — the ΔDB of the maintenance experiments. *)
+
+val pick_delete_delta : seed:int -> Table.t -> int -> Table.t
+(** [pick_delete_delta ~seed base k] selects [k] distinct existing rows of
+    [base] to delete. *)
+
+val random_point_queries : seed:int -> ?star_prob:float -> Table.t -> int -> Cell.t list
+(** Random point queries: each dimension is [*] with probability [star_prob]
+    (default 0.5), otherwise a value drawn from the base table's rows so a
+    substantial share of queries hit non-empty cells. *)
+
+val random_range_queries :
+  seed:int ->
+  ?range_dims:int * int ->
+  ?values_per_range:int ->
+  Table.t ->
+  int ->
+  int array array list
+(** Random range queries in the paper's setup: between [fst range_dims] and
+    [snd range_dims] dimensions (default 1–3) carry a range of
+    [values_per_range] values (default 3, or the full cardinality when 0);
+    the other dimensions are split between [*] and point constraints. *)

@@ -1,0 +1,110 @@
+open Qc_cube
+
+type spec = {
+  rows : int;
+  scale : float;
+  seed : int;
+}
+
+let default = { rows = 100_000; scale = 0.1; seed = 1985 }
+
+let dimension_names =
+  [
+    "stationid";
+    "longitude";
+    "solar-altitude";
+    "latitude";
+    "present-weather";
+    "day";
+    "weather-change-code";
+    "hour";
+    "brightness";
+  ]
+
+let paper_cards = [| 7037; 352; 179; 152; 101; 30; 10; 8; 2 |]
+
+let cardinalities ~scale =
+  Array.map (fun c -> max 2 (int_of_float (Float.round (float_of_int c *. scale)))) paper_cards
+
+(* Per-station fixed attributes, making longitude and latitude functions of
+   the station id as in the real data. *)
+type station = {
+  longitude : int;
+  latitude : int;
+}
+
+let generate_into spec table rng k =
+  let cards = cardinalities ~scale:spec.scale in
+  let n_station = cards.(0) in
+  let station_rng = Qc_util.Rng.create (spec.seed lxor 0x5747) in
+  let stations =
+    Array.init n_station (fun _ ->
+        {
+          longitude = 1 + Qc_util.Rng.int station_rng cards.(1);
+          latitude = 1 + Qc_util.Rng.int station_rng cards.(3);
+        })
+  in
+  (* Stations report with skewed frequency; weather codes are skewed. *)
+  let station_sampler = Zipf.create ~s:1.1 n_station in
+  let weather_sampler = Zipf.create ~s:1.5 cards.(4) in
+  let change_sampler = Zipf.create ~s:1.5 cards.(6) in
+  let cell = Array.make 9 0 in
+  for _ = 1 to k do
+    let sid = Zipf.sample station_sampler rng in
+    let st = stations.(sid - 1) in
+    let day = 1 + Qc_util.Rng.int rng cards.(5) in
+    let hour = 1 + Qc_util.Rng.int rng cards.(7) in
+    (* Solar altitude is (nearly) determined by hour and latitude band. *)
+    let solar =
+      let base = (hour * cards.(2) / cards.(7)) + (st.latitude mod 7) in
+      let noise = Qc_util.Rng.int rng 3 - 1 in
+      1 + (abs (base + noise) mod cards.(2))
+    in
+    let weather = Zipf.sample weather_sampler rng in
+    (* Brightness follows hour (day vs night) with occasional overcast. *)
+    let brightness =
+      if cards.(8) <= 1 then 1
+      else if hour * 2 > cards.(7) then if Qc_util.Rng.float rng 1.0 < 0.85 then 2 else 1
+      else if Qc_util.Rng.float rng 1.0 < 0.9 then 1
+      else 2
+    in
+    cell.(0) <- sid;
+    cell.(1) <- st.longitude;
+    cell.(2) <- solar;
+    cell.(3) <- st.latitude;
+    cell.(4) <- weather;
+    cell.(5) <- day;
+    cell.(6) <- Zipf.sample change_sampler rng;
+    cell.(7) <- hour;
+    cell.(8) <- brightness;
+    (* Measure: a temperature-like reading correlated with latitude/hour. *)
+    let temp =
+      15.0
+      +. (10.0 *. Float.sin (float_of_int hour /. float_of_int cards.(7) *. 3.14159))
+      -. (float_of_int st.latitude *. 20.0 /. float_of_int cards.(3))
+      +. Qc_util.Rng.float rng 4.0
+    in
+    Table.add_encoded table cell temp
+  done
+
+let make_schema spec =
+  let schema = Schema.create ~measure_name:"temperature" dimension_names in
+  let cards = cardinalities ~scale:spec.scale in
+  List.iteri
+    (fun i _ ->
+      for v = 1 to cards.(i) do
+        ignore (Schema.encode_value schema i (Printf.sprintf "%s%d" (List.nth dimension_names i) v))
+      done)
+    dimension_names;
+  schema
+
+let generate spec =
+  let schema = make_schema spec in
+  let table = Table.create schema in
+  generate_into spec table (Qc_util.Rng.create spec.seed) spec.rows;
+  table
+
+let generate_delta spec base k =
+  let delta = Table.create (Table.schema base) in
+  generate_into spec delta (Qc_util.Rng.create (spec.seed + 104729)) k;
+  delta

@@ -1,0 +1,35 @@
+type t = {
+  s : float;
+  n : int;
+  cdf : float array;  (** cdf.(k-1) = P(rank <= k) *)
+}
+
+let create ?(s = 2.0) n =
+  if n <= 0 then invalid_arg "Zipf.create: cardinality must be positive";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { s; n; cdf }
+
+let sample t rng =
+  let u = Qc_util.Rng.float rng 1.0 in
+  (* First index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo + 1
+
+let pmf t k =
+  if k < 1 || k > t.n then 0.0
+  else if k = 1 then t.cdf.(0)
+  else t.cdf.(k - 1) -. t.cdf.(k - 2)
+
+let cardinality t = t.n

@@ -1,0 +1,21 @@
+(** Zipf-distributed sampling.
+
+    The paper's synthetic datasets draw dimension values from a Zipf
+    distribution with factor 2; skew concentrates mass on few values, which
+    is what makes cover classes coalesce and the QC-tree compress.  The
+    sampler precomputes the cumulative distribution and draws by binary
+    search, so sampling is O(log cardinality). *)
+
+type t
+
+val create : ?s:float -> int -> t
+(** [create ~s n] prepares a sampler over ranks [1 .. n] with exponent [s]
+    (default [2.0], the paper's Zipf factor): [P(k) ∝ 1 / k^s]. *)
+
+val sample : t -> Qc_util.Rng.t -> int
+(** Draw a rank in [1 .. n]. *)
+
+val pmf : t -> int -> float
+(** Probability of rank [k]. *)
+
+val cardinality : t -> int

@@ -1,0 +1,1 @@
+lib/dwarf/dwarf.ml: Agg Array Cell Hashtbl List Option Qc_cube Qc_util Schema Table

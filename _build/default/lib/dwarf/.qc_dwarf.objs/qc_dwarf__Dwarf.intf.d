@@ -1,0 +1,1 @@
+lib/dwarf/dwarf.mli: Agg Cell Qc_cube Schema Table

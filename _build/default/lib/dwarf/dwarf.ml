@@ -1,0 +1,211 @@
+open Qc_cube
+
+type node =
+  | Inner of {
+      id : int;
+      keys : int array;  (** sorted dimension values *)
+      kids : node array;
+      all : node;  (** sub-dwarf with this dimension generalized *)
+    }
+  | Leaf of {
+      id : int;
+      keys : int array;
+      aggs : Agg.t array;
+      all : Agg.t;
+    }
+
+type t = {
+  schema : Schema.t;
+  root : node option;
+  dims : int;
+}
+
+let node_id = function Inner { id; _ } -> id | Leaf { id; _ } -> id
+
+type coalescing = Hash_cons | Single_cell | No_coalescing
+
+let build ?(coalescing = Hash_cons) table =
+  let schema = Table.schema table in
+  let d = Table.n_dims table in
+  let n = Table.n_rows table in
+  let counter = ref 0 in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  (* Suffix coalescing by hash-consing: structurally identical sub-dwarfs
+     are stored once.  The immediate single-cell rule (ALL of a one-value
+     node is that value's sub-dwarf) falls out as a special case.  The
+     weaker modes exist for the ablation benchmark. *)
+  let memoize = coalescing = Hash_cons in
+  let leaf_memo : (int array * Agg.t array * Agg.t, node) Hashtbl.t = Hashtbl.create 4096 in
+  let inner_memo : (int array * int array * int, node) Hashtbl.t = Hashtbl.create 4096 in
+  let cons_leaf keys aggs all =
+    let key = (keys, aggs, all) in
+    match (if memoize then Hashtbl.find_opt leaf_memo key else None) with
+    | Some node -> node
+    | None ->
+      let node = Leaf { id = fresh (); keys; aggs; all } in
+      if memoize then Hashtbl.replace leaf_memo key node;
+      node
+  in
+  let cons_inner keys kids all =
+    let key = (keys, Array.map node_id kids, node_id all) in
+    match (if memoize then Hashtbl.find_opt inner_memo key else None) with
+    | Some node -> node
+    | None ->
+      let node = Inner { id = fresh (); keys; kids; all } in
+      if memoize then Hashtbl.replace inner_memo key node;
+      node
+  in
+  let root =
+    if n = 0 then None
+    else begin
+      let idx = Table.all_indices table in
+      let rec make lo hi level =
+        let groups = Table.partition_by_dim table idx ~lo ~hi ~dim:level in
+        if level = d - 1 then begin
+          let keys = Array.of_list (List.map (fun (v, _, _) -> v) groups) in
+          let aggs =
+            Array.of_list
+              (List.map (fun (_, glo, ghi) -> Table.agg_of_range table idx ~lo:glo ~hi:ghi) groups)
+          in
+          let all = Array.fold_left Agg.merge Agg.empty aggs in
+          cons_leaf keys aggs all
+        end
+        else begin
+          let cells =
+            List.map (fun (v, glo, ghi) -> (v, make glo ghi (level + 1))) groups
+          in
+          let keys = Array.of_list (List.map fst cells) in
+          let kids = Array.of_list (List.map snd cells) in
+          let all =
+            match kids with
+            | [| only |] when coalescing <> No_coalescing -> only
+            | _ -> make lo hi (level + 1)
+          in
+          cons_inner keys kids all
+        end
+      in
+      Some (make 0 n 0)
+    end
+  in
+  { schema; root; dims = d }
+
+let schema t = t.schema
+
+let find_key keys v =
+  (* Binary search in the sorted key array. *)
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  let found = ref (-1) in
+  while !lo < !hi && !found < 0 do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) = v then found := mid
+    else if keys.(mid) < v then lo := mid + 1
+    else hi := mid
+  done;
+  if !found < 0 then None else Some !found
+
+let point t cell =
+  if Array.length cell <> t.dims then invalid_arg "Dwarf.point: arity mismatch";
+  let rec go node level =
+    match node with
+    | Leaf { keys; aggs; all; _ } ->
+      if cell.(level) = Cell.all then Some all
+      else Option.map (fun i -> aggs.(i)) (find_key keys cell.(level))
+    | Inner { keys; kids; all; _ } ->
+      if cell.(level) = Cell.all then go all (level + 1)
+      else (
+        match find_key keys cell.(level) with
+        | Some i -> go kids.(i) (level + 1)
+        | None -> None)
+  in
+  Option.bind t.root (fun root -> go root 0)
+
+let point_value t func cell = Option.map (Agg.value func) (point t cell)
+
+type range = int array array
+
+let range t (q : range) =
+  if Array.length q <> t.dims then invalid_arg "Dwarf.range: arity mismatch";
+  let results = ref [] in
+  let inst = Cell.make_all t.dims in
+  let emit agg = results := (Cell.copy inst, agg) :: !results in
+  let rec go node level =
+    match node with
+    | Leaf { keys; aggs; all; _ } ->
+      if Array.length q.(level) = 0 then emit all
+      else
+        Array.iter
+          (fun v ->
+            match find_key keys v with
+            | Some i ->
+              inst.(level) <- v;
+              emit aggs.(i);
+              inst.(level) <- Cell.all
+            | None -> ())
+          q.(level)
+    | Inner { keys; kids; all; _ } ->
+      if Array.length q.(level) = 0 then go all (level + 1)
+      else
+        Array.iter
+          (fun v ->
+            match find_key keys v with
+            | Some i ->
+              inst.(level) <- v;
+              go kids.(i) (level + 1);
+              inst.(level) <- Cell.all
+            | None -> ())
+          q.(level)
+  in
+  Option.iter (fun root -> go root 0) t.root;
+  List.rev !results
+
+(* Fold over distinct nodes (coalesced sub-dwarfs visited once). *)
+let fold_nodes f t init =
+  let seen = Hashtbl.create 1024 in
+  let acc = ref init in
+  let rec go node =
+    let id = node_id node in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      acc := f !acc node;
+      match node with
+      | Inner { kids; all; _ } ->
+        Array.iter go kids;
+        go all
+      | Leaf _ -> ()
+    end
+  in
+  Option.iter go t.root;
+  !acc
+
+let n_nodes t = fold_nodes (fun acc _ -> acc + 1) t 0
+
+let n_cells t =
+  fold_nodes
+    (fun acc node ->
+      match node with
+      | Inner { keys; _ } -> acc + Array.length keys + 1
+      | Leaf { keys; _ } -> acc + Array.length keys + 1)
+    t 0
+
+let bytes t =
+  let open Qc_util.Size in
+  fold_nodes
+    (fun acc node ->
+      match node with
+      | Inner { keys; _ } ->
+        acc + pointer_bytes (* header *)
+        + (Array.length keys * (value_bytes + pointer_bytes))
+        + pointer_bytes (* ALL cell *)
+      | Leaf { keys; _ } ->
+        acc + pointer_bytes
+        + (Array.length keys * (value_bytes + measure_bytes))
+        + measure_bytes)
+    t 0
+
+let node_accesses t cell =
+  ignore cell;
+  match t.root with None -> 0 | Some _ -> t.dims

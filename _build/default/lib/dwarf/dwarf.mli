@@ -1,0 +1,61 @@
+(** Dwarf: a prefix- and suffix-coalesced store of the full data cube
+    (Sismanis, Deligiannakis, Roussopoulos & Kotidis, SIGMOD 2002) — the
+    comparison system of the QC-tree paper's evaluation ("[25]").
+
+    One level per dimension, in schema order.  A node holds one cell per
+    distinct value of its dimension within its tuple range plus an ALL cell;
+    a non-leaf cell points to the node for the next dimension, a leaf cell
+    holds the aggregate.  Prefix redundancy is eliminated because siblings
+    with a common prefix share the path above them; suffix redundancy is
+    eliminated by coalescing: structurally identical sub-dwarfs are stored
+    once (hash-consing), which subsumes the single-tuple rule — the ALL cell
+    of a one-value node shares that value's sub-dwarf.
+
+    A point query touches exactly [n] nodes for an [n]-dimensional cube —
+    the property the paper contrasts with QC-tree paths, which are usually
+    shorter.  The paper's authors reimplemented Dwarf ("the original code
+    was unavailable"); so do we, from the SIGMOD 2002 description. *)
+
+open Qc_cube
+
+type t
+
+type coalescing =
+  | Hash_cons  (** full structural suffix coalescing (the default) *)
+  | Single_cell  (** only the single-value-node rule of the SIGMOD'02 paper *)
+  | No_coalescing  (** prefix sharing only — the ablation baseline *)
+
+val build : ?coalescing:coalescing -> Table.t -> t
+(** Construct the Dwarf of the full data cube of [table].  [coalescing]
+    weakens the suffix-sharing strategy for the ablation benchmark; queries
+    are unaffected. *)
+
+val schema : t -> Schema.t
+
+val point : t -> Cell.t -> Agg.t option
+(** Aggregate of a cell, or [None] when its cover set is empty. *)
+
+val point_value : t -> Agg.func -> Cell.t -> float option
+
+type range = int array array
+(** Same convention as {!Qc_core.Query.range}: [[||]] per dimension means
+    [*], otherwise the enumerated values of the range. *)
+
+val range : t -> range -> (Cell.t * Agg.t) list
+(** All cells of the range present in the cube, with aggregates. *)
+
+val n_nodes : t -> int
+(** Distinct (shared nodes counted once) nodes. *)
+
+val n_cells : t -> int
+(** Distinct stored cells, ALL cells included. *)
+
+val bytes : t -> int
+(** Storage size under the shared byte-cost model: per node one header word;
+    per cell one value plus one pointer (inner) or one measure (leaf); ALL
+    cells cost a pointer/measure only.  Coalesced sub-dwarfs are counted
+    once. *)
+
+val node_accesses : t -> Cell.t -> int
+(** Number of node visits the point query performs (for the Figure 13
+    discussion: Dwarf always visits one node per dimension). *)

@@ -1,0 +1,1 @@
+lib/qc/dfs.ml: Agg Array Cell List Qc_cube Table Temp_class

@@ -1,0 +1,1 @@
+lib/qc/dfs.mli: Agg Cell Qc_cube Table Temp_class

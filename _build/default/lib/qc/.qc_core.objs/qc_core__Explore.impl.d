@@ -1,0 +1,1 @@
+lib/qc/explore.ml: Agg Array Cell Float Format Hashtbl List Qc_cube Quotient Schema String

@@ -1,0 +1,1 @@
+lib/qc/explore.mli: Agg Cell Format Qc_cube Quotient Schema

@@ -1,0 +1,1 @@
+lib/qc/maintenance.ml: Agg Array Cell Fun Hashtbl List Option Qc_cube Qc_tree Query Table

@@ -1,0 +1,1 @@
+lib/qc/maintenance.mli: Qc_cube Qc_tree Table

@@ -1,0 +1,1 @@
+lib/qc/qc_table.ml: Agg Array Cell Dfs List Qc_cube Qc_util Schema Table Temp_class

@@ -1,0 +1,1 @@
+lib/qc/qc_table.mli: Agg Cell Qc_cube Schema Table Temp_class

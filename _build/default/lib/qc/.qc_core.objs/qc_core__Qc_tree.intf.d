@@ -1,0 +1,1 @@
+lib/qc/qc_tree.mli: Agg Cell Format Qc_cube Schema Table Temp_class

@@ -1,0 +1,1 @@
+lib/qc/query.ml: Agg Array Cell Hashtbl List Option Qc_cube Qc_tree Schema

@@ -1,0 +1,1 @@
+lib/qc/query.mli: Agg Cell Qc_cube Qc_tree

@@ -1,0 +1,1 @@
+lib/qc/quotient.ml: Agg Array Cell Dfs Format Hashtbl List Option Qc_cube Qc_tree Query Schema String Table Temp_class

@@ -1,0 +1,1 @@
+lib/qc/quotient.mli: Agg Cell Format Qc_cube Schema Table Temp_class

@@ -1,0 +1,1 @@
+lib/qc/serial.mli: Qc_tree

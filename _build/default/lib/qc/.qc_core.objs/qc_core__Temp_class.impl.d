@@ -1,0 +1,1 @@
+lib/qc/temp_class.ml: Agg Cell Format Qc_cube

@@ -1,0 +1,1 @@
+lib/qc/temp_class.mli: Agg Cell Format Qc_cube Schema

@@ -1,0 +1,1 @@
+lib/qc/whatif.ml: Agg Cell List Maintenance Option Qc_cube Qc_tree Query Table

@@ -1,0 +1,1 @@
+lib/qc/whatif.mli: Agg Cell Qc_cube Qc_tree Table

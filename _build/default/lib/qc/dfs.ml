@@ -1,0 +1,54 @@
+open Qc_cube
+
+type visit = {
+  id : int;
+  lb : Cell.t;
+  ub : Cell.t;
+  child : int;
+  agg : Agg.t;
+}
+
+let visit table f =
+  let n = Table.n_rows table in
+  let d = Table.n_dims table in
+  if n > 0 then begin
+    let idx = Table.all_indices table in
+    let counter = ref 0 in
+    (* [c] is owned by this call; [idx.(lo) .. idx.(hi-1)] is its partition;
+       [k] is the dimension expanded to reach [c] (-1 at the root). *)
+    let rec dfs c lo hi k chdid =
+      let agg = Table.agg_of_range table idx ~lo ~hi in
+      let ub = Cell.copy c in
+      for j = 0 to d - 1 do
+        if ub.(j) = Cell.all then begin
+          let v0 = (Table.tuple table idx.(lo)).(j) in
+          let rec shared i = i >= hi || ((Table.tuple table idx.(i)).(j) = v0 && shared (i + 1)) in
+          if shared (lo + 1) then ub.(j) <- v0
+        end
+      done;
+      let id = !counter in
+      incr counter;
+      f { id; lb = Cell.copy c; ub = Cell.copy ub; child = chdid; agg };
+      (* Prune: if the jump filled a dimension before the expansion
+         dimension, this bound was already examined from that dimension. *)
+      let rec filled_before j = j < k && ((c.(j) = Cell.all && ub.(j) <> Cell.all) || filled_before (j + 1)) in
+      if not (filled_before 0) then
+        for j = k + 1 to d - 1 do
+          if ub.(j) = Cell.all then
+            let groups = Table.partition_by_dim table idx ~lo ~hi ~dim:j in
+            List.iter
+              (fun (v, glo, ghi) ->
+                let c' = Cell.copy ub in
+                c'.(j) <- v;
+                dfs c' glo ghi j id)
+              groups
+        done
+    in
+    dfs (Cell.make_all d) 0 n (-1) (-1)
+  end
+
+let run table =
+  let acc = ref [] in
+  visit table (fun v ->
+      acc := { Temp_class.id = v.id; lb = v.lb; ub = v.ub; child = v.child; agg = v.agg } :: !acc);
+  List.rev !acc

@@ -1,0 +1,33 @@
+(** Depth-first discovery of cover-partition classes (paper Section 3.2,
+    Function [DFS] of Algorithm 1).
+
+    Starting from [(*, ..., *)], the search visits cells obtained by
+    specializing one dimension at a time.  At each visited cell it "jumps" to
+    the class upper bound — for every [*] dimension on which all tuples of
+    the current partition agree, the shared value is filled in — and records
+    a temporary class.  Redundant visits are pruned by the bound-jump rule:
+    if the jump filled a dimension before the current expansion dimension,
+    the same class was already generated from that earlier dimension.
+
+    The traversal is also the engine of batch maintenance (Algorithm 2),
+    which runs it over the delta table with a different per-visit action, so
+    the visit loop is exposed as a higher-order function. *)
+
+open Qc_cube
+
+type visit = {
+  id : int;  (** sequential visit id (pre-order) *)
+  lb : Cell.t;  (** the visited cell — a lower bound of its class *)
+  ub : Cell.t;  (** the class upper bound within the searched table *)
+  child : int;  (** visit id of the lattice child class, [-1] for the root *)
+  agg : Agg.t;  (** aggregate of the partition (the class cover set) *)
+}
+
+val visit : Table.t -> (visit -> unit) -> unit
+(** [visit table f] runs the depth-first search over [table] and calls [f]
+    once per recorded temporary class, in generation order.  The [lb] and
+    [ub] cells are fresh copies owned by [f]. *)
+
+val run : Table.t -> Temp_class.t list
+(** All temporary classes of [table], in generation order — the output of
+    the first phase of Algorithm 1 (cf. paper Figure 6). *)

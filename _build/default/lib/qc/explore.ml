@@ -1,0 +1,75 @@
+open Qc_cube
+
+let drill_down q cell ~dim ~value =
+  let c = Cell.copy cell in
+  c.(dim) <- value;
+  Quotient.class_of_cell q c
+
+let roll_up q cell ~dim =
+  let c = Cell.copy cell in
+  c.(dim) <- Cell.all;
+  Quotient.class_of_cell q c
+
+type rollup_result = {
+  start_class : Quotient.cls;
+  region : Quotient.cls list;
+  most_general : Quotient.cls list;
+}
+
+let intelligent_rollup ?(eps = 1e-9) q func cell =
+  match Quotient.class_of_cell q cell with
+  | None -> None
+  | Some start ->
+    let target = Agg.value func start.agg in
+    let same (c : Quotient.cls) =
+      let v = Agg.value func c.agg in
+      v = target || Float.abs (v -. target) <= eps *. Float.max 1.0 (Float.abs target)
+    in
+    let visited = Hashtbl.create 64 in
+    let region = ref [] in
+    (* Walk toward more general classes (lattice children) while the
+       aggregate value is preserved. *)
+    let rec walk cid =
+      if not (Hashtbl.mem visited cid) then begin
+        Hashtbl.replace visited cid ();
+        let c = Quotient.find q cid in
+        if same c then begin
+          region := c :: !region;
+          List.iter walk c.children
+        end
+      end
+    in
+    walk start.cid;
+    let region = List.rev !region in
+    let in_region cid = List.exists (fun (c : Quotient.cls) -> c.cid = cid) region in
+    let most_general =
+      List.filter
+        (fun (c : Quotient.cls) -> not (List.exists in_region c.children))
+        region
+    in
+    Some { start_class = start; region; most_general }
+
+let equivalent_drilldowns q cell =
+  let schema = Quotient.schema q in
+  let dims = Schema.n_dims schema in
+  let acc = ref [] in
+  for dim = 0 to dims - 1 do
+    if cell.(dim) = Cell.all then
+      for value = 1 to Schema.cardinality schema dim do
+        match drill_down q cell ~dim ~value with
+        | Some cls -> acc := (dim, value, cls) :: !acc
+        | None -> ()
+      done
+  done;
+  List.rev !acc
+
+let pp_rollup schema ppf r =
+  Format.fprintf ppf "start: %a@." (Quotient.pp_class schema) r.start_class;
+  Format.fprintf ppf "region of %d class(es) with the same aggregate@."
+    (List.length r.region);
+  List.iter
+    (fun (c : Quotient.cls) ->
+      Format.fprintf ppf "  most general: ub=%s lbs={%s}@."
+        (Cell.to_string schema c.ub)
+        (String.concat "; " (List.map (Cell.to_string schema) c.lbs)))
+    r.most_general

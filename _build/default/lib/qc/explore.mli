@@ -1,0 +1,46 @@
+(** Semantic OLAP exploration over the quotient lattice (paper Sections 1-2).
+
+    The quotient cube is not only a compression device: navigation moves
+    between {e classes} rather than cells, which both shrinks the search
+    space and surfaces regularities — e.g. two different drill-down paths
+    reaching the same class reveal that the specializations are semantically
+    equivalent.  This module implements the operations the paper motivates:
+    class-level roll-up/drill-down, drilling {e into} a class, and
+    intelligent roll-up ("the most general circumstances under which the
+    observed aggregate still holds"). *)
+
+open Qc_cube
+
+val drill_down : Quotient.t -> Cell.t -> dim:int -> value:int -> Quotient.cls option
+(** Class reached by specializing one dimension of a cell; [None] when the
+    resulting cell has empty cover. *)
+
+val roll_up : Quotient.t -> Cell.t -> dim:int -> Quotient.cls option
+(** Class reached by generalizing one dimension to [*]. *)
+
+type rollup_result = {
+  start_class : Quotient.cls;
+  region : Quotient.cls list;
+      (** every class reachable from the start by drill-downs to more general
+          classes while the aggregate stays equal *)
+  most_general : Quotient.cls list;
+      (** the frontier of [region]: classes none of whose lattice children
+          keep the aggregate *)
+}
+
+val intelligent_rollup :
+  ?eps:float -> Quotient.t -> Agg.func -> Cell.t -> rollup_result option
+(** [intelligent_rollup q func cell] answers "starting from [cell], what are
+    the most general circumstances where [func] keeps its value?" by
+    searching the class lattice instead of the exponential cell
+    neighbourhood (the paper's Section 1 example).  [None] when [cell] is
+    not in the cube. *)
+
+val equivalent_drilldowns :
+  Quotient.t -> Cell.t -> (int * int * Quotient.cls) list
+(** All one-dimension specializations of a cell, grouped by target class:
+    entries [(dim, value, cls)].  Specializations sharing a class are
+    semantically equivalent refinements — the "interesting pattern"
+    discussed at the end of the paper's Section 1. *)
+
+val pp_rollup : Schema.t -> Format.formatter -> rollup_result -> unit

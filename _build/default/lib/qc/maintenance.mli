@@ -1,0 +1,57 @@
+(** Incremental maintenance of QC-trees (paper Section 3.3).
+
+    Insertions may update class measures, split classes, or create new
+    classes (never merge); deletions may update measures, delete classes, or
+    merge a class into a more specific one (never split, never create).  Both
+    directions run a depth-first search over the {e delta} table only, locate
+    affected classes through point-query searches on the existing tree, and
+    patch the tree in place — the full base table is never re-searched, which
+    is where the speedup over recomputation comes from (Figure 14).
+
+    After any maintenance operation the tree answers every query exactly as a
+    tree rebuilt from scratch would (the operational content of the paper's
+    Theorem 2); the test suite checks this property exhaustively on
+    randomized instances.  Batch insertion additionally produces a tree that
+    is {e structurally identical} to a rebuild.  After deletions the tree may
+    retain a few redundant drill-down links (they never change any answer and
+    are counted honestly in the size benchmarks). *)
+
+open Qc_cube
+
+type insert_stats = {
+  updated : int;  (** classes whose measure was updated in place *)
+  carved : int;  (** classes split off an existing class (cases 2 and 3) *)
+  fresh : int;  (** classes created for newly covered cells *)
+  located : int;  (** point-query searches issued on the old tree *)
+}
+
+val insert_batch : Qc_tree.t -> base:Table.t -> delta:Table.t -> insert_stats
+(** Algorithm 2: batch insertion of [delta].  The tree is patched in place
+    and [delta]'s rows are appended to [base] (both must share the tree's
+    schema instance). *)
+
+val insert_tuples : Qc_tree.t -> base:Table.t -> delta:Table.t -> insert_stats
+(** Tuple-by-tuple insertion: one Algorithm 2 run per row of [delta].  The
+    baseline the paper compares batch insertion against. *)
+
+type delete_stats = {
+  removed : int;  (** classes whose cover set became empty *)
+  merged : int;  (** classes merged into a more specific class *)
+  updated_classes : int;  (** classes whose measure was updated *)
+}
+
+val delete_batch : Qc_tree.t -> base:Table.t -> delta:Table.t -> Table.t * delete_stats
+(** Batch deletion.  Every row of [delta] must occur in [base] (same
+    dimension values and measure); rows are matched as a multiset.  Returns
+    the new base table.
+    @raise Invalid_argument if some delta row is missing from the base. *)
+
+val update_batch :
+  Qc_tree.t ->
+  base:Table.t ->
+  old_rows:Table.t ->
+  new_rows:Table.t ->
+  Table.t * delete_stats * insert_stats
+(** Modification, simulated as the paper prescribes by a deletion of
+    [old_rows] followed by an insertion of [new_rows].  Returns the new base
+    table (with [new_rows] appended) and the statistics of both phases. *)

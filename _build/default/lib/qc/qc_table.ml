@@ -1,0 +1,62 @@
+open Qc_cube
+
+type t = {
+  schema : Schema.t;
+  ubs : Cell.t array;
+  aggs : Agg.t array;
+}
+
+let of_temp_classes schema classes =
+  let sorted = List.sort Temp_class.compare_for_insertion classes in
+  let rows =
+    let rec dedup last acc = function
+      | [] -> List.rev acc
+      | (tc : Temp_class.t) :: rest -> (
+        match last with
+        | Some ub when Cell.equal ub tc.ub -> dedup last acc rest
+        | _ -> dedup (Some tc.ub) ((tc.ub, tc.agg) :: acc) rest)
+    in
+    dedup None [] sorted
+  in
+  {
+    schema;
+    ubs = Array.of_list (List.map fst rows);
+    aggs = Array.of_list (List.map snd rows);
+  }
+
+let of_table table = of_temp_classes (Table.schema table) (Dfs.run table)
+
+let schema t = t.schema
+
+let n_classes t = Array.length t.ubs
+
+let find_ub t cell =
+  let lo = ref 0 and hi = ref (Array.length t.ubs) in
+  let found = ref None in
+  while !lo < !hi && !found = None do
+    let mid = (!lo + !hi) / 2 in
+    let c = Cell.compare_dict t.ubs.(mid) cell in
+    if c = 0 then found := Some t.aggs.(mid)
+    else if c < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+let find_cell t cell =
+  (* The class of [cell] is the dominating upper bound with the smallest
+     cover set: every dominating bound's class covers a superset of [cell]'s
+     cover, and [cell]'s own class dominates it with exactly that cover. *)
+  let best = ref None in
+  for i = 0 to Array.length t.ubs - 1 do
+    if Cell.dominates t.ubs.(i) cell then
+      match !best with
+      | Some (a : Agg.t) when a.count <= t.aggs.(i).Agg.count -> ()
+      | _ -> best := Some t.aggs.(i)
+  done;
+  !best
+
+let iter f t = Array.iteri (fun i ub -> f ub t.aggs.(i)) t.ubs
+
+let bytes t =
+  let open Qc_util.Size in
+  n_classes t * ((Schema.n_dims t.schema * value_bytes) + pointer_bytes + measure_bytes)

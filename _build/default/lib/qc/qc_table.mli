@@ -1,0 +1,37 @@
+(** QC-table: the flat-relation representation of a cover quotient cube.
+
+    The paper uses "QC-table" — all class upper bounds stored plainly in a
+    relational table with their aggregates — as the storage baseline between
+    the full cube and the QC-tree in the Figure 12/15 comparisons.  It
+    answers exact-upper-bound lookups by binary search but, unlike the
+    QC-tree, cannot locate the class of an arbitrary cell without scanning,
+    which is the point the paper makes. *)
+
+open Qc_cube
+
+type t
+
+val of_temp_classes : Schema.t -> Temp_class.t list -> t
+(** Deduplicate temporary classes by upper bound and store one row per
+    class, sorted in dictionary order. *)
+
+val of_table : Table.t -> t
+
+val schema : t -> Schema.t
+
+val n_classes : t -> int
+
+val find_ub : t -> Cell.t -> Agg.t option
+(** Exact-match lookup of a class upper bound (binary search). *)
+
+val find_cell : t -> Cell.t -> Agg.t option
+(** Aggregate of an arbitrary cell, by scanning for its class: the class of
+    cell [c] is the row with the smallest cover set among rows whose upper
+    bound dominates [c].  Linear in the number of classes — the QC-tree
+    replaces exactly this scan. *)
+
+val iter : (Cell.t -> Agg.t -> unit) -> t -> unit
+
+val bytes : t -> int
+(** Storage size under the shared byte-cost model: one row = n dimension
+    values + 1 class id + 1 measure. *)

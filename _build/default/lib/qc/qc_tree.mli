@@ -1,0 +1,122 @@
+(** The QC-tree: a prefix-shared representation of the class upper bounds of
+    a cover quotient cube, with drill-down links (paper Section 3).
+
+    Every class upper bound, written as the string of its non-[*] dimension
+    values in schema order, is a root-to-node path; the terminal node stores
+    the class aggregate.  Whenever a class [C] directly drills down to a
+    class [D] and [D]'s upper bound is not reached from [C]'s by a tree
+    edge, a {e link} labeled with the drill-down dimension value connects
+    [C]'s upper-bound node to [D]'s (Definition 1). *)
+
+open Qc_cube
+
+type node = private {
+  nid : int;
+  dim : int;  (** dimension of [label]; [-1] at the root *)
+  label : int;  (** dimension value code; [0] at the root *)
+  parent : node option;
+  mutable children : node list;  (** tree edges, in insertion order *)
+  mutable links : (int * int * node) list;  (** links [(dim, label, target)] *)
+  mutable agg : Agg.t option;  (** class aggregate; [None] on prefix nodes *)
+  mutable last_child_cache : node option;  (** internal navigation cache *)
+}
+
+type t
+
+val create : Schema.t -> t
+(** An empty tree (root only) over the given schema. *)
+
+val schema : t -> Schema.t
+
+val root : t -> node
+
+(** {1 Construction} *)
+
+val of_temp_classes : Schema.t -> Temp_class.t list -> t
+(** Second phase of Algorithm 1: sort the temporary classes by upper bound in
+    dictionary order ([*] first) and insert them — fresh upper bounds extend
+    the tree, repeated upper bounds add one drill-down link from the lattice
+    child class's upper-bound node. *)
+
+val of_table : Table.t -> t
+(** Algorithm 1 end to end: DFS over the base table, then
+    {!of_temp_classes}. *)
+
+val copy : t -> t
+(** An independent deep copy (canonically equal to the original); used by
+    what-if analysis to try hypothetical maintenance without committing. *)
+
+(** {1 Low-level mutators} — used by construction and by the incremental
+    maintenance algorithms.  They keep the internal edge index consistent. *)
+
+val find_edge : t -> node -> int -> int -> node option
+(** Tree-edge lookup by (dimension, label). *)
+
+val find_edge_or_link : t -> node -> int -> int -> node option
+
+val insert_path : t -> Cell.t -> node
+(** Walk (and extend where needed) the path of an upper bound; returns the
+    terminal node.  Does not touch aggregates. *)
+
+val find_path : t -> Cell.t -> node option
+(** Walk the path of an upper bound through tree edges only, without
+    extending. *)
+
+val set_agg : node -> Agg.t option -> unit
+
+val add_link : t -> src:node -> dim:int -> label:int -> dst:node -> unit
+(** Adds a drill-down link; idempotent when the identical link is present.
+    @raise Invalid_argument if a different edge/link already carries the same
+    (dimension, label) out of [src]. *)
+
+val remove_link : t -> src:node -> dim:int -> label:int -> unit
+
+val prune_upward : t -> node -> unit
+(** Remove [node] if it carries no aggregate, no children and no links, then
+    recursively try its parent — used after deletions. *)
+
+val drop_links_to_dead_targets : t -> unit
+(** Remove every link whose target node is no longer reachable from the
+    root.  Deletion maintenance calls this once after classes have been
+    deleted or merged and empty branches pruned. *)
+
+(** {1 Inspection} *)
+
+val node_cell : t -> node -> Cell.t
+(** Reconstruct the cell spelled by the root-to-node path ([*] in dimensions
+    the path skips). *)
+
+val last_dim_child : node -> node option
+(** The child on the node's last (maximal) dimension — the hop of Lemma 2.
+    When several children share the maximal dimension (possible only while a
+    query cell has an empty cover set) the one latest in dictionary order is
+    returned. *)
+
+val iter_nodes : (node -> unit) -> t -> unit
+(** Pre-order traversal over all nodes. *)
+
+val iter_classes : (node -> Cell.t -> Agg.t -> unit) -> t -> unit
+(** Visit every class node with its reconstructed upper bound. *)
+
+val n_nodes : t -> int
+val n_links : t -> int
+val n_classes : t -> int
+
+val bytes : t -> int
+(** Storage size under the shared byte-cost model: every node costs one label
+    plus one pointer (its slot in the parent), class nodes add one measure,
+    and every link costs one label plus one pointer. *)
+
+val canonical_string : t -> string
+(** A canonical rendering — children and links sorted by (dimension, label),
+    link targets identified by their paths — such that two trees represent
+    the same QC-tree iff their canonical strings are equal.  Aggregates are
+    rendered with rounding tolerant of float-summation order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable tree dump (for examples and debugging). *)
+
+val validate : t -> (unit, string) result
+(** Check structural invariants: strictly increasing dimensions along paths,
+    index consistency, links targeting class nodes, no duplicate (dim, label)
+    out of a node. *)

@@ -1,0 +1,234 @@
+open Qc_cube
+
+(* Function [searchroute] of Algorithm 3: reach a step labeled [(dim, v)]
+   from [node], hopping through last-dimension children (Lemma 2) while they
+   stay in earlier dimensions. *)
+let rec searchroute t node dim v =
+  match Qc_tree.find_edge_or_link t node dim v with
+  | Some n -> Some n
+  | None -> (
+    match Qc_tree.last_dim_child node with
+    | Some child when child.Qc_tree.dim < dim -> searchroute t child dim v
+    | Some _ | None -> None)
+
+(* Descend through last-dimension children until a class node. *)
+let rec descend_to_class node =
+  match node.Qc_tree.agg with
+  | Some agg -> Some (node, agg)
+  | None -> (
+    match Qc_tree.last_dim_child node with
+    | Some child -> descend_to_class child
+    | None -> None)
+
+(* Soundness check without materializing the path cell: the reached upper
+   bound must agree with the query cell on all its instantiated dimensions;
+   then its class covers the query cell's cover set, so the cell is in the
+   cube and — by Lemma 2 — this is exactly its class. *)
+let path_dominates (node : Qc_tree.node) (cell : Cell.t) =
+  let needed = ref 0 in
+  for i = 0 to Array.length cell - 1 do
+    if cell.(i) <> Cell.all then incr needed
+  done;
+  let rec up (n : Qc_tree.node) matched =
+    match n.parent with
+    | None -> matched = !needed
+    | Some p ->
+      if cell.(n.dim) = Cell.all then up p matched
+      else if cell.(n.dim) = n.label then up p (matched + 1)
+      else false
+  in
+  up node 0
+
+let locate_with_agg t cell =
+  let d = Array.length cell in
+  let rec consume node i =
+    if i >= d then descend_to_class node
+    else if cell.(i) = Cell.all then consume node (i + 1)
+    else
+      match searchroute t node i cell.(i) with
+      | Some next -> consume next (i + 1)
+      | None -> None
+  in
+  match consume (Qc_tree.root t) 0 with
+  | None -> None
+  | Some (node, agg) -> if path_dominates node cell then Some (node, agg) else None
+
+let point t cell = Option.map snd (locate_with_agg t cell)
+
+let point_value t func cell = Option.map (Agg.value func) (point t cell)
+
+let locate t cell = Option.map fst (locate_with_agg t cell)
+
+type range = int array array
+
+let check_range t (q : range) =
+  if Array.length q <> Schema.n_dims (Qc_tree.schema t) then
+    invalid_arg "Query.range: arity mismatch with schema"
+
+let range t (q : range) =
+  check_range t q;
+  let d = Array.length q in
+  let inst = Cell.make_all d in
+  let results = ref [] in
+  let verify node agg =
+    if path_dominates node inst then results := (Cell.copy inst, agg) :: !results
+  in
+  let rec go node i =
+    if i >= d then Option.iter (fun (n, a) -> verify n a) (descend_to_class node)
+    else if Array.length q.(i) = 0 then go node (i + 1)
+    else
+      Array.iter
+        (fun v ->
+          inst.(i) <- v;
+          (match searchroute t node i v with Some next -> go next (i + 1) | None -> ());
+          inst.(i) <- Cell.all)
+        q.(i)
+  in
+  go (Qc_tree.root t) 0;
+  List.rev !results
+
+let range_of_cells t (q : range) =
+  check_range t q;
+  let d = Array.length q in
+  let acc = ref [] in
+  let inst = Cell.make_all d in
+  let rec go i =
+    if i >= d then acc := Cell.copy inst :: !acc
+    else if Array.length q.(i) = 0 then go (i + 1)
+    else
+      Array.iter
+        (fun v ->
+          inst.(i) <- v;
+          go (i + 1);
+          inst.(i) <- Cell.all)
+        q.(i)
+  in
+  go 0;
+  List.rev !acc
+
+type measure_index = {
+  tree : Qc_tree.t;
+  func : Agg.func;
+  entries : (float * Qc_tree.node) array;  (** sorted by aggregate value *)
+}
+
+let make_index tree func =
+  let acc = ref [] in
+  Qc_tree.iter_nodes
+    (fun n ->
+      match n.Qc_tree.agg with
+      | Some a -> acc := (Agg.value func a, n) :: !acc
+      | None -> ())
+    tree;
+  let entries = Array.of_list !acc in
+  Array.sort (fun (a, _) (b, _) -> compare a b) entries;
+  { tree; func; entries }
+
+(* First index position with value >= threshold. *)
+let lower_bound entries threshold =
+  let lo = ref 0 and hi = ref (Array.length entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst entries.(mid) < threshold then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let iceberg idx ~threshold =
+  let start = lower_bound idx.entries threshold in
+  let out = ref [] in
+  for i = Array.length idx.entries - 1 downto start do
+    let _, node = idx.entries.(i) in
+    match node.Qc_tree.agg with
+    | Some a -> out := (Qc_tree.node_cell idx.tree node, a) :: !out
+    | None -> ()
+  done;
+  !out
+
+let iceberg_range ?(strategy = `Filter) t idx (q : range) ~threshold =
+  check_range t q;
+  if idx.tree != t then invalid_arg "Query.iceberg_range: index built for another tree";
+  let above a = Agg.value idx.func a >= threshold in
+  match strategy with
+  | `Filter -> List.filter (fun (_, a) -> above a) (range t q)
+  | `Mark ->
+    (* Mark qualifying class nodes and their ancestors; answer the range
+       query restricted to marked nodes. *)
+    let marked = Hashtbl.create 256 in
+    let rec mark_up (n : Qc_tree.node) =
+      if not (Hashtbl.mem marked n.nid) then begin
+        Hashtbl.replace marked n.nid ();
+        Option.iter mark_up n.parent
+      end
+    in
+    let start = lower_bound idx.entries threshold in
+    for i = start to Array.length idx.entries - 1 do
+      mark_up (snd idx.entries.(i))
+    done;
+    let in_subtree (n : Qc_tree.node) = Hashtbl.mem marked n.nid in
+    let d = Array.length q in
+    let inst = Cell.make_all d in
+    let results = ref [] in
+    let rec descend node =
+      match node.Qc_tree.agg with
+      | Some agg -> if above agg then Some (node, agg) else None
+      | None -> (
+        match Qc_tree.last_dim_child node with
+        | Some child when in_subtree child -> descend child
+        | Some _ | None -> None)
+    in
+    let verify node agg =
+      if path_dominates node inst then results := (Cell.copy inst, agg) :: !results
+    in
+    let rec go node i =
+      if not (in_subtree node) then ()
+      else if i >= d then Option.iter (fun (n, a) -> verify n a) (descend node)
+      else if Array.length q.(i) = 0 then go node (i + 1)
+      else
+        Array.iter
+          (fun v ->
+            inst.(i) <- v;
+            (match searchroute t node i v with Some next -> go next (i + 1) | None -> ());
+            inst.(i) <- Cell.all)
+          q.(i)
+    in
+    go (Qc_tree.root t) 0;
+    List.rev !results
+
+
+let node_accesses t cell =
+  (* Re-run the point search counting visited nodes — the paper's Figure 13
+     discussion compares this against Dwarf's fixed n accesses. *)
+  let d = Array.length cell in
+  let count = ref 1 (* the root *) in
+  let rec searchroute_c node dim v =
+    match Qc_tree.find_edge_or_link t node dim v with
+    | Some n ->
+      incr count;
+      Some n
+    | None -> (
+      match Qc_tree.last_dim_child node with
+      | Some child when child.Qc_tree.dim < dim ->
+        incr count;
+        searchroute_c child dim v
+      | Some _ | None -> None)
+  in
+  let rec descend_c (node : Qc_tree.node) =
+    match node.agg with
+    | Some _ -> ()
+    | None -> (
+      match Qc_tree.last_dim_child node with
+      | Some child ->
+        incr count;
+        descend_c child
+      | None -> ())
+  in
+  let rec consume node i =
+    if i >= d then descend_c node
+    else if cell.(i) = Cell.all then consume node (i + 1)
+    else
+      match searchroute_c node i cell.(i) with
+      | Some next -> consume next (i + 1)
+      | None -> ()
+  in
+  consume (Qc_tree.root t) 0;
+  !count

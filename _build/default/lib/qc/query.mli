@@ -1,0 +1,73 @@
+(** Query answering over QC-trees (paper Section 4).
+
+    Point queries (Algorithm 3) trace at most one root-to-node path: the
+    query's non-[*] values are consumed left to right through tree edges and
+    drill-down links; when no labeled step exists, the search hops to the
+    unique child on the current node's last dimension (Lemma 2).  The path
+    reached is the query cell's class upper bound, whose node carries the
+    aggregate.
+
+    Range queries (Algorithm 4) expand one range dimension at a time and
+    prune every prefix that cannot reach a cube cell.
+
+    Iceberg queries use an index over class aggregates; constrained iceberg
+    queries combine it with a range scan using either of the two strategies
+    sketched in the paper. *)
+
+open Qc_cube
+
+val point : Qc_tree.t -> Cell.t -> Agg.t option
+(** [point tree cell] is the aggregate summary of [cell], or [None] when the
+    cell's cover set is empty (the cell is not in the cube). *)
+
+val point_value : Qc_tree.t -> Agg.func -> Cell.t -> float option
+(** Convenience wrapper reading one aggregate function off {!point}. *)
+
+val locate : Qc_tree.t -> Cell.t -> Qc_tree.node option
+(** The class upper-bound node of a cell, or [None] for empty cover.  This
+    is the primitive shared by query answering and incremental
+    maintenance. *)
+
+type range = int array array
+(** A range query: one entry per dimension; [ [||] ] means [*], a singleton
+    means a point constraint, several values enumerate the range (the paper's
+    set form handles both numeric and hierarchical ranges). *)
+
+val range : Qc_tree.t -> range -> (Cell.t * Agg.t) list
+(** All cells in the given range with non-empty cover, with their
+    aggregates.  Each returned cell is the range instantiation that matched
+    (with [*] in unconstrained dimensions). *)
+
+val range_of_cells : Qc_tree.t -> range -> Cell.t list
+(** The cross-product of a range as point-query cells — the naive plan the
+    paper compares against; used by tests and benchmarks. *)
+
+(** {1 Iceberg queries} *)
+
+type measure_index
+(** A sorted index from aggregate values to class nodes — the stand-in for
+    the B+-tree on the measure attribute the paper describes. *)
+
+val make_index : Qc_tree.t -> Agg.func -> measure_index
+
+val iceberg : measure_index -> threshold:float -> (Cell.t * Agg.t) list
+(** Pure iceberg query: every class upper bound whose aggregate is at least
+    [threshold]. *)
+
+val iceberg_range :
+  ?strategy:[ `Filter | `Mark ] ->
+  Qc_tree.t ->
+  measure_index ->
+  range ->
+  threshold:float ->
+  (Cell.t * Agg.t) list
+(** Constrained iceberg query.  [`Filter] runs the range query and filters
+    by the threshold (the paper's choice 1); [`Mark] first marks the class
+    nodes above the threshold plus their ancestors via the index and answers
+    the range query inside the marked subtree (choice 2).  Both return the
+    same answers. *)
+
+val node_accesses : Qc_tree.t -> Cell.t -> int
+(** Number of tree nodes the point query for this cell visits.  The paper's
+    Figure 13 discussion contrasts this with Dwarf, which always visits one
+    node per dimension. *)

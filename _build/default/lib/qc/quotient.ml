@@ -1,0 +1,131 @@
+open Qc_cube
+
+type cls = {
+  cid : int;
+  ub : Cell.t;
+  lbs : Cell.t list;
+  agg : Agg.t;
+  children : int list;
+  parents : int list;
+}
+
+type t = {
+  schema : Schema.t;
+  classes : cls array;
+  by_ub : int Cell.Tbl.t;
+  tree : Qc_tree.t;  (** point-search structure over the same classes *)
+}
+
+let minimal_lower_bounds lbs =
+  (* Keep the most general recorded lower bounds: drop [x] whenever another
+     bound generalizes it. *)
+  let distinct =
+    List.sort_uniq compare (List.map Array.to_list lbs) |> List.map Array.of_list
+  in
+  List.filter
+    (fun x ->
+      not (List.exists (fun y -> (not (Cell.equal x y)) && Cell.rolls_up_to x y) distinct))
+    distinct
+
+let of_temp_classes schema temp_classes =
+  let sorted = List.sort Temp_class.compare_for_insertion temp_classes in
+  (* Assign class ids in dictionary order of upper bounds. *)
+  let by_ub = Cell.Tbl.create 1024 in
+  let n = ref 0 in
+  List.iter
+    (fun (tc : Temp_class.t) ->
+      if not (Cell.Tbl.mem by_ub tc.ub) then begin
+        Cell.Tbl.replace by_ub tc.ub !n;
+        incr n
+      end)
+    sorted;
+  let n = !n in
+  let ubs = Array.make n [||] in
+  let aggs = Array.make n Agg.empty in
+  let lbs = Array.make n [] in
+  let children = Array.make n [] in
+  let cid_of_temp = Hashtbl.create 1024 in
+  List.iter
+    (fun (tc : Temp_class.t) ->
+      let cid = Cell.Tbl.find by_ub tc.ub in
+      Hashtbl.replace cid_of_temp tc.id cid;
+      ubs.(cid) <- tc.ub;
+      aggs.(cid) <- tc.agg;
+      lbs.(cid) <- tc.lb :: lbs.(cid);
+      if tc.child >= 0 then begin
+        let child_cid = Hashtbl.find cid_of_temp tc.child in
+        if child_cid <> cid && not (List.mem child_cid children.(cid)) then
+          children.(cid) <- child_cid :: children.(cid)
+      end)
+    sorted;
+  let parents = Array.make n [] in
+  Array.iteri
+    (fun cid kids -> List.iter (fun k -> parents.(k) <- cid :: parents.(k)) kids)
+    children;
+  let classes =
+    Array.init n (fun cid ->
+        {
+          cid;
+          ub = ubs.(cid);
+          lbs = minimal_lower_bounds lbs.(cid);
+          agg = aggs.(cid);
+          children = List.sort compare children.(cid);
+          parents = List.sort compare parents.(cid);
+        })
+  in
+  { schema; classes; by_ub; tree = Qc_tree.of_temp_classes schema temp_classes }
+
+let of_table table = of_temp_classes (Table.schema table) (Dfs.run table)
+
+let schema t = t.schema
+
+let n_classes t = Array.length t.classes
+
+let classes t = t.classes
+
+let find t cid = t.classes.(cid)
+
+let find_by_ub t ub =
+  Option.map (fun cid -> t.classes.(cid)) (Cell.Tbl.find_opt t.by_ub ub)
+
+let class_of_cell t cell =
+  match Query.locate t.tree cell with
+  | None -> None
+  | Some node -> find_by_ub t (Qc_tree.node_cell t.tree node)
+
+let contains cls cell =
+  Cell.dominates cls.ub cell && List.exists (fun lb -> Cell.dominates cell lb) cls.lbs
+
+let members ?(limit = 10_000) _t cls =
+  let dims = Array.length cls.ub in
+  let acc = ref [] in
+  let count = ref 0 in
+  let cell = Cell.copy cls.ub in
+  (* Enumerate generalizations of the upper bound by starring subsets of its
+     instantiated dimensions, pruning at [limit]. *)
+  let rec go i =
+    if !count < limit then
+      if i >= dims then begin
+        if contains cls cell then begin
+          acc := Cell.copy cell :: !acc;
+          incr count
+        end
+      end
+      else if cls.ub.(i) = Cell.all then go (i + 1)
+      else begin
+        go (i + 1);
+        cell.(i) <- Cell.all;
+        go (i + 1);
+        cell.(i) <- cls.ub.(i)
+      end
+  in
+  go 0;
+  List.rev !acc
+
+let pp_class schema ppf cls =
+  Format.fprintf ppf "C%d: ub=%s lbs={%s} agg=%a children=[%s] parents=[%s]" cls.cid
+    (Cell.to_string schema cls.ub)
+    (String.concat "; " (List.map (Cell.to_string schema) cls.lbs))
+    Agg.pp cls.agg
+    (String.concat "," (List.map string_of_int cls.children))
+    (String.concat "," (List.map string_of_int cls.parents))

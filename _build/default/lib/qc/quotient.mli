@@ -1,0 +1,54 @@
+(** The explicit cover quotient-cube lattice (paper Section 2).
+
+    While the QC-tree is the storage structure, semantic OLAP operations —
+    navigating between classes, drilling into a class, intelligent roll-up —
+    are phrased over the quotient lattice itself: classes with their upper
+    bound, minimal lower bounds, aggregate, and parent/child ordering
+    ([C ⊑ D] whenever some cell of [C] drills down from some cell of [D];
+    children are the more general neighbours, as in the paper's Figure 3).
+
+    This module materializes that lattice from the temporary classes of the
+    DFS.  It is the substrate of {!Explore}. *)
+
+open Qc_cube
+
+type cls = {
+  cid : int;
+  ub : Cell.t;  (** the unique upper bound (Lemma 1) *)
+  lbs : Cell.t list;  (** minimal lower bounds *)
+  agg : Agg.t;
+  children : int list;  (** lattice children: immediate more-general classes *)
+  parents : int list;  (** lattice parents: immediate more-specific classes *)
+}
+
+type t
+
+val of_temp_classes : Schema.t -> Temp_class.t list -> t
+
+val of_table : Table.t -> t
+
+val schema : t -> Schema.t
+
+val n_classes : t -> int
+
+val classes : t -> cls array
+
+val find : t -> int -> cls
+
+val find_by_ub : t -> Cell.t -> cls option
+
+val class_of_cell : t -> Cell.t -> cls option
+(** The class containing an arbitrary cell, or [None] when its cover set is
+    empty.  Resolved through a QC-tree point search over the same classes. *)
+
+val members : ?limit:int -> t -> cls -> Cell.t list
+(** Enumerate the member cells of a class: every cell lying between some
+    lower bound and the upper bound.  At most [limit] cells are produced
+    (default 10_000) since a class over [k] instantiated dimensions can have
+    up to [2^k] members. *)
+
+val contains : cls -> Cell.t -> bool
+(** Membership test: the cell is dominated by the upper bound and dominates
+    some lower bound. *)
+
+val pp_class : Schema.t -> Format.formatter -> cls -> unit

@@ -1,0 +1,139 @@
+open Qc_cube
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '\n' | '\t' | '\r' ->
+        Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let cell_codes (c : Cell.t) =
+  String.concat "," (Array.to_list (Array.map string_of_int c))
+
+let codes_cell s = Array.of_list (List.map int_of_string (String.split_on_char ',' s))
+
+let to_string tree =
+  let schema = Qc_tree.schema tree in
+  let buf = Buffer.create 65536 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  out "qctree 1";
+  out "schema %d %s" (Schema.n_dims schema) (escape (Schema.measure_name schema));
+  for i = 0 to Schema.n_dims schema - 1 do
+    let values = Qc_util.Dict.values (Schema.dict schema i) in
+    out "dim %s %d %s" (escape (Schema.dim_name schema i)) (Array.length values)
+      (String.concat " " (Array.to_list (Array.map escape values)))
+  done;
+  Qc_tree.iter_classes
+    (fun _ ub (agg : Agg.t) ->
+      out "class %d %h %h %h %s" agg.count agg.sum agg.min agg.max (cell_codes ub))
+    tree;
+  Qc_tree.iter_nodes
+    (fun n ->
+      let src = Qc_tree.node_cell tree n in
+      List.iter
+        (fun (dim, label, dst) ->
+          out "link %d %d %s %s" dim label (cell_codes src)
+            (cell_codes (Qc_tree.node_cell tree dst)))
+        n.Qc_tree.links)
+    tree;
+  out "end";
+  Buffer.contents buf
+
+let of_string data =
+  let lines = String.split_on_char '\n' data in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let schema = ref None in
+  let tree = ref None in
+  let pending_links = ref [] in
+  let dim_names = ref [] in
+  let dim_values = ref [] in
+  let measure = ref "measure" in
+  let ndims = ref 0 in
+  let finalize_schema () =
+    match !schema with
+    | Some s -> s
+    | None ->
+      let names = List.rev !dim_names in
+      if List.length names <> !ndims then fail "Serial: dimension count mismatch";
+      let s = Schema.create ~measure_name:!measure names in
+      List.iteri
+        (fun i values -> List.iter (fun v -> ignore (Schema.encode_value s i v)) values)
+        (List.rev !dim_values);
+      schema := Some s;
+      s
+  in
+  let get_tree () =
+    match !tree with
+    | Some t -> t
+    | None ->
+      let t = Qc_tree.create (finalize_schema ()) in
+      tree := Some t;
+      t
+  in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "" ] | [] -> ()
+      | "qctree" :: _ | [ "end" ] -> ()
+      | [ "schema"; n; m ] ->
+        ndims := int_of_string n;
+        measure := unescape m
+      | "dim" :: name :: _count :: values ->
+        dim_names := unescape name :: !dim_names;
+        dim_values := List.map unescape values :: !dim_values
+      | [ "class"; count; sum; mn; mx; codes ] ->
+        let t = get_tree () in
+        let node = Qc_tree.insert_path t (codes_cell codes) in
+        Qc_tree.set_agg node
+          (Some
+             {
+               Agg.count = int_of_string count;
+               sum = float_of_string sum;
+               min = float_of_string mn;
+               max = float_of_string mx;
+             })
+      | [ "link"; dim; label; src; dst ] ->
+        pending_links := (int_of_string dim, int_of_string label, src, dst) :: !pending_links
+      | tok :: _ -> fail "Serial: unexpected record %S" tok)
+    lines;
+  let t = get_tree () in
+  List.iter
+    (fun (dim, label, src, dst) ->
+      match Qc_tree.find_path t (codes_cell src), Qc_tree.find_path t (codes_cell dst) with
+      | Some src, Some dst -> Qc_tree.add_link t ~src ~dim ~label ~dst
+      | _ -> fail "Serial: link endpoint not found")
+    (List.rev !pending_links);
+  t
+
+let save tree path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string tree))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,19 @@
+(** QC-tree persistence.
+
+    A warehouse summary structure must survive process restarts; this module
+    writes a QC-tree (schema, dictionaries, class upper bounds with
+    aggregates, drill-down links) to a line-oriented text format and reads it
+    back.  Aggregate floats round-trip exactly (hexadecimal float notation);
+    dictionary codes are preserved, so a reloaded tree is canonically equal
+    to the saved one. *)
+
+val to_string : Qc_tree.t -> string
+
+val of_string : string -> Qc_tree.t
+(** @raise Failure on malformed input. *)
+
+val save : Qc_tree.t -> string -> unit
+(** [save tree path] writes the tree to a file. *)
+
+val load : string -> Qc_tree.t
+(** @raise Failure on malformed input; [Sys_error] on IO failure. *)

@@ -1,0 +1,21 @@
+open Qc_cube
+
+type t = {
+  id : int;
+  lb : Cell.t;
+  ub : Cell.t;
+  child : int;
+  agg : Agg.t;
+}
+
+let compare_for_insertion a b =
+  let c = Cell.compare_dict a.ub b.ub in
+  if c <> 0 then c else compare a.id b.id
+
+let compare_for_deletion a b =
+  let c = Cell.compare_rev_dict a.ub b.ub in
+  if c <> 0 then c else compare a.id b.id
+
+let pp schema ppf t =
+  Format.fprintf ppf "i%d: ub=%s lb=%s child=i%d agg=%a" t.id
+    (Cell.to_string schema t.ub) (Cell.to_string schema t.lb) t.child Agg.pp t.agg

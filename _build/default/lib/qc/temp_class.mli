@@ -1,0 +1,29 @@
+(** Temporary classes produced by the cover-partition depth-first search.
+
+    Each temp class records one DFS visit: the visited cell (a lower bound of
+    the class), the class upper bound obtained by the bound jump, the id of
+    the lattice child class the visit expanded from, and the aggregate over
+    the visit's base-table partition.  Several temp classes may share an
+    upper bound; the first (in dictionary order of upper bounds, ties broken
+    by generation id) materializes the tree path, the rest become drill-down
+    links. *)
+
+open Qc_cube
+
+type t = {
+  id : int;  (** generation order; also the id referenced by [child] *)
+  lb : Cell.t;  (** the DFS-visited cell, a lower bound of the class *)
+  ub : Cell.t;  (** class upper bound *)
+  child : int;  (** lattice child temp-class id, [-1] for the root class *)
+  agg : Agg.t;  (** aggregate over the class's cover set *)
+}
+
+val compare_for_insertion : t -> t -> int
+(** Dictionary order on upper bounds, [*] first, ties by generation id —
+    the processing order of Algorithm 1 step 3 and Algorithm 2 step 2. *)
+
+val compare_for_deletion : t -> t -> int
+(** Reverse dictionary order, [*] last — the processing order of the
+    deletion algorithm. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit

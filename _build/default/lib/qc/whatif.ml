@@ -1,0 +1,57 @@
+open Qc_cube
+
+type t = {
+  mutable tree : Qc_tree.t;
+  mutable table : Table.t;
+}
+
+let create tree base = { tree = Qc_tree.copy tree; table = Table.copy base }
+
+let assume_inserted t delta =
+  ignore (Maintenance.insert_batch t.tree ~base:t.table ~delta)
+
+let assume_deleted t delta =
+  let new_base, _ = Maintenance.delete_batch t.tree ~base:t.table ~delta in
+  t.table <- new_base
+
+let tree t = t.tree
+
+let table t = t.table
+
+type delta = {
+  cell : Cell.t;
+  before : Agg.t option;
+  after : Agg.t option;
+}
+
+let differ a b =
+  match (a, b) with
+  | None, None -> false
+  | Some x, Some y -> not (Agg.approx_equal x y)
+  | None, Some _ | Some _, None -> true
+
+let compare_cells t ~against cells =
+  List.filter_map
+    (fun cell ->
+      let before = Query.point against cell in
+      let after = Query.point t.tree cell in
+      if differ before after then Some { cell = Cell.copy cell; before; after } else None)
+    cells
+
+let affected_classes t ~against =
+  let acc = ref [] in
+  let seen = Cell.Tbl.create 256 in
+  Qc_tree.iter_classes
+    (fun _ ub before ->
+      Cell.Tbl.replace seen ub ();
+      let after =
+        Option.bind (Qc_tree.find_path t.tree ub) (fun n -> n.Qc_tree.agg)
+      in
+      if differ (Some before) after then acc := (ub, Some before, after) :: !acc)
+    against;
+  (* classes that exist only in the scenario *)
+  Qc_tree.iter_classes
+    (fun _ ub after ->
+      if not (Cell.Tbl.mem seen ub) then acc := (ub, None, Some after) :: !acc)
+    t.tree;
+  List.rev !acc

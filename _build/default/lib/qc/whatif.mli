@@ -1,0 +1,49 @@
+(** What-if analysis over QC-trees.
+
+    The paper motivates quotient cubes for advanced analysis "such as
+    intelligent roll-up and what-if queries" (Section 1).  A what-if query
+    asks how aggregates {e would} change under a hypothetical update,
+    without committing it.  Because the QC-tree supports exact incremental
+    maintenance, a hypothesis is evaluated by applying the maintenance
+    algorithms to a private copy of the tree — far cheaper than recomputing
+    a cube per scenario — and then diffing answers.
+
+    A scenario owns copies of the tree and the base table; the originals
+    are never touched. *)
+
+open Qc_cube
+
+type t
+
+val create : Qc_tree.t -> Table.t -> t
+(** [create tree base] snapshots the warehouse.  [tree] must be the QC-tree
+    of [base]. *)
+
+val assume_inserted : t -> Table.t -> unit
+(** Fold a hypothetical batch of new tuples into the scenario. *)
+
+val assume_deleted : t -> Table.t -> unit
+(** Fold a hypothetical deletion into the scenario.
+    @raise Invalid_argument if some tuple is absent from the scenario's
+    current table. *)
+
+val tree : t -> Qc_tree.t
+(** The scenario's tree (query it with {!Query}). *)
+
+val table : t -> Table.t
+
+type delta = {
+  cell : Cell.t;
+  before : Agg.t option;
+  after : Agg.t option;
+}
+
+val compare_cells : t -> against:Qc_tree.t -> Cell.t list -> delta list
+(** [compare_cells scenario ~against cells] evaluates each cell in both the
+    scenario and the reference tree and returns only the cells whose
+    summaries differ. *)
+
+val affected_classes : t -> against:Qc_tree.t -> (Cell.t * Agg.t option * Agg.t option) list
+(** Every class upper bound whose aggregate differs between the reference
+    tree and the scenario (including classes that appear or disappear),
+    as [(upper bound, before, after)]. *)

@@ -1,0 +1,1 @@
+lib/util/dict.ml: Array Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/util/size.mli: Format

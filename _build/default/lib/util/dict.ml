@@ -1,0 +1,41 @@
+type t = {
+  dim_name : string;
+  codes : (string, int) Hashtbl.t;
+  mutable rev : string array;
+  mutable next : int;
+}
+
+let create ?(name = "") () =
+  { dim_name = name; codes = Hashtbl.create 64; rev = Array.make 16 ""; next = 1 }
+
+let name t = t.dim_name
+
+let grow t =
+  let cap = Array.length t.rev in
+  if t.next - 1 >= cap then begin
+    let rev = Array.make (2 * cap) "" in
+    Array.blit t.rev 0 rev 0 cap;
+    t.rev <- rev
+  end
+
+let encode t v =
+  match Hashtbl.find_opt t.codes v with
+  | Some code -> code
+  | None ->
+    let code = t.next in
+    grow t;
+    t.rev.(code - 1) <- v;
+    Hashtbl.add t.codes v code;
+    t.next <- code + 1;
+    code
+
+let find t v = Hashtbl.find_opt t.codes v
+
+let decode t code =
+  if code <= 0 || code >= t.next then
+    invalid_arg (Printf.sprintf "Dict.decode: code %d out of range" code);
+  t.rev.(code - 1)
+
+let size t = t.next - 1
+
+let values t = Array.sub t.rev 0 (size t)

@@ -1,0 +1,31 @@
+(** Dictionary encoding of dimension values.
+
+    OLAP structures in this library operate on dense integer codes.  A
+    [Dict.t] maps external string values of one dimension to codes
+    [1 .. size] and back.  Code [0] is reserved for the [*] (ALL) value and
+    is never handed out. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** [create ~name ()] makes an empty dictionary for the dimension called
+    [name]. *)
+
+val name : t -> string
+
+val encode : t -> string -> int
+(** [encode t v] returns the code of [v], allocating the next free code if
+    [v] is new.  Codes start at 1. *)
+
+val find : t -> string -> int option
+(** [find t v] is the code of [v] if already known, without allocating. *)
+
+val decode : t -> int -> string
+(** [decode t code] is the external value for [code].
+    @raise Invalid_argument on code 0, which denotes [*]. *)
+
+val size : t -> int
+(** Number of distinct encoded values (the dimension cardinality). *)
+
+val values : t -> string array
+(** All known values, indexed by [code - 1]. *)

@@ -1,0 +1,15 @@
+let value_bytes = 4
+let pointer_bytes = 4
+let measure_bytes = 8
+
+let bytes_of_cells ~dims ~cells = cells * ((dims * value_bytes) + measure_bytes)
+
+let mb n = float_of_int n /. (1024.0 *. 1024.0)
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if f >= 1024.0 *. 1024.0 *. 1024.0 then
+    Format.fprintf ppf "%.2f GB" (f /. (1024.0 ** 3.0))
+  else if f >= 1024.0 *. 1024.0 then Format.fprintf ppf "%.2f MB" (f /. (1024.0 ** 2.0))
+  else if f >= 1024.0 then Format.fprintf ppf "%.2f KB" (f /. 1024.0)
+  else Format.fprintf ppf "%d B" n

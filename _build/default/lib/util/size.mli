@@ -1,0 +1,27 @@
+(** Byte-cost model shared by every storage structure.
+
+    The paper compares storage sizes of the full cube, QC-table, QC-tree and
+    Dwarf.  Absolute in-memory sizes depend on runtime representation, so all
+    structures in this repository report sizes through the explicit logical
+    cost model below, making the Figure 12 / Figure 15 ratios reproducible
+    and machine independent. *)
+
+val value_bytes : int
+(** Cost of one dimension value or label: 4 bytes. *)
+
+val pointer_bytes : int
+(** Cost of one pointer / node id / class id: 4 bytes. *)
+
+val measure_bytes : int
+(** Cost of one stored aggregate measure: 8 bytes. *)
+
+val bytes_of_cells : dims:int -> cells:int -> int
+(** [bytes_of_cells ~dims ~cells] is the size of a plain relation holding
+    [cells] rows of [dims] dimension values plus one measure each — the cost
+    of the fully materialized data cube. *)
+
+val mb : int -> float
+(** [mb n] converts a byte count to megabytes. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human readable rendering ("12.3 MB", "4.1 KB", ...). *)

@@ -1,0 +1,53 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;
+  mutable notes : string list;
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Tablefmt.add_row: arity mismatch with header";
+  t.rows <- row :: t.rows
+
+let note t s = t.notes <- s :: t.notes
+
+let print t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Printf.printf "\n== %s ==\n%s\n%s\n" t.title (render t.columns) sep;
+  List.iter (fun row -> print_endline (render row)) rows;
+  List.iter (fun s -> Printf.printf "   note: %s\n" s) (List.rev t.notes)
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let quote cell =
+    if String.contains cell ',' then "\"" ^ cell ^ "\"" else cell
+  in
+  let row cells = String.concat "," (List.map quote cells) ^ "\n" in
+  Buffer.add_string buf (row t.columns);
+  List.iter (fun r -> Buffer.add_string buf (row r)) (List.rev t.rows);
+  Buffer.contents buf
+
+let title t = t.title
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4f" x
+
+let cell_i = string_of_int
+
+let cell_ratio x = Printf.sprintf "%.2f%%" (100.0 *. x)

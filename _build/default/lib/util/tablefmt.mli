@@ -1,0 +1,32 @@
+(** Aligned console tables for the benchmark harness.
+
+    Every experiment of the paper's Section 5 is rendered as one of these
+    tables so the output can be compared against the corresponding paper
+    figure row by row. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts a table with a caption and header row. *)
+
+val add_row : t -> string list -> unit
+(** Append one data row; the row must have as many entries as the header. *)
+
+val note : t -> string -> unit
+(** Attach a free-form footnote printed under the table. *)
+
+val print : t -> unit
+(** Render the table to stdout with aligned columns. *)
+
+val to_csv : t -> string
+(** The same table as CSV (header + data rows), for plotting. *)
+
+val title : t -> string
+
+val cell_f : float -> string
+(** Format a float measurement with 4 significant decimals. *)
+
+val cell_i : int -> string
+
+val cell_ratio : float -> string
+(** Format a ratio as a percentage with 2 decimals. *)

@@ -1,0 +1,14 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let time_s f = snd (time f)
+
+let repeat_median k f =
+  if k < 1 then invalid_arg "Timer.repeat_median: k must be >= 1";
+  let samples = Array.init k (fun _ -> time_s f) in
+  Array.sort compare samples;
+  samples.(k / 2)

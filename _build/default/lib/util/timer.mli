@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_s : (unit -> unit) -> float
+(** [time_s f] is the elapsed wall-clock seconds of [f ()]. *)
+
+val repeat_median : int -> (unit -> unit) -> float
+(** [repeat_median k f] runs [f] [k] times and returns the median elapsed
+    seconds; [k] must be at least 1. *)

@@ -1,0 +1,139 @@
+open Qc_cube
+
+type t = {
+  mutable base : Table.t;
+  tree : Qc_core.Qc_tree.t;
+  mutable index : (Agg.func * Qc_core.Query.measure_index) option;  (** iceberg cache *)
+  mutable generation : int;  (** bumped on every mutation *)
+  mutable index_generation : int;
+}
+
+let log = Logs.Src.create "qc.warehouse" ~doc:"QC-tree warehouse operations"
+
+module Log = (val Logs.src_log log)
+
+let create base =
+  let tree = Qc_core.Qc_tree.of_table base in
+  Log.info (fun m ->
+      m "built warehouse: %d rows, %d classes" (Table.n_rows base)
+        (Qc_core.Qc_tree.n_classes tree));
+  { base; tree; index = None; generation = 0; index_generation = -1 }
+
+let table t = t.base
+
+let tree t = t.tree
+
+let schema t = Table.schema t.base
+
+let touch t = t.generation <- t.generation + 1
+
+let insert t delta =
+  let stats = Qc_core.Maintenance.insert_batch t.tree ~base:t.base ~delta in
+  touch t;
+  Log.info (fun m ->
+      m "inserted %d rows (%d updated, %d carved, %d fresh classes)" (Table.n_rows delta)
+        stats.updated stats.carved stats.fresh);
+  stats
+
+let delete t delta =
+  let new_base, stats = Qc_core.Maintenance.delete_batch t.tree ~base:t.base ~delta in
+  t.base <- new_base;
+  touch t;
+  Log.info (fun m ->
+      m "deleted %d rows (%d classes removed, %d merged)" (Table.n_rows delta) stats.removed
+        stats.merged);
+  stats
+
+let update t ~old_rows ~new_rows =
+  let dstats = delete t old_rows in
+  let istats = insert t new_rows in
+  (dstats, istats)
+
+let query t cell = Qc_core.Query.point t.tree cell
+
+let query_value t func cell = Qc_core.Query.point_value t.tree func cell
+
+let range t q = Qc_core.Query.range t.tree q
+
+let iceberg t func ~threshold =
+  let index =
+    match t.index with
+    | Some (f, idx) when f = func && t.index_generation = t.generation -> idx
+    | Some _ | None ->
+      let idx = Qc_core.Query.make_index t.tree func in
+      t.index <- Some (func, idx);
+      t.index_generation <- t.generation;
+      idx
+  in
+  Qc_core.Query.iceberg index ~threshold
+
+let stats t =
+  Printf.sprintf "%d rows | %d classes | %d nodes | %d links | %d bytes"
+    (Table.n_rows t.base)
+    (Qc_core.Qc_tree.n_classes t.tree)
+    (Qc_core.Qc_tree.n_nodes t.tree)
+    (Qc_core.Qc_tree.n_links t.tree)
+    (Qc_core.Qc_tree.bytes t.tree)
+
+let base_file dir = Filename.concat dir "base.csv"
+
+let tree_file dir = Filename.concat dir "tree.qct"
+
+let atomic_write path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let save t dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  atomic_write (base_file dir) (Qc_data.Csv.to_string t.base);
+  atomic_write (tree_file dir) (Qc_core.Serial.to_string t.tree);
+  Log.info (fun m -> m "saved warehouse to %s" dir)
+
+let open_dir dir =
+  (* Load the tree first and re-encode the CSV rows against the tree's
+     schema, so warehouse, table and tree share one schema instance (the
+     serial format preserves dictionary codes, so the re-encode assigns
+     identical codes). *)
+  let tree = Qc_core.Serial.load (tree_file dir) in
+  let schema = Qc_core.Qc_tree.schema tree in
+  let raw = Qc_data.Csv.load (base_file dir) in
+  let raw_schema = Table.schema raw in
+  if Schema.n_dims raw_schema <> Schema.n_dims schema then
+    failwith "Warehouse.open_dir: base table and tree disagree on dimensions";
+  let base = Table.create schema in
+  Table.iter
+    (fun cell m ->
+      let values =
+        List.init (Schema.n_dims raw_schema) (fun i -> Schema.decode_value raw_schema i cell.(i))
+      in
+      Table.add_row base values m)
+    raw;
+  Log.info (fun m -> m "opened warehouse %s: %d rows" dir (Table.n_rows base));
+  { base; tree; index = None; generation = 0; index_generation = -1 }
+
+let self_check t =
+  match Qc_core.Qc_tree.validate t.tree with
+  | Error e -> Error e
+  | Ok () ->
+    (* The class set (upper bounds and aggregates) must coincide with a
+       fresh rebuild; links are checked structurally by [validate] and
+       behaviourally by the test suite (after deletions a few redundant but
+       harmless links may remain, so canonical equality is not required
+       here). *)
+    let rebuilt = Qc_core.Qc_tree.of_table t.base in
+    let errors = ref [] in
+    Qc_core.Qc_tree.iter_classes
+      (fun _ ub agg ->
+        match Qc_core.Qc_tree.find_path t.tree ub with
+        | Some node -> (
+          match node.Qc_core.Qc_tree.agg with
+          | Some a when Agg.approx_equal a agg -> ()
+          | Some _ -> errors := "aggregate mismatch" :: !errors
+          | None -> errors := "missing class" :: !errors)
+        | None -> errors := "missing class path" :: !errors)
+      rebuilt;
+    if Qc_core.Qc_tree.n_classes t.tree <> Qc_core.Qc_tree.n_classes rebuilt then
+      errors := "class count differs from rebuild" :: !errors;
+    (match !errors with [] -> Ok () | e :: _ -> Error e)

@@ -1,0 +1,69 @@
+(** A durable QC-tree warehouse.
+
+    Couples the base table, its QC-tree and their on-disk representation
+    into one handle, so applications (and the [qct] CLI) do not have to keep
+    the pieces consistent by hand.  A warehouse lives in a directory:
+
+    {v
+    <dir>/base.csv   the fact table
+    <dir>/tree.qct   the QC-tree summary
+    v}
+
+    All mutating operations maintain the tree incrementally (never by
+    recomputation) and keep the invariant that [tree w] is exactly the
+    QC-tree of [table w].  {!save} writes both files atomically
+    (write-to-temporary, then rename), so a crash mid-save leaves the
+    previous state intact. *)
+
+open Qc_cube
+open Qc_core
+
+type t
+
+val create : Table.t -> t
+(** Build a fresh in-memory warehouse over a base table (constructs the
+    tree). *)
+
+val open_dir : string -> t
+(** Load a warehouse saved by {!save}.
+    @raise Sys_error or [Failure] when the directory does not hold a
+    warehouse. *)
+
+val save : t -> string -> unit
+(** Persist to a directory (created if missing), atomically per file. *)
+
+val table : t -> Table.t
+
+val tree : t -> Qc_tree.t
+
+val schema : t -> Schema.t
+
+val insert : t -> Table.t -> Maintenance.insert_stats
+(** Batch-insert new facts (Algorithm 2). *)
+
+val delete : t -> Table.t -> Maintenance.delete_stats
+(** Batch-delete existing facts.
+    @raise Invalid_argument if a row is not present. *)
+
+val update : t -> old_rows:Table.t -> new_rows:Table.t ->
+  Maintenance.delete_stats * Maintenance.insert_stats
+(** Modification = deletion + insertion. *)
+
+val query : t -> Cell.t -> Agg.t option
+
+val query_value : t -> Agg.func -> Cell.t -> float option
+
+val range : t -> Query.range -> (Cell.t * Agg.t) list
+
+val iceberg : t -> Agg.func -> threshold:float -> (Cell.t * Agg.t) list
+(** Rebuilds the measure index when the tree changed since the last iceberg
+    query with the same function. *)
+
+val stats : t -> string
+(** One-line summary: rows, classes, nodes, links, bytes. *)
+
+val self_check : t -> (unit, string) result
+(** Verify the invariant: the tree validates and its class set (upper
+    bounds with aggregates) coincides with a tree rebuilt from the table.
+    Intended for tests and for troubleshooting deployments; costs one
+    rebuild. *)

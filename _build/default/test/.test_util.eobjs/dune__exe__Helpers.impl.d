@@ -1,0 +1,1 @@
+test/helpers.ml: Agg Alcotest Array List Printf QCheck QCheck_alcotest Qc_cube Qc_util Schema Table

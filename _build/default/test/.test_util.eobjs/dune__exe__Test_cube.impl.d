@@ -1,0 +1,1 @@
+test/test_cube.ml: Agg Alcotest Array Buc Cell Float Full_cube Gen Helpers List Printf QCheck Qc_cube Qc_util Schema String Table

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Buc Float Hashtbl Helpers List Qc_core Qc_cube Qc_data Qc_util Schema Table

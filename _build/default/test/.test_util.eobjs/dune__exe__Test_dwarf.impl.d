@@ -1,0 +1,1 @@
+test/test_dwarf.ml: Agg Alcotest Array Buc Cell Helpers List Option Qc_core Qc_cube Qc_data Qc_dwarf Qc_util Schema Table

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Agg Alcotest Array Hierarchy List Option Printf Qc_core Qc_cube Qc_util Schema Table

@@ -1,0 +1,1 @@
+test/test_integration.ml: Agg Alcotest Array Cell Full_cube Fun Helpers List Printf Qc_core Qc_cube Qc_data Qc_dwarf Qc_util Schema Table

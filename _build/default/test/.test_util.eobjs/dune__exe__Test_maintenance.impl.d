@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Agg Alcotest Array Cell Fun Helpers Printf QCheck Qc_core Qc_cube Qc_util Schema Table

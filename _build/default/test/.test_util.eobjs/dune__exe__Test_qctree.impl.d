@@ -1,0 +1,1 @@
+test/test_qctree.ml: Agg Alcotest Array Cell Fun Helpers List Qc_core Qc_cube Qc_util Schema String Table

@@ -1,0 +1,1 @@
+test/test_query.ml: Agg Alcotest Array Cell Full_cube Helpers List Option Qc_core Qc_cube Qc_data Qc_util Schema Table

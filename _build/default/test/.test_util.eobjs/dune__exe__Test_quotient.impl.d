@@ -1,0 +1,1 @@
+test/test_quotient.ml: Agg Alcotest Array Cell Float Helpers List Option Qc_core Qc_cube Qc_util Schema Table

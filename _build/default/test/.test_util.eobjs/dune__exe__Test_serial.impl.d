@@ -1,0 +1,1 @@
+test/test_serial.ml: Agg Alcotest Cell Filename Fun Helpers List Qc_core Qc_cube Qc_util Schema String Sys Table

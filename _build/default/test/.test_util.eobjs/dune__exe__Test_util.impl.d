@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dict Float Fun List Qc_util Rng Size Tablefmt

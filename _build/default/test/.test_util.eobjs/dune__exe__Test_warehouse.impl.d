@@ -1,0 +1,1 @@
+test/test_warehouse.ml: Agg Alcotest Array Cell Filename Fun Helpers List Qc_cube Qc_util Qc_warehouse String Sys Table

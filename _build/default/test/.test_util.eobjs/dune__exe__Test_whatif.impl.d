@@ -1,0 +1,1 @@
+test/test_whatif.ml: Agg Alcotest Array Cell Fun Helpers List Printf Qc_core Qc_cube Qc_util Schema Table

@@ -1,0 +1,82 @@
+(* Shared fixtures and oracles for the test suites. *)
+
+open Qc_cube
+
+(* The paper's running example (Figure 1): sales(Store, Product, Season). *)
+let sales_table () =
+  let schema = Schema.create ~measure_name:"Sale" [ "Store"; "Product"; "Season" ] in
+  let table = Table.create schema in
+  Table.add_row table [ "S1"; "P1"; "s" ] 6.0;
+  Table.add_row table [ "S1"; "P2"; "s" ] 12.0;
+  Table.add_row table [ "S2"; "P1"; "f" ] 9.0;
+  table
+
+(* A deterministic random table where every dimension value code in
+   [1..card] is pre-registered, so the full cell space can be enumerated. *)
+let random_table rng ?schema ~dims ~card ~rows () =
+  let schema =
+    match schema with
+    | Some s -> s
+    | None ->
+      let s = Schema.create (List.init dims (fun i -> Printf.sprintf "D%d" i)) in
+      for i = 0 to dims - 1 do
+        for v = 1 to card do
+          ignore (Schema.encode_value s i (Printf.sprintf "v%d" v))
+        done
+      done;
+      s
+  in
+  let table = Table.create schema in
+  for _ = 1 to rows do
+    let cell = Array.init dims (fun _ -> 1 + Qc_util.Rng.int rng card) in
+    Table.add_encoded table cell (float_of_int (Qc_util.Rng.int rng 50))
+  done;
+  table
+
+(* Enumerate every cell of the cube space (codes 0..card per dimension). *)
+let iter_all_cells ~dims ~card f =
+  let cell = Array.make dims 0 in
+  let rec go i =
+    if i >= dims then f cell
+    else
+      for v = 0 to card do
+        cell.(i) <- v;
+        go (i + 1);
+        cell.(i) <- 0
+      done
+  in
+  go 0
+
+let agg_testable =
+  Alcotest.testable Agg.pp (fun a b -> Agg.approx_equal a b)
+
+let agg_option = Alcotest.option agg_testable
+
+(* QCheck arbitrary for a (dims, card, rows, seed) table configuration. *)
+let table_config =
+  QCheck.make
+    ~print:(fun (d, c, r, s) -> Printf.sprintf "dims=%d card=%d rows=%d seed=%d" d c r s)
+    QCheck.Gen.(
+      let* d = int_range 2 4 in
+      let* c = int_range 2 4 in
+      let* r = int_range 1 25 in
+      let* s = int_range 0 1_000_000 in
+      return (d, c, r, s))
+
+let qcheck_case ?(count = 100) ~name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* Exhaustive point-query oracle comparison: [query cell] must equal the
+   cover aggregate computed by scanning the table. *)
+let check_point_queries_against_table table query =
+  let schema = Table.schema table in
+  let dims = Table.n_dims table in
+  let card = Schema.cardinality schema 0 in
+  let ok = ref true in
+  iter_all_cells ~dims ~card (fun cell ->
+      let truth = Table.cover_agg table cell in
+      match (query cell, truth.Agg.count) with
+      | None, 0 -> ()
+      | Some a, n when n > 0 && Agg.approx_equal a truth -> ()
+      | _ -> ok := false);
+  !ok

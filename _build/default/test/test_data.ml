@@ -1,0 +1,193 @@
+open Qc_cube
+
+(* ---------- Zipf ---------- *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Qc_data.Zipf.create ~s:2.0 50 in
+  let total = ref 0.0 in
+  for k = 1 to 50 do
+    total := !total +. Qc_data.Zipf.pmf z k
+  done;
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total
+
+let test_zipf_monotone () =
+  let z = Qc_data.Zipf.create ~s:2.0 20 in
+  for k = 1 to 19 do
+    Alcotest.(check bool) "pmf decreasing" true
+      (Qc_data.Zipf.pmf z k >= Qc_data.Zipf.pmf z (k + 1))
+  done
+
+let test_zipf_sampling_distribution () =
+  let z = Qc_data.Zipf.create ~s:2.0 10 in
+  let rng = Qc_util.Rng.create 13 in
+  let counts = Array.make 11 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Qc_data.Zipf.sample z rng in
+    if k < 1 || k > 10 then Alcotest.failf "out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* empirical frequency of rank 1 close to its pmf (~0.645 for s=2, n=10) *)
+  let p1 = float_of_int counts.(1) /. float_of_int n in
+  Alcotest.(check bool) "rank-1 frequency" true (Float.abs (p1 -. Qc_data.Zipf.pmf z 1) < 0.01);
+  let p2 = float_of_int counts.(2) /. float_of_int n in
+  Alcotest.(check bool) "rank-2 frequency" true (Float.abs (p2 -. Qc_data.Zipf.pmf z 2) < 0.01)
+
+(* ---------- Synthetic ---------- *)
+
+let test_synthetic_deterministic () =
+  let spec = { Qc_data.Synthetic.default with rows = 500; dims = 4; cardinality = 10 } in
+  let a = Qc_data.Synthetic.generate spec in
+  let b = Qc_data.Synthetic.generate spec in
+  Alcotest.(check int) "same size" (Table.n_rows a) (Table.n_rows b);
+  for i = 0 to Table.n_rows a - 1 do
+    Alcotest.(check (array int)) "same tuple" (Table.tuple a i) (Table.tuple b i)
+  done
+
+let test_synthetic_shape () =
+  let spec = { Qc_data.Synthetic.default with rows = 1000; dims = 5; cardinality = 20 } in
+  let t = Qc_data.Synthetic.generate spec in
+  Alcotest.(check int) "rows" 1000 (Table.n_rows t);
+  Alcotest.(check int) "dims" 5 (Table.n_dims t);
+  Table.iter
+    (fun cell _ ->
+      Array.iter (fun v -> if v < 1 || v > 20 then Alcotest.failf "value %d" v) cell)
+    t
+
+let test_synthetic_delta_same_schema () =
+  let spec = { Qc_data.Synthetic.default with rows = 100; dims = 3; cardinality = 5 } in
+  let base = Qc_data.Synthetic.generate spec in
+  let delta = Qc_data.Synthetic.generate_delta spec base 50 in
+  Alcotest.(check bool) "same schema object" true (Table.schema base == Table.schema delta);
+  Alcotest.(check int) "delta rows" 50 (Table.n_rows delta)
+
+let test_pick_delete_delta () =
+  let spec = { Qc_data.Synthetic.default with rows = 100; dims = 3; cardinality = 5 } in
+  let base = Qc_data.Synthetic.generate spec in
+  let delta = Qc_data.Synthetic.pick_delete_delta ~seed:3 base 20 in
+  Alcotest.(check int) "20 rows" 20 (Table.n_rows delta);
+  (* each delta row exists in base *)
+  Table.iter
+    (fun cell _ ->
+      Alcotest.(check bool) "exists" true (Table.find_row base cell <> None))
+    delta
+
+let test_query_generators () =
+  let spec = { Qc_data.Synthetic.default with rows = 200; dims = 4; cardinality = 8 } in
+  let base = Qc_data.Synthetic.generate spec in
+  let points = Qc_data.Synthetic.random_point_queries ~seed:5 base 100 in
+  Alcotest.(check int) "100 point queries" 100 (List.length points);
+  List.iter (fun q -> Alcotest.(check int) "arity" 4 (Array.length q)) points;
+  let ranges = Qc_data.Synthetic.random_range_queries ~seed:6 base 50 in
+  Alcotest.(check int) "50 range queries" 50 (List.length ranges);
+  List.iter
+    (fun q ->
+      let n_ranges =
+        Array.fold_left (fun acc vs -> if Array.length vs > 1 then acc + 1 else acc) 0 q
+      in
+      Alcotest.(check bool) "1-3 range dims" true (n_ranges >= 1 && n_ranges <= 3))
+    ranges
+
+(* ---------- Weather proxy ---------- *)
+
+let test_weather_schema () =
+  let t = Qc_data.Weather.generate { Qc_data.Weather.default with rows = 2000 } in
+  Alcotest.(check int) "9 dims" 9 (Table.n_dims t);
+  Alcotest.(check int) "rows" 2000 (Table.n_rows t);
+  Alcotest.(check string) "first dim" "stationid" (Schema.dim_name (Table.schema t) 0)
+
+let test_weather_cardinalities_scale () =
+  let cards = Qc_data.Weather.cardinalities ~scale:1.0 in
+  Alcotest.(check (array int)) "paper cardinalities"
+    [| 7037; 352; 179; 152; 101; 30; 10; 8; 2 |] cards;
+  let small = Qc_data.Weather.cardinalities ~scale:0.01 in
+  Array.iter (fun c -> Alcotest.(check bool) "at least 2" true (c >= 2)) small
+
+let test_weather_functional_dependency () =
+  (* longitude and latitude are functions of the station id *)
+  let t = Qc_data.Weather.generate { Qc_data.Weather.default with rows = 5000 } in
+  let seen = Hashtbl.create 256 in
+  Table.iter
+    (fun cell _ ->
+      let sid = cell.(0) in
+      match Hashtbl.find_opt seen sid with
+      | None -> Hashtbl.replace seen sid (cell.(1), cell.(3))
+      | Some (lon, lat) ->
+        if cell.(1) <> lon || cell.(3) <> lat then
+          Alcotest.failf "station %d moved" sid)
+    t
+
+let test_weather_compresses () =
+  (* The correlations must make cover classes collapse: far fewer classes
+     than cube cells. *)
+  let t = Qc_data.Weather.generate { Qc_data.Weather.default with rows = 3000; scale = 0.02 } in
+  let classes = Qc_core.Qc_table.of_table t in
+  let cube = Buc.count_cells t in
+  Alcotest.(check bool) "classes < 60% of cube cells" true
+    (float_of_int (Qc_core.Qc_table.n_classes classes) < 0.6 *. float_of_int cube)
+
+(* ---------- CSV ---------- *)
+
+let test_csv_roundtrip () =
+  let t = Helpers.sales_table () in
+  let t' = Qc_data.Csv.of_string (Qc_data.Csv.to_string t) in
+  Alcotest.(check int) "rows" (Table.n_rows t) (Table.n_rows t');
+  Alcotest.(check int) "dims" (Table.n_dims t) (Table.n_dims t');
+  for i = 0 to Table.n_rows t - 1 do
+    let s = Table.schema t and s' = Table.schema t' in
+    for j = 0 to Table.n_dims t - 1 do
+      Alcotest.(check string) "value"
+        (Schema.decode_value s j (Table.tuple t i).(j))
+        (Schema.decode_value s' j (Table.tuple t' i).(j))
+    done;
+    Alcotest.(check (float 1e-9)) "measure" (Table.measure t i) (Table.measure t' i)
+  done
+
+let test_csv_quoting () =
+  let schema = Schema.create ~measure_name:"m" [ "name" ] in
+  let t = Table.create schema in
+  Table.add_row t [ "has,comma" ] 1.0;
+  Table.add_row t [ "has\"quote" ] 2.0;
+  let t' = Qc_data.Csv.of_string (Qc_data.Csv.to_string t) in
+  Alcotest.(check string) "comma survives" "has,comma"
+    (Schema.decode_value (Table.schema t') 0 (Table.tuple t' 0).(0));
+  Alcotest.(check string) "quote survives" "has\"quote"
+    (Schema.decode_value (Table.schema t') 0 (Table.tuple t' 1).(0))
+
+let test_csv_rejects_garbage () =
+  Alcotest.check_raises "empty" (Failure "Csv: empty input") (fun () ->
+      ignore (Qc_data.Csv.of_string ""));
+  Alcotest.check_raises "bad measure" (Failure "Csv: measure is not a number") (fun () ->
+      ignore (Qc_data.Csv.of_string "a,m\nx,notanumber\n"))
+
+let () =
+  Alcotest.run "qc_data"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "pmf monotone" `Quick test_zipf_monotone;
+          Alcotest.test_case "sampling matches pmf" `Quick test_zipf_sampling_distribution;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "shape" `Quick test_synthetic_shape;
+          Alcotest.test_case "delta schema" `Quick test_synthetic_delta_same_schema;
+          Alcotest.test_case "delete delta" `Quick test_pick_delete_delta;
+          Alcotest.test_case "query generators" `Quick test_query_generators;
+        ] );
+      ( "weather",
+        [
+          Alcotest.test_case "schema" `Quick test_weather_schema;
+          Alcotest.test_case "cardinalities" `Quick test_weather_cardinalities_scale;
+          Alcotest.test_case "functional dependencies" `Quick test_weather_functional_dependency;
+          Alcotest.test_case "compresses" `Quick test_weather_compresses;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "rejects garbage" `Quick test_csv_rejects_garbage;
+        ] );
+    ]

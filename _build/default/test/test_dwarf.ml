@@ -1,0 +1,144 @@
+open Qc_cube
+module D = Qc_dwarf.Dwarf
+
+let prop_point_queries_exact =
+  Helpers.qcheck_case ~count:150 ~name:"Dwarf point query = cover aggregate"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let dwarf = D.build table in
+      Helpers.check_point_queries_against_table table (D.point dwarf))
+
+let prop_agrees_with_qc_tree =
+  Helpers.qcheck_case ~count:100 ~name:"Dwarf and QC-tree answer identically"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let dwarf = D.build table in
+      let tree = Qc_core.Qc_tree.of_table table in
+      let ok = ref true in
+      Helpers.iter_all_cells ~dims ~card (fun cell ->
+          match (D.point dwarf cell, Qc_core.Query.point tree cell) with
+          | None, None -> ()
+          | Some a, Some b when Agg.approx_equal a b -> ()
+          | _ -> ok := false);
+      !ok)
+
+let prop_range_equals_points =
+  Helpers.qcheck_case ~count:80 ~name:"Dwarf range = union of point queries"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let dwarf = D.build table in
+      let q =
+        Array.init dims (fun _ ->
+            match Qc_util.Rng.int rng 3 with
+            | 0 -> [||]
+            | 1 -> [| 1 + Qc_util.Rng.int rng card |]
+            | _ -> Array.init card (fun v -> v + 1))
+      in
+      (* expand by hand *)
+      let inst = Cell.make_all dims in
+      let expected = ref [] in
+      let rec go i =
+        if i >= dims then (
+          match D.point dwarf inst with
+          | Some a -> expected := (Array.to_list inst, a.Agg.count) :: !expected
+          | None -> ())
+        else if Array.length q.(i) = 0 then go (i + 1)
+        else
+          Array.iter
+            (fun v ->
+              inst.(i) <- v;
+              go (i + 1);
+              inst.(i) <- Cell.all)
+            q.(i)
+      in
+      go 0;
+      let results = List.map (fun (c, a) -> (Array.to_list c, a.Agg.count)) (D.range dwarf q) in
+      List.sort compare results = List.sort compare !expected)
+
+let test_example_dwarf () =
+  let table = Helpers.sales_table () in
+  let schema = Table.schema table in
+  let dwarf = D.build table in
+  let q vals = Option.map (Agg.value Agg.Avg) (D.point dwarf (Cell.parse schema vals)) in
+  Alcotest.(check (option (float 1e-9))) "(S2,*,f)" (Some 9.0) (q [ "S2"; "*"; "f" ]);
+  Alcotest.(check (option (float 1e-9))) "(*,P1,*)" (Some 7.5) (q [ "*"; "P1"; "*" ]);
+  Alcotest.(check (option (float 1e-9))) "(S2,*,s)" None (q [ "S2"; "*"; "s" ])
+
+let test_coalescing_single_tuple () =
+  (* A one-tuple table coalesces completely: one node per level. *)
+  let schema = Schema.create [ "A"; "B"; "C"; "D" ] in
+  let table = Table.create schema in
+  Table.add_row table [ "a"; "b"; "c"; "d" ] 5.0;
+  let dwarf = D.build table in
+  Alcotest.(check int) "4 nodes" 4 (D.n_nodes dwarf);
+  (* every group-by of a single tuple answers 5 *)
+  Helpers.iter_all_cells ~dims:4 ~card:1 (fun cell ->
+      match D.point dwarf cell with
+      | Some a -> Alcotest.(check (float 1e-9)) "sum 5" 5.0 a.Agg.sum
+      | None -> Alcotest.fail "missing")
+
+let test_coalescing_shrinks () =
+  (* Prefix sharing and suffix coalescing must make the Dwarf smaller, under
+     the shared byte-cost model, than materializing the cube as a relation. *)
+  let spec = { Qc_data.Synthetic.default with rows = 2000; dims = 5; cardinality = 20; seed = 8 } in
+  let table = Qc_data.Synthetic.generate spec in
+  let dwarf = D.build table in
+  Alcotest.(check bool) "bytes below materialized cube" true
+    (D.bytes dwarf < Buc.cube_bytes table);
+  Alcotest.(check bool) "coalescing shares nodes" true (D.n_nodes dwarf > 0)
+
+let prop_coalescing_modes_equivalent =
+  Helpers.qcheck_case ~count:60 ~name:"all coalescing strategies answer identically"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let strong = D.build ~coalescing:D.Hash_cons table in
+      let single = D.build ~coalescing:D.Single_cell table in
+      let none = D.build ~coalescing:D.No_coalescing table in
+      let ok = ref true in
+      Helpers.iter_all_cells ~dims ~card (fun cell ->
+          let a = D.point strong cell and b = D.point single cell and c = D.point none cell in
+          let eq x y =
+            match (x, y) with
+            | None, None -> true
+            | Some x, Some y -> Agg.approx_equal x y
+            | _ -> false
+          in
+          if not (eq a b && eq b c) then ok := false);
+      (* stronger coalescing never stores more *)
+      !ok && D.bytes strong <= D.bytes single && D.bytes single <= D.bytes none)
+
+let test_node_accesses () =
+  let table = Helpers.sales_table () in
+  let dwarf = D.build table in
+  (* the paper: Dwarf accesses exactly n nodes per point query *)
+  Alcotest.(check int) "3 accesses" 3 (D.node_accesses dwarf [| 0; 0; 0 |])
+
+let test_empty_table () =
+  let schema = Schema.create [ "A"; "B" ] in
+  let dwarf = D.build (Table.create schema) in
+  Alcotest.(check int) "no nodes" 0 (D.n_nodes dwarf);
+  Alcotest.(check (option Helpers.agg_testable)) "null answer" None (D.point dwarf [| 0; 0 |])
+
+let () =
+  Alcotest.run "qc_dwarf"
+    [
+      ( "correctness",
+        [
+          prop_point_queries_exact;
+          prop_agrees_with_qc_tree;
+          prop_range_equals_points;
+          Alcotest.test_case "paper example" `Quick test_example_dwarf;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "single-tuple coalescing" `Quick test_coalescing_single_tuple;
+          Alcotest.test_case "coalescing shrinks" `Quick test_coalescing_shrinks;
+          prop_coalescing_modes_equivalent;
+          Alcotest.test_case "node accesses" `Quick test_node_accesses;
+          Alcotest.test_case "empty table" `Quick test_empty_table;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+open Qc_cube
+
+(* A product dimension with a two-level hierarchy:
+   electronics > {computers > {laptop, desktop}, phones > {phone}},
+   grocery > {produce > {apple, pear}}. *)
+let product_fixture () =
+  let schema = Schema.create [ "product"; "region" ] in
+  let table = Table.create schema in
+  List.iter
+    (fun (p, r, m) -> Table.add_row table [ p; r ] m)
+    [
+      ("laptop", "east", 1200.0);
+      ("desktop", "east", 900.0);
+      ("phone", "west", 650.0);
+      ("apple", "east", 2.0);
+      ("pear", "west", 3.0);
+      ("laptop", "west", 1150.0);
+    ];
+  let h = Hierarchy.create schema ~dim:0 in
+  Hierarchy.add_concept h "electronics";
+  Hierarchy.add_concept h ~parent:"electronics" "computers";
+  Hierarchy.add_concept h ~parent:"electronics" "phones";
+  Hierarchy.add_concept h "grocery";
+  Hierarchy.add_concept h ~parent:"grocery" "produce";
+  Hierarchy.assign h ~value:"laptop" "computers";
+  Hierarchy.assign h ~value:"desktop" "computers";
+  Hierarchy.assign h ~value:"phone" "phones";
+  Hierarchy.assign h ~value:"apple" "produce";
+  Hierarchy.assign h ~value:"pear" "produce";
+  (schema, table, h)
+
+let test_structure () =
+  let _, _, h = product_fixture () in
+  Alcotest.(check (option string)) "parent" (Some "electronics") (Hierarchy.parent h "computers");
+  Alcotest.(check (option string)) "root parent" None (Hierarchy.parent h "grocery");
+  Alcotest.(check (list string)) "children" [ "computers"; "phones" ]
+    (Hierarchy.children h "electronics");
+  Alcotest.(check (list string)) "values" [ "laptop"; "desktop" ] (Hierarchy.values_of h "computers");
+  Alcotest.(check int) "root level" 1 (Hierarchy.level h "electronics");
+  Alcotest.(check int) "inner level" 2 (Hierarchy.level h "produce");
+  Alcotest.(check (list string)) "all concepts"
+    [ "electronics"; "computers"; "phones"; "grocery"; "produce" ]
+    (Hierarchy.concepts h);
+  Alcotest.(check (option string)) "concept of value" (Some "phones")
+    (Hierarchy.concept_of_value h "phone");
+  Alcotest.(check (option string)) "unassigned value" None (Hierarchy.concept_of_value h "nope")
+
+let test_leaves () =
+  let schema, _, h = product_fixture () in
+  let dict = Schema.dict schema 0 in
+  let code v = Option.get (Qc_util.Dict.find dict v) in
+  let sorted vs = List.sort compare (List.map code vs) in
+  Alcotest.(check (list int)) "electronics leaves"
+    (sorted [ "laptop"; "desktop"; "phone" ])
+    (Array.to_list (Hierarchy.leaves h "electronics"));
+  Alcotest.(check (list int)) "computers leaves"
+    (sorted [ "laptop"; "desktop" ])
+    (Array.to_list (Hierarchy.leaves h "computers"));
+  Alcotest.(check (list int)) "grocery leaves"
+    (sorted [ "apple"; "pear" ])
+    (Array.to_list (Hierarchy.leaves h "grocery"))
+
+let test_hierarchical_range_query () =
+  (* The paper's hierarchical ranges: a concept expands to the value set of
+     a range query. *)
+  let schema, table, h = product_fixture () in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let range = [| Hierarchy.range_for h "electronics"; [||] |] in
+  let results = Qc_core.Query.range tree range in
+  (* three electronics products exist: laptop, desktop, phone *)
+  Alcotest.(check int) "3 product groups" 3 (List.length results);
+  let total =
+    List.fold_left (fun acc (_, a) -> acc +. a.Agg.sum) 0.0 results
+  in
+  Alcotest.(check (float 1e-9)) "electronics revenue" (1200. +. 900. +. 650. +. 1150.) total;
+  (* a concept combined with a point constraint *)
+  let east = Option.get (Qc_util.Dict.find (Schema.dict schema 1) "east") in
+  let range = [| Hierarchy.range_for h "grocery"; [| east |] |] in
+  match Qc_core.Query.range tree range with
+  | [ (_, a) ] -> Alcotest.(check (float 1e-9)) "east grocery" 2.0 a.Agg.sum
+  | l -> Alcotest.failf "expected 1 result, got %d" (List.length l)
+
+let test_reassignment () =
+  let _, _, h = product_fixture () in
+  Hierarchy.assign h ~value:"phone" "computers";
+  Alcotest.(check (option string)) "moved" (Some "computers") (Hierarchy.concept_of_value h "phone");
+  Alcotest.(check (list string)) "old concept emptied" [] (Hierarchy.values_of h "phones")
+
+let test_errors () =
+  let schema, _, h = product_fixture () in
+  ignore schema;
+  Alcotest.check_raises "duplicate concept"
+    (Invalid_argument "Hierarchy.add_concept: duplicate concept \"grocery\"") (fun () ->
+      Hierarchy.add_concept h "grocery");
+  Alcotest.check_raises "unknown parent" (Invalid_argument "Hierarchy: unknown concept \"nope\"")
+    (fun () -> Hierarchy.add_concept h ~parent:"nope" "x");
+  Alcotest.check_raises "unknown value"
+    (Invalid_argument "Hierarchy.assign: \"widget\" is not a value of dimension product")
+    (fun () -> Hierarchy.assign h ~value:"widget" "grocery")
+
+let test_iceberg_over_concept () =
+  (* Constrained iceberg query with a hierarchical constraint. *)
+  let _, table, h = product_fixture () in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let index = Qc_core.Query.make_index tree Agg.Sum in
+  let range = [| Hierarchy.range_for h "electronics"; [||] |] in
+  let heavy = Qc_core.Query.iceberg_range tree index range ~threshold:1000.0 in
+  (* laptop (2350 across regions) and the per-region laptop cells over 1000 *)
+  Alcotest.(check bool) "some heavy electronics" true (List.length heavy >= 1);
+  List.iter
+    (fun (_, a) -> Alcotest.(check bool) "above threshold" true (a.Agg.sum >= 1000.0))
+    heavy
+
+let prop_leaves_union () =
+  (* leaves(parent) = union of children's leaves and own values — checked on
+     randomized hierarchies. *)
+  let rng = Qc_util.Rng.create 55 in
+  for _ = 1 to 25 do
+    let card = 4 + Qc_util.Rng.int rng 12 in
+    let schema = Schema.create [ "d" ] in
+    for v = 1 to card do
+      ignore (Schema.encode_value schema 0 (Printf.sprintf "v%d" v))
+    done;
+    let h = Hierarchy.create schema ~dim:0 in
+    Hierarchy.add_concept h "root";
+    let n_sub = 1 + Qc_util.Rng.int rng 4 in
+    for i = 1 to n_sub do
+      Hierarchy.add_concept h ~parent:"root" (Printf.sprintf "c%d" i)
+    done;
+    for v = 1 to card do
+      let target =
+        if Qc_util.Rng.bool rng then "root"
+        else Printf.sprintf "c%d" (1 + Qc_util.Rng.int rng n_sub)
+      in
+      Hierarchy.assign h ~value:(Printf.sprintf "v%d" v) target
+    done;
+    let union =
+      List.sort_uniq compare
+        (List.concat
+           (List.map
+              (fun v -> [ Option.get (Qc_util.Dict.find (Schema.dict schema 0) v) ])
+              (Hierarchy.values_of h "root")
+           @ List.map
+               (fun c -> Array.to_list (Hierarchy.leaves h c))
+               (Hierarchy.children h "root")))
+    in
+    Alcotest.(check (list int)) "leaves = union" union
+      (Array.to_list (Hierarchy.leaves h "root"))
+  done
+
+let () =
+  Alcotest.run "qc_hierarchy"
+    [
+      ( "hierarchy",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "leaves" `Quick test_leaves;
+          Alcotest.test_case "hierarchical range query" `Quick test_hierarchical_range_query;
+          Alcotest.test_case "reassignment" `Quick test_reassignment;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "iceberg over concept" `Quick test_iceberg_over_concept;
+          Alcotest.test_case "leaves union property" `Quick prop_leaves_union;
+        ] );
+    ]

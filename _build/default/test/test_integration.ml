@@ -1,0 +1,156 @@
+(* Cross-module integration tests: the warehouse lifecycle at moderate
+   scale, long maintenance sequences, and three-way structure agreement. *)
+
+open Qc_cube
+module T = Qc_core.Qc_tree
+module M = Qc_core.Maintenance
+
+(* A warehouse goes through many rounds of mixed maintenance; after each
+   round the tree must answer exactly like a fresh rebuild. *)
+let test_maintenance_marathon () =
+  let rng = Qc_util.Rng.create 2003 in
+  let dims = 4 and card = 4 in
+  let base = Helpers.random_table rng ~dims ~card ~rows:30 () in
+  let tree = T.of_table base in
+  let base = ref base in
+  for round = 1 to 12 do
+    (match round mod 3 with
+    | 0 ->
+      (* delete a few random rows *)
+      let n = Table.n_rows !base in
+      if n > 2 then begin
+        let k = 1 + Qc_util.Rng.int rng (min 4 (n - 1)) in
+        let idxs = Array.init n Fun.id in
+        Qc_util.Rng.shuffle rng idxs;
+        let delta = Table.sub !base (Array.to_list (Array.sub idxs 0 k)) in
+        let nb, _ = M.delete_batch tree ~base:!base ~delta in
+        base := nb
+      end
+    | 1 ->
+      let delta =
+        Helpers.random_table rng ~schema:(Table.schema !base) ~dims ~card
+          ~rows:(1 + Qc_util.Rng.int rng 5) ()
+      in
+      ignore (M.insert_batch tree ~base:!base ~delta)
+    | _ ->
+      let delta =
+        Helpers.random_table rng ~schema:(Table.schema !base) ~dims ~card
+          ~rows:(1 + Qc_util.Rng.int rng 3) ()
+      in
+      ignore (M.insert_tuples tree ~base:!base ~delta));
+    (match T.validate tree with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "round %d: invalid tree: %s" round e);
+    let rebuilt = T.of_table !base in
+    let ok = ref true in
+    Helpers.iter_all_cells ~dims ~card (fun cell ->
+        match (Qc_core.Query.point tree cell, Qc_core.Query.point rebuilt cell) with
+        | None, None -> ()
+        | Some a, Some b when Agg.approx_equal a b -> ()
+        | _ -> ok := false);
+    Alcotest.(check bool) (Printf.sprintf "round %d equivalent" round) true !ok
+  done
+
+(* QC-tree, Dwarf and the materialized cube agree on a moderately large
+   synthetic workload, across point, range and iceberg access paths. *)
+let test_three_way_agreement () =
+  let spec =
+    { Qc_data.Synthetic.default with rows = 5_000; dims = 5; cardinality = 12; seed = 99 }
+  in
+  let table = Qc_data.Synthetic.generate spec in
+  let tree = T.of_table table in
+  let dwarf = Qc_dwarf.Dwarf.build table in
+  let cube = Full_cube.compute table in
+  (* every materialized cell *)
+  Full_cube.iter
+    (fun cell truth ->
+      (match Qc_core.Query.point tree cell with
+      | Some a when Agg.approx_equal a truth -> ()
+      | _ -> Alcotest.failf "tree wrong at %s" (Cell.to_string (Table.schema table) cell));
+      match Qc_dwarf.Dwarf.point dwarf cell with
+      | Some a when Agg.approx_equal a truth -> ()
+      | _ -> Alcotest.failf "dwarf wrong at %s" (Cell.to_string (Table.schema table) cell))
+    cube;
+  (* range queries *)
+  let ranges = Qc_data.Synthetic.random_range_queries ~seed:7 table 40 in
+  List.iter
+    (fun r ->
+      let norm l =
+        List.sort compare (List.map (fun (c, (a : Agg.t)) -> (Array.to_list c, a.count)) l)
+      in
+      Alcotest.(check bool) "range sets agree" true
+        (norm (Qc_core.Query.range tree r) = norm (Qc_dwarf.Dwarf.range dwarf r)))
+    ranges
+
+(* Serialization composes with maintenance: save, reload, keep maintaining,
+   stay equivalent to a rebuild. *)
+let test_persist_then_maintain () =
+  let rng = Qc_util.Rng.create 31337 in
+  let dims = 3 and card = 4 in
+  let base = Helpers.random_table rng ~dims ~card ~rows:25 () in
+  let tree = T.of_table base in
+  let reloaded = Qc_core.Serial.of_string (Qc_core.Serial.to_string tree) in
+  (* NOTE: the reloaded tree carries a reloaded schema; re-encode the delta
+     against it (codes are preserved, so structural reuse is fine). *)
+  let delta = Helpers.random_table rng ~schema:(Table.schema base) ~dims ~card ~rows:5 () in
+  let base' = Table.copy base in
+  ignore (M.insert_batch reloaded ~base:base' ~delta);
+  let rebuilt = T.of_table base' in
+  Alcotest.(check string) "identical after reload + insert" (T.canonical_string rebuilt)
+    (T.canonical_string reloaded)
+
+(* The quotient lattice stays consistent with the tree after maintenance:
+   rebuilding the quotient from the updated base matches tree answers. *)
+let test_quotient_after_maintenance () =
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  let tree = T.of_table base in
+  let delta = Table.create schema in
+  Table.add_row delta [ "S2"; "P2"; "f" ] 3.0;
+  Table.add_row delta [ "S2"; "P3"; "f" ] 6.0;
+  ignore (M.insert_batch tree ~base ~delta);
+  let quotient = Qc_core.Quotient.of_table base in
+  Array.iter
+    (fun (cls : Qc_core.Quotient.cls) ->
+      match Qc_core.Query.point tree cls.ub with
+      | Some a ->
+        Alcotest.(check Helpers.agg_testable)
+          (Printf.sprintf "class %s" (Cell.to_string schema cls.ub))
+          cls.agg a
+      | None -> Alcotest.failf "class %s missing" (Cell.to_string schema cls.ub))
+    (Qc_core.Quotient.classes quotient)
+
+(* CSV -> build -> CLI-style workflow pieces hold together. *)
+let test_csv_to_tree_pipeline () =
+  (* Build the source table through [add_row] so dictionary codes are
+     assigned in row order, exactly as a CSV reload assigns them; the two
+     trees are then canonically identical. *)
+  let spec = { Qc_data.Synthetic.default with rows = 300; dims = 3; cardinality = 6; seed = 4 } in
+  let generated = Qc_data.Synthetic.generate spec in
+  let gschema = Table.schema generated in
+  let schema = Schema.create (List.init 3 (fun i -> Schema.dim_name gschema i)) in
+  let table = Table.create schema in
+  Table.iter
+    (fun cell m ->
+      Table.add_row table (List.init 3 (fun i -> Schema.decode_value gschema i cell.(i))) m)
+    generated;
+  let csv = Qc_data.Csv.to_string table in
+  let reloaded = Qc_data.Csv.of_string csv in
+  let t1 = T.of_table table in
+  let t2 = T.of_table reloaded in
+  Alcotest.(check int) "same classes" (T.n_classes t1) (T.n_classes t2);
+  Alcotest.(check string) "same canonical tree" (T.canonical_string t1) (T.canonical_string t2)
+
+let () =
+  Alcotest.run "qc_integration"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "maintenance marathon" `Quick test_maintenance_marathon;
+          Alcotest.test_case "persist then maintain" `Quick test_persist_then_maintain;
+          Alcotest.test_case "quotient after maintenance" `Quick test_quotient_after_maintenance;
+          Alcotest.test_case "csv pipeline" `Quick test_csv_to_tree_pipeline;
+        ] );
+      ( "agreement",
+        [ Alcotest.test_case "tree = dwarf = cube at scale" `Slow test_three_way_agreement ] );
+    ]

@@ -1,0 +1,291 @@
+open Qc_cube
+module T = Qc_core.Qc_tree
+module M = Qc_core.Maintenance
+
+(* Configurations: a base table plus a delta. *)
+let maint_config =
+  QCheck.make
+    ~print:(fun (d, c, r, dr, s) ->
+      Printf.sprintf "dims=%d card=%d rows=%d drows=%d seed=%d" d c r dr s)
+    QCheck.Gen.(
+      let* d = int_range 2 5 in
+      let* c = int_range 2 4 in
+      let* r = int_range 1 25 in
+      let* dr = int_range 1 10 in
+      let* s = int_range 0 1_000_000 in
+      return (d, c, r, dr, s))
+
+let make_tables (dims, card, rows, drows, seed) =
+  let rng = Qc_util.Rng.create seed in
+  let base = Helpers.random_table rng ~dims ~card ~rows () in
+  let delta =
+    Helpers.random_table rng ~schema:(Table.schema base) ~dims ~card ~rows:drows ()
+  in
+  (base, delta)
+
+let queries_equal schema dims tree rebuilt =
+  let card = Schema.cardinality schema 0 in
+  let ok = ref true in
+  Helpers.iter_all_cells ~dims ~card (fun cell ->
+      match (Qc_core.Query.point tree cell, Qc_core.Query.point rebuilt cell) with
+      | None, None -> ()
+      | Some a, Some b when Agg.approx_equal a b -> ()
+      | _ -> ok := false);
+  !ok
+
+(* ---------- Insertion: Theorem 2, the strong form ---------- *)
+
+let prop_insert_identical_to_rebuild =
+  Helpers.qcheck_case ~count:250
+    ~name:"batch insertion yields the rebuilt tree exactly (Theorem 2)" maint_config
+    (fun cfg ->
+      let base, delta = make_tables cfg in
+      let tree = T.of_table base in
+      ignore (M.insert_batch tree ~base ~delta);
+      (* insert_batch appended delta to base *)
+      let rebuilt = T.of_table base in
+      T.canonical_string tree = T.canonical_string rebuilt && T.validate tree = Ok ())
+
+let prop_insert_tuplewise_query_equiv =
+  Helpers.qcheck_case ~count:100
+    ~name:"tuple-by-tuple insertion answers like the rebuilt tree" maint_config
+    (fun ((dims, _, _, _, _) as cfg) ->
+      let base, delta = make_tables cfg in
+      let tree = T.of_table base in
+      ignore (M.insert_tuples tree ~base ~delta);
+      let rebuilt = T.of_table base in
+      T.validate tree = Ok () && queries_equal (Table.schema base) dims tree rebuilt)
+
+let test_insert_case1_duplicate_tuple () =
+  (* Case 1 of Section 3.3.1: inserting a tuple equal to an existing one only
+     updates measures, never changes the class structure. *)
+  let base = Helpers.sales_table () in
+  let tree = T.of_table base in
+  let n_before = T.n_nodes tree and c_before = T.n_classes tree in
+  let delta = Table.sub base [ 0 ] in
+  let stats = M.insert_batch tree ~base ~delta in
+  Alcotest.(check int) "no new nodes" n_before (T.n_nodes tree);
+  Alcotest.(check int) "no new classes" c_before (T.n_classes tree);
+  Alcotest.(check int) "nothing carved" 0 stats.carved;
+  Alcotest.(check int) "nothing fresh" 0 stats.fresh;
+  Alcotest.(check bool) "updates happened" true (stats.updated > 0);
+  (* The cell (S1,P1,ALL) now counts the tuple twice. *)
+  let schema = Table.schema base in
+  match Qc_core.Query.point tree (Cell.parse schema [ "S1"; "P1"; "*" ]) with
+  | Some a ->
+    Alcotest.(check int) "count 2" 2 a.Agg.count;
+    Alcotest.(check (float 1e-9)) "sum 12" 12.0 a.Agg.sum
+  | None -> Alcotest.fail "query failed"
+
+let test_insert_example3 () =
+  (* Example 3: insert {(S2,P2,f), (S2,P3,f)} into the running example. *)
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  (* P3 must exist in the dictionary before parsing. *)
+  let tree = T.of_table base in
+  let delta = Table.create schema in
+  Table.add_row delta [ "S2"; "P2"; "f" ] 3.0;
+  Table.add_row delta [ "S2"; "P3"; "f" ] 6.0;
+  let stats = M.insert_batch tree ~base ~delta in
+  (* Figure 8: updates to the root class; splits of the P2 and S2-f classes; new
+     classes for the two tuples and their generalizations. *)
+  Alcotest.(check bool) "some carved" true (stats.carved > 0);
+  Alcotest.(check bool) "some fresh" true (stats.fresh > 0);
+  let rebuilt = T.of_table base in
+  Alcotest.(check string) "identical to rebuild" (T.canonical_string rebuilt)
+    (T.canonical_string tree);
+  (* Figure 9 spot checks. *)
+  let q vals = Qc_core.Query.point tree (Cell.parse schema vals) in
+  (match q [ "S2"; "*"; "f" ] with
+  | Some a -> Alcotest.(check int) "S2-f count 3" 3 a.Agg.count
+  | None -> Alcotest.fail "S2,*,f missing");
+  (match q [ "*"; "P2"; "*" ] with
+  | Some a -> Alcotest.(check int) "P2 count 2" 2 a.Agg.count
+  | None -> Alcotest.fail "*,P2,* missing");
+  match q [ "S2"; "P3"; "*" ] with
+  | Some a -> Alcotest.(check (float 1e-9)) "new class value" 6.0 a.Agg.sum
+  | None -> Alcotest.fail "S2,P3,* missing"
+
+(* ---------- Deletion ---------- *)
+
+let delete_config =
+  QCheck.make
+    ~print:(fun (d, c, r, k, s) ->
+      Printf.sprintf "dims=%d card=%d rows=%d k=%d seed=%d" d c r k s)
+    QCheck.Gen.(
+      let* d = int_range 2 5 in
+      let* c = int_range 2 4 in
+      let* r = int_range 2 25 in
+      let* k = int_range 1 12 in
+      let* s = int_range 0 1_000_000 in
+      return (d, c, r, k, s))
+
+let prop_delete_query_equiv =
+  Helpers.qcheck_case ~count:250
+    ~name:"batch deletion answers exactly like the rebuilt tree" delete_config
+    (fun (dims, card, rows, k, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let base = Helpers.random_table rng ~dims ~card ~rows () in
+      let k = min k (Table.n_rows base) in
+      let idxs = Array.init (Table.n_rows base) Fun.id in
+      Qc_util.Rng.shuffle rng idxs;
+      let delta = Table.sub base (Array.to_list (Array.sub idxs 0 k)) in
+      let tree = T.of_table base in
+      let new_base, _ = M.delete_batch tree ~base ~delta in
+      let rebuilt = T.of_table new_base in
+      T.validate tree = Ok ()
+      && queries_equal (Table.schema base) dims tree rebuilt
+      && T.n_classes tree = T.n_classes rebuilt
+      && T.n_nodes tree = T.n_nodes rebuilt)
+
+let test_delete_example4 () =
+  (* Example 4: base {(S1,P1,s),(S1,P2,s),(S2,P1,f),(S2,P2,f),(S2,P3,f)},
+     delete {(S2,P2,f),(S2,P3,f)} — merges (S2,*,f) into (S2,P1,f) and
+     the P2 class into (S1,P2,s). *)
+  let schema = Schema.create ~measure_name:"Sale" [ "Store"; "Product"; "Season" ] in
+  let base = Table.create schema in
+  Table.add_row base [ "S1"; "P1"; "s" ] 6.0;
+  Table.add_row base [ "S1"; "P2"; "s" ] 12.0;
+  Table.add_row base [ "S2"; "P1"; "f" ] 9.0;
+  Table.add_row base [ "S2"; "P2"; "f" ] 3.0;
+  Table.add_row base [ "S2"; "P3"; "f" ] 6.0;
+  let delta = Table.sub base [ 3; 4 ] in
+  let tree = T.of_table base in
+  let new_base, stats = M.delete_batch tree ~base ~delta in
+  Alcotest.(check int) "3 rows left" 3 (Table.n_rows new_base);
+  Alcotest.(check bool) "classes merged" true (stats.merged >= 2);
+  let rebuilt = T.of_table new_base in
+  Alcotest.(check bool) "query equivalent" true (queries_equal schema 3 tree rebuilt);
+  (* The merge adds the paper's link: the P2 cell now answers via (S1,P2,s). *)
+  match Qc_core.Query.point tree (Cell.parse schema [ "*"; "P2"; "*" ]) with
+  | Some a -> Alcotest.(check (float 1e-9)) "P2 avg 12" 12.0 (Agg.value Agg.Avg a)
+  | None -> Alcotest.fail "(*,P2,*) lost"
+
+let test_delete_everything () =
+  let base = Helpers.sales_table () in
+  let delta = Table.copy base in
+  let tree = T.of_table base in
+  let new_base, stats = M.delete_batch tree ~base ~delta in
+  Alcotest.(check int) "empty base" 0 (Table.n_rows new_base);
+  Alcotest.(check int) "no classes left" 0 (T.n_classes tree);
+  Alcotest.(check int) "only root remains" 1 (T.n_nodes tree);
+  Alcotest.(check bool) "classes removed" true (stats.removed > 0)
+
+let test_delete_missing_row_rejected () =
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  let delta = Table.create schema in
+  Table.add_row delta [ "S1"; "P1"; "s" ] 999.0;
+  let tree = T.of_table base in
+  Alcotest.check_raises "missing row"
+    (Invalid_argument "Maintenance.delete_batch: delta row not present in base") (fun () ->
+      ignore (M.delete_batch tree ~base ~delta))
+
+let test_insert_then_delete_roundtrip () =
+  (* Inserting a delta and deleting it again restores query behaviour. *)
+  let cfg = (3, 3, 12, 5, 777) in
+  let base, delta = make_tables cfg in
+  let original = T.of_table base in
+  let tree = T.of_table base in
+  let work = Table.copy base in
+  ignore (M.insert_batch tree ~base:work ~delta);
+  let restored, _ = M.delete_batch tree ~base:work ~delta in
+  Alcotest.(check int) "row count restored" (Table.n_rows base) (Table.n_rows restored);
+  Alcotest.(check bool) "queries restored" true
+    (queries_equal (Table.schema base) 3 tree original)
+
+let test_min_max_after_delete () =
+  (* MIN/MAX must be recomputed when the deleted tuple held the bound. *)
+  let schema = Schema.create [ "A"; "B" ] in
+  let base = Table.create schema in
+  Table.add_row base [ "a1"; "b1" ] 100.0;
+  Table.add_row base [ "a1"; "b2" ] 1.0;
+  Table.add_row base [ "a1"; "b3" ] 50.0;
+  let delta = Table.sub base [ 0 ] in
+  let tree = T.of_table base in
+  let _, _ = M.delete_batch tree ~base ~delta in
+  match Qc_core.Query.point tree (Cell.parse schema [ "a1"; "*" ]) with
+  | Some a ->
+    Alcotest.(check (float 1e-9)) "max recomputed" 50.0 a.Agg.max;
+    Alcotest.(check (float 1e-9)) "min kept" 1.0 a.Agg.min;
+    Alcotest.(check int) "count" 2 a.Agg.count
+  | None -> Alcotest.fail "query failed"
+
+let prop_insert_stats_consistent =
+  Helpers.qcheck_case ~count:100 ~name:"insertion stats count every processed bound"
+    maint_config (fun cfg ->
+      let base, delta = make_tables cfg in
+      let tree = T.of_table base in
+      let stats = M.insert_batch tree ~base ~delta in
+      stats.located >= stats.updated + stats.carved + stats.fresh
+      && stats.fresh + stats.carved + stats.updated > 0)
+
+let test_empty_deltas () =
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  let tree = T.of_table base in
+  let before = T.canonical_string tree in
+  let empty = Table.create schema in
+  let stats = M.insert_batch tree ~base ~delta:empty in
+  Alcotest.(check int) "no rows" 3 (Table.n_rows base);
+  Alcotest.(check int) "no updates" 0 (stats.updated + stats.carved + stats.fresh);
+  let _, dstats = M.delete_batch tree ~base ~delta:empty in
+  Alcotest.(check int) "no removals" 0 dstats.removed;
+  Alcotest.(check string) "tree untouched" before (T.canonical_string tree)
+
+let test_insert_into_empty_warehouse () =
+  let schema = Schema.create [ "A"; "B" ] in
+  let base = Table.create schema in
+  let tree = T.of_table base in
+  let delta = Table.create schema in
+  Table.add_row delta [ "a"; "b" ] 1.0;
+  Table.add_row delta [ "a"; "c" ] 2.0;
+  ignore (M.insert_batch tree ~base ~delta);
+  let rebuilt = T.of_table base in
+  Alcotest.(check string) "identical" (T.canonical_string rebuilt) (T.canonical_string tree)
+
+let test_duplicate_rows_multiset_delete () =
+  (* Two identical rows; deleting one leaves the other. *)
+  let schema = Schema.create [ "A" ] in
+  let base = Table.create schema in
+  Table.add_row base [ "x" ] 5.0;
+  Table.add_row base [ "x" ] 5.0;
+  let tree = T.of_table base in
+  let delta = Table.sub base [ 0 ] in
+  let new_base, _ = M.delete_batch tree ~base ~delta in
+  Alcotest.(check int) "one left" 1 (Table.n_rows new_base);
+  match Qc_core.Query.point tree (Cell.parse schema [ "x" ]) with
+  | Some a ->
+    Alcotest.(check int) "count 1" 1 a.Agg.count;
+    Alcotest.(check (float 1e-9)) "sum 5" 5.0 a.Agg.sum
+  | None -> Alcotest.fail "remaining row lost"
+
+let () =
+  Alcotest.run "qc_maintenance"
+    [
+      ( "insertion",
+        [
+          prop_insert_identical_to_rebuild;
+          prop_insert_tuplewise_query_equiv;
+          prop_insert_stats_consistent;
+          Alcotest.test_case "case 1: duplicate tuple" `Quick test_insert_case1_duplicate_tuple;
+          Alcotest.test_case "Example 3 (batch update)" `Quick test_insert_example3;
+        ] );
+      ( "deletion",
+        [
+          prop_delete_query_equiv;
+          Alcotest.test_case "Example 4 (merge)" `Quick test_delete_example4;
+          Alcotest.test_case "delete everything" `Quick test_delete_everything;
+          Alcotest.test_case "missing row rejected" `Quick test_delete_missing_row_rejected;
+          Alcotest.test_case "min/max repair" `Quick test_min_max_after_delete;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "empty deltas" `Quick test_empty_deltas;
+          Alcotest.test_case "insert into empty warehouse" `Quick test_insert_into_empty_warehouse;
+          Alcotest.test_case "duplicate-row multiset delete" `Quick test_duplicate_rows_multiset_delete;
+        ] );
+      ( "composition",
+        [ Alcotest.test_case "insert then delete roundtrip" `Quick test_insert_then_delete_roundtrip ]
+      );
+    ]

@@ -1,0 +1,195 @@
+open Qc_cube
+module T = Qc_core.Qc_tree
+module Q = Qc_core.Query
+
+(* ---------- Paper Example 5: point queries on the running example ---------- *)
+
+let test_example5 () =
+  let table = Helpers.sales_table () in
+  let schema = Table.schema table in
+  let tree = T.of_table table in
+  let q vals = Q.point_value tree Agg.Avg (Cell.parse schema vals) in
+  Alcotest.(check (option (float 1e-9))) "(S2,*,f) = 9" (Some 9.0) (q [ "S2"; "*"; "f" ]);
+  Alcotest.(check (option (float 1e-9))) "(S2,*,s) = null" None (q [ "S2"; "*"; "s" ]);
+  Alcotest.(check (option (float 1e-9))) "(*,P2,*) = 12" (Some 12.0) (q [ "*"; "P2"; "*" ]);
+  Alcotest.(check (option (float 1e-9))) "(*,*,*) = 9" (Some 9.0) (q [ "*"; "*"; "*" ]);
+  Alcotest.(check (option (float 1e-9))) "(*,P1,*) = 7.5" (Some 7.5) (q [ "*"; "P1"; "*" ])
+
+(* ---------- Paper Example 6: range query ---------- *)
+
+let test_example6 () =
+  let table = Helpers.sales_table () in
+  let schema = Table.schema table in
+  let tree = T.of_table table in
+  (* ({S1,S2}, {P1}, f) — S3/P3 of the paper don't exist in the dictionary,
+     so the encodable equivalent range is used; only (S2,P1,f) matches. *)
+  let store = Schema.dict schema 0 and product = Schema.dict schema 1 in
+  let season = Schema.dict schema 2 in
+  let range =
+    [|
+      [| Option.get (Qc_util.Dict.find store "S1"); Option.get (Qc_util.Dict.find store "S2") |];
+      [| Option.get (Qc_util.Dict.find product "P1") |];
+      [| Option.get (Qc_util.Dict.find season "f") |];
+    |]
+  in
+  match Q.range tree range with
+  | [ (cell, agg) ] ->
+    Alcotest.(check string) "cell" "(S2, P1, f)" (Cell.to_string schema cell);
+    Alcotest.(check (float 1e-9)) "agg" 9.0 (Agg.value Agg.Avg agg)
+  | results -> Alcotest.failf "expected 1 result, got %d" (List.length results)
+
+(* ---------- Exhaustive point-query correctness ---------- *)
+
+let prop_point_queries_exact =
+  Helpers.qcheck_case ~count:150 ~name:"point query = cover aggregate for every cell"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      Helpers.check_point_queries_against_table table (Q.point tree))
+
+let prop_range_equals_points =
+  Helpers.qcheck_case ~count:100 ~name:"range query = union of its point queries"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      (* random range query *)
+      let q =
+        Array.init dims (fun _ ->
+            match Qc_util.Rng.int rng 3 with
+            | 0 -> [||]
+            | 1 -> [| 1 + Qc_util.Rng.int rng card |]
+            | _ ->
+              let a = 1 + Qc_util.Rng.int rng card and b = 1 + Qc_util.Rng.int rng card in
+              if a = b then [| a |] else [| min a b; max a b |])
+      in
+      let results = Q.range tree q in
+      let expected =
+        List.filter_map
+          (fun cell ->
+            match Q.point tree cell with Some a -> Some (cell, a) | None -> None)
+          (Q.range_of_cells tree q)
+      in
+      let norm l =
+        List.sort compare
+          (List.map (fun (c, a) -> (Array.to_list c, a.Agg.count, a.Agg.sum)) l)
+      in
+      norm results = norm expected)
+
+(* ---------- Iceberg queries ---------- *)
+
+let prop_iceberg_complete =
+  Helpers.qcheck_case ~count:80 ~name:"iceberg = classes above threshold"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let idx = Q.make_index tree Agg.Count in
+      let threshold = float_of_int (1 + Qc_util.Rng.int rng 4) in
+      let results = Q.iceberg idx ~threshold in
+      (* equivalent scan over class nodes *)
+      let expected = ref 0 in
+      T.iter_classes
+        (fun _ _ agg -> if Agg.value Agg.Count agg >= threshold then incr expected)
+        tree;
+      List.length results = !expected
+      && List.for_all (fun (_, a) -> Agg.value Agg.Count a >= threshold) results)
+
+let prop_iceberg_range_strategies_agree =
+  Helpers.qcheck_case ~count:80 ~name:"constrained iceberg: filter and mark agree"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let idx = Q.make_index tree Agg.Sum in
+      let q =
+        Array.init dims (fun _ ->
+            match Qc_util.Rng.int rng 3 with
+            | 0 -> [||]
+            | 1 -> [| 1 + Qc_util.Rng.int rng card |]
+            | _ -> Array.init (min 2 card) (fun i -> i + 1))
+      in
+      let threshold = float_of_int (Qc_util.Rng.int rng 100) in
+      let norm l =
+        List.sort compare
+          (List.map (fun (c, (a : Agg.t)) -> (Array.to_list c, a.count, a.sum)) l)
+      in
+      norm (Q.iceberg_range ~strategy:`Filter tree idx q ~threshold)
+      = norm (Q.iceberg_range ~strategy:`Mark tree idx q ~threshold))
+
+(* ---------- Against the materialized full cube on a bigger instance ---------- *)
+
+let test_against_full_cube_bigger () =
+  let spec = { Qc_data.Synthetic.default with rows = 2000; dims = 4; cardinality = 8; seed = 5 } in
+  let table = Qc_data.Synthetic.generate spec in
+  let tree = T.of_table table in
+  let cube = Full_cube.compute table in
+  (* every materialized cell answers correctly *)
+  let checked = ref 0 in
+  Full_cube.iter
+    (fun cell truth ->
+      incr checked;
+      match Q.point tree cell with
+      | Some a when Agg.approx_equal a truth -> ()
+      | Some a -> Alcotest.failf "cell wrong: %a vs %a" Agg.pp a Agg.pp truth
+      | None -> Alcotest.fail "cell missing")
+    cube;
+  Alcotest.(check bool) "covered many cells" true (!checked > 1000);
+  (* spot-check emptiness: mutate existing cells out of range *)
+  let rng = Qc_util.Rng.create 99 in
+  for _ = 1 to 200 do
+    let cell = Array.init 4 (fun _ -> 1 + Qc_util.Rng.int rng 8) in
+    let truth = Table.cover_agg table cell in
+    match Q.point tree cell with
+    | None -> Alcotest.(check int) "truly empty" 0 truth.Agg.count
+    | Some a -> Alcotest.(check Helpers.agg_testable) "truly present" truth a
+  done
+
+let prop_node_accesses_bounded =
+  Helpers.qcheck_case ~count:80 ~name:"point queries touch at most path-length many nodes"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let ok = ref true in
+      Helpers.iter_all_cells ~dims ~card (fun cell ->
+          let acc = Q.node_accesses tree cell in
+          if acc < 1 || acc > T.n_nodes tree then ok := false;
+          (* a base tuple's path has at most dims+1 nodes and cannot need
+             hops beyond one per dimension *)
+          if Cell.is_base cell && Q.point tree cell <> None && acc > (2 * dims) + 1 then
+            ok := false);
+      !ok)
+
+let test_locate_returns_class_ub () =
+  let table = Helpers.sales_table () in
+  let schema = Table.schema table in
+  let tree = T.of_table table in
+  (* (S2,*,f) lies in class C3 whose upper bound is (S2,P1,f). *)
+  match Q.locate tree (Cell.parse schema [ "S2"; "*"; "f" ]) with
+  | Some node ->
+    Alcotest.(check string) "class ub" "(S2, P1, f)"
+      (Cell.to_string schema (T.node_cell tree node))
+  | None -> Alcotest.fail "locate failed"
+
+let () =
+  Alcotest.run "qc_query"
+    [
+      ( "paper examples",
+        [
+          Alcotest.test_case "Example 5 (point)" `Quick test_example5;
+          Alcotest.test_case "Example 6 (range)" `Quick test_example6;
+          Alcotest.test_case "locate = class upper bound" `Quick test_locate_returns_class_ub;
+        ] );
+      ( "properties",
+        [
+          prop_point_queries_exact;
+          prop_range_equals_points;
+          prop_iceberg_complete;
+          prop_iceberg_range_strategies_agree;
+          prop_node_accesses_bounded;
+        ] );
+      ( "scale",
+        [ Alcotest.test_case "against materialized cube" `Quick test_against_full_cube_bigger ] );
+    ]

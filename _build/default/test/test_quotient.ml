@@ -1,0 +1,246 @@
+open Qc_cube
+module Qt = Qc_core.Quotient
+module Ex = Qc_core.Explore
+
+(* ---------- The paper's quotient cube (Figure 3) ---------- *)
+
+let test_paper_classes () =
+  let table = Helpers.sales_table () in
+  let q = Qt.of_table table in
+  Alcotest.(check int) "6 classes" 6 (Qt.n_classes q);
+  let schema = Qt.schema q in
+  (* C3: upper bound (S2,P1,f), lower bounds {(ALL,ALL,f), (S2,ALL,ALL)}. *)
+  match Qt.find_by_ub q (Cell.parse schema [ "S2"; "P1"; "f" ]) with
+  | None -> Alcotest.fail "C3 missing"
+  | Some c3 ->
+    let lbs = List.sort compare (List.map (Cell.to_string schema) c3.lbs) in
+    Alcotest.(check (list string)) "C3 lower bounds" [ "(*, *, f)"; "(S2, *, *)" ] lbs;
+    Alcotest.(check (float 1e-9)) "C3 avg" 9.0 (Agg.value Agg.Avg c3.agg)
+
+let test_paper_class_membership () =
+  let table = Helpers.sales_table () in
+  let q = Qt.of_table table in
+  let schema = Qt.schema q in
+  let c3 = Option.get (Qt.find_by_ub q (Cell.parse schema [ "S2"; "P1"; "f" ])) in
+  (* Figure 3's drill-down into C3: 6 member cells. *)
+  let members = Qt.members q c3 in
+  Alcotest.(check int) "6 members" 6 (List.length members);
+  List.iter
+    (fun m -> Alcotest.(check bool) "contains" true (Qt.contains c3 m))
+    members;
+  Alcotest.(check bool) "outsider" false
+    (Qt.contains c3 (Cell.parse schema [ "S1"; "P1"; "s" ]))
+
+let test_class_of_cell () =
+  let table = Helpers.sales_table () in
+  let q = Qt.of_table table in
+  let schema = Qt.schema q in
+  (match Qt.class_of_cell q (Cell.parse schema [ "*"; "*"; "f" ]) with
+  | Some cls ->
+    Alcotest.(check string) "in C3" "(S2, P1, f)" (Cell.to_string schema cls.ub)
+  | None -> Alcotest.fail "class_of_cell failed");
+  Alcotest.(check bool) "empty cover -> none" true
+    (Qt.class_of_cell q (Cell.parse schema [ "S2"; "P2"; "*" ]) = None)
+
+(* ---------- Intelligent roll-up (paper Section 1) ---------- *)
+
+let test_intelligent_rollup () =
+  let table = Helpers.sales_table () in
+  let q = Qt.of_table table in
+  let schema = Qt.schema q in
+  (* "Starting from (S2,P1,f), what are the most general circumstances where
+     the average sale is still 9?"  Answer: the class of the all-ALL cell. *)
+  match Ex.intelligent_rollup q Agg.Avg (Cell.parse schema [ "S2"; "P1"; "f" ]) with
+  | None -> Alcotest.fail "rollup failed"
+  | Some r ->
+    Alcotest.(check string) "start class" "(S2, P1, f)"
+      (Cell.to_string schema r.start_class.ub);
+    (* region = {C3, C1}: the avg-9 classes reachable by rolling up.  C4 also
+       averages 9 but is not a roll-up of the start cell, so it is excluded. *)
+    let region_ubs = List.sort compare (List.map (fun (c : Qt.cls) -> Cell.to_string schema c.ub) r.region) in
+    Alcotest.(check (list string)) "region"
+      [ "(*, *, *)"; "(S2, P1, f)" ] region_ubs;
+    (match r.most_general with
+    | [ c ] -> Alcotest.(check string) "most general is C1" "(*, *, *)" (Cell.to_string schema c.ub)
+    | l -> Alcotest.failf "expected 1 most-general class, got %d" (List.length l))
+
+let test_drilldown_rollup_navigation () =
+  let table = Helpers.sales_table () in
+  let q = Qt.of_table table in
+  let schema = Qt.schema q in
+  (* Drilling down from the all-ALL cell via Season=f reaches C3 — and so does first
+     specializing Product=P1: the equivalent-drill-down pattern of Sec. 1. *)
+  let all = Cell.parse schema [ "*"; "*"; "*" ] in
+  let f_code = Option.get (Qc_util.Dict.find (Schema.dict schema 2) "f") in
+  let p1 = Option.get (Qc_util.Dict.find (Schema.dict schema 1) "P1") in
+  let via_f = Option.get (Ex.drill_down q all ~dim:2 ~value:f_code) in
+  let p1_cell = Cell.parse schema [ "*"; "P1"; "*" ] in
+  let via_p1_then_f = Option.get (Ex.drill_down q p1_cell ~dim:2 ~value:f_code) in
+  Alcotest.(check int) "same class" via_f.cid via_p1_then_f.cid;
+  (* (ALL,P1,f) and its Product roll-up (ALL,ALL,f) are both members of C3:
+     rolling up within a class stays in the class. *)
+  Alcotest.(check bool) "rolling up Product from (ALL,P1,f) stays in C3" true
+    (match Ex.roll_up q (Cell.parse schema [ "*"; "P1"; "f" ]) ~dim:1 with
+    | Some c -> c.cid = via_f.cid
+    | None -> false);
+  ignore p1
+
+let test_equivalent_drilldowns () =
+  let table = Helpers.sales_table () in
+  let q = Qt.of_table table in
+  let schema = Qt.schema q in
+  let from_all = Ex.equivalent_drilldowns q (Cell.parse schema [ "*"; "*"; "*" ]) in
+  (* one entry per (dim, value) with non-empty cover: S1,S2,P1,P2,s,f *)
+  Alcotest.(check int) "6 drilldowns" 6 (List.length from_all);
+  (* S1 and s reach the same class (cover equivalence) *)
+  let cls_of dim name =
+    let code = Option.get (Qc_util.Dict.find (Schema.dict schema dim) name) in
+    let _, _, c = List.find (fun (d, v, _) -> d = dim && v = code) from_all in
+    c.Qt.cid
+  in
+  Alcotest.(check int) "S1 ~ s" (cls_of 0 "S1") (cls_of 2 "s")
+
+(* ---------- Intelligent roll-up properties ---------- *)
+
+let prop_rollup_region_sound =
+  Helpers.qcheck_case ~count:60
+    ~name:"intelligent roll-up region members keep the aggregate and roll up from the start"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let q = Qt.of_table table in
+      (* random start cell anchored on a tuple *)
+      let anchor = Table.tuple table (Qc_util.Rng.int rng (Table.n_rows table)) in
+      let start = Array.map (fun v -> if Qc_util.Rng.bool rng then v else Cell.all) anchor in
+      match Ex.intelligent_rollup q Agg.Sum start with
+      | None -> Table.cover_agg table start |> fun a -> a.Agg.count = 0
+      | Some r ->
+        let target = Agg.value Agg.Sum r.start_class.agg in
+        List.for_all
+          (fun (c : Qt.cls) ->
+            Float.abs (Agg.value Agg.Sum c.agg -. target)
+            <= 1e-9 *. Float.max 1.0 (Float.abs target))
+          r.region
+        && r.most_general <> []
+        && List.for_all (fun (c : Qt.cls) -> List.memq c r.region) r.most_general)
+
+let prop_rollup_frontier_maximal =
+  Helpers.qcheck_case ~count:40
+    ~name:"no lattice child of a most-general class keeps the aggregate"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let q = Qt.of_table table in
+      let anchor = Table.tuple table (Qc_util.Rng.int rng (Table.n_rows table)) in
+      match Ex.intelligent_rollup q Agg.Count anchor with
+      | None -> false
+      | Some r ->
+        let target = Agg.value Agg.Count r.start_class.agg in
+        List.for_all
+          (fun (c : Qt.cls) ->
+            List.for_all
+              (fun kid -> Agg.value Agg.Count (Qt.find q kid).agg <> target)
+              c.children)
+          r.most_general)
+
+(* ---------- Properties of cover partitions (Lemma 1) ---------- *)
+
+let prop_unique_upper_bound =
+  Helpers.qcheck_case ~name:"each class has a unique upper bound" Helpers.table_config
+    (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let q = Qt.of_table table in
+      let seen = Cell.Tbl.create 64 in
+      Array.for_all
+        (fun (c : Qt.cls) ->
+          if Cell.Tbl.mem seen c.ub then false
+          else begin
+            Cell.Tbl.replace seen c.ub ();
+            true
+          end)
+        (Qt.classes q))
+
+let prop_members_cover_equivalent =
+  Helpers.qcheck_case ~count:60 ~name:"all member cells are cover equivalent"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let q = Qt.of_table table in
+      Array.for_all
+        (fun (c : Qt.cls) ->
+          List.for_all
+            (fun m -> Agg.approx_equal (Table.cover_agg table m) c.agg)
+            (Qt.members ~limit:256 q c))
+        (Qt.classes q))
+
+let prop_convexity =
+  Helpers.qcheck_case ~count:40 ~name:"classes are convex (no holes)" Helpers.table_config
+    (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let q = Qt.of_table table in
+      (* for every cell e between two member cells c <= e <= d, e is a member *)
+      let ok = ref true in
+      Array.iter
+        (fun (cls : Qt.cls) ->
+          let ms = Qt.members ~limit:64 q cls in
+          List.iter
+            (fun cm ->
+              List.iter
+                (fun dm ->
+                  if Cell.rolls_up_to dm cm then
+                    (* meet-style midpoints: specialize cm one dim toward dm *)
+                    Array.iteri
+                      (fun j v ->
+                        if cm.(j) = Cell.all && v <> Cell.all then begin
+                          let e = Cell.copy cm in
+                          e.(j) <- v;
+                          if not (Qt.contains cls e) then ok := false
+                        end)
+                      dm)
+                ms)
+            ms)
+        (Qt.classes q);
+      !ok)
+
+let prop_lattice_children_more_general =
+  Helpers.qcheck_case ~name:"lattice children are more general classes"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let q = Qt.of_table table in
+      Array.for_all
+        (fun (c : Qt.cls) ->
+          List.for_all
+            (fun kid_id ->
+              (* a lattice child covers strictly more tuples *)
+              (Qt.find q kid_id).agg.Agg.count > c.agg.Agg.count)
+            c.children)
+        (Qt.classes q))
+
+let () =
+  Alcotest.run "qc_quotient"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "classes (Fig 3)" `Quick test_paper_classes;
+          Alcotest.test_case "class membership" `Quick test_paper_class_membership;
+          Alcotest.test_case "class_of_cell" `Quick test_class_of_cell;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "intelligent rollup" `Quick test_intelligent_rollup;
+          Alcotest.test_case "navigation" `Quick test_drilldown_rollup_navigation;
+          Alcotest.test_case "equivalent drilldowns" `Quick test_equivalent_drilldowns;
+        ] );
+      ( "intelligent rollup",
+        [ prop_rollup_region_sound; prop_rollup_frontier_maximal ] );
+      ( "lemma 1",
+        [
+          prop_unique_upper_bound;
+          prop_members_cover_equivalent;
+          prop_convexity;
+          prop_lattice_children_more_general;
+        ] );
+    ]

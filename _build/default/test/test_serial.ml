@@ -1,0 +1,122 @@
+open Qc_cube
+module T = Qc_core.Qc_tree
+module S = Qc_core.Serial
+
+let prop_roundtrip_canonical =
+  Helpers.qcheck_case ~count:150 ~name:"save/load preserves the canonical tree"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let tree' = S.of_string (S.to_string tree) in
+      T.canonical_string tree = T.canonical_string tree')
+
+let prop_roundtrip_queries =
+  Helpers.qcheck_case ~count:80 ~name:"a reloaded tree answers identically"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let tree' = S.of_string (S.to_string tree) in
+      let ok = ref true in
+      Helpers.iter_all_cells ~dims ~card (fun cell ->
+          match (Qc_core.Query.point tree cell, Qc_core.Query.point tree' cell) with
+          | None, None -> ()
+          | Some a, Some b when Agg.equal a b -> ()
+          | _ -> ok := false);
+      !ok)
+
+let test_roundtrip_schema () =
+  let table = Helpers.sales_table () in
+  let tree = T.of_table table in
+  let tree' = S.of_string (S.to_string tree) in
+  let s = T.schema tree and s' = T.schema tree' in
+  Alcotest.(check int) "dims" (Schema.n_dims s) (Schema.n_dims s');
+  Alcotest.(check string) "measure" (Schema.measure_name s) (Schema.measure_name s');
+  for i = 0 to Schema.n_dims s - 1 do
+    Alcotest.(check string) "dim name" (Schema.dim_name s i) (Schema.dim_name s' i);
+    Alcotest.(check int) "cardinality" (Schema.cardinality s i) (Schema.cardinality s' i)
+  done;
+  (* dictionary codes are preserved, so external-value queries agree *)
+  let q t vals = Qc_core.Query.point_value t Agg.Avg (Cell.parse (T.schema t) vals) in
+  Alcotest.(check (option (float 1e-9))) "query by name" (q tree [ "S2"; "*"; "f" ])
+    (q tree' [ "S2"; "*"; "f" ])
+
+let test_float_exactness () =
+  let schema = Schema.create [ "A" ] in
+  let table = Table.create schema in
+  Table.add_row table [ "x" ] 0.1;
+  Table.add_row table [ "x" ] 0.2;
+  let tree = T.of_table table in
+  let tree' = S.of_string (S.to_string tree) in
+  match
+    ( Qc_core.Query.point tree (Cell.parse schema [ "x" ]),
+      Qc_core.Query.point tree' (Cell.parse (T.schema tree') [ "x" ]) )
+  with
+  | Some a, Some b ->
+    Alcotest.(check bool) "bit-exact sums" true (a.Agg.sum = b.Agg.sum)
+  | _ -> Alcotest.fail "query failed"
+
+let test_file_io () =
+  let table = Helpers.sales_table () in
+  let tree = T.of_table table in
+  let path = Filename.temp_file "qctree" ".qct" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.save tree path;
+      let tree' = S.load path in
+      Alcotest.(check string) "identical" (T.canonical_string tree) (T.canonical_string tree'))
+
+let test_escaped_values () =
+  let schema = Schema.create ~measure_name:"the measure" [ "dim with space" ] in
+  let table = Table.create schema in
+  Table.add_row table [ "value with space" ] 1.0;
+  Table.add_row table [ "a%b" ] 2.0;
+  let tree = T.of_table table in
+  let tree' = S.of_string (S.to_string tree) in
+  let s' = T.schema tree' in
+  Alcotest.(check string) "dim name" "dim with space" (Schema.dim_name s' 0);
+  Alcotest.(check string) "measure name" "the measure" (Schema.measure_name s');
+  Alcotest.(check string) "value" "value with space" (Schema.decode_value s' 0 1);
+  Alcotest.(check string) "percent" "a%b" (Schema.decode_value s' 0 2)
+
+let test_malformed_rejected () =
+  Alcotest.check_raises "garbage record" (Failure "Serial: unexpected record \"bogus\"")
+    (fun () -> ignore (S.of_string "qctree 1\nbogus line\n"));
+  (* a link whose endpoints never appear must be rejected, not dropped *)
+  Alcotest.check_raises "dangling link" (Failure "Serial: link endpoint not found") (fun () ->
+      ignore
+        (S.of_string
+           "qctree 1\nschema 2 m\ndim A 1 a\ndim B 1 b\nlink 1 1 1,0 1,1\nend\n"))
+
+let test_truncated_input () =
+  (* truncation mid-file loses classes but still parses what is there;
+     loading an empty payload yields an empty tree over an empty schema
+     failure *)
+  let table = Helpers.sales_table () in
+  let tree = T.of_table table in
+  let full = S.to_string tree in
+  (* cut after the schema lines: the tree parses with zero classes *)
+  let upto =
+    let lines = String.split_on_char '\n' full in
+    String.concat "\n" (List.filteri (fun i _ -> i < 5) lines) ^ "\nend\n"
+  in
+  let t = S.of_string upto in
+  Alcotest.(check int) "no classes parsed" 0 (T.n_classes t)
+
+let () =
+  Alcotest.run "qc_serial"
+    [
+      ( "roundtrip",
+        [
+          prop_roundtrip_canonical;
+          prop_roundtrip_queries;
+          Alcotest.test_case "schema preserved" `Quick test_roundtrip_schema;
+          Alcotest.test_case "float exactness" `Quick test_float_exactness;
+          Alcotest.test_case "file io" `Quick test_file_io;
+          Alcotest.test_case "escaped values" `Quick test_escaped_values;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+          Alcotest.test_case "truncated input" `Quick test_truncated_input;
+        ] );
+    ]

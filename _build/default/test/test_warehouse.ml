@@ -1,0 +1,118 @@
+open Qc_cube
+module W = Qc_warehouse.Warehouse
+
+let fresh_dir () =
+  let dir = Filename.temp_file "qcwh" "" in
+  Sys.remove dir;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_create_and_query () =
+  let base = Helpers.sales_table () in
+  let w = W.create base in
+  let schema = W.schema w in
+  Alcotest.(check (option (float 1e-9))) "avg" (Some 9.0)
+    (W.query_value w Agg.Avg (Cell.parse schema [ "S2"; "*"; "f" ]));
+  Alcotest.(check (result unit string)) "self check" (Ok ()) (W.self_check w);
+  Alcotest.(check bool) "stats mention rows" true
+    (String.length (W.stats w) > 0)
+
+let test_mutations_keep_invariant () =
+  let base = Helpers.sales_table () in
+  let w = W.create base in
+  let schema = W.schema w in
+  let delta = Table.create schema in
+  Table.add_row delta [ "S2"; "P2"; "f" ] 3.0;
+  Table.add_row delta [ "S3"; "P1"; "s" ] 7.0;
+  ignore (W.insert w delta);
+  Alcotest.(check (result unit string)) "after insert" (Ok ()) (W.self_check w);
+  let removal = Table.create schema in
+  Table.add_row removal [ "S2"; "P2"; "f" ] 3.0;
+  ignore (W.delete w removal);
+  Alcotest.(check (result unit string)) "after delete" (Ok ()) (W.self_check w);
+  Alcotest.(check int) "rows" 4 (Table.n_rows (W.table w));
+  (* modification *)
+  let old_rows = Table.create schema in
+  Table.add_row old_rows [ "S3"; "P1"; "s" ] 7.0;
+  let new_rows = Table.create schema in
+  Table.add_row new_rows [ "S3"; "P1"; "f" ] 8.0;
+  ignore (W.update w ~old_rows ~new_rows);
+  Alcotest.(check (result unit string)) "after update" (Ok ()) (W.self_check w);
+  match W.query w (Cell.parse schema [ "S3"; "*"; "*" ]) with
+  | Some a -> Alcotest.(check (float 1e-9)) "moved sale" 8.0 a.Agg.sum
+  | None -> Alcotest.fail "S3 lost"
+
+let test_save_open_roundtrip () =
+  let base = Helpers.sales_table () in
+  let w = W.create base in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      W.save w dir;
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "rows" (Table.n_rows (W.table w)) (Table.n_rows (W.table w'));
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w');
+      let schema' = W.schema w' in
+      Alcotest.(check (option (float 1e-9))) "query after reopen" (Some 7.5)
+        (W.query_value w' Agg.Avg (Cell.parse schema' [ "*"; "P1"; "*" ]));
+      (* maintenance continues after reopening *)
+      let delta = Table.create schema' in
+      Table.add_row delta [ "S1"; "P1"; "f" ] 2.0;
+      ignore (W.insert w' delta);
+      Alcotest.(check (result unit string)) "invariant after reopen+insert" (Ok ())
+        (W.self_check w'))
+
+let test_iceberg_cache_invalidation () =
+  let base = Helpers.sales_table () in
+  let w = W.create base in
+  let schema = W.schema w in
+  let before = W.iceberg w Agg.Count ~threshold:2.0 in
+  let delta = Table.create schema in
+  Table.add_row delta [ "S2"; "P1"; "f" ] 1.0;
+  ignore (W.insert w delta);
+  let after = W.iceberg w Agg.Count ~threshold:2.0 in
+  (* the S2 branch now has count 2, so more classes pass the threshold *)
+  Alcotest.(check bool) "cache refreshed" true (List.length after > List.length before)
+
+let test_random_workload () =
+  let rng = Qc_util.Rng.create 808 in
+  let base = Helpers.random_table rng ~dims:3 ~card:4 ~rows:20 () in
+  let w = W.create base in
+  for _ = 1 to 6 do
+    if Qc_util.Rng.bool rng || Table.n_rows (W.table w) < 4 then begin
+      let delta =
+        Helpers.random_table rng ~schema:(W.schema w) ~dims:3 ~card:4
+          ~rows:(1 + Qc_util.Rng.int rng 4) ()
+      in
+      ignore (W.insert w delta)
+    end
+    else begin
+      let n = Table.n_rows (W.table w) in
+      let idxs = Array.init n Fun.id in
+      Qc_util.Rng.shuffle rng idxs;
+      let k = 1 + Qc_util.Rng.int rng 3 in
+      let delta = Table.sub (W.table w) (Array.to_list (Array.sub idxs 0 k)) in
+      ignore (W.delete w delta)
+    end
+  done;
+  Alcotest.(check (result unit string)) "invariant after workload" (Ok ()) (W.self_check w)
+
+let () =
+  Alcotest.run "qc_warehouse"
+    [
+      ( "warehouse",
+        [
+          Alcotest.test_case "create and query" `Quick test_create_and_query;
+          Alcotest.test_case "mutations keep invariant" `Quick test_mutations_keep_invariant;
+          Alcotest.test_case "save/open roundtrip" `Quick test_save_open_roundtrip;
+          Alcotest.test_case "iceberg cache invalidation" `Quick test_iceberg_cache_invalidation;
+          Alcotest.test_case "random workload" `Quick test_random_workload;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+open Qc_cube
+module T = Qc_core.Qc_tree
+module W = Qc_core.Whatif
+
+(* ---------- Qc_tree.copy ---------- *)
+
+let prop_copy_canonical =
+  Helpers.qcheck_case ~count:120 ~name:"copy is canonically identical and independent"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let dup = T.copy tree in
+      let same = T.canonical_string tree = T.canonical_string dup in
+      (* mutate the copy: the original must not change *)
+      let before = T.canonical_string tree in
+      let delta = Helpers.random_table rng ~schema:(Table.schema table) ~dims ~card ~rows:2 () in
+      let base = Table.copy table in
+      ignore (Qc_core.Maintenance.insert_batch dup ~base ~delta);
+      same && T.canonical_string tree = before && T.validate dup = Ok ())
+
+(* ---------- What-if scenarios ---------- *)
+
+let test_whatif_insert () =
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  let tree = T.of_table base in
+  let scenario = W.create tree base in
+  let hypo = Table.create schema in
+  Table.add_row hypo [ "S2"; "P2"; "f" ] 30.0;
+  W.assume_inserted scenario hypo;
+  (* the original warehouse is untouched *)
+  Alcotest.(check int) "base unchanged" 3 (Table.n_rows base);
+  Alcotest.(check (option Helpers.agg_option)) "dummy" None None;
+  (match Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "f" ]) with
+  | Some a -> Alcotest.(check int) "original count" 1 a.Agg.count
+  | None -> Alcotest.fail "original query failed");
+  (* the scenario sees the hypothesis *)
+  (match Qc_core.Query.point (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "f" ]) with
+  | Some a ->
+    Alcotest.(check int) "scenario count" 2 a.Agg.count;
+    Alcotest.(check (float 1e-9)) "scenario sum" 39.0 a.Agg.sum
+  | None -> Alcotest.fail "scenario query failed");
+  (* diffing *)
+  let cells =
+    [ Cell.parse schema [ "S2"; "*"; "f" ]; Cell.parse schema [ "S1"; "*"; "s" ] ]
+  in
+  let deltas = W.compare_cells scenario ~against:tree cells in
+  Alcotest.(check int) "only the touched cell differs" 1 (List.length deltas);
+  match deltas with
+  | [ d ] -> Alcotest.(check string) "which" "(S2, *, f)" (Cell.to_string schema d.cell)
+  | _ -> assert false
+
+let test_whatif_delete () =
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  let tree = T.of_table base in
+  let scenario = W.create tree base in
+  W.assume_deleted scenario (Table.sub base [ 2 ]);
+  Alcotest.(check int) "scenario table shrank" 2 (Table.n_rows (W.table scenario));
+  Alcotest.(check int) "original intact" 3 (Table.n_rows base);
+  Alcotest.(check bool) "deleted cell gone in scenario" true
+    (Qc_core.Query.point (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "*" ]) = None);
+  Alcotest.(check bool) "still present in original" true
+    (Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "*" ]) <> None)
+
+let test_whatif_affected_classes () =
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  let tree = T.of_table base in
+  let scenario = W.create tree base in
+  let hypo = Table.create schema in
+  Table.add_row hypo [ "S1"; "P1"; "s" ] 100.0;
+  W.assume_inserted scenario hypo;
+  let affected = W.affected_classes scenario ~against:tree in
+  (* exactly the classes covering (S1,P1,s): C5, C4, C6 and the root class *)
+  Alcotest.(check int) "4 classes affected" 4 (List.length affected);
+  List.iter
+    (fun (ub, before, after) ->
+      match (before, after) with
+      | Some b, Some a ->
+        Alcotest.(check int)
+          (Printf.sprintf "count grew at %s" (Cell.to_string schema ub))
+          (b.Agg.count + 1) a.Agg.count
+      | _ -> Alcotest.fail "classes should persist")
+    affected
+
+let prop_whatif_matches_committed =
+  Helpers.qcheck_case ~count:80 ~name:"a scenario equals actually committing the update"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let base = Helpers.random_table rng ~dims ~card ~rows () in
+      let delta = Helpers.random_table rng ~schema:(Table.schema base) ~dims ~card ~rows:3 () in
+      let tree = T.of_table base in
+      let scenario = W.create tree base in
+      W.assume_inserted scenario delta;
+      let committed = Table.copy base in
+      Table.append committed delta;
+      let rebuilt = T.of_table committed in
+      T.canonical_string (W.tree scenario) = T.canonical_string rebuilt)
+
+(* ---------- update_batch (modification) ---------- *)
+
+let test_update_batch () =
+  let base = Helpers.sales_table () in
+  let schema = Table.schema base in
+  let tree = T.of_table base in
+  (* correction: the S2 sale was really 15, in spring *)
+  let old_rows = Table.sub base [ 2 ] in
+  let new_rows = Table.create schema in
+  Table.add_row new_rows [ "S2"; "P1"; "s" ] 15.0;
+  let new_base, del_stats, ins_stats =
+    Qc_core.Maintenance.update_batch tree ~base ~old_rows ~new_rows
+  in
+  Alcotest.(check int) "row count" 3 (Table.n_rows new_base);
+  Alcotest.(check bool) "old classes removed" true (del_stats.removed > 0);
+  Alcotest.(check bool) "new classes created" true (ins_stats.fresh > 0);
+  (match Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "*" ]) with
+  | Some a -> Alcotest.(check (float 1e-9)) "modified measure" 15.0 a.Agg.sum
+  | None -> Alcotest.fail "modified row lost");
+  Alcotest.(check bool) "fall sales gone" true
+    (Qc_core.Query.point tree (Cell.parse schema [ "*"; "*"; "f" ]) = None);
+  (* equivalence with a rebuild *)
+  let rebuilt = T.of_table new_base in
+  let ok = ref true in
+  Helpers.iter_all_cells ~dims:3 ~card:3 (fun cell ->
+      match (Qc_core.Query.point tree cell, Qc_core.Query.point rebuilt cell) with
+      | None, None -> ()
+      | Some a, Some b when Agg.approx_equal a b -> ()
+      | _ -> ok := false);
+  Alcotest.(check bool) "query equivalent to rebuild" true !ok
+
+let prop_update_batch_equiv =
+  Helpers.qcheck_case ~count:80 ~name:"modification = delete + insert, equals rebuild"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let base = Helpers.random_table rng ~dims ~card ~rows () in
+      let k = 1 + Qc_util.Rng.int rng (min 3 (Table.n_rows base)) in
+      let idxs = Array.init (Table.n_rows base) Fun.id in
+      Qc_util.Rng.shuffle rng idxs;
+      let old_rows = Table.sub base (Array.to_list (Array.sub idxs 0 k)) in
+      let new_rows = Helpers.random_table rng ~schema:(Table.schema base) ~dims ~card ~rows:k () in
+      let tree = T.of_table base in
+      let new_base, _, _ = Qc_core.Maintenance.update_batch tree ~base ~old_rows ~new_rows in
+      let rebuilt = T.of_table new_base in
+      let ok = ref true in
+      let c = Schema.cardinality (Table.schema base) 0 in
+      Helpers.iter_all_cells ~dims ~card:c (fun cell ->
+          match (Qc_core.Query.point tree cell, Qc_core.Query.point rebuilt cell) with
+          | None, None -> ()
+          | Some a, Some b when Agg.approx_equal a b -> ()
+          | _ -> ok := false);
+      !ok && T.validate tree = Ok ())
+
+let () =
+  Alcotest.run "qc_whatif"
+    [
+      ("copy", [ prop_copy_canonical ]);
+      ( "scenarios",
+        [
+          Alcotest.test_case "hypothetical insert" `Quick test_whatif_insert;
+          Alcotest.test_case "hypothetical delete" `Quick test_whatif_delete;
+          Alcotest.test_case "affected classes" `Quick test_whatif_affected_classes;
+          prop_whatif_matches_committed;
+        ] );
+      ( "modification",
+        [
+          Alcotest.test_case "update_batch" `Quick test_update_batch;
+          prop_update_batch_equiv;
+        ] );
+    ]
