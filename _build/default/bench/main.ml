@@ -13,6 +13,8 @@
 
 open Qc_cube
 module Tf = Qc_util.Tablefmt
+module Jx = Qc_util.Jsonx
+module Metrics = Qc_util.Metrics
 
 type scale = Quick | Full
 
@@ -20,9 +22,22 @@ let scale = ref Quick
 
 let csv_out_dir : string option ref = ref None
 
-(* Print the table; additionally write it as CSV when --out was given. *)
+let json_out : string ref = ref "BENCH_PR1.json"
+
+(* Structured results accumulated across experiments and written to
+   [!json_out] when the run finishes: every console table verbatim, plus
+   typed per-experiment records (timing statistics and work counters). *)
+let json_tables : Jx.t list ref = ref []
+
+let json_records : (string * Jx.t) list ref = ref []
+
+let record name json = json_records := (name, json) :: !json_records
+
+(* Print the table; additionally write it as CSV when --out was given, and
+   stash it for the JSON report. *)
 let emit table =
   Tf.print table;
+  json_tables := Tf.to_json table :: !json_tables;
   match !csv_out_dir with
   | None -> ()
   | Some dir ->
@@ -40,6 +55,17 @@ let emit table =
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
         output_string oc (Tf.to_csv table))
+
+(* Run [f] once with the work counters on and return what they recorded.
+   Timings are always taken with metrics off (the default), so counters are
+   collected in a separate pass and never taint a measurement. *)
+let with_counters f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f;
+  let json = Metrics.to_json () in
+  Metrics.reset ();
+  json
 
 let pct part whole = Tf.cell_ratio (float_of_int part /. float_of_int whole)
 
@@ -234,6 +260,8 @@ let fig13a () =
       ~columns:
         [ "cardinality"; "QC-tree us"; "Dwarf us"; "QC-tree nodes/q"; "Dwarf nodes/q"; "non-null" ]
   in
+  let repeats = 5 in
+  let detail = ref [] in
   List.iter
     (fun cardinality ->
       let table =
@@ -252,8 +280,63 @@ let fig13a () =
           Printf.sprintf "%.2f" acc_tree;
           Printf.sprintf "%.2f" acc_dwarf;
           Tf.cell_i hits;
-        ])
+        ];
+      (* detailed record: repeated batch timings (metrics off) and one
+         counter pass (metrics on) over the same query workload *)
+      let per_query samples =
+        Array.map (fun s -> s /. float_of_int n_queries *. 1e6) samples
+      in
+      let t_tree =
+        per_query
+          (Qc_util.Timer.repeat repeats (fun () ->
+               List.iter (fun q -> ignore (Qc_core.Query.point tree q)) queries))
+      in
+      let t_dwarf =
+        per_query
+          (Qc_util.Timer.repeat repeats (fun () ->
+               List.iter (fun q -> ignore (Qc_dwarf.Dwarf.point dwarf q)) queries))
+      in
+      let counters =
+        with_counters (fun () ->
+            List.iter
+              (fun q ->
+                ignore (Qc_core.Query.point tree q);
+                ignore (Qc_dwarf.Dwarf.point dwarf q))
+              queries)
+      in
+      let timing samples =
+        Jx.Obj
+          [
+            ("us_per_query_mean", Jx.Float (Qc_util.Timer.mean samples));
+            ("us_per_query_stddev", Jx.Float (Qc_util.Timer.stddev samples));
+            ("us_per_query_median", Jx.Float (Qc_util.Timer.median samples));
+            ("samples", Jx.List (Array.to_list (Array.map (fun s -> Jx.Float s) samples)));
+          ]
+      in
+      detail :=
+        Jx.Obj
+          [
+            ("cardinality", Jx.Int cardinality);
+            ("qc_tree", timing t_tree);
+            ("dwarf", timing t_dwarf);
+            ("qc_tree_nodes_per_query", Jx.Float acc_tree);
+            ("dwarf_nodes_per_query", Jx.Float acc_dwarf);
+            ("non_null_answers", Jx.Int hits);
+            ("tree_nodes", Jx.Int (Qc_core.Qc_tree.n_nodes tree));
+            ("tree_links", Jx.Int (Qc_core.Qc_tree.n_links tree));
+            ("tree_classes", Jx.Int (Qc_core.Qc_tree.n_classes tree));
+            ("work_counters", counters);
+          ]
+        :: !detail)
     cards;
+  record "fig13a"
+    (Jx.Obj
+       [
+         ("rows", Jx.Int rows);
+         ("n_queries", Jx.Int n_queries);
+         ("timing_repeats", Jx.Int repeats);
+         ("by_cardinality", Jx.List (List.rev !detail));
+       ]);
   Tf.note t "paper: Dwarf slows down as cardinality grows, QC-tree is insensitive";
   emit t
 
@@ -725,7 +808,18 @@ let experiments =
     ("micro", micro);
   ]
 
+let log_level_of_string = function
+  | "quiet" -> Some None
+  | "error" -> Some (Some Logs.Error)
+  | "warning" -> Some (Some Logs.Warning)
+  | "info" -> Some (Some Logs.Info)
+  | "debug" -> Some (Some Logs.Debug)
+  | _ -> None
+
 let () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -738,6 +832,17 @@ let () =
     | "--out" :: dir :: rest ->
       csv_out_dir := Some dir;
       parse rest
+    | "--json" :: path :: rest ->
+      json_out := path;
+      parse rest
+    | "--log-level" :: level :: rest -> (
+      match log_level_of_string level with
+      | Some l ->
+        Logs.set_level l;
+        parse rest
+      | None ->
+        Printf.eprintf "unknown log level %S (quiet|error|warning|info|debug)\n" level;
+        exit 2)
     | name :: rest ->
       if List.mem_assoc name experiments then selected := name :: !selected
       else begin
@@ -756,8 +861,29 @@ let () =
   Printf.printf "QC-tree benchmark suite - scale: %s, experiments: %s\n"
     (match !scale with Quick -> "quick" | Full -> "full")
     (String.concat " " (List.map fst to_run));
+  let durations = ref [] in
   List.iter
     (fun (name, f) ->
       let dt = Qc_util.Timer.time_s f in
+      durations := (name, dt) :: !durations;
       Printf.printf "[%s finished in %.1fs]\n%!" name dt)
-    to_run
+    to_run;
+  let report =
+    Jx.Obj
+      [
+        ("schema_version", Jx.Int 1);
+        ("suite", Jx.String "qc-trees bench");
+        ("scale", Jx.String (match !scale with Quick -> "quick" | Full -> "full"));
+        ( "experiments",
+          Jx.Obj
+            (List.rev_map (fun (name, dt) -> (name, Jx.Obj [ ("seconds", Jx.Float dt) ]))
+               !durations) );
+        ("tables", Jx.List (List.rev !json_tables));
+        ("records", Jx.Obj (List.rev !json_records));
+      ]
+  in
+  let oc = open_out !json_out in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (Jx.to_string_pretty report);
+      output_char oc '\n');
+  Printf.printf "wrote structured results to %s\n" !json_out

@@ -5,9 +5,14 @@
      build      construct a QC-tree from a CSV base table and save it
      stats      report sizes of the cube / QC-table / QC-tree / Dwarf
      query      answer a point query against a saved tree
+     explain    show the exact root-to-answer path of a point query
      iceberg    list classes whose aggregate passes a threshold
      insert     batch-insert a CSV delta into a saved tree
-     classes    dump quotient-cube classes of a CSV base table *)
+     classes    dump quotient-cube classes of a CSV base table
+
+   Every subcommand takes --log-level (the per-library Logs sources qc.dfs,
+   qc.tree, qc.maint, qc.warehouse report through a Fmt-based reporter) and
+   --metrics (print the work-counter registry to stderr on exit). *)
 
 open Cmdliner
 open Qc_cube
@@ -20,9 +25,46 @@ let tree_arg p doc = Arg.(required & pos p (some string) None & info [] ~docv:"T
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+(* ---------- observability setup (shared by every subcommand) ---------- *)
+
+let setup log_level metrics =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level log_level;
+  if metrics then begin
+    Qc_util.Metrics.set_enabled true;
+    at_exit (fun () -> Printf.eprintf "work counters:\n%s%!" (Qc_util.Metrics.render ()))
+  end
+
+let common =
+  let log_level =
+    let levels =
+      [
+        ("quiet", None);
+        ("error", Some Logs.Error);
+        ("warning", Some Logs.Warning);
+        ("info", Some Logs.Info);
+        ("debug", Some Logs.Debug);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum levels) (Some Logs.Warning)
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Log verbosity: $(b,quiet), $(b,error), $(b,warning), $(b,info) or $(b,debug).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Record work counters (nodes touched, links followed, classes split, ...) and \
+                print them to stderr on exit.")
+  in
+  Term.(const setup $ log_level $ metrics)
+
 (* ---------- generate ---------- *)
 
-let generate kind rows dims cardinality zipf scale seed out =
+let generate () kind rows dims cardinality zipf scale seed out =
   let table =
     match kind with
     | `Synthetic ->
@@ -50,11 +92,11 @@ let generate_cmd =
   let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output file.") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a benchmark dataset as CSV.")
-    Term.(const generate $ kind $ rows $ dims $ card $ zipf $ scale $ seed_arg $ out)
+    Term.(const generate $ common $ kind $ rows $ dims $ card $ zipf $ scale $ seed_arg $ out)
 
 (* ---------- build ---------- *)
 
-let build csv out =
+let build () csv out =
   let table = Qc_data.Csv.load csv in
   let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table table) in
   Qc_core.Serial.save tree out;
@@ -68,36 +110,55 @@ let build csv out =
 let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build a QC-tree from a CSV base table and save it.")
-    Term.(const build $ csv_arg 0 "Base table CSV." $ tree_arg 1 "Output tree file.")
+    Term.(const build $ common $ csv_arg 0 "Base table CSV." $ tree_arg 1 "Output tree file.")
 
 (* ---------- stats ---------- *)
 
-let stats csv =
+let stats () csv json =
   let table = Qc_data.Csv.load csv in
   let cube_bytes = Buc.cube_bytes table in
   let cube_cells = Buc.count_cells table in
-  let tree = Qc_core.Qc_tree.of_table table in
+  let wh = Qc_warehouse.Warehouse.create table in
+  let tree = Qc_warehouse.Warehouse.tree wh in
   let qtab = Qc_core.Qc_table.of_table table in
   let dwarf = Qc_dwarf.Dwarf.build table in
-  let row name bytes =
-    Printf.printf "  %-9s %12d bytes   %6.2f%% of the cube\n" name bytes
-      (100.0 *. float_of_int bytes /. float_of_int cube_bytes)
-  in
-  Printf.printf "base table: %d tuples, %d dimensions\n" (Table.n_rows table) (Table.n_dims table);
-  Printf.printf "full cube:  %d cells, %d bytes\n" cube_cells cube_bytes;
-  Printf.printf "quotient:   %d classes\n" (Qc_core.Qc_table.n_classes qtab);
-  row "QC-tree" (Qc_core.Qc_tree.bytes tree);
-  row "QC-table" (Qc_core.Qc_table.bytes qtab);
-  row "Dwarf" (Qc_dwarf.Dwarf.bytes dwarf)
+  if json then
+    let open Qc_util.Jsonx in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("warehouse", Qc_warehouse.Warehouse.stat_to_json (Qc_warehouse.Warehouse.stats_record wh));
+              ("cube_cells", Int cube_cells);
+              ("cube_bytes", Int cube_bytes);
+              ("qc_table_bytes", Int (Qc_core.Qc_table.bytes qtab));
+              ("qc_tree_bytes", Int (Qc_core.Qc_tree.bytes tree));
+              ("dwarf_bytes", Int (Qc_dwarf.Dwarf.bytes dwarf));
+            ]))
+  else begin
+    let row name bytes =
+      Printf.printf "  %-9s %12d bytes   %6.2f%% of the cube\n" name bytes
+        (100.0 *. float_of_int bytes /. float_of_int cube_bytes)
+    in
+    Printf.printf "base table: %d tuples, %d dimensions\n" (Table.n_rows table) (Table.n_dims table);
+    Printf.printf "full cube:  %d cells, %d bytes\n" cube_cells cube_bytes;
+    Printf.printf "quotient:   %d classes\n" (Qc_core.Qc_table.n_classes qtab);
+    row "QC-tree" (Qc_core.Qc_tree.bytes tree);
+    row "QC-table" (Qc_core.Qc_table.bytes qtab);
+    row "Dwarf" (Qc_dwarf.Dwarf.bytes dwarf)
+  end
 
 let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of the text table.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Compare storage structures over a CSV base table.")
-    Term.(const stats $ csv_arg 0 "Base table CSV.")
+    Term.(const stats $ common $ csv_arg 0 "Base table CSV." $ json)
 
 (* ---------- query ---------- *)
 
-let query tree_path cell_spec func =
+let query () tree_path cell_spec func =
   let tree = Qc_core.Serial.load tree_path in
   let schema = Qc_core.Qc_tree.schema tree in
   let values = String.split_on_char ',' cell_spec in
@@ -121,11 +182,28 @@ let query_cmd =
   let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Comma-separated values, * for ALL.") in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a point query against a saved QC-tree.")
-    Term.(const query $ tree_arg 0 "Saved tree file." $ cell $ func_arg)
+    Term.(const query $ common $ tree_arg 0 "Saved tree file." $ cell $ func_arg)
+
+(* ---------- explain ---------- *)
+
+let explain () tree_path cell_spec =
+  let tree = Qc_core.Serial.load tree_path in
+  let schema = Qc_core.Qc_tree.schema tree in
+  let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
+  let e = Qc_core.Query.explain tree cell in
+  Format.printf "%a@." (Qc_core.Query.pp_explanation tree) e
+
+let explain_cmd =
+  let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Comma-separated values, * for ALL.") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the exact root-to-answer path a point query takes through the tree \
+             (tree edges, drill-down links and last-dimension hops of Algorithm 3).")
+    Term.(const explain $ common $ tree_arg 0 "Saved tree file." $ cell)
 
 (* ---------- iceberg ---------- *)
 
-let iceberg tree_path func threshold limit =
+let iceberg () tree_path func threshold limit =
   let tree = Qc_core.Serial.load tree_path in
   let schema = Qc_core.Qc_tree.schema tree in
   let index = Qc_core.Query.make_index tree func in
@@ -145,11 +223,11 @@ let iceberg_cmd =
   let limit = Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Rows to print.") in
   Cmd.v
     (Cmd.info "iceberg" ~doc:"List classes whose aggregate passes a threshold.")
-    Term.(const iceberg $ tree_arg 0 "Saved tree file." $ func_arg $ threshold $ limit)
+    Term.(const iceberg $ common $ tree_arg 0 "Saved tree file." $ func_arg $ threshold $ limit)
 
 (* ---------- insert ---------- *)
 
-let insert tree_path base_csv delta_csv out =
+let insert () tree_path base_csv delta_csv out =
   let tree = Qc_core.Serial.load tree_path in
   let base = Qc_data.Csv.load base_csv in
   let delta_raw = Qc_data.Csv.load delta_csv in
@@ -176,7 +254,7 @@ let insert_cmd =
     (Cmd.info "insert"
        ~doc:"Batch-insert a CSV delta into a saved tree (Algorithm 2); base CSV required to keep the warehouse consistent.")
     Term.(
-      const insert $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
+      const insert $ common $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
       $ csv_arg 2 "Delta CSV." $ tree_arg 3 "Output tree file.")
 
 (* ---------- delete ---------- *)
@@ -194,7 +272,7 @@ let reencode base table_raw =
     table_raw;
   out
 
-let delete tree_path base_csv delta_csv out_tree out_csv =
+let delete () tree_path base_csv delta_csv out_tree out_csv =
   let tree = Qc_core.Serial.load tree_path in
   let base = Qc_data.Csv.load base_csv in
   let delta = reencode base (Qc_data.Csv.load delta_csv) in
@@ -211,13 +289,13 @@ let delete_cmd =
   Cmd.v
     (Cmd.info "delete" ~doc:"Batch-delete a CSV delta from a saved tree and base table.")
     Term.(
-      const delete $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
+      const delete $ common $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
       $ csv_arg 2 "Delta CSV." $ tree_arg 3 "Output tree file."
       $ Arg.(required & pos 4 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output base CSV."))
 
 (* ---------- rollup ---------- *)
 
-let rollup csv cell_spec func =
+let rollup () csv cell_spec func =
   let table = Qc_data.Csv.load csv in
   let schema = Table.schema table in
   let quotient = Qc_core.Quotient.of_table table in
@@ -231,11 +309,11 @@ let rollup_cmd =
   Cmd.v
     (Cmd.info "rollup"
        ~doc:"Intelligent roll-up: the most general contexts where the aggregate keeps its value.")
-    Term.(const rollup $ csv_arg 0 "Base table CSV." $ cell $ func_arg)
+    Term.(const rollup $ common $ csv_arg 0 "Base table CSV." $ cell $ func_arg)
 
 (* ---------- whatif ---------- *)
 
-let whatif base_csv delta_csv kind cells =
+let whatif () base_csv delta_csv kind cells =
   let base = Qc_data.Csv.load base_csv in
   let schema = Table.schema base in
   let tree = Qc_core.Qc_tree.of_table base in
@@ -279,11 +357,11 @@ let whatif_cmd =
   in
   Cmd.v
     (Cmd.info "whatif" ~doc:"Evaluate a hypothetical update without committing it.")
-    Term.(const whatif $ csv_arg 0 "Base table CSV." $ csv_arg 1 "Hypothetical delta CSV." $ kind $ cells)
+    Term.(const whatif $ common $ csv_arg 0 "Base table CSV." $ csv_arg 1 "Hypothetical delta CSV." $ kind $ cells)
 
 (* ---------- selfcheck ---------- *)
 
-let selfcheck tree_path base_csv =
+let selfcheck () tree_path base_csv =
   let tree = Qc_core.Serial.load tree_path in
   let base_raw = Qc_data.Csv.load base_csv in
   (* re-encode against the tree's schema so codes coincide *)
@@ -323,11 +401,11 @@ let selfcheck tree_path base_csv =
 let selfcheck_cmd =
   Cmd.v
     (Cmd.info "selfcheck" ~doc:"Verify that a saved tree is consistent with its base table.")
-    Term.(const selfcheck $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV.")
+    Term.(const selfcheck $ common $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV.")
 
 (* ---------- classes ---------- *)
 
-let classes csv limit =
+let classes () csv limit =
   let table = Qc_data.Csv.load csv in
   let schema = Table.schema table in
   let quotient = Qc_core.Quotient.of_table table in
@@ -341,7 +419,7 @@ let classes_cmd =
   let limit = Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Classes to print.") in
   Cmd.v
     (Cmd.info "classes" ~doc:"Dump quotient-cube classes of a CSV base table.")
-    Term.(const classes $ csv_arg 0 "Base table CSV." $ limit)
+    Term.(const classes $ common $ csv_arg 0 "Base table CSV." $ limit)
 
 let () =
   let info = Cmd.info "qct" ~version:"1.0.0" ~doc:"QC-tree semantic OLAP warehouse tool." in
@@ -353,6 +431,7 @@ let () =
             build_cmd;
             stats_cmd;
             query_cmd;
+            explain_cmd;
             iceberg_cmd;
             insert_cmd;
             delete_cmd;

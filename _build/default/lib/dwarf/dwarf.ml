@@ -1,4 +1,14 @@
 open Qc_cube
+module Metrics = Qc_util.Metrics
+
+(* Construction-side work counters for the comparison system: distinct
+   nodes materialized vs sub-dwarfs shared by suffix coalescing — the
+   tradeoff Figures 12 and 15 measure in bytes. *)
+let m_nodes = Metrics.counter "dwarf.nodes_created"
+
+let m_coalesce = Metrics.counter "dwarf.coalesce_hits"
+
+let m_point = Metrics.counter "dwarf.point"
 
 type node =
   | Inner of {
@@ -44,8 +54,11 @@ let build ?(coalescing = Hash_cons) table =
   let cons_leaf keys aggs all =
     let key = (keys, aggs, all) in
     match (if memoize then Hashtbl.find_opt leaf_memo key else None) with
-    | Some node -> node
+    | Some node ->
+      Metrics.incr m_coalesce;
+      node
     | None ->
+      Metrics.incr m_nodes;
       let node = Leaf { id = fresh (); keys; aggs; all } in
       if memoize then Hashtbl.replace leaf_memo key node;
       node
@@ -53,8 +66,11 @@ let build ?(coalescing = Hash_cons) table =
   let cons_inner keys kids all =
     let key = (keys, Array.map node_id kids, node_id all) in
     match (if memoize then Hashtbl.find_opt inner_memo key else None) with
-    | Some node -> node
+    | Some node ->
+      Metrics.incr m_coalesce;
+      node
     | None ->
+      Metrics.incr m_nodes;
       let node = Inner { id = fresh (); keys; kids; all } in
       if memoize then Hashtbl.replace inner_memo key node;
       node
@@ -109,6 +125,7 @@ let find_key keys v =
 
 let point t cell =
   if Array.length cell <> t.dims then invalid_arg "Dwarf.point: arity mismatch";
+  Metrics.incr m_point;
   let rec go node level =
     match node with
     | Leaf { keys; aggs; all; _ } ->

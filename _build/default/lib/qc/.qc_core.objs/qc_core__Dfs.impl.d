@@ -1,1 +1,1 @@
-lib/qc/dfs.ml: Agg Array Cell List Qc_cube Table Temp_class
+lib/qc/dfs.ml: Agg Array Cell List Logs Qc_cube Qc_util Table Temp_class

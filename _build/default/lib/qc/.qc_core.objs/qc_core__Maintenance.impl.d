@@ -1,1 +1,1 @@
-lib/qc/maintenance.ml: Agg Array Cell Fun Hashtbl List Option Qc_cube Qc_tree Query Table
+lib/qc/maintenance.ml: Agg Array Cell Fun Hashtbl List Logs Option Qc_cube Qc_tree Qc_util Query Table

@@ -1,1 +1,1 @@
-lib/qc/qc_tree.ml: Agg Array Buffer Cell Dfs Format Hashtbl Int List Printf Qc_cube Qc_util Schema String Table Temp_class
+lib/qc/qc_tree.ml: Agg Array Buffer Cell Dfs Format Hashtbl Int List Logs Printf Qc_cube Qc_util Schema String Table Temp_class

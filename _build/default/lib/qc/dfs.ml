@@ -1,4 +1,5 @@
 open Qc_cube
+module Metrics = Qc_util.Metrics
 
 type visit = {
   id : int;
@@ -7,6 +8,22 @@ type visit = {
   child : int;
   agg : Agg.t;
 }
+
+let log = Logs.Src.create "qc.dfs" ~doc:"QC-tree DFS class discovery"
+
+module Log = (val Logs.src_log log)
+
+(* Work counters of Algorithm 1's first phase: how many cells the search
+   visits, how many sub-partitions it opens, how many [*] dimensions the
+   upper-bound jump fills, and how often the bound-jump prune rule cuts a
+   redundant expansion (the knob Figure 12(d) turns on). *)
+let m_visits = Metrics.counter "dfs.visits"
+
+let m_partitions = Metrics.counter "dfs.partitions_opened"
+
+let m_jumps = Metrics.counter "dfs.upper_bound_jumps"
+
+let m_prunes = Metrics.counter "dfs.prunes"
 
 let visit table f =
   let n = Table.n_rows table in
@@ -17,13 +34,17 @@ let visit table f =
     (* [c] is owned by this call; [idx.(lo) .. idx.(hi-1)] is its partition;
        [k] is the dimension expanded to reach [c] (-1 at the root). *)
     let rec dfs c lo hi k chdid =
+      Metrics.incr m_visits;
       let agg = Table.agg_of_range table idx ~lo ~hi in
       let ub = Cell.copy c in
       for j = 0 to d - 1 do
         if ub.(j) = Cell.all then begin
           let v0 = (Table.tuple table idx.(lo)).(j) in
           let rec shared i = i >= hi || ((Table.tuple table idx.(i)).(j) = v0 && shared (i + 1)) in
-          if shared (lo + 1) then ub.(j) <- v0
+          if shared (lo + 1) then begin
+            ub.(j) <- v0;
+            Metrics.incr m_jumps
+          end
         end
       done;
       let id = !counter in
@@ -32,19 +53,22 @@ let visit table f =
       (* Prune: if the jump filled a dimension before the expansion
          dimension, this bound was already examined from that dimension. *)
       let rec filled_before j = j < k && ((c.(j) = Cell.all && ub.(j) <> Cell.all) || filled_before (j + 1)) in
-      if not (filled_before 0) then
+      if filled_before 0 then Metrics.incr m_prunes
+      else
         for j = k + 1 to d - 1 do
           if ub.(j) = Cell.all then
             let groups = Table.partition_by_dim table idx ~lo ~hi ~dim:j in
             List.iter
               (fun (v, glo, ghi) ->
+                Metrics.incr m_partitions;
                 let c' = Cell.copy ub in
                 c'.(j) <- v;
                 dfs c' glo ghi j id)
               groups
         done
     in
-    dfs (Cell.make_all d) 0 n (-1) (-1)
+    dfs (Cell.make_all d) 0 n (-1) (-1);
+    Log.debug (fun m -> m "dfs over %d rows visited %d cells" n !counter)
   end
 
 let run table =

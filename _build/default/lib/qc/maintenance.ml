@@ -1,4 +1,29 @@
 open Qc_cube
+module Metrics = Qc_util.Metrics
+
+let log = Logs.Src.create "qc.maint" ~doc:"QC-tree incremental maintenance"
+
+module Log = (val Logs.src_log log)
+
+(* Work counters of Algorithm 2 and batch deletion: classes updated in
+   place, split (carved), freshly created, merged away or removed, plus the
+   point-query locates and link repairs the patches cost — the units of the
+   paper's Figure 14 discussion. *)
+let m_updated = Metrics.counter "maint.classes_updated"
+
+let m_carved = Metrics.counter "maint.classes_carved"
+
+let m_fresh = Metrics.counter "maint.classes_fresh"
+
+let m_located = Metrics.counter "maint.locates"
+
+let m_repairs = Metrics.counter "maint.link_repairs"
+
+let m_retargets = Metrics.counter "maint.link_retargets"
+
+let m_removed = Metrics.counter "maint.classes_removed"
+
+let m_merged = Metrics.counter "maint.classes_merged"
 
 type insert_stats = {
   updated : int;
@@ -358,6 +383,7 @@ let insert_batch tree ~base ~delta =
               end)
           src.links)
       tree;
+    Metrics.add m_retargets (List.length !retargets);
     List.iter
       (fun ((src : Qc_tree.node), j, v, w) ->
         match Qc_tree.find_path tree (truncate w (j + 1)) with
@@ -368,6 +394,14 @@ let insert_batch tree ~base ~delta =
       !retargets
   end;
   Table.append base delta;
+  Metrics.add m_updated !updated;
+  Metrics.add m_carved !carved;
+  Metrics.add m_fresh !fresh;
+  Metrics.add m_located located;
+  Metrics.add m_repairs (List.length repairs);
+  Log.info (fun m ->
+      m "insert_batch: %d delta rows -> %d updated, %d carved, %d fresh (%d locates, %d repairs)"
+        (Table.n_rows delta) !updated !carved !fresh located (List.length repairs));
   { updated = !updated; carved = !carved; fresh = !fresh; located }
 
 let insert_tuples tree ~base ~delta =
@@ -564,6 +598,13 @@ let delete_batch tree ~base ~delta =
     (fun (src, dim, label, dst) -> upsert_link tree ~force:false ~src ~dim ~label ~dst)
     !pending;
   Qc_tree.drop_links_to_dead_targets tree;
+  Metrics.add m_removed !removed;
+  Metrics.add m_merged !merged;
+  Metrics.add m_updated !updated_classes;
+  Metrics.add m_retargets (List.length !pending);
+  Log.info (fun m ->
+      m "delete_batch: %d delta rows -> %d removed, %d merged, %d updated (%d link retargets)"
+        (Table.n_rows delta) !removed !merged !updated_classes (List.length !pending));
   (new_base, { removed = !removed; merged = !merged; updated_classes = !updated_classes })
 
 (* "Modifications can be simulated by deletions and insertions"

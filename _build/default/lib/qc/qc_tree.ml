@@ -1,4 +1,18 @@
 open Qc_cube
+module Metrics = Qc_util.Metrics
+
+let log = Logs.Src.create "qc.tree" ~doc:"QC-tree structure maintenance"
+
+module Log = (val Logs.src_log log)
+
+(* Construction-side work counters: how much structure the tree grows and
+   how much it shares (a prefix hit is an [insert_path] step resolved by an
+   existing edge instead of a fresh node). *)
+let m_nodes = Metrics.counter "tree.nodes_created"
+
+let m_links = Metrics.counter "tree.links_created"
+
+let m_prefix_hits = Metrics.counter "tree.prefix_hits"
 
 type node = {
   nid : int;
@@ -79,6 +93,8 @@ let find_edge_or_link t node dim label =
   | Some (Edge n) | Some (Link n) -> Some n
   | None -> None
 
+let find_entry t node dim label = Int_tbl.find_opt t.index (pack node.nid dim label)
+
 let add_child t parent dim label =
   check_packable dim label;
   (* Definition 1 forbids a tree edge and a link with the same label out of
@@ -102,6 +118,7 @@ let add_child t parent dim label =
       last_child_cache = None;
     }
   in
+  Metrics.incr m_nodes;
   t.next_id <- t.next_id + 1;
   parent.children <- n :: parent.children;
   (* keep a filled cache current; an invalidated (None) cache is rebuilt
@@ -121,7 +138,9 @@ let insert_path t ub =
     else
       let next =
         match find_edge t node i ub.(i) with
-        | Some n -> n
+        | Some n ->
+          Metrics.incr m_prefix_hits;
+          n
         | None -> add_child t node i ub.(i)
       in
       go next (i + 1)
@@ -149,6 +168,7 @@ let add_link t ~src ~dim ~label ~dst =
     if n != dst then
       invalid_arg "Qc_tree.add_link: conflicting edge or link on this label"
   | None ->
+    Metrics.incr m_links;
     src.links <- (dim, label, dst) :: src.links;
     Int_tbl.replace t.index (pack src.nid dim label) (Link dst)
 
@@ -310,6 +330,9 @@ let of_temp_classes schema classes =
       in
       Hashtbl.replace node_of_class tc.id node)
     sorted;
+  Log.info (fun m ->
+      m "built tree from %d temp classes: %d nodes, %d links, %d classes"
+        (List.length classes) (n_nodes t) (n_links t) (n_classes t));
   t
 
 let of_table table = of_temp_classes (Table.schema table) (Dfs.run table)

@@ -1,4 +1,29 @@
 open Qc_cube
+module Metrics = Qc_util.Metrics
+
+(* Per-step work counters of Algorithms 3 and 4 — the units the paper's
+   Figure 13 analysis is phrased in.  A tree-edge or link step consumes one
+   instantiated query dimension; a last-dimension hop (Lemma 2) and a
+   descend step reach more specific bounds without consuming one. *)
+let m_point = Metrics.counter "query.point"
+
+let m_point_hits = Metrics.counter "query.point_hits"
+
+let m_edge_steps = Metrics.counter "query.tree_edge_steps"
+
+let m_link_steps = Metrics.counter "query.link_steps"
+
+let m_hops = Metrics.counter "query.last_dim_hops"
+
+let m_descends = Metrics.counter "query.descend_hops"
+
+let m_range = Metrics.counter "query.range"
+
+let m_range_expansions = Metrics.counter "query.range_expansions"
+
+let m_range_results = Metrics.counter "query.range_results"
+
+let h_path_nodes = Metrics.histogram "query.path_nodes"
 
 (* Function [searchroute] of Algorithm 3: reach a step labeled [(dim, v)]
    from [node], hopping through last-dimension children (Lemma 2) while they
@@ -39,19 +64,143 @@ let path_dominates (node : Qc_tree.node) (cell : Cell.t) =
   in
   up node 0
 
-let locate_with_agg t cell =
+(* ---------- EXPLAIN: the point-query path, step by step ---------- *)
+
+type step_kind = Tree_edge | Link | Last_dim_hop | Descend
+
+type step = { kind : step_kind; target : Qc_tree.node }
+
+type outcome =
+  | Hit
+  | Miss_no_route of int
+  | Miss_no_class
+  | Miss_not_dominating
+
+type explanation = {
+  cell : Cell.t;
+  steps : step list;
+  outcome : outcome;
+  result : (Qc_tree.node * Agg.t) option;
+}
+
+(* Mirror of [locate_with_agg] below that records every node transition.
+   Used by [qct explain], by [node_accesses], and — when metrics are on — by
+   query answering itself, so the counters cannot drift from the real
+   search. *)
+let explain t cell =
   let d = Array.length cell in
+  let steps = ref [] in
+  let push kind target = steps := { kind; target } :: !steps in
+  let finish outcome result =
+    { cell = Cell.copy cell; steps = List.rev !steps; outcome; result }
+  in
+  let rec searchroute_x node dim v =
+    match Qc_tree.find_entry t node dim v with
+    | Some (Qc_tree.Edge n) ->
+      push Tree_edge n;
+      Some n
+    | Some (Qc_tree.Link n) ->
+      push Link n;
+      Some n
+    | None -> (
+      match Qc_tree.last_dim_child node with
+      | Some child when child.Qc_tree.dim < dim ->
+        push Last_dim_hop child;
+        searchroute_x child dim v
+      | Some _ | None -> None)
+  in
+  let rec descend_x (node : Qc_tree.node) =
+    match node.agg with
+    | Some agg -> Some (node, agg)
+    | None -> (
+      match Qc_tree.last_dim_child node with
+      | Some child ->
+        push Descend child;
+        descend_x child
+      | None -> None)
+  in
   let rec consume node i =
-    if i >= d then descend_to_class node
+    if i >= d then
+      match descend_x node with
+      | None -> finish Miss_no_class None
+      | Some (n, agg) ->
+        if path_dominates n cell then finish Hit (Some (n, agg))
+        else finish Miss_not_dominating None
     else if cell.(i) = Cell.all then consume node (i + 1)
     else
-      match searchroute t node i cell.(i) with
+      match searchroute_x node i cell.(i) with
       | Some next -> consume next (i + 1)
-      | None -> None
+      | None -> finish (Miss_no_route i) None
   in
-  match consume (Qc_tree.root t) 0 with
-  | None -> None
-  | Some (node, agg) -> if path_dominates node cell then Some (node, agg) else None
+  consume (Qc_tree.root t) 0
+
+let nodes_touched e = 1 + List.length e.steps
+
+let step_kind_name = function
+  | Tree_edge -> "edge"
+  | Link -> "link"
+  | Last_dim_hop -> "hop"
+  | Descend -> "descend"
+
+let pp_explanation t ppf e =
+  let schema = Qc_tree.schema t in
+  let outcome_str =
+    match e.outcome with
+    | Hit -> "HIT"
+    | Miss_no_route i ->
+      Printf.sprintf "MISS (no route on dimension %s)" (Schema.dim_name schema i)
+    | Miss_no_class -> "MISS (no class below the reached prefix)"
+    | Miss_not_dominating -> "MISS (reached bound disagrees with the query cell)"
+  in
+  Format.fprintf ppf "point %s: %s, %d nodes touched@." (Cell.to_string schema e.cell)
+    outcome_str (nodes_touched e);
+  Format.fprintf ppf "  root@.";
+  List.iter
+    (fun { kind; target } ->
+      Format.fprintf ppf "  %-7s %s=%s -> %s@." (step_kind_name kind)
+        (Schema.dim_name schema target.Qc_tree.dim)
+        (Schema.decode_value schema target.Qc_tree.dim target.Qc_tree.label)
+        (Cell.to_string schema (Qc_tree.node_cell t target)))
+    e.steps;
+  match e.result with
+  | Some (node, agg) ->
+    Format.fprintf ppf "  = class %s %a@."
+      (Cell.to_string schema (Qc_tree.node_cell t node))
+      Agg.pp agg
+  | None -> ()
+
+let record_explanation e =
+  Metrics.incr m_point;
+  List.iter
+    (fun s ->
+      match s.kind with
+      | Tree_edge -> Metrics.incr m_edge_steps
+      | Link -> Metrics.incr m_link_steps
+      | Last_dim_hop -> Metrics.incr m_hops
+      | Descend -> Metrics.incr m_descends)
+    e.steps;
+  Metrics.observe h_path_nodes (nodes_touched e);
+  if e.outcome = Hit then Metrics.incr m_point_hits
+
+let locate_with_agg t cell =
+  if Metrics.enabled () then begin
+    let e = explain t cell in
+    record_explanation e;
+    e.result
+  end
+  else
+    let d = Array.length cell in
+    let rec consume node i =
+      if i >= d then descend_to_class node
+      else if cell.(i) = Cell.all then consume node (i + 1)
+      else
+        match searchroute t node i cell.(i) with
+        | Some next -> consume next (i + 1)
+        | None -> None
+    in
+    match consume (Qc_tree.root t) 0 with
+    | None -> None
+    | Some (node, agg) -> if path_dominates node cell then Some (node, agg) else None
 
 let point t cell = Option.map snd (locate_with_agg t cell)
 
@@ -67,11 +216,15 @@ let check_range t (q : range) =
 
 let range t (q : range) =
   check_range t q;
+  Metrics.incr m_range;
   let d = Array.length q in
   let inst = Cell.make_all d in
   let results = ref [] in
   let verify node agg =
-    if path_dominates node inst then results := (Cell.copy inst, agg) :: !results
+    if path_dominates node inst then begin
+      Metrics.incr m_range_results;
+      results := (Cell.copy inst, agg) :: !results
+    end
   in
   let rec go node i =
     if i >= d then Option.iter (fun (n, a) -> verify n a) (descend_to_class node)
@@ -79,6 +232,8 @@ let range t (q : range) =
     else
       Array.iter
         (fun v ->
+          (* Algorithm 4 fanout: one expansion per (prefix, range value). *)
+          Metrics.incr m_range_expansions;
           inst.(i) <- v;
           (match searchroute t node i v with Some next -> go next (i + 1) | None -> ());
           inst.(i) <- Cell.all)
@@ -198,37 +353,4 @@ let iceberg_range ?(strategy = `Filter) t idx (q : range) ~threshold =
 let node_accesses t cell =
   (* Re-run the point search counting visited nodes — the paper's Figure 13
      discussion compares this against Dwarf's fixed n accesses. *)
-  let d = Array.length cell in
-  let count = ref 1 (* the root *) in
-  let rec searchroute_c node dim v =
-    match Qc_tree.find_edge_or_link t node dim v with
-    | Some n ->
-      incr count;
-      Some n
-    | None -> (
-      match Qc_tree.last_dim_child node with
-      | Some child when child.Qc_tree.dim < dim ->
-        incr count;
-        searchroute_c child dim v
-      | Some _ | None -> None)
-  in
-  let rec descend_c (node : Qc_tree.node) =
-    match node.agg with
-    | Some _ -> ()
-    | None -> (
-      match Qc_tree.last_dim_child node with
-      | Some child ->
-        incr count;
-        descend_c child
-      | None -> ())
-  in
-  let rec consume node i =
-    if i >= d then descend_c node
-    else if cell.(i) = Cell.all then consume node (i + 1)
-    else
-      match searchroute_c node i cell.(i) with
-      | Some next -> consume next (i + 1)
-      | None -> ()
-  in
-  consume (Qc_tree.root t) 0;
-  !count
+  nodes_touched (explain t cell)

@@ -28,6 +28,50 @@ val locate : Qc_tree.t -> Cell.t -> Qc_tree.node option
     is the primitive shared by query answering and incremental
     maintenance. *)
 
+(** {1 EXPLAIN} *)
+
+type step_kind =
+  | Tree_edge  (** a labeled tree edge consumed one query dimension *)
+  | Link  (** a drill-down link consumed one query dimension *)
+  | Last_dim_hop  (** Lemma 2: hopped to the last-dimension child while
+                      searching for a later dimension's label *)
+  | Descend  (** query dimensions exhausted; descending last-dimension
+                 children to the class node *)
+
+type step = { kind : step_kind; target : Qc_tree.node }
+
+type outcome =
+  | Hit
+  | Miss_no_route of int
+      (** no edge, link or hop could consume the query value on this
+          dimension — the cell is not in the cube *)
+  | Miss_no_class  (** the reached prefix has no class node below it *)
+  | Miss_not_dominating
+      (** a class was reached but its bound disagrees with the query cell on
+          an instantiated dimension (empty cover) *)
+
+type explanation = {
+  cell : Cell.t;
+  steps : step list;  (** every node transition, in root-to-answer order *)
+  outcome : outcome;
+  result : (Qc_tree.node * Agg.t) option;  (** [Some] iff [outcome = Hit] *)
+}
+
+val explain : Qc_tree.t -> Cell.t -> explanation
+(** Run Algorithm 3 for [cell] recording the exact root-to-answer path.
+    [explain] and {!point} always agree: the result is [Some] exactly when
+    {!point} answers, and the recorded steps are the nodes the search
+    touches (by Lemma 2 at most one edge/link per instantiated query
+    dimension, plus last-dimension hops). *)
+
+val nodes_touched : explanation -> int
+(** [1] (the root) plus one per step — the unit of Figure 13's work
+    accounting; equals {!node_accesses} of the same cell. *)
+
+val pp_explanation : Qc_tree.t -> Format.formatter -> explanation -> unit
+(** Render the path with decoded dimension values and step kinds (the
+    output of [qct explain]). *)
+
 type range = int array array
 (** A range query: one entry per dimension; [ [||] ] means [*], a singleton
     means a point constraint, several values enumerate the range (the paper's

@@ -1,0 +1,1 @@
+lib/util/jsonx.ml: Buffer Char Float List Printf String

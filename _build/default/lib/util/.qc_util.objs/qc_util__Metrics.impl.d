@@ -1,0 +1,1 @@
+lib/util/metrics.ml: Array Buffer Hashtbl Jsonx List Printf String

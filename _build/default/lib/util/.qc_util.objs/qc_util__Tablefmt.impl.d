@@ -1,1 +1,1 @@
-lib/util/tablefmt.ml: Array Buffer Float List Printf String
+lib/util/tablefmt.ml: Array Buffer Float Jsonx List Printf String

@@ -1,1 +1,1 @@
-lib/util/tablefmt.mli:
+lib/util/tablefmt.mli: Jsonx

@@ -1,1 +1,1 @@
-lib/util/timer.ml: Array Unix
+lib/util/timer.ml: Array Float Unix

@@ -1,0 +1,173 @@
+type counter = { c_name : string; mutable v : int }
+
+type histogram = {
+  h_name : string;
+  bounds : int array;
+  counts : int array;  (* length = Array.length bounds + 1; last is overflow *)
+  mutable total : int;
+  mutable sum : int;
+  mutable max_value : int;
+}
+
+let on = ref false
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; v = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let[@inline] incr c = if !on then c.v <- c.v + 1
+
+let[@inline] add c n = if !on then c.v <- c.v + n
+
+let value c = c.v
+
+let default_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
+
+let histogram ?(buckets = default_buckets) name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  for i = 1 to Array.length buckets - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done;
+  match Hashtbl.find_opt histograms name with
+  | Some h ->
+    if h.bounds <> buckets then
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S already registered with different buckets" name);
+    h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        bounds = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        total = 0;
+        sum = 0;
+        max_value = 0;
+      }
+    in
+    Hashtbl.replace histograms name h;
+    h
+
+let observe h x =
+  if !on then begin
+    let k = Array.length h.bounds in
+    (* linear scan: bucket arrays are tiny and typically hit early *)
+    let rec slot i = if i >= k || x <= h.bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.total <- h.total + 1;
+    h.sum <- h.sum + x;
+    if x > h.max_value then h.max_value <- x
+  end
+
+type hist_snapshot = {
+  bounds : int array;
+  counts : int array;
+  total : int;
+  sum : int;
+  max_value : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  let cs = Hashtbl.fold (fun name c acc -> (name, c.v) :: acc) counters [] in
+  let hs =
+    Hashtbl.fold
+      (fun name (h : histogram) acc ->
+        ( name,
+          {
+            bounds = Array.copy h.bounds;
+            counts = Array.copy h.counts;
+            total = h.total;
+            sum = h.sum;
+            max_value = h.max_value;
+          } )
+        :: acc)
+      histograms []
+  in
+  { counters = List.sort by_name cs; histograms = List.sort by_name hs }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.v <- 0) counters;
+  Hashtbl.iter
+    (fun _ (h : histogram) ->
+      Array.fill h.counts 0 (Array.length h.counts) 0;
+      h.total <- 0;
+      h.sum <- 0;
+      h.max_value <- 0)
+    histograms
+
+let render () =
+  let s = snapshot () in
+  let live_counters = List.filter (fun (_, v) -> v <> 0) s.counters in
+  let live_hists = List.filter (fun (_, h) -> h.total <> 0) s.histograms in
+  if live_counters = [] && live_hists = [] then "(no metrics recorded)\n"
+  else begin
+    let width =
+      List.fold_left
+        (fun acc (name, _) -> max acc (String.length name))
+        0
+        (live_counters @ List.map (fun (n, _) -> (n, 0)) live_hists)
+    in
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-*s %12d\n" width name v))
+      live_counters;
+    List.iter
+      (fun (name, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s %12d obs  mean %.2f  max %d  [" width name h.total
+             (float_of_int h.sum /. float_of_int h.total)
+             h.max_value);
+        Array.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_char buf ' ';
+            if i < Array.length h.bounds then
+              Buffer.add_string buf (Printf.sprintf "<=%d:%d" h.bounds.(i) c)
+            else Buffer.add_string buf (Printf.sprintf ">:%d" c))
+          h.counts;
+        Buffer.add_string buf "]\n")
+      live_hists;
+    Buffer.contents buf
+  end
+
+let to_json () =
+  let s = snapshot () in
+  let ints xs = Jsonx.List (List.map (fun i -> Jsonx.Int i) (Array.to_list xs)) in
+  Jsonx.Obj
+    [
+      ("counters", Jsonx.Obj (List.map (fun (n, v) -> (n, Jsonx.Int v)) s.counters));
+      ( "histograms",
+        Jsonx.Obj
+          (List.map
+             (fun (n, h) ->
+               ( n,
+                 Jsonx.Obj
+                   [
+                     ("bounds", ints h.bounds);
+                     ("counts", ints h.counts);
+                     ("total", Jsonx.Int h.total);
+                     ("sum", Jsonx.Int h.sum);
+                     ("max", Jsonx.Int h.max_value);
+                   ] ))
+             s.histograms) );
+    ]

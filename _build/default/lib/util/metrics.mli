@@ -1,0 +1,82 @@
+(** Work counters and latency/size histograms for the QC-tree system.
+
+    The paper's whole evaluation is phrased in units of {e work} — nodes
+    touched per point query, links followed, classes split during
+    maintenance — so the load-bearing modules register named counters and
+    histograms here, and the CLI / benchmark harness reads them back as
+    aligned text or JSON.
+
+    The registry is global and instruments are created once at module
+    initialization; recording is guarded by a single global switch so the
+    hot paths pay one predictable branch when observability is off (the
+    default).  All operations are O(1) and allocation-free while enabled,
+    except [snapshot]/[render]/[to_json].
+
+    Not thread-safe: counters are plain mutable ints, matching the
+    single-threaded execution model of the rest of the repository. *)
+
+type counter
+
+type histogram
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (off initially).  Instruments keep their
+    accumulated values when disabled; use {!reset} to zero them. *)
+
+val enabled : unit -> bool
+
+(** {1 Instruments} *)
+
+val counter : string -> counter
+(** [counter name] registers (or retrieves — names are unique keys) a
+    monotonically increasing counter.  Convention: [subsystem.metric], e.g.
+    ["query.link_steps"]. *)
+
+val incr : counter -> unit
+(** Add one, when recording is enabled; a single branch otherwise. *)
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val histogram : ?buckets:int array -> string -> histogram
+(** [histogram name] registers a fixed-bucket histogram of non-negative
+    integer observations.  [buckets] are inclusive upper bounds, strictly
+    increasing; an implicit overflow bucket catches the rest.  The default
+    buckets [1; 2; 4; 8; 16; 32; 64; 128] suit per-query node counts.
+    @raise Invalid_argument if [buckets] is empty or not strictly
+    increasing, or if [name] was registered with different buckets. *)
+
+val observe : histogram -> int -> unit
+(** Record one observation, when recording is enabled. *)
+
+(** {1 Reading back} *)
+
+type hist_snapshot = {
+  bounds : int array;  (** the bucket upper bounds *)
+  counts : int array;  (** per-bucket counts; one extra overflow slot *)
+  total : int;  (** number of observations *)
+  sum : int;  (** sum of observed values *)
+  max_value : int;  (** largest observed value; 0 when empty *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations are kept). *)
+
+val render : unit -> string
+(** Aligned, human-readable table of all instruments with non-zero values
+    (counters as [name value], histograms with count/mean/max and bucket
+    counts). *)
+
+val to_json : unit -> Jsonx.t
+(** The full snapshot as
+    [{"counters": {name: int, ...},
+      "histograms": {name: {"bounds": [...], "counts": [...],
+                            "total": n, "sum": n, "max": n}, ...}}]. *)

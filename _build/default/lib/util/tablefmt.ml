@@ -44,6 +44,20 @@ let to_csv t =
 
 let title t = t.title
 
+let columns t = t.columns
+
+let rows t = List.rev t.rows
+
+let to_json t =
+  Jsonx.Obj
+    [
+      ("title", Jsonx.String t.title);
+      ("columns", Jsonx.List (List.map (fun c -> Jsonx.String c) t.columns));
+      ( "rows",
+        Jsonx.List
+          (List.map (fun r -> Jsonx.List (List.map (fun c -> Jsonx.String c) r)) (rows t)) );
+    ]
+
 let cell_f x =
   if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
   else Printf.sprintf "%.4f" x

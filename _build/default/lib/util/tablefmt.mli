@@ -23,6 +23,16 @@ val to_csv : t -> string
 
 val title : t -> string
 
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Data rows in insertion order (header excluded). *)
+
+val to_json : t -> Jsonx.t
+(** [{"title": ..., "columns": [...], "rows": [[...], ...]}] — cells stay
+    the formatted strings the console table shows, so JSON and console
+    output can be diffed against each other. *)
+
 val cell_f : float -> string
 (** Format a float measurement with 4 significant decimals. *)
 

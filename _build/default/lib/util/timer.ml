@@ -7,8 +7,29 @@ let time f =
 
 let time_s f = snd (time f)
 
+let repeat k f =
+  if k < 1 then invalid_arg "Timer.repeat: k must be >= 1";
+  Array.init k (fun _ -> time_s f)
+
+let mean samples =
+  if Array.length samples = 0 then invalid_arg "Timer.mean: empty sample array";
+  Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+
+let stddev samples =
+  if Array.length samples = 0 then invalid_arg "Timer.stddev: empty sample array";
+  let m = mean samples in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 samples
+    /. float_of_int (Array.length samples)
+  in
+  sqrt var
+
+let median samples =
+  if Array.length samples = 0 then invalid_arg "Timer.median: empty sample array";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  sorted.(Array.length sorted / 2)
+
 let repeat_median k f =
   if k < 1 then invalid_arg "Timer.repeat_median: k must be >= 1";
-  let samples = Array.init k (fun _ -> time_s f) in
-  Array.sort compare samples;
-  samples.(k / 2)
+  median (repeat k f)

@@ -7,6 +7,20 @@ val time : (unit -> 'a) -> 'a * float
 val time_s : (unit -> unit) -> float
 (** [time_s f] is the elapsed wall-clock seconds of [f ()]. *)
 
+val repeat : int -> (unit -> unit) -> float array
+(** [repeat k f] runs [f] [k] times and returns all elapsed-seconds samples,
+    in run order; [k] must be at least 1. *)
+
+val mean : float array -> float
+(** Arithmetic mean of a non-empty sample array. *)
+
+val stddev : float array -> float
+(** Population standard deviation of a non-empty sample array. *)
+
+val median : float array -> float
+(** Median of a non-empty sample array (upper median for even sizes);
+    sorts a copy with [Float.compare], so it is total even on NaN. *)
+
 val repeat_median : int -> (unit -> unit) -> float
 (** [repeat_median k f] runs [f] [k] times and returns the median elapsed
     seconds; [k] must be at least 1. *)

@@ -1,1 +1,1 @@
-lib/warehouse/warehouse.ml: Agg Array Filename Fun List Logs Printf Qc_core Qc_cube Qc_data Schema Sys Table
+lib/warehouse/warehouse.ml: Agg Array Filename Fun List Logs Printf Qc_core Qc_cube Qc_data Qc_util Schema Sys Table

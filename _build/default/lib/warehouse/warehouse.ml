@@ -67,13 +67,42 @@ let iceberg t func ~threshold =
   in
   Qc_core.Query.iceberg index ~threshold
 
+type stat = {
+  rows : int;
+  dims : int;
+  classes : int;
+  nodes : int;
+  links : int;
+  bytes : int;
+}
+
+let stats_record t =
+  {
+    rows = Table.n_rows t.base;
+    dims = Table.n_dims t.base;
+    classes = Qc_core.Qc_tree.n_classes t.tree;
+    nodes = Qc_core.Qc_tree.n_nodes t.tree;
+    links = Qc_core.Qc_tree.n_links t.tree;
+    bytes = Qc_core.Qc_tree.bytes t.tree;
+  }
+
 let stats t =
-  Printf.sprintf "%d rows | %d classes | %d nodes | %d links | %d bytes"
-    (Table.n_rows t.base)
-    (Qc_core.Qc_tree.n_classes t.tree)
-    (Qc_core.Qc_tree.n_nodes t.tree)
-    (Qc_core.Qc_tree.n_links t.tree)
-    (Qc_core.Qc_tree.bytes t.tree)
+  let s = stats_record t in
+  Printf.sprintf "%d rows | %d classes | %d nodes | %d links | %d bytes" s.rows s.classes
+    s.nodes s.links s.bytes
+
+let stat_to_json s =
+  Qc_util.Jsonx.Obj
+    [
+      ("rows", Qc_util.Jsonx.Int s.rows);
+      ("dims", Qc_util.Jsonx.Int s.dims);
+      ("classes", Qc_util.Jsonx.Int s.classes);
+      ("nodes", Qc_util.Jsonx.Int s.nodes);
+      ("links", Qc_util.Jsonx.Int s.links);
+      ("bytes", Qc_util.Jsonx.Int s.bytes);
+    ]
+
+let stats_json t = Qc_util.Jsonx.to_string (stat_to_json (stats_record t))
 
 let base_file dir = Filename.concat dir "base.csv"
 

@@ -59,8 +59,27 @@ val iceberg : t -> Agg.func -> threshold:float -> (Cell.t * Agg.t) list
 (** Rebuilds the measure index when the tree changed since the last iceberg
     query with the same function. *)
 
+type stat = {
+  rows : int;  (** base-table tuples *)
+  dims : int;
+  classes : int;  (** quotient-cube classes stored in the tree *)
+  nodes : int;  (** QC-tree nodes (root included) *)
+  links : int;  (** drill-down links *)
+  bytes : int;  (** size under the shared byte-cost model *)
+}
+
+val stats_record : t -> stat
+(** The warehouse's size figures as a structured record. *)
+
 val stats : t -> string
-(** One-line summary: rows, classes, nodes, links, bytes. *)
+(** One-line summary: rows, classes, nodes, links, bytes (string form of
+    {!stats_record}). *)
+
+val stat_to_json : stat -> Qc_util.Jsonx.t
+
+val stats_json : t -> string
+(** {!stats_record} rendered as a compact JSON object
+    ([{"rows":…,"dims":…,"classes":…,"nodes":…,"links":…,"bytes":…}]). *)
 
 val self_check : t -> (unit, string) result
 (** Verify the invariant: the tree validates and its class set (upper

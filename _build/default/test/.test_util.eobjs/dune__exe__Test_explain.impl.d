@@ -1,0 +1,1 @@
+test/test_explain.ml: Agg Alcotest Array Cell Format Fun Helpers List Qc_core Qc_cube Qc_util String Table

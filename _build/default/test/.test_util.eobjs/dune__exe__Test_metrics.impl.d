@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Fun Jsonx List Metrics Option Qc_util String

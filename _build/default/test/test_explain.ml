@@ -1,0 +1,168 @@
+open Qc_cube
+module T = Qc_core.Qc_tree
+module Q = Qc_core.Query
+module Metrics = Qc_util.Metrics
+
+(* ---------- EXPLAIN on the paper's running example ---------- *)
+
+let test_sales_path () =
+  let table = Helpers.sales_table () in
+  let schema = Table.schema table in
+  let tree = T.of_table table in
+  (* (S2,*,f) lies in class C3 with upper bound (S2,P1,f): one edge for S2,
+     then Algorithm 3 resolves f through the tree, ending on the class
+     node. *)
+  let e = Q.explain tree (Cell.parse schema [ "S2"; "*"; "f" ]) in
+  (match e.Q.outcome with
+  | Q.Hit -> ()
+  | _ -> Alcotest.fail "expected a hit");
+  (match e.Q.result with
+  | Some (node, agg) ->
+    Alcotest.(check string) "class ub" "(S2, P1, f)" (Cell.to_string schema (T.node_cell tree node));
+    Alcotest.(check (float 1e-9)) "avg" 9.0 (Agg.value Agg.Avg agg)
+  | None -> Alcotest.fail "hit without result");
+  Alcotest.(check int) "node accesses agree" (Q.node_accesses tree (Cell.parse schema [ "S2"; "*"; "f" ]))
+    (Q.nodes_touched e);
+  (* the rendered path mentions the verdict and the class *)
+  let rendered = Format.asprintf "%a" (Q.pp_explanation tree) e in
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "mentions HIT" true (contains ~sub:"HIT" rendered);
+  Alcotest.(check bool) "mentions the class" true (contains ~sub:"S2" rendered)
+
+let test_sales_miss () =
+  let table = Helpers.sales_table () in
+  let schema = Table.schema table in
+  let tree = T.of_table table in
+  (* (S2,*,s): S2 sold nothing in spring — Example 5's NULL case. *)
+  let e = Q.explain tree (Cell.parse schema [ "S2"; "*"; "s" ]) in
+  (match e.Q.outcome with
+  | Q.Hit -> Alcotest.fail "expected a miss"
+  | _ -> ());
+  Alcotest.(check bool) "no result" true (e.Q.result = None)
+
+(* ---------- explain/point agreement and Algorithm 3 path bounds ---------- *)
+
+let prop_explain_agrees_with_point =
+  Helpers.qcheck_case ~count:100 ~name:"explain = point, with bounded paths"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let ok = ref true in
+      Helpers.iter_all_cells ~dims ~card (fun cell ->
+          let e = Q.explain tree cell in
+          (match (Q.point tree cell, e.Q.result) with
+          | Some a, Some (_, a') -> if not (Agg.approx_equal a a') then ok := false
+          | None, None -> ()
+          | _ -> ok := false);
+          (match (e.Q.outcome, e.Q.result) with
+          | Q.Hit, Some _ | (Q.Miss_no_route _ | Q.Miss_no_class | Q.Miss_not_dominating), None ->
+            ()
+          | _ -> ok := false);
+          (* Lemma 2: at most one edge/link per instantiated dimension *)
+          let consuming =
+            List.length
+              (List.filter
+                 (fun s -> match s.Q.kind with Q.Tree_edge | Q.Link -> true | _ -> false)
+                 e.Q.steps)
+          in
+          let instantiated =
+            Array.fold_left (fun n v -> if v = Cell.all then n else n + 1) 0 cell
+          in
+          if consuming > instantiated then ok := false;
+          if Q.nodes_touched e <> 1 + List.length e.Q.steps then ok := false;
+          if Q.nodes_touched e > T.n_nodes tree then ok := false);
+      !ok)
+
+(* ---------- work counters: deterministic across identical runs ---------- *)
+
+let counter_fingerprint () =
+  let s = Metrics.snapshot () in
+  List.filter (fun (name, _) -> String.length name >= 6 && String.sub name 0 6 = "query.") s.Metrics.counters
+
+let run_workload () =
+  let table = Helpers.sales_table () in
+  let schema = Table.schema table in
+  let tree = T.of_table table in
+  List.iter
+    (fun vals -> ignore (Q.point tree (Cell.parse schema vals)))
+    [
+      [ "S2"; "*"; "f" ]; [ "S2"; "*"; "s" ]; [ "*"; "P2"; "*" ]; [ "*"; "*"; "*" ];
+      [ "*"; "P1"; "*" ]; [ "S1"; "P1"; "s" ];
+    ]
+
+let test_counters_deterministic () =
+  let was = Metrics.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled was;
+      Metrics.reset ())
+    (fun () ->
+      Metrics.set_enabled true;
+      Metrics.reset ();
+      run_workload ();
+      let first = counter_fingerprint () in
+      Metrics.reset ();
+      run_workload ();
+      let second = counter_fingerprint () in
+      Alcotest.(check (list (pair string int))) "identical runs, identical counters" first second;
+      Alcotest.(check bool) "queries were counted" true
+        (List.assoc_opt "query.point" first = Some 6))
+
+let test_counters_off_by_default () =
+  let was = Metrics.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled was)
+    (fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      run_workload ();
+      let s = Metrics.snapshot () in
+      List.iter
+        (fun (name, v) -> Alcotest.(check int) (name ^ " stays zero") 0 v)
+        s.Metrics.counters)
+
+(* ---------- instrumented and fast paths answer identically ---------- *)
+
+let prop_metrics_do_not_change_answers =
+  Helpers.qcheck_case ~count:60 ~name:"answers agree with metrics on and off"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let ok = ref true in
+      Fun.protect
+        ~finally:(fun () ->
+          Metrics.set_enabled false;
+          Metrics.reset ())
+        (fun () ->
+          Helpers.iter_all_cells ~dims ~card (fun cell ->
+              Metrics.set_enabled false;
+              let fast = Q.point tree cell in
+              Metrics.set_enabled true;
+              let slow = Q.point tree cell in
+              match (fast, slow) with
+              | None, None -> ()
+              | Some a, Some b when Agg.approx_equal a b -> ()
+              | _ -> ok := false));
+      !ok)
+
+let () =
+  Alcotest.run "qc_explain"
+    [
+      ( "paths",
+        [
+          Alcotest.test_case "sales hit path" `Quick test_sales_path;
+          Alcotest.test_case "sales miss path" `Quick test_sales_miss;
+        ] );
+      ("properties", [ prop_explain_agrees_with_point; prop_metrics_do_not_change_answers ]);
+      ( "counters",
+        [
+          Alcotest.test_case "deterministic across runs" `Quick test_counters_deterministic;
+          Alcotest.test_case "inert when disabled" `Quick test_counters_off_by_default;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+open Qc_util
+
+(* The registry is global; every test starts from a clean, disabled state. *)
+let fresh () =
+  Metrics.reset ();
+  Metrics.set_enabled true
+
+let teardown () = Metrics.set_enabled false
+
+let with_metrics f () =
+  fresh ();
+  Fun.protect ~finally:teardown f
+
+let test_counter_math () =
+  let c = Metrics.counter "t.counter_math" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 40;
+  Alcotest.(check int) "incr and add" 42 (Metrics.value c);
+  let c' = Metrics.counter "t.counter_math" in
+  Metrics.incr c';
+  Alcotest.(check int) "same name, same counter" 43 (Metrics.value c)
+
+let test_disabled_is_inert () =
+  let c = Metrics.counter "t.disabled" in
+  let h = Metrics.histogram "t.disabled_hist" in
+  Metrics.set_enabled false;
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.observe h 3;
+  Alcotest.(check int) "counter unchanged" 0 (Metrics.value c);
+  let s = Metrics.snapshot () in
+  Alcotest.(check int) "histogram unchanged" 0
+    (List.assoc "t.disabled_hist" s.histograms).Metrics.total
+
+let test_histogram_buckets () =
+  let h = Metrics.histogram ~buckets:[| 1; 2; 4 |] "t.hist" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+  let s = List.assoc "t.hist" (Metrics.snapshot ()).histograms in
+  Alcotest.(check (array int)) "bounds" [| 1; 2; 4 |] s.Metrics.bounds;
+  (* <=1: {0,1}  <=2: {2}  <=4: {3,4}  overflow: {5,100} *)
+  Alcotest.(check (array int)) "bucket counts" [| 2; 1; 2; 2 |] s.Metrics.counts;
+  Alcotest.(check int) "total" 7 s.Metrics.total;
+  Alcotest.(check int) "sum" 115 s.Metrics.sum;
+  Alcotest.(check int) "max" 100 s.Metrics.max_value
+
+let test_histogram_validation () =
+  Alcotest.check_raises "empty buckets"
+    (Invalid_argument "Metrics.histogram: empty buckets") (fun () ->
+      ignore (Metrics.histogram ~buckets:[||] "t.bad_empty"));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing") (fun () ->
+      ignore (Metrics.histogram ~buckets:[| 3; 3 |] "t.bad_order"));
+  ignore (Metrics.histogram ~buckets:[| 1; 2 |] "t.conflict");
+  Alcotest.check_raises "re-registration with different buckets"
+    (Invalid_argument "Metrics.histogram: \"t.conflict\" already registered with different buckets")
+    (fun () -> ignore (Metrics.histogram ~buckets:[| 1; 3 |] "t.conflict"))
+
+let test_reset () =
+  let c = Metrics.counter "t.reset_c" in
+  let h = Metrics.histogram "t.reset_h" in
+  Metrics.incr c;
+  Metrics.observe h 7;
+  Metrics.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.value c);
+  let s = List.assoc "t.reset_h" (Metrics.snapshot ()).histograms in
+  Alcotest.(check int) "histogram zeroed" 0 s.Metrics.total;
+  Alcotest.(check int) "max zeroed" 0 s.Metrics.max_value;
+  Alcotest.(check (array int)) "counts zeroed"
+    (Array.make (Array.length s.Metrics.bounds + 1) 0)
+    s.Metrics.counts
+
+let test_snapshot_sorted () =
+  Metrics.incr (Metrics.counter "t.zz");
+  Metrics.incr (Metrics.counter "t.aa");
+  let names = List.map fst (Metrics.snapshot ()).counters in
+  Alcotest.(check (list string)) "sorted by name" (List.sort String.compare names) names
+
+let test_json_roundtrip () =
+  let c = Metrics.counter "t.json_c" in
+  let h = Metrics.histogram ~buckets:[| 2; 8 |] "t.json_h" in
+  Metrics.add c 5;
+  List.iter (Metrics.observe h) [ 1; 4; 9 ];
+  let json = Metrics.to_json () in
+  let str = Jsonx.to_string json in
+  (match Jsonx.parse str with
+  | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+  | Ok reparsed ->
+    Alcotest.(check bool) "round-trips structurally" true (Jsonx.equal json reparsed);
+    let counter_v =
+      Option.bind (Jsonx.member "counters" reparsed) (Jsonx.member "t.json_c")
+    in
+    Alcotest.(check bool) "counter value survives" true (counter_v = Some (Jsonx.Int 5));
+    let hist =
+      Option.bind (Jsonx.member "histograms" reparsed) (Jsonx.member "t.json_h")
+    in
+    (match Option.bind hist (Jsonx.member "counts") with
+    | Some (Jsonx.List [ Jsonx.Int 1; Jsonx.Int 1; Jsonx.Int 1 ]) -> ()
+    | other -> Alcotest.failf "unexpected counts: %s"
+        (match other with Some j -> Jsonx.to_string j | None -> "absent")));
+  (* pretty rendering is also valid JSON *)
+  match Jsonx.parse (Jsonx.to_string_pretty json) with
+  | Ok v -> Alcotest.(check bool) "pretty form parses equal" true (Jsonx.equal json v)
+  | Error e -> Alcotest.failf "pretty JSON does not parse: %s" e
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_render () =
+  Metrics.add (Metrics.counter "t.render_me") 3;
+  Metrics.observe (Metrics.histogram "t.render_hist") 2;
+  let out = Metrics.render () in
+  Alcotest.(check bool) "counter line present" true (contains ~sub:"t.render_me" out);
+  Alcotest.(check bool) "histogram line present" true (contains ~sub:"t.render_hist" out)
+
+(* ---------- Jsonx on its own ---------- *)
+
+let test_jsonx_escaping () =
+  let v = Jsonx.(Obj [ ("k\"ey\n", String "a\\b\tc"); ("u", String "\001") ]) in
+  match Jsonx.parse (Jsonx.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "escaped round-trip" true (Jsonx.equal v v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_jsonx_numbers () =
+  let v =
+    Jsonx.(
+      List [ Int 0; Int (-42); Int max_int; Float 3.25; Float (-0.5); Float 1e-9; Float nan ])
+  in
+  match Jsonx.parse (Jsonx.to_string v) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (Jsonx.List [ a; b; c; d; e; f; g ]) ->
+    Alcotest.(check bool) "int 0" true (a = Jsonx.Int 0);
+    Alcotest.(check bool) "negative int" true (b = Jsonx.Int (-42));
+    Alcotest.(check bool) "max_int" true (c = Jsonx.Int max_int);
+    Alcotest.(check bool) "float" true (d = Jsonx.Float 3.25);
+    Alcotest.(check bool) "negative float" true (e = Jsonx.Float (-0.5));
+    Alcotest.(check bool) "exponent float" true (f = Jsonx.Float 1e-9);
+    Alcotest.(check bool) "nan emitted as null" true (g = Jsonx.Null)
+  | Ok _ -> Alcotest.fail "wrong shape"
+
+let test_jsonx_errors () =
+  let bad = [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "truex"; ""; "[1] trailing" ] in
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad;
+  (* ... but whitespace and nesting are fine *)
+  match Jsonx.parse "  { \"a\" : [ 1 , { \"b\" : null } , true ] }  " with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected valid input: %s" e
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter math" `Quick (with_metrics test_counter_math);
+          Alcotest.test_case "disabled is inert" `Quick (with_metrics test_disabled_is_inert);
+          Alcotest.test_case "histogram buckets" `Quick (with_metrics test_histogram_buckets);
+          Alcotest.test_case "histogram validation" `Quick (with_metrics test_histogram_validation);
+          Alcotest.test_case "reset" `Quick (with_metrics test_reset);
+          Alcotest.test_case "snapshot sorted" `Quick (with_metrics test_snapshot_sorted);
+          Alcotest.test_case "json round-trip" `Quick (with_metrics test_json_roundtrip);
+          Alcotest.test_case "render" `Quick (with_metrics test_render);
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "escaping" `Quick test_jsonx_escaping;
+          Alcotest.test_case "numbers" `Quick test_jsonx_numbers;
+          Alcotest.test_case "errors" `Quick test_jsonx_errors;
+        ] );
+    ]

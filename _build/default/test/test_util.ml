@@ -77,7 +77,20 @@ let test_timer () =
   Alcotest.(check int) "result" 42 x;
   Alcotest.(check bool) "non-negative" true (dt >= 0.0);
   let m = Qc_util.Timer.repeat_median 3 (fun () -> ()) in
-  Alcotest.(check bool) "median non-negative" true (m >= 0.0)
+  Alcotest.(check bool) "median non-negative" true (m >= 0.0);
+  let samples = Qc_util.Timer.repeat 5 (fun () -> ()) in
+  Alcotest.(check int) "repeat returns k samples" 5 (Array.length samples)
+
+let test_timer_stats () =
+  let open Qc_util.Timer in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "stddev constant" 0.0 (stddev [| 4.0; 4.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.0) (stddev [| 1.0; 3.0; 5.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (median [| 3.0; 1.0; 2.0 |]);
+  (* Float.compare makes the sort total: NaN sorts first, not anywhere *)
+  Alcotest.(check (float 1e-9)) "median with nan" 2.0 (median [| 2.0; nan; 3.0 |]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Timer.mean: empty sample array")
+    (fun () -> ignore (mean [||]))
 
 let test_tablefmt () =
   let t = Tablefmt.create ~title:"x" ~columns:[ "a"; "b" ] in
@@ -112,7 +125,10 @@ let () =
       ( "size",
         [ Alcotest.test_case "cost model" `Quick test_size_model ] );
       ( "timer",
-        [ Alcotest.test_case "timing" `Quick test_timer ] );
+        [
+          Alcotest.test_case "timing" `Quick test_timer;
+          Alcotest.test_case "sample statistics" `Quick test_timer_stats;
+        ] );
       ( "tablefmt",
         [ Alcotest.test_case "format" `Quick test_tablefmt ] );
     ]

@@ -54,6 +54,14 @@ val find_edge : t -> node -> int -> int -> node option
 
 val find_edge_or_link : t -> node -> int -> int -> node option
 
+type entry = Edge of node | Link of node
+(** An outgoing step: a tree edge or a drill-down link. *)
+
+val find_entry : t -> node -> int -> int -> entry option
+(** Like {!find_edge_or_link} but reporting whether the step is a tree edge
+    or a link — query answering records the distinction (the paper's
+    Figure 13 work accounting) and [qct explain] prints it. *)
+
 val insert_path : t -> Cell.t -> node
 (** Walk (and extend where needed) the path of an upper bound; returns the
     terminal node.  Does not touch aggregates. *)
