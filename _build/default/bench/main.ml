@@ -420,6 +420,180 @@ let fig13d () =
   emit t
 
 (* ------------------------------------------------------------------ *)
+(* Packed (frozen) vs mutable QC-tree on the Figure 13 workloads       *)
+(* ------------------------------------------------------------------ *)
+
+(* The `--packed` run: the same query workloads as Figure 13, answered once
+   by the mutable tree and once by its frozen [Packed] form.  Besides the
+   timings it records serialized sizes (text vs packed binary) and checks
+   that both forms return identical answers with identical node-access
+   counts — the structural claim behind the fast path. *)
+let packed_fig13 () =
+  let repeats = 7 in
+  let pt =
+    Tf.create
+      ~title:"packed vs mutable - point queries, Figure 13 workloads (median us/query)"
+      ~columns:
+        [ "workload"; "mutable"; "packed"; "speedup"; "text bytes"; "packed bytes"; "parity" ]
+  in
+  let rt =
+    Tf.create
+      ~title:"packed vs mutable - range queries, Figure 13 workloads (median ms/query)"
+      ~columns:[ "workload"; "mutable"; "packed"; "speedup"; "answer cells"; "parity" ]
+  in
+  let details = ref [] in
+  let timing samples =
+    Jx.Obj
+      [
+        ("per_query_mean", Jx.Float (Qc_util.Timer.mean samples));
+        ("per_query_stddev", Jx.Float (Qc_util.Timer.stddev samples));
+        ("per_query_median", Jx.Float (Qc_util.Timer.median samples));
+        ("samples", Jx.List (Array.to_list (Array.map (fun s -> Jx.Float s) samples)));
+      ]
+  in
+  let sizes tree packed =
+    let text = String.length (Qc_core.Serial.to_string tree) in
+    let bin = String.length (Qc_core.Serial.to_packed_string packed) in
+    ( text,
+      bin,
+      Jx.Obj
+        [
+          ("model_bytes", Jx.Int (Qc_core.Qc_tree.bytes tree));
+          ("packed_model_bytes", Jx.Int (Qc_core.Packed.bytes packed));
+          ("packed_resident_bytes", Jx.Int (Qc_core.Packed.resident_bytes packed));
+          ("serialized_text_bytes", Jx.Int text);
+          ("serialized_packed_bytes", Jx.Int bin);
+        ] )
+  in
+  let detail name kind unit n_queries t_mut t_pack answers_equal accesses_equal size_json =
+    details :=
+      Jx.Obj
+        [
+          ("workload", Jx.String name);
+          ("kind", Jx.String kind);
+          ("unit", Jx.String unit);
+          ("n_queries", Jx.Int n_queries);
+          ("mutable", timing t_mut);
+          ("packed", timing t_pack);
+          ("answers_equal", Jx.Bool answers_equal);
+          ("node_accesses_equal", Jx.Bool accesses_equal);
+          ("sizes", size_json);
+        ]
+      :: !details
+  in
+  let point_workload name table qseed =
+    let n_queries = 1000 in
+    let tree = Qc_core.Qc_tree.of_table table in
+    let packed = Qc_core.Packed.of_tree tree in
+    let queries = Qc_data.Synthetic.random_point_queries ~seed:qseed table n_queries in
+    let answers_equal =
+      List.for_all
+        (fun q -> Qc_core.Query.point tree q = Qc_core.Query.point_packed packed q)
+        queries
+    in
+    let accesses_equal =
+      List.for_all
+        (fun q ->
+          Qc_core.Query.node_accesses tree q = Qc_core.Query.node_accesses_packed packed q)
+        queries
+    in
+    let per_query samples =
+      Array.map (fun s -> s /. float_of_int n_queries *. 1e6) samples
+    in
+    let t_mut =
+      per_query
+        (Qc_util.Timer.repeat repeats (fun () ->
+             List.iter (fun q -> ignore (Qc_core.Query.point tree q)) queries))
+    in
+    let t_pack =
+      per_query
+        (Qc_util.Timer.repeat repeats (fun () ->
+             List.iter (fun q -> ignore (Qc_core.Query.point_packed packed q)) queries))
+    in
+    let m_mut = Qc_util.Timer.median t_mut and m_pack = Qc_util.Timer.median t_pack in
+    let text, bin, size_json = sizes tree packed in
+    let parity = answers_equal && accesses_equal in
+    Tf.add_row pt
+      [
+        name;
+        Tf.cell_f m_mut;
+        Tf.cell_f m_pack;
+        Printf.sprintf "%.2fx" (m_mut /. m_pack);
+        Tf.cell_i text;
+        Tf.cell_i bin;
+        (if parity then "ok" else "MISMATCH");
+      ];
+    detail name "point" "us_per_query" n_queries t_mut t_pack answers_equal accesses_equal
+      size_json
+  in
+  let range_workload name table qseed values_per_range =
+    let n_queries = 100 in
+    let tree = Qc_core.Qc_tree.of_table table in
+    let packed = Qc_core.Packed.of_tree tree in
+    let ranges =
+      Qc_data.Synthetic.random_range_queries ~seed:qseed ~values_per_range table n_queries
+    in
+    let canon l = List.sort compare (List.map (fun (c, a) -> (Array.to_list c, a)) l) in
+    let answers_equal =
+      List.for_all
+        (fun r -> canon (Qc_core.Query.range tree r) = canon (Qc_core.Query.range_packed packed r))
+        ranges
+    in
+    let cells =
+      List.fold_left (fun acc r -> acc + List.length (Qc_core.Query.range tree r)) 0 ranges
+    in
+    let per_query samples =
+      Array.map (fun s -> s /. float_of_int n_queries *. 1e3) samples
+    in
+    let t_mut =
+      per_query
+        (Qc_util.Timer.repeat repeats (fun () ->
+             List.iter (fun r -> ignore (Qc_core.Query.range tree r)) ranges))
+    in
+    let t_pack =
+      per_query
+        (Qc_util.Timer.repeat repeats (fun () ->
+             List.iter (fun r -> ignore (Qc_core.Query.range_packed packed r)) ranges))
+    in
+    let m_mut = Qc_util.Timer.median t_mut and m_pack = Qc_util.Timer.median t_pack in
+    let _, _, size_json = sizes tree packed in
+    Tf.add_row rt
+      [
+        name;
+        Tf.cell_f m_mut;
+        Tf.cell_f m_pack;
+        Printf.sprintf "%.2fx" (m_mut /. m_pack);
+        Tf.cell_i cells;
+        (if answers_equal then "ok" else "MISMATCH");
+      ];
+    detail name "range" "ms_per_query" n_queries t_mut t_pack answers_equal true size_json
+  in
+  (* the same tables, seeds and query mixes Figure 13 uses *)
+  let cards =
+    match !scale with Quick -> [ 10; 100; 1000 ] | Full -> [ 10; 50; 100; 500; 1000; 5000 ]
+  in
+  let rows = match !scale with Quick -> 20_000 | Full -> 50_000 in
+  List.iter
+    (fun cardinality ->
+      let table =
+        Qc_data.Synthetic.generate
+          { Qc_data.Synthetic.default with rows; cardinality; seed = 45 }
+      in
+      point_workload (Printf.sprintf "fig13a card=%d" cardinality) table 46)
+    cards;
+  point_workload "fig13b weather" (Qc_data.Weather.generate (weather_spec ())) 47;
+  let table13c = Qc_data.Synthetic.generate { Qc_data.Synthetic.default with rows; seed = 48 } in
+  range_workload "fig13c synthetic" table13c 49 3;
+  range_workload "fig13d weather" (Qc_data.Weather.generate (weather_spec ())) 50 0;
+  record "packed_fig13"
+    (Jx.Obj
+       [ ("timing_repeats", Jx.Int repeats); ("workloads", Jx.List (List.rev !details)) ]);
+  Tf.note pt
+    "packed = frozen array-of-int layout; parity requires identical answers and node accesses";
+  emit pt;
+  emit rt
+
+(* ------------------------------------------------------------------ *)
 (* Figure 14: incremental maintenance vs recomputation                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -798,6 +972,7 @@ let experiments =
     ("fig13b", fig13b);
     ("fig13c", fig13c);
     ("fig13d", fig13d);
+    ("packed", packed_fig13);
     ("fig14a", fig14a);
     ("fig14b", fig14b);
     ("fig14c", fig14c);
@@ -821,6 +996,7 @@ let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
   let selected = ref [] in
+  let json_out_set = ref false in
   let rec parse = function
     | [] -> ()
     | "--scale" :: "full" :: rest ->
@@ -834,6 +1010,13 @@ let () =
       parse rest
     | "--json" :: path :: rest ->
       json_out := path;
+      json_out_set := true;
+      parse rest
+    | "--packed" :: rest ->
+      (* the PR2 comparison: packed vs mutable on the Figure 13 workloads,
+         reported in BENCH_PR2.json unless --json overrides *)
+      selected := "packed" :: !selected;
+      if not !json_out_set then json_out := "BENCH_PR2.json";
       parse rest
     | "--log-level" :: level :: rest -> (
       match log_level_of_string level with

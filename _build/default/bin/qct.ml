@@ -25,6 +25,28 @@ let tree_arg p doc = Arg.(required & pos p (some string) None & info [] ~docv:"T
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let packed_flag =
+  Arg.(
+    value & flag
+    & info [ "packed" ]
+        ~doc:"Use the frozen array-of-int representation: $(b,build) saves the compact \
+              packed binary format, $(b,query)/$(b,explain) answer through the packed \
+              fast path (loading either format).")
+
+(* Every runtime failure — unreadable file, malformed tree, unknown value in
+   a query cell, a delta row that is not in the base — must exit nonzero
+   with a one-line diagnostic, not a backtrace (and never status 0).
+   Cmdliner keeps 124 for command-line parse errors; we use 1 for clean
+   runtime failures. *)
+let guard f =
+  try f () with
+  | Qc_core.Serial.Error e ->
+    Printf.eprintf "qct: %s\n" (Qc_core.Serial.error_to_string e);
+    exit 1
+  | Sys_error msg | Failure msg | Invalid_argument msg ->
+    Printf.eprintf "qct: %s\n" msg;
+    exit 1
+
 (* ---------- observability setup (shared by every subcommand) ---------- *)
 
 let setup log_level metrics =
@@ -65,6 +87,7 @@ let common =
 (* ---------- generate ---------- *)
 
 let generate () kind rows dims cardinality zipf scale seed out =
+  guard @@ fun () ->
   let table =
     match kind with
     | `Synthetic ->
@@ -96,25 +119,30 @@ let generate_cmd =
 
 (* ---------- build ---------- *)
 
-let build () csv out =
+let build () packed csv out =
+  guard @@ fun () ->
   let table = Qc_data.Csv.load csv in
   let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table table) in
-  Qc_core.Serial.save tree out;
+  if packed then Qc_core.Serial.save_packed (Qc_core.Packed.of_tree tree) out
+  else Qc_core.Serial.save tree out;
   Printf.printf "built QC-tree of %d tuples in %.2fs: %d nodes, %d links, %d classes, %s\n"
     (Table.n_rows table) dt
     (Qc_core.Qc_tree.n_nodes tree) (Qc_core.Qc_tree.n_links tree)
     (Qc_core.Qc_tree.n_classes tree)
     (Format.asprintf "%a" Qc_util.Size.pp_bytes (Qc_core.Qc_tree.bytes tree));
-  Printf.printf "saved to %s\n" out
+  Printf.printf "saved to %s%s\n" out (if packed then " (packed format)" else "")
 
 let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build a QC-tree from a CSV base table and save it.")
-    Term.(const build $ common $ csv_arg 0 "Base table CSV." $ tree_arg 1 "Output tree file.")
+    Term.(
+      const build $ common $ packed_flag $ csv_arg 0 "Base table CSV."
+      $ tree_arg 1 "Output tree file.")
 
 (* ---------- stats ---------- *)
 
 let stats () csv json =
+  guard @@ fun () ->
   let table = Qc_data.Csv.load csv in
   let cube_bytes = Buc.cube_bytes table in
   let cube_cells = Buc.count_cells table in
@@ -158,17 +186,28 @@ let stats_cmd =
 
 (* ---------- query ---------- *)
 
-let query () tree_path cell_spec func =
-  let tree = Qc_core.Serial.load tree_path in
-  let schema = Qc_core.Qc_tree.schema tree in
-  let values = String.split_on_char ',' cell_spec in
-  let cell = Cell.parse schema values in
-  match Qc_core.Query.point tree cell with
+let print_answer schema cell func = function
   | Some agg ->
     Printf.printf "%s: %s = %g   (count=%d sum=%g min=%g max=%g)\n"
       (Cell.to_string schema cell) (Agg.func_to_string func) (Agg.value func agg)
       agg.Agg.count agg.Agg.sum agg.Agg.min agg.Agg.max
   | None -> Printf.printf "%s: NULL (empty cover)\n" (Cell.to_string schema cell)
+
+let query () packed tree_path cell_spec func =
+  guard @@ fun () ->
+  let values = String.split_on_char ',' cell_spec in
+  if packed then begin
+    let p = Qc_core.Serial.load_packed tree_path in
+    let schema = Qc_core.Packed.schema p in
+    let cell = Cell.parse schema values in
+    print_answer schema cell func (Qc_core.Query.point_packed p cell)
+  end
+  else begin
+    let tree = Qc_core.Serial.load tree_path in
+    let schema = Qc_core.Qc_tree.schema tree in
+    let cell = Cell.parse schema values in
+    print_answer schema cell func (Qc_core.Query.point tree cell)
+  end
 
 let func_arg =
   Arg.(
@@ -182,16 +221,26 @@ let query_cmd =
   let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Comma-separated values, * for ALL.") in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a point query against a saved QC-tree.")
-    Term.(const query $ common $ tree_arg 0 "Saved tree file." $ cell $ func_arg)
+    Term.(const query $ common $ packed_flag $ tree_arg 0 "Saved tree file." $ cell $ func_arg)
 
 (* ---------- explain ---------- *)
 
-let explain () tree_path cell_spec =
-  let tree = Qc_core.Serial.load tree_path in
-  let schema = Qc_core.Qc_tree.schema tree in
-  let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
-  let e = Qc_core.Query.explain tree cell in
-  Format.printf "%a@." (Qc_core.Query.pp_explanation tree) e
+let explain () packed tree_path cell_spec =
+  guard @@ fun () ->
+  if packed then begin
+    let p = Qc_core.Serial.load_packed tree_path in
+    let schema = Qc_core.Packed.schema p in
+    let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
+    let e = Qc_core.Query.explain_packed p cell in
+    Format.printf "%a@." (Qc_core.Query.pp_packed_explanation p) e
+  end
+  else begin
+    let tree = Qc_core.Serial.load tree_path in
+    let schema = Qc_core.Qc_tree.schema tree in
+    let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
+    let e = Qc_core.Query.explain tree cell in
+    Format.printf "%a@." (Qc_core.Query.pp_explanation tree) e
+  end
 
 let explain_cmd =
   let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Comma-separated values, * for ALL.") in
@@ -199,11 +248,12 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Show the exact root-to-answer path a point query takes through the tree \
              (tree edges, drill-down links and last-dimension hops of Algorithm 3).")
-    Term.(const explain $ common $ tree_arg 0 "Saved tree file." $ cell)
+    Term.(const explain $ common $ packed_flag $ tree_arg 0 "Saved tree file." $ cell)
 
 (* ---------- iceberg ---------- *)
 
 let iceberg () tree_path func threshold limit =
+  guard @@ fun () ->
   let tree = Qc_core.Serial.load tree_path in
   let schema = Qc_core.Qc_tree.schema tree in
   let index = Qc_core.Query.make_index tree func in
@@ -228,6 +278,7 @@ let iceberg_cmd =
 (* ---------- insert ---------- *)
 
 let insert () tree_path base_csv delta_csv out =
+  guard @@ fun () ->
   let tree = Qc_core.Serial.load tree_path in
   let base = Qc_data.Csv.load base_csv in
   let delta_raw = Qc_data.Csv.load delta_csv in
@@ -273,6 +324,7 @@ let reencode base table_raw =
   out
 
 let delete () tree_path base_csv delta_csv out_tree out_csv =
+  guard @@ fun () ->
   let tree = Qc_core.Serial.load tree_path in
   let base = Qc_data.Csv.load base_csv in
   let delta = reencode base (Qc_data.Csv.load delta_csv) in
@@ -296,6 +348,7 @@ let delete_cmd =
 (* ---------- rollup ---------- *)
 
 let rollup () csv cell_spec func =
+  guard @@ fun () ->
   let table = Qc_data.Csv.load csv in
   let schema = Table.schema table in
   let quotient = Qc_core.Quotient.of_table table in
@@ -314,6 +367,7 @@ let rollup_cmd =
 (* ---------- whatif ---------- *)
 
 let whatif () base_csv delta_csv kind cells =
+  guard @@ fun () ->
   let base = Qc_data.Csv.load base_csv in
   let schema = Table.schema base in
   let tree = Qc_core.Qc_tree.of_table base in
@@ -362,6 +416,7 @@ let whatif_cmd =
 (* ---------- selfcheck ---------- *)
 
 let selfcheck () tree_path base_csv =
+  guard @@ fun () ->
   let tree = Qc_core.Serial.load tree_path in
   let base_raw = Qc_data.Csv.load base_csv in
   (* re-encode against the tree's schema so codes coincide *)
@@ -406,6 +461,7 @@ let selfcheck_cmd =
 (* ---------- classes ---------- *)
 
 let classes () csv limit =
+  guard @@ fun () ->
   let table = Qc_data.Csv.load csv in
   let schema = Table.schema table in
   let quotient = Qc_core.Quotient.of_table table in

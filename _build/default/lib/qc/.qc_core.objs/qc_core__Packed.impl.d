@@ -1,0 +1,1 @@
+lib/qc/packed.ml: Agg Array Cell Hashtbl List Printf Qc_cube Qc_tree Qc_util Schema

@@ -1,0 +1,1 @@
+lib/qc/packed.mli: Agg Cell Qc_cube Qc_tree Schema

@@ -1,1 +1,1 @@
-lib/qc/query.ml: Agg Array Cell Format Hashtbl List Option Printf Qc_cube Qc_tree Qc_util Schema
+lib/qc/query.ml: Agg Array Cell Format Hashtbl List Option Packed Printf Qc_cube Qc_tree Qc_util Schema

@@ -1,1 +1,1 @@
-lib/qc/query.mli: Agg Cell Format Qc_cube Qc_tree
+lib/qc/query.mli: Agg Cell Format Packed Qc_cube Qc_tree

@@ -1,1 +1,1 @@
-lib/qc/serial.ml: Agg Array Buffer Cell Char Fun List Printf Qc_cube Qc_tree Qc_util Schema String
+lib/qc/serial.ml: Agg Array Buffer Cell Char Format Fun Int64 List Packed Printexc Printf Qc_cube Qc_tree Qc_util Schema String

@@ -1,1 +1,1 @@
-lib/qc/serial.mli: Qc_tree
+lib/qc/serial.mli: Format Packed Qc_tree

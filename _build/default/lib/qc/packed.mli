@@ -1,0 +1,111 @@
+(** A frozen, read-only QC-tree flattened into contiguous integer and float
+    columns.
+
+    [of_tree] renumbers the nodes of a built {!Qc_tree.t} in canonical
+    preorder — root first, children in ascending (dimension, label) order —
+    and stores the structure as flat arrays: per-node dimension/label/parent
+    codes, CSR-style child and link spans sorted by a packed
+    [(dim lsl 20) lor label] key for binary search, and dense aggregate
+    columns.  The layout is immutable; maintenance thaws with {!to_tree},
+    applies the incremental algorithms, and refreezes.
+
+    Navigation primitives mirror the mutable tree's exactly ([find_step] ≍
+    {!Qc_tree.find_entry}, [last_child] ≍ {!Qc_tree.last_dim_child}), so the
+    packed query path in {!Query} visits the same nodes in the same order
+    and reports identical [node_accesses]. *)
+
+open Qc_cube
+
+type t
+
+val of_tree : Qc_tree.t -> t
+(** Freeze a built tree.  The result is canonical: two trees with equal
+    {!Qc_tree.canonical_string} freeze to identical columns. *)
+
+val to_tree : t -> Qc_tree.t
+(** Thaw back to a mutable tree (canonically equal to the tree frozen). *)
+
+val of_arrays :
+  schema:Schema.t ->
+  dim:int array ->
+  label:int array ->
+  parent:int array ->
+  aggs:Agg.t option array ->
+  links:(int * int * int * int) array ->
+  t
+(** Validated constructor from raw per-node columns plus [(src, dim, label,
+    dst)] links, used by deserialization.  Checks the structural invariants
+    (preorder parents, strictly increasing dimensions, label ranges, no
+    duplicate or edge-shadowing labels out of a node).
+    @raise Invalid_argument when the input is not a well-formed QC-tree. *)
+
+(** {1 Navigation} *)
+
+val root : t -> int
+(** Always [0]. *)
+
+val dim : t -> int -> int
+(** Dimension of a node's incoming label; [-1] at the root. *)
+
+val label : t -> int -> int
+
+val parent : t -> int -> int
+(** Parent node id; [-1] at the root. *)
+
+val agg : t -> int -> Agg.t option
+(** The class aggregate; [None] on prefix nodes. *)
+
+val has_agg : t -> int -> bool
+(** Whether the node is a class (carries an aggregate), without
+    materialising the {!Agg.t} record. *)
+
+type step = Edge of int | Link of int
+
+val find_step : t -> int -> int -> int -> step option
+(** [find_step t n dim label] is the outgoing step of [n] carrying
+    [(dim, label)] — a binary search of the node's child span, then its link
+    span.  Mirrors {!Qc_tree.find_entry}. *)
+
+val step_dst : t -> int -> int -> int -> int
+(** Allocation-free {!find_step}: the destination node (edge first, then
+    link), or [-1].  For hot paths that do not need the step kind. *)
+
+val find_child : t -> int -> int -> int -> int
+(** Tree-edge lookup only; [-1] when absent. *)
+
+val find_link : t -> int -> int -> int -> int
+(** Link lookup only; [-1] when absent. *)
+
+val last_child : t -> int -> int
+(** The child on the node's last (maximal) dimension — the hop of Lemma 2;
+    [-1] on leaves.  With the span sorted by (dimension, label) this is just
+    the span's last entry. *)
+
+val iter_children : (int -> unit) -> t -> int -> unit
+(** Visit a node's children in ascending (dimension, label) order. *)
+
+val iter_links : (int -> int -> int -> unit) -> t -> int -> unit
+(** [iter_links f t n] calls [f dim label dst] per outgoing link of [n]. *)
+
+val node_cell : t -> int -> Cell.t
+(** Reconstruct the cell spelled by the root-to-node path. *)
+
+val iter_classes : (int -> Cell.t -> Agg.t -> unit) -> t -> unit
+(** Visit every class node (in preorder) with its upper bound and
+    aggregate. *)
+
+(** {1 Statistics} *)
+
+val schema : t -> Schema.t
+val n_nodes : t -> int
+val n_links : t -> int
+val n_classes : t -> int
+
+val bytes : t -> int
+(** Size under the shared logical byte-cost model of {!Qc_util.Size} —
+    identical to {!Qc_tree.bytes} of the same tree, for Figure 12/15
+    comparability. *)
+
+val resident_bytes : t -> int
+(** Actual size of the flat columns (8 bytes per array slot) — what the
+    packed representation costs in memory, reported by the benchmarks. *)

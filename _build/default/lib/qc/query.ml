@@ -354,3 +354,207 @@ let node_accesses t cell =
   (* Re-run the point search counting visited nodes — the paper's Figure 13
      discussion compares this against Dwarf's fixed n accesses. *)
   nodes_touched (explain t cell)
+
+(* ---------- the packed fast path ----------
+
+   Step-for-step mirrors of the algorithms above over [Packed.t].  Every
+   navigation primitive corresponds one-to-one ([Packed.find_step] ≍
+   [Qc_tree.find_entry], [Packed.last_child] ≍ [Qc_tree.last_dim_child]),
+   so the packed search visits the same nodes in the same order, reports
+   identical [node_accesses], and bumps the same metrics counters. *)
+
+(* [searchroute] over the packed layout.  Allocation-free: nodes are ids and
+   "not found" is -1, so a point query touches nothing but int arrays until
+   the final aggregate is materialised. *)
+let rec searchroute_p p node dim v =
+  let next = Packed.step_dst p node dim v in
+  if next >= 0 then next
+  else
+    let child = Packed.last_child p node in
+    if child >= 0 && Packed.dim p child < dim then searchroute_p p child dim v
+    else -1
+
+let rec descend_to_class_p p node =
+  if Packed.has_agg p node then node
+  else
+    let child = Packed.last_child p node in
+    if child >= 0 then descend_to_class_p p child else -1
+
+let path_dominates_p p node (cell : Cell.t) =
+  let needed = ref 0 in
+  for i = 0 to Array.length cell - 1 do
+    if cell.(i) <> Cell.all then incr needed
+  done;
+  let rec up n matched =
+    if Packed.parent p n < 0 then matched = !needed
+    else
+      let d = Packed.dim p n in
+      if cell.(d) = Cell.all then up (Packed.parent p n) matched
+      else if cell.(d) = Packed.label p n then up (Packed.parent p n) (matched + 1)
+      else false
+  in
+  up node 0
+
+type packed_step = { pkind : step_kind; pnode : int }
+
+type packed_explanation = {
+  pcell : Cell.t;
+  psteps : packed_step list;
+  poutcome : outcome;
+  presult : (int * Agg.t) option;
+}
+
+let explain_packed p cell =
+  let d = Array.length cell in
+  let steps = ref [] in
+  let push pkind pnode = steps := { pkind; pnode } :: !steps in
+  let finish poutcome presult =
+    { pcell = Cell.copy cell; psteps = List.rev !steps; poutcome; presult }
+  in
+  let rec searchroute_x node dim v =
+    match Packed.find_step p node dim v with
+    | Some (Packed.Edge n) ->
+      push Tree_edge n;
+      Some n
+    | Some (Packed.Link n) ->
+      push Link n;
+      Some n
+    | None ->
+      let child = Packed.last_child p node in
+      if child >= 0 && Packed.dim p child < dim then begin
+        push Last_dim_hop child;
+        searchroute_x child dim v
+      end
+      else None
+  in
+  let rec descend_x node =
+    match Packed.agg p node with
+    | Some agg -> Some (node, agg)
+    | None ->
+      let child = Packed.last_child p node in
+      if child >= 0 then begin
+        push Descend child;
+        descend_x child
+      end
+      else None
+  in
+  let rec consume node i =
+    if i >= d then
+      match descend_x node with
+      | None -> finish Miss_no_class None
+      | Some (n, agg) ->
+        if path_dominates_p p n cell then finish Hit (Some (n, agg))
+        else finish Miss_not_dominating None
+    else if cell.(i) = Cell.all then consume node (i + 1)
+    else
+      match searchroute_x node i cell.(i) with
+      | Some next -> consume next (i + 1)
+      | None -> finish (Miss_no_route i) None
+  in
+  consume (Packed.root p) 0
+
+let nodes_touched_packed e = 1 + List.length e.psteps
+
+let record_packed_explanation e =
+  Metrics.incr m_point;
+  List.iter
+    (fun s ->
+      match s.pkind with
+      | Tree_edge -> Metrics.incr m_edge_steps
+      | Link -> Metrics.incr m_link_steps
+      | Last_dim_hop -> Metrics.incr m_hops
+      | Descend -> Metrics.incr m_descends)
+    e.psteps;
+  Metrics.observe h_path_nodes (nodes_touched_packed e);
+  if e.poutcome = Hit then Metrics.incr m_point_hits
+
+let pp_packed_explanation p ppf e =
+  let schema = Packed.schema p in
+  let outcome_str =
+    match e.poutcome with
+    | Hit -> "HIT"
+    | Miss_no_route i ->
+      Printf.sprintf "MISS (no route on dimension %s)" (Schema.dim_name schema i)
+    | Miss_no_class -> "MISS (no class below the reached prefix)"
+    | Miss_not_dominating -> "MISS (reached bound disagrees with the query cell)"
+  in
+  Format.fprintf ppf "point %s: %s, %d nodes touched@." (Cell.to_string schema e.pcell)
+    outcome_str (nodes_touched_packed e);
+  Format.fprintf ppf "  root@.";
+  List.iter
+    (fun { pkind; pnode } ->
+      Format.fprintf ppf "  %-7s %s=%s -> %s@." (step_kind_name pkind)
+        (Schema.dim_name schema (Packed.dim p pnode))
+        (Schema.decode_value schema (Packed.dim p pnode) (Packed.label p pnode))
+        (Cell.to_string schema (Packed.node_cell p pnode)))
+    e.psteps;
+  match e.presult with
+  | Some (node, agg) ->
+    Format.fprintf ppf "  = class %s %a@."
+      (Cell.to_string schema (Packed.node_cell p node))
+      Agg.pp agg
+  | None -> ()
+
+let locate_with_agg_packed p cell =
+  if Metrics.enabled () then begin
+    let e = explain_packed p cell in
+    record_packed_explanation e;
+    e.presult
+  end
+  else
+    let d = Array.length cell in
+    let rec consume node i =
+      if i >= d then descend_to_class_p p node
+      else if cell.(i) = Cell.all then consume node (i + 1)
+      else
+        let next = searchroute_p p node i cell.(i) in
+        if next >= 0 then consume next (i + 1) else -1
+    in
+    let node = consume (Packed.root p) 0 in
+    if node >= 0 && path_dominates_p p node cell then
+      match Packed.agg p node with Some agg -> Some (node, agg) | None -> None
+    else None
+
+let point_packed p cell = Option.map snd (locate_with_agg_packed p cell)
+
+let point_value_packed p func cell = Option.map (Agg.value func) (point_packed p cell)
+
+let locate_packed p cell = Option.map fst (locate_with_agg_packed p cell)
+
+let check_range_p p (q : range) =
+  if Array.length q <> Schema.n_dims (Packed.schema p) then
+    invalid_arg "Query.range_packed: arity mismatch with schema"
+
+let range_packed p (q : range) =
+  check_range_p p q;
+  Metrics.incr m_range;
+  let d = Array.length q in
+  let inst = Cell.make_all d in
+  let results = ref [] in
+  let verify node agg =
+    if path_dominates_p p node inst then begin
+      Metrics.incr m_range_results;
+      results := (Cell.copy inst, agg) :: !results
+    end
+  in
+  let rec go node i =
+    if i >= d then begin
+      let cls = descend_to_class_p p node in
+      if cls >= 0 then
+        match Packed.agg p cls with Some a -> verify cls a | None -> ()
+    end
+    else if Array.length q.(i) = 0 then go node (i + 1)
+    else
+      Array.iter
+        (fun v ->
+          Metrics.incr m_range_expansions;
+          inst.(i) <- v;
+          (let next = searchroute_p p node i v in
+           if next >= 0 then go next (i + 1));
+          inst.(i) <- Cell.all)
+        q.(i)
+  in
+  go (Packed.root p) 0;
+  List.rev !results
+
+let node_accesses_packed p cell = nodes_touched_packed (explain_packed p cell)

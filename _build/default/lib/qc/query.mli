@@ -115,3 +115,42 @@ val node_accesses : Qc_tree.t -> Cell.t -> int
 (** Number of tree nodes the point query for this cell visits.  The paper's
     Figure 13 discussion contrasts this with Dwarf, which always visits one
     node per dimension. *)
+
+(** {1 Packed fast path}
+
+    Step-for-step mirrors of the algorithms above over a frozen
+    {!Packed.t}.  The packed search visits the same nodes in the same order
+    as the mutable search, returns identical answers, reports identical
+    {!node_accesses_packed}, and bumps the same metrics counters. *)
+
+val point_packed : Packed.t -> Cell.t -> Agg.t option
+
+val point_value_packed : Packed.t -> Agg.func -> Cell.t -> float option
+
+val locate_packed : Packed.t -> Cell.t -> int option
+(** The class upper-bound node id of a cell, or [None] for empty cover. *)
+
+val range_packed : Packed.t -> range -> (Cell.t * Agg.t) list
+(** Algorithm 4 over the packed layout; result cells, aggregates and order
+    are identical to {!range} on the tree the structure was frozen from. *)
+
+type packed_step = { pkind : step_kind; pnode : int }
+
+type packed_explanation = {
+  pcell : Cell.t;
+  psteps : packed_step list;
+  poutcome : outcome;
+  presult : (int * Agg.t) option;
+}
+
+val explain_packed : Packed.t -> Cell.t -> packed_explanation
+(** Algorithm 3 over the packed layout, recording the path.  Step kinds,
+    outcome and visited cells match {!explain} on the source tree. *)
+
+val nodes_touched_packed : packed_explanation -> int
+
+val pp_packed_explanation : Packed.t -> Format.formatter -> packed_explanation -> unit
+
+val node_accesses_packed : Packed.t -> Cell.t -> int
+(** Equals {!node_accesses} of the same cell on the tree the packed
+    structure was frozen from. *)

@@ -1,5 +1,35 @@
 open Qc_cube
 
+type error =
+  | Truncated
+  | Bad_magic of string
+  | Bad_version of int
+  | Dim_mismatch of { expected : int; got : int }
+  | Malformed of string
+
+exception Error of error
+
+let error_to_string = function
+  | Truncated -> "input truncated"
+  | Bad_magic m -> Printf.sprintf "bad magic %S" m
+  | Bad_version v -> Printf.sprintf "unsupported format version %d" v
+  | Dim_mismatch { expected; got } ->
+    Printf.sprintf "dimension count mismatch: expected %d, got %d" expected got
+  | Malformed msg -> msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Serial.Error: %s" (error_to_string e))
+    | _ -> None)
+
+let err e = raise (Error e)
+
+let malformed fmt = Printf.ksprintf (fun s -> err (Malformed s)) fmt
+
+(* ---------- text format ("qctree 1") ---------- *)
+
 let escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -31,7 +61,18 @@ let unescape s =
 let cell_codes (c : Cell.t) =
   String.concat "," (Array.to_list (Array.map string_of_int c))
 
-let codes_cell s = Array.of_list (List.map int_of_string (String.split_on_char ',' s))
+let int_of what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> malformed "Serial: %s is not an integer: %S" what s
+
+let float_of what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> malformed "Serial: %s is not a number: %S" what s
+
+let codes_cell s =
+  Array.of_list (List.map (int_of "cell code") (String.split_on_char ',' s))
 
 let to_string tree =
   let schema = Qc_tree.schema tree in
@@ -62,7 +103,6 @@ let to_string tree =
 
 let of_string data =
   let lines = String.split_on_char '\n' data in
-  let fail fmt = Printf.ksprintf failwith fmt in
   let schema = ref None in
   let tree = ref None in
   let pending_links = ref [] in
@@ -75,7 +115,8 @@ let of_string data =
     | Some s -> s
     | None ->
       let names = List.rev !dim_names in
-      if List.length names <> !ndims then fail "Serial: dimension count mismatch";
+      if List.length names <> !ndims then
+        err (Dim_mismatch { expected = !ndims; got = List.length names });
       let s = Schema.create ~measure_name:!measure names in
       List.iteri
         (fun i values -> List.iter (fun v -> ignore (Schema.encode_value s i v)) values)
@@ -91,49 +132,280 @@ let of_string data =
       tree := Some t;
       t
   in
+  let check_arity cell =
+    let d = Array.length cell in
+    if d <> !ndims then err (Dim_mismatch { expected = !ndims; got = d });
+    cell
+  in
   List.iter
     (fun line ->
       match String.split_on_char ' ' (String.trim line) with
       | [ "" ] | [] -> ()
-      | "qctree" :: _ | [ "end" ] -> ()
+      | "qctree" :: version :: _ ->
+        let v = int_of "format version" version in
+        if v <> 1 then err (Bad_version v)
+      | [ "end" ] -> ()
       | [ "schema"; n; m ] ->
-        ndims := int_of_string n;
+        ndims := int_of "dimension count" n;
         measure := unescape m
       | "dim" :: name :: _count :: values ->
         dim_names := unescape name :: !dim_names;
         dim_values := List.map unescape values :: !dim_values
       | [ "class"; count; sum; mn; mx; codes ] ->
         let t = get_tree () in
-        let node = Qc_tree.insert_path t (codes_cell codes) in
+        let node =
+          try Qc_tree.insert_path t (check_arity (codes_cell codes))
+          with Invalid_argument msg -> malformed "Serial: bad class cell: %s" msg
+        in
         Qc_tree.set_agg node
           (Some
              {
-               Agg.count = int_of_string count;
-               sum = float_of_string sum;
-               min = float_of_string mn;
-               max = float_of_string mx;
+               Agg.count = int_of "class count" count;
+               sum = float_of "class sum" sum;
+               min = float_of "class min" mn;
+               max = float_of "class max" mx;
              })
       | [ "link"; dim; label; src; dst ] ->
-        pending_links := (int_of_string dim, int_of_string label, src, dst) :: !pending_links
-      | tok :: _ -> fail "Serial: unexpected record %S" tok)
+        pending_links :=
+          (int_of "link dimension" dim, int_of "link label" label, src, dst)
+          :: !pending_links
+      | tok :: _ -> malformed "Serial: unexpected record %S" tok)
     lines;
   let t = get_tree () in
   List.iter
     (fun (dim, label, src, dst) ->
-      match Qc_tree.find_path t (codes_cell src), Qc_tree.find_path t (codes_cell dst) with
-      | Some src, Some dst -> Qc_tree.add_link t ~src ~dim ~label ~dst
-      | _ -> fail "Serial: link endpoint not found")
+      match
+        ( Qc_tree.find_path t (check_arity (codes_cell src)),
+          Qc_tree.find_path t (check_arity (codes_cell dst)) )
+      with
+      | Some src, Some dst -> (
+        try Qc_tree.add_link t ~src ~dim ~label ~dst
+        with Invalid_argument msg -> malformed "Serial: bad link: %s" msg)
+      | _ -> malformed "Serial: link endpoint not found")
     (List.rev !pending_links);
   t
 
-let save tree path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string tree))
+(* ---------- packed binary format ("QCTP", version 1) ----------
 
-let load path =
-  let ic = open_in path in
+   Layout (uint = unsigned LEB128 varint; floats are fixed 8-byte
+   little-endian bit patterns so a round trip is byte-identical):
+
+     magic     4 bytes  "QCTP"
+     version   u8       1
+     measure   str      (uint length + bytes)
+     n_dims    u8
+     per dimension: name str, n_values uint, each value str
+     n_nodes   uint
+     per node (preorder):
+       node 0: agg only
+       node i>0: dim u8, label uint, parent uint, then agg
+       agg: flag u8 (0 = prefix node); when 1: count uint,
+            sum/min/max as the 64-bit patterns of the floats
+     n_links   uint
+     per link: src uint, dim u8, label uint, dst uint
+
+   Labels, node ids and counts are small in practice, so varints keep the
+   format several times smaller than the text form.  The reader
+   bounds-checks every access ([Truncated]) and funnels [Packed.of_arrays]
+   validation into [Malformed] — garbage input raises a typed {!Error},
+   never an out-of-bounds crash. *)
+
+let packed_magic = "QCTP"
+
+let packed_version = 1
+
+let add_uint buf n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_uint8 buf n
+    else begin
+      Buffer.add_uint8 buf (0x80 lor (n land 0x7F));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let add_str buf s =
+  add_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let to_packed_string p =
+  let schema = Packed.schema p in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf packed_magic;
+  Buffer.add_uint8 buf packed_version;
+  add_str buf (Schema.measure_name schema);
+  let d = Schema.n_dims schema in
+  Buffer.add_uint8 buf d;
+  for i = 0 to d - 1 do
+    add_str buf (Schema.dim_name schema i);
+    let values = Qc_util.Dict.values (Schema.dict schema i) in
+    add_uint buf (Array.length values);
+    Array.iter (fun v -> add_str buf v) values
+  done;
+  let n = Packed.n_nodes p in
+  add_uint buf n;
+  let add_agg i =
+    match Packed.agg p i with
+    | None -> Buffer.add_uint8 buf 0
+    | Some (a : Agg.t) ->
+      Buffer.add_uint8 buf 1;
+      add_uint buf a.count;
+      Buffer.add_int64_le buf (Int64.bits_of_float a.sum);
+      Buffer.add_int64_le buf (Int64.bits_of_float a.min);
+      Buffer.add_int64_le buf (Int64.bits_of_float a.max)
+  in
+  add_agg 0;
+  for i = 1 to n - 1 do
+    Buffer.add_uint8 buf (Packed.dim p i);
+    add_uint buf (Packed.label p i);
+    add_uint buf (Packed.parent p i);
+    add_agg i
+  done;
+  add_uint buf (Packed.n_links p);
+  for src = 0 to n - 1 do
+    Packed.iter_links
+      (fun dim label dst ->
+        add_uint buf src;
+        Buffer.add_uint8 buf dim;
+        add_uint buf label;
+        add_uint buf dst)
+      p src
+  done;
+  Buffer.contents buf
+
+(* A bounds-checked read cursor. *)
+type cursor = { data : string; mutable pos : int }
+
+let need cur n = if cur.pos + n > String.length cur.data then err Truncated
+
+let read_u8 cur =
+  need cur 1;
+  let v = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  v
+
+let read_uint cur =
+  let rec go acc shift =
+    if shift > 56 then malformed "Serial: varint overflow in packed input";
+    let b = read_u8 cur in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let read_i64 cur =
+  need cur 8;
+  let v = String.get_int64_le cur.data cur.pos in
+  cur.pos <- cur.pos + 8;
+  v
+
+let read_str cur =
+  let n = read_uint cur in
+  need cur n;
+  let s = String.sub cur.data cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let of_packed_string data =
+  let cur = { data; pos = 0 } in
+  need cur 4;
+  let magic = String.sub data 0 4 in
+  if magic <> packed_magic then err (Bad_magic magic);
+  cur.pos <- 4;
+  let version = read_u8 cur in
+  if version <> packed_version then err (Bad_version version);
+  let measure_name = read_str cur in
+  let d = read_u8 cur in
+  if d = 0 || d > 15 then
+    malformed "Serial: packed dimension count %d outside 1..15" d;
+  let names = ref [] in
+  let dicts = ref [] in
+  for _ = 1 to d do
+    names := read_str cur :: !names;
+    let nv = read_uint cur in
+    let values = ref [] in
+    for _ = 1 to nv do
+      values := read_str cur :: !values
+    done;
+    dicts := List.rev !values :: !dicts
+  done;
+  let schema = Schema.create ~measure_name (List.rev !names) in
+  List.iteri
+    (fun i values -> List.iter (fun v -> ignore (Schema.encode_value schema i v)) values)
+    (List.rev !dicts);
+  let n = read_uint cur in
+  if n = 0 then malformed "Serial: packed tree has no nodes";
+  let dim = Array.make n (-1) in
+  let label = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let aggs = Array.make n None in
+  let read_agg () =
+    match read_u8 cur with
+    | 0 -> None
+    | 1 ->
+      let count = read_uint cur in
+      let sum = Int64.float_of_bits (read_i64 cur) in
+      let min = Int64.float_of_bits (read_i64 cur) in
+      let max = Int64.float_of_bits (read_i64 cur) in
+      Some { Agg.count; sum; min; max }
+    | f -> malformed "Serial: bad aggregate flag %d in packed input" f
+  in
+  aggs.(0) <- read_agg ();
+  for i = 1 to n - 1 do
+    dim.(i) <- read_u8 cur;
+    label.(i) <- read_uint cur;
+    parent.(i) <- read_uint cur;
+    aggs.(i) <- read_agg ()
+  done;
+  let nl = read_uint cur in
+  let links = Array.make nl (0, 0, 0, 0) in
+  for i = 0 to nl - 1 do
+    let src = read_uint cur in
+    let ldim = read_u8 cur in
+    let llabel = read_uint cur in
+    let dst = read_uint cur in
+    links.(i) <- (src, ldim, llabel, dst)
+  done;
+  if cur.pos <> String.length data then
+    malformed "Serial: %d trailing bytes after packed tree"
+      (String.length data - cur.pos);
+  try Packed.of_arrays ~schema ~dim ~label ~parent ~aggs ~links
+  with Invalid_argument msg -> malformed "Serial: %s" msg
+
+(* ---------- files ---------- *)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let len = in_channel_length ic in
-      of_string (really_input_string ic len))
+      really_input_string ic len)
+
+let save tree path = write_file path (to_string tree)
+
+let save_packed p path = write_file path (to_packed_string p)
+
+let of_string_any data =
+  if String.length data >= 4 && String.sub data 0 4 = packed_magic then
+    `Packed (of_packed_string data)
+  else if String.length data >= 6 && String.sub data 0 6 = "qctree" then
+    `Tree (of_string data)
+  else begin
+    (* neither header: report against the sniffed prefix *)
+    let n = min 4 (String.length data) in
+    if n < 4 then err Truncated else err (Bad_magic (String.sub data 0 4))
+  end
+
+let load_any path = of_string_any (read_file path)
+
+let load path =
+  match load_any path with `Tree t -> t | `Packed p -> Packed.to_tree p
+
+let load_packed path =
+  match load_any path with `Packed p -> p | `Tree t -> Packed.of_tree t

@@ -1,19 +1,66 @@
 (** QC-tree persistence.
 
-    A warehouse summary structure must survive process restarts; this module
-    writes a QC-tree (schema, dictionaries, class upper bounds with
-    aggregates, drill-down links) to a line-oriented text format and reads it
-    back.  Aggregate floats round-trip exactly (hexadecimal float notation);
-    dictionary codes are preserved, so a reloaded tree is canonically equal
-    to the saved one. *)
+    Two on-disk formats:
+
+    - The line-oriented {e text} format ("qctree 1" header): schema,
+      dictionaries, class upper bounds with aggregates, drill-down links.
+      Aggregate floats round-trip exactly (hexadecimal float notation);
+      dictionary codes are preserved, so a reloaded tree is canonically
+      equal to the saved one.
+    - The compact {e packed binary} format ("QCTP" magic, version byte):
+      the {!Packed} columns serialized little-endian, several times smaller
+      and loaded without re-running path insertion.
+
+    All parsers raise the typed {!Error} on malformed input — truncation,
+    wrong magic, unsupported version, dimension-count mismatches and
+    structural violations are each reported precisely, never as a bare
+    [Failure] and never as an out-of-bounds crash. *)
+
+type error =
+  | Truncated  (** input ends before the structure is complete *)
+  | Bad_magic of string  (** leading bytes match no known format *)
+  | Bad_version of int
+  | Dim_mismatch of { expected : int; got : int }
+      (** declared dimension count disagrees with the data *)
+  | Malformed of string  (** any other structural violation *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Text format} *)
 
 val to_string : Qc_tree.t -> string
 
 val of_string : string -> Qc_tree.t
-(** @raise Failure on malformed input. *)
+(** @raise Error on malformed input. *)
+
+(** {1 Packed binary format} *)
+
+val to_packed_string : Packed.t -> string
+
+val of_packed_string : string -> Packed.t
+(** @raise Error on malformed input — every read is bounds-checked and the
+    decoded columns are validated by {!Packed.of_arrays} before use. *)
+
+(** {1 Files}
+
+    [load]/[load_any]/[load_packed] sniff the leading bytes and accept
+    either format, converting as needed. *)
 
 val save : Qc_tree.t -> string -> unit
-(** [save tree path] writes the tree to a file. *)
+
+val save_packed : Packed.t -> string -> unit
 
 val load : string -> Qc_tree.t
-(** @raise Failure on malformed input; [Sys_error] on IO failure. *)
+(** @raise Error on malformed input; [Sys_error] on IO failure. *)
+
+val load_packed : string -> Packed.t
+(** @raise Error on malformed input; [Sys_error] on IO failure. *)
+
+val load_any : string -> [ `Tree of Qc_tree.t | `Packed of Packed.t ]
+(** Load whichever format the file holds, without conversion. *)
+
+val of_string_any : string -> [ `Tree of Qc_tree.t | `Packed of Packed.t ]

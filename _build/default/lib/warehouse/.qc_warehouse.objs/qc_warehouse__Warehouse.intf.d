@@ -1,1 +1,1 @@
-lib/warehouse/warehouse.mli: Agg Cell Maintenance Qc_core Qc_cube Qc_tree Qc_util Query Schema Table
+lib/warehouse/warehouse.mli: Agg Cell Maintenance Packed Qc_core Qc_cube Qc_tree Qc_util Query Schema Table

@@ -1,8 +1,17 @@
 open Qc_cube
 
+(* The warehouse keeps the summary in two forms: the frozen [Packed.t],
+   which answers all point/range queries, and the mutable [Qc_tree.t] the
+   incremental maintenance algorithms require.  After a build (or an open
+   from the packed on-disk format) only the frozen form is guaranteed
+   present; the mutable form is thawed transparently on the first
+   maintenance operation (or iceberg/self-check, which walk tree nodes) and
+   kept warm afterwards.  Every mutation refreezes, so [packed] is never
+   stale when present. *)
 type t = {
   mutable base : Table.t;
-  tree : Qc_core.Qc_tree.t;
+  mutable tree_ : Qc_core.Qc_tree.t option;  (** thawed working form *)
+  mutable packed_ : Qc_core.Packed.t option;  (** frozen query form *)
   mutable index : (Agg.func * Qc_core.Query.measure_index) option;  (** iceberg cache *)
   mutable generation : int;  (** bumped on every mutation *)
   mutable index_generation : int;
@@ -12,23 +21,55 @@ let log = Logs.Src.create "qc.warehouse" ~doc:"QC-tree warehouse operations"
 
 module Log = (val Logs.src_log log)
 
+let tree t =
+  match t.tree_ with
+  | Some tr -> tr
+  | None ->
+    let tr =
+      match t.packed_ with
+      | Some p ->
+        Log.debug (fun m -> m "thawing packed tree for node-level access");
+        Qc_core.Packed.to_tree p
+      | None -> assert false
+    in
+    t.tree_ <- Some tr;
+    tr
+
+let packed t =
+  match t.packed_ with
+  | Some p -> p
+  | None ->
+    let p = Qc_core.Packed.of_tree (tree t) in
+    t.packed_ <- Some p;
+    p
+
 let create base =
   let tree = Qc_core.Qc_tree.of_table base in
   Log.info (fun m ->
       m "built warehouse: %d rows, %d classes" (Table.n_rows base)
         (Qc_core.Qc_tree.n_classes tree));
-  { base; tree; index = None; generation = 0; index_generation = -1 }
+  {
+    base;
+    tree_ = Some tree;
+    packed_ = Some (Qc_core.Packed.of_tree tree);
+    index = None;
+    generation = 0;
+    index_generation = -1;
+  }
 
 let table t = t.base
-
-let tree t = t.tree
 
 let schema t = Table.schema t.base
 
 let touch t = t.generation <- t.generation + 1
 
+let refreeze t = t.packed_ <- Some (Qc_core.Packed.of_tree (tree t))
+
 let insert t delta =
-  let stats = Qc_core.Maintenance.insert_batch t.tree ~base:t.base ~delta in
+  let tr = tree t in
+  t.packed_ <- None;
+  let stats = Qc_core.Maintenance.insert_batch tr ~base:t.base ~delta in
+  refreeze t;
   touch t;
   Log.info (fun m ->
       m "inserted %d rows (%d updated, %d carved, %d fresh classes)" (Table.n_rows delta)
@@ -36,8 +77,11 @@ let insert t delta =
   stats
 
 let delete t delta =
-  let new_base, stats = Qc_core.Maintenance.delete_batch t.tree ~base:t.base ~delta in
+  let tr = tree t in
+  t.packed_ <- None;
+  let new_base, stats = Qc_core.Maintenance.delete_batch tr ~base:t.base ~delta in
   t.base <- new_base;
+  refreeze t;
   touch t;
   Log.info (fun m ->
       m "deleted %d rows (%d classes removed, %d merged)" (Table.n_rows delta) stats.removed
@@ -49,18 +93,18 @@ let update t ~old_rows ~new_rows =
   let istats = insert t new_rows in
   (dstats, istats)
 
-let query t cell = Qc_core.Query.point t.tree cell
+let query t cell = Qc_core.Query.point_packed (packed t) cell
 
-let query_value t func cell = Qc_core.Query.point_value t.tree func cell
+let query_value t func cell = Qc_core.Query.point_value_packed (packed t) func cell
 
-let range t q = Qc_core.Query.range t.tree q
+let range t q = Qc_core.Query.range_packed (packed t) q
 
 let iceberg t func ~threshold =
   let index =
     match t.index with
     | Some (f, idx) when f = func && t.index_generation = t.generation -> idx
     | Some _ | None ->
-      let idx = Qc_core.Query.make_index t.tree func in
+      let idx = Qc_core.Query.make_index (tree t) func in
       t.index <- Some (func, idx);
       t.index_generation <- t.generation;
       idx
@@ -74,22 +118,25 @@ type stat = {
   nodes : int;
   links : int;
   bytes : int;
+  packed_bytes : int;
 }
 
 let stats_record t =
+  let p = packed t in
   {
     rows = Table.n_rows t.base;
     dims = Table.n_dims t.base;
-    classes = Qc_core.Qc_tree.n_classes t.tree;
-    nodes = Qc_core.Qc_tree.n_nodes t.tree;
-    links = Qc_core.Qc_tree.n_links t.tree;
-    bytes = Qc_core.Qc_tree.bytes t.tree;
+    classes = Qc_core.Packed.n_classes p;
+    nodes = Qc_core.Packed.n_nodes p;
+    links = Qc_core.Packed.n_links p;
+    bytes = Qc_core.Packed.bytes p;
+    packed_bytes = Qc_core.Packed.resident_bytes p;
   }
 
 let stats t =
   let s = stats_record t in
-  Printf.sprintf "%d rows | %d classes | %d nodes | %d links | %d bytes" s.rows s.classes
-    s.nodes s.links s.bytes
+  Printf.sprintf "%d rows | %d classes | %d nodes | %d links | %d bytes (%d packed)" s.rows
+    s.classes s.nodes s.links s.bytes s.packed_bytes
 
 let stat_to_json s =
   Qc_util.Jsonx.Obj
@@ -100,6 +147,7 @@ let stat_to_json s =
       ("nodes", Qc_util.Jsonx.Int s.nodes);
       ("links", Qc_util.Jsonx.Int s.links);
       ("bytes", Qc_util.Jsonx.Int s.bytes);
+      ("packed_bytes", Qc_util.Jsonx.Int s.packed_bytes);
     ]
 
 let stats_json t = Qc_util.Jsonx.to_string (stat_to_json (stats_record t))
@@ -110,23 +158,27 @@ let tree_file dir = Filename.concat dir "tree.qct"
 
 let atomic_write path content =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let oc = open_out_bin tmp in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
   Sys.rename tmp path
 
 let save t dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   atomic_write (base_file dir) (Qc_data.Csv.to_string t.base);
-  atomic_write (tree_file dir) (Qc_core.Serial.to_string t.tree);
+  atomic_write (tree_file dir) (Qc_core.Serial.to_packed_string (packed t));
   Log.info (fun m -> m "saved warehouse to %s" dir)
 
 let open_dir dir =
-  (* Load the tree first and re-encode the CSV rows against the tree's
-     schema, so warehouse, table and tree share one schema instance (the
-     serial format preserves dictionary codes, so the re-encode assigns
-     identical codes). *)
-  let tree = Qc_core.Serial.load (tree_file dir) in
-  let schema = Qc_core.Qc_tree.schema tree in
+  (* Load the summary first and re-encode the CSV rows against its schema,
+     so warehouse, table and tree share one schema instance (both serial
+     formats preserve dictionary codes, so the re-encode assigns identical
+     codes).  Accepts both on-disk formats: the packed binary stays frozen,
+     a text tree is kept mutable (and frozen lazily on the first query). *)
+  let tree_, packed_, schema =
+    match Qc_core.Serial.load_any (tree_file dir) with
+    | `Packed p -> (None, Some p, Qc_core.Packed.schema p)
+    | `Tree tr -> (Some tr, None, Qc_core.Qc_tree.schema tr)
+  in
   let raw = Qc_data.Csv.load (base_file dir) in
   let raw_schema = Table.schema raw in
   if Schema.n_dims raw_schema <> Schema.n_dims schema then
@@ -140,10 +192,11 @@ let open_dir dir =
       Table.add_row base values m)
     raw;
   Log.info (fun m -> m "opened warehouse %s: %d rows" dir (Table.n_rows base));
-  { base; tree; index = None; generation = 0; index_generation = -1 }
+  { base; tree_; packed_; index = None; generation = 0; index_generation = -1 }
 
 let self_check t =
-  match Qc_core.Qc_tree.validate t.tree with
+  let tr = tree t in
+  match Qc_core.Qc_tree.validate tr with
   | Error e -> Error e
   | Ok () ->
     (* The class set (upper bounds and aggregates) must coincide with a
@@ -155,7 +208,7 @@ let self_check t =
     let errors = ref [] in
     Qc_core.Qc_tree.iter_classes
       (fun _ ub agg ->
-        match Qc_core.Qc_tree.find_path t.tree ub with
+        match Qc_core.Qc_tree.find_path tr ub with
         | Some node -> (
           match node.Qc_core.Qc_tree.agg with
           | Some a when Agg.approx_equal a agg -> ()
@@ -163,6 +216,13 @@ let self_check t =
           | None -> errors := "missing class" :: !errors)
         | None -> errors := "missing class path" :: !errors)
       rebuilt;
-    if Qc_core.Qc_tree.n_classes t.tree <> Qc_core.Qc_tree.n_classes rebuilt then
+    if Qc_core.Qc_tree.n_classes tr <> Qc_core.Qc_tree.n_classes rebuilt then
       errors := "class count differs from rebuild" :: !errors;
+    (* the frozen and mutable forms must agree whenever both exist *)
+    (match (!errors, t.packed_) with
+    | [], Some p
+      when Qc_core.Qc_tree.canonical_string (Qc_core.Packed.to_tree p)
+           <> Qc_core.Qc_tree.canonical_string tr ->
+      errors := [ "packed form disagrees with the mutable tree" ]
+    | _ -> ());
     (match !errors with [] -> Ok () | e :: _ -> Error e)

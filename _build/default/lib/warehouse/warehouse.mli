@@ -13,7 +13,14 @@
     recomputation) and keep the invariant that [tree w] is exactly the
     QC-tree of [table w].  {!save} writes both files atomically
     (write-to-temporary, then rename), so a crash mid-save leaves the
-    previous state intact. *)
+    previous state intact.
+
+    After a build the summary is {e frozen} into a {!Qc_core.Packed}
+    structure that serves every point and range query; maintenance
+    operations transparently thaw back to the mutable tree, apply the
+    incremental algorithms, and refreeze.  [tree.qct] is written in the
+    packed binary format; {!open_dir} also accepts the legacy text
+    format. *)
 
 open Qc_cube
 open Qc_core
@@ -35,6 +42,11 @@ val save : t -> string -> unit
 val table : t -> Table.t
 
 val tree : t -> Qc_tree.t
+(** The mutable working form, thawed from the frozen structure on first
+    use.  Callers must not mutate it directly — use {!insert}/{!delete}. *)
+
+val packed : t -> Packed.t
+(** The frozen query structure; refrozen automatically after maintenance. *)
 
 val schema : t -> Schema.t
 
@@ -66,6 +78,7 @@ type stat = {
   nodes : int;  (** QC-tree nodes (root included) *)
   links : int;  (** drill-down links *)
   bytes : int;  (** size under the shared byte-cost model *)
+  packed_bytes : int;  (** resident size of the frozen column arrays *)
 }
 
 val stats_record : t -> stat
@@ -79,7 +92,8 @@ val stat_to_json : stat -> Qc_util.Jsonx.t
 
 val stats_json : t -> string
 (** {!stats_record} rendered as a compact JSON object
-    ([{"rows":…,"dims":…,"classes":…,"nodes":…,"links":…,"bytes":…}]). *)
+    ([{"rows":…,"dims":…,"classes":…,"nodes":…,"links":…,"bytes":…,
+    "packed_bytes":…}]). *)
 
 val self_check : t -> (unit, string) result
 (** Verify the invariant: the tree validates and its class set (upper

@@ -1,0 +1,1 @@
+test/prop.ml: Array Cell List Printf QCheck QCheck_alcotest Qc_cube Qc_util Random Schema String Sys Table

@@ -1,0 +1,1 @@
+test/test_prop_maintenance.ml: Agg Alcotest Array Fun Helpers List Prop Qc_core Qc_cube Qc_util Qc_warehouse Table

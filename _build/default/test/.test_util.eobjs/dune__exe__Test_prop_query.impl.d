@@ -1,0 +1,1 @@
+test/test_prop_query.ml: Agg Alcotest Array Cell Full_cube List Prop Qc_core Qc_cube

@@ -1,1 +1,1 @@
-test/test_serial.ml: Agg Alcotest Cell Filename Fun Helpers List Qc_core Qc_cube Qc_util Schema String Sys Table
+test/test_serial.ml: Agg Alcotest Buffer Cell Filename Fun Helpers List Printexc Qc_core Qc_cube Qc_util Schema String Sys Table

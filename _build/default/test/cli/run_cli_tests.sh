@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Shell-level contract tests for the qct CLI: every failure path must exit
+# nonzero with a diagnostic on stderr, success paths exit zero, and the
+# packed and text formats answer identically through every subcommand.
+set -u
+
+QCT="$1"
+fails=0
+
+expect() {
+  local want="$1"; shift
+  "$@" >stdout.txt 2>stderr.txt
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: '$*' exited $got, expected $want" >&2
+    sed 's/^/  stderr: /' stderr.txt >&2
+    fails=$((fails + 1))
+  fi
+}
+
+expect_stderr() {
+  local pattern="$1"
+  if ! grep -q "$pattern" stderr.txt; then
+    echo "FAIL: stderr does not match '$pattern'" >&2
+    sed 's/^/  stderr: /' stderr.txt >&2
+    fails=$((fails + 1))
+  fi
+}
+
+printf 'Store,Product,Season,Sale\nS1,P1,s,6\nS1,P2,s,12\nS2,P1,f,9\n' > sales.csv
+
+# --- success paths exit 0 ---
+expect 0 "$QCT" build sales.csv sales.qct
+expect 0 "$QCT" build sales.csv sales.qcp --packed
+expect 0 "$QCT" query sales.qct 'S2,*,f'
+expect 0 "$QCT" query sales.qcp 'S2,*,f' --packed
+expect 0 "$QCT" explain sales.qcp 'S2,*,f' --packed
+
+# --- both formats load through either path and answer identically ---
+"$QCT" query sales.qct 'S2,*,f' > a.txt
+"$QCT" query sales.qcp 'S2,*,f' --packed > b.txt
+"$QCT" query sales.qcp 'S2,*,f' > c.txt          # packed file, mutable path
+"$QCT" query sales.qct 'S2,*,f' --packed > d.txt # text file, packed path
+for f in b.txt c.txt d.txt; do
+  if ! cmp -s a.txt "$f"; then
+    echo "FAIL: $f differs from the text-format answer" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# --- runtime failures exit 1 with a qct: diagnostic ---
+expect 1 "$QCT" query sales.qct 'S9,*,f'       # unknown dimension value
+expect_stderr '^qct:'
+expect 1 "$QCT" query no-such-file.qct 'S2,*,f'
+expect_stderr '^qct:'
+
+# a missing CSV is caught by cmdliner's argument validation (usage error)
+expect 124 "$QCT" build no-such-file.csv out.qct
+expect_stderr '^qct:'
+
+printf 'garbage' > bad.qct
+expect 1 "$QCT" query bad.qct 'S2,*,f'
+expect_stderr '^qct:'
+
+head -c 20 sales.qcp > truncated.qcp
+expect 1 "$QCT" query truncated.qcp 'S2,*,f'
+expect_stderr '^qct:'
+expect_stderr 'truncated'
+
+# --- usage errors keep cmdliner's 124 ---
+expect 124 "$QCT" no-such-subcommand
+expect 124 "$QCT" query
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI contract check(s) failed" >&2
+  exit 1
+fi
+echo "qct CLI contract: all exit-code checks passed"

@@ -1,0 +1,153 @@
+(* Maintenance fuzzing: random batch inserts and deletes, checked against
+   trees rebuilt from scratch, plus a coverage check that the corpus
+   actually drives the interesting maintenance paths (class carving, class
+   merging, link retargeting) — a fuzz suite that never reaches them would
+   be green and worthless. *)
+
+open Qc_cube
+module T = Qc_core.Qc_tree
+module M = Qc_core.Maintenance
+module Q = Qc_core.Query
+module Metrics = Qc_util.Metrics
+
+let add_rows table rows lo hi =
+  for j = lo to hi - 1 do
+    let cell, m = List.nth rows j in
+    Table.add_encoded table cell m
+  done
+
+(* Insertion (Algorithm 2): after every batch the tree must be canonically
+   identical to a tree built from the concatenated table. *)
+let prop_insert_rebuild c =
+  let schema = Prop.schema_of c in
+  let rng = Qc_util.Rng.create (c.Prop.seed lxor 0xA11) in
+  let rows = c.Prop.rows in
+  let n = List.length rows in
+  let n_base = if n = 0 then 0 else Qc_util.Rng.int rng (n + 1) in
+  let base = Table.create schema in
+  add_rows base rows 0 n_base;
+  let tree = T.of_table base in
+  let i = ref n_base in
+  let ok = ref true in
+  while !i < n do
+    let k = 1 + Qc_util.Rng.int rng (n - !i) in
+    let delta = Table.create schema in
+    add_rows delta rows !i (!i + k);
+    i := !i + k;
+    ignore (M.insert_batch tree ~base ~delta);
+    (* insert_batch appends the delta to [base] *)
+    if T.validate tree <> Ok () then ok := false;
+    if T.canonical_string tree <> T.canonical_string (T.of_table base) then ok := false
+  done;
+  !ok
+
+(* Deletion: the maintained tree may keep a few redundant (harmless) links,
+   so instead of canonical equality we require a valid tree with the same
+   class structure and identical point answers everywhere. *)
+let prop_delete_equivalent c =
+  let rows = c.Prop.rows in
+  let n = List.length rows in
+  if n = 0 then true
+  else begin
+    let schema = Prop.schema_of c in
+    let rng = Qc_util.Rng.create (c.Prop.seed lxor 0xDE1) in
+    let base = Table.create schema in
+    add_rows base rows 0 n;
+    let tree = T.of_table base in
+    let k = Qc_util.Rng.int rng (n + 1) in
+    let idxs = Array.init n Fun.id in
+    Qc_util.Rng.shuffle rng idxs;
+    let delta = Table.sub base (Array.to_list (Array.sub idxs 0 k)) in
+    let new_base, _ = M.delete_batch tree ~base ~delta in
+    let rebuilt = T.of_table new_base in
+    let ok = ref (T.validate tree = Ok ()) in
+    if T.n_classes tree <> T.n_classes rebuilt then ok := false;
+    Prop.iter_cells c (fun cell ->
+        let a = Q.point tree cell and b = Q.point rebuilt cell in
+        let same =
+          match (a, b) with
+          | None, None -> true
+          | Some x, Some y -> Agg.approx_equal x y
+          | _ -> false
+        in
+        if not same then ok := false);
+    !ok
+  end
+
+(* The warehouse must keep its frozen form in lockstep through thaw /
+   maintain / refreeze cycles: packed answers equal tree answers after
+   every mutation. *)
+let prop_warehouse_freeze_cycle c =
+  let rows = c.Prop.rows in
+  let n = List.length rows in
+  let schema = Prop.schema_of c in
+  let rng = Qc_util.Rng.create (c.Prop.seed lxor 0xF2E) in
+  let n_base = if n = 0 then 0 else Qc_util.Rng.int rng (n + 1) in
+  let base = Table.create schema in
+  add_rows base rows 0 n_base;
+  let wh = Qc_warehouse.Warehouse.create base in
+  if n_base < n then begin
+    let delta = Table.create schema in
+    add_rows delta rows n_base n;
+    ignore (Qc_warehouse.Warehouse.insert wh delta)
+  end;
+  let tree = Qc_warehouse.Warehouse.tree wh in
+  let ok = ref (Qc_warehouse.Warehouse.self_check wh = Ok ()) in
+  Prop.iter_cells c (fun cell ->
+      if Qc_warehouse.Warehouse.query wh cell <> Q.point tree cell then ok := false);
+  !ok
+
+(* Coverage: across deterministic textbook scenarios plus a fixed random
+   corpus, each maintenance path must fire at least once. *)
+let test_metrics_coverage () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled false)
+    (fun () ->
+      (* Example 3: carving insert on the running example *)
+      let base = Helpers.sales_table () in
+      let schema = Table.schema base in
+      let tree = T.of_table base in
+      let delta = Table.create schema in
+      Table.add_row delta [ "S2"; "P2"; "f" ] 3.0;
+      Table.add_row delta [ "S2"; "P3"; "f" ] 6.0;
+      ignore (M.insert_batch tree ~base ~delta);
+      (* Example 4: merging delete on the grown table *)
+      let delta = Table.sub base [ 3; 4 ] in
+      ignore (M.delete_batch tree ~base ~delta);
+      (* random corpus: interleaved inserts and deletes *)
+      for seed = 0 to 24 do
+        let c = Prop.make_case ~seed:(7_000 + seed) ~n_rows:30 in
+        let schema = Prop.schema_of c in
+        let base = Table.create schema in
+        add_rows base c.Prop.rows 0 15;
+        let tree = T.of_table base in
+        let delta = Table.create schema in
+        add_rows delta c.Prop.rows 15 30;
+        ignore (M.insert_batch tree ~base ~delta);
+        let rng = Qc_util.Rng.create seed in
+        let idxs = Array.init (Table.n_rows base) Fun.id in
+        Qc_util.Rng.shuffle rng idxs;
+        let delta = Table.sub base (Array.to_list (Array.sub idxs 0 10)) in
+        ignore (M.delete_batch tree ~base ~delta)
+      done;
+      let v name = Metrics.value (Metrics.counter name) in
+      Alcotest.(check bool) "classes were carved" true (v "maint.classes_carved" > 0);
+      Alcotest.(check bool) "classes were merged" true (v "maint.classes_merged" > 0);
+      Alcotest.(check bool) "links were retargeted" true (v "maint.link_retargets" > 0))
+
+let () =
+  Alcotest.run "qc_prop_maintenance"
+    [
+      ( "fuzz",
+        [
+          Prop.qcheck_case ~count:200 ~name:"insert batches rebuild canonically" Prop.arb_case
+            prop_insert_rebuild;
+          Prop.qcheck_case ~count:150 ~name:"delete batches stay query-equivalent" Prop.arb_case
+            prop_delete_equivalent;
+          Prop.qcheck_case ~count:100 ~name:"warehouse freeze/thaw cycle stays consistent"
+            Prop.arb_case prop_warehouse_freeze_cycle;
+        ] );
+      ("coverage", [ Alcotest.test_case "maintenance paths all fire" `Quick test_metrics_coverage ]);
+    ]

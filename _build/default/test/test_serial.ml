@@ -82,13 +82,33 @@ let test_escaped_values () =
   Alcotest.(check string) "percent" "a%b" (Schema.decode_value s' 0 2)
 
 let test_malformed_rejected () =
-  Alcotest.check_raises "garbage record" (Failure "Serial: unexpected record \"bogus\"")
-    (fun () -> ignore (S.of_string "qctree 1\nbogus line\n"));
+  Alcotest.check_raises "garbage record"
+    (S.Error (S.Malformed "Serial: unexpected record \"bogus\"")) (fun () ->
+      ignore (S.of_string "qctree 1\nbogus line\n"));
   (* a link whose endpoints never appear must be rejected, not dropped *)
-  Alcotest.check_raises "dangling link" (Failure "Serial: link endpoint not found") (fun () ->
+  Alcotest.check_raises "dangling link"
+    (S.Error (S.Malformed "Serial: link endpoint not found")) (fun () ->
       ignore
         (S.of_string
-           "qctree 1\nschema 2 m\ndim A 1 a\ndim B 1 b\nlink 1 1 1,0 1,1\nend\n"))
+           "qctree 1\nschema 2 m\ndim A 1 a\ndim B 1 b\nlink 1 1 1,0 1,1\nend\n"));
+  (* schema declares 3 dimensions but only 2 dim records follow *)
+  Alcotest.check_raises "dimension count mismatch"
+    (S.Error (S.Dim_mismatch { expected = 3; got = 2 })) (fun () ->
+      ignore
+        (S.of_string
+           "qctree 1\nschema 3 m\ndim A 1 a\ndim B 1 b\nclass 1 0x1p0 0x1p0 0x1p0 1,1,0\nend\n"));
+  (* a class cell of the wrong arity is a dimension mismatch, too *)
+  Alcotest.check_raises "cell arity mismatch"
+    (S.Error (S.Dim_mismatch { expected = 2; got = 3 })) (fun () ->
+      ignore
+        (S.of_string
+           "qctree 1\nschema 2 m\ndim A 1 a\ndim B 1 b\nclass 1 0x1p0 0x1p0 0x1p0 1,1,0\nend\n"));
+  Alcotest.check_raises "unsupported text version" (S.Error (S.Bad_version 9)) (fun () ->
+      ignore (S.of_string "qctree 9\nend\n"));
+  Alcotest.check_raises "non-numeric count"
+    (S.Error (S.Malformed "Serial: class count is not an integer: \"one\"")) (fun () ->
+      ignore
+        (S.of_string "qctree 1\nschema 1 m\ndim A 1 a\nclass one 0x1p0 0x1p0 0x1p0 1\nend\n"))
 
 let test_truncated_input () =
   (* truncation mid-file loses classes but still parses what is there;
@@ -105,6 +125,114 @@ let test_truncated_input () =
   let t = S.of_string upto in
   Alcotest.(check int) "no classes parsed" 0 (T.n_classes t)
 
+(* ---------- packed binary format ---------- *)
+
+module P = Qc_core.Packed
+
+let prop_packed_roundtrip =
+  Helpers.qcheck_case ~count:150 ~name:"packed save/load preserves the canonical tree"
+    Helpers.table_config (fun (dims, card, rows, seed) ->
+      let rng = Qc_util.Rng.create seed in
+      let table = Helpers.random_table rng ~dims ~card ~rows () in
+      let tree = T.of_table table in
+      let bin = S.to_packed_string (P.of_tree tree) in
+      let tree' = P.to_tree (S.of_packed_string bin) in
+      T.canonical_string tree = T.canonical_string tree'
+      (* the format is canonical: re-serializing reproduces the bytes *)
+      && S.to_packed_string (P.of_tree tree') = bin)
+
+let test_packed_file_io () =
+  let table = Helpers.sales_table () in
+  let tree = T.of_table table in
+  let path = Filename.temp_file "qctree" ".qctp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.save_packed (P.of_tree tree) path;
+      (* the sniffing loaders accept the packed file *)
+      let tree' = S.load path in
+      Alcotest.(check string) "load thaws" (T.canonical_string tree) (T.canonical_string tree');
+      let p = S.load_packed path in
+      Alcotest.(check string) "load_packed"
+        (T.canonical_string tree) (T.canonical_string (P.to_tree p));
+      match S.load_any path with
+      | `Packed _ -> ()
+      | `Tree _ -> Alcotest.fail "load_any misidentified the packed format")
+
+let test_packed_float_exactness () =
+  let schema = Schema.create [ "A" ] in
+  let table = Table.create schema in
+  Table.add_row table [ "x" ] 0.1;
+  Table.add_row table [ "x" ] 0.2;
+  let tree = T.of_table table in
+  let p' = S.of_packed_string (S.to_packed_string (P.of_tree tree)) in
+  let cell = Cell.parse schema [ "x" ] in
+  match (Qc_core.Query.point tree cell, Qc_core.Query.point_packed p' cell) with
+  | Some a, Some b -> Alcotest.(check bool) "bit-exact sums" true (a.Agg.sum = b.Agg.sum)
+  | _ -> Alcotest.fail "query failed"
+
+let packed_example () =
+  S.to_packed_string (P.of_tree (T.of_table (Helpers.sales_table ())))
+
+let expect_error name err f =
+  Alcotest.check_raises name (S.Error err) (fun () -> ignore (f ()))
+
+let test_packed_truncated () =
+  let bin = packed_example () in
+  (* every proper prefix must fail with [Truncated] or [Malformed], never
+     crash or silently succeed *)
+  for len = 0 to String.length bin - 1 do
+    match S.of_packed_string (String.sub bin 0 len) with
+    | exception S.Error _ -> ()
+    | exception exn ->
+      Alcotest.failf "prefix %d raised %s instead of Serial.Error" len
+        (Printexc.to_string exn)
+    | _ -> Alcotest.failf "prefix of %d bytes parsed successfully" len
+  done;
+  expect_error "clean truncation is Truncated" S.Truncated (fun () ->
+      S.of_packed_string (String.sub bin 0 (String.length bin - 3)))
+
+let test_packed_bad_magic () =
+  let bin = packed_example () in
+  expect_error "bad magic" (S.Bad_magic "XXXX") (fun () ->
+      S.of_packed_string ("XXXX" ^ String.sub bin 4 (String.length bin - 4)));
+  expect_error "load_any on garbage" (S.Bad_magic "zzzz") (fun () ->
+      S.of_string_any "zzzz not a tree at all");
+  expect_error "load_any on a stub" S.Truncated (fun () -> S.of_string_any "zz")
+
+let test_packed_bad_version () =
+  let bin = packed_example () in
+  let bad = "QCTP\255" ^ String.sub bin 5 (String.length bin - 5) in
+  expect_error "bad version" (S.Bad_version 255) (fun () -> S.of_packed_string bad)
+
+let test_packed_dim_mismatch () =
+  (* declare 0 dimensions: structurally impossible, typed error *)
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf "QCTP\001";
+  Buffer.add_string buf "\001m";  (* measure "m" *)
+  Buffer.add_string buf "\000";  (* n_dims = 0 *)
+  expect_error "zero dimensions"
+    (S.Malformed "Serial: packed dimension count 0 outside 1..15") (fun () ->
+      S.of_packed_string (Buffer.contents buf))
+
+let test_packed_garbage_structure () =
+  (* a node whose parent violates preorder must be rejected by validation *)
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "QCTP\001";
+  Buffer.add_string buf "\001m";
+  Buffer.add_string buf "\001";  (* 1 dimension *)
+  Buffer.add_string buf "\001A";  (* name "A" *)
+  Buffer.add_string buf "\001\001a";  (* 1 value: "a" *)
+  Buffer.add_string buf "\002";  (* 2 nodes *)
+  Buffer.add_string buf "\000";  (* root: no agg *)
+  Buffer.add_string buf "\000\001\001\000";  (* node 1: dim 0, label 1, parent 1 (!), no agg *)
+  Buffer.add_string buf "\000";  (* 0 links *)
+  match S.of_packed_string (Buffer.contents buf) with
+  | exception S.Error (S.Malformed _) -> ()
+  | exception exn ->
+    Alcotest.failf "raised %s instead of Serial.Error (Malformed _)" (Printexc.to_string exn)
+  | _ -> Alcotest.fail "invalid structure parsed successfully"
+
 let () =
   Alcotest.run "qc_serial"
     [
@@ -118,5 +246,16 @@ let () =
           Alcotest.test_case "escaped values" `Quick test_escaped_values;
           Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
           Alcotest.test_case "truncated input" `Quick test_truncated_input;
+        ] );
+      ( "packed",
+        [
+          prop_packed_roundtrip;
+          Alcotest.test_case "file io" `Quick test_packed_file_io;
+          Alcotest.test_case "float exactness" `Quick test_packed_float_exactness;
+          Alcotest.test_case "truncated" `Quick test_packed_truncated;
+          Alcotest.test_case "bad magic" `Quick test_packed_bad_magic;
+          Alcotest.test_case "bad version" `Quick test_packed_bad_version;
+          Alcotest.test_case "dimension count" `Quick test_packed_dim_mismatch;
+          Alcotest.test_case "garbage structure" `Quick test_packed_garbage_structure;
         ] );
     ]
