@@ -232,7 +232,9 @@ let time_point_queries tree dwarf queries =
     Qc_util.Timer.time_s (fun () ->
         List.iter (fun q -> ignore (Qc_dwarf.Dwarf.point dwarf q)) queries)
   in
-  let hits = List.length (List.filter (fun q -> Qc_core.Query.point tree q <> None) queries) in
+  let hits =
+    List.length (List.filter (fun q -> Option.is_some (Qc_core.Query.point tree q)) queries)
+  in
   let acc_tree =
     List.fold_left (fun acc q -> acc + Qc_core.Query.node_accesses tree q) 0 queries
   in
@@ -533,10 +535,18 @@ let packed_fig13 () =
     let ranges =
       Qc_data.Synthetic.random_range_queries ~seed:qseed ~values_per_range table n_queries
     in
-    let canon l = List.sort compare (List.map (fun (c, a) -> (Array.to_list c, a)) l) in
+    let canon l =
+      List.sort
+        (fun ((c1 : Qc_cube.Cell.t), _) (c2, _) -> Qc_cube.Cell.compare_dict c1 c2)
+        l
+    in
+    let same (c1, a1) (c2, a2) = Qc_cube.Cell.equal c1 c2 && Qc_cube.Agg.equal a1 a2 in
     let answers_equal =
       List.for_all
-        (fun r -> canon (Qc_core.Query.range tree r) = canon (Qc_core.Query.range_packed packed r))
+        (fun r ->
+          List.equal same
+            (canon (Qc_core.Query.range tree r))
+            (canon (Qc_core.Query.range_packed packed r)))
         ranges
     in
     let cells =
@@ -794,7 +804,9 @@ let abl_order () =
   let by_card ascending =
     let perm = Array.init d Fun.id in
     Array.sort
-      (fun a b -> if ascending then compare cards.(a) cards.(b) else compare cards.(b) cards.(a))
+      (fun a b ->
+        if ascending then Int.compare cards.(a) cards.(b)
+        else Int.compare cards.(b) cards.(a))
       perm;
     perm
   in
@@ -955,7 +967,9 @@ let micro () =
     analyzed;
   List.iter
     (fun (name, est, r2) -> Tf.add_row tbl [ name; est; r2 ])
-    (List.sort compare !rows);
+    (List.sort
+       (fun ((a : string), _, _) (b, _, _) -> String.compare a b)
+       !rows);
   emit tbl
 
 (* ------------------------------------------------------------------ *)

@@ -9,6 +9,7 @@
      iceberg    list classes whose aggregate passes a threshold
      insert     batch-insert a CSV delta into a saved tree
      classes    dump quotient-cube classes of a CSV base table
+     check      deep invariant audit of a saved tree (exit 2 on violations)
 
    Every subcommand takes --log-level (the per-library Logs sources qc.dfs,
    qc.tree, qc.maint, qc.warehouse report through a Fmt-based reporter) and
@@ -277,24 +278,52 @@ let iceberg_cmd =
 
 (* ---------- insert ---------- *)
 
-let insert () tree_path base_csv delta_csv out =
-  guard @@ fun () ->
-  let tree = Qc_core.Serial.load tree_path in
-  let base = Qc_data.Csv.load base_csv in
-  let delta_raw = Qc_data.Csv.load delta_csv in
-  (* re-encode the delta under the base schema *)
-  let delta = Table.create (Table.schema base) in
-  let schema_raw = Table.schema delta_raw in
+let reencode_against schema table_raw =
+  (* re-encode a loaded CSV under an existing schema so codes coincide *)
+  let out = Table.create schema in
+  let schema_raw = Table.schema table_raw in
   Table.iter
     (fun cell m ->
       let values =
-        List.init (Table.n_dims delta_raw) (fun i -> Schema.decode_value schema_raw i cell.(i))
+        List.init (Schema.n_dims schema_raw) (fun i -> Schema.decode_value schema_raw i cell.(i))
       in
-      Table.add_row delta values m)
-    delta_raw;
+      Table.add_row out values m)
+    table_raw;
+  out
+
+(* The post-maintenance audit behind --self-check: a full deep Check.run
+   against the freshly maintained base.  Violations exit 2, matching the
+   [qct check] contract. *)
+let self_check_or_exit ~what tree base =
+  let report = Qc_core.Check.run ~deep:true ~base tree in
+  match report.Qc_core.Check.violations with
+  | [] -> Printf.printf "self-check after %s: OK\n" what
+  | violations ->
+    let schema = Some (Qc_core.Qc_tree.schema tree) in
+    List.iter
+      (fun v ->
+        Format.printf "violation [%s]: %a@." (Qc_core.Check.violation_label v)
+          (Qc_core.Check.pp_violation schema) v)
+      violations;
+    Printf.printf "self-check after %s: FAILED with %d violation(s)\n" what
+      (List.length violations);
+    exit 2
+
+let self_check_flag =
+  Arg.(
+    value & flag
+    & info [ "self-check" ]
+        ~doc:"Run the full invariant audit ($(b,qct check --packed --deep)) on the maintained               tree before saving; exit 2 if the maintenance broke an invariant.")
+
+let insert () tree_path base_csv delta_csv out self_chk =
+  guard @@ fun () ->
+  let tree = Qc_core.Serial.load tree_path in
+  let base = Qc_data.Csv.load base_csv in
+  let delta = reencode_against (Table.schema base) (Qc_data.Csv.load delta_csv) in
   let stats, dt =
     Qc_util.Timer.time (fun () -> Qc_core.Maintenance.insert_batch tree ~base ~delta)
   in
+  if self_chk then self_check_or_exit ~what:"insert" tree base;
   Qc_core.Serial.save tree out;
   Printf.printf
     "inserted %d tuples in %.2fs: %d classes updated, %d split, %d created; tree saved to %s\n"
@@ -306,24 +335,13 @@ let insert_cmd =
        ~doc:"Batch-insert a CSV delta into a saved tree (Algorithm 2); base CSV required to keep the warehouse consistent.")
     Term.(
       const insert $ common $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
-      $ csv_arg 2 "Delta CSV." $ tree_arg 3 "Output tree file.")
+      $ csv_arg 2 "Delta CSV." $ tree_arg 3 "Output tree file." $ self_check_flag)
 
 (* ---------- delete ---------- *)
 
-let reencode base table_raw =
-  (* re-encode a loaded CSV under the base schema *)
-  let out = Table.create (Table.schema base) in
-  let schema_raw = Table.schema table_raw in
-  Table.iter
-    (fun cell m ->
-      let values =
-        List.init (Table.n_dims table_raw) (fun i -> Schema.decode_value schema_raw i cell.(i))
-      in
-      Table.add_row out values m)
-    table_raw;
-  out
+let reencode base table_raw = reencode_against (Table.schema base) table_raw
 
-let delete () tree_path base_csv delta_csv out_tree out_csv =
+let delete () tree_path base_csv delta_csv out_tree out_csv self_chk =
   guard @@ fun () ->
   let tree = Qc_core.Serial.load tree_path in
   let base = Qc_data.Csv.load base_csv in
@@ -331,6 +349,7 @@ let delete () tree_path base_csv delta_csv out_tree out_csv =
   let (new_base, stats), dt =
     Qc_util.Timer.time (fun () -> Qc_core.Maintenance.delete_batch tree ~base ~delta)
   in
+  if self_chk then self_check_or_exit ~what:"delete" tree new_base;
   Qc_core.Serial.save tree out_tree;
   Qc_data.Csv.save new_base out_csv;
   Printf.printf
@@ -343,7 +362,8 @@ let delete_cmd =
     Term.(
       const delete $ common $ tree_arg 0 "Saved tree file." $ csv_arg 1 "Base table CSV."
       $ csv_arg 2 "Delta CSV." $ tree_arg 3 "Output tree file."
-      $ Arg.(required & pos 4 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output base CSV."))
+      $ Arg.(required & pos 4 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output base CSV.")
+      $ self_check_flag)
 
 (* ---------- rollup ---------- *)
 
@@ -412,6 +432,109 @@ let whatif_cmd =
   Cmd.v
     (Cmd.info "whatif" ~doc:"Evaluate a hypothetical update without committing it.")
     Term.(const whatif $ common $ csv_arg 0 "Base table CSV." $ csv_arg 1 "Hypothetical delta CSV." $ kind $ cells)
+
+(* ---------- check ---------- *)
+
+(* Exit-code contract (asserted by test/cli): 0 = every invariant holds,
+   2 = violations found, 1 = runtime failure (unreadable file, bad cell),
+   124 = usage error.  2 is distinct from 1 so scripts can tell "the tree is
+   broken" from "the command could not run". *)
+let check () packed_too tree_path base_csv deep samples json =
+  guard @@ fun () ->
+  let data =
+    let ic = open_in_bin tree_path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let reports = ref [] in
+  let push r = reports := r :: !reports in
+  (* Byte-level audit first: it needs no successful parse, so a corrupted
+     buffer still yields a structured report rather than a load error. *)
+  let is_qctp =
+    String.length data >= 4 && String.equal (String.sub data 0 4) Qc_core.Serial.packed_magic
+  in
+  if is_qctp then push (Qc_core.Check.check_bytes data);
+  let bytes_ok = List.for_all Qc_core.Check.ok !reports in
+  let tree =
+    if bytes_ok then (
+      match Qc_core.Serial.of_string_any data with
+      | `Tree tree -> Some tree
+      | `Packed p ->
+        push (Qc_core.Check.check_packed p);
+        Some (Qc_core.Packed.to_tree p))
+    else None (* the buffer is already known broken; do not parse it *)
+  in
+  (match tree with
+  | None -> ()
+  | Some tree ->
+    let base =
+      match base_csv with
+      | None ->
+        if deep then begin
+          Printf.eprintf "qct: check --deep needs --base CSV as the oracle\n";
+          exit 1
+        end;
+        None
+      | Some csv ->
+        Some (reencode_against (Qc_core.Qc_tree.schema tree) (Qc_data.Csv.load csv))
+    in
+    if packed_too then push (Qc_core.Check.run ~deep ?base ~samples tree)
+    else push (Qc_core.Check.check_tree ~deep ?base ~samples tree));
+  let report = Qc_core.Check.merge_reports (List.rev !reports) in
+  let n_checks = List.fold_left (fun acc (_, n) -> acc + n) 0 report.Qc_core.Check.checked in
+  let violations = report.Qc_core.Check.violations in
+  if json then print_endline (Qc_util.Jsonx.to_string (Qc_core.Check.report_to_json report))
+  else begin
+    let schema =
+      match tree with Some t -> Some (Qc_core.Qc_tree.schema t) | None -> None
+    in
+    List.iter
+      (fun v ->
+        Format.printf "violation [%s]: %a@." (Qc_core.Check.violation_label v)
+          (Qc_core.Check.pp_violation schema) v)
+      violations;
+    if List.is_empty violations then
+      Printf.printf "OK: %d checks across %d invariant families, no violations\n" n_checks
+        (List.length report.Qc_core.Check.checked)
+    else Printf.printf "FAILED: %d violation(s) in %d checks\n" (List.length violations) n_checks
+  end;
+  if not (List.is_empty violations) then exit 2
+
+let check_cmd =
+  let base =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "base" ] ~docv:"CSV"
+          ~doc:"Base table used as the ground-truth oracle for $(b,--deep).")
+  in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:"Also re-run the class DFS over $(b,--base) and replay sampled point queries \
+                against a full table scan (Lemma 1/Theorem 1 cross-check).")
+  in
+  let samples =
+    Arg.(value & opt int 64 & info [ "samples" ] ~doc:"Point queries replayed by $(b,--deep).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let packed_too =
+    Arg.(
+      value & flag
+      & info [ "packed" ]
+          ~doc:"Additionally freeze the tree and audit the packed columns, the serialized \
+                bytes and the freeze/thaw/serialize round trips.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Deep invariant audit of a saved tree (exit 2 when violations are found).")
+    Term.(
+      const check $ common $ packed_too $ tree_arg 0 "Saved tree file (either format)." $ base
+      $ deep $ samples $ json)
 
 (* ---------- selfcheck ---------- *)
 
@@ -493,6 +616,7 @@ let () =
             delete_cmd;
             rollup_cmd;
             whatif_cmd;
+            check_cmd;
             selfcheck_cmd;
             classes_cmd;
           ]))

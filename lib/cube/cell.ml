@@ -6,7 +6,15 @@ let make_all n = Array.make n all
 
 let copy = Array.copy
 
-let equal (a : t) (b : t) = a = b
+(* Monomorphic: cells are small int arrays and sit on every hot path, so
+   equality and ordering never go through the polymorphic runtime compare
+   (tools/lint.sh bans it on cells). *)
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
 let is_base c = Array.for_all (fun v -> v <> all) c
 
@@ -33,7 +41,14 @@ let compare_dict (a : t) (b : t) =
   (* Code 0 is [*] and integer comparison already puts it first; value codes
      within a dimension are compared by their dictionary codes, which is the
      "arbitrary but fixed" per-dimension order the paper allows. *)
-  compare a b
+  let na = Array.length a and nb = Array.length b in
+  let rec go i =
+    if i >= na || i >= nb then Int.compare na nb
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
 
 let compare_rev_dict (a : t) (b : t) =
   let n = Array.length a in
@@ -42,7 +57,7 @@ let compare_rev_dict (a : t) (b : t) =
     else if a.(i) = b.(i) then go (i + 1)
     else if a.(i) = all then 1
     else if b.(i) = all then -1
-    else compare a.(i) b.(i)
+    else Int.compare a.(i) b.(i)
   in
   go 0
 

@@ -1,7 +1,6 @@
 type concept = string
 
 type node = {
-  name : concept;
   parent : concept option;
   mutable sub : concept list;  (** reverse declaration order *)
   mutable values : string list;  (** reverse assignment order *)
@@ -41,7 +40,7 @@ let add_concept t ?parent name =
     let pnode = find_node t p in
     pnode.sub <- name :: pnode.sub
   | None -> ());
-  Hashtbl.replace t.nodes name { name; parent; sub = []; values = [] };
+  Hashtbl.replace t.nodes name { parent; sub = []; values = [] };
   t.order <- name :: t.order
 
 let assign t ~value name =
@@ -81,7 +80,7 @@ let leaves t name =
   in
   go name;
   let arr = Array.of_list !acc in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let concepts t = List.rev t.order

@@ -95,7 +95,7 @@ let partition_by_dim t idx ~lo ~hi ~dim =
   else begin
     let slice = Array.sub idx lo m in
     let key i = t.tuples.(i).(dim) in
-    Array.sort (fun a b -> compare (key a) (key b)) slice;
+    Array.sort (fun a b -> Int.compare (key a) (key b)) slice;
     Array.blit slice 0 idx lo m;
     (* Scan for group boundaries. *)
     let groups = ref [] in

@@ -83,7 +83,7 @@ let random_range_queries ~seed ?(range_dims = (1, 3)) ?(values_per_range = 3) ba
                 Hashtbl.replace seen (1 + Qc_util.Rng.int rng card) ()
               done;
               let vs = Hashtbl.fold (fun v () acc -> v :: acc) seen [] in
-              Array.of_list (List.sort compare vs)
+              Array.of_list (List.sort Int.compare vs)
             end
           end
           else if Qc_util.Rng.bool rng then [||]

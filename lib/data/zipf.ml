@@ -1,5 +1,4 @@
 type t = {
-  s : float;
   n : int;
   cdf : float array;  (** cdf.(k-1) = P(rank <= k) *)
 }
@@ -15,7 +14,7 @@ let create ?(s = 2.0) n =
     cdf.(i) <- !acc
   done;
   cdf.(n - 1) <- 1.0;
-  { s; n; cdf }
+  { n; cdf }
 
 let sample t rng =
   let u = Qc_util.Rng.float rng 1.0 in

@@ -1,0 +1,731 @@
+open Qc_cube
+
+(* Deep invariant verification.  Every checker below re-derives its
+   invariants from first principles — none of them trusts the caches,
+   indexes or counters the checked structure maintains for itself, because
+   those are exactly what a bug would corrupt. *)
+
+type violation =
+  | Broken_parent of { nid : int; expected_parent : int }
+  | Dim_out_of_range of { nid : int; dim : int }
+  | Label_out_of_range of { nid : int; label : int }
+  | Dim_not_increasing of { nid : int; dim : int; parent_dim : int }
+  | Duplicate_step_label of { nid : int; dim : int; label : int }
+  | Index_missing_entry of { nid : int; dim : int; label : int }
+  | Index_wrong_entry of { nid : int; dim : int; label : int }
+  | Link_target_dead of { src : int; dim : int; label : int }
+  | Link_not_monotonic of { src : int; dim : int; src_dim : int }
+  | Link_label_mismatch of { src : int; dim : int; label : int; dst_label : int }
+  | Link_cycle of { nid : int }
+  | Useless_node of { nid : int }
+  | Tree_internal of string
+  | Class_missing of { ub : Cell.t }
+  | Class_count_mismatch of { expected : int; got : int }
+  | Aggregate_mismatch of { ub : Cell.t; expected : Agg.t; got : Agg.t }
+  | Oracle_mismatch of {
+      cell : Cell.t;
+      expected : Agg.t option;
+      got : Agg.t option;
+    }
+  | Column_length_mismatch of { column : string; expected : int; got : int }
+  | Span_out_of_bounds of { nid : int; lo : int; hi : int }
+  | Span_unsorted of { nid : int; index : int }
+  | Span_wrong_child of { nid : int; index : int; child : int }
+  | Preorder_violation of { nid : int }
+  | Step_index_missing of { src : int; key : int }
+  | Step_index_wrong of { src : int; key : int; expected : int; got : int }
+  | Step_index_extra of { expected : int; got : int }
+  | Agg_id_invalid of { nid : int; agg_id : int }
+  | Roundtrip_mismatch of { stage : string }
+  | Qctp_truncated of { offset : int; wanted : int }
+  | Qctp_bad_magic of string
+  | Qctp_bad_version of int
+  | Qctp_bad_dim_count of int
+  | Qctp_varint_overflow of { offset : int }
+  | Qctp_bad_agg_flag of { offset : int; flag : int }
+  | Qctp_bad_parent of { node : int; parent : int }
+  | Qctp_bad_dim of { node : int; dim : int }
+  | Qctp_bad_link of { index : int; field : string; value : int }
+  | Qctp_trailing_bytes of int
+
+type report = {
+  violations : violation list;
+  checked : (string * int) list;
+}
+
+let ok r = List.is_empty r.violations
+
+let merge_reports reports =
+  let checked = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (k, n) ->
+          (match Hashtbl.find_opt checked k with
+          | None ->
+            order := k :: !order;
+            Hashtbl.replace checked k n
+          | Some m -> Hashtbl.replace checked k (m + n)))
+        r.checked)
+    reports;
+  {
+    violations = List.concat_map (fun r -> r.violations) reports;
+    checked =
+      List.rev_map
+        (fun k ->
+          match Hashtbl.find_opt checked k with
+          | Some n -> (k, n)
+          | None -> (k, 0))
+        !order;
+  }
+
+let violation_label = function
+  | Broken_parent _ -> "broken-parent"
+  | Dim_out_of_range _ -> "dim-out-of-range"
+  | Label_out_of_range _ -> "label-out-of-range"
+  | Dim_not_increasing _ -> "dim-not-increasing"
+  | Duplicate_step_label _ -> "duplicate-step-label"
+  | Index_missing_entry _ -> "index-missing-entry"
+  | Index_wrong_entry _ -> "index-wrong-entry"
+  | Link_target_dead _ -> "link-target-dead"
+  | Link_not_monotonic _ -> "link-not-monotonic"
+  | Link_label_mismatch _ -> "link-label-mismatch"
+  | Link_cycle _ -> "link-cycle"
+  | Useless_node _ -> "useless-node"
+  | Tree_internal _ -> "tree-internal"
+  | Class_missing _ -> "class-missing"
+  | Class_count_mismatch _ -> "class-count-mismatch"
+  | Aggregate_mismatch _ -> "aggregate-mismatch"
+  | Oracle_mismatch _ -> "oracle-mismatch"
+  | Column_length_mismatch _ -> "column-length-mismatch"
+  | Span_out_of_bounds _ -> "span-out-of-bounds"
+  | Span_unsorted _ -> "span-unsorted"
+  | Span_wrong_child _ -> "span-wrong-child"
+  | Preorder_violation _ -> "preorder-violation"
+  | Step_index_missing _ -> "step-index-missing"
+  | Step_index_wrong _ -> "step-index-wrong"
+  | Step_index_extra _ -> "step-index-extra"
+  | Agg_id_invalid _ -> "agg-id-invalid"
+  | Roundtrip_mismatch _ -> "roundtrip-mismatch"
+  | Qctp_truncated _ -> "qctp-truncated"
+  | Qctp_bad_magic _ -> "qctp-bad-magic"
+  | Qctp_bad_version _ -> "qctp-bad-version"
+  | Qctp_bad_dim_count _ -> "qctp-bad-dim-count"
+  | Qctp_varint_overflow _ -> "qctp-varint-overflow"
+  | Qctp_bad_agg_flag _ -> "qctp-bad-agg-flag"
+  | Qctp_bad_parent _ -> "qctp-bad-parent"
+  | Qctp_bad_dim _ -> "qctp-bad-dim"
+  | Qctp_bad_link _ -> "qctp-bad-link"
+  | Qctp_trailing_bytes _ -> "qctp-trailing-bytes"
+
+let pp_violation schema ppf v =
+  let cell c =
+    match schema with
+    | Some s -> Cell.to_string s c
+    | None ->
+      "(" ^ String.concat "," (Array.to_list (Array.map string_of_int c)) ^ ")"
+  in
+  let agg_opt = function
+    | None -> "none"
+    | Some a -> Format.asprintf "%a" Agg.pp a
+  in
+  let f fmt = Format.fprintf ppf fmt in
+  match v with
+  | Broken_parent { nid; expected_parent } ->
+    f "node %d: parent field does not point at node %d" nid expected_parent
+  | Dim_out_of_range { nid; dim } -> f "node %d: dimension %d outside the schema" nid dim
+  | Label_out_of_range { nid; label } -> f "node %d: label %d out of range" nid label
+  | Dim_not_increasing { nid; dim; parent_dim } ->
+    f "node %d: edge dimension %d does not exceed parent dimension %d" nid dim parent_dim
+  | Duplicate_step_label { nid; dim; label } ->
+    f "node %d: two outgoing steps carry (dim %d, label %d)" nid dim label
+  | Index_missing_entry { nid; dim; label } ->
+    f "node %d: edge index cannot resolve existing step (dim %d, label %d)" nid dim label
+  | Index_wrong_entry { nid; dim; label } ->
+    f "node %d: edge index resolves (dim %d, label %d) to the wrong node" nid dim label
+  | Link_target_dead { src; dim; label } ->
+    f "node %d: link (dim %d, label %d) targets a node unreachable from the root" src dim
+      label
+  | Link_not_monotonic { src; dim; src_dim } ->
+    f "node %d: link dimension %d does not exceed the node's dimension %d" src dim src_dim
+  | Link_label_mismatch { src; dim; label; dst_label } ->
+    f "node %d: link (dim %d, label %d) targets a node spelling %d in that dimension" src
+      dim label dst_label
+  | Link_cycle { nid } ->
+    f "node %d: reachable from itself through edges and drill-down links" nid
+  | Useless_node { nid } -> f "node %d: aggregate-less leaf should have been pruned" nid
+  | Tree_internal msg -> f "internal tree index: %s" msg
+  | Class_missing { ub } -> f "class %s: no upper-bound node in the tree" (cell ub)
+  | Class_count_mismatch { expected; got } ->
+    f "class count: DFS derives %d classes, the tree stores %d" expected got
+  | Aggregate_mismatch { ub; expected; got } ->
+    f "class %s: aggregate %a differs from cover aggregate %a" (cell ub) Agg.pp got Agg.pp
+      expected
+  | Oracle_mismatch { cell = c; expected; got } ->
+    f "point %s: tree answers %s, base-table scan answers %s" (cell c) (agg_opt got)
+      (agg_opt expected)
+  | Column_length_mismatch { column; expected; got } ->
+    f "packed column %s: length %d, expected %d" column got expected
+  | Span_out_of_bounds { nid; lo; hi } ->
+    f "packed node %d: CSR span [%d, %d) out of bounds or non-monotone" nid lo hi
+  | Span_unsorted { nid; index } ->
+    f "packed node %d: span keys not strictly ascending at payload index %d" nid index
+  | Span_wrong_child { nid; index; child } ->
+    f "packed node %d: span entry %d resolves to inconsistent node %d" nid index child
+  | Preorder_violation { nid } ->
+    f "packed node %d: ids are not the canonical preorder of the structure" nid
+  | Step_index_missing { src; key } ->
+    f "packed step index: step (src %d, key %d) is not resolvable" src key
+  | Step_index_wrong { src; key; expected; got } ->
+    f "packed step index: step (src %d, key %d) resolves to %d, expected %d" src key got
+      expected
+  | Step_index_extra { expected; got } ->
+    f "packed step index: %d live slots for %d steps" got expected
+  | Agg_id_invalid { nid; agg_id } ->
+    f "packed node %d: aggregate id %d is invalid" nid agg_id
+  | Roundtrip_mismatch { stage } -> f "round-trip (%s) does not reproduce the tree" stage
+  | Qctp_truncated { offset; wanted } ->
+    f "QCTP: truncated at byte %d (%d more bytes declared)" offset wanted
+  | Qctp_bad_magic m -> f "QCTP: bad magic %S" m
+  | Qctp_bad_version v -> f "QCTP: unsupported version %d" v
+  | Qctp_bad_dim_count d -> f "QCTP: dimension count %d outside 1..15" d
+  | Qctp_varint_overflow { offset } -> f "QCTP: varint wider than 63 bits at byte %d" offset
+  | Qctp_bad_agg_flag { offset; flag } -> f "QCTP: aggregate flag %d at byte %d" flag offset
+  | Qctp_bad_parent { node; parent } ->
+    f "QCTP: node %d declares parent %d outside preorder" node parent
+  | Qctp_bad_dim { node; dim } -> f "QCTP: node %d declares dimension %d" node dim
+  | Qctp_bad_link { index; field; value } ->
+    f "QCTP: link %d has %s %d out of range" index field value
+  | Qctp_trailing_bytes n -> f "QCTP: %d trailing bytes after the structure" n
+
+let report_to_json r =
+  let open Qc_util.Jsonx in
+  Obj
+    [
+      ("ok", Bool (ok r));
+      ( "checked",
+        Obj (List.map (fun (k, n) -> (k, Int n)) r.checked) );
+      ( "violations",
+        List
+          (List.map
+             (fun v ->
+               Obj
+                 [
+                   ("label", String (violation_label v));
+                   ("detail", String (Format.asprintf "%a" (pp_violation None) v));
+                 ])
+             r.violations) );
+    ]
+
+(* ---------- collector ---------- *)
+
+type collector = {
+  mutable vs : violation list;  (* reversed *)
+  counts : (string, int) Hashtbl.t;
+  mutable families : string list;  (* reversed *)
+}
+
+let collector () = { vs = []; counts = Hashtbl.create 8; families = [] }
+
+let add c v = c.vs <- v :: c.vs
+
+let tick c family =
+  match Hashtbl.find_opt c.counts family with
+  | None ->
+    c.families <- family :: c.families;
+    Hashtbl.replace c.counts family 1
+  | Some n -> Hashtbl.replace c.counts family (n + 1)
+
+let close c =
+  {
+    violations = List.rev c.vs;
+    checked =
+      List.rev_map
+        (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt c.counts k)))
+        c.families;
+  }
+
+(* ---------- mutable tree ---------- *)
+
+let same_node (a : Qc_tree.node) (b : Qc_tree.node) = a.nid = b.nid
+
+(* Cells sampled for the oracle replay: [*] or a dictionary code per
+   dimension, drawn from the deterministic generator. *)
+let sample_cell rng schema =
+  let d = Schema.n_dims schema in
+  Array.init d (fun i ->
+      let card = Schema.cardinality schema i in
+      if card = 0 || Qc_util.Rng.bool rng then Cell.all
+      else 1 + Qc_util.Rng.int rng card)
+
+let check_structure c tree =
+  let d = Schema.n_dims (Qc_tree.schema tree) in
+  let root = Qc_tree.root tree in
+  (* Reachable set by tree edges; [iter_nodes] is exactly that traversal. *)
+  let reachable = Hashtbl.create 256 in
+  Qc_tree.iter_nodes (fun n -> Hashtbl.replace reachable n.Qc_tree.nid ()) tree;
+  Qc_tree.iter_nodes
+    (fun (n : Qc_tree.node) ->
+      tick c "tree-nodes";
+      if n.nid <> root.Qc_tree.nid then begin
+        (match n.parent with
+        | Some _ -> ()
+        | None -> add c (Broken_parent { nid = n.nid; expected_parent = -1 }));
+        if n.dim < 0 || n.dim >= d then add c (Dim_out_of_range { nid = n.nid; dim = n.dim });
+        if n.label < 0 || n.label > 0xFFFFF then
+          add c (Label_out_of_range { nid = n.nid; label = n.label })
+      end;
+      (* outgoing steps: parentage, monotone dimensions, no duplicates,
+         index agreement *)
+      let seen = Hashtbl.create 8 in
+      let step dim label =
+        tick c "tree-steps";
+        if Hashtbl.mem seen (dim, label) then
+          add c (Duplicate_step_label { nid = n.nid; dim; label })
+        else Hashtbl.replace seen (dim, label) ()
+      in
+      List.iter
+        (fun (ch : Qc_tree.node) ->
+          step ch.dim ch.label;
+          (match ch.parent with
+          | Some p when same_node p n -> ()
+          | _ -> add c (Broken_parent { nid = ch.nid; expected_parent = n.nid }));
+          if ch.dim <= n.dim then
+            add c (Dim_not_increasing { nid = ch.nid; dim = ch.dim; parent_dim = n.dim });
+          match Qc_tree.find_entry tree n ch.dim ch.label with
+          | Some (Qc_tree.Edge e) when same_node e ch -> ()
+          | Some _ -> add c (Index_wrong_entry { nid = n.nid; dim = ch.dim; label = ch.label })
+          | None -> add c (Index_missing_entry { nid = n.nid; dim = ch.dim; label = ch.label }))
+        n.children;
+      List.iter
+        (fun (dim, label, (dst : Qc_tree.node)) ->
+          step dim label;
+          if dim <= n.dim then
+            add c (Link_not_monotonic { src = n.nid; dim; src_dim = n.dim });
+          if not (Hashtbl.mem reachable dst.nid) then
+            add c (Link_target_dead { src = n.nid; dim; label })
+          else begin
+            (* Definition 1: the target is the prefix of the drilled-down
+               class's upper bound through the drill dimension, so its path
+               spells [label] in [dim]. *)
+            let dst_cell = Qc_tree.node_cell tree dst in
+            if dim >= 0 && dim < d && dst_cell.(dim) <> label then
+              add c
+                (Link_label_mismatch
+                   { src = n.nid; dim; label; dst_label = dst_cell.(dim) })
+          end;
+          match Qc_tree.find_entry tree n dim label with
+          | Some (Qc_tree.Link l) when same_node l dst -> ()
+          | Some _ -> add c (Index_wrong_entry { nid = n.nid; dim; label })
+          | None -> add c (Index_missing_entry { nid = n.nid; dim; label }))
+        n.links;
+      (* prune residue *)
+      if
+        Option.is_some n.parent && Option.is_none n.agg
+        && List.is_empty n.children && List.is_empty n.links
+      then add c (Useless_node { nid = n.nid }))
+    tree;
+  (* Acyclicity of the combined edge+link graph (roll-up/drill-down must
+     terminate): tricolor DFS, one reported witness per cycle found. *)
+  let state = Hashtbl.create 256 in
+  (* 1 = on stack, 2 = done *)
+  let rec dfs (n : Qc_tree.node) =
+    match Hashtbl.find_opt state n.nid with
+    | Some 1 -> add c (Link_cycle { nid = n.nid })
+    | Some _ -> ()
+    | None ->
+      Hashtbl.replace state n.nid 1;
+      List.iter dfs n.children;
+      List.iter (fun (_, _, dst) -> dfs dst) n.links;
+      Hashtbl.replace state n.nid 2
+  in
+  tick c "tree-acyclic";
+  dfs root;
+  (* The tree's own validator sees internals (e.g. stale index entries)
+     that the public API cannot reach; surface anything it adds. *)
+  tick c "tree-internal";
+  match Qc_tree.validate tree with
+  | Ok () -> ()
+  | Error msg -> add c (Tree_internal msg)
+
+let check_deep c tree base samples seed =
+  let schema = Qc_tree.schema tree in
+  (* Algorithm 1 cross-check: a fresh DFS over the base table must derive
+     exactly the classes the tree stores, with the same aggregates. *)
+  let ubs = Cell.Tbl.create 256 in
+  List.iter
+    (fun (tc : Temp_class.t) ->
+      if not (Cell.Tbl.mem ubs tc.ub) then Cell.Tbl.replace ubs tc.ub tc.agg)
+    (Dfs.run base);
+  let expected = Cell.Tbl.length ubs in
+  let got = Qc_tree.n_classes tree in
+  tick c "deep-class-count";
+  if expected <> got then add c (Class_count_mismatch { expected; got });
+  Cell.Tbl.iter
+    (fun ub agg ->
+      tick c "deep-classes";
+      match Qc_tree.find_path tree ub with
+      | None -> add c (Class_missing { ub })
+      | Some node -> (
+        match node.Qc_tree.agg with
+        | None -> add c (Class_missing { ub })
+        | Some a ->
+          if not (Agg.approx_equal agg a) then
+            add c (Aggregate_mismatch { ub; expected = agg; got = a })))
+    ubs;
+  (* Lemma 1 / Theorem 1 spot check: random point queries against a full
+     scan of the base table. *)
+  let rng = Qc_util.Rng.create seed in
+  for _ = 1 to samples do
+    tick c "deep-oracle";
+    let cell = sample_cell rng schema in
+    let expected =
+      let a = Table.cover_agg base cell in
+      if a.Agg.count = 0 then None else Some a
+    in
+    let got = Query.point tree cell in
+    let agree =
+      match (expected, got) with
+      | None, None -> true
+      | Some a, Some b -> Agg.approx_equal a b
+      | _ -> false
+    in
+    if not agree then add c (Oracle_mismatch { cell; expected; got })
+  done
+
+let check_tree ?(deep = false) ?base ?(samples = 64) ?(seed = 0) tree =
+  let c = collector () in
+  check_structure c tree;
+  (* The oracle replay walks the tree with the query algorithms; on a
+     structurally broken tree those can loop or crash, so deep checks only
+     run once the structure is clean. *)
+  (match (deep, base) with
+  | true, Some base when List.is_empty c.vs -> check_deep c tree base samples seed
+  | _ -> ());
+  close c
+
+(* ---------- packed columns ---------- *)
+
+let key_of dim label = (dim lsl 20) lor label
+
+let step_key src dim label = (src lsl 24) lor key_of dim label
+
+let hash_slot k mask = ((k * 0x2545F4914F6CDD1D) lsr 20) land mask
+
+let check_packed p =
+  let c = collector () in
+  let r = Packed.raw p in
+  let n = Array.length r.Packed.r_dim in
+  let column name expected got =
+    tick c "packed-columns";
+    if expected <> got then add c (Column_length_mismatch { column = name; expected; got })
+  in
+  let d = Schema.n_dims (Packed.schema p) in
+  column "label" n (Array.length r.r_label);
+  column "parent" n (Array.length r.r_parent);
+  column "child_start" (n + 1) (Array.length r.r_child_start);
+  column "link_start" (n + 1) (Array.length r.r_link_start);
+  column "child_node" (Array.length r.r_child_key) (Array.length r.r_child_node);
+  column "link_node" (Array.length r.r_link_key) (Array.length r.r_link_node);
+  column "agg_id" n (Array.length r.r_agg_id);
+  let n_cls = Array.length r.r_agg_count in
+  column "agg_sum" n_cls (Array.length r.r_agg_sum);
+  column "agg_min" n_cls (Array.length r.r_agg_min);
+  column "agg_max" n_cls (Array.length r.r_agg_max);
+  column "hash_dst" (Array.length r.r_hash_key) (Array.length r.r_hash_dst);
+  let report = close c in
+  if not (List.is_empty report.violations) then report
+  else begin
+    (* Node columns: root shape, preorder parents, monotone dimensions. *)
+    let preorder_ok = ref true in
+    tick c "packed-nodes";
+    if n = 0 || r.r_dim.(0) <> -1 || r.r_parent.(0) <> -1 then begin
+      add c (Preorder_violation { nid = 0 });
+      preorder_ok := false
+    end;
+    for i = 1 to n - 1 do
+      tick c "packed-nodes";
+      let p' = r.r_parent.(i) in
+      if p' < 0 || p' >= i then begin
+        add c (Preorder_violation { nid = i });
+        preorder_ok := false
+      end
+      else if r.r_dim.(i) <= r.r_dim.(p') then
+        add c (Dim_not_increasing { nid = i; dim = r.r_dim.(i); parent_dim = r.r_dim.(p') });
+      if r.r_dim.(i) < 0 || r.r_dim.(i) >= d then
+        add c (Dim_out_of_range { nid = i; dim = r.r_dim.(i) });
+      if r.r_label.(i) < 0 || r.r_label.(i) > 0xFFFFF then
+        add c (Label_out_of_range { nid = i; label = r.r_label.(i) })
+    done;
+    (* CSR spans: monotone in-bounds offsets, strictly ascending keys,
+       entries consistent with the node columns. *)
+    let span ~starts ~keys ~nodes ~check_entry name =
+      let payload = Array.length keys in
+      let sound = ref true in
+      if starts.(0) <> 0 || starts.(n) <> payload then begin
+        add c (Span_out_of_bounds { nid = -1; lo = starts.(0); hi = starts.(n) });
+        sound := false
+      end;
+      for p' = 0 to n - 1 do
+        tick c name;
+        let lo = starts.(p') and hi = starts.(p' + 1) in
+        if lo > hi || lo < 0 || hi > payload then begin
+          add c (Span_out_of_bounds { nid = p'; lo; hi });
+          sound := false
+        end
+        else begin
+          for i = lo + 1 to hi - 1 do
+            if keys.(i - 1) >= keys.(i) then add c (Span_unsorted { nid = p'; index = i })
+          done;
+          for i = lo to hi - 1 do
+            let dst = nodes.(i) in
+            if dst < 0 || dst >= n || not (check_entry p' keys.(i) dst) then
+              add c (Span_wrong_child { nid = p'; index = i; child = dst })
+          done
+        end
+      done;
+      !sound
+    in
+    let spans_sound =
+      span ~starts:r.r_child_start ~keys:r.r_child_key ~nodes:r.r_child_node
+        ~check_entry:(fun p' key child ->
+          r.r_parent.(child) = p' && key_of r.r_dim.(child) r.r_label.(child) = key)
+        "packed-child-spans"
+      && span ~starts:r.r_link_start ~keys:r.r_link_key ~nodes:r.r_link_node
+           ~check_entry:(fun _ _ _ -> true) "packed-link-spans"
+    in
+    (* Every tree edge must appear in its parent's child span. *)
+    if spans_sound then
+      for i = 1 to n - 1 do
+        let p' = r.r_parent.(i) in
+        if p' >= 0 && p' < i then begin
+          let found = ref false in
+          for j = r.r_child_start.(p') to r.r_child_start.(p' + 1) - 1 do
+            if r.r_child_node.(j) = i then found := true
+          done;
+          if not !found then add c (Span_wrong_child { nid = p'; index = -1; child = i })
+        end
+      done;
+    (* Canonical preorder: recompute it from the parent/dim/label columns
+       and require the identity numbering. *)
+    if !preorder_ok && spans_sound then begin
+      tick c "packed-preorder";
+      let kids = Array.make n [] in
+      for i = n - 1 downto 1 do
+        kids.(r.r_parent.(i)) <- i :: kids.(r.r_parent.(i))
+      done;
+      Array.iteri
+        (fun p' l ->
+          kids.(p') <-
+            List.sort
+              (fun a b ->
+                Int.compare (key_of r.r_dim.(a) r.r_label.(a))
+                  (key_of r.r_dim.(b) r.r_label.(b)))
+              l)
+        kids;
+      let next = ref 0 in
+      let bad = ref None in
+      let rec assign i =
+        if Option.is_none !bad then begin
+          if i <> !next then bad := Some i;
+          incr next;
+          List.iter assign kids.(i)
+        end
+      in
+      assign 0;
+      match !bad with
+      | Some nid -> add c (Preorder_violation { nid })
+      | None -> if !next <> n then add c (Preorder_violation { nid = !next })
+    end;
+    (* Aggregate ids: dense, in order, within bounds. *)
+    let next_agg = ref 0 in
+    for i = 0 to n - 1 do
+      tick c "packed-aggs";
+      let a = r.r_agg_id.(i) in
+      if a >= 0 then begin
+        if a <> !next_agg || a >= n_cls then add c (Agg_id_invalid { nid = i; agg_id = a })
+        else incr next_agg
+      end
+      else if a <> -1 then add c (Agg_id_invalid { nid = i; agg_id = a })
+    done;
+    if !next_agg <> n_cls then
+      add c (Agg_id_invalid { nid = -1; agg_id = !next_agg });
+    (* Step index: every edge and link resolves to its destination, and the
+       table holds exactly one live slot per step. *)
+    let mask = r.r_hash_mask in
+    let hsize = Array.length r.r_hash_key in
+    let index_sound = hsize > 0 && hsize land (hsize - 1) = 0 && mask = hsize - 1 in
+    if not index_sound then
+      add c (Column_length_mismatch { column = "hash_key"; expected = mask + 1; got = hsize })
+    else begin
+      let probe k =
+        let rec go i steps =
+          if steps > hsize then -1
+          else
+            let kk = r.r_hash_key.(i) in
+            if kk = k then r.r_hash_dst.(i)
+            else if kk < 0 then -1
+            else go ((i + 1) land mask) (steps + 1)
+        in
+        go (hash_slot k mask) 0
+      in
+      let expect_step src key dst =
+        tick c "packed-step-index";
+        match probe key with
+        | -1 -> add c (Step_index_missing { src; key })
+        | got when got <> dst -> add c (Step_index_wrong { src; key; expected = dst; got })
+        | _ -> ()
+      in
+      if spans_sound then begin
+        for i = 1 to n - 1 do
+          expect_step r.r_parent.(i) (step_key r.r_parent.(i) r.r_dim.(i) r.r_label.(i)) i
+        done;
+        for src = 0 to n - 1 do
+          for j = r.r_link_start.(src) to r.r_link_start.(src + 1) - 1 do
+            expect_step src ((src lsl 24) lor r.r_link_key.(j)) r.r_link_node.(j)
+          done
+        done
+      end;
+      let live = Array.fold_left (fun acc k -> if k >= 0 then acc + 1 else acc) 0 r.r_hash_key in
+      let steps = (n - 1) + Array.length r.r_link_key in
+      tick c "packed-step-index";
+      if live <> steps then add c (Step_index_extra { expected = steps; got = live })
+    end;
+    close c
+  end
+
+(* ---------- QCTP bytes ---------- *)
+
+exception Stop of violation
+
+let check_bytes data =
+  let c = collector () in
+  let len = String.length data in
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > len then raise (Stop (Qctp_truncated { offset = len; wanted = !pos + n - len }))
+  in
+  let u8 () =
+    need 1;
+    let v = Char.code data.[!pos] in
+    incr pos;
+    v
+  in
+  let uint () =
+    let start = !pos in
+    let rec go acc shift =
+      if shift > 56 then raise (Stop (Qctp_varint_overflow { offset = start }));
+      let b = u8 () in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go acc (shift + 7)
+    in
+    go 0 0
+  in
+  let skip n =
+    need n;
+    pos := !pos + n
+  in
+  let str () = skip (uint ()) in
+  (try
+     tick c "qctp-header";
+     need 4;
+     let magic = String.sub data 0 4 in
+     if magic <> Serial.packed_magic then raise (Stop (Qctp_bad_magic magic));
+     pos := 4;
+     let version = u8 () in
+     if version <> 1 then raise (Stop (Qctp_bad_version version));
+     str ();
+     (* measure name *)
+     let d = u8 () in
+     if d = 0 || d > 15 then raise (Stop (Qctp_bad_dim_count d));
+     for _ = 1 to d do
+       tick c "qctp-dims";
+       str ();
+       (* dimension name *)
+       let nv = uint () in
+       for _ = 1 to nv do
+         str ()
+       done
+     done;
+     let n = uint () in
+     if n = 0 then raise (Stop (Qctp_truncated { offset = !pos; wanted = 1 }));
+     let agg () =
+       let off = !pos in
+       match u8 () with
+       | 0 -> ()
+       | 1 ->
+         ignore (uint ());
+         skip 24
+       | flag -> raise (Stop (Qctp_bad_agg_flag { offset = off; flag }))
+     in
+     agg ();
+     for i = 1 to n - 1 do
+       tick c "qctp-nodes";
+       let dim = u8 () in
+       if dim >= d then add c (Qctp_bad_dim { node = i; dim });
+       ignore (uint ());
+       (* label *)
+       let parent = uint () in
+       if parent >= i then add c (Qctp_bad_parent { node = i; parent });
+       agg ()
+     done;
+     let nl = uint () in
+     for i = 0 to nl - 1 do
+       tick c "qctp-links";
+       let src = uint () in
+       if src >= n then add c (Qctp_bad_link { index = i; field = "source"; value = src });
+       let ldim = u8 () in
+       if ldim >= d then add c (Qctp_bad_link { index = i; field = "dimension"; value = ldim });
+       ignore (uint ());
+       (* label *)
+       let dst = uint () in
+       if dst >= n then add c (Qctp_bad_link { index = i; field = "target"; value = dst })
+     done;
+     tick c "qctp-trailer";
+     if !pos <> len then add c (Qctp_trailing_bytes (len - !pos))
+   with Stop v -> add c v);
+  close c
+
+(* ---------- round trips ---------- *)
+
+let check_roundtrip tree =
+  let c = collector () in
+  let canon = Qc_tree.canonical_string tree in
+  (try
+     let p = Packed.of_tree tree in
+     tick c "roundtrip";
+     if String.compare (Qc_tree.canonical_string (Packed.to_tree p)) canon <> 0 then
+       add c (Roundtrip_mismatch { stage = "freeze-thaw" });
+     let bytes = Serial.to_packed_string p in
+     tick c "roundtrip";
+     (match Serial.of_packed_string bytes with
+     | p2 ->
+       if String.compare (Qc_tree.canonical_string (Packed.to_tree p2)) canon <> 0 then
+         add c (Roundtrip_mismatch { stage = "serialize-reload" })
+     | exception Serial.Error _ -> add c (Roundtrip_mismatch { stage = "serialize-reload" }));
+     tick c "roundtrip";
+     if
+       String.compare (Qc_tree.canonical_string (Serial.of_string (Serial.to_string tree))) canon
+       <> 0
+     then add c (Roundtrip_mismatch { stage = "text-reload" })
+   with
+  | Invalid_argument _ | Serial.Error _ ->
+    tick c "roundtrip";
+    add c (Roundtrip_mismatch { stage = "freeze" }));
+  close c
+
+let run ?(deep = false) ?base ?samples ?seed tree =
+  let structural = check_tree ?samples ?seed ~deep ?base tree in
+  (* A broken mutable tree makes freezing meaningless (and potentially
+     non-terminating on link cycles): stop at the first layer that fails. *)
+  if not (ok structural) then structural
+  else begin
+    let packed_reports =
+      match Packed.of_tree tree with
+      | p -> [ check_packed p; check_bytes (Serial.to_packed_string p) ]
+      | exception Invalid_argument _ ->
+        [ { violations = [ Roundtrip_mismatch { stage = "freeze" } ]; checked = [] } ]
+    in
+    merge_reports ((structural :: packed_reports) @ [ check_roundtrip tree ])
+  end

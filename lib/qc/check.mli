@@ -1,0 +1,163 @@
+(** Deep, non-mutating invariant verification over every QC-tree
+    representation.
+
+    The QC-tree's correctness rests on a small set of structural invariants
+    — strictly increasing dimensions along paths (Section 3), drill-down
+    links that never shadow a tree edge and land on the node spelling the
+    drill-down value (Definition 1), a sorted child span so the Lemma 2 hop is
+    O(1), and class aggregates equal to the cover aggregates of the base
+    table (Lemma 1/Theorem 1).  The maintenance algorithms (Algorithms 2-4)
+    preserve them only if every step does; this module re-derives each
+    invariant from scratch so a violation anywhere in the pipeline is caught
+    with its exact location rather than as a wrong answer much later.
+
+    Three entry points mirror the three representations:
+
+    - {!check_tree} walks a mutable {!Qc_tree.t};
+    - {!check_packed} audits the frozen CSR columns of a {!Packed.t}
+      through {!Packed.raw};
+    - {!check_bytes} structurally audits a QCTP buffer {e without}
+      deserializing it — every varint, section size and count is
+      bounds-checked with its byte offset.
+
+    {!run} chains all three (tree → freeze → serialize) plus the round-trip
+    equivalence checks.  Nothing here mutates its input. *)
+
+open Qc_cube
+
+(** One violated invariant, with enough context to locate it.  Node ids are
+    {!Qc_tree.node.nid} for tree violations and canonical preorder ids for
+    packed violations; offsets are byte positions in the QCTP buffer. *)
+type violation =
+  (* mutable tree *)
+  | Broken_parent of { nid : int; expected_parent : int }
+      (** a child's [parent] field does not point back at its parent *)
+  | Dim_out_of_range of { nid : int; dim : int }
+  | Label_out_of_range of { nid : int; label : int }
+  | Dim_not_increasing of { nid : int; dim : int; parent_dim : int }
+      (** a tree edge does not strictly increase the dimension *)
+  | Duplicate_step_label of { nid : int; dim : int; label : int }
+      (** two edges/links out of one node carry the same (dim, label) *)
+  | Index_missing_entry of { nid : int; dim : int; label : int }
+      (** the edge index does not resolve an existing edge or link *)
+  | Index_wrong_entry of { nid : int; dim : int; label : int }
+      (** the edge index resolves to a different node *)
+  | Link_target_dead of { src : int; dim : int; label : int }
+      (** a drill-down link points at a node no longer reachable from the
+          root *)
+  | Link_not_monotonic of { src : int; dim : int; src_dim : int }
+      (** link dimension must exceed the source node's dimension *)
+  | Link_label_mismatch of { src : int; dim : int; label : int; dst_label : int }
+      (** the target spells a different value in the link's dimension *)
+  | Link_cycle of { nid : int }
+      (** following edges and links can return to [nid] — roll-up/drill-down
+          would not terminate *)
+  | Useless_node of { nid : int }
+      (** a leaf that carries no aggregate and no links — should have been
+          pruned *)
+  | Tree_internal of string
+      (** an internal-index inconsistency reported by {!Qc_tree.validate}
+          that has no public-API rendering (e.g. stale index entries) *)
+  (* deep (oracle) checks *)
+  | Class_missing of { ub : Cell.t }
+      (** a fresh DFS derives a class upper bound the tree has no node
+          for *)
+  | Class_count_mismatch of { expected : int; got : int }
+  | Aggregate_mismatch of { ub : Cell.t; expected : Agg.t; got : Agg.t }
+      (** the class aggregate differs from the base table's cover
+          aggregate *)
+  | Oracle_mismatch of {
+      cell : Cell.t;
+      expected : Agg.t option;
+      got : Agg.t option;
+    }  (** a sampled point query disagrees with a base-table scan *)
+  (* packed representation *)
+  | Column_length_mismatch of { column : string; expected : int; got : int }
+  | Span_out_of_bounds of { nid : int; lo : int; hi : int }
+      (** CSR offsets not monotone or outside the payload columns *)
+  | Span_unsorted of { nid : int; index : int }
+      (** span keys not strictly ascending — binary search breaks *)
+  | Span_wrong_child of { nid : int; index : int; child : int }
+      (** a child-span entry disagrees with the parent column *)
+  | Preorder_violation of { nid : int }
+      (** node ids are not the canonical preorder of the structure *)
+  | Step_index_missing of { src : int; key : int }
+  | Step_index_wrong of { src : int; key : int; expected : int; got : int }
+  | Step_index_extra of { expected : int; got : int }
+      (** the open-addressing table holds more live slots than steps *)
+  | Agg_id_invalid of { nid : int; agg_id : int }
+  | Roundtrip_mismatch of { stage : string }
+      (** freeze/thaw or serialize/reload does not reproduce the tree *)
+  (* QCTP bytes *)
+  | Qctp_truncated of { offset : int; wanted : int }
+      (** the buffer ends at [offset] where [wanted] more bytes were
+          declared *)
+  | Qctp_bad_magic of string
+  | Qctp_bad_version of int
+  | Qctp_bad_dim_count of int
+  | Qctp_varint_overflow of { offset : int }
+  | Qctp_bad_agg_flag of { offset : int; flag : int }
+  | Qctp_bad_parent of { node : int; parent : int }
+  | Qctp_bad_dim of { node : int; dim : int }
+  | Qctp_bad_link of { index : int; field : string; value : int }
+  | Qctp_trailing_bytes of int
+
+type report = {
+  violations : violation list;  (** in discovery order *)
+  checked : (string * int) list;
+      (** per invariant family, how many individual checks ran — so "no
+          violations" is distinguishable from "nothing was checked" *)
+}
+
+val ok : report -> bool
+
+val merge_reports : report list -> report
+
+val violation_label : violation -> string
+(** A stable short tag (e.g. ["link-target-dead"]) — the contract tested by
+    the CLI suite and emitted in JSON; error-message wording may change,
+    labels may not. *)
+
+val pp_violation : Schema.t option -> Format.formatter -> violation -> unit
+(** Human rendering; with a schema, cells print as value tuples rather than
+    code vectors. *)
+
+val report_to_json : report -> Qc_util.Jsonx.t
+
+(** {1 Checkers} *)
+
+val check_tree : ?deep:bool -> ?base:Table.t -> ?samples:int -> ?seed:int -> Qc_tree.t -> report
+(** Structural audit of a mutable tree: parentage, dimension monotonicity,
+    duplicate step labels, edge-index consistency, link liveness/monotonicity
+    and acyclicity (a tricolor DFS over edges and links together), prune
+    residue.  With [~deep:true] and a [~base] table it additionally re-runs
+    {!Dfs.run} and requires every derived class upper bound to resolve to
+    exactly one aggregate-carrying node with the right aggregate (and the
+    class counts to agree), then replays [samples] (default 64) random point
+    queries against a full scan of [base].  [seed] (default 0) drives the
+    sample generator deterministically. *)
+
+val check_packed : Packed.t -> report
+(** Audit the frozen columns through {!Packed.raw}: column lengths, CSR span
+    well-formedness (monotone offsets, strictly ascending keys, in-bounds
+    targets, parent agreement), canonical preorder numbering, aggregate-id
+    density, and full step-index consistency (every edge and link resolves,
+    no extra live slots). *)
+
+val check_bytes : string -> report
+(** Structural audit of a QCTP buffer without deserializing it: magic,
+    version, measure/dimension string tables, per-node and per-link records,
+    varint width, aggregate flags, preorder parent references and link
+    endpoint ranges — each failure located by byte offset.  Text-format
+    buffers ("qctree 1") are not audited here; only the binary format has a
+    byte-level contract. *)
+
+val check_roundtrip : Qc_tree.t -> report
+(** Freeze, thaw, serialize and reload the tree, requiring canonical
+    equality at every hop ({!Qc_tree.canonical_string}). *)
+
+val run : ?deep:bool -> ?base:Table.t -> ?samples:int -> ?seed:int -> Qc_tree.t -> report
+(** Everything: {!check_tree} on the input, {!check_packed} on its frozen
+    form, {!check_bytes} on its serialized form, and {!check_roundtrip} —
+    the one-call audit used by [qct check], the warehouse self-check hooks
+    and the property suites. *)

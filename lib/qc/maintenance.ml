@@ -245,7 +245,7 @@ let plan_carve_repairs tree base records =
     records;
   let targets =
     List.sort_uniq
-      (fun (a : Qc_tree.node) b -> compare a.nid b.nid)
+      (fun (a : Qc_tree.node) b -> Int.compare a.nid b.nid)
       (List.map (fun (_, n, _) -> n) !carves)
   in
   let covers = covers_for_nodes tree base targets in
@@ -254,8 +254,12 @@ let plan_carve_repairs tree base records =
     (fun (w, (old_node : Qc_tree.node), delta_values) ->
       (* cover_old(w) = cover_old of the whole carved class (class property),
          so the per-dimension value sets come from the old class's cover. *)
-      let rows = try Hashtbl.find covers old_node.nid with Not_found -> [] in
-      let dims = Cell.Tbl.find allowed w in
+      let rows = Option.value ~default:[] (Hashtbl.find_opt covers old_node.nid) in
+      let dims =
+        match Cell.Tbl.find_opt allowed w with
+        | Some dims -> dims
+        | None -> invalid_arg "Maintenance.plan_carve_repairs: unplanned carve bound"
+      in
       let old_values = Array.init d (fun _ -> Hashtbl.create 8) in
       List.iter
         (fun i ->
@@ -297,7 +301,7 @@ let insert_batch tree ~base ~delta =
     List.sort
       (fun a b ->
         let c = Cell.compare_dict a.ub b.ub in
-        if c <> 0 then c else compare a.id b.id)
+        if c <> 0 then c else Int.compare a.id b.id)
       records
   in
   let updated = ref 0 and carved = ref 0 and fresh = ref 0 in
@@ -307,7 +311,11 @@ let insert_batch tree ~base ~delta =
       (match !last with
       | Some ub when Cell.equal ub r.ub ->
         if r.child >= 0 then begin
-          let child = Hashtbl.find by_id r.child in
+          let child =
+            match Hashtbl.find_opt by_id r.child with
+            | Some child -> child
+            | None -> invalid_arg "Maintenance.insert_batch: dangling lattice child"
+          in
           (* First dimension where the lattice child's bound is [*] but this
              class's lower bound is not: the drill-down dimension. *)
           let rec first_diff j =
@@ -430,7 +438,7 @@ type delete_stats = {
    row indices into [table]. *)
 let propagate_covers tree table f =
   let rec go (node : Qc_tree.node) rows =
-    if rows <> [] then begin
+    if not (List.is_empty rows) then begin
       (match node.agg with Some _ -> f node rows | None -> ());
       List.iter
         (fun (child : Qc_tree.node) ->
@@ -483,7 +491,9 @@ let delete_batch tree ~base ~delta =
     List.sort (fun (a, _) (b, _) -> Cell.compare_rev_dict a b) with_ubs
   in
   let removed = ref 0 and merged = ref 0 and updated_classes = ref 0 in
-  let rows_of node = try Hashtbl.find new_cover node.Qc_tree.nid with Not_found -> [] in
+  let rows_of node =
+    Option.value ~default:[] (Hashtbl.find_opt new_cover node.Qc_tree.nid)
+  in
   let new_bound u rows =
     (* Upper bound of cell [u]'s class over the remaining cover. *)
     let u' = Cell.copy u in
@@ -502,7 +512,7 @@ let delete_batch tree ~base ~delta =
   List.iter
     (fun (u, (node : Qc_tree.node)) ->
       let rows = rows_of node in
-      if rows = [] then begin
+      if List.is_empty rows then begin
         incr removed;
         Qc_tree.set_agg node None
       end
@@ -532,7 +542,7 @@ let delete_batch tree ~base ~delta =
   let rec collect_dying (n : Qc_tree.node) =
     (* Map first: every subtree must be visited, [for_all] short-circuits. *)
     let kids_dead = List.for_all Fun.id (List.map collect_dying n.children) in
-    let dead = n.parent <> None && n.agg = None && kids_dead in
+    let dead = Option.is_some n.parent && Option.is_none n.agg && kids_dead in
     if dead then Hashtbl.replace dying n.nid ();
     dead
   in
@@ -549,7 +559,7 @@ let delete_batch tree ~base ~delta =
   let dying_cover = covers_for_nodes tree new_base !dying_nodes in
   List.iter
     (fun (x : Qc_tree.node) ->
-      match (try Hashtbl.find dying_cover x.nid with Not_found -> []) with
+      match Option.value ~default:[] (Hashtbl.find_opt dying_cover x.nid) with
       | [] -> ()
       | rows -> (
         let w = new_bound (Qc_tree.node_cell tree x) rows in
@@ -591,7 +601,8 @@ let delete_batch tree ~base ~delta =
     tree;
   let leaves = ref [] in
   Qc_tree.iter_nodes
-    (fun n -> if Hashtbl.mem dying n.nid && n.children = [] then leaves := n :: !leaves)
+    (fun n ->
+      if Hashtbl.mem dying n.nid && List.is_empty n.children then leaves := n :: !leaves)
     tree;
   List.iter (fun n -> Qc_tree.prune_upward tree n) !leaves;
   List.iter

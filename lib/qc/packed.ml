@@ -168,6 +168,52 @@ let resident_bytes t =
   let floats = Array.length t.agg_sum + Array.length t.agg_min + Array.length t.agg_max in
   8 * (ints + floats)
 
+(* ---------- raw column view (used by Check and by corruption tests) ---------- *)
+
+type raw = {
+  r_dim : int array;
+  r_label : int array;
+  r_parent : int array;
+  r_child_start : int array;
+  r_child_key : int array;
+  r_child_node : int array;
+  r_link_start : int array;
+  r_link_key : int array;
+  r_link_node : int array;
+  r_agg_id : int array;
+  r_agg_count : int array;
+  r_agg_sum : float array;
+  r_agg_min : float array;
+  r_agg_max : float array;
+  r_hash_mask : int;
+  r_hash_key : int array;
+  r_hash_dst : int array;
+}
+
+(* The arrays are shared with [t], not copied: the deep checker reads them
+   in place, and the negative tests corrupt them in place to prove the
+   checker notices.  Everyone else must treat the view as read-only. *)
+let raw t =
+  {
+    r_dim = t.dim;
+    r_label = t.label;
+    r_parent = t.parent;
+    r_child_start = t.child_start;
+    r_child_key = t.child_key;
+    r_child_node = t.child_node;
+    r_link_start = t.link_start;
+    r_link_key = t.link_key;
+    r_link_node = t.link_node;
+    r_agg_id = t.agg_id;
+    r_agg_count = t.agg_count;
+    r_agg_sum = t.agg_sum;
+    r_agg_min = t.agg_min;
+    r_agg_max = t.agg_max;
+    r_hash_mask = t.hash_mask;
+    r_hash_key = t.hash_key;
+    r_hash_dst = t.hash_dst;
+  }
+
 (* ---------- construction from raw columns (used by deserialization) ---------- *)
 
 (* [links] are (src, dim, label, dst) in any order.  Validates the structural
@@ -276,7 +322,9 @@ let of_arrays ~schema ~dim ~label ~parent ~aggs ~links =
     done
   done;
   (* dense aggregate columns *)
-  let n_cls = Array.fold_left (fun acc a -> if a = None then acc else acc + 1) 0 aggs in
+  let n_cls =
+    Array.fold_left (fun acc a -> if Option.is_none a then acc else acc + 1) 0 aggs
+  in
   let agg_id = Array.make n (-1) in
   let agg_count = Array.make n_cls 0 in
   let agg_sum = Array.make n_cls 0.0 in
@@ -353,7 +401,8 @@ let of_tree tree =
   let sorted_children (node : Qc_tree.node) =
     List.sort
       (fun (a : Qc_tree.node) (b : Qc_tree.node) ->
-        compare (a.dim, a.label) (b.dim, b.label))
+        let c = Int.compare a.dim b.dim in
+        if c <> 0 then c else Int.compare a.label b.label)
       node.children
   in
   let rec assign (node : Qc_tree.node) =
@@ -364,6 +413,11 @@ let of_tree tree =
     List.iter assign (sorted_children node)
   in
   assign (Qc_tree.root tree);
+  let preorder_id nid =
+    match Hashtbl.find_opt id_of nid with
+    | Some i -> i
+    | None -> invalid_arg "Packed.of_tree: link endpoint outside the tree"
+  in
   let dim = Array.make n (-1) in
   let label = Array.make n 0 in
   let parent = Array.make n (-1) in
@@ -374,12 +428,12 @@ let of_tree tree =
     dim.(i) <- node.dim;
     label.(i) <- node.label;
     (match node.parent with
-    | Some p -> parent.(i) <- Hashtbl.find id_of p.nid
+    | Some p -> parent.(i) <- preorder_id p.nid
     | None -> parent.(i) <- -1);
     aggs.(i) <- node.agg;
     List.iter
       (fun (d, l, (dst : Qc_tree.node)) ->
-        links := (i, d, l, Hashtbl.find id_of dst.nid) :: !links)
+        links := (i, d, l, preorder_id dst.nid) :: !links)
       node.links
   done;
   dim.(0) <- -1;

@@ -109,3 +109,33 @@ val bytes : t -> int
 val resident_bytes : t -> int
 (** Actual size of the flat columns (8 bytes per array slot) — what the
     packed representation costs in memory, reported by the benchmarks. *)
+
+(** {1 Raw column view}
+
+    Exposed for {!Check}, which re-derives every structural invariant from
+    the columns themselves, and for the negative tests that corrupt a
+    frozen tree in place to prove the checker notices.  The arrays are the
+    live ones, {e not} copies: treat the view as read-only everywhere
+    outside [test/]. *)
+
+type raw = {
+  r_dim : int array;  (** per-node dimension; [-1] at the root *)
+  r_label : int array;
+  r_parent : int array;
+  r_child_start : int array;  (** CSR offsets into [r_child_*] *)
+  r_child_key : int array;  (** [(dim lsl 20) lor label], ascending per span *)
+  r_child_node : int array;
+  r_link_start : int array;
+  r_link_key : int array;
+  r_link_node : int array;
+  r_agg_id : int array;  (** [-1] on prefix nodes, else index into [r_agg_*] *)
+  r_agg_count : int array;
+  r_agg_sum : float array;
+  r_agg_min : float array;
+  r_agg_max : float array;
+  r_hash_mask : int;
+  r_hash_key : int array;  (** step index; [-1] = empty slot *)
+  r_hash_dst : int array;
+}
+
+val raw : t -> raw

@@ -33,7 +33,7 @@ let n_classes t = Array.length t.ubs
 let find_ub t cell =
   let lo = ref 0 and hi = ref (Array.length t.ubs) in
   let found = ref None in
-  while !lo < !hi && !found = None do
+  while !lo < !hi && Option.is_none !found do
     let mid = (!lo + !hi) / 2 in
     let c = Cell.compare_dict t.ubs.(mid) cell in
     if c = 0 then found := Some t.aggs.(mid)

@@ -188,7 +188,9 @@ let remove_child t child =
     Int_tbl.remove t.index (pack parent.nid child.dim child.label)
 
 let rec prune_upward t node =
-  if node.parent <> None && node.agg = None && node.children = [] && node.links = []
+  if
+    Option.is_some node.parent && Option.is_none node.agg
+    && List.is_empty node.children && List.is_empty node.links
   then begin
     let parent = node.parent in
     remove_child t node;
@@ -258,7 +260,7 @@ let n_links t =
 
 let n_classes t =
   let k = ref 0 in
-  iter_nodes (fun n -> if n.agg <> None then incr k) t;
+  iter_nodes (fun n -> if Option.is_some n.agg then incr k) t;
   !k
 
 let bytes t =
@@ -341,6 +343,11 @@ let copy t =
   (* Deep-copy nodes first, then remap links through the id correspondence. *)
   let t' = create t.schema in
   let mapping = Hashtbl.create 1024 in
+  let mapped nid =
+    match Hashtbl.find_opt mapping nid with
+    | Some n -> n
+    | None -> invalid_arg "Qc_tree.copy: link endpoint outside the tree"
+  in
   Hashtbl.replace mapping t.root.nid t'.root;
   let rec clone_children src dst =
     (* children are prepended on insertion; rebuild in original order *)
@@ -356,19 +363,25 @@ let copy t =
   clone_children t.root t'.root;
   iter_nodes
     (fun n ->
-      let src' = Hashtbl.find mapping n.nid in
+      let src' = mapped n.nid in
       List.iter
         (fun (dim, label, dst) ->
-          add_link t' ~src:src' ~dim ~label ~dst:(Hashtbl.find mapping dst.nid))
+          add_link t' ~src:src' ~dim ~label ~dst:(mapped dst.nid))
         (List.rev n.links))
     t;
   t'
 
 
-let sorted_children n =
-  List.sort (fun a b -> compare (a.dim, a.label) (b.dim, b.label)) n.children
+(* The canonical child/link order: ascending dimension, then label. *)
+let compare_dim_label d l d' l' =
+  let c = Int.compare d d' in
+  if c <> 0 then c else Int.compare l l'
 
-let sorted_links n = List.sort (fun (d, l, _) (d', l', _) -> compare (d, l) (d', l')) n.links
+let sorted_children n =
+  List.sort (fun a b -> compare_dim_label a.dim a.label b.dim b.label) n.children
+
+let sorted_links n =
+  List.sort (fun (d, l, _) (d', l', _) -> compare_dim_label d l d' l') n.links
 
 let path_string_dims t n =
   let cell = node_cell t n in

@@ -276,7 +276,7 @@ let make_index tree func =
       | None -> ())
     tree;
   let entries = Array.of_list !acc in
-  Array.sort (fun (a, _) (b, _) -> compare a b) entries;
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) entries;
   { tree; func; entries }
 
 (* First index position with value >= threshold. *)

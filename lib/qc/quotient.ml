@@ -20,7 +20,7 @@ let minimal_lower_bounds lbs =
   (* Keep the most general recorded lower bounds: drop [x] whenever another
      bound generalizes it. *)
   let distinct =
-    List.sort_uniq compare (List.map Array.to_list lbs) |> List.map Array.of_list
+    List.sort_uniq (List.compare Int.compare) (List.map Array.to_list lbs) |> List.map Array.of_list
   in
   List.filter
     (fun x ->
@@ -47,13 +47,21 @@ let of_temp_classes schema temp_classes =
   let cid_of_temp = Hashtbl.create 1024 in
   List.iter
     (fun (tc : Temp_class.t) ->
-      let cid = Cell.Tbl.find by_ub tc.ub in
+      let cid =
+        match Cell.Tbl.find_opt by_ub tc.ub with
+        | Some cid -> cid
+        | None -> invalid_arg "Quotient.of_temp_classes: unregistered upper bound"
+      in
       Hashtbl.replace cid_of_temp tc.id cid;
       ubs.(cid) <- tc.ub;
       aggs.(cid) <- tc.agg;
       lbs.(cid) <- tc.lb :: lbs.(cid);
       if tc.child >= 0 then begin
-        let child_cid = Hashtbl.find cid_of_temp tc.child in
+        let child_cid =
+          match Hashtbl.find_opt cid_of_temp tc.child with
+          | Some cid -> cid
+          | None -> invalid_arg "Quotient.of_temp_classes: child precedes parent"
+        in
         if child_cid <> cid && not (List.mem child_cid children.(cid)) then
           children.(cid) <- child_cid :: children.(cid)
       end)
@@ -69,8 +77,8 @@ let of_temp_classes schema temp_classes =
           ub = ubs.(cid);
           lbs = minimal_lower_bounds lbs.(cid);
           agg = aggs.(cid);
-          children = List.sort compare children.(cid);
-          parents = List.sort compare parents.(cid);
+          children = List.sort Int.compare children.(cid);
+          parents = List.sort Int.compare parents.(cid);
         })
   in
   { schema; classes; by_ub; tree = Qc_tree.of_temp_classes schema temp_classes }

@@ -286,8 +286,9 @@ let read_u8 cur =
   v
 
 let read_uint cur =
+  let start = cur.pos in
   let rec go acc shift =
-    if shift > 56 then malformed "Serial: varint overflow in packed input";
+    if shift > 56 then malformed "Serial: varint overflow at byte %d of packed input" start;
     let b = read_u8 cur in
     let acc = acc lor ((b land 0x7F) lsl shift) in
     if b land 0x80 = 0 then acc else go acc (shift + 7)
@@ -349,7 +350,7 @@ let of_packed_string data =
       let min = Int64.float_of_bits (read_i64 cur) in
       let max = Int64.float_of_bits (read_i64 cur) in
       Some { Agg.count; sum; min; max }
-    | f -> malformed "Serial: bad aggregate flag %d in packed input" f
+    | f -> malformed "Serial: bad aggregate flag %d at byte %d of packed input" f (cur.pos - 1)
   in
   aggs.(0) <- read_agg ();
   for i = 1 to n - 1 do
@@ -368,8 +369,8 @@ let of_packed_string data =
     links.(i) <- (src, ldim, llabel, dst)
   done;
   if cur.pos <> String.length data then
-    malformed "Serial: %d trailing bytes after packed tree"
-      (String.length data - cur.pos);
+    malformed "Serial: %d trailing bytes after packed tree (structure ends at byte %d)"
+      (String.length data - cur.pos) cur.pos;
   try Packed.of_arrays ~schema ~dim ~label ~parent ~aggs ~links
   with Invalid_argument msg -> malformed "Serial: %s" msg
 

@@ -39,6 +39,10 @@ val of_string : string -> Qc_tree.t
 
 (** {1 Packed binary format} *)
 
+val packed_magic : string
+(** The 4-byte header ("QCTP") that identifies the binary format — exposed
+    so {!Check} and the CLI can sniff buffers without parsing them. *)
+
 val to_packed_string : Packed.t -> string
 
 val of_packed_string : string -> Packed.t

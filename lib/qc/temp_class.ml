@@ -10,11 +10,11 @@ type t = {
 
 let compare_for_insertion a b =
   let c = Cell.compare_dict a.ub b.ub in
-  if c <> 0 then c else compare a.id b.id
+  if c <> 0 then c else Int.compare a.id b.id
 
 let compare_for_deletion a b =
   let c = Cell.compare_rev_dict a.ub b.ub in
-  if c <> 0 then c else compare a.id b.id
+  if c <> 0 then c else Int.compare a.id b.id
 
 let pp schema ppf t =
   Format.fprintf ppf "i%d: ub=%s lb=%s child=i%d agg=%a" t.id

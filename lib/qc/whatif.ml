@@ -1,7 +1,7 @@
 open Qc_cube
 
 type t = {
-  mutable tree : Qc_tree.t;
+  tree : Qc_tree.t;
   mutable table : Table.t;
 }
 

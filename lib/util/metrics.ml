@@ -1,7 +1,6 @@
-type counter = { c_name : string; mutable v : int }
+type counter = { mutable v : int }
 
 type histogram = {
-  h_name : string;
   bounds : int array;
   counts : int array;  (* length = Array.length bounds + 1; last is overflow *)
   mutable total : int;
@@ -23,7 +22,7 @@ let counter name =
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; v = 0 } in
+    let c = { v = 0 } in
     Hashtbl.replace counters name c;
     c
 
@@ -50,7 +49,6 @@ let histogram ?(buckets = default_buckets) name =
   | None ->
     let h =
       {
-        h_name = name;
         bounds = Array.copy buckets;
         counts = Array.make (Array.length buckets + 1) 0;
         total = 0;

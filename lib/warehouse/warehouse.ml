@@ -15,7 +15,10 @@ type t = {
   mutable index : (Agg.func * Qc_core.Query.measure_index) option;  (** iceberg cache *)
   mutable generation : int;  (** bumped on every mutation *)
   mutable index_generation : int;
+  mutable self_check_enabled : bool;
 }
+
+exception Check_failed of Qc_core.Check.report
 
 let log = Logs.Src.create "qc.warehouse" ~doc:"QC-tree warehouse operations"
 
@@ -55,6 +58,7 @@ let create base =
     index = None;
     generation = 0;
     index_generation = -1;
+    self_check_enabled = false;
   }
 
 let table t = t.base
@@ -62,6 +66,25 @@ let table t = t.base
 let schema t = Table.schema t.base
 
 let touch t = t.generation <- t.generation + 1
+
+let set_self_check t on = t.self_check_enabled <- on
+
+let check t = Qc_core.Check.run ~deep:true ~base:t.base (tree t)
+
+(* Post-maintenance hook: a full deep audit after every mutation.  Costs a
+   DFS over the (new) base table plus a freeze and round-trip, so it is off
+   by default and opted into per warehouse ([qct --self-check], tests). *)
+let post_maintenance_check t op =
+  if t.self_check_enabled then begin
+    let report = check t in
+    if not (Qc_core.Check.ok report) then begin
+      Log.err (fun m ->
+          m "self-check after %s found %d violation(s)" op
+            (List.length report.Qc_core.Check.violations));
+      raise (Check_failed report)
+    end;
+    Log.debug (fun m -> m "self-check after %s passed" op)
+  end
 
 let refreeze t = t.packed_ <- Some (Qc_core.Packed.of_tree (tree t))
 
@@ -74,6 +97,7 @@ let insert t delta =
   Log.info (fun m ->
       m "inserted %d rows (%d updated, %d carved, %d fresh classes)" (Table.n_rows delta)
         stats.updated stats.carved stats.fresh);
+  post_maintenance_check t "insert";
   stats
 
 let delete t delta =
@@ -86,6 +110,7 @@ let delete t delta =
   Log.info (fun m ->
       m "deleted %d rows (%d classes removed, %d merged)" (Table.n_rows delta) stats.removed
         stats.merged);
+  post_maintenance_check t "delete";
   stats
 
 let update t ~old_rows ~new_rows =
@@ -192,7 +217,15 @@ let open_dir dir =
       Table.add_row base values m)
     raw;
   Log.info (fun m -> m "opened warehouse %s: %d rows" dir (Table.n_rows base));
-  { base; tree_; packed_; index = None; generation = 0; index_generation = -1 }
+  {
+    base;
+    tree_;
+    packed_;
+    index = None;
+    generation = 0;
+    index_generation = -1;
+    self_check_enabled = false;
+  }
 
 let self_check t =
   let tr = tree t in

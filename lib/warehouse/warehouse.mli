@@ -95,6 +95,22 @@ val stats_json : t -> string
     ([{"rows":…,"dims":…,"classes":…,"nodes":…,"links":…,"bytes":…,
     "packed_bytes":…}]). *)
 
+exception Check_failed of Check.report
+(** Raised by a mutating operation when the post-maintenance self-check
+    (enabled with {!set_self_check}) finds violations. *)
+
+val set_self_check : t -> bool -> unit
+(** Enable or disable the post-maintenance audit hook (off by default).
+    When enabled, every {!insert}, {!delete} and {!update} is followed by a
+    full deep {!Check.run} against the new base table; violations raise
+    {!Check_failed} so a maintenance bug is caught at the operation that
+    introduced it, not at some later query.  Costs a DFS over the base table
+    per mutation — meant for tests, debugging and low-write deployments. *)
+
+val check : t -> Check.report
+(** One deep audit of the current state ({!Check.run} with the warehouse's
+    base table as oracle), without mutating anything. *)
+
 val self_check : t -> (unit, string) result
 (** Verify the invariant: the tree validates and its class set (upper
     bounds with aggregates) coincides with a tree rebuilt from the table.

@@ -67,6 +67,30 @@ expect 1 "$QCT" query truncated.qcp 'S2,*,f'
 expect_stderr '^qct:'
 expect_stderr 'truncated'
 
+# --- check: 0 = clean, 2 = violations, 1 = cannot run ---
+expect 0 "$QCT" check sales.qct
+expect 0 "$QCT" check sales.qcp --packed --deep --base sales.csv
+expect 1 "$QCT" check sales.qct --deep          # --deep needs the oracle
+expect_stderr 'needs --base'
+expect 2 "$QCT" check truncated.qcp
+if ! grep -q 'violation \[qctp-truncated\]' stdout.txt; then
+  echo "FAIL: check did not name the qctp-truncated violation" >&2
+  fails=$((fails + 1))
+fi
+expect 2 "$QCT" check truncated.qcp --json
+if ! grep -q '"qctp-truncated"' stdout.txt; then
+  echo "FAIL: JSON report lacks the qctp-truncated label" >&2
+  fails=$((fails + 1))
+fi
+
+# --- maintenance with --self-check stays clean on the running example ---
+printf 'Store,Product,Season,Sale\nS2,P2,f,3\n' > delta.csv
+expect 0 "$QCT" insert sales.qct sales.csv delta.csv grown.qct --self-check
+if ! grep -q 'self-check after insert: OK' stdout.txt; then
+  echo "FAIL: insert --self-check did not report OK" >&2
+  fails=$((fails + 1))
+fi
+
 # --- usage errors keep cmdliner's 124 ---
 expect 124 "$QCT" no-such-subcommand
 expect 124 "$QCT" query

@@ -148,3 +148,17 @@ let qcheck_case ?(count = 200) ~name arb prop =
   QCheck_alcotest.to_alcotest
     ~rand:(Random.State.make [| ci_seed () |])
     (QCheck.Test.make ~count ~name arb prop)
+
+(* Full invariant audit as a QCheck predicate: every generated or
+   maintained tree must pass [Check.run] (structure, packed columns, bytes,
+   round trips; with [~base], also the class DFS and sampled oracle
+   queries).  Violations print their labels so a shrunk counterexample
+   names the broken invariant, not just "false". *)
+let check_clean ?deep ?base tree =
+  let r = Qc_core.Check.run ?deep ?base tree in
+  if not (Qc_core.Check.ok r) then
+    List.iter
+      (fun v ->
+        Printf.eprintf "check violation [%s]\n%!" (Qc_core.Check.violation_label v))
+      r.Qc_core.Check.violations;
+  Qc_core.Check.ok r

@@ -1,0 +1,122 @@
+(* Negative tests for the invariant checker: corrupt each of the three
+   representations in a controlled way and require the exact typed
+   violation — an out-of-order CSR span in the packed columns, a dangling
+   drill-down link in the mutable tree, a truncated QCTP buffer.  A checker
+   that merely says "something is wrong" would pass none of these; each
+   corruption must surface under its own label so a failing audit points at
+   the broken layer. *)
+
+open Qc_cube
+module T = Qc_core.Qc_tree
+module P = Qc_core.Packed
+module C = Qc_core.Check
+
+let labels (r : C.report) = List.map C.violation_label r.C.violations
+
+let contains lbl r = List.mem lbl (labels r)
+
+let show r = String.concat " " (labels r)
+
+(* The clean path: a freshly built tree passes the full audit, and the
+   report proves work happened (every family counted at least one check). *)
+let test_clean_example () =
+  let table = Helpers.sales_table () in
+  let tree = T.of_table table in
+  let r = C.run ~deep:true ~base:table tree in
+  Alcotest.(check bool) ("no violations: " ^ show r) true (C.ok r);
+  Alcotest.(check bool) "several invariant families ran" true (List.length r.C.checked >= 5);
+  List.iter
+    (fun (family, n) ->
+      Alcotest.(check bool) (family ^ " counted checks") true (n > 0))
+    r.C.checked
+
+let test_clean_random () =
+  let rng = Qc_util.Rng.create 0xC0FFEE in
+  let table = Helpers.random_table rng ~dims:4 ~card:5 ~rows:120 () in
+  let tree = T.of_table table in
+  let r = C.run ~deep:true ~base:table tree in
+  Alcotest.(check bool) ("no violations: " ^ show r) true (C.ok r)
+
+(* Corruption 1 (packed): swap two keys inside one CSR child span.  The
+   strict ascending order is what makes the Lemma 2 hop a binary search;
+   the checker must name the span, not just fail somewhere downstream. *)
+let test_packed_span_unsorted () =
+  let tree = T.of_table (Helpers.sales_table ()) in
+  let p = P.of_tree tree in
+  let raw = P.raw p in
+  let lo = ref (-1) in
+  for i = Array.length raw.P.r_child_start - 2 downto 0 do
+    if raw.P.r_child_start.(i + 1) - raw.P.r_child_start.(i) >= 2 then
+      lo := raw.P.r_child_start.(i)
+  done;
+  if !lo < 0 then Alcotest.fail "example tree has no node with two children";
+  let k = raw.P.r_child_key in
+  let tmp = k.(!lo) in
+  k.(!lo) <- k.(!lo + 1);
+  k.(!lo + 1) <- tmp;
+  let r = C.check_packed p in
+  Alcotest.(check bool) "corruption detected" false (C.ok r);
+  Alcotest.(check bool) ("span-unsorted in: " ^ show r) true (contains "span-unsorted" r)
+
+(* Corruption 2 (mutable tree): a drill-down link left pointing at a node
+   that pruning removed.  Roll-up through that link would crash or answer
+   from freed state; [drop_links_to_dead_targets] exists precisely because
+   maintenance can create this situation transiently. *)
+let test_tree_dangling_link () =
+  let schema = Schema.create [ "A"; "B"; "C" ] in
+  let table = Table.create schema in
+  Table.add_row table [ "a1"; "b1"; "c1" ] 4.0;
+  Table.add_row table [ "a2"; "b2"; "c2" ] 8.0;
+  (* a value no tuple carries, so no live node ever spells it *)
+  let zz = Schema.encode_value schema 2 "zz" in
+  let tree = T.of_table table in
+  let doomed = T.insert_path tree [| 0; 0; zz |] in
+  let src =
+    match T.find_path tree [| Schema.encode_value schema 0 "a1"; 0; 0 |] with
+    | Some n -> n
+    | None -> Alcotest.fail "prefix node for a1 missing"
+  in
+  T.add_link tree ~src ~dim:2 ~label:zz ~dst:doomed;
+  T.prune_upward tree doomed;
+  let r = C.check_tree tree in
+  Alcotest.(check bool) "corruption detected" false (C.ok r);
+  Alcotest.(check bool)
+    ("link-target-dead in: " ^ show r)
+    true (contains "link-target-dead" r)
+
+(* Corruption 3 (bytes): a QCTP buffer cut mid-section must be reported as
+   truncation at a byte offset, without the loader ever running. *)
+let test_bytes_truncated () =
+  let tree = T.of_table (Helpers.sales_table ()) in
+  let s = Qc_core.Serial.to_packed_string (P.of_tree tree) in
+  let r = C.check_bytes (String.sub s 0 20) in
+  Alcotest.(check bool) "corruption detected" false (C.ok r);
+  Alcotest.(check bool) ("qctp-truncated in: " ^ show r) true (contains "qctp-truncated" r);
+  let r2 = C.check_bytes "this is not a QCTP buffer" in
+  Alcotest.(check bool) ("qctp-bad-magic in: " ^ show r2) true (contains "qctp-bad-magic" r2)
+
+(* The three corruptions must surface under three distinct labels — the
+   checker localizes the broken layer rather than reporting one generic
+   failure. *)
+let test_labels_distinct () =
+  let distinct = [ "span-unsorted"; "link-target-dead"; "qctp-truncated" ] in
+  Alcotest.(check int)
+    "labels pairwise distinct" (List.length distinct)
+    (List.length (List.sort_uniq String.compare distinct))
+
+let () =
+  Alcotest.run "qc_check"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "running example passes the full audit" `Quick test_clean_example;
+          Alcotest.test_case "random table passes the full audit" `Quick test_clean_random;
+        ] );
+      ( "corruptions",
+        [
+          Alcotest.test_case "unsorted CSR span is named" `Quick test_packed_span_unsorted;
+          Alcotest.test_case "dangling drill-down link is named" `Quick test_tree_dangling_link;
+          Alcotest.test_case "truncated QCTP buffer is named" `Quick test_bytes_truncated;
+          Alcotest.test_case "corruption labels are distinct" `Quick test_labels_distinct;
+        ] );
+    ]

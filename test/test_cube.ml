@@ -124,7 +124,7 @@ let test_table_partition () =
   let total = List.fold_left (fun acc (_, lo, hi) -> acc + (hi - lo)) 0 groups in
   Alcotest.(check int) "exhaustive" 40 total;
   let values = List.map (fun (v, _, _) -> v) groups in
-  Alcotest.(check (list int)) "sorted values" (List.sort compare values) values;
+  Alcotest.(check (list int)) "sorted values" (List.sort Int.compare values) values;
   List.iter
     (fun (v, lo, hi) ->
       for i = lo to hi - 1 do
@@ -194,7 +194,7 @@ let test_buc_iceberg () =
   Full_cube.iter
     (fun cell agg ->
       if agg.Agg.count >= 3 then
-        Alcotest.(check bool) "present" true (Full_cube.find iced cell <> None))
+        Alcotest.(check bool) "present" true (Option.is_some (Full_cube.find iced cell)))
     all
 
 let test_buc_empty_table () =

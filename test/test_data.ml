@@ -69,7 +69,7 @@ let test_pick_delete_delta () =
   (* each delta row exists in base *)
   Table.iter
     (fun cell _ ->
-      Alcotest.(check bool) "exists" true (Table.find_row base cell <> None))
+      Alcotest.(check bool) "exists" true (Option.is_some (Table.find_row base cell)))
     delta
 
 let test_query_generators () =

@@ -56,7 +56,14 @@ let prop_range_equals_points =
       in
       go 0;
       let results = List.map (fun (c, a) -> (Array.to_list c, a.Agg.count)) (D.range dwarf q) in
-      List.sort compare results = List.sort compare !expected)
+      let cmp (c1, n1) (c2, n2) =
+        let c = List.compare Int.compare c1 c2 in
+        if c <> 0 then c else Int.compare n1 n2
+      in
+      List.equal
+        (fun (c1, n1) (c2, n2) -> List.equal Int.equal c1 c2 && Int.equal n1 n2)
+        (List.sort cmp results)
+        (List.sort cmp !expected))
 
 let test_example_dwarf () =
   let table = Helpers.sales_table () in

@@ -42,7 +42,7 @@ let test_sales_miss () =
   (match e.Q.outcome with
   | Q.Hit -> Alcotest.fail "expected a miss"
   | _ -> ());
-  Alcotest.(check bool) "no result" true (e.Q.result = None)
+  Alcotest.(check bool) "no result" true (Option.is_none e.Q.result)
 
 (* ---------- explain/point agreement and Algorithm 3 path bounds ---------- *)
 

@@ -49,7 +49,7 @@ let test_leaves () =
   let schema, _, h = product_fixture () in
   let dict = Schema.dict schema 0 in
   let code v = Option.get (Qc_util.Dict.find dict v) in
-  let sorted vs = List.sort compare (List.map code vs) in
+  let sorted vs = List.sort Int.compare (List.map code vs) in
   Alcotest.(check (list int)) "electronics leaves"
     (sorted [ "laptop"; "desktop"; "phone" ])
     (Array.to_list (Hierarchy.leaves h "electronics"));

@@ -76,7 +76,11 @@ let test_three_way_agreement () =
   List.iter
     (fun r ->
       let norm l =
-        List.sort compare (List.map (fun (c, (a : Agg.t)) -> (Array.to_list c, a.count)) l)
+        let cmp (c1, n1) (c2, n2) =
+          let c = List.compare Int.compare c1 c2 in
+          if c <> 0 then c else Int.compare n1 n2
+        in
+        List.sort cmp (List.map (fun (c, (a : Agg.t)) -> (Array.to_list c, a.count)) l)
       in
       Alcotest.(check bool) "range sets agree" true
         (norm (Qc_core.Query.range tree r) = norm (Qc_dwarf.Dwarf.range dwarf r)))

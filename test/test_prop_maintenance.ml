@@ -39,6 +39,9 @@ let prop_insert_rebuild c =
     if T.validate tree <> Ok () then ok := false;
     if T.canonical_string tree <> T.canonical_string (T.of_table base) then ok := false
   done;
+  (* the maintained tree must also survive the full invariant audit with
+     the grown base as oracle *)
+  if not (Prop.check_clean ~deep:true ~base tree) then ok := false;
   !ok
 
 (* Deletion: the maintained tree may keep a few redundant (harmless) links,
@@ -61,6 +64,9 @@ let prop_delete_equivalent c =
     let new_base, _ = M.delete_batch tree ~base ~delta in
     let rebuilt = T.of_table new_base in
     let ok = ref (T.validate tree = Ok ()) in
+    (* deep audit with the shrunk base as oracle: deletion may keep some
+       redundant links, but every remaining invariant must hold *)
+    if not (Prop.check_clean ~deep:true ~base:new_base tree) then ok := false;
     if T.n_classes tree <> T.n_classes rebuilt then ok := false;
     Prop.iter_cells c (fun cell ->
         let a = Q.point tree cell and b = Q.point rebuilt cell in

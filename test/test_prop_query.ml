@@ -79,18 +79,17 @@ let prop_range_differential c =
     go 0;
     !out
   in
-  let canon l =
-    List.sort
-      (fun (c1, _) (c2, _) -> compare c1 c2)
-      (List.map (fun (cl, a) -> (Array.to_list cl, a)) l)
-  in
+  let cmp (c1, _) (c2, _) = List.compare Int.compare c1 c2 in
+  let canon l = List.sort cmp (List.map (fun (cl, a) -> (Array.to_list cl, a)) l) in
   let lists_equal xs ys =
     List.length xs = List.length ys
-    && List.for_all2 (fun (c1, a1) (c2, a2) -> c1 = c2 && Agg.approx_equal a1 a2) xs ys
+    && List.for_all2
+         (fun (c1, a1) (c2, a2) -> List.equal Int.equal c1 c2 && Agg.approx_equal a1 a2)
+         xs ys
   in
   List.for_all
     (fun q ->
-      let expected = List.sort (fun (c1, _) (c2, _) -> compare c1 c2) (expand q) in
+      let expected = List.sort cmp (expand q) in
       lists_equal expected (canon (Q.range tree q))
       && lists_equal expected (canon (Q.range_packed packed q)))
     (Prop.random_ranges c 10)
@@ -107,13 +106,13 @@ let prop_iceberg_differential c =
     (fun _ ub agg ->
       if Agg.value Agg.Count agg >= threshold then expected := (Array.to_list ub, agg) :: !expected)
     tree;
-  let sort l = List.sort (fun (c1, _) (c2, _) -> compare c1 c2) l in
+  let sort l = List.sort (fun (c1, _) (c2, _) -> List.compare Int.compare c1 c2) l in
   let expected = sort !expected in
   let got = sort (List.map (fun (cl, a) -> (Array.to_list cl, a)) result) in
   List.length expected = List.length got
   && List.for_all2
        (fun (c1, a1) (c2, a2) ->
-         c1 = c2 && Agg.approx_equal a1 a2
+         List.equal Int.equal c1 c2 && Agg.approx_equal a1 a2
          && agg_opt_equal (Full_cube.find cube (Array.of_list c1)) (Some a1))
        expected got
 
@@ -124,6 +123,13 @@ let prop_freeze_thaw_roundtrip c =
   && P.n_nodes packed = T.n_nodes tree
   && P.n_links packed = T.n_links tree
   && P.n_classes packed = T.n_classes tree
+
+(* every generated tree passes the full invariant audit — structure, packed
+   columns, serialized bytes, round trips, class DFS and sampled oracle
+   queries against the base table *)
+let prop_invariant_audit c =
+  let table, tree, _ = build c in
+  Prop.check_clean ~deep:true ~base:table tree
 
 let () =
   Alcotest.run "qc_prop_query"
@@ -143,5 +149,7 @@ let () =
         [
           Prop.qcheck_case ~count:200 ~name:"freeze/thaw round-trips canonically" Prop.arb_case
             prop_freeze_thaw_roundtrip;
+          Prop.qcheck_case ~count:150 ~name:"generated trees pass the full invariant audit"
+            Prop.arb_case prop_invariant_audit;
         ] );
     ]

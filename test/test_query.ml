@@ -72,8 +72,14 @@ let prop_range_equals_points =
           (Q.range_of_cells tree q)
       in
       let norm l =
-        List.sort compare
-          (List.map (fun (c, a) -> (Array.to_list c, a.Agg.count, a.Agg.sum)) l)
+        let cmp (c1, n1, s1) (c2, n2, s2) =
+        let c = List.compare Int.compare c1 c2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare n1 n2 in
+          if c <> 0 then c else Float.compare s1 s2
+      in
+      List.sort cmp (List.map (fun (c, a) -> (Array.to_list c, a.Agg.count, a.Agg.sum)) l)
       in
       norm results = norm expected)
 
@@ -112,8 +118,14 @@ let prop_iceberg_range_strategies_agree =
       in
       let threshold = float_of_int (Qc_util.Rng.int rng 100) in
       let norm l =
-        List.sort compare
-          (List.map (fun (c, (a : Agg.t)) -> (Array.to_list c, a.count, a.sum)) l)
+        let cmp (c1, n1, s1) (c2, n2, s2) =
+        let c = List.compare Int.compare c1 c2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare n1 n2 in
+          if c <> 0 then c else Float.compare s1 s2
+      in
+      List.sort cmp (List.map (fun (c, (a : Agg.t)) -> (Array.to_list c, a.count, a.sum)) l)
       in
       norm (Q.iceberg_range ~strategy:`Filter tree idx q ~threshold)
       = norm (Q.iceberg_range ~strategy:`Mark tree idx q ~threshold))
@@ -158,7 +170,7 @@ let prop_node_accesses_bounded =
           if acc < 1 || acc > T.n_nodes tree then ok := false;
           (* a base tuple's path has at most dims+1 nodes and cannot need
              hops beyond one per dimension *)
-          if Cell.is_base cell && Q.point tree cell <> None && acc > (2 * dims) + 1 then
+          if Cell.is_base cell && Option.is_some (Q.point tree cell) && acc > (2 * dims) + 1 then
             ok := false);
       !ok)
 

@@ -13,7 +13,7 @@ let test_paper_classes () =
   match Qt.find_by_ub q (Cell.parse schema [ "S2"; "P1"; "f" ]) with
   | None -> Alcotest.fail "C3 missing"
   | Some c3 ->
-    let lbs = List.sort compare (List.map (Cell.to_string schema) c3.lbs) in
+    let lbs = List.sort String.compare (List.map (Cell.to_string schema) c3.lbs) in
     Alcotest.(check (list string)) "C3 lower bounds" [ "(*, *, f)"; "(S2, *, *)" ] lbs;
     Alcotest.(check (float 1e-9)) "C3 avg" 9.0 (Agg.value Agg.Avg c3.agg)
 
@@ -40,7 +40,7 @@ let test_class_of_cell () =
     Alcotest.(check string) "in C3" "(S2, P1, f)" (Cell.to_string schema cls.ub)
   | None -> Alcotest.fail "class_of_cell failed");
   Alcotest.(check bool) "empty cover -> none" true
-    (Qt.class_of_cell q (Cell.parse schema [ "S2"; "P2"; "*" ]) = None)
+    (Option.is_none (Qt.class_of_cell q (Cell.parse schema [ "S2"; "P2"; "*" ])))
 
 (* ---------- Intelligent roll-up (paper Section 1) ---------- *)
 
@@ -57,7 +57,10 @@ let test_intelligent_rollup () =
       (Cell.to_string schema r.start_class.ub);
     (* region = {C3, C1}: the avg-9 classes reachable by rolling up.  C4 also
        averages 9 but is not a roll-up of the start cell, so it is excluded. *)
-    let region_ubs = List.sort compare (List.map (fun (c : Qt.cls) -> Cell.to_string schema c.ub) r.region) in
+    let region_ubs =
+      List.sort String.compare
+        (List.map (fun (c : Qt.cls) -> Cell.to_string schema c.ub) r.region)
+    in
     Alcotest.(check (list string)) "region"
       [ "(*, *, *)"; "(S2, P1, f)" ] region_ubs;
     (match r.most_general with

@@ -35,7 +35,7 @@ let test_rng_shuffle_permutes () =
   let arr = Array.init 50 Fun.id in
   Rng.shuffle rng arr;
   let sorted = Array.copy arr in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
 
 let test_dict_roundtrip () =

@@ -60,9 +60,9 @@ let test_whatif_delete () =
   Alcotest.(check int) "scenario table shrank" 2 (Table.n_rows (W.table scenario));
   Alcotest.(check int) "original intact" 3 (Table.n_rows base);
   Alcotest.(check bool) "deleted cell gone in scenario" true
-    (Qc_core.Query.point (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "*" ]) = None);
+    (Option.is_none (Qc_core.Query.point (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "*" ])));
   Alcotest.(check bool) "still present in original" true
-    (Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "*" ]) <> None)
+    (Option.is_some (Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "*" ])))
 
 let test_whatif_affected_classes () =
   let base = Helpers.sales_table () in
@@ -119,7 +119,7 @@ let test_update_batch () =
   | Some a -> Alcotest.(check (float 1e-9)) "modified measure" 15.0 a.Agg.sum
   | None -> Alcotest.fail "modified row lost");
   Alcotest.(check bool) "fall sales gone" true
-    (Qc_core.Query.point tree (Cell.parse schema [ "*"; "*"; "f" ]) = None);
+    (Option.is_none (Qc_core.Query.point tree (Cell.parse schema [ "*"; "*"; "f" ])));
   (* equivalence with a rebuild *)
   let rebuilt = T.of_table new_base in
   let ok = ref true in

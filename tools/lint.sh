@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Repo-wide static checks beyond what the compiler's strict warning profile
+# (see the root `dune` env stanza) can express.  Run from the repo root:
+#
+#     bash tools/lint.sh
+#
+# Exits nonzero with one line per offence.  CI runs this in the `lint` job.
+set -u
+cd "$(dirname "$0")/.."
+
+fails=0
+offend() {
+  echo "lint: $1" >&2
+  shift
+  printf '  %s\n' "$@" >&2
+  fails=$((fails + 1))
+}
+
+# Every rule below scans tracked sources only, so generated files and the
+# build directory never trip it.
+ml_sources=$(git ls-files 'lib/**.ml' 'bin/**.ml' 'bench/**.ml' 'examples/**.ml' 'test/**.ml')
+
+# --- 1. no build artifacts under version control -------------------------
+tracked_build=$(git ls-files '_build/**' | head -5)
+if [ -n "$tracked_build" ]; then
+  offend "_build artifacts are tracked (add them to .gitignore and git rm --cached)" $tracked_build
+fi
+
+# --- 2. no Obj.magic anywhere -------------------------------------------
+hits=$(grep -n 'Obj\.magic' $ml_sources /dev/null | grep -v 'tools/lint' || true)
+if [ -n "$hits" ]; then
+  offend "Obj.magic defeats the type system; find a typed encoding" "$hits"
+fi
+
+# --- 3. Hashtbl.find / Tbl.find without a handler ------------------------
+# The raising find turns a data bug into an uncaught Not_found far from its
+# cause.  Use find_opt and fail with a named invariant instead.
+hits=$(grep -nE '(Hashtbl|Tbl)\.find[^_a-zA-Z]' $ml_sources /dev/null || true)
+if [ -n "$hits" ]; then
+  offend "use (Hashtbl|Tbl).find_opt with an explicit None branch, not the raising find" "$hits"
+fi
+
+# --- 4. no polymorphic option comparison --------------------------------
+# `x = None` structurally compares the payload when x is Some _; on cells,
+# nodes or functions that is wrong or raises.  Option.is_none/is_some are
+# total and intention-revealing.  (`field = None;` in record construction
+# is fine, so the `=` form is only flagged in comparison position.)
+hits=$(grep -nE '<> *None|= *None *(then|&&|\|\||\))' $ml_sources /dev/null || true)
+if [ -n "$hits" ]; then
+  offend "compare options with Option.is_none / Option.is_some, not (= None)" "$hits"
+fi
+
+# --- 5. no bare polymorphic compare -------------------------------------
+# Polymorphic compare on Cell.t, tree nodes or anything containing them
+# orders by memory representation, not meaning (and loops on cyclic link
+# structures).  Use a dedicated comparison: Int.compare, String.compare,
+# Cell.compare_dict, List.compare, ...  The pattern permits qualified
+# M.compare and definitions of compare functions.
+hits=$(grep -nE '(^|[^._A-Za-z0-9])compare[[:space:](]' $ml_sources /dev/null \
+  | grep -vE 'let compare|val compare|~compare|\bcompare_|"[^"]*compare[^"]*"' || true)
+if [ -n "$hits" ]; then
+  offend "bare polymorphic compare; use a typed comparison (Int.compare, Cell.compare_dict, ...)" "$hits"
+fi
+
+# --- 6. every library module declares its interface ----------------------
+# An .mli is what keeps internals private and the strict warning profile
+# honest (unused exports show up as errors).  Executables and tests are
+# exempt.
+missing=""
+for f in $(git ls-files 'lib/**.ml'); do
+  [ -f "${f%.ml}.mli" ] || missing="$missing $f"
+done
+if [ -n "$missing" ]; then
+  offend "library module without an .mli interface" $missing
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "lint: $fails rule(s) violated" >&2
+  exit 1
+fi
+echo "lint: all static checks passed"
