@@ -973,6 +973,101 @@ let micro () =
   emit tbl
 
 (* ------------------------------------------------------------------ *)
+(* PR4: write-ahead journal overhead on the maintenance path           *)
+(* ------------------------------------------------------------------ *)
+
+(* How much durability costs: the same insert batches applied to a detached
+   warehouse (no journal) and to one attached to a directory (every batch
+   framed, appended and fsync'd before the tree is touched), plus the price
+   of replaying the journal on open and of the checkpoint that truncates
+   it.  Reported in BENCH_PR4.json via `--wal`. *)
+let wal_overhead () =
+  let module W = Qc_warehouse.Warehouse in
+  let rows, n_batches, batch_rows =
+    match !scale with Quick -> (5_000, 20, 50) | Full -> (20_000, 50, 200)
+  in
+  let spec = { Qc_data.Synthetic.default with rows; seed = 404 } in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  (* fresh table + identically-seeded batches for each mode, so the two
+     timed loops do exactly the same maintenance work *)
+  let setup () =
+    let base = Qc_data.Synthetic.generate spec in
+    let batches =
+      List.init n_batches (fun i ->
+          Qc_data.Synthetic.generate_delta { spec with seed = 9_000 + i } base batch_rows)
+    in
+    (W.create base, batches)
+  in
+  let insert_all w batches = List.iter (fun d -> ignore (W.insert w d)) batches in
+  let w_detached, batches = setup () in
+  let t_detached = Qc_util.Timer.time_s (fun () -> insert_all w_detached batches) in
+  let w_attached, batches = setup () in
+  let dir = Filename.temp_file "qcbenchwal" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  W.save w_attached dir;
+  let t_attached = Qc_util.Timer.time_s (fun () -> insert_all w_attached batches) in
+  let wal_bytes = (Unix.stat (Filename.concat dir "wal.log")).Unix.st_size in
+  let t_replay = Qc_util.Timer.time_s (fun () -> ignore (W.open_dir dir)) in
+  let t_checkpoint = Qc_util.Timer.time_s (fun () -> W.save w_attached dir) in
+  let t_reopen_clean = Qc_util.Timer.time_s (fun () -> ignore (W.open_dir dir)) in
+  let ms s = Printf.sprintf "%.2f" (1e3 *. s) in
+  let per_batch_ms s = Printf.sprintf "%.3f" (1e3 *. s /. float_of_int n_batches) in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "journal overhead - %d insert batches of %d rows (base n=%d, d=%d, card=%d)"
+           n_batches batch_rows rows spec.Qc_data.Synthetic.dims
+           spec.Qc_data.Synthetic.cardinality)
+      ~columns:[ "mode"; "total ms"; "ms/batch"; "journal bytes" ]
+  in
+  Tf.add_row t [ "detached (no journal)"; ms t_detached; per_batch_ms t_detached; "-" ];
+  Tf.add_row t
+    [ "attached (append+fsync)"; ms t_attached; per_batch_ms t_attached; string_of_int wal_bytes ];
+  Tf.add_row t
+    [
+      Printf.sprintf "overhead %.2fx" (t_attached /. Float.max 1e-9 t_detached); "-"; "-"; "-";
+    ];
+  Tf.note t
+    (Printf.sprintf
+       "replay of %d journaled batches on open: %s ms; checkpoint (truncates journal): %s ms; \
+        clean reopen: %s ms"
+       n_batches (ms t_replay) (ms t_checkpoint) (ms t_reopen_clean));
+  emit t;
+  record "wal_overhead"
+    (Jx.Obj
+       [
+         ("base_rows", Jx.Int rows);
+         ("batches", Jx.Int n_batches);
+         ("batch_rows", Jx.Int batch_rows);
+         ( "detached",
+           Jx.Obj
+             [
+               ("total_s", Jx.Float t_detached);
+               ("s_per_batch", Jx.Float (t_detached /. float_of_int n_batches));
+             ] );
+         ( "attached",
+           Jx.Obj
+             [
+               ("total_s", Jx.Float t_attached);
+               ("s_per_batch", Jx.Float (t_attached /. float_of_int n_batches));
+               ("wal_bytes", Jx.Int wal_bytes);
+             ] );
+         ("overhead_ratio", Jx.Float (t_attached /. Float.max 1e-9 t_detached));
+         ("replay_s", Jx.Float t_replay);
+         ("checkpoint_s", Jx.Float t_checkpoint);
+         ("clean_reopen_s", Jx.Float t_reopen_clean);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -987,6 +1082,7 @@ let experiments =
     ("fig13c", fig13c);
     ("fig13d", fig13d);
     ("packed", packed_fig13);
+    ("wal", wal_overhead);
     ("fig14a", fig14a);
     ("fig14b", fig14b);
     ("fig14c", fig14c);
@@ -1031,6 +1127,13 @@ let () =
          reported in BENCH_PR2.json unless --json overrides *)
       selected := "packed" :: !selected;
       if not !json_out_set then json_out := "BENCH_PR2.json";
+      parse rest
+    | "--wal" :: rest ->
+      (* the PR4 durability-cost report: journaled vs detached maintenance,
+         replay and checkpoint timings, in BENCH_PR4.json unless --json
+         overrides *)
+      selected := "wal" :: !selected;
+      if not !json_out_set then json_out := "BENCH_PR4.json";
       parse rest
     | "--log-level" :: level :: rest -> (
       match log_level_of_string level with

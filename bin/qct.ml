@@ -10,6 +10,10 @@
      insert     batch-insert a CSV delta into a saved tree
      classes    dump quotient-cube classes of a CSV base table
      check      deep invariant audit of a saved tree (exit 2 on violations)
+     recover    open a warehouse directory, replay its journal and checkpoint
+                the repaired state (--dry-run: report only, exit 2 if the
+                directory needed repair)
+     wal        inspect a warehouse directory's write-ahead journal
 
    Every subcommand takes --log-level (the per-library Logs sources qc.dfs,
    qc.tree, qc.maint, qc.warehouse report through a Fmt-based reporter) and
@@ -43,6 +47,9 @@ let guard f =
   try f () with
   | Qc_core.Serial.Error e ->
     Printf.eprintf "qct: %s\n" (Qc_core.Serial.error_to_string e);
+    exit 1
+  | Qc_warehouse.Warehouse.Error e ->
+    Printf.eprintf "qct: %s\n" (Qc_warehouse.Warehouse.error_to_string e);
     exit 1
   | Sys_error msg | Failure msg | Invalid_argument msg ->
     Printf.eprintf "qct: %s\n" msg;
@@ -536,6 +543,146 @@ let check_cmd =
       const check $ common $ packed_too $ tree_arg 0 "Saved tree file (either format)." $ base
       $ deep $ samples $ json)
 
+(* ---------- recover ---------- *)
+
+(* Exit-code contract (asserted by test/cli): 0 = opened (and, without
+   --dry-run, checkpointed) cleanly — journal replay alone is the normal
+   crash residue, not corruption; 2 = --dry-run found repairs that a real
+   run would persist (torn journal tail, rebuilt tree, rolled-forward
+   checkpoint); 1 = the directory cannot be opened at all. *)
+let recover () dir dry_run json =
+  guard @@ fun () ->
+  let module W = Qc_warehouse.Warehouse in
+  let w = W.open_dir dir in
+  let r = W.last_recovery w in
+  let corrupt = r.W.torn_bytes > 0 || r.W.rebuilt_tree || r.W.rolled_forward in
+  if not dry_run then W.save w dir;
+  let s = W.stats_record w in
+  if json then
+    let open Qc_util.Jsonx in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("dir", String dir);
+              ("rows", Int s.W.rows);
+              ("generation", Int s.W.generation);
+              ("replayed", Int r.W.replayed);
+              ("stale_skipped", Int r.W.stale_skipped);
+              ("torn_bytes", Int r.W.torn_bytes);
+              ("rebuilt_tree", Bool r.W.rebuilt_tree);
+              ("rolled_forward", Bool r.W.rolled_forward);
+              ("corrupt", Bool corrupt);
+              ("checkpointed", Bool (not dry_run));
+            ]))
+  else begin
+    Printf.printf "%s: %d rows at generation %d\n" dir s.W.rows s.W.generation;
+    if r.W.replayed > 0 || r.W.stale_skipped > 0 then
+      Printf.printf "journal: %d record(s) replayed, %d stale skipped\n" r.W.replayed
+        r.W.stale_skipped;
+    if r.W.torn_bytes > 0 then
+      Printf.printf "discarded a %d-byte torn journal tail\n" r.W.torn_bytes;
+    if r.W.rebuilt_tree then print_endline "rebuilt the QC-tree from base.csv";
+    if r.W.rolled_forward then print_endline "rolled an interrupted checkpoint forward";
+    if dry_run then
+      print_endline
+        (if corrupt then "dry run: repairs needed (rerun without --dry-run to persist them)"
+         else "dry run: directory is clean")
+    else Printf.printf "checkpointed: %s is clean at generation %d\n" dir s.W.generation
+  end;
+  if dry_run && corrupt then exit 2
+
+let dir_arg p = Arg.(required & pos p (some string) None & info [] ~docv:"DIR" ~doc:"Warehouse directory.")
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
+
+let recover_cmd =
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Only report what recovery would do; exit 2 when the directory holds \
+                recoverable corruption (torn journal tail, damaged tree image, interrupted \
+                checkpoint), without writing anything.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a warehouse directory: replay the journal over the last checkpoint, \
+             repair what a crash left behind, and checkpoint the result.")
+    Term.(const recover $ common $ dir_arg 0 $ dry_run $ json_flag)
+
+(* ---------- wal ---------- *)
+
+let wal () dir json =
+  guard @@ fun () ->
+  let module W = Qc_warehouse.Warehouse in
+  let gen = W.committed_generation dir in
+  let path = Filename.concat dir "wal.log" in
+  let data =
+    if Sys.file_exists path then (
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+    else Qc_core.Wal.header
+  in
+  match Qc_core.Wal.scan data with
+  | Error c ->
+    Printf.eprintf "qct: %s: %s\n" path (Qc_core.Wal.corruption_to_string c);
+    exit 1
+  | Ok scan ->
+    let records = scan.Qc_core.Wal.records in
+    let op_name = function Qc_core.Wal.Insert -> "insert" | Qc_core.Wal.Delete -> "delete" in
+    let live = List.filter (fun (r : Qc_core.Wal.record) -> r.generation = gen) records in
+    let torn_bytes =
+      match scan.Qc_core.Wal.torn with Some (off, _) -> String.length data - off | None -> 0
+    in
+    if json then
+      let open Qc_util.Jsonx in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("path", String path);
+                ("generation", Int gen);
+                ( "records",
+                  List
+                    (List.map
+                       (fun (r : Qc_core.Wal.record) ->
+                         Obj
+                           [
+                             ("generation", Int r.generation);
+                             ("op", String (op_name r.op));
+                             ("rows", Int (List.length r.rows));
+                             ("stale", Bool (r.generation <> gen));
+                           ])
+                       records) );
+                ("live", Int (List.length live));
+                ("stale", Int (List.length records - List.length live));
+                ("torn_bytes", Int torn_bytes);
+              ]))
+    else begin
+      Printf.printf "%s: %d record(s), committed generation %d\n" path (List.length records) gen;
+      List.iteri
+        (fun i (r : Qc_core.Wal.record) ->
+          Printf.printf "  #%d %s %d row(s) @gen %d%s\n" i (op_name r.op) (List.length r.rows)
+            r.generation
+            (if r.generation <> gen then "  (stale: superseded by a checkpoint)" else ""))
+        records;
+      match scan.Qc_core.Wal.torn with
+      | Some (_, c) ->
+        Printf.printf "torn tail: %d byte(s) (%s) — discarded on recovery\n" torn_bytes
+          (Qc_core.Wal.corruption_to_string c)
+      | None -> print_endline "journal ends cleanly"
+    end
+
+let wal_cmd =
+  Cmd.v
+    (Cmd.info "wal"
+       ~doc:"Inspect a warehouse directory's write-ahead journal: every record with its \
+             generation, liveness and row count, plus any torn tail.")
+    Term.(const wal $ common $ dir_arg 0 $ json_flag)
+
 (* ---------- selfcheck ---------- *)
 
 let selfcheck () tree_path base_csv =
@@ -617,6 +764,8 @@ let () =
             rollup_cmd;
             whatif_cmd;
             check_cmd;
+            recover_cmd;
+            wal_cmd;
             selfcheck_cmd;
             classes_cmd;
           ]))

@@ -37,9 +37,7 @@ let to_string table =
     table;
   Buffer.contents buf
 
-let save table path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string table))
+let save table path = Qc_util.Durable.write_file path (to_string table)
 
 (* Minimal RFC-4180 field splitter. *)
 let parse_line line =

@@ -376,17 +376,20 @@ let of_packed_string data =
 
 (* ---------- files ---------- *)
 
-let write_file path data =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+(* Saving a tree is a durability-relevant site: it goes through the
+   fsync'd atomic helper under the [serial.save] failpoint prefix, so a
+   crash mid-save (real or injected) leaves either the previous file or
+   the new one, never a torn tree. *)
+let fp_prefix = "serial.save"
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      really_input_string ic len)
+let () =
+  List.iter
+    (fun suffix -> Qc_util.Failpoint.register (fp_prefix ^ "." ^ suffix))
+    [ "tmp-write"; "fsync"; "rename" ]
+
+let write_file path data = Qc_util.Durable.write_file ~fp:fp_prefix path data
+
+let read_file path = Qc_util.Durable.read_file path
 
 let save tree path = write_file path (to_string tree)
 

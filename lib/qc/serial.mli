@@ -52,7 +52,10 @@ val of_packed_string : string -> Packed.t
 (** {1 Files}
 
     [load]/[load_any]/[load_packed] sniff the leading bytes and accept
-    either format, converting as needed. *)
+    either format, converting as needed.  Saves are atomic and fsync'd
+    (write-to-temporary, fsync, rename via {!Qc_util.Durable} under the
+    [serial.save.*] failpoint labels), so a crash mid-save leaves either
+    the previous file or the complete new one. *)
 
 val save : Qc_tree.t -> string -> unit
 

@@ -1,0 +1,206 @@
+open Qc_cube
+
+type op = Insert | Delete
+
+type record = {
+  generation : int;
+  op : op;
+  rows : (string list * float) list;
+}
+
+type corruption =
+  | Bad_header of string
+  | Truncated_frame of { offset : int }
+  | Bad_crc of { offset : int }
+  | Unknown_tag of { offset : int; tag : int }
+  | Bad_payload of { offset : int; reason : string }
+
+let corruption_to_string = function
+  | Bad_header msg -> Printf.sprintf "bad journal header: %s" msg
+  | Truncated_frame { offset } -> Printf.sprintf "truncated frame at byte %d" offset
+  | Bad_crc { offset } -> Printf.sprintf "frame checksum mismatch at byte %d" offset
+  | Unknown_tag { offset; tag } ->
+    Printf.sprintf "unknown record tag %d at byte %d" tag offset
+  | Bad_payload { offset; reason } ->
+    Printf.sprintf "malformed frame payload at byte %d: %s" offset reason
+
+type scan = {
+  records : record list;
+  consumed : int;
+  torn : (int * corruption) option;
+}
+
+let magic = "QCWL"
+
+let version = 1
+
+let header = magic ^ String.make 1 (Char.chr version)
+
+(* ---------- encoding ---------- *)
+
+let add_uint buf n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_uint8 buf n
+    else begin
+      Buffer.add_uint8 buf (0x80 lor (n land 0x7F));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let add_str buf s =
+  add_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let tag_of_op = function Insert -> 1 | Delete -> 2
+
+let encode r =
+  let payload = Buffer.create 256 in
+  add_uint payload r.generation;
+  Buffer.add_uint8 payload (tag_of_op r.op);
+  let n_dims = match r.rows with (values, _) :: _ -> List.length values | [] -> 0 in
+  add_uint payload n_dims;
+  add_uint payload (List.length r.rows);
+  List.iter
+    (fun (values, m) ->
+      if List.length values <> n_dims then
+        invalid_arg "Wal.encode: rows with differing arity";
+      List.iter (fun v -> add_str payload v) values;
+      Buffer.add_int64_le payload (Int64.bits_of_float m))
+    r.rows;
+  let payload = Buffer.contents payload in
+  let frame = Buffer.create (String.length payload + 12) in
+  add_uint frame (String.length payload);
+  Buffer.add_string frame payload;
+  Buffer.add_int32_le frame (Int32.of_int (Qc_util.Crc32.string payload));
+  Buffer.contents frame
+
+(* ---------- decoding ---------- *)
+
+exception Stop of corruption
+
+type cursor = { data : string; limit : int; mutable pos : int }
+
+let need cur n err = if cur.pos + n > cur.limit then raise (Stop err)
+
+let read_u8 cur err =
+  need cur 1 err;
+  let v = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  v
+
+let read_uint cur ~truncated ~overlong =
+  let rec go acc shift =
+    if shift > 56 then raise (Stop overlong);
+    let b = read_u8 cur truncated in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let decode_frame data ~pos =
+  let frame_start = pos in
+  let truncated = Truncated_frame { offset = frame_start } in
+  try
+    let cur = { data; limit = String.length data; pos } in
+    let payload_len =
+      read_uint cur ~truncated
+        ~overlong:(Bad_payload { offset = frame_start; reason = "length varint overflow" })
+    in
+    let payload_start = cur.pos in
+    need cur (payload_len + 4) truncated;
+    let stored_crc =
+      Int32.to_int (String.get_int32_le data (payload_start + payload_len)) land 0xFFFFFFFF
+    in
+    if Qc_util.Crc32.sub data ~pos:payload_start ~len:payload_len <> stored_crc then
+      raise (Stop (Bad_crc { offset = frame_start }));
+    (* from here on the frame is checksum-valid: any structural problem is
+       encoder-level corruption, not a torn tail *)
+    let bad reason = Bad_payload { offset = frame_start; reason } in
+    let pcur = { data; limit = payload_start + payload_len; pos = payload_start } in
+    let puint what = read_uint pcur ~truncated:(bad (what ^ " truncated")) ~overlong:(bad (what ^ " varint overflow")) in
+    let generation = puint "generation" in
+    let tag_offset = pcur.pos in
+    let tag = read_u8 pcur (bad "tag truncated") in
+    let op =
+      match tag with
+      | 1 -> Insert
+      | 2 -> Delete
+      | t -> raise (Stop (Unknown_tag { offset = tag_offset; tag = t }))
+    in
+    let n_dims = puint "dimension count" in
+    if n_dims < 1 || n_dims > 255 then
+      raise (Stop (bad (Printf.sprintf "dimension count %d outside 1..255" n_dims)));
+    let n_rows = puint "row count" in
+    let rows = ref [] in
+    for _ = 1 to n_rows do
+      let values = ref [] in
+      for _ = 1 to n_dims do
+        let len = puint "value length" in
+        need pcur len (bad "value truncated");
+        values := String.sub data pcur.pos len :: !values;
+        pcur.pos <- pcur.pos + len
+      done;
+      need pcur 8 (bad "measure truncated");
+      let m = Int64.float_of_bits (String.get_int64_le data pcur.pos) in
+      pcur.pos <- pcur.pos + 8;
+      rows := (List.rev !values, m) :: !rows
+    done;
+    if pcur.pos <> payload_start + payload_len then
+      raise (Stop (bad (Printf.sprintf "%d trailing payload bytes" (payload_start + payload_len - pcur.pos))));
+    Ok ({ generation; op; rows = List.rev !rows }, payload_start + payload_len + 4)
+  with Stop c -> Error c
+
+let scan data =
+  let hlen = String.length header in
+  if String.length data < hlen || not (String.equal (String.sub data 0 hlen) header) then
+    if String.length data = 0 then Error (Bad_header "empty journal")
+    else if String.length data >= 4 && not (String.equal (String.sub data 0 4) magic) then
+      Error (Bad_header (Printf.sprintf "bad magic %S" (String.sub data 0 (min 4 (String.length data)))))
+    else if String.length data >= hlen then
+      Error (Bad_header (Printf.sprintf "unsupported journal version %d" (Char.code data.[4])))
+    else Error (Bad_header "journal shorter than its header")
+  else begin
+    let records = ref [] in
+    let pos = ref hlen in
+    let result = ref None in
+    let n = String.length data in
+    while Option.is_none !result && !pos < n do
+      match decode_frame data ~pos:!pos with
+      | Ok (r, next) ->
+        records := r :: !records;
+        pos := next
+      | Error ((Truncated_frame _ | Bad_crc _) as c) ->
+        (* the expected residue of a crash mid-append: report as a torn
+           tail and stop *)
+        result := Some (Ok { records = List.rev !records; consumed = !pos; torn = Some (!pos, c) })
+      | Error c -> result := Some (Error c)
+    done;
+    match !result with
+    | Some r -> r
+    | None -> Ok { records = List.rev !records; consumed = !pos; torn = None }
+  end
+
+(* ---------- table bridge ---------- *)
+
+let record_of_table ~generation op table =
+  let schema = Table.schema table in
+  let d = Schema.n_dims schema in
+  let rows = ref [] in
+  Table.iter
+    (fun cell m ->
+      let values = List.init d (fun i -> Schema.decode_value schema i cell.(i)) in
+      rows := (values, m) :: !rows)
+    table;
+  { generation; op; rows = List.rev !rows }
+
+let table_of_record schema r =
+  let t = Table.create schema in
+  List.iter
+    (fun (values, m) ->
+      if List.length values <> Schema.n_dims schema then
+        invalid_arg "Wal.table_of_record: row arity does not match the schema";
+      Table.add_row t values m)
+    r.rows;
+  t

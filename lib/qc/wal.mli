@@ -1,0 +1,91 @@
+(** The write-ahead journal codec.
+
+    Every warehouse mutation is made durable {e before} the in-memory tree
+    is touched, as one self-validating frame appended to [<dir>/wal.log];
+    a crash at any instant then loses at most the single operation whose
+    frame never finished, and {!Warehouse.open_dir} replays the committed
+    prefix over the last checkpoint.  This module is the pure codec — it
+    owns the byte format and its corruption taxonomy; the file I/O
+    (append, fsync, truncation at checkpoint) lives in the warehouse and
+    goes through {!Qc_util.Durable}.
+
+    {2 Format}
+
+    The file starts with the 5-byte {!header} (magic ["QCWL"], version
+    byte 1), then zero or more frames ([uint] = unsigned LEB128 varint):
+
+    {v
+    frame    := payload_len:uint  payload  crc:4 bytes LE
+    payload  := generation:uint  tag:u8  n_dims:uint  n_rows:uint  row*
+    row      := (value_len:uint value_bytes){n_dims}  measure:8 bytes LE
+    v}
+
+    [crc] is the CRC-32 of the payload.  [tag] is 1 for an insert batch, 2
+    for a delete batch.  Rows carry {e decoded} dimension values (strings),
+    not dictionary codes, so a record replays correctly against any
+    re-encoded schema and may introduce fresh dictionary values.  Measures
+    are the raw IEEE-754 bit pattern, so replay is bit-exact.
+
+    [generation] is the checkpoint generation the record extends.  A
+    checkpoint bumps the generation in the warehouse manifest and then
+    truncates the journal; if the truncation never happens (crash between
+    the two), recovery skips the stale-generation records rather than
+    double-applying them. *)
+
+type op = Insert | Delete
+
+type record = {
+  generation : int;
+  op : op;
+  rows : (string list * float) list;  (** decoded dimension values + measure *)
+}
+
+(** Why a frame could not be decoded, located by byte offset.  The first
+    three are the distinct corruption classes the negative tests pin;
+    [Bad_payload] covers a CRC-valid frame whose payload structure is
+    nonetheless wrong (only reachable through an encoder bug or a CRC
+    collision). *)
+type corruption =
+  | Bad_header of string
+  | Truncated_frame of { offset : int }
+  | Bad_crc of { offset : int }
+  | Unknown_tag of { offset : int; tag : int }
+  | Bad_payload of { offset : int; reason : string }
+
+val corruption_to_string : corruption -> string
+
+val header : string
+(** The 5 bytes every journal file starts with. *)
+
+val encode : record -> string
+(** One complete frame (length, payload, CRC). *)
+
+val decode_frame : string -> pos:int -> (record * int, corruption) result
+(** Strict decode of the frame starting at [pos]; on success also returns
+    the offset just past the frame. *)
+
+type scan = {
+  records : record list;  (** decoded frames, in append order *)
+  consumed : int;  (** bytes of header + valid frames *)
+  torn : (int * corruption) option;
+      (** when the buffer does not end cleanly: offset of the first byte
+          that could not be decoded, and why.  A torn tail is the expected
+          residue of a crash mid-append; recovery discards it. *)
+}
+
+val scan : string -> (scan, corruption) result
+(** Decode a whole journal buffer tolerantly.  [Truncated_frame] and
+    [Bad_crc] stop the scan and are reported as a {!scan.torn} tail (a
+    crash can only damage a suffix, because appends are sequential and
+    checkpoint truncation rewrites the file atomically).  [Error] is
+    reserved for damage no crash can produce: a bad {!header}, or a
+    CRC-valid frame with an unknown tag or malformed payload. *)
+
+val record_of_table : generation:int -> op -> Qc_cube.Table.t -> record
+(** Snapshot a delta table as a journal record (decoding every row against
+    the table's schema). *)
+
+val table_of_record : Qc_cube.Schema.t -> record -> Qc_cube.Table.t
+(** Materialize a record's rows as a table under [schema] (encoding values,
+    creating fresh dictionary codes as needed) — the replay direction.
+    @raise Invalid_argument if a row's arity does not match [schema]. *)

@@ -1,0 +1,28 @@
+(* Table-driven CRC-32 (reflected polynomial 0xEDB88320), one byte per
+   step.  The table is built once at module initialization; lookups keep
+   the per-byte cost to one shift, one xor and one array read, which is
+   plenty for journal frames of at most a few kilobytes. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let mask = 0xFFFFFFFF
+
+let sub ?(init = 0) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.sub: range outside the string";
+  let c = ref (lnot init land mask) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  lnot !c land mask
+
+let string ?init s = sub ?init s ~pos:0 ~len:(String.length s)

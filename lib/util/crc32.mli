@@ -1,0 +1,18 @@
+(** CRC-32 checksums (the IEEE 802.3 polynomial used by zlib, PNG and
+    gzip).
+
+    The durability layer stamps every write-ahead-journal frame and every
+    manifest line with a CRC so that a torn or bit-flipped record is
+    detected on recovery rather than replayed as garbage.  Checksums are
+    returned as non-negative OCaml [int]s in [0, 2{^32}); the value for a
+    given byte string matches zlib's [crc32] exactly, so external tooling
+    can cross-check the files. *)
+
+val string : ?init:int -> string -> int
+(** [string s] is the CRC-32 of all of [s].  [init] (default [0]) is a
+    previously returned checksum, allowing incremental computation:
+    [string ~init:(string a) b = string (a ^ b)]. *)
+
+val sub : ?init:int -> string -> pos:int -> len:int -> int
+(** Checksum of the substring [s.[pos .. pos+len-1]].
+    @raise Invalid_argument if the range is outside [s]. *)

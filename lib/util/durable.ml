@@ -1,0 +1,86 @@
+let site fp suffix = match fp with None -> None | Some p -> Some (p ^ "." ^ suffix)
+
+let hit_site fp suffix =
+  match site fp suffix with None -> () | Some label -> Failpoint.hit label
+
+let check_site fp suffix =
+  match site fp suffix with None -> None | Some label -> Failpoint.check label
+
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        (* some file systems refuse to fsync a directory handle; the
+           rename is then as durable as the platform allows *)
+        try Unix.fsync fd with Unix.Unix_error ((EINVAL | EBADF | EOPNOTSUPP), _, _) -> ())
+
+(* Write [content] (or, for a torn failpoint, a strict prefix of it) to
+   [path], fsync, and for the torn case die afterwards: the prefix is on
+   disk, exactly like a write interrupted by power loss mid-stream. *)
+let write_raw ~torn path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let len = String.length content in
+      let n = if torn then len / 2 else len in
+      output_substring oc content 0 n;
+      fsync_out oc);
+  if torn then Failpoint.crash ()
+
+let write_tmp ?fp path content =
+  let tmp = path ^ ".tmp" in
+  (match check_site fp "tmp-write" with
+  | Some Failpoint.Raise -> raise (Failpoint.Injected (Option.get (site fp "tmp-write")))
+  | Some Failpoint.Crash -> Failpoint.crash ()
+  | Some Failpoint.Torn -> write_raw ~torn:true tmp content
+  | None -> ());
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc content;
+      flush oc;
+      (* the fsync site fires between the write and the fsync: a [Crash]
+         here models dying with the bytes handed to the OS but not forced
+         down *)
+      hit_site fp "fsync";
+      fsync_out oc)
+
+let commit_tmp ?fp path =
+  hit_site fp "rename";
+  Sys.rename (path ^ ".tmp") path
+
+let write_file ?fp path content =
+  write_tmp ?fp path content;
+  commit_tmp ?fp path
+
+let open_append path =
+  open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path
+
+let append ?fp oc frame =
+  (match check_site fp "append" with
+  | Some Failpoint.Raise -> raise (Failpoint.Injected (Option.get (site fp "append")))
+  | Some Failpoint.Crash -> Failpoint.crash ()
+  | Some Failpoint.Torn ->
+    output_substring oc frame 0 (String.length frame / 2);
+    fsync_out oc;
+    Failpoint.crash ()
+  | None -> ());
+  output_string oc frame;
+  flush oc;
+  hit_site fp "fsync";
+  fsync_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,56 @@
+(** The designated durability module: every file write in [lib/] and
+    [bin/] goes through these fsync'd, failpoint-instrumented helpers
+    (enforced by [tools/lint.sh], which bans raw [open_out] / [Sys.rename]
+    elsewhere).
+
+    The atomic-write protocol is write-to-temporary, fsync the temporary,
+    rename over the target — so a reader never observes a half-written
+    file, and a crash at any instant leaves either the old or the new
+    complete content.  Renames alone are {e not} durable: callers that
+    need the rename itself to survive power loss must also
+    {!fsync_dir} the containing directory.
+
+    Each helper takes an optional [?fp] failpoint prefix; when given, the
+    individual steps check {!Failpoint} sites derived from it
+    ([<fp>.tmp-write], [<fp>.fsync], [<fp>.rename], [<fp>.append]), which
+    is how the crash suite kills the process at every durability-relevant
+    instruction.  Without [?fp] the write is still atomic and fsync'd,
+    just not instrumented. *)
+
+val fsync_dir : string -> unit
+(** Flush the directory entry table, making completed renames and creates
+    in that directory durable.  File systems that cannot fsync a
+    directory handle are tolerated silently. *)
+
+val write_tmp : ?fp:string -> string -> string -> unit
+(** [write_tmp path content] writes [content] to [path ^ ".tmp"] and
+    fsyncs it, without touching [path].  Failpoints: [<fp>.tmp-write]
+    (honours [Torn] by persisting half the bytes and dying),
+    [<fp>.fsync]. *)
+
+val commit_tmp : ?fp:string -> string -> unit
+(** [commit_tmp path] renames [path ^ ".tmp"] over [path].  Failpoint:
+    [<fp>.rename].  Atomic; pair with {!fsync_dir} for durability. *)
+
+val write_file : ?fp:string -> string -> string -> unit
+(** {!write_tmp} followed by {!commit_tmp}: the one-call atomic durable
+    write used for self-contained files (saved trees, CSV exports). *)
+
+val open_append : string -> out_channel
+(** Open a binary append channel (creating the file at permission 0o644 if
+    missing) — the journal's write handle. *)
+
+val fsync_out : out_channel -> unit
+(** Flush the channel and fsync its descriptor. *)
+
+val append : ?fp:string -> out_channel -> string -> unit
+(** [append oc frame] writes [frame] and makes it durable
+    (flush + fsync).  Failpoints: [<fp>.append] ([Torn] persists a strict
+    prefix of [frame] and dies; [Raise] fires before any byte is
+    written), [<fp>.fsync] ([Raise] fires {e after} the bytes are
+    written — the caller must treat the frame as possibly-durable and
+    roll it back or fail safe). *)
+
+val read_file : string -> string
+(** Whole file as a string.
+    @raise Sys_error as the standard library does. *)

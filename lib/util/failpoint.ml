@@ -1,0 +1,105 @@
+type mode = Raise | Crash | Torn
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected label -> Some (Printf.sprintf "Failpoint.Injected(%s)" label)
+    | _ -> None)
+
+let exit_code = 42
+
+(* Site labels declared by the instrumented modules, for enumeration by the
+   crash suite. *)
+let registry : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+(* label -> (hits remaining before firing, mode) *)
+let armed : (string, int ref * mode) Hashtbl.t = Hashtbl.create 8
+
+let register label = Hashtbl.replace registry label ()
+
+let registered () =
+  List.sort String.compare (Hashtbl.fold (fun l () acc -> l :: acc) registry [])
+
+let set ?(hits = 1) label mode =
+  if hits < 1 then invalid_arg "Failpoint.set: hits must be >= 1";
+  Hashtbl.replace armed label (ref hits, mode)
+
+let unset label = Hashtbl.remove armed label
+
+let reset () = Hashtbl.reset armed
+
+let mode_of_string = function
+  | "raise" -> Some Raise
+  | "crash" -> Some Crash
+  | "torn" -> Some Torn
+  | _ -> None
+
+let parse spec =
+  let items = List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim spec)) in
+  let parse_item item =
+    match String.split_on_char ':' item with
+    | [ site; mode_s ] -> (
+      let label, hits =
+        match String.index_opt site '@' with
+        | None -> (site, Ok 1)
+        | Some i ->
+          let h = String.sub site (i + 1) (String.length site - i - 1) in
+          ( String.sub site 0 i,
+            match int_of_string_opt h with
+            | Some n when n >= 1 -> Ok n
+            | Some _ | None -> Error (Printf.sprintf "bad hit count %S in %S" h item) )
+      in
+      match (hits, mode_of_string mode_s) with
+      | Error e, _ -> Error e
+      | Ok _, None ->
+        Error (Printf.sprintf "unknown mode %S in %S (raise|crash|torn)" mode_s item)
+      | Ok h, Some m ->
+        if label = "" then Error (Printf.sprintf "empty label in %S" item)
+        else Ok (label, h, m))
+    | _ -> Error (Printf.sprintf "malformed failpoint %S (want label[@hit]:mode)" item)
+  in
+  List.fold_left
+    (fun acc item ->
+      match (acc, parse_item item) with
+      | Error e, _ -> Error e
+      | Ok _, Error e -> Error e
+      | Ok l, Ok x -> Ok (x :: l))
+    (Ok []) items
+  |> Result.map List.rev
+
+let arm_from_spec spec =
+  Result.map (List.iter (fun (label, hits, mode) -> set ~hits label mode)) (parse spec)
+
+(* Power loss: no buffer flushing, no at_exit. *)
+let crash () = Unix._exit exit_code
+
+let check label =
+  match Hashtbl.find_opt armed label with
+  | None -> None
+  | Some (remaining, mode) ->
+    decr remaining;
+    if !remaining > 0 then None
+    else begin
+      Hashtbl.remove armed label;
+      Some mode
+    end
+
+let hit label =
+  match check label with
+  | None -> ()
+  | Some Raise -> raise (Injected label)
+  | Some (Crash | Torn) -> crash ()
+
+(* Arm from the environment once at program start.  A malformed spec is a
+   configuration error: report it loudly rather than silently running the
+   workload un-instrumented (a crash test would then "pass" vacuously). *)
+let () =
+  match Sys.getenv_opt "QC_FAILPOINTS" with
+  | None -> ()
+  | Some spec -> (
+    match arm_from_spec spec with
+    | Ok () -> ()
+    | Error e ->
+      prerr_endline ("QC_FAILPOINTS: " ^ e);
+      exit 2)

@@ -1,0 +1,85 @@
+(** Deterministic fault injection at named durability sites.
+
+    Every place the system makes bytes durable — temp-file writes, fsyncs,
+    renames, journal appends — is instrumented with a {e failpoint}: a
+    stable label checked at runtime against a table of armed faults.  The
+    crash-safety suite enumerates the registered labels and proves that a
+    process killed at {e each} site leaves a warehouse that recovers to a
+    consistent committed prefix.
+
+    Unarmed failpoints cost one hashtable probe on a cold path (file I/O),
+    so the instrumentation stays on in production builds.
+
+    {2 Modes}
+
+    - [Raise] — simulate an I/O error surfaced by the operating system: the
+      site raises {!Injected} before performing its side effect, and the
+      caller is expected to fail cleanly with its typed error.
+    - [Crash] — model power loss: the process dies immediately with
+      {!exit_code} via [Unix._exit], without flushing buffers or running
+      [at_exit] handlers.
+    - [Torn] — model power loss in the middle of a write: the site persists
+      a strict prefix of the bytes it was asked to write, then dies as
+      [Crash].  At sites that do not write bytes, [Torn] degrades to
+      [Crash].
+
+    {2 Activation}
+
+    Failpoints arm programmatically ({!set}) or through the environment
+    variable [QC_FAILPOINTS], a comma-separated list of
+    [label\@hit:mode] items (the [\@hit] part optional, default 1):
+
+    {v QC_FAILPOINTS='wal.append@2:torn,save.base.rename:crash' v}
+
+    arms the second hit of [wal.append] as a torn write and the first hit
+    of [save.base.rename] as a hard crash.  The environment is read once at
+    program start. *)
+
+type mode = Raise | Crash | Torn
+
+exception Injected of string
+(** Raised by a [Raise]-armed site; the payload is the site label.  The
+    durability layer converts it into the caller's typed I/O error. *)
+
+val exit_code : int
+(** Process exit status used by [Crash] and [Torn]: 42. *)
+
+val register : string -> unit
+(** Declare a site label.  Modules register their sites at initialization
+    so test harnesses can enumerate every site via {!registered};
+    registering the same label twice is harmless. *)
+
+val registered : unit -> string list
+(** All declared site labels, sorted. *)
+
+val set : ?hits:int -> string -> mode -> unit
+(** [set ~hits label mode] arms [label] to fire on its [hits]-th upcoming
+    hit (default 1, i.e. the next one).  Re-arming replaces any previous
+    arming of the same label.
+    @raise Invalid_argument if [hits < 1]. *)
+
+val unset : string -> unit
+
+val reset : unit -> unit
+(** Disarm every failpoint (registrations are kept). *)
+
+val parse : string -> ((string * int * mode) list, string) result
+(** Parse a [QC_FAILPOINTS]-syntax specification without arming anything. *)
+
+val arm_from_spec : string -> (unit, string) result
+(** Parse and arm. *)
+
+val check : string -> mode option
+(** [check label] counts one hit of [label] and returns [Some mode] when
+    that hit is the armed one (the failpoint disarms itself as it fires).
+    Sites that need mode-specific behaviour — torn writes — call this and
+    act on the result; everyone else calls {!hit}. *)
+
+val hit : string -> unit
+(** {!check}, then the default action: [Raise] raises {!Injected}; [Crash]
+    and [Torn] terminate the process with {!exit_code}. *)
+
+val crash : unit -> 'a
+(** Terminate immediately with {!exit_code}, bypassing buffers and
+    [at_exit] — the power-loss primitive [Torn] sites call after writing
+    their prefix. *)

@@ -1,5 +1,91 @@
 open Qc_cube
 
+(* ------------------------------------------------------------------ *)
+(* Typed errors                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Missing_file of string
+  | Corrupt_base of { path : string; reason : string }
+  | Corrupt_tree of { path : string; reason : string }
+  | Corrupt_wal of { path : string; reason : string }
+  | Corrupt_manifest of { path : string; reason : string }
+  | Version_mismatch of { path : string; got : int }
+  | Io of string
+
+exception Error of error
+
+let error_to_string = function
+  | Missing_file path -> Printf.sprintf "%s: no such warehouse file or directory" path
+  | Corrupt_base { path; reason } -> Printf.sprintf "%s: corrupt base table (%s)" path reason
+  | Corrupt_tree { path; reason } -> Printf.sprintf "%s: corrupt tree image (%s)" path reason
+  | Corrupt_wal { path; reason } -> Printf.sprintf "%s: corrupt journal (%s)" path reason
+  | Corrupt_manifest { path; reason } -> Printf.sprintf "%s: corrupt manifest (%s)" path reason
+  | Version_mismatch { path; got } ->
+    Printf.sprintf "%s: unsupported manifest version %d" path got
+  | Io msg -> Printf.sprintf "I/O failure: %s" msg
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Warehouse.Error (%s)" (error_to_string e))
+    | _ -> None)
+
+let io_error_of_exn = function
+  | Qc_util.Failpoint.Injected label ->
+    Some (Io (Printf.sprintf "injected failure at failpoint %s" label))
+  | Sys_error msg -> Some (Io msg)
+  | Unix.Unix_error (err, fn, arg) ->
+    Some (Io (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
+  | _ -> None
+
+let wrap_io f =
+  try f ()
+  with e -> (match io_error_of_exn e with Some err -> raise (Error err) | None -> raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Failpoint sites                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every durability-relevant instruction in the warehouse has a stable
+   label here, so the crash suite can enumerate and kill each one.  The
+   save.* prefixes expand through Qc_util.Durable into .tmp-write /
+   .fsync / .rename sites; wal expands into .append / .fsync. *)
+let () =
+  List.iter Qc_util.Failpoint.register
+    [
+      "wal.append";
+      "wal.fsync";
+      "save.base.tmp-write";
+      "save.base.fsync";
+      "save.base.rename";
+      "save.tree.tmp-write";
+      "save.tree.fsync";
+      "save.tree.rename";
+      "save.manifest.tmp-write";
+      "save.manifest.fsync";
+      "save.manifest.rename";
+      "save.dir-fsync.pre-manifest";
+      "save.dir-fsync.post-manifest";
+      "save.wal-truncate";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* State                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  replayed : int;
+  stale_skipped : int;
+  torn_bytes : int;
+  rebuilt_tree : bool;
+  rolled_forward : bool;
+}
+
+let no_recovery =
+  { replayed = 0; stale_skipped = 0; torn_bytes = 0; rebuilt_tree = false; rolled_forward = false }
+
 (* The warehouse keeps the summary in two forms: the frozen [Packed.t],
    which answers all point/range queries, and the mutable [Qc_tree.t] the
    incremental maintenance algorithms require.  After a build (or an open
@@ -13,9 +99,15 @@ type t = {
   mutable tree_ : Qc_core.Qc_tree.t option;  (** thawed working form *)
   mutable packed_ : Qc_core.Packed.t option;  (** frozen query form *)
   mutable index : (Agg.func * Qc_core.Query.measure_index) option;  (** iceberg cache *)
-  mutable generation : int;  (** bumped on every mutation *)
+  mutable generation : int;  (** bumped on every mutation (iceberg cache key) *)
   mutable index_generation : int;
   mutable self_check_enabled : bool;
+  mutable dir : string option;  (** attached directory, once saved/opened *)
+  mutable ckpt_generation : int;  (** generation of the last committed checkpoint *)
+  mutable wal_out : out_channel option;
+  mutable wal_pos : int;  (** length of the journal's valid prefix on disk *)
+  mutable wal_records : int;  (** live records appended since the checkpoint *)
+  mutable recovery : recovery;
 }
 
 exception Check_failed of Qc_core.Check.report
@@ -59,11 +151,21 @@ let create base =
     generation = 0;
     index_generation = -1;
     self_check_enabled = false;
+    dir = None;
+    ckpt_generation = 0;
+    wal_out = None;
+    wal_pos = 0;
+    wal_records = 0;
+    recovery = no_recovery;
   }
 
 let table t = t.base
 
 let schema t = Table.schema t.base
+
+let attached_dir t = t.dir
+
+let last_recovery t = t.recovery
 
 let touch t = t.generation <- t.generation + 1
 
@@ -88,10 +190,225 @@ let post_maintenance_check t op =
 
 let refreeze t = t.packed_ <- Some (Qc_core.Packed.of_tree (tree t))
 
-let insert t delta =
+(* ------------------------------------------------------------------ *)
+(* Directory layout and manifest                                      *)
+(* ------------------------------------------------------------------ *)
+
+let base_file dir = Filename.concat dir "base.csv"
+
+let tree_file dir = Filename.concat dir "tree.qct"
+
+let manifest_file dir = Filename.concat dir "manifest"
+
+let wal_file dir = Filename.concat dir "wal.log"
+
+let manifest_version = 1
+
+(* The manifest is the checkpoint's atomic commit record: generation
+   number plus CRC-32/size of both images, self-checksummed.  Text, one
+   field per line, so a hexdump of a damaged directory stays legible. *)
+type manifest = {
+  m_generation : int;
+  base_crc : int;
+  base_size : int;
+  tree_crc : int;
+  tree_size : int;
+}
+
+let manifest_to_string m =
+  let body =
+    Printf.sprintf "qcmanifest %d\ngeneration %d\nbase %08x %d\ntree %08x %d\n"
+      manifest_version m.m_generation m.base_crc m.base_size m.tree_crc m.tree_size
+  in
+  body ^ Printf.sprintf "crc %08x\n" (Qc_util.Crc32.string body)
+
+let manifest_of_string data =
+  let fail reason = Result.Error (`Malformed reason) in
+  match List.filter (fun l -> l <> "") (String.split_on_char '\n' data) with
+  | [ l0; l1; l2; l3; l4 ] -> (
+    let field2 line key =
+      match String.split_on_char ' ' line with
+      | [ k; v ] when String.equal k key -> Some v
+      | _ -> None
+    and field3 line key =
+      match String.split_on_char ' ' line with
+      | [ k; a; b ] when String.equal k key -> Some (a, b)
+      | _ -> None
+    in
+    let hex h = int_of_string_opt ("0x" ^ h) in
+    match field2 l0 "qcmanifest" with
+    | None -> fail "missing qcmanifest header line"
+    | Some v -> (
+      match int_of_string_opt v with
+      | None -> fail "unreadable format version"
+      | Some v when v <> manifest_version -> Result.Error (`Version v)
+      | Some _ -> (
+        let body = String.concat "\n" [ l0; l1; l2; l3 ] ^ "\n" in
+        match (field2 l1 "generation", field3 l2 "base", field3 l3 "tree", field2 l4 "crc") with
+        | Some g, Some (bc, bs), Some (tc, ts), Some self -> (
+          match (int_of_string_opt g, hex bc, int_of_string_opt bs, hex tc,
+                 int_of_string_opt ts, hex self) with
+          | Some m_generation, Some base_crc, Some base_size, Some tree_crc,
+            Some tree_size, Some self_crc ->
+            if self_crc <> Qc_util.Crc32.string body then fail "self-checksum mismatch"
+            else if m_generation < 0 || base_size < 0 || tree_size < 0 then
+              fail "negative field"
+            else Ok { m_generation; base_crc; base_size; tree_crc; tree_size }
+          | _ -> fail "unreadable numeric field")
+        | _ -> fail "missing field line")))
+  | _ -> fail "wrong line count"
+
+(* Strict read: absent is [None]; damage raises the typed error. *)
+let read_manifest path =
+  if not (Sys.file_exists path) then None
+  else
+    match manifest_of_string (wrap_io (fun () -> Qc_util.Durable.read_file path)) with
+    | Ok m -> Some m
+    | Result.Error (`Version got) -> raise (Error (Version_mismatch { path; got }))
+    | Result.Error (`Malformed reason) -> raise (Error (Corrupt_manifest { path; reason }))
+
+(* Lenient read for in-flight temporaries: anything unusable is [None]
+   (a torn manifest.tmp is the expected residue of a crash mid-save). *)
+let read_manifest_lenient path =
+  if not (Sys.file_exists path) then None
+  else
+    match wrap_io (fun () -> Qc_util.Durable.read_file path) with
+    | exception Error _ -> None
+    | data -> ( match manifest_of_string data with Ok m -> Some m | Result.Error _ -> None)
+
+(* Which checkpoint does [dir] resolve to, given the base image it holds?
+   The main manifest wins when the base matches it; otherwise a valid
+   manifest.tmp whose base CRC matches is an interrupted checkpoint that
+   committed its base rename — adopt it (roll-forward).  [None] means the
+   base matches nothing: structural damage, not a crash residue. *)
+let resolve_checkpoint dir ~base_crc ~strict =
+  let main =
+    if strict then read_manifest (manifest_file dir)
+    else read_manifest_lenient (manifest_file dir)
+  in
+  match main with
+  | Some m when m.base_crc = base_crc -> `Manifest m
+  | main -> (
+    match read_manifest_lenient (manifest_file dir ^ ".tmp") with
+    | Some m when m.base_crc = base_crc -> `Rolled_forward m
+    | _ -> ( match main with None -> `Legacy | Some _ -> `Unresolved))
+
+(* ------------------------------------------------------------------ *)
+(* Journal plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let wal_header_len = String.length Qc_core.Wal.header
+
+(* Byte length of the journal's decodable prefix (0 when absent or when
+   even the header is unusable). *)
+let wal_valid_prefix path =
+  if not (Sys.file_exists path) then 0
+  else
+    match Qc_core.Wal.scan (Qc_util.Durable.read_file path) with
+    | Ok s -> s.consumed
+    | Error _ -> 0
+
+(* The journal's append handle, opened lazily on the first attached
+   mutation.  Before handing it out, make the on-disk file end exactly at
+   the valid prefix: recreate it when the header itself is missing or
+   unusable, truncate away any torn tail so fresh frames never land after
+   garbage. *)
+let wal_channel t dir =
+  match t.wal_out with
+  | Some oc -> oc
+  | None ->
+    let path = wal_file dir in
+    wrap_io (fun () ->
+        if t.wal_pos < wal_header_len then begin
+          Qc_util.Durable.write_file path Qc_core.Wal.header;
+          Qc_util.Durable.fsync_dir dir;
+          t.wal_pos <- wal_header_len
+        end
+        else begin
+          let size = (Unix.stat path).Unix.st_size in
+          if size < t.wal_pos then
+            raise
+              (Error
+                 (Io
+                    (Printf.sprintf "%s shrank below its committed prefix (%d < %d bytes)" path
+                       size t.wal_pos)));
+          if size > t.wal_pos then Unix.truncate path t.wal_pos
+        end);
+    let oc = wrap_io (fun () -> Qc_util.Durable.open_append path) in
+    t.wal_out <- Some oc;
+    oc
+
+let close_wal t =
+  match t.wal_out with
+  | Some oc ->
+    close_out_noerr oc;
+    t.wal_out <- None
+  | None -> ()
+
+(* Append one record and fsync it — the commit point of a mutation.  On
+   any failure the frame may be partly on disk but was never acknowledged,
+   so cut the file back to the last valid prefix before reporting the
+   typed error; the batch is then neither applied nor durable. *)
+let log_mutation t op delta =
+  match t.dir with
+  | None -> ()
+  | Some _ when Table.n_rows delta = 0 -> ()
+  | Some dir -> (
+    let record = Qc_core.Wal.record_of_table ~generation:t.ckpt_generation op delta in
+    let frame = Qc_core.Wal.encode record in
+    let oc = wal_channel t dir in
+    match Qc_util.Durable.append ~fp:"wal" oc frame with
+    | () ->
+      t.wal_pos <- t.wal_pos + String.length frame;
+      t.wal_records <- t.wal_records + 1
+    | exception e ->
+      close_wal t;
+      (try Unix.truncate (wal_file dir) t.wal_pos with Unix.Unix_error _ | Sys_error _ -> ());
+      (match io_error_of_exn e with Some err -> raise (Error err) | None -> raise e))
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_insert t delta =
   let tr = tree t in
   t.packed_ <- None;
-  let stats = Qc_core.Maintenance.insert_batch tr ~base:t.base ~delta in
+  Qc_core.Maintenance.insert_batch tr ~base:t.base ~delta
+
+let run_delete t delta =
+  let tr = tree t in
+  t.packed_ <- None;
+  let new_base, stats = Qc_core.Maintenance.delete_batch tr ~base:t.base ~delta in
+  t.base <- new_base;
+  stats
+
+(* Mirror of Maintenance.delete_batch's multiset matching, run before the
+   journal append so an impossible batch is rejected without being
+   logged (a logged batch must always replay). *)
+let validate_delete base delta =
+  if Table.n_rows delta > 0 then begin
+    let claimed = Array.make (Table.n_rows base) false in
+    let by_cell : int list Cell.Tbl.t = Cell.Tbl.create (Table.n_rows base) in
+    for i = Table.n_rows base - 1 downto 0 do
+      let cell = Table.tuple base i in
+      Cell.Tbl.replace by_cell cell
+        (i :: Option.value ~default:[] (Cell.Tbl.find_opt by_cell cell))
+    done;
+    for i = 0 to Table.n_rows delta - 1 do
+      let cell = Table.tuple delta i and m = Table.measure delta i in
+      let rec claim = function
+        | [] -> invalid_arg "Warehouse.delete: delta row not present in base"
+        | j :: rest ->
+          if (not claimed.(j)) && Table.measure base j = m then claimed.(j) <- true
+          else claim rest
+      in
+      claim (Option.value ~default:[] (Cell.Tbl.find_opt by_cell cell))
+    done
+  end
+
+let insert t delta =
+  log_mutation t Qc_core.Wal.Insert delta;
+  let stats = run_insert t delta in
   refreeze t;
   touch t;
   Log.info (fun m ->
@@ -101,10 +418,9 @@ let insert t delta =
   stats
 
 let delete t delta =
-  let tr = tree t in
-  t.packed_ <- None;
-  let new_base, stats = Qc_core.Maintenance.delete_batch tr ~base:t.base ~delta in
-  t.base <- new_base;
+  validate_delete t.base delta;
+  log_mutation t Qc_core.Wal.Delete delta;
+  let stats = run_delete t delta in
   refreeze t;
   touch t;
   Log.info (fun m ->
@@ -136,6 +452,10 @@ let iceberg t func ~threshold =
   in
   Qc_core.Query.iceberg index ~threshold
 
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
 type stat = {
   rows : int;
   dims : int;
@@ -144,7 +464,13 @@ type stat = {
   links : int;
   bytes : int;
   packed_bytes : int;
+  generation : int;
+  wal_records : int;
+  replayed : int;
+  recovered : bool;
 }
+
+let recovered_something r = r.rebuilt_tree || r.rolled_forward || r.torn_bytes > 0
 
 let stats_record t =
   let p = packed t in
@@ -156,12 +482,20 @@ let stats_record t =
     links = Qc_core.Packed.n_links p;
     bytes = Qc_core.Packed.bytes p;
     packed_bytes = Qc_core.Packed.resident_bytes p;
+    generation = t.ckpt_generation;
+    wal_records = t.wal_records;
+    replayed = t.recovery.replayed;
+    recovered = recovered_something t.recovery;
   }
 
 let stats t =
   let s = stats_record t in
-  Printf.sprintf "%d rows | %d classes | %d nodes | %d links | %d bytes (%d packed)" s.rows
-    s.classes s.nodes s.links s.bytes s.packed_bytes
+  Printf.sprintf
+    "%d rows | %d classes | %d nodes | %d links | %d bytes (%d packed) | gen %d | %d wal record(s)%s"
+    s.rows s.classes s.nodes s.links s.bytes s.packed_bytes s.generation s.wal_records
+    (if s.recovered then Printf.sprintf " | recovered (%d replayed)" s.replayed
+     else if s.replayed > 0 then Printf.sprintf " | %d replayed" s.replayed
+     else "")
 
 let stat_to_json s =
   Qc_util.Jsonx.Obj
@@ -173,64 +507,301 @@ let stat_to_json s =
       ("links", Qc_util.Jsonx.Int s.links);
       ("bytes", Qc_util.Jsonx.Int s.bytes);
       ("packed_bytes", Qc_util.Jsonx.Int s.packed_bytes);
+      ("generation", Qc_util.Jsonx.Int s.generation);
+      ("wal_records", Qc_util.Jsonx.Int s.wal_records);
+      ("replayed", Qc_util.Jsonx.Int s.replayed);
+      ("recovered", Qc_util.Jsonx.Bool s.recovered);
     ]
 
 let stats_json t = Qc_util.Jsonx.to_string (stat_to_json (stats_record t))
 
-let base_file dir = Filename.concat dir "base.csv"
+(* ------------------------------------------------------------------ *)
+(* Checkpoint (save)                                                  *)
+(* ------------------------------------------------------------------ *)
 
-let tree_file dir = Filename.concat dir "tree.qct"
-
-let atomic_write path content =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
-  Sys.rename tmp path
+(* A failed checkpoint may or may not have committed — the commit point
+   (the manifest rename) is buried in the middle of the sequence.
+   Re-derive the directory's actual state so subsequent journal records
+   carry the generation recovery will resolve the directory to; getting
+   this wrong would make recovery skip committed records as stale. *)
+let resync_after_failed_save t dir ~gen' ~base_crc =
+  let attached_here = match t.dir with Some d -> String.equal d dir | None -> false in
+  match
+    (try Some (Qc_util.Durable.read_file (base_file dir)) with Sys_error _ -> None)
+  with
+  | None -> ()
+  | Some base_data -> (
+    let crc = Qc_util.Crc32.string base_data in
+    match resolve_checkpoint dir ~base_crc:crc ~strict:false with
+    | `Unresolved | `Legacy -> ()
+    | `Manifest m | `Rolled_forward m ->
+      if attached_here then begin
+        if m.m_generation <> t.ckpt_generation then begin
+          t.ckpt_generation <- m.m_generation;
+          t.wal_records <- 0
+        end
+      end
+      else if m.m_generation = gen' && m.base_crc = base_crc then begin
+        (* the checkpoint into a fresh directory committed before the
+           failure: attach, or mutations would silently stop journaling *)
+        close_wal t;
+        t.dir <- Some dir;
+        t.ckpt_generation <- gen';
+        t.wal_records <- 0;
+        t.wal_pos <- wal_valid_prefix (wal_file dir)
+      end)
 
 let save t dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  atomic_write (base_file dir) (Qc_data.Csv.to_string t.base);
-  atomic_write (tree_file dir) (Qc_core.Serial.to_packed_string (packed t));
-  Log.info (fun m -> m "saved warehouse to %s" dir)
+  wrap_io (fun () -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  let base_data = Qc_data.Csv.to_string t.base in
+  let tree_data = Qc_core.Serial.to_packed_string (packed t) in
+  let base_crc = Qc_util.Crc32.string base_data in
+  let gen' = t.ckpt_generation + 1 in
+  let manifest_data =
+    manifest_to_string
+      {
+        m_generation = gen';
+        base_crc;
+        base_size = String.length base_data;
+        tree_crc = Qc_util.Crc32.string tree_data;
+        tree_size = String.length tree_data;
+      }
+  in
+  (* the handle would point into the file about to be truncated *)
+  close_wal t;
+  (try
+     (* Stage everything first: all three temporaries are durable before
+        any rename, so an interrupted checkpoint can always be resolved
+        to one side or rolled forward from its temporaries. *)
+     Qc_util.Durable.write_tmp ~fp:"save.base" (base_file dir) base_data;
+     Qc_util.Durable.write_tmp ~fp:"save.tree" (tree_file dir) tree_data;
+     Qc_util.Durable.write_tmp ~fp:"save.manifest" (manifest_file dir) manifest_data;
+     Qc_util.Durable.commit_tmp ~fp:"save.base" (base_file dir);
+     Qc_util.Durable.commit_tmp ~fp:"save.tree" (tree_file dir);
+     Qc_util.Failpoint.hit "save.dir-fsync.pre-manifest";
+     Qc_util.Durable.fsync_dir dir;
+     (* the manifest rename is the checkpoint's atomic commit point *)
+     Qc_util.Durable.commit_tmp ~fp:"save.manifest" (manifest_file dir);
+     Qc_util.Failpoint.hit "save.dir-fsync.post-manifest";
+     Qc_util.Durable.fsync_dir dir;
+     (* committed: reset the journal to an empty header *)
+     Qc_util.Failpoint.hit "save.wal-truncate";
+     Qc_util.Durable.write_file (wal_file dir) Qc_core.Wal.header;
+     Qc_util.Durable.fsync_dir dir
+   with e ->
+     resync_after_failed_save t dir ~gen' ~base_crc;
+     (match io_error_of_exn e with Some err -> raise (Error err) | None -> raise e));
+  t.dir <- Some dir;
+  t.ckpt_generation <- gen';
+  t.wal_pos <- wal_header_len;
+  t.wal_records <- 0;
+  Log.info (fun m -> m "checkpointed warehouse to %s (generation %d)" dir gen')
+
+(* ------------------------------------------------------------------ *)
+(* Open with recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared entry of [open_dir] and [committed_generation]: read the base
+   image and decide which checkpoint the directory resolves to. *)
+let resolve_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then raise (Error (Missing_file dir));
+  let base_path = base_file dir in
+  if not (Sys.file_exists base_path) then raise (Error (Missing_file base_path));
+  let base_data = wrap_io (fun () -> Qc_util.Durable.read_file base_path) in
+  match resolve_checkpoint dir ~base_crc:(Qc_util.Crc32.string base_data) ~strict:true with
+  | (`Manifest _ | `Rolled_forward _ | `Legacy) as r -> (base_data, r)
+  | `Unresolved ->
+    raise
+      (Error
+         (Corrupt_base
+            {
+              path = base_path;
+              reason = "content matches neither the manifest nor an in-flight checkpoint";
+            }))
+
+let committed_generation dir =
+  match resolve_dir dir with
+  | _, (`Manifest m | `Rolled_forward m) -> m.m_generation
+  | _, `Legacy -> 0
 
 let open_dir dir =
-  (* Load the summary first and re-encode the CSV rows against its schema,
-     so warehouse, table and tree share one schema instance (both serial
-     formats preserve dictionary codes, so the re-encode assigns identical
-     codes).  Accepts both on-disk formats: the packed binary stays frozen,
-     a text tree is kept mutable (and frozen lazily on the first query). *)
-  let tree_, packed_, schema =
-    match Qc_core.Serial.load_any (tree_file dir) with
-    | `Packed p -> (None, Some p, Qc_core.Packed.schema p)
-    | `Tree tr -> (Some tr, None, Qc_core.Qc_tree.schema tr)
+  let base_path = base_file dir in
+  let base_data, resolution = resolve_dir dir in
+  let rolled_forward, active =
+    match resolution with
+    | `Manifest m -> (false, Some m)
+    | `Rolled_forward m ->
+      Log.warn (fun f ->
+          f "rolling interrupted checkpoint forward to generation %d" m.m_generation);
+      (true, Some m)
+    | `Legacy -> (false, None)
   in
-  let raw = Qc_data.Csv.load (base_file dir) in
-  let raw_schema = Table.schema raw in
-  if Schema.n_dims raw_schema <> Schema.n_dims schema then
-    failwith "Warehouse.open_dir: base table and tree disagree on dimensions";
-  let base = Table.create schema in
-  Table.iter
-    (fun cell m ->
-      let values =
-        List.init (Schema.n_dims raw_schema) (fun i -> Schema.decode_value raw_schema i cell.(i))
+  let ckpt_generation = match active with None -> 0 | Some m -> m.m_generation in
+  (* Pick the tree image: [tree.qct] when it matches the manifest (or when
+     there is no manifest to check against); under a rolled-forward
+     checkpoint the fresh image may still be sitting in the temporary. *)
+  let tree_path = tree_file dir in
+  let read_if_exists path =
+    if Sys.file_exists path then Some (wrap_io (fun () -> Qc_util.Durable.read_file path))
+    else None
+  in
+  let tree_data =
+    match active with
+    | None -> read_if_exists tree_path
+    | Some m -> (
+      match read_if_exists tree_path with
+      | Some d when Qc_util.Crc32.string d = m.tree_crc -> Some d
+      | main -> (
+        match read_if_exists (tree_path ^ ".tmp") with
+        | Some d when Qc_util.Crc32.string d = m.tree_crc -> Some d
+        | _ ->
+          if Option.is_some main then
+            Log.warn (fun f -> f "%s does not match the manifest checksum" tree_path);
+          None))
+  in
+  (* Decode defensively: structural damage to the image is recoverable
+     (the tree is derived data), so any failure selects the rebuild path
+     instead of raising. *)
+  let decoded =
+    match tree_data with
+    | None -> None
+    | Some data ->
+      let is_packed =
+        String.length data >= 4
+        && String.equal (String.sub data 0 4) Qc_core.Serial.packed_magic
       in
-      Table.add_row base values m)
-    raw;
-  Log.info (fun m -> m "opened warehouse %s: %d rows" dir (Table.n_rows base));
-  {
-    base;
-    tree_;
-    packed_;
-    index = None;
-    generation = 0;
-    index_generation = -1;
-    self_check_enabled = false;
-  }
+      if is_packed && not (Qc_core.Check.ok (Qc_core.Check.check_bytes data)) then begin
+        Log.warn (fun f -> f "%s fails the structural byte audit" tree_path);
+        None
+      end
+      else (
+        try Some (Qc_core.Serial.of_string_any data)
+        with Qc_core.Serial.Error e ->
+          Log.warn (fun f ->
+              f "%s does not decode: %s" tree_path (Qc_core.Serial.error_to_string e));
+          None)
+  in
+  let raw =
+    try Qc_data.Csv.of_string base_data
+    with Failure reason -> raise (Error (Corrupt_base { path = base_path; reason }))
+  in
+  (* Re-encode the CSV rows against the summary's schema, so warehouse,
+     table and tree share one schema instance (both serial formats
+     preserve dictionary codes, so the re-encode assigns identical
+     codes).  A dimension-count disagreement means the image belongs to
+     some other table: treat it as damage and rebuild. *)
+  let reencode schema =
+    let raw_schema = Table.schema raw in
+    if Schema.n_dims raw_schema <> Schema.n_dims schema then None
+    else begin
+      let base = Table.create schema in
+      Table.iter
+        (fun cell m ->
+          let values =
+            List.init (Schema.n_dims raw_schema) (fun i ->
+                Schema.decode_value raw_schema i cell.(i))
+          in
+          Table.add_row base values m)
+        raw;
+      Some base
+    end
+  in
+  let rebuild () = (Some (Qc_core.Qc_tree.of_table raw), None, raw, true) in
+  let tree_, packed_, base, rebuilt_tree =
+    match decoded with
+    | Some (`Packed p) -> (
+      match reencode (Qc_core.Packed.schema p) with
+      | Some base -> (None, Some p, base, false)
+      | None -> rebuild ())
+    | Some (`Tree tr) -> (
+      match reencode (Qc_core.Qc_tree.schema tr) with
+      | Some base -> (Some tr, None, base, false)
+      | None -> rebuild ())
+    | None -> rebuild ()
+  in
+  if rebuilt_tree then
+    Log.warn (fun f ->
+        f "rebuilt the QC-tree from %s (%d rows)" base_path (Table.n_rows base));
+  let w =
+    {
+      base;
+      tree_;
+      packed_;
+      index = None;
+      generation = 0;
+      index_generation = -1;
+      self_check_enabled = false;
+      dir = Some dir;
+      ckpt_generation;
+      wal_out = None;
+      wal_pos = 0;
+      wal_records = 0;
+      recovery = no_recovery;
+    }
+  in
+  (* Replay the journal's committed suffix.  A torn tail is the expected
+     residue of a crash mid-append and is silently discarded; records from
+     a superseded generation are an interrupted checkpoint's leftovers and
+     are skipped rather than double-applied.  Structural damage a crash
+     cannot produce raises. *)
+  let wal_path = wal_file dir in
+  let replayed = ref 0 and stale_skipped = ref 0 and torn_bytes = ref 0 in
+  (match read_if_exists wal_path with
+  | None -> ()
+  | Some data -> (
+    match Qc_core.Wal.scan data with
+    | Error c ->
+      raise (Error (Corrupt_wal { path = wal_path; reason = Qc_core.Wal.corruption_to_string c }))
+    | Ok s ->
+      w.wal_pos <- s.consumed;
+      (match s.torn with
+      | None -> ()
+      | Some (offset, c) ->
+        torn_bytes := String.length data - offset;
+        Log.warn (fun f ->
+            f "discarding %d-byte torn journal tail (%s)" !torn_bytes
+              (Qc_core.Wal.corruption_to_string c)));
+      List.iter
+        (fun (r : Qc_core.Wal.record) ->
+          if r.generation <> ckpt_generation then incr stale_skipped
+          else begin
+            let corrupt reason = Error (Corrupt_wal { path = wal_path; reason }) in
+            let delta =
+              try Qc_core.Wal.table_of_record (Table.schema w.base) r
+              with Invalid_argument reason -> raise (corrupt reason)
+            in
+            (try
+               match r.op with
+               | Qc_core.Wal.Insert -> ignore (run_insert w delta)
+               | Qc_core.Wal.Delete -> ignore (run_delete w delta)
+             with Invalid_argument reason -> raise (corrupt ("replay failed: " ^ reason)));
+            touch w;
+            incr replayed
+          end)
+        s.records;
+      w.wal_records <- !replayed));
+  w.recovery <-
+    {
+      replayed = !replayed;
+      stale_skipped = !stale_skipped;
+      torn_bytes = !torn_bytes;
+      rebuilt_tree;
+      rolled_forward;
+    };
+  if recovered_something w.recovery || !replayed > 0 then
+    Log.info (fun f ->
+        f "recovery for %s: %d replayed, %d stale skipped, %d torn bytes%s%s" dir !replayed
+          !stale_skipped !torn_bytes
+          (if rebuilt_tree then ", tree rebuilt" else "")
+          (if rolled_forward then ", checkpoint rolled forward" else ""));
+  Log.info (fun f ->
+      f "opened warehouse %s: %d rows (generation %d)" dir (Table.n_rows w.base) ckpt_generation);
+  w
 
 let self_check t =
   let tr = tree t in
   match Qc_core.Qc_tree.validate tr with
-  | Error e -> Error e
+  | Result.Error e -> Result.Error e
   | Ok () ->
     (* The class set (upper bounds and aggregates) must coincide with a
        fresh rebuild; links are checked structurally by [validate] and
@@ -258,4 +829,4 @@ let self_check t =
            <> Qc_core.Qc_tree.canonical_string tr ->
       errors := [ "packed form disagrees with the mutable tree" ]
     | _ -> ());
-    (match !errors with [] -> Ok () | e :: _ -> Error e)
+    (match !errors with [] -> Ok () | e :: _ -> Result.Error e)

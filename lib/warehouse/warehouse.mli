@@ -1,43 +1,130 @@
-(** A durable QC-tree warehouse.
+(** A durable, crash-safe QC-tree warehouse.
 
     Couples the base table, its QC-tree and their on-disk representation
     into one handle, so applications (and the [qct] CLI) do not have to keep
     the pieces consistent by hand.  A warehouse lives in a directory:
 
     {v
-    <dir>/base.csv   the fact table
-    <dir>/tree.qct   the QC-tree summary
+    <dir>/base.csv   the fact table (checkpoint image)
+    <dir>/tree.qct   the QC-tree summary (checkpoint image)
+    <dir>/manifest   generation number + CRC-32 of both images
+    <dir>/wal.log    write-ahead journal of post-checkpoint mutations
     v}
 
     All mutating operations maintain the tree incrementally (never by
     recomputation) and keep the invariant that [tree w] is exactly the
-    QC-tree of [table w].  {!save} writes both files atomically
-    (write-to-temporary, then rename), so a crash mid-save leaves the
-    previous state intact.
+    QC-tree of [table w].
+
+    {2 Durability contract}
+
+    Once a warehouse is attached to a directory (by {!open_dir} or a
+    successful {!save}), every {!insert}/{!delete}/{!update} appends one
+    {!Qc_core.Wal} frame per batch to [wal.log] and fsyncs it {e before}
+    the in-memory structures are touched — the fsync is the commit point,
+    so a crash at any instant loses at most the single batch whose frame
+    never became durable, and never resurfaces a batch that was not
+    acknowledged.
+
+    {!save} is a checkpoint: both images and the manifest are written to
+    temporaries, fsynced and renamed into place ([manifest] last — its
+    rename is the atomic commit of the whole checkpoint), then the journal
+    is truncated.  Journal records carry the generation number of the
+    checkpoint they extend, so a crash between the manifest commit and the
+    journal truncation cannot double-apply old records.
+
+    {!open_dir} recovers automatically: it verifies both images against
+    the manifest, rolls an interrupted checkpoint forward when its
+    temporaries committed, rebuilds the tree from [base.csv] when
+    [tree.qct] is missing or damaged, replays the journal's committed
+    records and silently discards a torn tail.  What recovery did is
+    reported in {!last_recovery} and on the [qc.warehouse] log source.
+    Structural damage no crash can explain (a base table that matches no
+    manifest, a journal with a bad header) raises the typed {!Error}.
+
+    Every durability site is a named {!Qc_util.Failpoint}, so the crash
+    suite can kill the process at each one and assert recovery.
 
     After a build the summary is {e frozen} into a {!Qc_core.Packed}
     structure that serves every point and range query; maintenance
     operations transparently thaw back to the mutable tree, apply the
     incremental algorithms, and refreeze.  [tree.qct] is written in the
     packed binary format; {!open_dir} also accepts the legacy text
-    format. *)
+    format and directories without a manifest (generation 0, no CRC
+    validation). *)
 
 open Qc_cube
 open Qc_core
 
 type t
 
+(** Why a directory cannot be opened (or a durable write failed), as a
+    typed value rather than a stringly [Sys_error]/[Failure].  Carried by
+    {!Error}. *)
+type error =
+  | Missing_file of string  (** the directory or a required file is absent *)
+  | Corrupt_base of { path : string; reason : string }
+      (** [base.csv] is unreadable, or matches neither the manifest nor an
+          in-flight checkpoint *)
+  | Corrupt_tree of { path : string; reason : string }
+      (** [tree.qct] is damaged {e and} the base it would be rebuilt from is
+          unavailable (damage alone triggers a silent rebuild instead) *)
+  | Corrupt_wal of { path : string; reason : string }
+      (** the journal has damage no crash can produce (bad header, unknown
+          tag, malformed CRC-valid payload) or replay failed *)
+  | Corrupt_manifest of { path : string; reason : string }
+  | Version_mismatch of { path : string; got : int }
+      (** the manifest declares an unsupported format version *)
+  | Io of string  (** an operating-system write/fsync failure *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** What {!open_dir} had to do beyond a clean load. *)
+type recovery = {
+  replayed : int;  (** journal records applied over the checkpoint *)
+  stale_skipped : int;  (** records from a superseded generation, skipped *)
+  torn_bytes : int;  (** bytes of torn journal tail discarded *)
+  rebuilt_tree : bool;  (** [tree.qct] unusable; rebuilt from [base.csv] *)
+  rolled_forward : bool;
+      (** an interrupted checkpoint's temporaries were adopted *)
+}
+
 val create : Table.t -> t
 (** Build a fresh in-memory warehouse over a base table (constructs the
-    tree). *)
+    tree).  Not attached to any directory — mutations are not journaled
+    until the first {!save}. *)
 
 val open_dir : string -> t
-(** Load a warehouse saved by {!save}.
-    @raise Sys_error or [Failure] when the directory does not hold a
+(** Load (and, if needed, recover) a warehouse saved by {!save}.
+    @raise Error when the directory does not hold a recoverable
     warehouse. *)
 
 val save : t -> string -> unit
-(** Persist to a directory (created if missing), atomically per file. *)
+(** Checkpoint to a directory (created if missing): atomically replace both
+    images and the manifest, then truncate the journal and bump the
+    generation.  The warehouse is attached to [dir] afterwards.  On
+    failure raises {!Error} ([Io]) and leaves both the directory and the
+    in-memory state consistent: the directory holds either the old or the
+    new checkpoint, and subsequent mutations journal against whichever
+    generation the directory actually committed. *)
+
+val attached_dir : t -> string option
+(** The directory mutations are journaled to, once {!open_dir}/{!save} has
+    attached one. *)
+
+val committed_generation : string -> int
+(** The checkpoint generation {!open_dir} would resolve [dir] to (0 for a
+    manifest-less legacy directory), without loading images or replaying
+    the journal — the cheap half of recovery, used by [qct wal] to tell
+    live journal records from stale ones.
+    @raise Error as {!open_dir} does for an unresolvable directory. *)
+
+val last_recovery : t -> recovery
+(** What {!open_dir} did to produce this handle (all-zero for {!create}
+    and for a clean open). *)
 
 val table : t -> Table.t
 
@@ -51,15 +138,21 @@ val packed : t -> Packed.t
 val schema : t -> Schema.t
 
 val insert : t -> Table.t -> Maintenance.insert_stats
-(** Batch-insert new facts (Algorithm 2). *)
+(** Batch-insert new facts (Algorithm 2).  Journaled before application
+    when attached.
+    @raise Error ([Io]) if the journal append fails — the batch is then
+    neither applied nor durable. *)
 
 val delete : t -> Table.t -> Maintenance.delete_stats
-(** Batch-delete existing facts.
-    @raise Invalid_argument if a row is not present. *)
+(** Batch-delete existing facts.  Journaled before application when
+    attached.
+    @raise Invalid_argument if a row is not present (checked {e before}
+    journaling, so an invalid batch is never logged).
+    @raise Error ([Io]) if the journal append fails. *)
 
 val update : t -> old_rows:Table.t -> new_rows:Table.t ->
   Maintenance.delete_stats * Maintenance.insert_stats
-(** Modification = deletion + insertion. *)
+(** Modification = deletion + insertion (two journal records). *)
 
 val query : t -> Cell.t -> Agg.t option
 
@@ -79,21 +172,25 @@ type stat = {
   links : int;  (** drill-down links *)
   bytes : int;  (** size under the shared byte-cost model *)
   packed_bytes : int;  (** resident size of the frozen column arrays *)
+  generation : int;  (** checkpoint generation of the attached directory *)
+  wal_records : int;  (** live journal records since the last checkpoint *)
+  replayed : int;  (** journal records replayed by {!open_dir} *)
+  recovered : bool;
+      (** {!open_dir} repaired something: rebuilt tree, rolled a checkpoint
+          forward, or discarded a torn journal tail *)
 }
 
 val stats_record : t -> stat
-(** The warehouse's size figures as a structured record. *)
+(** The warehouse's size and durability figures as a structured record. *)
 
 val stats : t -> string
-(** One-line summary: rows, classes, nodes, links, bytes (string form of
-    {!stats_record}). *)
+(** One-line summary: rows, classes, nodes, links, bytes, generation and
+    journal state (string form of {!stats_record}). *)
 
 val stat_to_json : stat -> Qc_util.Jsonx.t
 
 val stats_json : t -> string
-(** {!stats_record} rendered as a compact JSON object
-    ([{"rows":…,"dims":…,"classes":…,"nodes":…,"links":…,"bytes":…,
-    "packed_bytes":…}]). *)
+(** {!stats_record} rendered as a compact JSON object. *)
 
 exception Check_failed of Check.report
 (** Raised by a mutating operation when the post-maintenance self-check

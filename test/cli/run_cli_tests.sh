@@ -91,6 +91,52 @@ if ! grep -q 'self-check after insert: OK' stdout.txt; then
   fails=$((fails + 1))
 fi
 
+# --- recover / wal: 0 = healthy, 2 = repairs needed under --dry-run,
+# --- 1 = not a recoverable warehouse ---
+rm -rf wh
+mkdir wh
+cp sales.csv wh/base.csv
+"$QCT" build sales.csv wh/tree.qct >/dev/null 2>&1   # legacy layout: images, no manifest
+
+expect 0 "$QCT" recover wh --dry-run   # legacy but structurally sound
+expect 0 "$QCT" recover wh             # adopts it: writes manifest + journal
+if [ ! -f wh/manifest ]; then
+  echo "FAIL: recover did not write a manifest" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" recover wh --dry-run   # now a clean manifested checkpoint
+expect 0 "$QCT" wal wh                 # empty journal lists fine
+
+printf 'torn-half-frame' >> wh/wal.log # crash residue: garbage after the header
+expect 0 "$QCT" wal wh                 # listing tolerates a torn tail
+if ! grep -q 'torn' stdout.txt; then
+  echo "FAIL: qct wal did not report the torn tail" >&2
+  fails=$((fails + 1))
+fi
+expect 2 "$QCT" recover wh --dry-run   # repairs needed -> exit 2, nothing touched
+expect_stderr 'torn journal tail'      # qc.warehouse log source reports the damage
+expect 2 "$QCT" recover wh --dry-run --json
+if ! grep -q '"corrupt": *true' stdout.txt; then
+  echo "FAIL: recover --json lacks \"corrupt\": true" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" recover wh             # repair persists a clean checkpoint
+expect 0 "$QCT" recover wh --dry-run
+expect 0 "$QCT" wal wh
+
+printf 'XXXX-not-a-journal' > wh/wal.log   # damage no crash can produce
+expect 1 "$QCT" recover wh
+expect_stderr '^qct:'
+expect 1 "$QCT" wal wh
+expect_stderr '^qct:'
+rm wh/wal.log                          # a missing journal is just empty
+expect 0 "$QCT" recover wh --dry-run
+
+expect 1 "$QCT" recover no-such-dir
+expect_stderr '^qct:'
+expect 1 "$QCT" wal no-such-dir
+expect_stderr '^qct:'
+
 # --- usage errors keep cmdliner's 124 ---
 expect 124 "$QCT" no-such-subcommand
 expect 124 "$QCT" query

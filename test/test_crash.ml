@@ -1,0 +1,558 @@
+(* Crash-injection differential suite.
+
+   The binary is its own crash victim: invoked with [QC_CRASH_CHILD] set it
+   runs a scripted warehouse (or tree-save) workload instead of Alcotest,
+   with [QC_FAILPOINTS] arming exactly one durability site to die mid-write
+   ([Unix._exit 42], no flushing).  The parent enumerates {e every}
+   registered failpoint label, kills a child at each one (both [Crash] and
+   [Torn] modes, at several script positions), reopens the directory and
+   asserts the recovered warehouse
+
+   - holds exactly the committed operation prefix (the one in-flight
+     operation may or may not have reached durability — both are legal,
+     nothing else is),
+   - passes the deep invariant audit, and
+   - answers point, range and iceberg queries identically to a fresh
+     warehouse built from the expected rows.
+
+   The child appends "start:<op>" / "committed:<op>" lines to a log file
+   (flushed before each step) so the parent knows the committed prefix
+   without trusting the damaged directory.
+
+   [Raise]-mode failpoints (simulated I/O errors, not power loss) are
+   exercised in-process at the bottom of the file: the operation must fail
+   with the typed error and leave both the handle and the directory
+   consistent. *)
+
+module W = Qc_warehouse.Warehouse
+module Wal = Qc_core.Wal
+module FP = Qc_util.Failpoint
+open Qc_cube
+
+(* ------------------------------------------------------------------ *)
+(* The deterministic workload both sides derive from the seed          *)
+(* ------------------------------------------------------------------ *)
+
+let crash_case () = Prop.make_case ~seed:(Prop.ci_seed () lxor 0xC4A5) ~n_rows:24
+
+let vname i v = Printf.sprintf "d%dv%d" i v
+
+(* Row partition: base gets half the case, three insert batches and one
+   delete batch (rows already in the base) make up the script. *)
+type script = {
+  c : Prop.case;
+  base : (int array * float) list;
+  ins_a : (int array * float) list;
+  ins_b : (int array * float) list;
+  del_c : (int array * float) list;
+  ins_d : (int array * float) list;
+}
+
+let script () =
+  let c = crash_case () in
+  let rows = Array.of_list c.Prop.rows in
+  let slice lo hi = Array.to_list (Array.sub rows lo (hi - lo)) in
+  {
+    c;
+    base = slice 0 12;
+    ins_a = slice 12 16;
+    ins_b = slice 16 20;
+    del_c = List.map (Array.get rows) [ 1; 4; 7 ];
+    ins_d = slice 20 24;
+  }
+
+let table_of_rows schema rows =
+  let t = Table.create schema in
+  List.iter (fun (cell, m) -> Table.add_encoded t cell m) rows;
+  t
+
+(* The operation list; WAL sites are hit once per mutation (1=insA, 2=insB,
+   3=delC, 4=insD), save.* sites once per save (1, 2). *)
+let op_names = [ "save1"; "insA"; "insB"; "delC"; "save2"; "insD" ]
+
+(* ------------------------------------------------------------------ *)
+(* Child mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let log_line path line =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  output_string oc (line ^ "\n");
+  flush oc;
+  close_out oc
+
+let getenv_req name =
+  match Sys.getenv_opt name with
+  | Some v -> v
+  | None ->
+    prerr_endline ("crash child: missing " ^ name);
+    exit 3
+
+let warehouse_child () =
+  let dir = getenv_req "QC_CRASH_DIR" and log = getenv_req "QC_CRASH_LOG" in
+  let s = script () in
+  let schema = Prop.schema_of s.c in
+  let w = W.create (table_of_rows schema s.base) in
+  List.iter
+    (fun name ->
+      log_line log ("start:" ^ name);
+      (match name with
+      | "save1" | "save2" -> W.save w dir
+      | "insA" -> ignore (W.insert w (table_of_rows schema s.ins_a))
+      | "insB" -> ignore (W.insert w (table_of_rows schema s.ins_b))
+      | "delC" -> ignore (W.delete w (table_of_rows schema s.del_c))
+      | "insD" -> ignore (W.insert w (table_of_rows schema s.ins_d))
+      | _ -> assert false);
+      log_line log ("committed:" ^ name))
+    op_names;
+  (* every step survived: the armed failpoint never fired *)
+  exit 0
+
+let serial_child () =
+  let dir = getenv_req "QC_CRASH_DIR" and log = getenv_req "QC_CRASH_LOG" in
+  let s = script () in
+  let schema = Prop.schema_of s.c in
+  let path = Filename.concat dir "tree.qct" in
+  let t1 = Qc_core.Qc_tree.of_table (table_of_rows schema s.base) in
+  let t2 = Qc_core.Qc_tree.of_table (table_of_rows schema (s.base @ s.ins_a)) in
+  log_line log "start:save1";
+  Qc_core.Serial.save t1 path;
+  log_line log "committed:save1";
+  log_line log "start:save2";
+  Qc_core.Serial.save t2 path;
+  log_line log "committed:save2";
+  exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Parent: process control                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir () =
+  let d = Filename.temp_file "qccrash" "" in
+  Sys.remove d;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let own_vars = [ "QC_CRASH_CHILD="; "QC_CRASH_DIR="; "QC_CRASH_LOG="; "QC_FAILPOINTS=" ]
+
+let child_env ~kind ~dir ~log ~spec =
+  let inherited =
+    List.filter
+      (fun kv ->
+        not
+          (List.exists
+             (fun p -> String.length kv >= String.length p && String.sub kv 0 (String.length p) = p)
+             own_vars))
+      (Array.to_list (Unix.environment ()))
+  in
+  Array.of_list
+    (("QC_CRASH_CHILD=" ^ kind)
+    :: ("QC_CRASH_DIR=" ^ dir)
+    :: ("QC_CRASH_LOG=" ^ log)
+    :: ("QC_FAILPOINTS=" ^ spec)
+    :: inherited)
+
+(* Run one child to its injected death; returns its exit status. *)
+let run_child ~kind ~dir ~log ~spec =
+  let env = child_env ~kind ~dir ~log ~spec in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let sink =
+    Unix.openfile (log ^ ".stderr") [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name [| Sys.executable_name |] env devnull sink sink
+  in
+  Unix.close devnull;
+  Unix.close sink;
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let log_lines path =
+  match Qc_util.Durable.read_file path with
+  | exception Sys_error _ -> []
+  | data -> List.filter (fun l -> l <> "") (String.split_on_char '\n' data)
+
+(* The child runs sequentially, so the committed ops are a prefix of the
+   script and at most the next op is in flight. *)
+let committed_and_inflight lines =
+  let committed =
+    List.filter_map
+      (fun l ->
+        if String.length l > 10 && String.sub l 0 10 = "committed:" then
+          Some (String.sub l 10 (String.length l - 10))
+        else None)
+      lines
+  in
+  let started =
+    List.filter_map
+      (fun l ->
+        if String.length l > 6 && String.sub l 0 6 = "start:" then
+          Some (String.sub l 6 (String.length l - 6))
+        else None)
+      lines
+  in
+  let inflight =
+    List.filter (fun op -> not (List.exists (String.equal op) committed)) started
+  in
+  match inflight with
+  | [] | [ _ ] -> (committed, inflight)
+  | _ -> Alcotest.failf "more than one in-flight op in child log: %s" (String.concat "," inflight)
+
+(* ------------------------------------------------------------------ *)
+(* Parent: expected state and differential checks                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Expected rows live as decoded (values, measure) multisets so they can be
+   compared across schemas with different code assignments (a rebuilt tree
+   re-encodes base.csv in file order). *)
+let decode_rows dims rows =
+  List.map
+    (fun (cell, m) -> (List.init dims (fun i -> vname i cell.(i)), m))
+    rows
+
+let compare_row (va, ma) (vb, mb) =
+  match List.compare String.compare va vb with 0 -> Float.compare ma mb | n -> n
+
+let sort_rows rows = List.sort compare_row rows
+
+let same_rows a b = List.equal (fun x y -> compare_row x y = 0) (sort_rows a) (sort_rows b)
+
+let show_rows rows =
+  String.concat " "
+    (List.map (fun (vs, m) -> Printf.sprintf "(%s)=%g" (String.concat "," vs) m) (sort_rows rows))
+
+let remove_one row rows =
+  let rec go = function
+    | [] -> Alcotest.failf "expected-state bug: row (%s) not present" (String.concat "," (fst row))
+    | r :: rest -> if compare_row r row = 0 then rest else r :: go rest
+  in
+  go rows
+
+(* Apply one script op to a decoded row multiset (saves change nothing). *)
+let apply_op s rows name =
+  let dims = s.c.Prop.dims in
+  match name with
+  | "save1" | "save2" -> rows
+  | "insA" -> rows @ decode_rows dims s.ins_a
+  | "insB" -> rows @ decode_rows dims s.ins_b
+  | "insD" -> rows @ decode_rows dims s.ins_d
+  | "delC" -> List.fold_left (fun acc r -> remove_one r acc) rows (decode_rows dims s.del_c)
+  | _ -> assert false
+
+let warehouse_rows w =
+  (Wal.record_of_table ~generation:0 Wal.Insert (W.table w)).Wal.rows
+
+(* Reference warehouse over an expected decoded-row multiset, under a fresh
+   fully-registered copy of the case schema (codes identical to the case's
+   encoded rows, so Prop.iter_cells cells query it directly). *)
+let reference_of s rows =
+  let t = Table.create (Prop.schema_of s.c) in
+  List.iter (fun (vs, m) -> Table.add_row t vs m) rows;
+  W.create t
+
+let norm_result schema res =
+  List.sort
+    (fun (a, _) (b, _) -> List.compare String.compare a b)
+    (List.map
+       (fun (cell, agg) ->
+         ( List.init (Array.length cell) (fun i ->
+               if cell.(i) = Cell.all then "*" else Schema.decode_value schema i cell.(i)),
+           agg ))
+       res)
+
+let check_same_result what a b =
+  let cellname vs = "(" ^ String.concat "," vs ^ ")" in
+  if
+    not
+      (List.equal
+         (fun (ca, aa) (cb, ab) -> List.equal String.equal ca cb && Agg.approx_equal aa ab)
+         a b)
+  then
+    Alcotest.failf "%s diverged: [%s] vs [%s]" what
+      (String.concat " " (List.map (fun (cs, _) -> cellname cs) a))
+      (String.concat " " (List.map (fun (cs, _) -> cellname cs) b))
+
+(* Point + range + iceberg differential between the recovered warehouse and
+   a reference built from the expected rows. *)
+let differential s w reference =
+  let c = s.c in
+  let ws = W.schema w and rs = W.schema reference in
+  Prop.iter_cells ~sample:300 c (fun cell ->
+      let strs =
+        List.init c.Prop.dims (fun i ->
+            if cell.(i) = Cell.all then "*" else vname i cell.(i))
+      in
+      let expect = W.query reference (Array.copy cell) in
+      let got =
+        match Cell.parse ws strs with
+        | exception Invalid_argument _ -> None (* value unknown to the recovered dirs *)
+        | qc -> W.query w qc
+      in
+      match (expect, got) with
+      | None, None -> ()
+      | Some a, Some b when Agg.approx_equal a b -> ()
+      | _ ->
+        Alcotest.failf "point query diverged at (%s): %s vs %s" (String.concat "," strs)
+          (match expect with None -> "None" | Some a -> Format.asprintf "%a" Agg.pp a)
+          (match got with None -> "None" | Some b -> Format.asprintf "%a" Agg.pp b));
+  List.iter
+    (fun q ->
+      (* translate case codes to the recovered schema; a value it has never
+         seen covers no tuple and is dropped, but if a constrained dimension
+         loses every value the range is inexpressible — skip it. *)
+      let expressible = ref true in
+      let tq =
+        Array.mapi
+          (fun i vals ->
+            if Array.length vals = 0 then [||]
+            else begin
+              let keep =
+                List.filter_map
+                  (fun v -> Qc_util.Dict.find (Schema.dict ws i) (vname i v))
+                  (Array.to_list vals)
+              in
+              if keep = [] then expressible := false;
+              Array.of_list keep
+            end)
+          q
+      in
+      if !expressible then
+        check_same_result "range query"
+          (norm_result rs (W.range reference q))
+          (norm_result ws (W.range w tq)))
+    (Prop.random_ranges c 8);
+  check_same_result "iceberg query"
+    (norm_result rs (W.iceberg reference Agg.Sum ~threshold:1.0))
+    (norm_result ws (W.iceberg w Agg.Sum ~threshold:1.0))
+
+(* Full verdict on a warehouse directory after a child died at [label]. *)
+let verify_recovery ~ctx s dir log =
+  let committed, inflight = committed_and_inflight (log_lines log) in
+  let saved = List.exists (fun op -> op = "save1" || op = "save2") committed in
+  match W.open_dir dir with
+  | exception W.Error (W.Missing_file _) when not saved ->
+    (* died inside the very first checkpoint, before base.csv committed:
+       nothing was ever durable, so there is nothing to recover *)
+    ()
+  | exception W.Error e ->
+    Alcotest.failf "%s: recovery failed: %s (committed: %s)" ctx (W.error_to_string e)
+      (String.concat "," committed)
+  | w ->
+    let expected_committed =
+      List.fold_left (apply_op s) (decode_rows s.c.Prop.dims s.base) committed
+    in
+    let expected_inflight =
+      List.fold_left (apply_op s) expected_committed inflight
+    in
+    let got = warehouse_rows w in
+    let matched =
+      if same_rows got expected_committed then Some expected_committed
+      else if same_rows got expected_inflight then Some expected_inflight
+      else None
+    in
+    (match matched with
+    | None ->
+      Alcotest.failf
+        "%s: recovered rows match neither the committed prefix nor prefix+in-flight\n\
+         committed ops: %s   in-flight: %s\n\
+         recovered: %s\n\
+         committed prefix: %s\n\
+         with in-flight:   %s"
+        ctx (String.concat "," committed)
+        (String.concat "," inflight)
+        (show_rows got) (show_rows expected_committed) (show_rows expected_inflight)
+    | Some expected ->
+      let report = W.check w in
+      if not (Qc_core.Check.ok report) then
+        Alcotest.failf "%s: recovered warehouse fails the deep invariant audit (%d violations)"
+          ctx
+          (List.length report.Qc_core.Check.violations);
+      differential s w (reference_of s expected))
+
+let mode_spec = function FP.Raise -> "raise" | FP.Crash -> "crash" | FP.Torn -> "torn"
+
+let run_warehouse_crash label mode hit =
+  let s = script () in
+  let dir = fresh_dir () and log = Filename.temp_file "qccrashlog" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf log;
+      rm_rf (log ^ ".stderr"))
+    (fun () ->
+      let spec = Printf.sprintf "%s@%d:%s" label hit (mode_spec mode) in
+      let ctx = Printf.sprintf "%s (hit %d)" spec hit in
+      match run_child ~kind:"warehouse" ~dir ~log ~spec with
+      | Unix.WEXITED 0 ->
+        Alcotest.failf "%s: child finished the workload — the failpoint never fired" ctx
+      | Unix.WEXITED n when n = FP.exit_code -> verify_recovery ~ctx s dir log
+      | Unix.WEXITED n -> Alcotest.failf "%s: child exited %d (wanted %d)" ctx n FP.exit_code
+      | Unix.WSIGNALED n -> Alcotest.failf "%s: child killed by signal %d" ctx n
+      | Unix.WSTOPPED _ -> Alcotest.failf "%s: child stopped" ctx)
+
+let run_serial_crash label mode hit =
+  let s = script () in
+  let dir = fresh_dir () and log = Filename.temp_file "qccrashlog" "" in
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf log;
+      rm_rf (log ^ ".stderr"))
+    (fun () ->
+      let spec = Printf.sprintf "%s@%d:%s" label hit (mode_spec mode) in
+      let ctx = Printf.sprintf "%s (hit %d)" spec hit in
+      (match run_child ~kind:"serial" ~dir ~log ~spec with
+      | Unix.WEXITED 0 ->
+        Alcotest.failf "%s: child finished the workload — the failpoint never fired" ctx
+      | Unix.WEXITED n when n = FP.exit_code -> ()
+      | Unix.WEXITED n -> Alcotest.failf "%s: child exited %d (wanted %d)" ctx n FP.exit_code
+      | Unix.WSIGNALED n -> Alcotest.failf "%s: child killed by signal %d" ctx n
+      | Unix.WSTOPPED _ -> Alcotest.failf "%s: child stopped" ctx);
+      let schema = Prop.schema_of s.c in
+      let v1 = Qc_core.Serial.to_string (Qc_core.Qc_tree.of_table (table_of_rows schema s.base)) in
+      let v2 =
+        Qc_core.Serial.to_string
+          (Qc_core.Qc_tree.of_table (table_of_rows schema (s.base @ s.ins_a)))
+      in
+      let path = Filename.concat dir "tree.qct" in
+      if hit = 1 then begin
+        (* died inside the first save: the target must not exist at all
+           (the temporary may linger, the target was never renamed in) *)
+        if Sys.file_exists path then
+          Alcotest.failf "%s: target exists after a crash inside the first save" ctx
+      end
+      else begin
+        (* died inside the second save: the target holds exactly the old or
+           the new complete image — never a prefix, never a mixture *)
+        let content = Qc_util.Durable.read_file path in
+        if not (String.equal content v1 || String.equal content v2) then
+          Alcotest.failf "%s: target is neither the old nor the new image (%d bytes)" ctx
+            (String.length content);
+        match Qc_core.Serial.of_string_any content with
+        | `Tree _ | `Packed _ -> ()
+        | exception Qc_core.Serial.Error _ -> Alcotest.failf "%s: surviving image fails to load" ctx
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* The matrix: every registered label, both power-loss modes           *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let crash_matrix_case label =
+  let runner, hits =
+    if has_prefix "serial.save." label then (run_serial_crash, [ 1; 2 ])
+    else if has_prefix "wal." label then (run_warehouse_crash, [ 1; 3; 4 ])
+    else if has_prefix "save." label then (run_warehouse_crash, [ 1; 2 ])
+    else
+      Alcotest.failf
+        "failpoint %S is not mapped to a crash workload — extend the matrix in test_crash.ml"
+        label
+  in
+  Alcotest.test_case label `Slow (fun () ->
+      List.iter
+        (fun mode -> List.iter (fun hit -> runner label mode hit) hits)
+        [ FP.Crash; FP.Torn ])
+
+(* ------------------------------------------------------------------ *)
+(* In-process Raise-mode cases: simulated I/O errors                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_attached f =
+  let s = script () in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      FP.reset ();
+      rm_rf dir)
+    (fun () ->
+      let schema = Prop.schema_of s.c in
+      let w = W.create (table_of_rows schema s.base) in
+      W.save w dir;
+      f s schema dir w)
+
+let expect_io_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s did not fail" what
+  | exception W.Error (W.Io _) -> ()
+
+let assert_consistent s dir w expected =
+  if not (same_rows (warehouse_rows w) expected) then
+    Alcotest.failf "live handle rows wrong: %s vs %s" (show_rows (warehouse_rows w))
+      (show_rows expected);
+  (match W.self_check w with
+  | Ok () -> ()
+  | Result.Error e -> Alcotest.failf "live handle inconsistent: %s" e);
+  let w2 = W.open_dir dir in
+  if not (same_rows (warehouse_rows w2) expected) then
+    Alcotest.failf "reopened rows wrong: %s vs %s" (show_rows (warehouse_rows w2))
+      (show_rows expected);
+  differential s w2 (reference_of s expected)
+
+(* A journal append that fails must leave the batch unapplied and the
+   handle fully usable; [wal.fsync] additionally proves the roll-back of a
+   frame whose bytes hit the file before the failure. *)
+let raise_on_wal site () =
+  with_attached @@ fun s schema dir w ->
+  FP.set site FP.Raise;
+  expect_io_error "insert with failing journal" (fun () ->
+      W.insert w (table_of_rows schema s.ins_a));
+  let base_rows = decode_rows s.c.Prop.dims s.base in
+  if not (same_rows (warehouse_rows w) base_rows) then
+    Alcotest.fail "failed insert mutated the warehouse";
+  ignore (W.insert w (table_of_rows schema s.ins_a));
+  assert_consistent s dir w (base_rows @ decode_rows s.c.Prop.dims s.ins_a)
+
+(* A checkpoint that fails part-way must leave the directory openable and
+   the handle journaling against whichever generation actually committed. *)
+let raise_on_save site () =
+  with_attached @@ fun s schema dir w ->
+  ignore (W.insert w (table_of_rows schema s.ins_a));
+  FP.set site FP.Raise;
+  expect_io_error "checkpoint with failing write" (fun () -> W.save w dir);
+  ignore (W.insert w (table_of_rows schema s.ins_b));
+  let expected =
+    decode_rows s.c.Prop.dims s.base
+    @ decode_rows s.c.Prop.dims s.ins_a
+    @ decode_rows s.c.Prop.dims s.ins_b
+  in
+  assert_consistent s dir w expected;
+  (* and a subsequent checkpoint completes cleanly *)
+  W.save w dir;
+  assert_consistent s dir w expected
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  match Sys.getenv_opt "QC_CRASH_CHILD" with
+  | Some "warehouse" -> warehouse_child ()
+  | Some "serial" -> serial_child ()
+  | Some other ->
+    prerr_endline ("crash child: unknown kind " ^ other);
+    exit 3
+  | None ->
+    let labels = FP.registered () in
+    if List.length labels < 17 then
+      Printf.eprintf "suspicious: only %d failpoints registered\n%!" (List.length labels);
+    Alcotest.run "qc_crash"
+      [
+        ("matrix", List.map crash_matrix_case labels);
+        ( "io-errors",
+          [
+            Alcotest.test_case "wal.append raises" `Quick (raise_on_wal "wal.append");
+            Alcotest.test_case "wal.fsync raises" `Quick (raise_on_wal "wal.fsync");
+            Alcotest.test_case "save.base.tmp-write raises" `Quick
+              (raise_on_save "save.base.tmp-write");
+            Alcotest.test_case "save.manifest.rename raises" `Quick
+              (raise_on_save "save.manifest.rename");
+          ] );
+      ]

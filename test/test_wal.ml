@@ -1,0 +1,312 @@
+(* Journal codec, failpoint and durable-write unit tests.
+
+   The codec negatives pin the corruption taxonomy the recovery path
+   dispatches on: a torn tail (truncation, bad CRC) must be distinguishable
+   from damage no crash can produce (bad header, unknown tag, malformed
+   CRC-valid payload), because the first is silently discarded and the
+   second raises.  The in-process failpoint tests cover [Raise] arming and
+   the atomicity of [Qc_util.Durable]; [Crash]/[Torn] kill the process and
+   are exercised by test_crash. *)
+
+module Wal = Qc_core.Wal
+module FP = Qc_util.Failpoint
+module D = Qc_util.Durable
+
+let record ?(generation = 3) op rows = { Wal.generation; op; rows }
+
+let sample_rows =
+  [
+    ([ "a"; "b" ], 1.5);
+    ([ "x,y"; "\"quoted\"" ], -0.0);
+    ([ ""; "new\nline" ], Float.max_float);
+    ([ "utf\xc3\xa9"; "b" ], Float.neg_infinity);
+    ([ "a"; "b" ], Float.nan);
+  ]
+
+(* Round trips are bit-exact on measures, so compare raw IEEE-754 bits
+   (approx-equality would choke on nan and -0.). *)
+let same_rows a b =
+  List.equal
+    (fun (va, ma) (vb, mb) ->
+      List.equal String.equal va vb && Int64.equal (Int64.bits_of_float ma) (Int64.bits_of_float mb))
+    a b
+
+let frame_at data pos =
+  match Wal.decode_frame data ~pos with
+  | Ok (r, next) -> (r, next)
+  | Error c -> Alcotest.failf "decode failed: %s" (Wal.corruption_to_string c)
+
+let test_roundtrip () =
+  List.iter
+    (fun op ->
+      let r = record op sample_rows in
+      let data = Wal.header ^ Wal.encode r in
+      let got, next = frame_at data (String.length Wal.header) in
+      Alcotest.(check int) "generation" 3 got.Wal.generation;
+      Alcotest.(check bool) "op" true (got.Wal.op = r.Wal.op);
+      Alcotest.(check bool) "rows" true (same_rows r.Wal.rows got.Wal.rows);
+      Alcotest.(check int) "consumed to end" (String.length data) next)
+    [ Wal.Insert; Wal.Delete ]
+
+let scan_ok data =
+  match Wal.scan data with
+  | Ok s -> s
+  | Error c -> Alcotest.failf "scan failed: %s" (Wal.corruption_to_string c)
+
+let test_scan_clean () =
+  let r1 = record ~generation:1 Wal.Insert [ ([ "a"; "b" ], 1.0) ] in
+  let r2 = record ~generation:2 Wal.Delete [ ([ "c"; "d" ], 2.0); ([ "e"; "f" ], 3.0) ] in
+  let data = Wal.header ^ Wal.encode r1 ^ Wal.encode r2 in
+  let s = scan_ok data in
+  Alcotest.(check int) "two records" 2 (List.length s.Wal.records);
+  Alcotest.(check int) "all consumed" (String.length data) s.Wal.consumed;
+  Alcotest.(check bool) "no torn tail" true (Option.is_none s.Wal.torn);
+  Alcotest.(check (list int)) "generations in append order" [ 1; 2 ]
+    (List.map (fun (r : Wal.record) -> r.Wal.generation) s.Wal.records);
+  let empty = scan_ok Wal.header in
+  Alcotest.(check int) "empty journal" 0 (List.length empty.Wal.records)
+
+(* A crash mid-append truncates the file: the tail must come back as a
+   torn suffix, with everything before it intact. *)
+let test_torn_truncated () =
+  let r1 = record Wal.Insert [ ([ "a"; "b" ], 1.0) ] in
+  let r2 = record Wal.Delete [ ([ "c"; "d" ], 2.0) ] in
+  let f2 = Wal.encode r2 in
+  let prefix = Wal.header ^ Wal.encode r1 in
+  for cut = 1 to String.length f2 - 1 do
+    let data = prefix ^ String.sub f2 0 cut in
+    let s = scan_ok data in
+    Alcotest.(check int) "first record survives" 1 (List.length s.Wal.records);
+    Alcotest.(check int) "valid prefix ends before the tear" (String.length prefix) s.Wal.consumed;
+    match s.Wal.torn with
+    | Some (off, (Wal.Truncated_frame _ | Wal.Bad_crc _)) ->
+      Alcotest.(check int) "tear located" (String.length prefix) off
+    | Some (_, c) -> Alcotest.failf "unexpected corruption class: %s" (Wal.corruption_to_string c)
+    | None -> Alcotest.fail "tear not detected"
+  done
+
+let flip data i =
+  let b = Bytes.of_string data in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+  Bytes.to_string b
+
+let test_torn_bad_crc () =
+  let r = record Wal.Insert [ ([ "a"; "b" ], 1.0) ] in
+  let frame = Wal.encode r in
+  (* flip a payload byte (skip the length varint at offset 0) *)
+  let data = Wal.header ^ flip frame 2 in
+  let s = scan_ok data in
+  Alcotest.(check int) "record rejected" 0 (List.length s.Wal.records);
+  (match s.Wal.torn with
+  | Some (off, Wal.Bad_crc _) -> Alcotest.(check int) "at the frame start" (String.length Wal.header) off
+  | Some (_, c) -> Alcotest.failf "wanted Bad_crc, got %s" (Wal.corruption_to_string c)
+  | None -> Alcotest.fail "corruption not detected");
+  (* garbage after a valid frame: the valid prefix survives *)
+  let data = Wal.header ^ frame ^ "garbage" in
+  let s = scan_ok data in
+  Alcotest.(check int) "valid prefix survives" 1 (List.length s.Wal.records);
+  Alcotest.(check bool) "tail reported" true (Option.is_some s.Wal.torn)
+
+let check_hard_error name data expected =
+  match Wal.scan data with
+  | Ok _ -> Alcotest.failf "%s: scan accepted damaged input" name
+  | Error c ->
+    let matches =
+      match (c, expected) with
+      | Wal.Bad_header _, `Bad_header
+      | Wal.Unknown_tag _, `Unknown_tag
+      | Wal.Bad_payload _, `Bad_payload ->
+        true
+      | _ -> false
+    in
+    if not matches then
+      Alcotest.failf "%s: wrong corruption class: %s" name (Wal.corruption_to_string c)
+
+(* LEB128 + framing helpers for hand-crafting damaged frames. *)
+let add_uint buf n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_uint8 buf n
+    else begin
+      Buffer.add_uint8 buf (0x80 lor (n land 0x7F));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let frame_of_payload payload =
+  let buf = Buffer.create 64 in
+  add_uint buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.add_int32_le buf (Int32.of_int (Qc_util.Crc32.string payload));
+  Buffer.contents buf
+
+let test_hard_errors () =
+  check_hard_error "empty file" "" `Bad_header;
+  check_hard_error "bad magic" "NOPE\x01rest" `Bad_header;
+  check_hard_error "bad version" "QCWL\x02" `Bad_header;
+  check_hard_error "short header" "QCW" `Bad_header;
+  (* CRC-valid frame with an unknown tag *)
+  let payload = Buffer.create 8 in
+  add_uint payload 1 (* generation *);
+  Buffer.add_uint8 payload 9 (* no such op *);
+  check_hard_error "unknown tag"
+    (Wal.header ^ frame_of_payload (Buffer.contents payload))
+    `Unknown_tag;
+  (* CRC-valid frame with trailing payload bytes *)
+  let r = record Wal.Insert [ ([ "a"; "b" ], 1.0) ] in
+  let good = Wal.encode r in
+  let _, len = frame_at (Wal.header ^ good) (String.length Wal.header) in
+  ignore len;
+  let payload_with_junk =
+    (* re-extract the payload, append junk, re-frame with a fresh CRC *)
+    let buf = Buffer.create 8 in
+    add_uint buf r.Wal.generation;
+    Buffer.add_uint8 buf 1;
+    add_uint buf 2;
+    add_uint buf 0;
+    (* n_rows = 0, then junk *)
+    Buffer.add_string buf "\x00";
+    Buffer.contents buf
+  in
+  check_hard_error "trailing payload bytes" (Wal.header ^ frame_of_payload payload_with_junk)
+    `Bad_payload;
+  (* an empty batch encodes n_dims = 0, which no valid record carries *)
+  check_hard_error "zero dimensions"
+    (Wal.header ^ Wal.encode (record Wal.Insert []))
+    `Bad_payload
+
+(* ---------- failpoint arming ---------- *)
+
+let mode = Alcotest.testable (fun fmt (m : FP.mode) ->
+    Format.pp_print_string fmt
+      (match m with FP.Raise -> "raise" | FP.Crash -> "crash" | FP.Torn -> "torn"))
+    (fun a b -> a = b)
+
+let test_failpoint_parse () =
+  (match FP.parse "a.b:crash" with
+  | Ok [ ("a.b", 1, FP.Crash) ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "simple spec");
+  (match FP.parse "x@3:torn,y:raise" with
+  | Ok [ ("x", 3, FP.Torn); ("y", 1, FP.Raise) ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "two items with hit count");
+  let rejected spec = match FP.parse spec with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "zero hit" true (rejected "x@0:crash");
+  Alcotest.(check bool) "bad hit" true (rejected "x@no:crash");
+  Alcotest.(check bool) "bad mode" true (rejected "x:boom");
+  Alcotest.(check bool) "no mode" true (rejected "x");
+  Alcotest.(check bool) "empty label" true (rejected "@2:crash");
+  Alcotest.(check bool) "empty spec ok" true (match FP.parse "" with Ok [] -> true | _ -> false)
+
+let test_failpoint_hits () =
+  Fun.protect ~finally:FP.reset @@ fun () ->
+  FP.register "test.site";
+  Alcotest.(check bool) "registered labels are enumerable" true
+    (List.exists (String.equal "test.site") (FP.registered ()));
+  FP.set ~hits:3 "test.site" FP.Raise;
+  Alcotest.(check (option mode)) "hit 1 passes" None (FP.check "test.site");
+  Alcotest.(check (option mode)) "hit 2 passes" None (FP.check "test.site");
+  Alcotest.(check (option mode)) "hit 3 fires" (Some FP.Raise) (FP.check "test.site");
+  Alcotest.(check (option mode)) "disarmed after firing" None (FP.check "test.site");
+  FP.set "test.site" FP.Raise;
+  (try
+     FP.hit "test.site";
+     Alcotest.fail "hit did not raise"
+   with FP.Injected l -> Alcotest.(check string) "label carried" "test.site" l);
+  FP.set "test.site" FP.Raise;
+  FP.unset "test.site";
+  Alcotest.(check (option mode)) "unset disarms" None (FP.check "test.site")
+
+(* ---------- durable writes ---------- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "qcdur" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let in_tmpdir f =
+  let d = tmpdir () in
+  Fun.protect ~finally:(fun () -> FP.reset (); rm_rf d) (fun () -> f d)
+
+let read path = D.read_file path
+
+let test_durable_atomic () =
+  in_tmpdir @@ fun d ->
+  let target = Filename.concat d "file" in
+  D.write_file target "v1";
+  Alcotest.(check string) "write_file roundtrip" "v1" (read target);
+  (* staging alone must not touch the target *)
+  D.write_tmp target "v2";
+  Alcotest.(check string) "target untouched by write_tmp" "v1" (read target);
+  D.commit_tmp target;
+  Alcotest.(check string) "commit publishes" "v2" (read target);
+  Alcotest.(check bool) "temporary consumed" false (Sys.file_exists (target ^ ".tmp"))
+
+let expect_injected label f =
+  try
+    f ();
+    Alcotest.failf "site %s did not fire" label
+  with FP.Injected l -> Alcotest.(check string) "label" label l
+
+let test_durable_failpoints () =
+  in_tmpdir @@ fun d ->
+  let target = Filename.concat d "file" in
+  D.write_file target "old";
+  (* a simulated I/O error at each site leaves the target intact *)
+  FP.set "t.tmp-write" FP.Raise;
+  expect_injected "t.tmp-write" (fun () -> D.write_file ~fp:"t" target "new");
+  Alcotest.(check string) "tmp-write failure" "old" (read target);
+  FP.set "t.fsync" FP.Raise;
+  expect_injected "t.fsync" (fun () -> D.write_file ~fp:"t" target "new");
+  Alcotest.(check string) "fsync failure" "old" (read target);
+  FP.set "t.rename" FP.Raise;
+  expect_injected "t.rename" (fun () -> D.write_file ~fp:"t" target "new");
+  Alcotest.(check string) "rename failure" "old" (read target);
+  (* with nothing armed the same call succeeds *)
+  D.write_file ~fp:"t" target "new";
+  Alcotest.(check string) "clean retry" "new" (read target)
+
+let test_durable_append () =
+  in_tmpdir @@ fun d ->
+  let path = Filename.concat d "log" in
+  let oc = D.open_append path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      D.append ~fp:"ta" oc "one";
+      (* a Raise at the append site fires before any byte is written *)
+      FP.set "ta.append" FP.Raise;
+      expect_injected "ta.append" (fun () -> D.append ~fp:"ta" oc "two");
+      D.append ~fp:"ta" oc "three");
+  Alcotest.(check string) "rejected frame left no bytes" "onethree" (read path)
+
+let () =
+  Alcotest.run "qc_wal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "frame roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "scan clean journals" `Quick test_scan_clean;
+          Alcotest.test_case "torn tail: truncation" `Quick test_torn_truncated;
+          Alcotest.test_case "torn tail: bad crc" `Quick test_torn_bad_crc;
+          Alcotest.test_case "hard corruption classes" `Quick test_hard_errors;
+        ] );
+      ( "failpoints",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_failpoint_parse;
+          Alcotest.test_case "arming and hit counting" `Quick test_failpoint_hits;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "atomic write protocol" `Quick test_durable_atomic;
+          Alcotest.test_case "injected faults leave old content" `Quick test_durable_failpoints;
+          Alcotest.test_case "append failure writes nothing" `Quick test_durable_append;
+        ] );
+    ]

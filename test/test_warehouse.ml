@@ -104,6 +104,179 @@ let test_random_workload () =
   done;
   Alcotest.(check (result unit string)) "invariant after workload" (Ok ()) (W.self_check w)
 
+(* ------------------------------------------------------------------ *)
+(* Durability: typed errors, journal replay, recovery                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+(* A saved warehouse directory to damage. *)
+let with_saved f =
+  with_dir @@ fun dir ->
+  let w = W.create (Helpers.sales_table ()) in
+  W.save w dir;
+  f dir w
+
+let read path = Qc_util.Durable.read_file path
+let write path content = Qc_util.Durable.write_file path content
+
+let expect_error name matches f =
+  match f () with
+  | (_ : W.t) -> Alcotest.failf "%s: open_dir succeeded on damaged input" name
+  | exception W.Error e ->
+    if not (matches e) then
+      Alcotest.failf "%s: wrong error class: %s" name (W.error_to_string e)
+
+let insert_row w values m =
+  let delta = Table.create (W.schema w) in
+  Table.add_row delta values m;
+  ignore (W.insert w delta)
+
+let delete_row w values m =
+  let delta = Table.create (W.schema w) in
+  Table.add_row delta values m;
+  ignore (W.delete w delta)
+
+let test_typed_errors () =
+  expect_error "missing directory"
+    (function W.Missing_file _ -> true | _ -> false)
+    (fun () -> W.open_dir "/nonexistent/qc-warehouse");
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      expect_error "missing base.csv"
+        (function W.Missing_file _ -> true | _ -> false)
+        (fun () -> W.open_dir dir));
+  with_saved (fun dir _ ->
+      (* base content matching neither the manifest nor an in-flight
+         checkpoint is damage no crash can produce *)
+      write (Filename.concat dir "base.csv") "tampered,with\n";
+      expect_error "tampered base"
+        (function W.Corrupt_base _ -> true | _ -> false)
+        (fun () -> W.open_dir dir));
+  with_saved (fun dir _ ->
+      write (Filename.concat dir "manifest") "qcmanifest one\n";
+      expect_error "mangled manifest"
+        (function W.Corrupt_manifest _ -> true | _ -> false)
+        (fun () -> W.open_dir dir));
+  with_saved (fun dir _ ->
+      (* structurally valid manifest declaring a future format version *)
+      let body = "qcmanifest 2\ngeneration 1\nbase 00000000 0\ntree 00000000 0\n" in
+      write (Filename.concat dir "manifest")
+        (body ^ Printf.sprintf "crc %08x\n" (Qc_util.Crc32.string body));
+      expect_error "future manifest version"
+        (function W.Version_mismatch { got = 2; _ } -> true | _ -> false)
+        (fun () -> W.open_dir dir));
+  with_saved (fun dir _ ->
+      write (Filename.concat dir "wal.log") "XXXXGARBAGE";
+      expect_error "journal with a foreign header"
+        (function W.Corrupt_wal _ -> true | _ -> false)
+        (fun () -> W.open_dir dir))
+
+let test_tree_damage_rebuilds () =
+  with_saved @@ fun dir w ->
+  (* flip bytes inside tree.qct: the manifest pins the damage, and the tree
+     is rebuilt from base.csv instead of failing the open *)
+  write (Filename.concat dir "tree.qct") "QCTPdamaged-beyond-recognition";
+  let w' = W.open_dir dir in
+  Alcotest.(check bool) "rebuilt" true (W.last_recovery w').W.rebuilt_tree;
+  Alcotest.(check bool) "recovered flag" true (W.stats_record w').W.recovered;
+  Alcotest.(check int) "rows" (Table.n_rows (W.table w)) (Table.n_rows (W.table w'));
+  Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w')
+
+let test_wal_replay () =
+  with_saved @@ fun dir w ->
+  insert_row w [ "S3"; "P3"; "f" ] 4.0;
+  delete_row w [ "S1"; "P1"; "s" ] 6.0;
+  let n = Table.n_rows (W.table w) in
+  (* reopen WITHOUT checkpointing: the journal alone carries both batches *)
+  let w' = W.open_dir dir in
+  Alcotest.(check int) "rows from replay" n (Table.n_rows (W.table w'));
+  Alcotest.(check int) "replayed" 2 (W.last_recovery w').W.replayed;
+  Alcotest.(check int) "live records" 2 (W.stats_record w').W.wal_records;
+  Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w');
+  Alcotest.(check (option (float 1e-9))) "replayed insert answers" (Some 4.0)
+    (W.query_value w' Agg.Sum (Cell.parse (W.schema w') [ "S3"; "P3"; "*" ]));
+  (* a checkpoint truncates the journal and bumps the generation *)
+  W.save w' dir;
+  let w2 = W.open_dir dir in
+  Alcotest.(check int) "journal empty after checkpoint" 0 (W.last_recovery w2).W.replayed;
+  Alcotest.(check int) "generation" 2 (W.stats_record w2).W.generation
+
+let test_torn_tail_discarded () =
+  with_saved @@ fun dir w ->
+  insert_row w [ "S3"; "P3"; "f" ] 4.0;
+  let wal = Filename.concat dir "wal.log" in
+  write wal (read wal ^ "torn-half-frame");
+  let w' = W.open_dir dir in
+  Alcotest.(check int) "committed record replayed" 1 (W.last_recovery w').W.replayed;
+  Alcotest.(check bool) "tail discarded" true ((W.last_recovery w').W.torn_bytes > 0);
+  Alcotest.(check bool) "recovered flag" true (W.stats_record w').W.recovered;
+  (* the next mutation truncates the tail on disk for good *)
+  insert_row w' [ "S1"; "P2"; "s" ] 5.0;
+  let w2 = W.open_dir dir in
+  Alcotest.(check int) "torn bytes gone" 0 (W.last_recovery w2).W.torn_bytes;
+  Alcotest.(check int) "both records live" 2 (W.last_recovery w2).W.replayed;
+  Alcotest.(check int) "rows" (Table.n_rows (W.table w')) (Table.n_rows (W.table w2))
+
+let test_stale_generation_skipped () =
+  with_saved @@ fun dir w ->
+  insert_row w [ "S3"; "P3"; "f" ] 4.0;
+  let wal = Filename.concat dir "wal.log" in
+  let old_wal = read wal in
+  (* checkpoint; then put the superseded journal back, as if the crash hit
+     between the manifest commit and the journal truncation *)
+  W.save w dir;
+  write wal old_wal;
+  let w' = W.open_dir dir in
+  Alcotest.(check int) "stale record skipped" 1 (W.last_recovery w').W.stale_skipped;
+  Alcotest.(check int) "nothing replayed" 0 (W.last_recovery w').W.replayed;
+  Alcotest.(check int) "rows not double-applied" (Table.n_rows (W.table w))
+    (Table.n_rows (W.table w'));
+  Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w')
+
+let test_legacy_dir () =
+  with_dir @@ fun dir ->
+  (* a pre-manifest directory: just the two images, written by hand *)
+  Sys.mkdir dir 0o755;
+  let base = Helpers.sales_table () in
+  Qc_data.Csv.save base (Filename.concat dir "base.csv");
+  Qc_core.Serial.save (Qc_core.Qc_tree.of_table base) (Filename.concat dir "tree.qct");
+  let w = W.open_dir dir in
+  Alcotest.(check int) "legacy opens at generation 0" 0 (W.stats_record w).W.generation;
+  Alcotest.(check int) "rows" (Table.n_rows base) (Table.n_rows (W.table w));
+  (* mutations journal even against a legacy checkpoint *)
+  insert_row w [ "S3"; "P3"; "f" ] 4.0;
+  let w' = W.open_dir dir in
+  Alcotest.(check int) "journaled and replayed" 1 (W.last_recovery w').W.replayed;
+  Alcotest.(check int) "rows after replay" (Table.n_rows (W.table w))
+    (Table.n_rows (W.table w'));
+  Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w')
+
+let test_update_journals_two_records () =
+  with_saved @@ fun dir w ->
+  let old_rows = Table.create (W.schema w) in
+  Table.add_row old_rows [ "S1"; "P1"; "s" ] 6.0;
+  let new_rows = Table.create (W.schema w) in
+  Table.add_row new_rows [ "S1"; "P1"; "f" ] 9.0;
+  ignore (W.update w ~old_rows ~new_rows);
+  let w' = W.open_dir dir in
+  Alcotest.(check int) "delete + insert records" 2 (W.last_recovery w').W.replayed;
+  Alcotest.(check (option (float 1e-9))) "moved measure" (Some 9.0)
+    (W.query_value w' Agg.Sum (Cell.parse (W.schema w') [ "S1"; "P1"; "f" ]))
+
+let test_invalid_delete_not_journaled () =
+  with_saved @@ fun dir w ->
+  let wal = Filename.concat dir "wal.log" in
+  let before = read wal in
+  (try
+     delete_row w [ "S1"; "P1"; "s" ] 123.0 (* no such measure *);
+     Alcotest.fail "delete of an absent row succeeded"
+   with Invalid_argument _ -> ());
+  Alcotest.(check string) "rejected batch never reached the journal" before (read wal);
+  Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w)
+
 let () =
   Alcotest.run "qc_warehouse"
     [
@@ -114,5 +287,16 @@ let () =
           Alcotest.test_case "save/open roundtrip" `Quick test_save_open_roundtrip;
           Alcotest.test_case "iceberg cache invalidation" `Quick test_iceberg_cache_invalidation;
           Alcotest.test_case "random workload" `Quick test_random_workload;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "typed open errors" `Quick test_typed_errors;
+          Alcotest.test_case "tree damage triggers rebuild" `Quick test_tree_damage_rebuilds;
+          Alcotest.test_case "journal replay" `Quick test_wal_replay;
+          Alcotest.test_case "torn tail discarded" `Quick test_torn_tail_discarded;
+          Alcotest.test_case "stale generation skipped" `Quick test_stale_generation_skipped;
+          Alcotest.test_case "legacy directory" `Quick test_legacy_dir;
+          Alcotest.test_case "update journals two records" `Quick test_update_journals_two_records;
+          Alcotest.test_case "invalid delete not journaled" `Quick test_invalid_delete_not_journaled;
         ] );
     ]

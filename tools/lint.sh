@@ -74,6 +74,18 @@ if [ -n "$missing" ]; then
   offend "library module without an .mli interface" $missing
 fi
 
+# --- 7. all durable writes go through the durability module ---------------
+# A raw open_out or Sys.rename in lib/ or bin/ bypasses the atomic-write
+# protocol (temp + fsync + rename), the fsync discipline and the failpoint
+# instrumentation the crash suite relies on — a write the crash matrix
+# cannot kill is a write whose recovery story is untested.  Read-side
+# (open_in*) remains free; bench/, examples/ and test/ are out of scope.
+durable_sources=$(git ls-files 'lib/**.ml' 'bin/**.ml' | grep -v '^lib/util/durable\.ml$')
+hits=$(grep -nE '\bopen_out(_gen|_bin)?\b|\bSys\.rename\b' $durable_sources /dev/null || true)
+if [ -n "$hits" ]; then
+  offend "raw file write outside lib/util/durable.ml; route it through Qc_util.Durable" "$hits"
+fi
+
 if [ "$fails" -ne 0 ]; then
   echo "lint: $fails rule(s) violated" >&2
   exit 1
