@@ -1068,6 +1068,105 @@ let wal_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* PR5: parallel batch executor - domain scaling on point queries      *)
+(* ------------------------------------------------------------------ *)
+
+(* The Figure 13(a) point workload pushed through [Engine.run_batch] at
+   1, 2 and 4 domains over the frozen packed snapshot.  Every parallel run
+   is compared slot-for-slot against the sequential baseline (answers and
+   node-access counts must be bit-identical); the report records honest
+   medians plus the machine's recommended domain count, since speedup on a
+   single-core builder is physically capped at 1x.  Reported in
+   BENCH_PR5.json via `--batch`. *)
+let batch_scaling () =
+  let module E = Qc_core.Engine in
+  let rows, n_queries =
+    match !scale with Quick -> (20_000, 100_000) | Full -> (50_000, 400_000)
+  in
+  let cardinality = 100 in
+  let table =
+    Qc_data.Synthetic.generate
+      { Qc_data.Synthetic.default with rows; cardinality; seed = 45 }
+  in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let packed = Qc_core.Packed.of_tree tree in
+  let queries =
+    Array.of_list
+      (List.map
+         (fun c -> E.Point c)
+         (Qc_data.Synthetic.random_point_queries ~seed:46 table n_queries))
+  in
+  let repeats = 5 in
+  let domains = Domain.recommended_domain_count () in
+  let baseline =
+    E.run_batch ~jobs:1 ~node_accesses:true (module E.Packed_backend) packed queries
+  in
+  let parity b =
+    Array.for_all2 E.outcome_equal baseline.E.outcomes b.E.outcomes
+    && baseline.E.accesses = b.E.accesses
+  in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "batch executor - %d point queries over packed snapshot (n=%d, d=6, card=%d; %d \
+            core(s) available)"
+           n_queries rows cardinality domains)
+      ~columns:[ "jobs"; "median s"; "speedup vs 1"; "queries/s"; "parity" ]
+  in
+  let detail = ref [] in
+  let median_1 = ref 0.0 in
+  List.iter
+    (fun jobs ->
+      let last = ref baseline in
+      let samples =
+        Array.init repeats (fun _ ->
+            let b =
+              E.run_batch ~jobs ~node_accesses:true (module E.Packed_backend) packed queries
+            in
+            last := b;
+            b.E.elapsed_s)
+      in
+      let m = Qc_util.Timer.median samples in
+      if jobs = 1 then median_1 := m;
+      let ok = parity !last in
+      let speedup = !median_1 /. Float.max 1e-9 m in
+      Tf.add_row t
+        [
+          Tf.cell_i jobs;
+          Printf.sprintf "%.4f" m;
+          Printf.sprintf "%.2fx" speedup;
+          Tf.cell_i (int_of_float (float_of_int n_queries /. Float.max 1e-9 m));
+          (if ok then "ok" else "MISMATCH");
+        ];
+      detail :=
+        Jx.Obj
+          [
+            ("jobs", Jx.Int jobs);
+            ("elapsed_s_median", Jx.Float m);
+            ( "elapsed_s_samples",
+              Jx.List (Array.to_list (Array.map (fun s -> Jx.Float s) samples)) );
+            ("speedup_vs_sequential", Jx.Float speedup);
+            ("parity", Jx.Bool ok);
+          ]
+        :: !detail)
+    [ 1; 2; 4 ];
+  record "batch"
+    (Jx.Obj
+       [
+         ("rows", Jx.Int rows);
+         ("cardinality", Jx.Int cardinality);
+         ("n_queries", Jx.Int n_queries);
+         ("timing_repeats", Jx.Int repeats);
+         ("recommended_domains", Jx.Int domains);
+         ("by_jobs", Jx.List (List.rev !detail));
+       ]);
+  Tf.note t
+    "parity = answers and node accesses bit-identical to --jobs 1; speedup needs >= that \
+     many physical cores";
+  emit t
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1083,6 +1182,7 @@ let experiments =
     ("fig13d", fig13d);
     ("packed", packed_fig13);
     ("wal", wal_overhead);
+    ("batch", batch_scaling);
     ("fig14a", fig14a);
     ("fig14b", fig14b);
     ("fig14c", fig14c);
@@ -1134,6 +1234,13 @@ let () =
          overrides *)
       selected := "wal" :: !selected;
       if not !json_out_set then json_out := "BENCH_PR4.json";
+      parse rest
+    | "--batch" :: rest ->
+      (* the PR5 scaling report: the parallel batch executor at 1/2/4
+         domains with a bit-identity parity check, in BENCH_PR5.json unless
+         --json overrides *)
+      selected := "batch" :: !selected;
+      if not !json_out_set then json_out := "BENCH_PR5.json";
       parse rest
     | "--log-level" :: level :: rest -> (
       match log_level_of_string level with

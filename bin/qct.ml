@@ -7,6 +7,7 @@
      query      answer a point query against a saved tree
      explain    show the exact root-to-answer path of a point query
      iceberg    list classes whose aggregate passes a threshold
+     batch      answer a whole query file in parallel across CPU domains
      insert     batch-insert a CSV delta into a saved tree
      classes    dump quotient-cube classes of a CSV base table
      check      deep invariant audit of a saved tree (exit 2 on violations)
@@ -30,13 +31,61 @@ let tree_arg p doc = Arg.(required & pos p (some string) None & info [] ~docv:"T
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+(* ---------- backend selection (the Engine seam) ----------
+
+   Every query-shaped subcommand takes one [--backend tree|packed|dwarf]
+   flag and dispatches through [Qc_core.Engine.BACKEND], so the physical
+   representation is chosen in exactly one place.  The historical
+   [--packed] flag survives as a deprecated alias. *)
+
+type backend_choice = B_tree | B_packed | B_dwarf
+
+let backend_name = function B_tree -> "tree" | B_packed -> "packed" | B_dwarf -> "dwarf"
+
+let backend_enum = [ ("tree", B_tree); ("packed", B_packed); ("dwarf", B_dwarf) ]
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (some (enum backend_enum)) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"Physical representation answering the queries: $(b,tree) (mutable QC-tree), \
+              $(b,packed) (frozen array-of-int fast path) or $(b,dwarf) (the full-cube \
+              baseline; needs a CSV base table as input).")
+
 let packed_flag =
   Arg.(
     value & flag
     & info [ "packed" ]
-        ~doc:"Use the frozen array-of-int representation: $(b,build) saves the compact \
-              packed binary format, $(b,query)/$(b,explain) answer through the packed \
-              fast path (loading either format).")
+        ~doc:"Deprecated alias for $(b,--backend packed) (for $(b,check): $(b,--backend \
+              packed) audits the packed columns too).")
+
+let resolve_backend ?(default = B_tree) backend packed =
+  match backend with
+  | Some b ->
+    if packed then
+      Printf.eprintf "qct: --packed is ignored when --backend is given (using --backend %s)\n"
+        (backend_name b);
+    b
+  | None ->
+    if packed then begin
+      Printf.eprintf "qct: --packed is deprecated; use --backend packed\n";
+      B_packed
+    end
+    else default
+
+(* A loaded backend instance, existentially packaged so subcommands hold
+   "some backend" without caring which. *)
+type loaded = L : (module Qc_core.Engine.BACKEND with type t = 'a) * 'a -> loaded
+
+let load_backend choice path =
+  match choice with
+  | B_tree -> L ((module Qc_core.Engine.Tree_backend), Qc_core.Serial.load path)
+  | B_packed -> L ((module Qc_core.Engine.Packed_backend), Qc_core.Serial.load_packed path)
+  | B_dwarf ->
+    (* Dwarf has no serialized form; it is built per run from a CSV base
+       table, matching how the paper benchmarks the baseline. *)
+    L ((module Qc_dwarf.Dwarf.Backend), Qc_dwarf.Dwarf.build (Qc_data.Csv.load path))
 
 (* Every runtime failure — unreadable file, malformed tree, unknown value in
    a query cell, a delta row that is not in the base — must exit nonzero
@@ -127,24 +176,29 @@ let generate_cmd =
 
 (* ---------- build ---------- *)
 
-let build () packed csv out =
+let build () backend packed csv out =
   guard @@ fun () ->
+  let choice = resolve_backend backend packed in
   let table = Qc_data.Csv.load csv in
   let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table table) in
-  if packed then Qc_core.Serial.save_packed (Qc_core.Packed.of_tree tree) out
-  else Qc_core.Serial.save tree out;
+  (match choice with
+  | B_tree -> Qc_core.Serial.save tree out
+  | B_packed -> Qc_core.Serial.save_packed (Qc_core.Packed.of_tree tree) out
+  | B_dwarf ->
+    failwith "build: dwarf has no serialized form; query it with --backend dwarf on the CSV");
   Printf.printf "built QC-tree of %d tuples in %.2fs: %d nodes, %d links, %d classes, %s\n"
     (Table.n_rows table) dt
     (Qc_core.Qc_tree.n_nodes tree) (Qc_core.Qc_tree.n_links tree)
     (Qc_core.Qc_tree.n_classes tree)
     (Format.asprintf "%a" Qc_util.Size.pp_bytes (Qc_core.Qc_tree.bytes tree));
-  Printf.printf "saved to %s%s\n" out (if packed then " (packed format)" else "")
+  Printf.printf "saved to %s%s\n" out
+    (match choice with B_packed -> " (packed format)" | B_tree | B_dwarf -> "")
 
 let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build a QC-tree from a CSV base table and save it.")
     Term.(
-      const build $ common $ packed_flag $ csv_arg 0 "Base table CSV."
+      const build $ common $ backend_arg $ packed_flag $ csv_arg 0 "Base table CSV."
       $ tree_arg 1 "Output tree file.")
 
 (* ---------- stats ---------- *)
@@ -201,21 +255,15 @@ let print_answer schema cell func = function
       agg.Agg.count agg.Agg.sum agg.Agg.min agg.Agg.max
   | None -> Printf.printf "%s: NULL (empty cover)\n" (Cell.to_string schema cell)
 
-let query () packed tree_path cell_spec func =
+let query () backend packed tree_path cell_spec func =
   guard @@ fun () ->
-  let values = String.split_on_char ',' cell_spec in
-  if packed then begin
-    let p = Qc_core.Serial.load_packed tree_path in
-    let schema = Qc_core.Packed.schema p in
-    let cell = Cell.parse schema values in
-    print_answer schema cell func (Qc_core.Query.point_packed p cell)
-  end
-  else begin
-    let tree = Qc_core.Serial.load tree_path in
-    let schema = Qc_core.Qc_tree.schema tree in
-    let cell = Cell.parse schema values in
-    print_answer schema cell func (Qc_core.Query.point tree cell)
-  end
+  let (L ((module B), b)) = load_backend (resolve_backend backend packed) tree_path in
+  let schema = B.schema b in
+  let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
+  match B.point b cell with
+  | Ok agg -> print_answer schema cell func (Some agg)
+  | Error (Qc_core.Engine.Empty_cover _) -> print_answer schema cell func None
+  | Error e -> failwith (Qc_core.Engine.error_to_string ~schema e)
 
 let func_arg =
   Arg.(
@@ -229,26 +277,20 @@ let query_cmd =
   let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Comma-separated values, * for ALL.") in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a point query against a saved QC-tree.")
-    Term.(const query $ common $ packed_flag $ tree_arg 0 "Saved tree file." $ cell $ func_arg)
+    Term.(
+      const query $ common $ backend_arg $ packed_flag $ tree_arg 0 "Saved tree file." $ cell
+      $ func_arg)
 
 (* ---------- explain ---------- *)
 
-let explain () packed tree_path cell_spec =
+let explain () backend packed tree_path cell_spec =
   guard @@ fun () ->
-  if packed then begin
-    let p = Qc_core.Serial.load_packed tree_path in
-    let schema = Qc_core.Packed.schema p in
-    let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
-    let e = Qc_core.Query.explain_packed p cell in
-    Format.printf "%a@." (Qc_core.Query.pp_packed_explanation p) e
-  end
-  else begin
-    let tree = Qc_core.Serial.load tree_path in
-    let schema = Qc_core.Qc_tree.schema tree in
-    let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
-    let e = Qc_core.Query.explain tree cell in
-    Format.printf "%a@." (Qc_core.Query.pp_explanation tree) e
-  end
+  let (L ((module B), b)) = load_backend (resolve_backend backend packed) tree_path in
+  let schema = B.schema b in
+  let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
+  match B.explain b cell with
+  | Ok e -> Format.printf "%a@." (Qc_core.Engine.pp_explanation schema) e
+  | Error e -> failwith (Qc_core.Engine.error_to_string ~schema e)
 
 let explain_cmd =
   let cell = Arg.(required & pos 1 (some string) None & info [] ~docv:"CELL" ~doc:"Comma-separated values, * for ALL.") in
@@ -256,23 +298,26 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Show the exact root-to-answer path a point query takes through the tree \
              (tree edges, drill-down links and last-dimension hops of Algorithm 3).")
-    Term.(const explain $ common $ packed_flag $ tree_arg 0 "Saved tree file." $ cell)
+    Term.(
+      const explain $ common $ backend_arg $ packed_flag $ tree_arg 0 "Saved tree file."
+      $ cell)
 
 (* ---------- iceberg ---------- *)
 
-let iceberg () tree_path func threshold limit =
+let iceberg () backend packed tree_path func threshold limit =
   guard @@ fun () ->
-  let tree = Qc_core.Serial.load tree_path in
-  let schema = Qc_core.Qc_tree.schema tree in
-  let index = Qc_core.Query.make_index tree func in
-  let results = Qc_core.Query.iceberg index ~threshold in
-  Printf.printf "%d classes with %s >= %g\n" (List.length results)
-    (Agg.func_to_string func) threshold;
-  List.iteri
-    (fun i (cell, agg) ->
-      if i < limit then
-        Printf.printf "  %s -> %g\n" (Cell.to_string schema cell) (Agg.value func agg))
-    results
+  let (L ((module B), b)) = load_backend (resolve_backend backend packed) tree_path in
+  let schema = B.schema b in
+  match B.iceberg b func ~threshold with
+  | Error e -> failwith (Qc_core.Engine.error_to_string ~schema e)
+  | Ok results ->
+    Printf.printf "%d classes with %s >= %g\n" (List.length results)
+      (Agg.func_to_string func) threshold;
+    List.iteri
+      (fun i (cell, agg) ->
+        if i < limit then
+          Printf.printf "  %s -> %g\n" (Cell.to_string schema cell) (Agg.value func agg))
+      results
 
 let iceberg_cmd =
   let threshold =
@@ -281,7 +326,184 @@ let iceberg_cmd =
   let limit = Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Rows to print.") in
   Cmd.v
     (Cmd.info "iceberg" ~doc:"List classes whose aggregate passes a threshold.")
-    Term.(const iceberg $ common $ tree_arg 0 "Saved tree file." $ func_arg $ threshold $ limit)
+    Term.(
+      const iceberg $ common $ backend_arg $ packed_flag $ tree_arg 0 "Saved tree file."
+      $ func_arg $ threshold $ limit)
+
+(* ---------- batch ---------- *)
+
+(* Render one parsed query back in the query-file syntax, for labelling
+   results (answers must be diffable across --jobs values, so every line
+   is deterministic). *)
+let render_query schema = function
+  | Qc_core.Engine.Point cell -> Printf.sprintf "point %s" (Cell.to_string schema cell)
+  | Qc_core.Engine.Range q ->
+    let dim i vs =
+      if Array.length vs = 0 then "*"
+      else
+        String.concat "|" (Array.to_list (Array.map (Schema.decode_value schema i) vs))
+    in
+    Printf.sprintf "range (%s)" (String.concat ", " (Array.to_list (Array.mapi dim q)))
+  | Qc_core.Engine.Iceberg { func; threshold } ->
+    Printf.sprintf "iceberg %s %g" (Agg.func_to_string func) threshold
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let batch () backend packed data_path queries_path jobs json node_accesses =
+  guard @@ fun () ->
+  let module E = Qc_core.Engine in
+  (* Batches run over a frozen snapshot, so the packed representation is
+     the natural default; --backend tree/dwarf remain available for
+     differential runs. *)
+  let choice = resolve_backend ~default:B_packed backend packed in
+  let schema, run =
+    if Sys.is_directory data_path then begin
+      (match choice with
+      | B_packed -> ()
+      | B_tree | B_dwarf ->
+        failwith
+          "batch: a warehouse directory is served from its frozen packed snapshot; use \
+           --backend packed");
+      let w = Qc_warehouse.Warehouse.open_dir data_path in
+      ( Qc_warehouse.Warehouse.schema w,
+        fun qs -> Qc_warehouse.Warehouse.run_batch ?jobs ~node_accesses w qs )
+    end
+    else
+      let (L ((module B), b)) = load_backend choice data_path in
+      (B.schema b, fun qs -> E.run_batch ?jobs ~node_accesses (module B) b qs)
+  in
+  let queries =
+    match E.parse_queries schema (read_whole_file queries_path) with
+    | Ok qs -> qs
+    | Error e -> failwith (E.error_to_string ~schema e)
+  in
+  let b = run queries in
+  let pr_agg (agg : Agg.t) =
+    Printf.sprintf "count=%d sum=%g min=%g max=%g" agg.Agg.count agg.Agg.sum agg.Agg.min
+      agg.Agg.max
+  in
+  if json then begin
+    let open Qc_util.Jsonx in
+    let agg_json (agg : Agg.t) =
+      Obj
+        [
+          ("count", Int agg.Agg.count);
+          ("sum", Float agg.Agg.sum);
+          ("min", Float agg.Agg.min);
+          ("max", Float agg.Agg.max);
+        ]
+    in
+    let result i q =
+      let body =
+        match b.E.outcomes.(i) with
+        | Ok (E.Agg_answer agg) -> [ ("status", String "ok"); ("agg", agg_json agg) ]
+        | Ok (E.Cells_answer cells) ->
+          [
+            ("status", String "ok");
+            ( "cells",
+              List
+                (List.map
+                   (fun (cell, agg) ->
+                     Obj
+                       [
+                         ("cell", String (Cell.to_string schema cell));
+                         ("agg", agg_json agg);
+                       ])
+                   cells) );
+          ]
+        | Error (E.Empty_cover _) -> [ ("status", String "empty") ]
+        | Error e ->
+          [ ("status", String "error"); ("error", String (E.error_to_string ~schema e)) ]
+      in
+      let acc =
+        match (b.E.accesses, q) with
+        | Some a, E.Point _ -> [ ("node_accesses", Int a.(i)) ]
+        | _ -> []
+      in
+      Obj ((("query", String (render_query schema q)) :: body) @ acc)
+    in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("backend", String (backend_name choice));
+              ("jobs", Int b.E.jobs);
+              ("queries", Int (Array.length queries));
+              ("elapsed_s", Float b.E.elapsed_s);
+              ("results", List (List.mapi result (Array.to_list queries)));
+            ]))
+  end
+  else begin
+    Array.iteri
+      (fun i q ->
+        let label = render_query schema q in
+        (match b.E.outcomes.(i) with
+        | Ok (E.Agg_answer agg) -> Printf.printf "%s: %s" label (pr_agg agg)
+        | Ok (E.Cells_answer cells) ->
+          Printf.printf "%s: %d cell(s)" label (List.length cells);
+          List.iter
+            (fun (cell, agg) ->
+              Printf.printf "\n  %s -> %s" (Cell.to_string schema cell) (pr_agg agg))
+            cells
+        | Error (E.Empty_cover _) -> Printf.printf "%s: NULL (empty cover)" label
+        | Error e -> Printf.printf "%s: error: %s" label (E.error_to_string ~schema e));
+        (match (b.E.accesses, q) with
+        | Some a, E.Point _ -> Printf.printf "   [%d nodes]" a.(i)
+        | _ -> ());
+        print_newline ())
+      queries;
+    (* The summary carries timing, so it goes to stderr: stdout must be
+       byte-identical across --jobs values. *)
+    Printf.eprintf "batch: %d queries, %d job(s), %.3fs\n" (Array.length queries) b.E.jobs
+      b.E.elapsed_s
+  end
+
+let batch_cmd =
+  let data =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DATA"
+          ~doc:"Saved tree file (either format), a warehouse directory, or — with \
+                $(b,--backend dwarf) — a CSV base table.")
+  in
+  let queries =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"QUERIES"
+          ~doc:"Query file: one $(b,point CELL), $(b,range SPEC) or $(b,iceberg FUNC \
+                THRESHOLD) per line; blank lines and $(b,#) comments are skipped.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (default: $(b,QC_JOBS) when set, else the recommended \
+                domain count).  Answers are bit-identical for every value.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text lines.")
+  in
+  let node_acc =
+    Arg.(
+      value & flag
+      & info [ "node-accesses" ]
+          ~doc:"Also report the nodes each point query touches (Figure 13's cost metric).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Answer a whole query file in parallel across CPU domains.  Results are \
+             printed in input order and are bit-identical to a sequential run ($(b,--jobs \
+             1)); the default backend is the frozen packed snapshot.")
+    Term.(
+      const batch $ common $ backend_arg $ packed_flag $ data $ queries $ jobs $ json
+      $ node_acc)
 
 (* ---------- insert ---------- *)
 
@@ -446,8 +668,14 @@ let whatif_cmd =
    2 = violations found, 1 = runtime failure (unreadable file, bad cell),
    124 = usage error.  2 is distinct from 1 so scripts can tell "the tree is
    broken" from "the command could not run". *)
-let check () packed_too tree_path base_csv deep samples json =
+let check () backend packed tree_path base_csv deep samples json =
   guard @@ fun () ->
+  let packed_too =
+    match resolve_backend backend packed with
+    | B_packed -> true
+    | B_tree -> false
+    | B_dwarf -> failwith "check: only the tree and packed representations can be audited"
+  in
   let data =
     let ic = open_in_bin tree_path in
     Fun.protect
@@ -529,19 +757,14 @@ let check_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
   in
-  let packed_too =
-    Arg.(
-      value & flag
-      & info [ "packed" ]
-          ~doc:"Additionally freeze the tree and audit the packed columns, the serialized \
-                bytes and the freeze/thaw/serialize round trips.")
-  in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Deep invariant audit of a saved tree (exit 2 when violations are found).")
+       ~doc:"Deep invariant audit of a saved tree (exit 2 when violations are found).  With \
+             $(b,--backend packed), additionally freeze the tree and audit the packed \
+             columns, the serialized bytes and the freeze/thaw/serialize round trips.")
     Term.(
-      const check $ common $ packed_too $ tree_arg 0 "Saved tree file (either format)." $ base
-      $ deep $ samples $ json)
+      const check $ common $ backend_arg $ packed_flag
+      $ tree_arg 0 "Saved tree file (either format)." $ base $ deep $ samples $ json)
 
 (* ---------- recover ---------- *)
 
@@ -759,6 +982,7 @@ let () =
             query_cmd;
             explain_cmd;
             iceberg_cmd;
+            batch_cmd;
             insert_cmd;
             delete_cmd;
             rollup_cmd;

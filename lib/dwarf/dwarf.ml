@@ -224,5 +224,121 @@ let bytes t =
     t 0
 
 let node_accesses t cell =
-  ignore cell;
-  match t.root with None -> 0 | Some _ -> t.dims
+  if Array.length cell <> t.dims then invalid_arg "Dwarf.node_accesses: arity mismatch";
+  (* Count the nodes the point descent actually touches: one per level on a
+     hit — the "exactly n nodes" property of Sec. 6.2 — and a shorter
+     prefix when the search misses partway down. *)
+  match t.root with
+  | None -> 0
+  | Some root ->
+    let rec go node level acc =
+      let acc = acc + 1 in
+      match node with
+      | Leaf _ -> acc
+      | Inner { keys; kids; all; _ } ->
+        if cell.(level) = Cell.all then go all (level + 1) acc
+        else (
+          match find_key keys cell.(level) with
+          | Some i -> go kids.(i) (level + 1) acc
+          | None -> acc)
+    in
+    go root 0 0
+
+(* ---------- the Engine instance ----------
+
+   Dwarf stores every cell of the full cube, so a point answer's "class"
+   is the queried cell itself; iceberg queries over class upper bounds
+   have no Dwarf analogue and are reported as unsupported rather than
+   faked by enumerating the exponential full cube. *)
+
+module E = Qc_core.Engine
+
+module Backend = struct
+  type nonrec t = t
+
+  let name = "dwarf"
+
+  let schema = schema
+
+  let describe t =
+    Printf.sprintf "Dwarf full cube: %d nodes, %d cells, %d dimensions" (n_nodes t)
+      (n_cells t) t.dims
+
+  let arity t width =
+    if t.dims <> width then Error (E.Arity_mismatch { expected = t.dims; got = width })
+    else Ok ()
+
+  let point t cell =
+    match arity t (Array.length cell) with
+    | Error _ as e -> e
+    | Ok () -> (
+      match point t cell with
+      | Some agg -> Ok agg
+      | None -> Error (E.Empty_cover (Cell.copy cell)))
+
+  let range t q =
+    match arity t (Array.length q) with Error _ as e -> e | Ok () -> Ok (range t q)
+
+  let iceberg _t _func ~threshold =
+    ignore threshold;
+    Error (E.Unsupported { backend = name; operation = "iceberg queries" })
+
+  (* The descent synthesized as an explanation: a matched key is the
+     analogue of a labeled tree edge, following an ALL pointer the
+     analogue of descending, and a missing key a no-route miss on that
+     dimension. *)
+  let explain t cell =
+    match arity t (Array.length cell) with
+    | Error _ as e -> e
+    | Ok () ->
+      let steps = ref [] in
+      let prefix = Cell.make_all t.dims in
+      let push kind level label =
+        if label <> Cell.all then prefix.(level) <- label;
+        steps :=
+          {
+            E.step_kind = kind;
+            E.step_dim = level;
+            E.step_label = label;
+            E.step_cell = Cell.copy prefix;
+          }
+          :: !steps
+      in
+      let finish outcome answer =
+        Ok
+          {
+            E.x_cell = Cell.copy cell;
+            E.x_steps = List.rev !steps;
+            E.x_outcome = outcome;
+            E.x_answer = answer;
+          }
+      in
+      let rec go node level =
+        match node with
+        | Leaf { keys; aggs; all; _ } ->
+          if cell.(level) = Cell.all then finish Qc_core.Query.Hit (Some (Cell.copy cell, all))
+          else (
+            match find_key keys cell.(level) with
+            | Some i -> finish Qc_core.Query.Hit (Some (Cell.copy cell, aggs.(i)))
+            | None -> finish (Qc_core.Query.Miss_no_route level) None)
+        | Inner { keys; kids; all; _ } ->
+          if cell.(level) = Cell.all then begin
+            push Qc_core.Query.Descend level Cell.all;
+            go all (level + 1)
+          end
+          else (
+            match find_key keys cell.(level) with
+            | Some i ->
+              push Qc_core.Query.Tree_edge level cell.(level);
+              go kids.(i) (level + 1)
+            | None -> finish (Qc_core.Query.Miss_no_route level) None)
+      in
+      (match t.root with
+      | None -> finish (Qc_core.Query.Miss_no_route 0) None
+      | Some root -> go root 0)
+
+  let node_accesses t cell =
+    match arity t (Array.length cell) with
+    | Error _ as e -> e
+    | Ok () -> Ok (node_accesses t cell)
+end

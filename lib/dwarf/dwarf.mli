@@ -57,5 +57,14 @@ val bytes : t -> int
     once. *)
 
 val node_accesses : t -> Cell.t -> int
-(** Number of node visits the point query performs (for the Figure 13
-    discussion: Dwarf always visits one node per dimension). *)
+(** Number of node visits the point query performs, counted by replaying
+    the descent (for the Figure 13 discussion: a hit visits exactly one
+    node per dimension; a miss stops at the level that has no route).
+    @raise Invalid_argument on arity mismatch. *)
+
+module Backend : Qc_core.Engine.BACKEND with type t = t
+(** The Dwarf instance of the engine seam, so the baseline is benchable
+    and differentially testable through the same interface as the QC-tree
+    backends.  [iceberg] answers [Error (Unsupported _)]: Dwarf stores the
+    cells of the full cube, not class upper bounds, and enumerating the
+    full cube would not be the paper's comparison. *)

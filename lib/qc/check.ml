@@ -384,7 +384,12 @@ let check_deep c tree base samples seed =
       let a = Table.cover_agg base cell in
       if a.Agg.count = 0 then None else Some a
     in
-    let got = Query.point tree cell in
+    (* Replay through the engine seam, as production queries run.
+       [Empty_cover] is the well-typed "not in the cube"; arity errors
+       cannot arise for a cell sampled from the tree's own schema. *)
+    let got =
+      match Engine.Tree_backend.point tree cell with Ok a -> Some a | Error _ -> None
+    in
     let agree =
       match (expected, got) with
       | None, None -> true

@@ -1,0 +1,395 @@
+open Qc_cube
+module Metrics = Qc_util.Metrics
+
+type error = Query.error =
+  | Arity_mismatch of { expected : int; got : int }
+  | Empty_cover of Cell.t
+  | Unsupported of { backend : string; operation : string }
+  | Bad_query of string
+
+let error_equal = Query.error_equal
+
+let error_to_string = Query.error_to_string
+
+(* ---------- backend-neutral EXPLAIN ----------
+
+   [Query.explain] returns live tree nodes and [Query.explain_packed]
+   returns packed node ids; the engine flattens both to cells so callers
+   see one shape whatever the physical representation. *)
+
+type explain_step = {
+  step_kind : Query.step_kind;
+  step_dim : int;
+  step_label : int;
+  step_cell : Cell.t;
+}
+
+type explanation = {
+  x_cell : Cell.t;
+  x_steps : explain_step list;
+  x_outcome : Query.outcome;
+  x_answer : (Cell.t * Agg.t) option;
+}
+
+let nodes_touched e = 1 + List.length e.x_steps
+
+let pp_explanation schema ppf e =
+  let outcome_str =
+    match e.x_outcome with
+    | Query.Hit -> "HIT"
+    | Query.Miss_no_route i ->
+      Printf.sprintf "MISS (no route on dimension %s)" (Schema.dim_name schema i)
+    | Query.Miss_no_class -> "MISS (no class below the reached prefix)"
+    | Query.Miss_not_dominating -> "MISS (reached bound disagrees with the query cell)"
+  in
+  Format.fprintf ppf "point %s: %s, %d nodes touched@." (Cell.to_string schema e.x_cell)
+    outcome_str (nodes_touched e);
+  Format.fprintf ppf "  root@.";
+  List.iter
+    (fun { step_kind; step_dim; step_label; step_cell } ->
+      Format.fprintf ppf "  %-7s %s=%s -> %s@."
+        (match step_kind with
+        | Query.Tree_edge -> "edge"
+        | Query.Link -> "link"
+        | Query.Last_dim_hop -> "hop"
+        | Query.Descend -> "descend")
+        (Schema.dim_name schema step_dim)
+        (Schema.decode_value schema step_dim step_label)
+        (Cell.to_string schema step_cell))
+    e.x_steps;
+  match e.x_answer with
+  | Some (cell, agg) ->
+    Format.fprintf ppf "  = class %s %a@." (Cell.to_string schema cell) Agg.pp agg
+  | None -> ()
+
+(* ---------- the backend seam ---------- *)
+
+module type BACKEND = sig
+  type t
+
+  val name : string
+
+  val schema : t -> Schema.t
+
+  val describe : t -> string
+
+  val point : t -> Cell.t -> (Agg.t, error) result
+
+  val range : t -> Query.range -> ((Cell.t * Agg.t) list, error) result
+
+  val iceberg : t -> Agg.func -> threshold:float -> ((Cell.t * Agg.t) list, error) result
+
+  val explain : t -> Cell.t -> (explanation, error) result
+
+  val node_accesses : t -> Cell.t -> (int, error) result
+end
+
+let check_arity schema width =
+  let expected = Schema.n_dims schema in
+  if expected <> width then Error (Arity_mismatch { expected; got = width }) else Ok ()
+
+let by_cell (c1, _) (c2, _) = Cell.compare_dict c1 c2
+
+module Tree_backend = struct
+  type t = Qc_tree.t
+
+  let name = "tree"
+
+  let schema = Qc_tree.schema
+
+  let describe t =
+    Printf.sprintf "mutable QC-tree: %d nodes, %d links, %d classes" (Qc_tree.n_nodes t)
+      (Qc_tree.n_links t) (Qc_tree.n_classes t)
+
+  let point = Query.point_result
+
+  let range = Query.range_result
+
+  let iceberg t func ~threshold =
+    let out = ref [] in
+    Qc_tree.iter_classes
+      (fun _ cell agg -> if Agg.value func agg >= threshold then out := (cell, agg) :: !out)
+      t;
+    Ok (List.sort by_cell !out)
+
+  let explain t cell =
+    match check_arity (schema t) (Array.length cell) with
+    | Error _ as e -> e
+    | Ok () ->
+      let e = Query.explain t cell in
+      Ok
+        {
+          x_cell = e.Query.cell;
+          x_steps =
+            List.map
+              (fun (s : Query.step) ->
+                {
+                  step_kind = s.Query.kind;
+                  step_dim = s.Query.target.Qc_tree.dim;
+                  step_label = s.Query.target.Qc_tree.label;
+                  step_cell = Qc_tree.node_cell t s.Query.target;
+                })
+              e.Query.steps;
+          x_outcome = e.Query.outcome;
+          x_answer =
+            Option.map (fun (n, agg) -> (Qc_tree.node_cell t n, agg)) e.Query.result;
+        }
+
+  let node_accesses t cell =
+    match check_arity (schema t) (Array.length cell) with
+    | Error _ as e -> e
+    | Ok () -> Ok (Query.node_accesses t cell)
+end
+
+module Packed_backend = struct
+  type t = Packed.t
+
+  let name = "packed"
+
+  let schema = Packed.schema
+
+  let describe t =
+    Printf.sprintf "packed QC-tree: %d nodes, %d links, %d classes, %d resident bytes"
+      (Packed.n_nodes t) (Packed.n_links t) (Packed.n_classes t) (Packed.resident_bytes t)
+
+  let point = Query.point_result_packed
+
+  let range = Query.range_result_packed
+
+  let iceberg t func ~threshold =
+    let out = ref [] in
+    Packed.iter_classes
+      (fun _ cell agg -> if Agg.value func agg >= threshold then out := (cell, agg) :: !out)
+      t;
+    Ok (List.sort by_cell !out)
+
+  let explain t cell =
+    match check_arity (schema t) (Array.length cell) with
+    | Error _ as e -> e
+    | Ok () ->
+      let e = Query.explain_packed t cell in
+      Ok
+        {
+          x_cell = e.Query.pcell;
+          x_steps =
+            List.map
+              (fun (s : Query.packed_step) ->
+                {
+                  step_kind = s.Query.pkind;
+                  step_dim = Packed.dim t s.Query.pnode;
+                  step_label = Packed.label t s.Query.pnode;
+                  step_cell = Packed.node_cell t s.Query.pnode;
+                })
+              e.Query.psteps;
+          x_outcome = e.Query.poutcome;
+          x_answer =
+            Option.map (fun (n, agg) -> (Packed.node_cell t n, agg)) e.Query.presult;
+        }
+
+  let node_accesses t cell =
+    match check_arity (schema t) (Array.length cell) with
+    | Error _ as e -> e
+    | Ok () -> Ok (Query.node_accesses_packed t cell)
+end
+
+(* ---------- batch queries ---------- *)
+
+type query =
+  | Point of Cell.t
+  | Range of Query.range
+  | Iceberg of { func : Agg.func; threshold : float }
+
+type answer = Agg_answer of Agg.t | Cells_answer of (Cell.t * Agg.t) list
+
+type outcome = (answer, error) result
+
+let answer_equal a b =
+  match (a, b) with
+  | Agg_answer x, Agg_answer y -> Agg.equal x y
+  | Cells_answer xs, Cells_answer ys ->
+    List.equal (fun (c1, a1) (c2, a2) -> Cell.equal c1 c2 && Agg.equal a1 a2) xs ys
+  | (Agg_answer _ | Cells_answer _), _ -> false
+
+let outcome_equal a b =
+  match (a, b) with
+  | Ok x, Ok y -> answer_equal x y
+  | Error x, Error y -> error_equal x y
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+(* ---------- query-file syntax ---------- *)
+
+exception Parse_error of string
+
+let split_fields s = List.map String.trim (String.split_on_char ',' s)
+
+let parse_point schema rest =
+  match Cell.parse schema (split_fields rest) with
+  | cell -> Ok (Point cell)
+  | exception Invalid_argument msg -> Error (Bad_query msg)
+
+let parse_range schema rest =
+  let fields = split_fields rest in
+  let expected = Schema.n_dims schema in
+  let got = List.length fields in
+  if expected <> got then Error (Arity_mismatch { expected; got })
+  else
+    match
+      List.mapi
+        (fun i field ->
+          if String.equal field "*" then [||]
+          else
+            field
+            |> String.split_on_char '|'
+            |> List.map (fun v ->
+                   let v = String.trim v in
+                   match Qc_util.Dict.find (Schema.dict schema i) v with
+                   | Some code -> code
+                   | None ->
+                     raise
+                       (Parse_error
+                          (Printf.sprintf "unknown value %S in dimension %s" v
+                             (Schema.dim_name schema i))))
+            |> Array.of_list)
+        fields
+    with
+    | dims -> Ok (Range (Array.of_list dims))
+    | exception Parse_error msg -> Error (Bad_query msg)
+
+let parse_iceberg rest =
+  match String.split_on_char ' ' rest |> List.filter (fun s -> String.length s > 0) with
+  | [ func; threshold ] -> (
+    match (Agg.func_of_string func, float_of_string_opt threshold) with
+    | f, Some th -> Ok (Iceberg { func = f; threshold = th })
+    | _, None -> Error (Bad_query (Printf.sprintf "bad iceberg threshold %S" threshold))
+    | exception Invalid_argument _ ->
+      Error (Bad_query (Printf.sprintf "unknown aggregate function %S" func)))
+  | _ -> Error (Bad_query "iceberg expects: iceberg FUNC THRESHOLD")
+
+let parse_query schema line =
+  let line = String.trim line in
+  let kw, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+      (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+    | None -> (line, "")
+  in
+  match kw with
+  | "point" -> parse_point schema rest
+  | "range" -> parse_range schema rest
+  | "iceberg" -> parse_iceberg rest
+  | _ ->
+    Error
+      (Bad_query (Printf.sprintf "unknown query kind %S (expected point, range or iceberg)" kw))
+
+let parse_queries schema text =
+  let rec go lineno acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if String.length trimmed = 0 || trimmed.[0] = '#' then go (lineno + 1) acc rest
+      else (
+        match parse_query schema trimmed with
+        | Ok q -> go (lineno + 1) (q :: acc) rest
+        | Error e ->
+          Error (Bad_query (Printf.sprintf "line %d: %s" lineno (error_to_string ~schema e))))
+  in
+  go 1 [] (String.split_on_char '\n' text)
+
+(* ---------- the parallel batch executor ---------- *)
+
+type batch = {
+  outcomes : outcome array;
+  accesses : int array option;
+  jobs : int;
+  elapsed_s : float;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "QC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let run_one (type a) (module B : BACKEND with type t = a) (b : a) = function
+  | Point cell -> (
+    match B.point b cell with Ok agg -> Ok (Agg_answer agg) | Error _ as e -> e)
+  | Range q -> (
+    match B.range b q with Ok cells -> Ok (Cells_answer cells) | Error _ as e -> e)
+  | Iceberg { func; threshold } -> (
+    match B.iceberg b func ~threshold with
+    | Ok cells -> Ok (Cells_answer cells)
+    | Error _ as e -> e)
+
+let m_batch = Metrics.counter "engine.batch"
+
+let m_batch_queries = Metrics.counter "engine.batch_queries"
+
+let run_batch (type a) ?jobs ?(node_accesses = false) ?chunk_order
+    (module B : BACKEND with type t = a) (b : a) (queries : query array) =
+  let n = Array.length queries in
+  let jobs =
+    match jobs with Some j when j >= 1 -> j | Some _ -> 1 | None -> default_jobs ()
+  in
+  let jobs = max 1 (min jobs n) in
+  let outcomes = Array.make n (Error (Bad_query "query was not evaluated")) in
+  let accesses = if node_accesses then Some (Array.make n 0) else None in
+  let run_slot i =
+    let q = queries.(i) in
+    outcomes.(i) <- run_one (module B) b q;
+    match accesses with
+    | None -> ()
+    | Some acc -> (
+      match q with
+      | Point cell -> (
+        match B.node_accesses b cell with Ok k -> acc.(i) <- k | Error _ -> ())
+      | Range _ | Iceberg _ -> ())
+  in
+  let (), elapsed_s =
+    Qc_util.Timer.time (fun () ->
+        if jobs = 1 then
+          for i = 0 to n - 1 do
+            run_slot i
+          done
+        else begin
+          (* Exactly [jobs] contiguous chunks; chunk k is queries
+             [k*n/jobs, (k+1)*n/jobs).  Each worker domain writes disjoint
+             slots of the shared arrays and hands back its drained metrics;
+             the coordinator absorbs the deltas in chunk order after the
+             joins, so counter totals match a sequential run exactly. *)
+          let order =
+            match chunk_order with
+            | None -> Array.init jobs (fun k -> k)
+            | Some o ->
+              if Array.length o <> jobs then
+                invalid_arg "Engine.run_batch: chunk_order must have one entry per job";
+              let seen = Array.make jobs false in
+              Array.iter
+                (fun k ->
+                  if k < 0 || k >= jobs || seen.(k) then
+                    invalid_arg "Engine.run_batch: chunk_order must be a permutation";
+                  seen.(k) <- true)
+                o;
+              o
+          in
+          let metrics_on = Metrics.enabled () in
+          let workers =
+            Array.map
+              (fun k ->
+                ( k,
+                  Domain.spawn (fun () ->
+                      for i = k * n / jobs to (((k + 1) * n) / jobs) - 1 do
+                        run_slot i
+                      done;
+                      if metrics_on then Some (Metrics.drain ()) else None) ))
+              order
+          in
+          let deltas = Array.make jobs None in
+          Array.iter (fun (k, d) -> deltas.(k) <- Domain.join d) workers;
+          Array.iter (function Some d -> Metrics.absorb d | None -> ()) deltas
+        end)
+  in
+  Metrics.incr m_batch;
+  Metrics.add m_batch_queries n;
+  { outcomes; accesses; jobs; elapsed_s }

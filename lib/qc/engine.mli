@@ -1,0 +1,172 @@
+(** The unified query-engine seam: one logical query interface over every
+    physical representation, and a multicore batch executor on top.
+
+    The paper's query algorithms (Sec. 4) are implemented by three physical
+    structures — the mutable {!Qc_tree}, the frozen {!Packed} layout, and
+    the Dwarf baseline in [lib/dwarf].  A {!BACKEND} packages one of them
+    behind the stable logical surface ([point] / [range] / [iceberg] /
+    [explain] / [node_accesses]), every operation returning a typed
+    [(_, error) result] instead of the historical option-vs-exception mix.
+    The CLI, benchmarks, warehouse and invariant checker all dispatch
+    through this seam, so adding a representation means instantiating one
+    module, not patching four call sites.
+
+    {!run_batch} executes a whole array of parsed queries over an immutable
+    snapshot, fanning contiguous chunks out across OCaml 5 [Domain]s.
+    Answers, per-query node-access counts and merged {!Qc_util.Metrics}
+    tallies are bit-identical to sequential execution whatever the job
+    count or chunk scheduling order. *)
+
+open Qc_cube
+
+(** {1 Errors} *)
+
+type error = Query.error =
+  | Arity_mismatch of { expected : int; got : int }
+  | Empty_cover of Cell.t
+  | Unsupported of { backend : string; operation : string }
+  | Bad_query of string
+      (** Re-export of {!Query.error} so engine clients need one name. *)
+
+val error_equal : error -> error -> bool
+
+val error_to_string : ?schema:Schema.t -> error -> string
+
+(** {1 Backend-neutral EXPLAIN} *)
+
+type explain_step = {
+  step_kind : Query.step_kind;
+  step_dim : int;  (** dimension of the step's label *)
+  step_label : int;  (** dimension value code *)
+  step_cell : Cell.t;  (** the cell spelled by the node reached *)
+}
+
+type explanation = {
+  x_cell : Cell.t;
+  x_steps : explain_step list;  (** root-to-answer order *)
+  x_outcome : Query.outcome;
+  x_answer : (Cell.t * Agg.t) option;  (** [Some] iff the outcome is [Hit] *)
+}
+
+val nodes_touched : explanation -> int
+(** [1] (the root) plus one per step — Figure 13's work unit. *)
+
+val pp_explanation : Schema.t -> Format.formatter -> explanation -> unit
+(** Same rendering as [qct explain] has always printed, for any backend. *)
+
+(** {1 The backend seam} *)
+
+module type BACKEND = sig
+  type t
+
+  val name : string
+  (** Stable identifier used by [--backend] and in error messages. *)
+
+  val schema : t -> Schema.t
+
+  val describe : t -> string
+  (** One line of physical-representation statistics. *)
+
+  val point : t -> Cell.t -> (Agg.t, error) result
+  (** Algorithm 3.  [Error (Empty_cover _)] when the cell is not in the
+      cube. *)
+
+  val range : t -> Query.range -> ((Cell.t * Agg.t) list, error) result
+  (** Algorithm 4; an empty answer is [Ok []]. *)
+
+  val iceberg : t -> Agg.func -> threshold:float -> ((Cell.t * Agg.t) list, error) result
+  (** Every class whose aggregate reaches [threshold], sorted by upper
+      bound in dictionary order (a canonical order shared by all backends,
+      so differential tests can compare lists directly). *)
+
+  val explain : t -> Cell.t -> (explanation, error) result
+
+  val node_accesses : t -> Cell.t -> (int, error) result
+  (** Nodes the point search for this cell visits — the unit the paper's
+      Figure 13 compares across structures. *)
+end
+
+module Tree_backend : BACKEND with type t = Qc_tree.t
+
+module Packed_backend : BACKEND with type t = Packed.t
+(** The Dwarf instance lives in [lib/dwarf] ([Dwarf.Backend]) so the core
+    library does not depend on the baseline. *)
+
+(** {1 Batch queries} *)
+
+type query =
+  | Point of Cell.t
+  | Range of Query.range
+  | Iceberg of { func : Agg.func; threshold : float }
+
+type answer = Agg_answer of Agg.t | Cells_answer of (Cell.t * Agg.t) list
+
+type outcome = (answer, error) result
+
+val answer_equal : answer -> answer -> bool
+(** Exact: [Cell.equal] cells and [Agg.equal] (bit-exact float) summaries —
+    the batch executor guarantees bit-identical answers, so tests compare
+    with this, not with approximate equality. *)
+
+val outcome_equal : outcome -> outcome -> bool
+
+(** {2 Query-file syntax}
+
+    One query per line; blank lines and [#] comments are skipped:
+    {v
+    point S1,P2,*
+    range *,P1|P2,f
+    iceberg sum 25
+    v}
+    Point cells use [*] for ALL; range dimensions are [*] (unconstrained)
+    or [|]-separated value enumerations; iceberg takes an aggregate
+    function name and a threshold. *)
+
+val parse_query : Schema.t -> string -> (query, error) result
+
+val parse_queries : Schema.t -> string -> (query array, error) result
+(** Parse a whole query file.  The first bad line fails the batch with
+    [Bad_query "line N: ..."] — batches are validated up front so the
+    executor never mixes parse errors into result slots. *)
+
+(** {1 The parallel batch executor} *)
+
+type batch = {
+  outcomes : outcome array;  (** one per query, in input order *)
+  accesses : int array option;
+      (** per-query node accesses (point queries; 0 elsewhere), when
+          requested *)
+  jobs : int;  (** the domain count actually used *)
+  elapsed_s : float;  (** wall-clock execution time, excluding parsing *)
+}
+
+val default_jobs : unit -> int
+(** The [QC_JOBS] environment override when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val run_batch :
+  ?jobs:int ->
+  ?node_accesses:bool ->
+  ?chunk_order:int array ->
+  (module BACKEND with type t = 'a) ->
+  'a ->
+  query array ->
+  batch
+(** [run_batch (module B) b queries] answers every query over the immutable
+    snapshot [b].
+
+    With [jobs = 1] (or one query) execution is inline.  Otherwise exactly
+    [jobs] contiguous chunks are spawned, one [Domain] each; workers write
+    disjoint slots of the shared result arrays and return their drained
+    {!Qc_util.Metrics} deltas, which the coordinator absorbs in chunk order
+    after joining — so answers, [accesses] and metric totals are
+    bit-identical to a sequential run.  [jobs] defaults to
+    {!default_jobs ()} and is clamped to the query count.
+
+    [node_accesses] additionally records per-point-query node counts
+    (costs one extra explain-path traversal per point query).
+
+    [chunk_order] is a test hook: a permutation of [0 .. jobs-1] giving the
+    order chunks are spawned in, proving scheduling order cannot leak into
+    results.
+    @raise Invalid_argument if [chunk_order] is not a permutation. *)

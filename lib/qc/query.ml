@@ -25,6 +25,50 @@ let m_range_results = Metrics.counter "query.range_results"
 
 let h_path_nodes = Metrics.histogram "query.path_nodes"
 
+(* ---------- typed errors (the Engine seam) ----------
+
+   One failure vocabulary shared by every backend, replacing the historical
+   mix of [option] returns ([point]) and [Invalid_argument] ([range]).  The
+   legacy entry points survive as thin wrappers over the [_result] API. *)
+
+type error =
+  | Arity_mismatch of { expected : int; got : int }
+  | Empty_cover of Cell.t
+  | Unsupported of { backend : string; operation : string }
+  | Bad_query of string
+
+let error_equal a b =
+  match (a, b) with
+  | Arity_mismatch x, Arity_mismatch y -> x.expected = y.expected && x.got = y.got
+  | Empty_cover x, Empty_cover y -> Cell.equal x y
+  | Unsupported x, Unsupported y ->
+    String.equal x.backend y.backend && String.equal x.operation y.operation
+  | Bad_query x, Bad_query y -> String.equal x y
+  | (Arity_mismatch _ | Empty_cover _ | Unsupported _ | Bad_query _), _ -> false
+
+let raw_cell_string (cell : Cell.t) =
+  cell
+  |> Array.map (fun v -> if v = Cell.all then "*" else string_of_int v)
+  |> Array.to_list
+  |> String.concat ","
+
+let error_to_string ?schema = function
+  | Arity_mismatch { expected; got } ->
+    Printf.sprintf "arity mismatch: query has %d dimension(s), schema has %d" got expected
+  | Empty_cover cell ->
+    let rendered =
+      match schema with
+      | Some s -> Cell.to_string s cell
+      | None -> Printf.sprintf "(%s)" (raw_cell_string cell)
+    in
+    Printf.sprintf "cell %s is not in the cube (empty cover set)" rendered
+  | Unsupported { backend; operation } ->
+    Printf.sprintf "the %s backend does not support %s" backend operation
+  | Bad_query msg -> Printf.sprintf "bad query: %s" msg
+
+let check_arity expected got =
+  if expected <> got then Error (Arity_mismatch { expected; got }) else Ok ()
+
 (* Function [searchroute] of Algorithm 3: reach a step labeled [(dim, v)]
    from [node], hopping through last-dimension children (Lemma 2) while they
    stay in earlier dimensions. *)
@@ -202,9 +246,19 @@ let locate_with_agg t cell =
     | None -> None
     | Some (node, agg) -> if path_dominates node cell then Some (node, agg) else None
 
-let point t cell = Option.map snd (locate_with_agg t cell)
+let point_result t cell =
+  match check_arity (Schema.n_dims (Qc_tree.schema t)) (Array.length cell) with
+  | Error _ as e -> e
+  | Ok () -> (
+    match locate_with_agg t cell with
+    | Some (_, agg) -> Ok agg
+    | None -> Error (Empty_cover (Cell.copy cell)))
 
-let point_value t func cell = Option.map (Agg.value func) (point t cell)
+let point_value_result t func cell = Result.map (Agg.value func) (point_result t cell)
+
+let point t cell = Result.to_option (point_result t cell)
+
+let point_value t func cell = Result.to_option (point_value_result t func cell)
 
 let locate t cell = Option.map fst (locate_with_agg t cell)
 
@@ -241,6 +295,11 @@ let range t (q : range) =
   in
   go (Qc_tree.root t) 0;
   List.rev !results
+
+let range_result t (q : range) =
+  match check_arity (Schema.n_dims (Qc_tree.schema t)) (Array.length q) with
+  | Error _ as e -> e
+  | Ok () -> Ok (range t q)
 
 let range_of_cells t (q : range) =
   check_range t q;
@@ -515,9 +574,21 @@ let locate_with_agg_packed p cell =
       match Packed.agg p node with Some agg -> Some (node, agg) | None -> None
     else None
 
-let point_packed p cell = Option.map snd (locate_with_agg_packed p cell)
+let point_result_packed p cell =
+  match check_arity (Schema.n_dims (Packed.schema p)) (Array.length cell) with
+  | Error _ as e -> e
+  | Ok () -> (
+    match locate_with_agg_packed p cell with
+    | Some (_, agg) -> Ok agg
+    | None -> Error (Empty_cover (Cell.copy cell)))
 
-let point_value_packed p func cell = Option.map (Agg.value func) (point_packed p cell)
+let point_value_result_packed p func cell =
+  Result.map (Agg.value func) (point_result_packed p cell)
+
+let point_packed p cell = Result.to_option (point_result_packed p cell)
+
+let point_value_packed p func cell =
+  Result.to_option (point_value_result_packed p func cell)
 
 let locate_packed p cell = Option.map fst (locate_with_agg_packed p cell)
 
@@ -556,5 +627,10 @@ let range_packed p (q : range) =
   in
   go (Packed.root p) 0;
   List.rev !results
+
+let range_result_packed p (q : range) =
+  match check_arity (Schema.n_dims (Packed.schema p)) (Array.length q) with
+  | Error _ as e -> e
+  | Ok () -> Ok (range_packed p q)
 
 let node_accesses_packed p cell = nodes_touched_packed (explain_packed p cell)

@@ -16,12 +16,43 @@
 
 open Qc_cube
 
+(** {1 Typed errors}
+
+    One failure vocabulary shared by every backend — re-exported as
+    {!Engine.error} — replacing the historical mix of [option] returns and
+    exceptions.  The legacy entry points remain as thin wrappers. *)
+
+type error =
+  | Arity_mismatch of { expected : int; got : int }
+      (** the query names a different number of dimensions than the schema *)
+  | Empty_cover of Cell.t
+      (** the cell's cover set is empty — it is not in the cube *)
+  | Unsupported of { backend : string; operation : string }
+      (** the chosen backend cannot answer this operation at all *)
+  | Bad_query of string  (** the query text failed to parse *)
+
+val error_equal : error -> error -> bool
+
+val error_to_string : ?schema:Schema.t -> error -> string
+(** Human-readable rendering; with [schema] cells are decoded, otherwise
+    they print as raw value codes. *)
+
+val point_result : Qc_tree.t -> Cell.t -> (Agg.t, error) result
+(** [point_result tree cell] is the aggregate summary of [cell];
+    [Error (Empty_cover _)] when the cell is not in the cube,
+    [Error (Arity_mismatch _)] when the cell's width disagrees with the
+    schema. *)
+
+val point_value_result : Qc_tree.t -> Agg.func -> Cell.t -> (float, error) result
+
 val point : Qc_tree.t -> Cell.t -> Agg.t option
-(** [point tree cell] is the aggregate summary of [cell], or [None] when the
-    cell's cover set is empty (the cell is not in the cube). *)
+(** Deprecated wrapper around {!point_result} ([Error _] collapses to
+    [None]); kept so pre-Engine callers compile.  New code should use
+    {!point_result} or go through [Engine]. *)
 
 val point_value : Qc_tree.t -> Agg.func -> Cell.t -> float option
-(** Convenience wrapper reading one aggregate function off {!point}. *)
+(** Deprecated convenience wrapper reading one aggregate function off
+    {!point}. *)
 
 val locate : Qc_tree.t -> Cell.t -> Qc_tree.node option
 (** The class upper-bound node of a cell, or [None] for empty cover.  This
@@ -80,7 +111,14 @@ type range = int array array
 val range : Qc_tree.t -> range -> (Cell.t * Agg.t) list
 (** All cells in the given range with non-empty cover, with their
     aggregates.  Each returned cell is the range instantiation that matched
-    (with [*] in unconstrained dimensions). *)
+    (with [*] in unconstrained dimensions).
+    @raise Invalid_argument on arity mismatch; {!range_result} reports it as
+    a typed error instead. *)
+
+val range_result : Qc_tree.t -> range -> ((Cell.t * Agg.t) list, error) result
+(** {!range} with the arity check reported as [Error (Arity_mismatch _)]
+    instead of an exception.  An empty result list is [Ok []] — unlike a
+    point query, an empty range is not an error. *)
 
 val range_of_cells : Qc_tree.t -> range -> Cell.t list
 (** The cross-product of a range as point-query cells — the naive plan the
@@ -123,9 +161,17 @@ val node_accesses : Qc_tree.t -> Cell.t -> int
     as the mutable search, returns identical answers, reports identical
     {!node_accesses_packed}, and bumps the same metrics counters. *)
 
+val point_result_packed : Packed.t -> Cell.t -> (Agg.t, error) result
+
+val point_value_result_packed : Packed.t -> Agg.func -> Cell.t -> (float, error) result
+
+val range_result_packed : Packed.t -> range -> ((Cell.t * Agg.t) list, error) result
+
 val point_packed : Packed.t -> Cell.t -> Agg.t option
+(** Deprecated wrapper around {!point_result_packed}. *)
 
 val point_value_packed : Packed.t -> Agg.func -> Cell.t -> float option
+(** Deprecated wrapper around {!point_value_result_packed}. *)
 
 val locate_packed : Packed.t -> Cell.t -> int option
 (** The class upper-bound node id of a cell, or [None] for empty cover. *)

@@ -1,36 +1,39 @@
-type counter = { mutable v : int }
+(* Instrument descriptors are global and immutable; the recorded values
+   live in domain-local storage.  Registration assigns each instrument a
+   dense id under a mutex; [incr]/[observe] then index the calling
+   domain's value arrays, so parallel query execution (Engine.run_batch)
+   records without contention and the per-domain tallies are merged
+   deterministically after the join via [drain]/[absorb]. *)
 
-type histogram = {
-  bounds : int array;
-  counts : int array;  (* length = Array.length bounds + 1; last is overflow *)
-  mutable total : int;
-  mutable sum : int;
-  mutable max_value : int;
-}
+type counter = { c_id : int }
 
-let on = ref false
+type histogram = { h_id : int; h_bounds : int array }
 
-let set_enabled b = on := b
+let on = Atomic.make false
 
-let enabled () = !on
+let set_enabled b = Atomic.set on b
+
+let enabled () = Atomic.get on
+
+let registry_lock = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
+let n_counters = ref 0
+
+let n_histograms = ref 0
+
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { v = 0 } in
-    Hashtbl.replace counters name c;
-    c
-
-let[@inline] incr c = if !on then c.v <- c.v + 1
-
-let[@inline] add c n = if !on then c.v <- c.v + n
-
-let value c = c.v
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_id = !n_counters } in
+        Stdlib.incr n_counters;
+        Hashtbl.replace counters name c;
+        c)
 
 let default_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
 
@@ -40,36 +43,160 @@ let histogram ?(buckets = default_buckets) name =
     if buckets.(i) <= buckets.(i - 1) then
       invalid_arg "Metrics.histogram: buckets must be strictly increasing"
   done;
-  match Hashtbl.find_opt histograms name with
-  | Some h ->
-    if h.bounds <> buckets then
-      invalid_arg
-        (Printf.sprintf "Metrics.histogram: %S already registered with different buckets" name);
-    h
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h ->
+        if not (Array.for_all2 Int.equal h.h_bounds buckets) then
+          invalid_arg
+            (Printf.sprintf "Metrics.histogram: %S already registered with different buckets"
+               name);
+        h
+      | None ->
+        let h = { h_id = !n_histograms; h_bounds = Array.copy buckets } in
+        Stdlib.incr n_histograms;
+        Hashtbl.replace histograms name h;
+        h)
+
+(* ---------- per-domain storage ---------- *)
+
+type hist_cells = {
+  hc_counts : int array;  (* length = bounds + 1; last is overflow *)
+  mutable hc_total : int;
+  mutable hc_sum : int;
+  mutable hc_max : int;
+}
+
+type local = {
+  mutable lc : int array;  (* counter values, indexed by c_id *)
+  mutable lh : hist_cells option array;  (* indexed by h_id *)
+}
+
+let local_key = Domain.DLS.new_key (fun () -> { lc = [||]; lh = [||] })
+
+let grow_counters l id =
+  let cap = max 8 (max (id + 1) (2 * Array.length l.lc)) in
+  let a = Array.make cap 0 in
+  Array.blit l.lc 0 a 0 (Array.length l.lc);
+  l.lc <- a
+
+let grow_hists l id =
+  let cap = max 4 (max (id + 1) (2 * Array.length l.lh)) in
+  let a = Array.make cap None in
+  Array.blit l.lh 0 a 0 (Array.length l.lh);
+  l.lh <- a
+
+let[@inline] counter_cell l id =
+  if id >= Array.length l.lc then grow_counters l id;
+  l
+
+let hist_cells l (h : histogram) =
+  if h.h_id >= Array.length l.lh then grow_hists l h.h_id;
+  match l.lh.(h.h_id) with
+  | Some hc -> hc
   | None ->
-    let h =
-      {
-        bounds = Array.copy buckets;
-        counts = Array.make (Array.length buckets + 1) 0;
-        total = 0;
-        sum = 0;
-        max_value = 0;
-      }
+    let hc =
+      { hc_counts = Array.make (Array.length h.h_bounds + 1) 0; hc_total = 0; hc_sum = 0; hc_max = 0 }
     in
-    Hashtbl.replace histograms name h;
-    h
+    l.lh.(h.h_id) <- Some hc;
+    hc
+
+let[@inline] incr c =
+  if Atomic.get on then begin
+    let l = counter_cell (Domain.DLS.get local_key) c.c_id in
+    l.lc.(c.c_id) <- l.lc.(c.c_id) + 1
+  end
+
+let[@inline] add c n =
+  if Atomic.get on then begin
+    let l = counter_cell (Domain.DLS.get local_key) c.c_id in
+    l.lc.(c.c_id) <- l.lc.(c.c_id) + n
+  end
+
+let value c =
+  let l = Domain.DLS.get local_key in
+  if c.c_id < Array.length l.lc then l.lc.(c.c_id) else 0
 
 let observe h x =
-  if !on then begin
-    let k = Array.length h.bounds in
+  if Atomic.get on then begin
+    let hc = hist_cells (Domain.DLS.get local_key) h in
+    let k = Array.length h.h_bounds in
     (* linear scan: bucket arrays are tiny and typically hit early *)
-    let rec slot i = if i >= k || x <= h.bounds.(i) then i else slot (i + 1) in
+    let rec slot i = if i >= k || x <= h.h_bounds.(i) then i else slot (i + 1) in
     let i = slot 0 in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.total <- h.total + 1;
-    h.sum <- h.sum + x;
-    if x > h.max_value then h.max_value <- x
+    hc.hc_counts.(i) <- hc.hc_counts.(i) + 1;
+    hc.hc_total <- hc.hc_total + 1;
+    hc.hc_sum <- hc.hc_sum + x;
+    if x > hc.hc_max then hc.hc_max <- x
   end
+
+(* ---------- cross-domain merge ---------- *)
+
+type hist_delta = { dh_counts : int array; dh_total : int; dh_sum : int; dh_max : int }
+
+type delta = {
+  d_counters : (int * int) list;  (* (c_id, value), non-zero only *)
+  d_hists : (int * hist_delta) list;  (* (h_id, cells), non-empty only *)
+}
+
+let drain () =
+  let l = Domain.DLS.get local_key in
+  let d_counters = ref [] in
+  Array.iteri
+    (fun id v ->
+      if v <> 0 then begin
+        d_counters := (id, v) :: !d_counters;
+        l.lc.(id) <- 0
+      end)
+    l.lc;
+  let d_hists = ref [] in
+  Array.iteri
+    (fun id slot ->
+      match slot with
+      | Some hc when hc.hc_total <> 0 ->
+        d_hists :=
+          ( id,
+            {
+              dh_counts = Array.copy hc.hc_counts;
+              dh_total = hc.hc_total;
+              dh_sum = hc.hc_sum;
+              dh_max = hc.hc_max;
+            } )
+          :: !d_hists;
+        Array.fill hc.hc_counts 0 (Array.length hc.hc_counts) 0;
+        hc.hc_total <- 0;
+        hc.hc_sum <- 0;
+        hc.hc_max <- 0
+      | Some _ | None -> ())
+    l.lh;
+  { d_counters = !d_counters; d_hists = !d_hists }
+
+let absorb d =
+  let l = Domain.DLS.get local_key in
+  List.iter
+    (fun (id, v) ->
+      let l = counter_cell l id in
+      l.lc.(id) <- l.lc.(id) + v)
+    d.d_counters;
+  List.iter
+    (fun (id, (dh : hist_delta)) ->
+      (* resolve the descriptor so a fresh slot gets the right bucket count *)
+      let h =
+        Mutex.protect registry_lock (fun () ->
+            Hashtbl.fold
+              (fun _ (h : histogram) acc -> if h.h_id = id then Some h else acc)
+              histograms None)
+      in
+      match h with
+      | None -> ()
+      | Some h ->
+        let hc = hist_cells l h in
+        Array.iteri (fun i c -> hc.hc_counts.(i) <- hc.hc_counts.(i) + c) dh.dh_counts;
+        hc.hc_total <- hc.hc_total + dh.dh_total;
+        hc.hc_sum <- hc.hc_sum + dh.dh_sum;
+        if dh.dh_max > hc.hc_max then hc.hc_max <- dh.dh_max)
+    d.d_hists
+
+(* ---------- reading back ---------- *)
 
 type hist_snapshot = {
   bounds : int array;
@@ -87,38 +214,59 @@ type snapshot = {
 let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot () =
-  let cs = Hashtbl.fold (fun name c acc -> (name, c.v) :: acc) counters [] in
+  let l = Domain.DLS.get local_key in
+  let cs =
+    Hashtbl.fold
+      (fun name (c : counter) acc ->
+        let v = if c.c_id < Array.length l.lc then l.lc.(c.c_id) else 0 in
+        (name, v) :: acc)
+      counters []
+  in
   let hs =
     Hashtbl.fold
       (fun name (h : histogram) acc ->
-        ( name,
-          {
-            bounds = Array.copy h.bounds;
-            counts = Array.copy h.counts;
-            total = h.total;
-            sum = h.sum;
-            max_value = h.max_value;
-          } )
-        :: acc)
+        let s =
+          match (if h.h_id < Array.length l.lh then l.lh.(h.h_id) else None) with
+          | Some hc ->
+            {
+              bounds = Array.copy h.h_bounds;
+              counts = Array.copy hc.hc_counts;
+              total = hc.hc_total;
+              sum = hc.hc_sum;
+              max_value = hc.hc_max;
+            }
+          | None ->
+            {
+              bounds = Array.copy h.h_bounds;
+              counts = Array.make (Array.length h.h_bounds + 1) 0;
+              total = 0;
+              sum = 0;
+              max_value = 0;
+            }
+        in
+        (name, s) :: acc)
       histograms []
   in
   { counters = List.sort by_name cs; histograms = List.sort by_name hs }
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.v <- 0) counters;
-  Hashtbl.iter
-    (fun _ (h : histogram) ->
-      Array.fill h.counts 0 (Array.length h.counts) 0;
-      h.total <- 0;
-      h.sum <- 0;
-      h.max_value <- 0)
-    histograms
+  let l = Domain.DLS.get local_key in
+  Array.fill l.lc 0 (Array.length l.lc) 0;
+  Array.iter
+    (function
+      | Some hc ->
+        Array.fill hc.hc_counts 0 (Array.length hc.hc_counts) 0;
+        hc.hc_total <- 0;
+        hc.hc_sum <- 0;
+        hc.hc_max <- 0
+      | None -> ())
+    l.lh
 
 let render () =
   let s = snapshot () in
   let live_counters = List.filter (fun (_, v) -> v <> 0) s.counters in
   let live_hists = List.filter (fun (_, h) -> h.total <> 0) s.histograms in
-  if live_counters = [] && live_hists = [] then "(no metrics recorded)\n"
+  if List.is_empty live_counters && List.is_empty live_hists then "(no metrics recorded)\n"
   else begin
     let width =
       List.fold_left

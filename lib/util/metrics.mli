@@ -12,8 +12,14 @@
     default).  All operations are O(1) and allocation-free while enabled,
     except [snapshot]/[render]/[to_json].
 
-    Not thread-safe: counters are plain mutable ints, matching the
-    single-threaded execution model of the rest of the repository. *)
+    Multicore model: instrument descriptors are global (registration is
+    mutex-protected and normally happens at module initialization), but
+    the recorded {e values} live in domain-local storage.  [incr] /
+    [observe] / [value] / [snapshot] / [reset] all act on the calling
+    domain's tallies, so worker domains record without contention; after
+    joining a worker, merge its tallies into the coordinating domain with
+    {!drain} / {!absorb}.  On a single domain the behaviour is identical
+    to a plain global registry. *)
 
 type counter
 
@@ -49,6 +55,25 @@ val histogram : ?buckets:int array -> string -> histogram
 
 val observe : histogram -> int -> unit
 (** Record one observation, when recording is enabled. *)
+
+(** {1 Cross-domain merge}
+
+    The parallel batch executor ({!Qc_core.Engine.run_batch}) has each
+    worker domain call [drain] just before it finishes; the coordinator
+    [absorb]s the deltas in a fixed order after joining, so the merged
+    totals are deterministic and equal to a sequential run. *)
+
+type delta
+(** A detached bundle of one domain's recorded values. *)
+
+val drain : unit -> delta
+(** Copy the calling domain's tallies into a [delta] and zero them.
+    Draining with recording disabled still collects whatever was
+    recorded while it was on. *)
+
+val absorb : delta -> unit
+(** Add a drained bundle into the calling domain's tallies.
+    [absorb (drain ())] on one domain is the identity. *)
 
 (** {1 Reading back} *)
 

@@ -452,6 +452,16 @@ let iceberg t func ~threshold =
   in
   Qc_core.Query.iceberg index ~threshold
 
+(* Batches always run over the frozen snapshot: [Engine.run_batch] fans
+   the queries out across domains, and because the packed structure is
+   immutable, concurrent mutations on the coordinating domain keep
+   journaling to the WAL and refreezing without invalidating a batch in
+   flight — the batch just answers against the snapshot it started on. *)
+let run_batch ?jobs ?node_accesses t queries =
+  Qc_core.Engine.run_batch ?jobs ?node_accesses
+    (module Qc_core.Engine.Packed_backend)
+    (packed t) queries
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 (* ------------------------------------------------------------------ *)

@@ -164,6 +164,14 @@ val iceberg : t -> Agg.func -> threshold:float -> (Cell.t * Agg.t) list
 (** Rebuilds the measure index when the tree changed since the last iceberg
     query with the same function. *)
 
+val run_batch :
+  ?jobs:int -> ?node_accesses:bool -> t -> Engine.query array -> Engine.batch
+(** Serve a whole query batch from the frozen packed snapshot via
+    {!Engine.run_batch} (packed backend, parallel across domains).  The
+    snapshot is immutable, so mutations keep journaling to the WAL and
+    refreezing concurrently; a batch answers against the snapshot current
+    when it started. *)
+
 type stat = {
   rows : int;  (** base-table tuples *)
   dims : int;

@@ -83,6 +83,44 @@ if ! grep -q '"qctp-truncated"' stdout.txt; then
   fails=$((fails + 1))
 fi
 
+# --- batch: answers are byte-identical across --jobs and backends ---
+printf '# demo\npoint S1,P2,*\npoint *,*,*\npoint S2,P2,*\nrange *,P1|P2,f\niceberg sum 10\n' > queries.txt
+expect 0 "$QCT" batch sales.qcp queries.txt --jobs 1
+cp stdout.txt batch1.txt
+expect 0 "$QCT" batch sales.qcp queries.txt --jobs 4
+if ! cmp -s batch1.txt stdout.txt; then
+  echo "FAIL: batch --jobs 4 stdout differs from --jobs 1" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" batch sales.qct queries.txt --backend tree --node-accesses
+if ! grep -q 'nodes\]' stdout.txt; then
+  echo "FAIL: batch --node-accesses did not annotate point queries" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" batch sales.csv queries.txt --backend dwarf   # dwarf builds from CSV
+expect 0 "$QCT" batch sales.qcp queries.txt --json --jobs 2
+if ! grep -q '"backend":"packed"' stdout.txt; then
+  echo "FAIL: batch --json lacks the backend field" >&2
+  fails=$((fails + 1))
+fi
+
+# the deprecated --packed alias warns but still selects the packed backend
+expect 0 "$QCT" batch sales.qcp queries.txt --packed --jobs 1
+expect_stderr 'deprecated'
+if ! cmp -s batch1.txt stdout.txt; then
+  echo "FAIL: batch --packed differs from --backend packed" >&2
+  fails=$((fails + 1))
+fi
+
+# a bad query line fails the whole batch up front (exit 1, qct: diagnostic)
+printf 'point S9,*,*\n' > badq.txt
+expect 1 "$QCT" batch sales.qcp badq.txt
+expect_stderr '^qct:'
+printf 'frobnicate 1\n' > badq.txt
+expect 1 "$QCT" batch sales.qcp badq.txt
+expect_stderr '^qct:'
+expect 124 "$QCT" batch sales.qcp no-such-queries.txt   # missing file: usage error
+
 # --- maintenance with --self-check stays clean on the running example ---
 printf 'Store,Product,Season,Sale\nS2,P2,f,3\n' > delta.csv
 expect 0 "$QCT" insert sales.qct sales.csv delta.csv grown.qct --self-check
@@ -131,6 +169,15 @@ expect 1 "$QCT" wal wh
 expect_stderr '^qct:'
 rm wh/wal.log                          # a missing journal is just empty
 expect 0 "$QCT" recover wh --dry-run
+
+# --- batch over a warehouse directory serves the frozen packed snapshot ---
+expect 0 "$QCT" batch wh queries.txt --jobs 2
+if ! cmp -s batch1.txt stdout.txt; then
+  echo "FAIL: warehouse batch differs from the packed-file batch" >&2
+  fails=$((fails + 1))
+fi
+expect 1 "$QCT" batch wh queries.txt --backend tree   # directories are packed-only
+expect_stderr '^qct:'
 
 expect 1 "$QCT" recover no-such-dir
 expect_stderr '^qct:'

@@ -104,6 +104,35 @@ let test_json_roundtrip () =
   | Ok v -> Alcotest.(check bool) "pretty form parses equal" true (Jsonx.equal json v)
   | Error e -> Alcotest.failf "pretty JSON does not parse: %s" e
 
+(* Worker domains drain their per-domain cells; the coordinator absorbs the
+   deltas, ending with exactly the totals a single-domain run would have. *)
+let test_drain_absorb () =
+  let c = Metrics.counter "t.par_c" in
+  let h = Metrics.histogram ~buckets:[| 2; 8 |] "t.par_h" in
+  Metrics.add c 5;
+  Metrics.observe h 1;
+  let deltas =
+    Array.init 3 (fun k ->
+        Domain.spawn (fun () ->
+            Metrics.add c (10 * (k + 1));
+            Metrics.observe h (3 * (k + 1));
+            Metrics.drain ()))
+    |> Array.map Domain.join
+  in
+  Alcotest.(check int) "worker work is invisible before absorb" 5 (Metrics.value c);
+  Array.iter Metrics.absorb deltas;
+  Alcotest.(check int) "counter totals merge" (5 + 10 + 20 + 30) (Metrics.value c);
+  let s = List.assoc "t.par_h" (Metrics.snapshot ()).histograms in
+  (* observed 1, 3, 6, 9 -> <=2: {1}  <=8: {3,6}  overflow: {9} *)
+  Alcotest.(check (array int)) "bucket counts merge" [| 1; 2; 1 |] s.Metrics.counts;
+  Alcotest.(check int) "total merges" 4 s.Metrics.total;
+  Alcotest.(check int) "sum merges" 19 s.Metrics.sum;
+  Alcotest.(check int) "max merges" 9 s.Metrics.max_value;
+  (* drain really zeroes: a second drain of this domain carries nothing *)
+  let d = Metrics.drain () in
+  Metrics.absorb d;
+  Alcotest.(check int) "drain+absorb is idempotent on totals" 65 (Metrics.value c)
+
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -166,6 +195,8 @@ let () =
           Alcotest.test_case "reset" `Quick (with_metrics test_reset);
           Alcotest.test_case "snapshot sorted" `Quick (with_metrics test_snapshot_sorted);
           Alcotest.test_case "json round-trip" `Quick (with_metrics test_json_roundtrip);
+          Alcotest.test_case "drain/absorb across domains" `Quick
+            (with_metrics test_drain_absorb);
           Alcotest.test_case "render" `Quick (with_metrics test_render);
         ] );
       ( "jsonx",

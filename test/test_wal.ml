@@ -23,8 +23,8 @@ let sample_rows =
     ([ "a"; "b" ], Float.nan);
   ]
 
-(* Round trips are bit-exact on measures, so compare raw IEEE-754 bits
-   (approx-equality would choke on nan and -0.). *)
+(* Round trips are bit-exact on measures, so equality is on raw IEEE-754
+   bits (approx-equality would choke on nan and -0.). *)
 let same_rows a b =
   List.equal
     (fun (va, ma) (vb, mb) ->
