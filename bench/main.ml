@@ -1167,6 +1167,120 @@ let batch_scaling () =
   emit t
 
 (* ------------------------------------------------------------------ *)
+(* PR6: span-tracer overhead on the hot query path                     *)
+(* ------------------------------------------------------------------ *)
+
+(* What the permanent instrumentation costs: the Figure 13(a) point
+   workload pushed through [Engine.run_one] with every observability
+   switch off (the production configuration — a few atomic loads per
+   query) against the uninstrumented [Engine.run_one_plain] dispatch,
+   plus the fully-traced cost for the record.  The three modes are
+   interleaved rep by rep so clock drift and cache state bias none of
+   them.  Reported in BENCH_PR6.json via `--trace`; CI bounds the
+   disabled overhead. *)
+let trace_overhead () =
+  let module E = Qc_core.Engine in
+  let module T = Qc_util.Trace in
+  let rows, n_queries, repeats =
+    match !scale with Quick -> (20_000, 200_000, 9) | Full -> (50_000, 400_000, 11)
+  in
+  let cardinality = 100 in
+  let table =
+    Qc_data.Synthetic.generate
+      { Qc_data.Synthetic.default with rows; cardinality; seed = 45 }
+  in
+  let tree = Qc_core.Qc_tree.of_table table in
+  let packed = Qc_core.Packed.of_tree tree in
+  let queries =
+    Array.of_list
+      (List.map
+         (fun c -> E.Point c)
+         (Qc_data.Synthetic.random_point_queries ~seed:46 table n_queries))
+  in
+  let plain_pass () =
+    Array.iter (fun q -> ignore (E.run_one_plain (module E.Packed_backend) packed q)) queries
+  in
+  let disabled_pass () =
+    Array.iter (fun q -> ignore (E.run_one (module E.Packed_backend) packed q)) queries
+  in
+  let spans_per_run = ref 0 in
+  let traced_pass () =
+    T.reset ();
+    T.set_enabled true;
+    Array.iter (fun q -> ignore (E.run_one (module E.Packed_backend) packed q)) queries;
+    T.set_enabled false;
+    spans_per_run := T.span_count ();
+    T.reset ()
+  in
+  (* one untimed warm-up of each mode, then interleaved timed reps *)
+  plain_pass ();
+  disabled_pass ();
+  traced_pass ();
+  let s_plain = Array.make repeats 0.0 in
+  let s_disabled = Array.make repeats 0.0 in
+  let s_traced = Array.make repeats 0.0 in
+  for r = 0 to repeats - 1 do
+    s_plain.(r) <- Qc_util.Timer.time_s plain_pass;
+    s_disabled.(r) <- Qc_util.Timer.time_s disabled_pass;
+    s_traced.(r) <- Qc_util.Timer.time_s traced_pass
+  done;
+  let us samples =
+    Qc_util.Timer.median samples /. float_of_int n_queries *. 1e6
+  in
+  let m_plain = us s_plain and m_disabled = us s_disabled and m_traced = us s_traced in
+  let overhead_disabled = (m_disabled /. m_plain) -. 1.0 in
+  let overhead_traced = (m_traced /. m_plain) -. 1.0 in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "tracer overhead - %d point queries over packed snapshot (n=%d, d=6, card=%d, \
+            median of %d reps)"
+           n_queries rows cardinality repeats)
+      ~columns:[ "mode"; "us/query"; "overhead vs plain" ]
+  in
+  Tf.add_row t [ "uninstrumented (run_one_plain)"; Tf.cell_f m_plain; "-" ];
+  Tf.add_row t
+    [
+      "instrumented, all switches off";
+      Tf.cell_f m_disabled;
+      Printf.sprintf "%+.2f%%" (100.0 *. overhead_disabled);
+    ];
+  Tf.add_row t
+    [
+      "tracer enabled (one span/query)";
+      Tf.cell_f m_traced;
+      Printf.sprintf "%+.2f%%" (100.0 *. overhead_traced);
+    ];
+  Tf.note t
+    "the disabled row is the production configuration; CI bounds its overhead (<= 2% plus \
+     noise margin)";
+  emit t;
+  let timing samples =
+    Jx.Obj
+      [
+        ("us_per_query_median", Jx.Float (us samples));
+        ("us_per_query_mean", Jx.Float (Qc_util.Timer.mean samples /. float_of_int n_queries *. 1e6));
+        ( "elapsed_s_samples",
+          Jx.List (Array.to_list (Array.map (fun s -> Jx.Float s) samples)) );
+      ]
+  in
+  record "trace_overhead"
+    (Jx.Obj
+       [
+         ("rows", Jx.Int rows);
+         ("cardinality", Jx.Int cardinality);
+         ("n_queries", Jx.Int n_queries);
+         ("timing_repeats", Jx.Int repeats);
+         ("plain", timing s_plain);
+         ("disabled", timing s_disabled);
+         ("traced", timing s_traced);
+         ("overhead_disabled_ratio", Jx.Float overhead_disabled);
+         ("overhead_traced_ratio", Jx.Float overhead_traced);
+         ("spans_per_traced_run", Jx.Int !spans_per_run);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1183,6 +1297,7 @@ let experiments =
     ("packed", packed_fig13);
     ("wal", wal_overhead);
     ("batch", batch_scaling);
+    ("trace", trace_overhead);
     ("fig14a", fig14a);
     ("fig14b", fig14b);
     ("fig14c", fig14c);
@@ -1241,6 +1356,13 @@ let () =
          --json overrides *)
       selected := "batch" :: !selected;
       if not !json_out_set then json_out := "BENCH_PR5.json";
+      parse rest
+    | "--trace" :: rest ->
+      (* the PR6 instrumentation-cost report: run_one vs run_one_plain with
+         observability off and with the tracer on, in BENCH_PR6.json unless
+         --json overrides *)
+      selected := "trace" :: !selected;
+      if not !json_out_set then json_out := "BENCH_PR6.json";
       parse rest
     | "--log-level" :: level :: rest -> (
       match log_level_of_string level with

@@ -8,6 +8,7 @@
      explain    show the exact root-to-answer path of a point query
      iceberg    list classes whose aggregate passes a threshold
      batch      answer a whole query file in parallel across CPU domains
+     trace      run a query file traced and export Chrome trace-event JSON
      insert     batch-insert a CSV delta into a saved tree
      classes    dump quotient-cube classes of a CSV base table
      check      deep invariant audit of a saved tree (exit 2 on violations)
@@ -17,8 +18,11 @@
      wal        inspect a warehouse directory's write-ahead journal
 
    Every subcommand takes --log-level (the per-library Logs sources qc.dfs,
-   qc.tree, qc.maint, qc.warehouse report through a Fmt-based reporter) and
-   --metrics (print the work-counter registry to stderr on exit). *)
+   qc.tree, qc.maint, qc.warehouse, qc.slow report through a Fmt-based
+   reporter) and --metrics (print the work-counter registry to stderr on
+   exit); build/query/batch/check additionally take --trace FILE (Chrome
+   trace-event span export) and query/batch/trace take --slow-ms (the
+   slow-query log threshold). *)
 
 open Cmdliner
 open Qc_cube
@@ -106,6 +110,52 @@ let guard f =
 
 (* ---------- observability setup (shared by every subcommand) ---------- *)
 
+(* --trace FILE: enable the span tracer around the traced section and
+   write the buffered spans as Chrome trace-event JSON on the way out —
+   even when the body raises, so a failed run still leaves a loadable
+   trace.  The write goes through Durable.write_file, so an unwritable
+   path surfaces as a clean Sys_error (exit 1 under [guard]), never a
+   half-written file. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let module T = Qc_util.Trace in
+    T.reset ();
+    T.set_enabled true;
+    let write () =
+      T.set_enabled false;
+      let n = T.span_count () in
+      Qc_util.Durable.write_file path
+        (Qc_util.Jsonx.to_string (T.to_chrome_json ()) ^ "\n");
+      Printf.eprintf "trace: %d span(s) -> %s\n" n path
+    in
+    (match f () with
+    | v ->
+      write ();
+      v
+    | exception e ->
+      (try write () with _ -> ());
+      raise e)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record hierarchical execution spans and write them to $(docv) as Chrome \
+              trace-event JSON (loadable in Perfetto or chrome://tracing), one track per \
+              CPU domain.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Slow-query log threshold in milliseconds: every query at least this slow is \
+              reported on the $(b,qc.slow) Logs source (level warning) with its latency and \
+              node accesses; $(b,0) logs every query.")
+
 let setup log_level metrics =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -176,8 +226,9 @@ let generate_cmd =
 
 (* ---------- build ---------- *)
 
-let build () backend packed csv out =
+let build () backend packed trace csv out =
   guard @@ fun () ->
+  with_trace trace @@ fun () ->
   let choice = resolve_backend backend packed in
   let table = Qc_data.Csv.load csv in
   let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table table) in
@@ -198,13 +249,16 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build a QC-tree from a CSV base table and save it.")
     Term.(
-      const build $ common $ backend_arg $ packed_flag $ csv_arg 0 "Base table CSV."
-      $ tree_arg 1 "Output tree file.")
+      const build $ common $ backend_arg $ packed_flag $ trace_arg
+      $ csv_arg 0 "Base table CSV." $ tree_arg 1 "Output tree file.")
 
 (* ---------- stats ---------- *)
 
-let stats () csv json =
+let stats () csv json prom =
   guard @@ fun () ->
+  (* --prom records the work counters the builds themselves generate, so
+     the exposition carries live values, not an empty registry *)
+  if prom then Qc_util.Metrics.set_enabled true;
   let table = Qc_data.Csv.load csv in
   let cube_bytes = Buc.cube_bytes table in
   let cube_cells = Buc.count_cells table in
@@ -212,7 +266,8 @@ let stats () csv json =
   let tree = Qc_warehouse.Warehouse.tree wh in
   let qtab = Qc_core.Qc_table.of_table table in
   let dwarf = Qc_dwarf.Dwarf.build table in
-  if json then
+  if prom then print_string (Qc_util.Metrics.to_prometheus ())
+  else if json then
     let open Qc_util.Jsonx in
     print_endline
       (to_string
@@ -242,9 +297,17 @@ let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of the text table.")
   in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"Emit the metrics registry (work counters and latency histograms with exact \
+                p50/p90/p99 gauges) in Prometheus text exposition format instead of the \
+                storage table.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Compare storage structures over a CSV base table.")
-    Term.(const stats $ common $ csv_arg 0 "Base table CSV." $ json)
+    Term.(const stats $ common $ csv_arg 0 "Base table CSV." $ json $ prom)
 
 (* ---------- query ---------- *)
 
@@ -255,15 +318,21 @@ let print_answer schema cell func = function
       agg.Agg.count agg.Agg.sum agg.Agg.min agg.Agg.max
   | None -> Printf.printf "%s: NULL (empty cover)\n" (Cell.to_string schema cell)
 
-let query () backend packed tree_path cell_spec func =
+let query () backend packed trace slow_ms tree_path cell_spec func =
   guard @@ fun () ->
+  let module E = Qc_core.Engine in
+  E.set_slow_threshold_ms slow_ms;
+  with_trace trace @@ fun () ->
   let (L ((module B), b)) = load_backend (resolve_backend backend packed) tree_path in
   let schema = B.schema b in
   let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
-  match B.point b cell with
-  | Ok agg -> print_answer schema cell func (Some agg)
-  | Error (Qc_core.Engine.Empty_cover _) -> print_answer schema cell func None
-  | Error e -> failwith (Qc_core.Engine.error_to_string ~schema e)
+  let outcome = E.run_one (module B) b (E.Point cell) in
+  E.flush_slow_log ();
+  match outcome with
+  | Ok (E.Agg_answer agg) -> print_answer schema cell func (Some agg)
+  | Ok (E.Cells_answer _) -> failwith "query: point query returned a cell list"
+  | Error (E.Empty_cover _) -> print_answer schema cell func None
+  | Error e -> failwith (E.error_to_string ~schema e)
 
 let func_arg =
   Arg.(
@@ -278,8 +347,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a point query against a saved QC-tree.")
     Term.(
-      const query $ common $ backend_arg $ packed_flag $ tree_arg 0 "Saved tree file." $ cell
-      $ func_arg)
+      const query $ common $ backend_arg $ packed_flag $ trace_arg $ slow_ms_arg
+      $ tree_arg 0 "Saved tree file." $ cell $ func_arg)
 
 (* ---------- explain ---------- *)
 
@@ -332,20 +401,10 @@ let iceberg_cmd =
 
 (* ---------- batch ---------- *)
 
-(* Render one parsed query back in the query-file syntax, for labelling
-   results (answers must be diffable across --jobs values, so every line
-   is deterministic). *)
-let render_query schema = function
-  | Qc_core.Engine.Point cell -> Printf.sprintf "point %s" (Cell.to_string schema cell)
-  | Qc_core.Engine.Range q ->
-    let dim i vs =
-      if Array.length vs = 0 then "*"
-      else
-        String.concat "|" (Array.to_list (Array.map (Schema.decode_value schema i) vs))
-    in
-    Printf.sprintf "range (%s)" (String.concat ", " (Array.to_list (Array.mapi dim q)))
-  | Qc_core.Engine.Iceberg { func; threshold } ->
-    Printf.sprintf "iceberg %s %g" (Agg.func_to_string func) threshold
+(* Result labels must be diffable across --jobs values, so every line is
+   deterministic; the renderer lives in Engine (the slow-query log uses
+   the same one). *)
+let render_query = Qc_core.Engine.render_query
 
 let read_whole_file path =
   let ic = open_in_bin path in
@@ -353,35 +412,82 @@ let read_whole_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let batch () backend packed data_path queries_path jobs json node_accesses =
+(* Load DATA (saved tree, warehouse directory, or — for dwarf — a CSV)
+   into a schema plus a batch-running closure; shared by [batch] and
+   [trace]. *)
+let load_runner choice data_path =
+  let module E = Qc_core.Engine in
+  if Sys.is_directory data_path then begin
+    (match choice with
+    | B_packed -> ()
+    | B_tree | B_dwarf ->
+      failwith
+        "batch: a warehouse directory is served from its frozen packed snapshot; use \
+         --backend packed");
+    let w = Qc_warehouse.Warehouse.open_dir data_path in
+    ( Qc_warehouse.Warehouse.schema w,
+      fun ?jobs ~node_accesses qs -> Qc_warehouse.Warehouse.run_batch ?jobs ~node_accesses w qs )
+  end
+  else
+    let (L ((module B), b)) = load_backend choice data_path in
+    (B.schema b, fun ?jobs ~node_accesses qs -> E.run_batch ?jobs ~node_accesses (module B) b qs)
+
+let parse_query_file schema path =
+  let module E = Qc_core.Engine in
+  match E.parse_queries schema (read_whole_file path) with
+  | Ok qs -> qs
+  | Error e -> failwith (E.error_to_string ~schema e)
+
+(* The per-chunk and per-domain timing breakdowns of batch --json: chunks
+   verbatim from the executor, domains as the aggregation over the chunks
+   each Domain ran. *)
+let chunk_breakdown (chunks : Qc_core.Engine.chunk_stat array) =
+  let module E = Qc_core.Engine in
+  let open Qc_util.Jsonx in
+  let chunk_json (c : E.chunk_stat) =
+    Obj
+      [
+        ("chunk", Int c.E.chunk);
+        ("lo", Int c.E.c_lo);
+        ("hi", Int c.E.c_hi);
+        ("queries", Int (c.E.c_hi - c.E.c_lo));
+        ("domain", Int c.E.c_domain);
+        ("elapsed_s", Float c.E.c_elapsed_s);
+      ]
+  in
+  let domains =
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun (c : E.chunk_stat) ->
+        let n, q, t =
+          match Hashtbl.find_opt tbl c.E.c_domain with Some v -> v | None -> (0, 0, 0.0)
+        in
+        Hashtbl.replace tbl c.E.c_domain (n + 1, q + (c.E.c_hi - c.E.c_lo), t +. c.E.c_elapsed_s))
+      chunks;
+    List.sort
+      (fun (d1, _) (d2, _) -> Int.compare d1 d2)
+      (Hashtbl.fold (fun d v acc -> (d, v) :: acc) tbl [])
+  in
+  let domain_json (d, (n, q, t)) =
+    Obj [ ("domain", Int d); ("chunks", Int n); ("queries", Int q); ("busy_s", Float t) ]
+  in
+  [
+    ("chunks", List (Array.to_list (Array.map chunk_json chunks)));
+    ("domains", List (List.map domain_json domains));
+  ]
+
+let batch () backend packed trace slow_ms data_path queries_path jobs json node_accesses =
   guard @@ fun () ->
   let module E = Qc_core.Engine in
+  E.set_slow_threshold_ms slow_ms;
+  with_trace trace @@ fun () ->
   (* Batches run over a frozen snapshot, so the packed representation is
      the natural default; --backend tree/dwarf remain available for
      differential runs. *)
   let choice = resolve_backend ~default:B_packed backend packed in
-  let schema, run =
-    if Sys.is_directory data_path then begin
-      (match choice with
-      | B_packed -> ()
-      | B_tree | B_dwarf ->
-        failwith
-          "batch: a warehouse directory is served from its frozen packed snapshot; use \
-           --backend packed");
-      let w = Qc_warehouse.Warehouse.open_dir data_path in
-      ( Qc_warehouse.Warehouse.schema w,
-        fun qs -> Qc_warehouse.Warehouse.run_batch ?jobs ~node_accesses w qs )
-    end
-    else
-      let (L ((module B), b)) = load_backend choice data_path in
-      (B.schema b, fun qs -> E.run_batch ?jobs ~node_accesses (module B) b qs)
-  in
-  let queries =
-    match E.parse_queries schema (read_whole_file queries_path) with
-    | Ok qs -> qs
-    | Error e -> failwith (E.error_to_string ~schema e)
-  in
-  let b = run queries in
+  let schema, run = load_runner choice data_path in
+  let queries = parse_query_file schema queries_path in
+  let b = run ?jobs ~node_accesses queries in
   let pr_agg (agg : Agg.t) =
     Printf.sprintf "count=%d sum=%g min=%g max=%g" agg.Agg.count agg.Agg.sum agg.Agg.min
       agg.Agg.max
@@ -429,13 +535,14 @@ let batch () backend packed data_path queries_path jobs json node_accesses =
     print_endline
       (to_string
          (Obj
-            [
-              ("backend", String (backend_name choice));
-              ("jobs", Int b.E.jobs);
-              ("queries", Int (Array.length queries));
-              ("elapsed_s", Float b.E.elapsed_s);
-              ("results", List (List.mapi result (Array.to_list queries)));
-            ]))
+            ([
+               ("backend", String (backend_name choice));
+               ("jobs", Int b.E.jobs);
+               ("queries", Int (Array.length queries));
+               ("elapsed_s", Float b.E.elapsed_s);
+             ]
+            @ chunk_breakdown b.E.chunks
+            @ [ ("results", List (List.mapi result (Array.to_list queries))) ])))
   end
   else begin
     Array.iteri
@@ -462,31 +569,31 @@ let batch () backend packed data_path queries_path jobs json node_accesses =
       b.E.elapsed_s
   end
 
+let data_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"DATA"
+        ~doc:"Saved tree file (either format), a warehouse directory, or — with \
+              $(b,--backend dwarf) — a CSV base table.")
+
+let queries_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"QUERIES"
+        ~doc:"Query file: one $(b,point CELL), $(b,range SPEC) or $(b,iceberg FUNC \
+              THRESHOLD) per line; blank lines and $(b,#) comments are skipped.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains (default: $(b,QC_JOBS) when set, else the recommended \
+              domain count).  Answers are bit-identical for every value.")
+
 let batch_cmd =
-  let data =
-    Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"DATA"
-          ~doc:"Saved tree file (either format), a warehouse directory, or — with \
-                $(b,--backend dwarf) — a CSV base table.")
-  in
-  let queries =
-    Arg.(
-      required
-      & pos 1 (some file) None
-      & info [] ~docv:"QUERIES"
-          ~doc:"Query file: one $(b,point CELL), $(b,range SPEC) or $(b,iceberg FUNC \
-                THRESHOLD) per line; blank lines and $(b,#) comments are skipped.")
-  in
-  let jobs =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Worker domains (default: $(b,QC_JOBS) when set, else the recommended \
-                domain count).  Answers are bit-identical for every value.")
-  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text lines.")
   in
@@ -502,8 +609,46 @@ let batch_cmd =
              printed in input order and are bit-identical to a sequential run ($(b,--jobs \
              1)); the default backend is the frozen packed snapshot.")
     Term.(
-      const batch $ common $ backend_arg $ packed_flag $ data $ queries $ jobs $ json
-      $ node_acc)
+      const batch $ common $ backend_arg $ packed_flag $ trace_arg $ slow_ms_arg $ data_arg
+      $ queries_arg $ jobs_arg $ json $ node_acc)
+
+(* ---------- trace ---------- *)
+
+let trace_run () backend packed slow_ms node_accesses data_path queries_path out jobs =
+  guard @@ fun () ->
+  let module E = Qc_core.Engine in
+  E.set_slow_threshold_ms slow_ms;
+  with_trace (Some out) @@ fun () ->
+  let choice = resolve_backend ~default:B_packed backend packed in
+  let schema, run = load_runner choice data_path in
+  let queries = parse_query_file schema queries_path in
+  let b = run ?jobs ~node_accesses queries in
+  Printf.printf "traced %d queries over %d job(s) in %.3fs\n" (Array.length queries) b.E.jobs
+    b.E.elapsed_s
+
+let trace_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"OUT.json" ~doc:"Chrome trace-event JSON output file.")
+  in
+  let node_acc =
+    Arg.(
+      value & flag
+      & info [ "node-accesses" ]
+          ~doc:"Also record per-point-query node-access counts as span attributes.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a query file with full span tracing and write the result as Chrome \
+             trace-event JSON (loadable in Perfetto or chrome://tracing): one track per \
+             CPU domain, one span per query/chunk/batch with node-access attributes.  \
+             Equivalent to $(b,qct batch --trace OUT.json) minus the per-query answer \
+             printing.")
+    Term.(
+      const trace_run $ common $ backend_arg $ packed_flag $ slow_ms_arg $ node_acc
+      $ data_arg $ queries_arg $ out $ jobs_arg)
 
 (* ---------- insert ---------- *)
 
@@ -668,9 +813,13 @@ let whatif_cmd =
    2 = violations found, 1 = runtime failure (unreadable file, bad cell),
    124 = usage error.  2 is distinct from 1 so scripts can tell "the tree is
    broken" from "the command could not run". *)
-let check () backend packed tree_path base_csv deep samples json =
+let check () backend packed trace tree_path base_csv deep samples json =
   guard @@ fun () ->
-  let packed_too =
+  (* the audit runs (and its trace is written) before the exit-2 verdict,
+     so a failing tree still yields a complete trace file *)
+  let violations =
+    with_trace trace @@ fun () ->
+    let packed_too =
     match resolve_backend backend packed with
     | B_packed -> true
     | B_tree -> false
@@ -734,6 +883,8 @@ let check () backend packed tree_path base_csv deep samples json =
         (List.length report.Qc_core.Check.checked)
     else Printf.printf "FAILED: %d violation(s) in %d checks\n" (List.length violations) n_checks
   end;
+    violations
+  in
   if not (List.is_empty violations) then exit 2
 
 let check_cmd =
@@ -763,7 +914,7 @@ let check_cmd =
              $(b,--backend packed), additionally freeze the tree and audit the packed \
              columns, the serialized bytes and the freeze/thaw/serialize round trips.")
     Term.(
-      const check $ common $ backend_arg $ packed_flag
+      const check $ common $ backend_arg $ packed_flag $ trace_arg
       $ tree_arg 0 "Saved tree file (either format)." $ base $ deep $ samples $ json)
 
 (* ---------- recover ---------- *)
@@ -983,6 +1134,7 @@ let () =
             explain_cmd;
             iceberg_cmd;
             batch_cmd;
+            trace_cmd;
             insert_cmd;
             delete_cmd;
             rollup_cmd;

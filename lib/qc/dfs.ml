@@ -1,5 +1,6 @@
 open Qc_cube
 module Metrics = Qc_util.Metrics
+module Trace = Qc_util.Trace
 
 type visit = {
   id : int;
@@ -28,6 +29,8 @@ let m_prunes = Metrics.counter "dfs.prunes"
 let visit table f =
   let n = Table.n_rows table in
   let d = Table.n_dims table in
+  Trace.with_span ~cat:"dfs" ~args:[ ("rows", Trace.Int n); ("dims", Trace.Int d) ] "dfs.visit"
+  @@ fun () ->
   if n > 0 then begin
     let idx = Table.all_indices table in
     let counter = ref 0 in
@@ -68,6 +71,7 @@ let visit table f =
         done
     in
     dfs (Cell.make_all d) 0 n (-1) (-1);
+    Trace.add_attr "cells" (Trace.Int !counter);
     Log.debug (fun m -> m "dfs over %d rows visited %d cells" n !counter)
   end
 

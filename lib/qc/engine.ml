@@ -1,5 +1,7 @@
 open Qc_cube
 module Metrics = Qc_util.Metrics
+module Trace = Qc_util.Trace
+module Clock = Qc_util.Clock
 
 type error = Query.error =
   | Arity_mismatch of { expected : int; got : int }
@@ -295,13 +297,83 @@ let parse_queries schema text =
   in
   go 1 [] (String.split_on_char '\n' text)
 
+let query_kind = function Point _ -> "point" | Range _ -> "range" | Iceberg _ -> "iceberg"
+
+let render_query schema = function
+  | Point cell -> Printf.sprintf "point %s" (Cell.to_string schema cell)
+  | Range q ->
+    let dim i vs =
+      if Array.length vs = 0 then "*"
+      else String.concat "|" (Array.to_list (Array.map (Schema.decode_value schema i) vs))
+    in
+    Printf.sprintf "range (%s)" (String.concat ", " (Array.to_list (Array.mapi dim q)))
+  | Iceberg { func; threshold } ->
+    Printf.sprintf "iceberg %s %g" (Agg.func_to_string func) threshold
+
+(* ---------- the slow-query log ----------
+
+   Logs reporters are not domain-safe, so workers never log directly:
+   each domain buffers its slow-query entries in DLS, the batch executor
+   merges them in chunk order with the other deltas, and the coordinator
+   emits them on the [qc.slow] source after the join — deterministic
+   order, no interleaved reporters. *)
+
+let slow_src = Logs.Src.create "qc.slow" ~doc:"Queries exceeding the slow-query threshold"
+
+module Slow_log = (val Logs.src_log slow_src)
+
+(* threshold in nanoseconds; max_int = disabled *)
+let slow_threshold_ns = Atomic.make max_int
+
+let set_slow_threshold_ms = function
+  | None -> Atomic.set slow_threshold_ns max_int
+  | Some ms ->
+    if not (Float.is_finite ms) || ms < 0.0 then
+      invalid_arg "Engine.set_slow_threshold_ms: threshold must be finite and non-negative";
+    Atomic.set slow_threshold_ns (int_of_float (ms *. 1e6))
+
+type slow_entry = { se_query : string; se_latency_ns : int; se_nodes : int (* -1 unknown *) }
+
+let slow_key : slow_entry list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let m_slow = Metrics.counter "engine.slow_queries"
+
+let drain_slow () =
+  let r = Domain.DLS.get slow_key in
+  let es = List.rev !r in
+  r := [];
+  es
+
+let absorb_slow es =
+  let r = Domain.DLS.get slow_key in
+  r := List.rev_append es !r
+
+let flush_slow_log () =
+  List.iter
+    (fun e ->
+      Slow_log.warn (fun m ->
+          m "slow query: %s latency=%.3fms nodes=%s" e.se_query
+            (float_of_int e.se_latency_ns /. 1e6)
+            (if e.se_nodes >= 0 then string_of_int e.se_nodes else "-")))
+    (drain_slow ())
+
 (* ---------- the parallel batch executor ---------- *)
+
+type chunk_stat = {
+  chunk : int;
+  c_lo : int;
+  c_hi : int;
+  c_domain : int;
+  c_elapsed_s : float;
+}
 
 type batch = {
   outcomes : outcome array;
   accesses : int array option;
   jobs : int;
   elapsed_s : float;
+  chunks : chunk_stat array;
 }
 
 let default_jobs () =
@@ -312,7 +384,9 @@ let default_jobs () =
     | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-let run_one (type a) (module B : BACKEND with type t = a) (b : a) = function
+(* the uninstrumented dispatch — also the baseline BENCH_PR6 compares the
+   instrumented wrapper against to bound the tracer-disabled overhead *)
+let run_one_plain (type a) (module B : BACKEND with type t = a) (b : a) = function
   | Point cell -> (
     match B.point b cell with Ok agg -> Ok (Agg_answer agg) | Error _ as e -> e)
   | Range q -> (
@@ -321,6 +395,52 @@ let run_one (type a) (module B : BACKEND with type t = a) (b : a) = function
     match B.iceberg b func ~threshold with
     | Ok cells -> Ok (Cells_answer cells)
     | Error _ as e -> e)
+
+let m_query_us =
+  Metrics.histogram
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192 |]
+    "engine.query_us"
+
+let run_one (type a) (module B : BACKEND with type t = a) (b : a) q =
+  let tracing = Trace.enabled () in
+  let slow_ns = Atomic.get slow_threshold_ns in
+  if not (tracing || Metrics.enabled () || slow_ns < max_int) then run_one_plain (module B) b q
+  else begin
+    let t0 = Clock.now_ns () in
+    let out =
+      if tracing then
+        Trace.with_span ~cat:"engine"
+          ~args:[ ("backend", Trace.String B.name) ]
+          (query_kind q)
+          (fun () ->
+            let out = run_one_plain (module B) b q in
+            (match q with
+            | Point cell -> (
+              match B.node_accesses b cell with
+              | Ok k -> Trace.add_attr "nodes" (Trace.Int k)
+              | Error _ -> ())
+            | Range _ | Iceberg _ -> ());
+            (match out with
+            | Ok _ -> ()
+            | Error e -> Trace.add_attr "error" (Trace.String (error_to_string e)));
+            out)
+      else run_one_plain (module B) b q
+    in
+    let dt = Clock.now_ns () - t0 in
+    Metrics.observe m_query_us (dt / 1000);
+    if dt >= slow_ns then begin
+      Metrics.incr m_slow;
+      let nodes =
+        match q with
+        | Point cell -> ( match B.node_accesses b cell with Ok k -> k | Error _ -> -1)
+        | Range _ | Iceberg _ -> -1
+      in
+      let r = Domain.DLS.get slow_key in
+      r :=
+        { se_query = render_query (B.schema b) q; se_latency_ns = dt; se_nodes = nodes } :: !r
+    end;
+    out
+  end
 
 let m_batch = Metrics.counter "engine.batch"
 
@@ -346,50 +466,90 @@ let run_batch (type a) ?jobs ?(node_accesses = false) ?chunk_order
         match B.node_accesses b cell with Ok k -> acc.(i) <- k | Error _ -> ())
       | Range _ | Iceberg _ -> ())
   in
+  let tracing = Trace.enabled () in
+  let chunks =
+    Array.init jobs (fun k -> { chunk = k; c_lo = 0; c_hi = 0; c_domain = 0; c_elapsed_s = 0.0 })
+  in
+  (* chunk k is queries [k*n/jobs, (k+1)*n/jobs); each invocation writes
+     only chunks.(k), so workers touch disjoint slots *)
+  let run_chunk k =
+    let lo = k * n / jobs and hi = (((k + 1) * n) / jobs) - 1 in
+    let t0 = Clock.now_ns () in
+    let body () =
+      for i = lo to hi do
+        run_slot i
+      done
+    in
+    if tracing then
+      Trace.with_span ~cat:"engine"
+        ~args:[ ("chunk", Trace.Int k); ("lo", Trace.Int lo); ("hi", Trace.Int (hi + 1)) ]
+        "engine.chunk" body
+    else body ();
+    chunks.(k) <-
+      {
+        chunk = k;
+        c_lo = lo;
+        c_hi = hi + 1;
+        c_domain = (Domain.self () :> int);
+        c_elapsed_s = Clock.ns_to_s (Clock.now_ns () - t0);
+      }
+  in
+  let execute () =
+    if jobs = 1 then run_chunk 0
+    else begin
+      (* Exactly [jobs] contiguous chunks.  Each worker domain writes
+         disjoint slots of the shared arrays and hands back its drained
+         metrics, trace spans and slow-query entries; the coordinator
+         absorbs the deltas in chunk order after the joins, so totals,
+         span multisets and log order match a sequential run exactly. *)
+      let order =
+        match chunk_order with
+        | None -> Array.init jobs (fun k -> k)
+        | Some o ->
+          if Array.length o <> jobs then
+            invalid_arg "Engine.run_batch: chunk_order must have one entry per job";
+          let seen = Array.make jobs false in
+          Array.iter
+            (fun k ->
+              if k < 0 || k >= jobs || seen.(k) then
+                invalid_arg "Engine.run_batch: chunk_order must be a permutation";
+              seen.(k) <- true)
+            o;
+          o
+      in
+      let metrics_on = Metrics.enabled () in
+      let workers =
+        Array.map
+          (fun k ->
+            ( k,
+              Domain.spawn (fun () ->
+                  run_chunk k;
+                  ( (if metrics_on then Some (Metrics.drain ()) else None),
+                    (if tracing then Some (Trace.drain ()) else None),
+                    drain_slow () )) ))
+          order
+      in
+      let deltas = Array.make jobs None in
+      Array.iter (fun (k, d) -> deltas.(k) <- Some (Domain.join d)) workers;
+      Array.iter
+        (function
+          | Some (md, td, sd) ->
+            Option.iter Metrics.absorb md;
+            Option.iter Trace.absorb td;
+            absorb_slow sd
+          | None -> ())
+        deltas
+    end
+  in
   let (), elapsed_s =
     Qc_util.Timer.time (fun () ->
-        if jobs = 1 then
-          for i = 0 to n - 1 do
-            run_slot i
-          done
-        else begin
-          (* Exactly [jobs] contiguous chunks; chunk k is queries
-             [k*n/jobs, (k+1)*n/jobs).  Each worker domain writes disjoint
-             slots of the shared arrays and hands back its drained metrics;
-             the coordinator absorbs the deltas in chunk order after the
-             joins, so counter totals match a sequential run exactly. *)
-          let order =
-            match chunk_order with
-            | None -> Array.init jobs (fun k -> k)
-            | Some o ->
-              if Array.length o <> jobs then
-                invalid_arg "Engine.run_batch: chunk_order must have one entry per job";
-              let seen = Array.make jobs false in
-              Array.iter
-                (fun k ->
-                  if k < 0 || k >= jobs || seen.(k) then
-                    invalid_arg "Engine.run_batch: chunk_order must be a permutation";
-                  seen.(k) <- true)
-                o;
-              o
-          in
-          let metrics_on = Metrics.enabled () in
-          let workers =
-            Array.map
-              (fun k ->
-                ( k,
-                  Domain.spawn (fun () ->
-                      for i = k * n / jobs to (((k + 1) * n) / jobs) - 1 do
-                        run_slot i
-                      done;
-                      if metrics_on then Some (Metrics.drain ()) else None) ))
-              order
-          in
-          let deltas = Array.make jobs None in
-          Array.iter (fun (k, d) -> deltas.(k) <- Domain.join d) workers;
-          Array.iter (function Some d -> Metrics.absorb d | None -> ()) deltas
-        end)
+        if tracing then
+          Trace.with_span ~cat:"engine"
+            ~args:[ ("backend", Trace.String B.name); ("jobs", Trace.Int jobs); ("queries", Trace.Int n) ]
+            "engine.batch" execute
+        else execute ())
   in
   Metrics.incr m_batch;
   Metrics.add m_batch_queries n;
-  { outcomes; accesses; jobs; elapsed_s }
+  flush_slow_log ();
+  { outcomes; accesses; jobs; elapsed_s; chunks }

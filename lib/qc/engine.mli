@@ -129,7 +129,60 @@ val parse_queries : Schema.t -> string -> (query array, error) result
     [Bad_query "line N: ..."] — batches are validated up front so the
     executor never mixes parse errors into result slots. *)
 
+val render_query : Schema.t -> query -> string
+(** One-line human rendering ([point S1,P2,*], [range (...)],
+    [iceberg sum 25]) — used by [qct batch] output and the slow-query
+    log. *)
+
+val query_kind : query -> string
+(** ["point"], ["range"] or ["iceberg"] — also the per-query span name. *)
+
+(** {1 Observability}
+
+    {!run_one} (and therefore every batch) is instrumented with
+    {!Qc_util.Trace} spans: one span per query (name = {!query_kind},
+    category ["engine"], attributes [backend] and — for point queries —
+    [nodes], the paper's Figure-13 work unit), one per chunk and one per
+    batch.  With tracing, metrics and the slow-query log all disabled the
+    instrumentation reduces to a few atomic loads (bounded by
+    [BENCH_PR6.json]).
+
+    The slow-query log: when a threshold is set, any query whose latency
+    reaches it is buffered (Domain-locally, so workers never touch the
+    Logs reporter) and emitted on the [qc.slow] source — query, latency
+    and node accesses — by {!flush_slow_log}, which {!run_batch} calls
+    after its deterministic chunk-order merge. *)
+
+val set_slow_threshold_ms : float option -> unit
+(** Enable ([Some ms]) or disable ([None], the default) the slow-query
+    log.  [Some 0.] logs every query.
+    @raise Invalid_argument on a negative or non-finite threshold. *)
+
+val flush_slow_log : unit -> unit
+(** Emit and clear the calling Domain's buffered slow-query entries on
+    the [qc.slow] Logs source (level [warning]).  Callers running
+    {!run_one} directly should flush after the query; {!run_batch}
+    flushes itself. *)
+
+val run_one : (module BACKEND with type t = 'a) -> 'a -> query -> outcome
+(** Answer one query (the instrumented single-query entry point the
+    batch executor also uses per slot). *)
+
+val run_one_plain : (module BACKEND with type t = 'a) -> 'a -> query -> outcome
+(** The uninstrumented dispatch {!run_one} reduces to when tracing,
+    metrics and the slow-query log are all off — exposed as the baseline
+    [BENCH_PR6.json] measures the disabled-instrumentation overhead
+    against. *)
+
 (** {1 The parallel batch executor} *)
+
+type chunk_stat = {
+  chunk : int;  (** chunk index, [0 .. jobs-1] *)
+  c_lo : int;  (** first query slot of the chunk (inclusive) *)
+  c_hi : int;  (** one past the last query slot *)
+  c_domain : int;  (** the Domain id the chunk ran on *)
+  c_elapsed_s : float;  (** monotonic elapsed seconds for the chunk *)
+}
 
 type batch = {
   outcomes : outcome array;  (** one per query, in input order *)
@@ -138,6 +191,9 @@ type batch = {
           requested *)
   jobs : int;  (** the domain count actually used *)
   elapsed_s : float;  (** wall-clock execution time, excluding parsing *)
+  chunks : chunk_stat array;
+      (** per-chunk timing, indexed by chunk — the source of
+          [qct batch --json]'s per-chunk / per-domain breakdowns *)
 }
 
 val default_jobs : unit -> int

@@ -1,5 +1,6 @@
 open Qc_cube
 module Metrics = Qc_util.Metrics
+module Trace = Qc_util.Trace
 
 let log = Logs.Src.create "qc.maint" ~doc:"QC-tree incremental maintenance"
 
@@ -290,8 +291,17 @@ let plan_carve_repairs tree base records =
     !repairs
 
 let insert_batch tree ~base ~delta =
-  let records, located = delta_search tree delta in
-  let repairs = plan_carve_repairs tree base records in
+  Trace.with_span ~cat:"maint"
+    ~args:[ ("rows", Trace.Int (Table.n_rows delta)) ]
+    "maint.insert"
+  @@ fun () ->
+  let records, located =
+    Trace.with_span ~cat:"maint" "maint.delta_search" (fun () -> delta_search tree delta)
+  in
+  let repairs =
+    Trace.with_span ~cat:"maint" "maint.plan_carve" (fun () ->
+        plan_carve_repairs tree base records)
+  in
   (* Phase 2: replay in dictionary order of upper bounds, exactly like
      construction — first occurrence patches a node, repetitions add one
      drill-down connection from their lattice child. *)
@@ -453,6 +463,10 @@ let propagate_covers tree table f =
   go (Qc_tree.root tree) all
 
 let delete_batch tree ~base ~delta =
+  Trace.with_span ~cat:"maint"
+    ~args:[ ("rows", Trace.Int (Table.n_rows delta)) ]
+    "maint.delete"
+  @@ fun () ->
   let d = Table.n_dims base in
   (* Match delta rows against base rows as a multiset (hash join on the
      dimension vector, then measure). *)
@@ -621,6 +635,7 @@ let delete_batch tree ~base ~delta =
 (* "Modifications can be simulated by deletions and insertions"
    (Section 3.3): remove the old rows, then insert the new ones. *)
 let update_batch tree ~base ~old_rows ~new_rows =
+  Trace.with_span ~cat:"maint" "maint.update" @@ fun () ->
   let new_base, del_stats = delete_batch tree ~base ~delta:old_rows in
   let ins_stats = insert_batch tree ~base:new_base ~delta:new_rows in
   (new_base, del_stats, ins_stats)

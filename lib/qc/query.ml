@@ -1,5 +1,6 @@
 open Qc_cube
 module Metrics = Qc_util.Metrics
+module Trace = Qc_util.Trace
 
 (* Per-step work counters of Algorithms 3 and 4 — the units the paper's
    Figure 13 analysis is phrased in.  A tree-edge or link step consumes one
@@ -271,6 +272,7 @@ let check_range t (q : range) =
 let range t (q : range) =
   check_range t q;
   Metrics.incr m_range;
+  Trace.with_span ~cat:"query" "query.range" @@ fun () ->
   let d = Array.length q in
   let inst = Cell.make_all d in
   let results = ref [] in
@@ -294,6 +296,7 @@ let range t (q : range) =
         q.(i)
   in
   go (Qc_tree.root t) 0;
+  Trace.add_attr "results" (Trace.Int (List.length !results));
   List.rev !results
 
 let range_result t (q : range) =
@@ -327,6 +330,7 @@ type measure_index = {
 }
 
 let make_index tree func =
+  Trace.with_span ~cat:"query" "query.index" @@ fun () ->
   let acc = ref [] in
   Qc_tree.iter_nodes
     (fun n ->
@@ -336,6 +340,7 @@ let make_index tree func =
     tree;
   let entries = Array.of_list !acc in
   Array.sort (fun (a, _) (b, _) -> Float.compare a b) entries;
+  Trace.add_attr "entries" (Trace.Int (Array.length entries));
   { tree; func; entries }
 
 (* First index position with value >= threshold. *)
@@ -599,6 +604,7 @@ let check_range_p p (q : range) =
 let range_packed p (q : range) =
   check_range_p p q;
   Metrics.incr m_range;
+  Trace.with_span ~cat:"query" "query.range" @@ fun () ->
   let d = Array.length q in
   let inst = Cell.make_all d in
   let results = ref [] in
@@ -626,6 +632,7 @@ let range_packed p (q : range) =
         q.(i)
   in
   go (Packed.root p) 0;
+  Trace.add_attr "results" (Trace.Int (List.length !results));
   List.rev !results
 
 let range_result_packed p (q : range) =

@@ -1,0 +1,22 @@
+(* The single monotonic time source for the whole repository.
+
+   Every latency we report — Timer samples, Trace spans, slow-query
+   thresholds — must come from the same clock, and that clock must be
+   monotonic: wall time (gettimeofday) jumps under NTP slew and breaks
+   span nesting.  tools/lint.sh rule 8 bans Unix.gettimeofday outside
+   this file, so there is exactly one place a clock can be wrong. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let ns_per_s = 1_000_000_000.0
+
+let now_s () = float_of_int (now_ns ()) /. ns_per_s
+
+let ns_to_s ns = float_of_int ns /. ns_per_s
+
+let ns_to_us ns = float_of_int ns /. 1_000.0
+
+(* Wall-clock epoch seconds, for timestamps in logs and manifests (never
+   for measuring durations).  Lives here so the lint rule has a single
+   sanctioned call site. *)
+let wall_s () = Unix.gettimeofday ()

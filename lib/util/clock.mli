@@ -1,0 +1,27 @@
+(** The repository's single monotonic time source.
+
+    All duration measurement (Timer, Trace spans, slow-query latencies)
+    reads this clock — a monotonic nanosecond counter with an arbitrary
+    epoch, immune to NTP adjustments.  [tools/lint.sh] bans raw
+    [Unix.gettimeofday] outside this module so no second clock can creep
+    in. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary epoch.  63 bits of
+    nanoseconds cover ~292 years of uptime, so [int] is safe on 64-bit
+    platforms. *)
+
+val now_s : unit -> float
+(** {!now_ns} converted to seconds (same arbitrary epoch); subtract two
+    readings for an elapsed-seconds measurement. *)
+
+val ns_to_s : int -> float
+(** Convert a nanosecond duration to seconds. *)
+
+val ns_to_us : int -> float
+(** Convert a nanosecond duration to (fractional) microseconds — the unit
+    of Chrome trace-event timestamps. *)
+
+val wall_s : unit -> float
+(** Wall-clock seconds since the Unix epoch — for timestamping artifacts,
+    {e never} for measuring durations (it is not monotonic). *)

@@ -7,6 +7,7 @@ let check_site fp suffix =
   match site fp suffix with None -> None | Some label -> Failpoint.check label
 
 let fsync_out oc =
+  Trace.with_span ~cat:"fs" "fs.fsync" @@ fun () ->
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
 

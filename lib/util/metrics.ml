@@ -64,6 +64,11 @@ type hist_cells = {
   mutable hc_total : int;
   mutable hc_sum : int;
   mutable hc_max : int;
+  (* every observation, verbatim, so snapshots report exact (not
+     bucket-interpolated) percentiles; grows by doubling and is retained
+     only while recording is enabled *)
+  mutable hc_samples : int array;
+  mutable hc_len : int;
 }
 
 type local = {
@@ -95,7 +100,14 @@ let hist_cells l (h : histogram) =
   | Some hc -> hc
   | None ->
     let hc =
-      { hc_counts = Array.make (Array.length h.h_bounds + 1) 0; hc_total = 0; hc_sum = 0; hc_max = 0 }
+      {
+        hc_counts = Array.make (Array.length h.h_bounds + 1) 0;
+        hc_total = 0;
+        hc_sum = 0;
+        hc_max = 0;
+        hc_samples = [||];
+        hc_len = 0;
+      }
     in
     l.lh.(h.h_id) <- Some hc;
     hc
@@ -126,12 +138,26 @@ let observe h x =
     hc.hc_counts.(i) <- hc.hc_counts.(i) + 1;
     hc.hc_total <- hc.hc_total + 1;
     hc.hc_sum <- hc.hc_sum + x;
-    if x > hc.hc_max then hc.hc_max <- x
+    if x > hc.hc_max then hc.hc_max <- x;
+    if hc.hc_len >= Array.length hc.hc_samples then begin
+      let cap = max 16 (2 * Array.length hc.hc_samples) in
+      let a = Array.make cap 0 in
+      Array.blit hc.hc_samples 0 a 0 hc.hc_len;
+      hc.hc_samples <- a
+    end;
+    hc.hc_samples.(hc.hc_len) <- x;
+    hc.hc_len <- hc.hc_len + 1
   end
 
 (* ---------- cross-domain merge ---------- *)
 
-type hist_delta = { dh_counts : int array; dh_total : int; dh_sum : int; dh_max : int }
+type hist_delta = {
+  dh_counts : int array;
+  dh_total : int;
+  dh_sum : int;
+  dh_max : int;
+  dh_samples : int array;  (* exact observations, in recording order *)
+}
 
 type delta = {
   d_counters : (int * int) list;  (* (c_id, value), non-zero only *)
@@ -160,12 +186,14 @@ let drain () =
               dh_total = hc.hc_total;
               dh_sum = hc.hc_sum;
               dh_max = hc.hc_max;
+              dh_samples = Array.sub hc.hc_samples 0 hc.hc_len;
             } )
           :: !d_hists;
         Array.fill hc.hc_counts 0 (Array.length hc.hc_counts) 0;
         hc.hc_total <- 0;
         hc.hc_sum <- 0;
-        hc.hc_max <- 0
+        hc.hc_max <- 0;
+        hc.hc_len <- 0
       | Some _ | None -> ())
     l.lh;
   { d_counters = !d_counters; d_hists = !d_hists }
@@ -193,7 +221,18 @@ let absorb d =
         Array.iteri (fun i c -> hc.hc_counts.(i) <- hc.hc_counts.(i) + c) dh.dh_counts;
         hc.hc_total <- hc.hc_total + dh.dh_total;
         hc.hc_sum <- hc.hc_sum + dh.dh_sum;
-        if dh.dh_max > hc.hc_max then hc.hc_max <- dh.dh_max)
+        if dh.dh_max > hc.hc_max then hc.hc_max <- dh.dh_max;
+        let n = Array.length dh.dh_samples in
+        if n > 0 then begin
+          if hc.hc_len + n > Array.length hc.hc_samples then begin
+            let cap = max 16 (max (hc.hc_len + n) (2 * Array.length hc.hc_samples)) in
+            let a = Array.make cap 0 in
+            Array.blit hc.hc_samples 0 a 0 hc.hc_len;
+            hc.hc_samples <- a
+          end;
+          Array.blit dh.dh_samples 0 hc.hc_samples hc.hc_len n;
+          hc.hc_len <- hc.hc_len + n
+        end)
     d.d_hists
 
 (* ---------- reading back ---------- *)
@@ -204,7 +243,21 @@ type hist_snapshot = {
   total : int;
   sum : int;
   max_value : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
 }
+
+(* nearest-rank percentile on a sorted sample array: the smallest value
+   with at least ceil(p/100 * n) observations at or below it *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    sorted.(rank - 1)
+  end
 
 type snapshot = {
   counters : (string * int) list;
@@ -228,12 +281,17 @@ let snapshot () =
         let s =
           match (if h.h_id < Array.length l.lh then l.lh.(h.h_id) else None) with
           | Some hc ->
+            let sorted = Array.sub hc.hc_samples 0 hc.hc_len in
+            Array.sort Int.compare sorted;
             {
               bounds = Array.copy h.h_bounds;
               counts = Array.copy hc.hc_counts;
               total = hc.hc_total;
               sum = hc.hc_sum;
               max_value = hc.hc_max;
+              p50 = percentile_sorted sorted 50.0;
+              p90 = percentile_sorted sorted 90.0;
+              p99 = percentile_sorted sorted 99.0;
             }
           | None ->
             {
@@ -242,6 +300,9 @@ let snapshot () =
               total = 0;
               sum = 0;
               max_value = 0;
+              p50 = 0;
+              p90 = 0;
+              p99 = 0;
             }
         in
         (name, s) :: acc)
@@ -258,7 +319,9 @@ let reset () =
         Array.fill hc.hc_counts 0 (Array.length hc.hc_counts) 0;
         hc.hc_total <- 0;
         hc.hc_sum <- 0;
-        hc.hc_max <- 0
+        hc.hc_max <- 0;
+        hc.hc_samples <- [||];
+        hc.hc_len <- 0
       | None -> ())
     l.lh
 
@@ -281,9 +344,10 @@ let render () =
     List.iter
       (fun (name, h) ->
         Buffer.add_string buf
-          (Printf.sprintf "%-*s %12d obs  mean %.2f  max %d  [" width name h.total
+          (Printf.sprintf "%-*s %12d obs  mean %.2f  p50 %d  p90 %d  p99 %d  max %d  [" width
+             name h.total
              (float_of_int h.sum /. float_of_int h.total)
-             h.max_value);
+             h.p50 h.p90 h.p99 h.max_value);
         Array.iteri
           (fun i c ->
             if i > 0 then Buffer.add_char buf ' ';
@@ -314,6 +378,49 @@ let to_json () =
                      ("total", Jsonx.Int h.total);
                      ("sum", Jsonx.Int h.sum);
                      ("max", Jsonx.Int h.max_value);
+                     ("p50", Jsonx.Int h.p50);
+                     ("p90", Jsonx.Int h.p90);
+                     ("p99", Jsonx.Int h.p99);
                    ] ))
              s.histograms) );
     ]
+
+(* ---------- Prometheus text exposition ---------- *)
+
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> () | _ -> Bytes.set b i '_')
+    b;
+  "qc_" ^ Bytes.to_string b
+
+let to_prometheus () =
+  let s = snapshot () in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    s.counters;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          if i < Array.length h.bounds then
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n h.bounds.(i) !cum))
+        h.counts;
+      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.total);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n h.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.total);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s_%s gauge\n%s_%s %d\n" n q n q v))
+        [ ("p50", h.p50); ("p90", h.p90); ("p99", h.p99) ])
+    s.histograms;
+  Buffer.contents buf

@@ -9,8 +9,10 @@
     The registry is global and instruments are created once at module
     initialization; recording is guarded by a single global switch so the
     hot paths pay one predictable branch when observability is off (the
-    default).  All operations are O(1) and allocation-free while enabled,
-    except [snapshot]/[render]/[to_json].
+    default).  Counter operations are O(1) and allocation-free while
+    enabled; [observe] is amortized O(1) (histograms retain raw samples
+    for exact percentiles); [snapshot]/[render]/[to_json]/[to_prometheus]
+    allocate freely.
 
     Multicore model: instrument descriptors are global (registration is
     mutex-protected and normally happens at module initialization), but
@@ -83,7 +85,15 @@ type hist_snapshot = {
   total : int;  (** number of observations *)
   sum : int;  (** sum of observed values *)
   max_value : int;  (** largest observed value; 0 when empty *)
+  p50 : int;  (** exact median (nearest-rank); 0 when empty *)
+  p90 : int;  (** exact 90th percentile (nearest-rank); 0 when empty *)
+  p99 : int;  (** exact 99th percentile (nearest-rank); 0 when empty *)
 }
+(** Percentiles are {e exact}: histograms retain every raw observation
+    (not just bucket counts) while recording is enabled, and snapshots
+    compute nearest-rank percentiles over the sorted samples.  The
+    retained samples travel through {!drain}/{!absorb} in chunk order, so
+    parallel and sequential runs report identical percentiles. *)
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
@@ -104,4 +114,14 @@ val to_json : unit -> Jsonx.t
 (** The full snapshot as
     [{"counters": {name: int, ...},
       "histograms": {name: {"bounds": [...], "counts": [...],
-                            "total": n, "sum": n, "max": n}, ...}}]. *)
+                            "total": n, "sum": n, "max": n,
+                            "p50": n, "p90": n, "p99": n}, ...}}]. *)
+
+val to_prometheus : unit -> string
+(** The full snapshot in Prometheus text exposition format ([qct stats
+    --prom], groundwork for [qct serve]).  Instrument names are prefixed
+    [qc_] with non-alphanumeric characters mapped to [_]; every registered
+    instrument is emitted even at zero (the Prometheus convention).
+    Counters become [# TYPE ... counter] samples; histograms become
+    cumulative [_bucket{le="..."}] series with [_sum]/[_count], plus
+    [_p50]/[_p90]/[_p99] gauges carrying the exact percentiles. *)

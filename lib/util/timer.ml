@@ -1,4 +1,4 @@
-let now () = Unix.gettimeofday ()
+let now () = Clock.now_s ()
 
 let time f =
   let t0 = now () in

@@ -1,11 +1,12 @@
-(** Wall-clock timing helpers for the benchmark harness. *)
+(** Elapsed-time helpers for the benchmark harness, reading the single
+    monotonic {!Clock}. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
-    wall-clock seconds. *)
+    monotonic seconds. *)
 
 val time_s : (unit -> unit) -> float
-(** [time_s f] is the elapsed wall-clock seconds of [f ()]. *)
+(** [time_s f] is the elapsed monotonic seconds of [f ()]. *)
 
 val repeat : int -> (unit -> unit) -> float array
 (** [repeat k f] runs [f] [k] times and returns all elapsed-seconds samples,

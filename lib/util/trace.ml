@@ -1,0 +1,159 @@
+(* Hierarchical span tracing with per-Domain buffers.
+
+   The design mirrors Metrics: one global enable flag, all mutable state
+   in Domain-local storage, and an explicit drain/absorb protocol so the
+   batch executor can merge worker spans deterministically (workers drain
+   before finishing, the coordinator absorbs in chunk order).  A span
+   records the monotonic start/duration (Clock), the Domain it ran on and
+   a list of typed attributes; nesting is implied by interval containment
+   within a Domain, which is exactly the Chrome trace-event model.
+
+   When disabled, [with_span] is one Atomic.get and a direct call of the
+   body — no allocation, no clock read — so instrumentation can stay in
+   place permanently. *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_start_ns : int;
+  sp_dur_ns : int;
+  sp_args : (string * value) list;
+}
+
+type delta = span list (* chronological *)
+
+let on = Atomic.make false
+
+let set_enabled b = Atomic.set on b
+
+let enabled () = Atomic.get on
+
+(* an open (not yet finished) span; args accumulate in reverse *)
+type open_span = {
+  os_name : string;
+  os_cat : string;
+  os_start : int;
+  mutable os_args : (string * value) list;
+}
+
+type local = {
+  mutable stack : open_span list;  (* innermost first *)
+  mutable acc : span list;  (* finished spans, most recent first *)
+}
+
+let key = Domain.DLS.new_key (fun () -> { stack = []; acc = [] })
+
+let my_tid () = (Domain.self () :> int)
+
+let with_span ?(cat = "qc") ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let l = Domain.DLS.get key in
+    let o = { os_name = name; os_cat = cat; os_start = Clock.now_ns (); os_args = List.rev args } in
+    l.stack <- o :: l.stack;
+    let finish () =
+      let dur = Clock.now_ns () - o.os_start in
+      (match l.stack with
+      | top :: rest when top == o -> l.stack <- rest
+      | _ -> l.stack <- List.filter (fun s -> s != o) l.stack);
+      l.acc <-
+        {
+          sp_name = o.os_name;
+          sp_cat = o.os_cat;
+          sp_tid = my_tid ();
+          sp_start_ns = o.os_start;
+          sp_dur_ns = dur;
+          sp_args = List.rev o.os_args;
+        }
+        :: l.acc
+    in
+    match f () with
+    | x ->
+        finish ();
+        x
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let add_attr k v =
+  if Atomic.get on then
+    let l = Domain.DLS.get key in
+    match l.stack with [] -> () | o :: _ -> o.os_args <- (k, v) :: o.os_args
+
+let drain () =
+  let l = Domain.DLS.get key in
+  let d = List.rev l.acc in
+  l.acc <- [];
+  d
+
+let absorb d =
+  let l = Domain.DLS.get key in
+  l.acc <- List.rev_append d l.acc
+
+let reset () =
+  let l = Domain.DLS.get key in
+  l.stack <- [];
+  l.acc <- []
+
+let spans () = List.rev (Domain.DLS.get key).acc
+
+let span_count () = List.length (Domain.DLS.get key).acc
+
+let value_to_json = function
+  | Int i -> Jsonx.Int i
+  | Float f -> Jsonx.Float f
+  | String s -> Jsonx.String s
+  | Bool b -> Jsonx.Bool b
+
+let pid = 1
+
+let to_chrome_json ?(process_name = "qct") () =
+  let ss = spans () in
+  (* stable order: by start time, then Domain, then name — deterministic
+     output for a deterministic span multiset *)
+  let ss =
+    List.stable_sort
+      (fun a b ->
+        let c = Int.compare a.sp_start_ns b.sp_start_ns in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.sp_tid b.sp_tid in
+          if c <> 0 then c else String.compare a.sp_name b.sp_name)
+      ss
+  in
+  let t0 = match ss with [] -> 0 | s :: _ -> s.sp_start_ns in
+  let tids = List.sort_uniq Int.compare (List.map (fun s -> s.sp_tid) ss) in
+  let meta name t_id args =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String name);
+        ("ph", Jsonx.String "M");
+        ("pid", Jsonx.Int pid);
+        ("tid", Jsonx.Int t_id);
+        ("args", Jsonx.Obj args);
+      ]
+  in
+  let metadata =
+    meta "process_name" 0 [ ("name", Jsonx.String process_name) ]
+    :: List.map
+         (fun t -> meta "thread_name" t [ ("name", Jsonx.String (Printf.sprintf "domain-%d" t)) ])
+         tids
+  in
+  let event s =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String s.sp_name);
+        ("cat", Jsonx.String s.sp_cat);
+        ("ph", Jsonx.String "X");
+        ("ts", Jsonx.Float (Clock.ns_to_us (s.sp_start_ns - t0)));
+        ("dur", Jsonx.Float (Clock.ns_to_us s.sp_dur_ns));
+        ("pid", Jsonx.Int pid);
+        ("tid", Jsonx.Int s.sp_tid);
+        ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, value_to_json v)) s.sp_args));
+      ]
+  in
+  Jsonx.List (metadata @ List.map event ss)

@@ -1,0 +1,72 @@
+(** Hierarchical span tracing with per-Domain buffers and Chrome
+    trace-event export.
+
+    A {e span} is one timed region of execution — a query, a WAL append, a
+    DFS pass — with a name, a category, typed attributes and the Domain it
+    ran on.  Spans nest lexically via {!with_span}; nesting is implied by
+    interval containment within a Domain, which is exactly the model of the
+    Chrome trace-event format ({!to_chrome_json} loads directly in Perfetto
+    or [chrome://tracing], one track per Domain).
+
+    Concurrency follows the {!Metrics} discipline: all buffers live in
+    Domain-local storage, workers {!drain} their spans before finishing,
+    and the coordinator {!absorb}s the deltas in chunk order — so a traced
+    parallel batch yields a deterministic span multiset.
+
+    Tracing is globally off by default; a disabled {!with_span} is one
+    atomic load plus a direct call of the body (no allocation, no clock
+    read), so instrumentation stays in place permanently.  The
+    tracer-disabled overhead is measured in [BENCH_PR6.json]. *)
+
+(** Attribute values, kept typed so exports need no stringification at
+    record time. *)
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type span = {
+  sp_name : string;
+  sp_cat : string;  (** coarse grouping: ["engine"], ["wal"], ["dfs"], ... *)
+  sp_tid : int;  (** the Domain id the span ran on — its track *)
+  sp_start_ns : int;  (** monotonic start ({!Clock.now_ns} epoch) *)
+  sp_dur_ns : int;
+  sp_args : (string * value) list;
+}
+
+type delta
+(** A drained batch of spans, opaque to callers; produced by {!drain} on a
+    worker Domain and merged by {!absorb} on the coordinator. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span : ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span.  The span is recorded
+    even when [f] raises (the exception is re-raised).  When tracing is
+    disabled this is [f ()] with no other work. *)
+
+val add_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span of the calling Domain
+    (no-op when disabled or when no span is open) — for values only known
+    mid-span, like a result count. *)
+
+val drain : unit -> delta
+(** Remove and return the calling Domain's finished spans, oldest first.
+    Open spans are unaffected. *)
+
+val absorb : delta -> unit
+(** Append a drained delta to the calling Domain's buffer.  Spans keep the
+    Domain id they were recorded on, so worker tracks survive the merge. *)
+
+val reset : unit -> unit
+(** Discard the calling Domain's buffered and open spans. *)
+
+val spans : unit -> span list
+(** The calling Domain's finished spans, oldest first (after a parallel
+    batch, the coordinator's buffer holds every absorbed span). *)
+
+val span_count : unit -> int
+
+val to_chrome_json : ?process_name:string -> unit -> Jsonx.t
+(** Render {!spans} as a Chrome trace-event JSON array: one [ph:"X"]
+    (complete) event per span with [ts]/[dur] in microseconds relative to
+    the first span, [tid] = Domain id, plus [ph:"M"] metadata events
+    naming the process and one track per Domain. *)

@@ -1,4 +1,5 @@
 open Qc_cube
+module Trace = Qc_util.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Typed errors                                                       *)
@@ -124,7 +125,7 @@ let tree t =
       match t.packed_ with
       | Some p ->
         Log.debug (fun m -> m "thawing packed tree for node-level access");
-        Qc_core.Packed.to_tree p
+        Trace.with_span ~cat:"warehouse" "warehouse.thaw" (fun () -> Qc_core.Packed.to_tree p)
       | None -> assert false
     in
     t.tree_ <- Some tr;
@@ -134,7 +135,10 @@ let packed t =
   match t.packed_ with
   | Some p -> p
   | None ->
-    let p = Qc_core.Packed.of_tree (tree t) in
+    let p =
+      Trace.with_span ~cat:"warehouse" "warehouse.freeze" (fun () ->
+          Qc_core.Packed.of_tree (tree t))
+    in
     t.packed_ <- Some p;
     p
 
@@ -188,7 +192,11 @@ let post_maintenance_check t op =
     Log.debug (fun m -> m "self-check after %s passed" op)
   end
 
-let refreeze t = t.packed_ <- Some (Qc_core.Packed.of_tree (tree t))
+let refreeze t =
+  t.packed_ <-
+    Some
+      (Trace.with_span ~cat:"warehouse" "warehouse.freeze" (fun () ->
+           Qc_core.Packed.of_tree (tree t)))
 
 (* ------------------------------------------------------------------ *)
 (* Directory layout and manifest                                      *)
@@ -357,7 +365,13 @@ let log_mutation t op delta =
     let record = Qc_core.Wal.record_of_table ~generation:t.ckpt_generation op delta in
     let frame = Qc_core.Wal.encode record in
     let oc = wal_channel t dir in
-    match Qc_util.Durable.append ~fp:"wal" oc frame with
+    match
+      Trace.with_span ~cat:"wal"
+        ~args:
+          [ ("bytes", Trace.Int (String.length frame)); ("rows", Trace.Int (Table.n_rows delta)) ]
+        "wal.append"
+        (fun () -> Qc_util.Durable.append ~fp:"wal" oc frame)
+    with
     | () ->
       t.wal_pos <- t.wal_pos + String.length frame;
       t.wal_records <- t.wal_records + 1
@@ -562,6 +576,10 @@ let resync_after_failed_save t dir ~gen' ~base_crc =
       end)
 
 let save t dir =
+  Trace.with_span ~cat:"warehouse"
+    ~args:[ ("generation", Trace.Int (t.ckpt_generation + 1)) ]
+    "warehouse.checkpoint"
+  @@ fun () ->
   wrap_io (fun () -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
   let base_data = Qc_data.Csv.to_string t.base in
   let tree_data = Qc_core.Serial.to_packed_string (packed t) in
@@ -583,21 +601,24 @@ let save t dir =
      (* Stage everything first: all three temporaries are durable before
         any rename, so an interrupted checkpoint can always be resolved
         to one side or rolled forward from its temporaries. *)
-     Qc_util.Durable.write_tmp ~fp:"save.base" (base_file dir) base_data;
-     Qc_util.Durable.write_tmp ~fp:"save.tree" (tree_file dir) tree_data;
-     Qc_util.Durable.write_tmp ~fp:"save.manifest" (manifest_file dir) manifest_data;
-     Qc_util.Durable.commit_tmp ~fp:"save.base" (base_file dir);
-     Qc_util.Durable.commit_tmp ~fp:"save.tree" (tree_file dir);
-     Qc_util.Failpoint.hit "save.dir-fsync.pre-manifest";
-     Qc_util.Durable.fsync_dir dir;
-     (* the manifest rename is the checkpoint's atomic commit point *)
-     Qc_util.Durable.commit_tmp ~fp:"save.manifest" (manifest_file dir);
-     Qc_util.Failpoint.hit "save.dir-fsync.post-manifest";
-     Qc_util.Durable.fsync_dir dir;
+     Trace.with_span ~cat:"wal" "ckpt.stage" (fun () ->
+         Qc_util.Durable.write_tmp ~fp:"save.base" (base_file dir) base_data;
+         Qc_util.Durable.write_tmp ~fp:"save.tree" (tree_file dir) tree_data;
+         Qc_util.Durable.write_tmp ~fp:"save.manifest" (manifest_file dir) manifest_data);
+     Trace.with_span ~cat:"wal" "ckpt.commit" (fun () ->
+         Qc_util.Durable.commit_tmp ~fp:"save.base" (base_file dir);
+         Qc_util.Durable.commit_tmp ~fp:"save.tree" (tree_file dir);
+         Qc_util.Failpoint.hit "save.dir-fsync.pre-manifest";
+         Qc_util.Durable.fsync_dir dir;
+         (* the manifest rename is the checkpoint's atomic commit point *)
+         Qc_util.Durable.commit_tmp ~fp:"save.manifest" (manifest_file dir);
+         Qc_util.Failpoint.hit "save.dir-fsync.post-manifest";
+         Qc_util.Durable.fsync_dir dir);
      (* committed: reset the journal to an empty header *)
-     Qc_util.Failpoint.hit "save.wal-truncate";
-     Qc_util.Durable.write_file (wal_file dir) Qc_core.Wal.header;
-     Qc_util.Durable.fsync_dir dir
+     Trace.with_span ~cat:"wal" "wal.truncate" (fun () ->
+         Qc_util.Failpoint.hit "save.wal-truncate";
+         Qc_util.Durable.write_file (wal_file dir) Qc_core.Wal.header;
+         Qc_util.Durable.fsync_dir dir)
    with e ->
      resync_after_failed_save t dir ~gen' ~base_crc;
      (match io_error_of_exn e with Some err -> raise (Error err) | None -> raise e));
@@ -635,6 +656,7 @@ let committed_generation dir =
   | _, `Legacy -> 0
 
 let open_dir dir =
+  Trace.with_span ~cat:"warehouse" "warehouse.open" @@ fun () ->
   let base_path = base_file dir in
   let base_data, resolution = resolve_dir dir in
   let rolled_forward, active =
@@ -756,7 +778,8 @@ let open_dir dir =
      cannot produce raises. *)
   let wal_path = wal_file dir in
   let replayed = ref 0 and stale_skipped = ref 0 and torn_bytes = ref 0 in
-  (match read_if_exists wal_path with
+  Trace.with_span ~cat:"wal" "wal.replay" (fun () ->
+      (match read_if_exists wal_path with
   | None -> ()
   | Some data -> (
     match Qc_core.Wal.scan data with
@@ -790,6 +813,7 @@ let open_dir dir =
           end)
         s.records;
       w.wal_records <- !replayed));
+      Trace.add_attr "records" (Trace.Int !replayed));
   w.recovery <-
     {
       replayed = !replayed;

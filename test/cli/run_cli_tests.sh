@@ -184,9 +184,75 @@ expect_stderr '^qct:'
 expect 1 "$QCT" wal no-such-dir
 expect_stderr '^qct:'
 
+# --- tracing: qct trace / --trace write Chrome trace-event JSON ---
+expect 0 "$QCT" trace sales.qcp queries.txt trace.json --jobs 2
+expect_stderr 'trace: .* span(s)'
+for key in '"ph"' '"ts"' '"dur"' '"pid"' '"tid"' '"engine.batch"' '"engine.chunk"'; do
+  if ! grep -q "$key" trace.json; then
+    echo "FAIL: trace.json lacks $key" >&2
+    fails=$((fails + 1))
+  fi
+done
+expect 0 "$QCT" batch sales.qcp queries.txt --jobs 2 --trace trace2.json
+if ! grep -q '"ph"' trace2.json; then
+  echo "FAIL: batch --trace did not write trace events" >&2
+  fails=$((fails + 1))
+fi
+# tracing must not perturb the deterministic batch answers
+expect 0 "$QCT" batch sales.qcp queries.txt --jobs 4 --trace trace3.json
+if ! cmp -s batch1.txt stdout.txt; then
+  echo "FAIL: batch --trace stdout differs from the untraced run" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" build sales.csv rebuilt.qct --trace build-trace.json
+if ! grep -q '"dfs.visit"' build-trace.json; then
+  echo "FAIL: build --trace lacks the dfs.visit span" >&2
+  fails=$((fails + 1))
+fi
+
+# an unwritable trace path is a runtime failure (1), not a usage error
+expect 1 "$QCT" trace sales.qcp queries.txt /nonexistent-dir/out.json
+expect_stderr '^qct:'
+expect 1 "$QCT" batch sales.qcp queries.txt --trace /nonexistent-dir/out.json
+expect_stderr '^qct:'
+
+# --- batch --json carries per-chunk / per-domain timing breakdowns ---
+expect 0 "$QCT" batch sales.qcp queries.txt --json --jobs 2
+for key in '"chunks"' '"domains"' '"busy_s"' '"elapsed_s"'; do
+  if ! grep -q "$key" stdout.txt; then
+    echo "FAIL: batch --json lacks $key" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# --- the slow-query log reports on the qc.slow source ---
+expect 0 "$QCT" batch sales.qcp queries.txt --jobs 2 --slow-ms 0
+expect_stderr 'slow query: point (S1, P2, \*)'
+expect_stderr 'nodes='
+expect 0 "$QCT" query sales.qct 'S2,*,f' --slow-ms 0
+expect_stderr 'slow query:'
+expect 1 "$QCT" batch sales.qcp queries.txt --slow-ms=-1   # negative threshold
+expect_stderr '^qct:'
+
+# --- stats --prom emits Prometheus text exposition with percentiles ---
+expect 0 "$QCT" stats sales.csv --prom
+if ! grep -q '^# TYPE qc_' stdout.txt; then
+  echo "FAIL: stats --prom lacks # TYPE lines" >&2
+  fails=$((fails + 1))
+fi
+if ! grep -q '_p99 ' stdout.txt; then
+  echo "FAIL: stats --prom lacks p99 gauges" >&2
+  fails=$((fails + 1))
+fi
+if ! grep -q '_bucket{le="+Inf"}' stdout.txt; then
+  echo "FAIL: stats --prom lacks +Inf buckets" >&2
+  fails=$((fails + 1))
+fi
+
 # --- usage errors keep cmdliner's 124 ---
 expect 124 "$QCT" no-such-subcommand
 expect 124 "$QCT" query
+expect 124 "$QCT" trace sales.qcp            # missing QUERIES and OUT.json
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2

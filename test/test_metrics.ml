@@ -133,10 +133,91 @@ let test_drain_absorb () =
   Metrics.absorb d;
   Alcotest.(check int) "drain+absorb is idempotent on totals" 65 (Metrics.value c)
 
+(* Independently written nearest-rank oracle: sort a copy of the raw
+   samples and take the smallest value with at least ceil(p/100 * n)
+   observations at or below it. *)
+let oracle_percentile samples p =
+  match samples with
+  | [] -> 0
+  | _ ->
+    let a = Array.of_list samples in
+    Array.sort Int.compare a;
+    let n = Array.length a in
+    let rank = max 1 (min n (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)))) in
+    a.(rank - 1)
+
+let test_percentiles_oracle () =
+  (* deterministic LCG so the test needs no Random state *)
+  let state = ref 123456789 in
+  let next bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  List.iteri
+    (fun case n ->
+      let name = Printf.sprintf "t.pct_%d" case in
+      let h = Metrics.histogram ~buckets:[| 8; 64; 512 |] name in
+      let samples = List.init n (fun _ -> next 1000) in
+      List.iter (Metrics.observe h) samples;
+      let s = List.assoc name (Metrics.snapshot ()).histograms in
+      List.iter
+        (fun (p, got) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: p%.0f over %d samples" name p n)
+            (oracle_percentile samples p) got)
+        [ (50.0, s.Metrics.p50); (90.0, s.Metrics.p90); (99.0, s.Metrics.p99) ])
+    [ 0; 1; 2; 3; 5; 10; 42; 99; 100; 101; 1000 ]
+
+(* Retained samples travel through drain/absorb, so a parallel run's
+   percentiles equal the sequential ones exactly. *)
+let test_percentiles_parallel () =
+  let h = Metrics.histogram ~buckets:[| 8; 64 |] "t.pct_par" in
+  let chunks = List.init 4 (fun k -> List.init 25 (fun i -> ((k * 37) + (i * 13)) mod 200)) in
+  List.iter (List.iter (Metrics.observe h)) chunks;
+  let seq = List.assoc "t.pct_par" (Metrics.snapshot ()).histograms in
+  Metrics.reset ();
+  let deltas =
+    List.map
+      (fun c ->
+        Domain.spawn (fun () ->
+            List.iter (Metrics.observe h) c;
+            Metrics.drain ()))
+      chunks
+    |> List.map Domain.join
+  in
+  List.iter Metrics.absorb deltas;
+  let par = List.assoc "t.pct_par" (Metrics.snapshot ()).histograms in
+  Alcotest.(check int) "p50 matches sequential" seq.Metrics.p50 par.Metrics.p50;
+  Alcotest.(check int) "p90 matches sequential" seq.Metrics.p90 par.Metrics.p90;
+  Alcotest.(check int) "p99 matches sequential" seq.Metrics.p99 par.Metrics.p99;
+  Alcotest.(check int) "total matches sequential" seq.Metrics.total par.Metrics.total
+
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   go 0
+
+let test_prometheus () =
+  let c = Metrics.counter "t.prom_c" in
+  let h = Metrics.histogram ~buckets:[| 2; 8 |] "t.prom.h" in
+  Metrics.add c 7;
+  List.iter (Metrics.observe h) [ 1; 3; 9 ];
+  let out = Metrics.to_prometheus () in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" sub) true
+        (contains ~sub out))
+    [
+      "# TYPE qc_t_prom_c counter\nqc_t_prom_c 7\n";
+      "# TYPE qc_t_prom_h histogram\n";
+      (* buckets are cumulative: <=2 holds {1}, <=8 adds {3}, +Inf adds {9} *)
+      "qc_t_prom_h_bucket{le=\"2\"} 1\n";
+      "qc_t_prom_h_bucket{le=\"8\"} 2\n";
+      "qc_t_prom_h_bucket{le=\"+Inf\"} 3\n";
+      "qc_t_prom_h_sum 13\n";
+      "qc_t_prom_h_count 3\n";
+      "# TYPE qc_t_prom_h_p99 gauge\nqc_t_prom_h_p99 9\n";
+    ]
 
 let test_render () =
   Metrics.add (Metrics.counter "t.render_me") 3;
@@ -198,6 +279,11 @@ let () =
           Alcotest.test_case "drain/absorb across domains" `Quick
             (with_metrics test_drain_absorb);
           Alcotest.test_case "render" `Quick (with_metrics test_render);
+          Alcotest.test_case "percentiles vs sorted-array oracle" `Quick
+            (with_metrics test_percentiles_oracle);
+          Alcotest.test_case "percentiles: parallel == sequential" `Quick
+            (with_metrics test_percentiles_parallel);
+          Alcotest.test_case "prometheus exposition" `Quick (with_metrics test_prometheus);
         ] );
       ( "jsonx",
         [

@@ -1,0 +1,287 @@
+(* The span tracer: nesting, attributes, the disabled fast path, the
+   drain/absorb merge discipline, well-formedness of the span tree a
+   traced parallel batch produces, and the Chrome trace-event export. *)
+
+open Qc_util
+module T = Trace
+module E = Qc_core.Engine
+open Qc_cube
+
+let fresh () =
+  T.reset ();
+  T.set_enabled true
+
+let teardown () =
+  T.set_enabled false;
+  T.reset ()
+
+let with_trace f () =
+  fresh ();
+  Fun.protect ~finally:teardown f
+
+let span_end s = s.T.sp_start_ns + s.T.sp_dur_ns
+
+(* ---------- with_span basics ---------- *)
+
+let test_nesting_and_attrs () =
+  let v =
+    T.with_span ~cat:"t" ~args:[ ("k", T.Int 1) ] "outer" (fun () ->
+        T.with_span "inner" (fun () ->
+            T.add_attr "r" (T.Bool true);
+            42))
+  in
+  Alcotest.(check int) "body value is returned" 42 v;
+  match T.spans () with
+  | [ inner; outer ] ->
+    (* spans are listed oldest-finished first: inner closes before outer *)
+    Alcotest.(check string) "inner name" "inner" inner.T.sp_name;
+    Alcotest.(check string) "outer name" "outer" outer.T.sp_name;
+    Alcotest.(check string) "explicit category" "t" outer.T.sp_cat;
+    Alcotest.(check string) "default category" "qc" inner.T.sp_cat;
+    Alcotest.(check bool) "construction-time attr" true
+      (List.assoc "k" outer.T.sp_args = T.Int 1);
+    Alcotest.(check bool) "add_attr lands on the innermost span" true
+      (List.assoc "r" inner.T.sp_args = T.Bool true);
+    Alcotest.(check bool) "outer has no stray attr" true
+      (not (List.mem_assoc "r" outer.T.sp_args));
+    let tid = (Domain.self () :> int) in
+    Alcotest.(check int) "tid is the Domain id" tid outer.T.sp_tid;
+    Alcotest.(check bool) "inner starts within outer" true
+      (outer.T.sp_start_ns <= inner.T.sp_start_ns);
+    Alcotest.(check bool) "inner ends within outer" true (span_end inner <= span_end outer)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_disabled_is_free () =
+  T.set_enabled false;
+  let v = T.with_span "ghost" (fun () -> T.add_attr "a" (T.Int 1); 7) in
+  Alcotest.(check int) "body still runs" 7 v;
+  Alcotest.(check int) "nothing recorded" 0 (T.span_count ())
+
+let test_exception_still_records () =
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      T.with_span "failing" (fun () -> failwith "boom"));
+  match T.spans () with
+  | [ s ] -> Alcotest.(check string) "span recorded despite raise" "failing" s.T.sp_name
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* ---------- drain / absorb across domains ---------- *)
+
+let test_drain_absorb () =
+  T.with_span "local" (fun () -> ());
+  let deltas =
+    Array.init 2 (fun k ->
+        Domain.spawn (fun () ->
+            T.with_span (Printf.sprintf "worker-%d" k) (fun () -> ());
+            T.drain ()))
+    |> Array.map Domain.join
+  in
+  Alcotest.(check int) "worker spans invisible before absorb" 1 (T.span_count ());
+  Array.iter T.absorb deltas;
+  let spans = T.spans () in
+  Alcotest.(check int) "all spans merged" 3 (List.length spans);
+  let tids = List.sort_uniq Int.compare (List.map (fun s -> s.T.sp_tid) spans) in
+  Alcotest.(check int) "worker spans keep their own track" 3 (List.length tids)
+
+(* ---------- a traced parallel batch ---------- *)
+
+let make_packed () =
+  let table =
+    Qc_data.Synthetic.generate { dims = 4; cardinality = 6; rows = 400; zipf = 1.2; seed = 7 }
+  in
+  let tree = Qc_core.Qc_tree.of_table table in
+  (table, Qc_core.Packed.of_tree tree)
+
+let make_queries table =
+  let d = Table.n_dims table in
+  let points =
+    List.init 12 (fun i ->
+        let c = Cell.copy (Table.tuple table (i * 17 mod Table.n_rows table)) in
+        (* mask a couple of dimensions to ALL so covers vary *)
+        c.(i mod d) <- Cell.all;
+        c.((i + 1) mod d) <- Cell.all;
+        E.Point c)
+  in
+  Array.of_list
+    (points
+    @ [
+        E.Point (Cell.make_all d);
+        E.Range (Array.make d [||]);
+        E.Iceberg { func = Agg.Sum; threshold = 10.0 };
+      ])
+
+let run_traced ~jobs packed queries =
+  fresh ();
+  let b = E.run_batch ~jobs (module E.Packed_backend) packed queries in
+  T.set_enabled false;
+  let spans = T.spans () in
+  T.reset ();
+  (b, spans)
+
+let count name spans = List.length (List.filter (fun s -> s.T.sp_name = name) spans)
+
+(* Well-formedness of one Domain's track: sorted by start (ties: longer
+   first), every span must either nest fully inside the innermost still
+   open span or start after it ended — partial overlap is a tracer bug. *)
+let check_track tid spans =
+  let sorted =
+    List.sort
+      (fun a b ->
+        if a.T.sp_start_ns <> b.T.sp_start_ns then
+          Int.compare a.T.sp_start_ns b.T.sp_start_ns
+        else Int.compare b.T.sp_dur_ns a.T.sp_dur_ns)
+      spans
+  in
+  let stack = ref [] in
+  List.iter
+    (fun s ->
+      let rec pop () =
+        match !stack with
+        | e :: rest when e <= s.T.sp_start_ns ->
+          stack := rest;
+          pop ()
+        | _ -> ()
+      in
+      pop ();
+      (match !stack with
+      | e :: _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "track %d: %s nests fully inside its parent" tid s.T.sp_name)
+          true
+          (span_end s <= e)
+      | [] -> ());
+      stack := span_end s :: !stack)
+    sorted
+
+let test_batch_span_tree () =
+  let table, packed = make_packed () in
+  let queries = make_queries table in
+  let jobs = 4 in
+  let b, spans = run_traced ~jobs packed queries in
+  Alcotest.(check int) "executor used the requested jobs" jobs b.E.jobs;
+  Alcotest.(check int) "one batch span" 1 (count "engine.batch" spans);
+  Alcotest.(check int) "one chunk span per job" jobs (count "engine.chunk" spans);
+  let n_points =
+    Array.length (Array.of_list (List.filter (fun q -> E.query_kind q = "point") (Array.to_list queries)))
+  in
+  Alcotest.(check int) "one span per point query" n_points (count "point" spans);
+  Alcotest.(check int) "one span per range query" 1 (count "range" spans);
+  Alcotest.(check int) "one span per iceberg query" 1 (count "iceberg" spans);
+  (* every point span carries the backend and the Figure-13 node count *)
+  List.iter
+    (fun s ->
+      if s.T.sp_name = "point" then begin
+        Alcotest.(check bool) "point span has backend attr" true
+          (List.assoc "backend" s.T.sp_args = T.String "packed");
+        match List.assoc_opt "nodes" s.T.sp_args with
+        | Some (T.Int k) ->
+          Alcotest.(check bool) "node accesses are positive" true (k >= 1)
+        | _ -> Alcotest.fail "point span lacks a nodes attr"
+      end)
+    spans;
+  (* per-Domain tracks are well-formed trees: no orphan or partially
+     overlapping spans *)
+  let tids = List.sort_uniq Int.compare (List.map (fun s -> s.T.sp_tid) spans) in
+  Alcotest.(check bool) "more than one track" true (List.length tids > 1);
+  List.iter
+    (fun tid -> check_track tid (List.filter (fun s -> s.T.sp_tid = tid) spans))
+    tids;
+  (* every per-query span is enclosed by some chunk span on its track *)
+  List.iter
+    (fun s ->
+      if s.T.sp_cat = "engine" && s.T.sp_name <> "engine.batch" && s.T.sp_name <> "engine.chunk"
+      then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s span lies inside a chunk span" s.T.sp_name)
+          true
+          (List.exists
+             (fun c ->
+               c.T.sp_name = "engine.chunk" && c.T.sp_tid = s.T.sp_tid
+               && c.T.sp_start_ns <= s.T.sp_start_ns
+               && span_end s <= span_end c)
+             spans))
+    spans
+
+(* The per-query span multiset must not depend on the job count; only the
+   executor's own chunk spans may differ (one per job). *)
+let test_span_count_determinism () =
+  let table, packed = make_packed () in
+  let queries = make_queries table in
+  let _, s1 = run_traced ~jobs:1 packed queries in
+  let _, s4 = run_traced ~jobs:4 packed queries in
+  let query_names spans =
+    List.sort String.compare
+      (List.filter_map
+         (fun s ->
+           if s.T.sp_name = "engine.batch" || s.T.sp_name = "engine.chunk" then None
+           else Some s.T.sp_name)
+         spans)
+  in
+  Alcotest.(check (list string)) "query span multiset is jobs-independent" (query_names s1)
+    (query_names s4);
+  Alcotest.(check int) "jobs=1 has one chunk span" 1 (count "engine.chunk" s1);
+  Alcotest.(check int) "jobs=4 has four chunk spans" 4 (count "engine.chunk" s4)
+
+(* ---------- Chrome trace-event export ---------- *)
+
+let test_chrome_json () =
+  let table, packed = make_packed () in
+  let queries = make_queries table in
+  fresh ();
+  let _ = E.run_batch ~jobs:3 (module E.Packed_backend) packed queries in
+  T.set_enabled false;
+  let json = T.to_chrome_json () in
+  let spans = T.spans () in
+  T.reset ();
+  (* the export must parse back (integral floats legitimately reparse as
+     ints, so structural equality is not required) *)
+  (match Jsonx.parse (Jsonx.to_string json) with
+  | Error e -> Alcotest.failf "chrome JSON does not parse: %s" e
+  | Ok _ -> ());
+  match json with
+  | Jsonx.List events ->
+    let phase e =
+      match Jsonx.member "ph" e with Some (Jsonx.String s) -> s | _ -> "missing"
+    in
+    let completes = List.filter (fun e -> phase e = "X") events in
+    let metas = List.filter (fun e -> phase e = "M") events in
+    Alcotest.(check int) "one X event per span" (List.length spans) (List.length completes);
+    Alcotest.(check bool) "metadata events name the tracks" true (List.length metas >= 2);
+    List.iter
+      (fun e ->
+        List.iter
+          (fun key ->
+            Alcotest.(check bool)
+              (Printf.sprintf "X event has %s" key)
+              true
+              (Option.is_some (Jsonx.member key e)))
+          [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+        (* ts is normalized to the first span: non-negative microseconds *)
+        match Jsonx.member "ts" e with
+        | Some (Jsonx.Float ts) -> Alcotest.(check bool) "ts >= 0" true (ts >= 0.0)
+        | Some (Jsonx.Int ts) -> Alcotest.(check bool) "ts >= 0" true (ts >= 0)
+        | _ -> Alcotest.fail "ts is not a number")
+      completes
+  | _ -> Alcotest.fail "chrome export is not a JSON array"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and attributes" `Quick (with_trace test_nesting_and_attrs);
+          Alcotest.test_case "disabled records nothing" `Quick
+            (with_trace test_disabled_is_free);
+          Alcotest.test_case "exception still records" `Quick
+            (with_trace test_exception_still_records);
+          Alcotest.test_case "drain/absorb across domains" `Quick
+            (with_trace test_drain_absorb);
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "span tree is well-formed" `Quick test_batch_span_tree;
+          Alcotest.test_case "span counts are jobs-independent" `Quick
+            test_span_count_determinism;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace-event JSON" `Quick test_chrome_json ] );
+    ]

@@ -86,6 +86,18 @@ if [ -n "$hits" ]; then
   offend "raw file write outside lib/util/durable.ml; route it through Qc_util.Durable" "$hits"
 fi
 
+# --- 8. one clock: no raw Unix.gettimeofday -------------------------------
+# Mixing wall-clock and monotonic timestamps is how span durations go
+# negative across NTP steps.  Qc_util.Clock is the single time source:
+# Clock.now_ns / now_s for durations (monotonic), Clock.wall_s for the rare
+# calendar need.  Only clock.ml itself may touch the raw primitive.
+clock_sources=$(git ls-files 'lib/**.ml' 'bin/**.ml' 'bench/**.ml' 'examples/**.ml' 'test/**.ml' \
+  | grep -v '^lib/util/clock\.ml$')
+hits=$(grep -n 'Unix\.gettimeofday' $clock_sources /dev/null || true)
+if [ -n "$hits" ]; then
+  offend "raw Unix.gettimeofday outside lib/util/clock.ml; use Qc_util.Clock (now_s/now_ns/wall_s)" "$hits"
+fi
+
 if [ "$fails" -ne 0 ]; then
   echo "lint: $fails rule(s) violated" >&2
   exit 1
