@@ -1281,6 +1281,136 @@ let trace_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* PR7: sharded build and scatter-gather query scaling                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The 4-shard warehouse at 1/2/4 worker domains against the single
+   QC-tree baseline on the weather table.  Shard builds are
+   embarrassingly parallel (a split plus N independent tree builds);
+   queries pay the scatter-gather merge on top.  Parity uses the
+   approximate aggregate comparison: weather measures are real floats,
+   so per-shard partial sums may differ from the baseline's summation
+   order in the last ulps (the property suite proves bit-parity on
+   integer measures).  Reported in BENCH_PR7.json via `--shard`; CI
+   requires parity unconditionally and the 4-domain build speedup only
+   on machines that have the cores. *)
+let shard_scaling () =
+  let module E = Qc_core.Engine in
+  let module S = Qc_core.Shard in
+  let rows = match !scale with Quick -> 100_000 | Full -> 1_000_000 in
+  let table = Qc_data.Weather.generate { Qc_data.Weather.default with rows } in
+  let shards = 4 in
+  let repeats = 3 in
+  let domains = Domain.recommended_domain_count () in
+  let queries =
+    Array.append
+      (Array.of_list
+         (List.map
+            (fun c -> E.Point c)
+            (Qc_data.Synthetic.random_point_queries ~seed:57 table 400)))
+      (Array.of_list
+         (List.map
+            (fun r -> E.Range r)
+            (Qc_data.Synthetic.random_range_queries ~seed:58 ~values_per_range:3 table 30)))
+  in
+  let median_of f =
+    let last = ref None in
+    let samples =
+      Array.init repeats (fun _ ->
+          let r, dt = Qc_util.Timer.time f in
+          last := Some r;
+          dt)
+    in
+    ((match !last with Some r -> r | None -> assert false), Qc_util.Timer.median samples)
+  in
+  let baseline, base_build_m =
+    median_of (fun () -> Qc_core.Packed.of_tree (Qc_core.Qc_tree.of_table table))
+  in
+  let base_batch, base_query_m =
+    median_of (fun () -> E.run_batch ~jobs:1 (module E.Packed_backend) baseline queries)
+  in
+  let answer_approx a b =
+    match (a, b) with
+    | E.Agg_answer x, E.Agg_answer y -> Agg.approx_equal x y
+    | E.Cells_answer xs, E.Cells_answer ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (c1, a1) (c2, a2) -> Cell.equal c1 c2 && Agg.approx_equal a1 a2)
+           xs ys
+    | _ -> false
+  in
+  let outcome_approx a b =
+    match (a, b) with
+    | Ok x, Ok y -> answer_approx x y
+    | Error x, Error y -> E.error_equal x y
+    | _ -> false
+  in
+  let parity (b : E.batch) = Array.for_all2 outcome_approx base_batch.E.outcomes b.E.outcomes in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "sharded build + scatter-gather - weather n=%d, %d shards (hash), %d queries; \
+            baseline build %.2fs, query %.4fs (%d core(s) available)"
+           rows shards (Array.length queries) base_build_m base_query_m domains)
+      ~columns:
+        [ "jobs"; "build median s"; "speedup vs 1"; "query median s"; "vs baseline"; "parity" ]
+  in
+  let detail = ref [] in
+  let build_1 = ref 0.0 in
+  List.iter
+    (fun jobs ->
+      let s, build_m = median_of (fun () -> S.build ~jobs ~partitioner:S.Hash ~shards table) in
+      if jobs = 1 then build_1 := build_m;
+      let batch, query_m =
+        median_of (fun () -> E.run_batch ~jobs:1 (module S.Backend) s queries)
+      in
+      let ok = parity batch in
+      let speedup = !build_1 /. Float.max 1e-9 build_m in
+      Tf.add_row t
+        [
+          Tf.cell_i jobs;
+          Printf.sprintf "%.3f" build_m;
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.4f" query_m;
+          Printf.sprintf "%.2fx" (query_m /. Float.max 1e-9 base_query_m);
+          (if ok then "ok" else "MISMATCH");
+        ];
+      detail :=
+        Jx.Obj
+          [
+            ("jobs", Jx.Int jobs);
+            ("build_s_median", Jx.Float build_m);
+            ("build_speedup_vs_sequential", Jx.Float speedup);
+            ("query_s_median", Jx.Float query_m);
+            ("query_vs_baseline", Jx.Float (query_m /. Float.max 1e-9 base_query_m));
+            ("parity", Jx.Bool ok);
+          ]
+        :: !detail)
+    [ 1; 2; 4 ];
+  record "shard"
+    (Jx.Obj
+       [
+         ("rows", Jx.Int rows);
+         ("shards", Jx.Int shards);
+         ("partitioner", Jx.String "hash");
+         ("n_queries", Jx.Int (Array.length queries));
+         ("timing_repeats", Jx.Int repeats);
+         ("recommended_domains", Jx.Int domains);
+         ( "baseline",
+           Jx.Obj
+             [
+               ("build_s_median", Jx.Float base_build_m);
+               ("query_s_median", Jx.Float base_query_m);
+             ] );
+         ("by_jobs", Jx.List (List.rev !detail));
+       ]);
+  Tf.note t
+    "parity = scatter-gather answers match the single-tree baseline (approx: float \
+     measures); build speedup needs >= that many physical cores";
+  emit t
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1298,6 +1428,7 @@ let experiments =
     ("wal", wal_overhead);
     ("batch", batch_scaling);
     ("trace", trace_overhead);
+    ("shard", shard_scaling);
     ("fig14a", fig14a);
     ("fig14b", fig14b);
     ("fig14c", fig14c);
@@ -1363,6 +1494,13 @@ let () =
          --json overrides *)
       selected := "trace" :: !selected;
       if not !json_out_set then json_out := "BENCH_PR6.json";
+      parse rest
+    | "--shard" :: rest ->
+      (* the PR7 scaling report: 4-shard builds at 1/2/4 domains and
+         scatter-gather query parity against the single-tree baseline, in
+         BENCH_PR7.json unless --json overrides *)
+      selected := "shard" :: !selected;
+      if not !json_out_set then json_out := "BENCH_PR7.json";
       parse rest
     | "--log-level" :: level :: rest -> (
       match log_level_of_string level with

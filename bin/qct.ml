@@ -82,14 +82,37 @@ let resolve_backend ?(default = B_tree) backend packed =
    "some backend" without caring which. *)
 type loaded = L : (module Qc_core.Engine.BACKEND with type t = 'a) * 'a -> loaded
 
+(* Directories are served from frozen packed images: a plain warehouse
+   from its packed snapshot, a sharded warehouse from the scatter-gather
+   composite over its shards' snapshots. *)
+let load_dir_backend choice path =
+  (match choice with
+  | B_packed -> ()
+  | B_tree | B_dwarf ->
+    failwith
+      "a warehouse directory is served from its frozen packed snapshot; use --backend packed");
+  if Qc_warehouse.Sharded.is_sharded_dir path then
+    let s = Qc_warehouse.Sharded.open_dir path in
+    L ((module Qc_core.Shard.Backend), Qc_warehouse.Sharded.backend s)
+  else
+    let w = Qc_warehouse.Warehouse.open_dir path in
+    L ((module Qc_core.Engine.Packed_backend), Qc_warehouse.Warehouse.packed w)
+
 let load_backend choice path =
-  match choice with
-  | B_tree -> L ((module Qc_core.Engine.Tree_backend), Qc_core.Serial.load path)
-  | B_packed -> L ((module Qc_core.Engine.Packed_backend), Qc_core.Serial.load_packed path)
-  | B_dwarf ->
-    (* Dwarf has no serialized form; it is built per run from a CSV base
-       table, matching how the paper benchmarks the baseline. *)
-    L ((module Qc_dwarf.Dwarf.Backend), Qc_dwarf.Dwarf.build (Qc_data.Csv.load path))
+  if Sys.file_exists path && Sys.is_directory path then load_dir_backend choice path
+  else
+    match choice with
+    | B_tree -> L ((module Qc_core.Engine.Tree_backend), Qc_core.Serial.load path)
+    | B_packed -> L ((module Qc_core.Engine.Packed_backend), Qc_core.Serial.load_packed path)
+    | B_dwarf ->
+      (* Dwarf has no serialized form; it is built per run from a CSV base
+         table, matching how the paper benchmarks the baseline. *)
+      L ((module Qc_dwarf.Dwarf.Backend), Qc_dwarf.Dwarf.build (Qc_data.Csv.load path))
+
+(* Query-shaped subcommands default to the tree backend on files but to
+   the packed snapshot on directories (the only representation a
+   warehouse serves). *)
+let default_for path = if Sys.file_exists path && Sys.is_directory path then B_packed else B_tree
 
 (* Every runtime failure — unreadable file, malformed tree, unknown value in
    a query cell, a delta row that is not in the base — must exit nonzero
@@ -226,31 +249,99 @@ let generate_cmd =
 
 (* ---------- build ---------- *)
 
-let build () backend packed trace csv out =
+(* --shards / --partition: validated syntactically by cmdliner (so a bad
+   spelling is a usage error, exit 124); the range dimension is resolved
+   against the loaded schema at runtime (unknown dimension: exit 1). *)
+let shards_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None -> Error (`Msg "SHARDS must be a positive integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let shards_arg =
+  Arg.(
+    value
+    & opt shards_conv 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Partition the base table into $(docv) shards and build a sharded warehouse \
+              directory (one QC-tree, journal and manifest per shard) instead of a single \
+              tree file.")
+
+let partition_conv =
+  let parse s =
+    let ok () = Ok s in
+    if String.equal s "hash" then ok ()
+    else
+      match String.index_opt s ':' with
+      | Some i when String.equal (String.sub s 0 i) "range" && i + 1 < String.length s ->
+        ok ()
+      | Some _ | None -> Error (`Msg "PARTITION must be hash or range:DIM")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let partition_arg =
+  Arg.(
+    value
+    & opt (some partition_conv) None
+    & info [ "partition" ] ~docv:"PARTITION"
+        ~doc:"How tuples map to shards: $(b,hash) (default; FNV-1a over all dimension \
+              codes) or $(b,range:DIM) (contiguous value-code ranges of one dimension, \
+              named or 0-based index).  Implies a sharded build even with $(b,--shards 1).")
+
+let build () backend packed trace shards partition jobs csv out =
   guard @@ fun () ->
   with_trace trace @@ fun () ->
-  let choice = resolve_backend backend packed in
-  let table = Qc_data.Csv.load csv in
-  let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table table) in
-  (match choice with
-  | B_tree -> Qc_core.Serial.save tree out
-  | B_packed -> Qc_core.Serial.save_packed (Qc_core.Packed.of_tree tree) out
-  | B_dwarf ->
-    failwith "build: dwarf has no serialized form; query it with --backend dwarf on the CSV");
-  Printf.printf "built QC-tree of %d tuples in %.2fs: %d nodes, %d links, %d classes, %s\n"
-    (Table.n_rows table) dt
-    (Qc_core.Qc_tree.n_nodes tree) (Qc_core.Qc_tree.n_links tree)
-    (Qc_core.Qc_tree.n_classes tree)
-    (Format.asprintf "%a" Qc_util.Size.pp_bytes (Qc_core.Qc_tree.bytes tree));
-  Printf.printf "saved to %s%s\n" out
-    (match choice with B_packed -> " (packed format)" | B_tree | B_dwarf -> "")
+  if shards > 1 || Option.is_some partition then begin
+    let module S = Qc_warehouse.Sharded in
+    let table = Qc_data.Csv.load csv in
+    let partitioner =
+      match
+        Qc_core.Shard.partitioner_of_string (Table.schema table)
+          (Option.value partition ~default:"hash")
+      with
+      | Ok p -> p
+      | Error reason -> failwith ("build: " ^ reason)
+    in
+    let s, dt = Qc_util.Timer.time (fun () -> S.create ?jobs ~partitioner ~shards table) in
+    S.save s out;
+    Printf.printf "built sharded warehouse of %d tuples in %.2fs: %s\nsaved to %s\n"
+      (Table.n_rows table) dt (S.describe s) out
+  end
+  else begin
+    let choice = resolve_backend backend packed in
+    let table = Qc_data.Csv.load csv in
+    let tree, dt = Qc_util.Timer.time (fun () -> Qc_core.Qc_tree.of_table table) in
+    (match choice with
+    | B_tree -> Qc_core.Serial.save tree out
+    | B_packed -> Qc_core.Serial.save_packed (Qc_core.Packed.of_tree tree) out
+    | B_dwarf ->
+      failwith "build: dwarf has no serialized form; query it with --backend dwarf on the CSV");
+    Printf.printf "built QC-tree of %d tuples in %.2fs: %d nodes, %d links, %d classes, %s\n"
+      (Table.n_rows table) dt
+      (Qc_core.Qc_tree.n_nodes tree) (Qc_core.Qc_tree.n_links tree)
+      (Qc_core.Qc_tree.n_classes tree)
+      (Format.asprintf "%a" Qc_util.Size.pp_bytes (Qc_core.Qc_tree.bytes tree));
+    Printf.printf "saved to %s%s\n" out
+      (match choice with B_packed -> " (packed format)" | B_tree | B_dwarf -> "")
+  end
 
 let build_cmd =
   Cmd.v
-    (Cmd.info "build" ~doc:"Build a QC-tree from a CSV base table and save it.")
+    (Cmd.info "build"
+       ~doc:"Build a QC-tree from a CSV base table and save it.  With $(b,--shards) or \
+             $(b,--partition), build a sharded warehouse directory instead: the table is \
+             partitioned, one QC-tree is built per shard (in parallel domains) and each \
+             shard is checkpointed as a full crash-safe warehouse.")
     Term.(
-      const build $ common $ backend_arg $ packed_flag $ trace_arg
-      $ csv_arg 0 "Base table CSV." $ tree_arg 1 "Output tree file.")
+      const build $ common $ backend_arg $ packed_flag $ trace_arg $ shards_arg
+      $ partition_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for a sharded build.")
+      $ csv_arg 0 "Base table CSV." $ tree_arg 1 "Output tree file (or sharded directory).")
 
 (* ---------- stats ---------- *)
 
@@ -323,7 +414,9 @@ let query () backend packed trace slow_ms tree_path cell_spec func =
   let module E = Qc_core.Engine in
   E.set_slow_threshold_ms slow_ms;
   with_trace trace @@ fun () ->
-  let (L ((module B), b)) = load_backend (resolve_backend backend packed) tree_path in
+  let (L ((module B), b)) =
+    load_backend (resolve_backend ~default:(default_for tree_path) backend packed) tree_path
+  in
   let schema = B.schema b in
   let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
   let outcome = E.run_one (module B) b (E.Point cell) in
@@ -354,7 +447,9 @@ let query_cmd =
 
 let explain () backend packed tree_path cell_spec =
   guard @@ fun () ->
-  let (L ((module B), b)) = load_backend (resolve_backend backend packed) tree_path in
+  let (L ((module B), b)) =
+    load_backend (resolve_backend ~default:(default_for tree_path) backend packed) tree_path
+  in
   let schema = B.schema b in
   let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
   match B.explain b cell with
@@ -375,7 +470,9 @@ let explain_cmd =
 
 let iceberg () backend packed tree_path func threshold limit =
   guard @@ fun () ->
-  let (L ((module B), b)) = load_backend (resolve_backend backend packed) tree_path in
+  let (L ((module B), b)) =
+    load_backend (resolve_backend ~default:(default_for tree_path) backend packed) tree_path
+  in
   let schema = B.schema b in
   match B.iceberg b func ~threshold with
   | Error e -> failwith (Qc_core.Engine.error_to_string ~schema e)
@@ -424,9 +521,16 @@ let load_runner choice data_path =
       failwith
         "batch: a warehouse directory is served from its frozen packed snapshot; use \
          --backend packed");
-    let w = Qc_warehouse.Warehouse.open_dir data_path in
-    ( Qc_warehouse.Warehouse.schema w,
-      fun ?jobs ~node_accesses qs -> Qc_warehouse.Warehouse.run_batch ?jobs ~node_accesses w qs )
+    if Qc_warehouse.Sharded.is_sharded_dir data_path then
+      let s = Qc_warehouse.Sharded.open_dir data_path in
+      ( Qc_warehouse.Sharded.schema s,
+        fun ?jobs ~node_accesses qs ->
+          Qc_warehouse.Sharded.run_batch ?jobs ~node_accesses s qs )
+    else
+      let w = Qc_warehouse.Warehouse.open_dir data_path in
+      ( Qc_warehouse.Warehouse.schema w,
+        fun ?jobs ~node_accesses qs ->
+          Qc_warehouse.Warehouse.run_batch ?jobs ~node_accesses w qs )
   end
   else
     let (L ((module B), b)) = load_backend choice data_path in
@@ -813,8 +917,92 @@ let whatif_cmd =
    2 = violations found, 1 = runtime failure (unreadable file, bad cell),
    124 = usage error.  2 is distinct from 1 so scripts can tell "the tree is
    broken" from "the command could not run". *)
+
+(* check on a sharded directory: per-shard byte audit of each tree image
+   (so single-shard corruption is a reported violation, never a silent
+   rebuild), per-shard structural/deep audit, and a placement audit of
+   every base tuple against the manifest's partitioner. *)
+let check_sharded trace dir deep samples json =
+  let module S = Qc_warehouse.Sharded in
+  let module W = Qc_warehouse.Warehouse in
+  let module C = Qc_core.Check in
+  let report, misplaced, repaired, schema =
+    with_trace trace @@ fun () ->
+    let s = S.open_dir dir in
+    let reports = ref [] in
+    let repaired = ref [] in
+    Array.iteri
+      (fun k w ->
+        let tree_path = Filename.concat (S.shard_dir dir k) "tree.qct" in
+        (if Sys.file_exists tree_path then begin
+           let data = read_whole_file tree_path in
+           if
+             String.length data >= 4
+             && String.equal (String.sub data 0 4) Qc_core.Serial.packed_magic
+           then reports := C.check_bytes data :: !reports
+         end);
+        (* [open_dir] recovers damage silently; for an audit that is a
+           finding, not a fix *)
+        if (W.last_recovery w).W.rebuilt_tree then repaired := k :: !repaired;
+        reports :=
+          (if deep then C.run ~deep:true ~base:(W.table w) ~samples (W.tree w)
+           else C.check_packed (W.packed w))
+          :: !reports)
+      (S.shards s);
+    (C.merge_reports (List.rev !reports), S.misplaced s, List.rev !repaired, S.schema s)
+  in
+  let violations = report.C.violations in
+  let n_checks = List.fold_left (fun acc (_, n) -> acc + n) 0 report.C.checked in
+  let extra = List.length misplaced + List.length repaired in
+  if json then
+    let open Qc_util.Jsonx in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("dir", String dir);
+              ("report", C.report_to_json report);
+              ("misplaced", Int (List.length misplaced));
+              ("rebuilt_shards", List (List.map (fun k -> Int k) repaired));
+            ]))
+  else begin
+    List.iter
+      (fun v ->
+        Format.printf "violation [%s]: %a@." (C.violation_label v)
+          (C.pp_violation (Some schema))
+          v)
+      violations;
+    List.iter
+      (fun k ->
+        Printf.printf "violation [shard-image]: shard %d's tree image was missing or \
+                       damaged (rebuilt from base.csv to audit it)\n" k)
+      repaired;
+    List.iteri
+      (fun i (k, cell) ->
+        if i < 20 then
+          Printf.printf "violation [placement]: %s lives in shard %d, not the shard its \
+                         partitioner assigns\n"
+            (Cell.to_string schema cell) k)
+      misplaced;
+    if List.is_empty violations && extra = 0 then
+      Printf.printf "OK: %d checks across %d shard report(s), placement verified, no \
+                     violations\n"
+        n_checks
+        (List.length report.C.checked)
+    else
+      Printf.printf "FAILED: %d violation(s) in %d checks\n"
+        (List.length violations + extra)
+        n_checks
+  end;
+  if not (List.is_empty violations && extra = 0) then exit 2
+
 let check () backend packed trace tree_path base_csv deep samples json =
   guard @@ fun () ->
+  if
+    Sys.file_exists tree_path && Sys.is_directory tree_path
+    && Qc_warehouse.Sharded.is_sharded_dir tree_path
+  then check_sharded trace tree_path deep samples json
+  else begin
   (* the audit runs (and its trace is written) before the exit-2 verdict,
      so a failing tree still yields a complete trace file *)
   let violations =
@@ -886,6 +1074,7 @@ let check () backend packed trace tree_path base_csv deep samples json =
     violations
   in
   if not (List.is_empty violations) then exit 2
+  end
 
 let check_cmd =
   let base =
@@ -924,8 +1113,73 @@ let check_cmd =
    crash residue, not corruption; 2 = --dry-run found repairs that a real
    run would persist (torn journal tail, rebuilt tree, rolled-forward
    checkpoint); 1 = the directory cannot be opened at all. *)
+(* Sharded recovery repairs shard by shard: only damaged shards are
+   re-checkpointed, so a healthy shard's files (manifest included) are
+   byte-identical before and after — asserted by the CLI contract tests. *)
+let recover_sharded dir dry_run json =
+  let module S = Qc_warehouse.Sharded in
+  let module W = Qc_warehouse.Warehouse in
+  let s = S.open_dir dir in
+  let recs = S.recoveries s in
+  let damaged r = r.W.torn_bytes > 0 || r.W.rebuilt_tree || r.W.rolled_forward in
+  let any_damaged = Array.exists damaged recs in
+  if not dry_run then
+    Array.iteri
+      (fun k w -> if damaged recs.(k) then W.save w (S.shard_dir dir k))
+      (S.shards s);
+  if json then
+    let open Qc_util.Jsonx in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("dir", String dir);
+              ("shards", Int (S.n_shards s));
+              ("rows", Int (S.total_rows s));
+              ("corrupt", Bool any_damaged);
+              ("checkpointed", Bool (not dry_run));
+              ( "shard_recoveries",
+                List
+                  (Array.to_list
+                     (Array.mapi
+                        (fun k (r : W.recovery) ->
+                          Obj
+                            [
+                              ("shard", Int k);
+                              ("replayed", Int r.W.replayed);
+                              ("torn_bytes", Int r.W.torn_bytes);
+                              ("rebuilt_tree", Bool r.W.rebuilt_tree);
+                              ("rolled_forward", Bool r.W.rolled_forward);
+                              ("repaired", Bool (damaged r && not dry_run));
+                            ])
+                        recs)) );
+            ]))
+  else begin
+    Printf.printf "%s: %d rows across %d shard(s)\n" dir (S.total_rows s) (S.n_shards s);
+    Array.iteri
+      (fun k (r : W.recovery) ->
+        if damaged r then
+          Printf.printf "shard %d: %s%s%s-> %s\n" k
+            (if r.W.torn_bytes > 0 then
+               Printf.sprintf "discarded a %d-byte torn journal tail " r.W.torn_bytes
+             else "")
+            (if r.W.rebuilt_tree then "rebuilt the QC-tree from base.csv " else "")
+            (if r.W.rolled_forward then "rolled an interrupted checkpoint forward " else "")
+            (if dry_run then "needs repair" else "repaired"))
+      recs;
+    if dry_run then
+      print_endline
+        (if any_damaged then "dry run: repairs needed (rerun without --dry-run to persist them)"
+         else "dry run: all shards are clean")
+    else if any_damaged then print_endline "checkpointed the damaged shard(s); others untouched"
+    else print_endline "all shards are clean; nothing rewritten"
+  end;
+  if dry_run && any_damaged then exit 2
+
 let recover () dir dry_run json =
   guard @@ fun () ->
+  if Qc_warehouse.Sharded.is_sharded_dir dir then recover_sharded dir dry_run json
+  else
   let module W = Qc_warehouse.Warehouse in
   let w = W.open_dir dir in
   let r = W.last_recovery w in

@@ -19,6 +19,10 @@ let merge a b =
     max = Float.max a.max b.max;
   }
 
+let is_empty t = t.count = 0 && t.sum = 0.0 && t.min = infinity && t.max = neg_infinity
+
+let merge_all parts = Array.fold_left merge empty parts
+
 let unmerge a b =
   { count = a.count - b.count; sum = a.sum -. b.sum; min = a.min; max = a.max }
 

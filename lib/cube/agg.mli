@@ -25,6 +25,20 @@ val of_measure : float -> t
 
 val merge : t -> t -> t
 
+val is_empty : t -> bool
+(** [is_empty t] holds exactly for summaries with no contributing tuples
+    (i.e. merge-equivalent to {!empty}); such a summary is the monoid
+    identity and its MIN/MAX fields are the +-infinity sentinels. *)
+
+val merge_all : t array -> t
+(** Left fold of {!merge} over the array, starting from {!empty} — the
+    scatter-gather combine: each shard contributes one summary and the
+    result is the summary of the union of their cover sets.  COUNT and
+    MIN/MAX are exact under any merge order; SUM (and hence AVG, which is
+    read off as sum/count only {e after} the final merge) is exact up to
+    float-addition reordering, and bit-exact whenever the partial sums are
+    integers. *)
+
 val unmerge : t -> t -> t
 (** [unmerge a b] removes [b]'s contribution from [a] for the invertible
     components; the [min]/[max] fields of the result are {b stale} and must

@@ -90,7 +90,14 @@ module Tree_backend : BACKEND with type t = Qc_tree.t
 
 module Packed_backend : BACKEND with type t = Packed.t
 (** The Dwarf instance lives in [lib/dwarf] ([Dwarf.Backend]) so the core
-    library does not depend on the baseline. *)
+    library does not depend on the baseline; the scatter-gather composite
+    lives in {!Shard}. *)
+
+val check_arity : Schema.t -> int -> (unit, error) result
+(** [check_arity schema width] is the [Arity_mismatch] guard every backend
+    applies to an incoming cell or range — exposed for backend
+    implementors (the composite in {!Shard} checks once instead of
+    collecting one identical error per shard). *)
 
 (** {1 Batch queries} *)
 

@@ -1,0 +1,401 @@
+open Qc_cube
+module Metrics = Qc_util.Metrics
+module Trace = Qc_util.Trace
+
+type partitioner = Hash | Range of int
+
+let partitioner_equal a b =
+  match (a, b) with
+  | Hash, Hash -> true
+  | Range i, Range j -> i = j
+  | (Hash | Range _), _ -> false
+
+let partitioner_to_string schema = function
+  | Hash -> "hash"
+  | Range d -> "range:" ^ Schema.dim_name schema d
+
+let partitioner_of_string schema s =
+  if String.equal s "hash" then Ok Hash
+  else if String.length s > 6 && String.equal (String.sub s 0 6) "range:" then begin
+    let key = String.sub s 6 (String.length s - 6) in
+    let n = Schema.n_dims schema in
+    match int_of_string_opt key with
+    | Some i when i >= 0 && i < n -> Ok (Range i)
+    | Some i -> Error (Printf.sprintf "dimension index %d out of range (0..%d)" i (n - 1))
+    | None ->
+      let rec find i =
+        if i >= n then Error (Printf.sprintf "unknown dimension %S" key)
+        else if String.equal (Schema.dim_name schema i) key then Ok (Range i)
+        else find (i + 1)
+      in
+      find 0
+  end
+  else Error (Printf.sprintf "bad partitioner %S (expected hash or range:DIM)" s)
+
+(* FNV-1a over the dimension codes, folded to a non-negative int.  Placement
+   must be a pure function of the codes so it survives save/reload (both
+   serial formats preserve dictionary code assignment). *)
+let hash_cell (cell : Cell.t) =
+  let h = ref 0x811c9dc5 in
+  Array.iter (fun v -> h := (!h lxor v) * 0x01000193 land max_int) cell;
+  !h
+
+let shard_of_tuple schema p ~shards cell =
+  match p with
+  | Hash -> hash_cell cell mod shards
+  | Range dim ->
+    let card = max 1 (Schema.cardinality schema dim) in
+    let code = max 1 cell.(dim) in
+    min (shards - 1) ((code - 1) * shards / card)
+
+let split ~partitioner ~shards table =
+  if shards < 1 then invalid_arg "Shard.split: shard count must be at least 1";
+  let schema = Table.schema table in
+  (match partitioner with
+  | Range d when d < 0 || d >= Schema.n_dims schema ->
+    invalid_arg "Shard.split: range partitioner dimension out of range"
+  | Hash | Range _ -> ());
+  let parts = Array.init shards (fun _ -> Table.create schema) in
+  Table.iter
+    (fun cell m ->
+      Table.add_encoded parts.(shard_of_tuple schema partitioner ~shards cell) cell m)
+    table;
+  parts
+
+let m_builds = Metrics.counter "shard.builds"
+
+let m_fanout = Metrics.counter "shard.fanout"
+
+let build_packed ?jobs tables =
+  let n = Array.length tables in
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      match jobs with Some j when j >= 1 -> j | Some _ -> 1 | None -> Engine.default_jobs ()
+    in
+    let jobs = max 1 (min jobs n) in
+    let out = Array.make n None in
+    let build_one i =
+      let tbl = tables.(i) in
+      Trace.with_span ~cat:"shard"
+        ~args:[ ("shard", Trace.Int i); ("rows", Trace.Int (Table.n_rows tbl)) ]
+        "shard.build"
+        (fun () ->
+          Metrics.incr m_builds;
+          out.(i) <- Some (Packed.of_tree (Qc_tree.of_table tbl)))
+    in
+    (* shard chunk k is [k*n/jobs, (k+1)*n/jobs): contiguous, disjoint slots *)
+    let run_chunk k =
+      for i = k * n / jobs to ((k + 1) * n / jobs) - 1 do
+        build_one i
+      done
+    in
+    (if jobs = 1 then run_chunk 0
+     else begin
+       let metrics_on = Metrics.enabled () and tracing = Trace.enabled () in
+       let workers =
+         Array.init jobs (fun k ->
+             Domain.spawn (fun () ->
+                 run_chunk k;
+                 ( (if metrics_on then Some (Metrics.drain ()) else None),
+                   if tracing then Some (Trace.drain ()) else None )))
+       in
+       (* join and absorb in chunk order so counter totals, histogram
+          samples and span multisets match a sequential build exactly *)
+       Array.iter
+         (fun d ->
+           let md, td = Domain.join d in
+           Option.iter Metrics.absorb md;
+           Option.iter Trace.absorb td)
+         workers
+     end);
+    Array.map (function Some p -> p | None -> assert false) out
+  end
+
+type t = {
+  parts : Packed.t array;
+  part : partitioner;
+}
+
+let of_parts ~partitioner parts =
+  if Array.length parts = 0 then invalid_arg "Shard.of_parts: no shards";
+  { parts; part = partitioner }
+
+let build ?jobs ~partitioner ~shards table =
+  of_parts ~partitioner (build_packed ?jobs (split ~partitioner ~shards table))
+
+let parts t = t.parts
+
+let n_shards t = Array.length t.parts
+
+let partitioner t = t.part
+
+let by_cell (c1, _) (c2, _) = Cell.compare_dict c1 c2
+
+exception Gather_error of Engine.error
+
+module Gather (B : Engine.BACKEND) = struct
+  type t = B.t array
+
+  let name = "shard[" ^ B.name ^ "]"
+
+  let schema parts = B.schema parts.(0)
+
+  let describe parts =
+    Printf.sprintf "scatter-gather over %d shards; shard 0: %s" (Array.length parts)
+      (B.describe parts.(0))
+
+  (* The error discipline of every fan-out below: the typed error of the
+     lowest-indexed failing shard surfaces alone — one deterministic
+     error, never one copy per shard.  [Empty_cover] from a point query is
+     a per-shard non-answer (the merge identity), not a failure. *)
+
+  let point parts cell =
+    if Array.length parts = 1 then B.point parts.(0) cell
+    else
+      match Engine.check_arity (schema parts) (Array.length cell) with
+      | Error _ as e -> e
+      | Ok () ->
+        Metrics.add m_fanout (Array.length parts);
+        let err = ref None in
+        let acc = ref Agg.empty in
+        let hits = ref 0 in
+        Array.iter
+          (fun part ->
+            if Option.is_none !err then
+              match B.point part cell with
+              | Ok agg ->
+                acc := Agg.merge !acc agg;
+                incr hits
+              | Error (Engine.Empty_cover _) -> ()
+              | Error e -> err := Some e)
+          parts;
+        (match !err with
+        | Some e -> Error e
+        | None ->
+          if !hits = 0 then Error (Engine.Empty_cover (Cell.copy cell)) else Ok !acc)
+
+  (* Algorithm 4's emission order, re-derived: the single tree expands
+     dimensions in schema order and range values in query order, so an
+     instantiation's position is the lexicographic rank of its
+     per-dimension occurrence indices within the query's value lists.
+     Sorting the merged cells by that rank reproduces the unsharded
+     answer's order exactly (including duplicate emissions when a value is
+     repeated within one dimension). *)
+  let compare_rank a b =
+    let n = Array.length a in
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+  let range parts q =
+    if Array.length parts = 1 then B.range parts.(0) q
+    else
+      match Engine.check_arity (schema parts) (Array.length q) with
+      | Error _ as e -> e
+      | Ok () ->
+        Metrics.add m_fanout (Array.length parts);
+        let err = ref None in
+        let merged = Cell.Tbl.create 64 in
+        Array.iter
+          (fun part ->
+            if Option.is_none !err then
+              match B.range part q with
+              | Ok cells ->
+                List.iter
+                  (fun (c, a) ->
+                    match Cell.Tbl.find_opt merged c with
+                    | Some prev -> Cell.Tbl.replace merged c (Agg.merge prev a)
+                    | None -> Cell.Tbl.replace merged (Cell.copy c) a)
+                  cells
+              | Error e -> err := Some e)
+          parts;
+        (match !err with
+        | Some e -> Error e
+        | None ->
+          let occ =
+            Array.map
+              (fun vs ->
+                let tbl = Hashtbl.create 8 in
+                Array.iteri
+                  (fun i v ->
+                    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl v) in
+                    Hashtbl.replace tbl v (prev @ [ i ]))
+                  vs;
+                tbl)
+              q
+          in
+          let constrained = ref [] in
+          Array.iteri (fun i vs -> if Array.length vs > 0 then constrained := i :: !constrained) q;
+          let constrained = List.rev !constrained in
+          let ranks cell =
+            List.fold_left
+              (fun acc i ->
+                let occs =
+                  match Hashtbl.find_opt occ.(i) cell.(i) with Some l -> l | None -> []
+                in
+                List.concat_map (fun prefix -> List.map (fun o -> prefix @ [ o ]) occs) acc)
+              [ [] ] constrained
+          in
+          let entries =
+            Cell.Tbl.fold
+              (fun c a acc ->
+                List.fold_left (fun acc r -> (Array.of_list r, c, a) :: acc) acc (ranks c))
+              merged []
+          in
+          let entries = List.sort (fun (r1, _, _) (r2, _, _) -> compare_rank r1 r2) entries in
+          Ok (List.map (fun (_, c, a) -> (c, a)) entries))
+
+  let iceberg parts func ~threshold =
+    if Array.length parts = 1 then B.iceberg parts.(0) func ~threshold
+    else begin
+      Metrics.add m_fanout (Array.length parts);
+      (* Gather per-shard class lists unthresholded: a class may clear the
+         threshold only after the cross-shard merge, so per-shard
+         thresholding would be wrong for every aggregate function. *)
+      let err = ref None in
+      let lists =
+        Array.map
+          (fun part ->
+            if Option.is_some !err then []
+            else
+              match B.iceberg part func ~threshold:neg_infinity with
+              | Ok cells -> cells
+              | Error e ->
+                err := Some e;
+                [])
+          parts
+      in
+      match !err with
+      | Some e -> Error e
+      | None ->
+        (* The global closed-cell set is the meet-closure of the union of
+           the per-shard upper-bound sets.  Each per-shard set is itself
+           meet-closed (a shard upper bound is the meet of a subset of the
+           shard's tuples, and meets of such meets are again such meets),
+           so folding shard by shard — adding the shard's bounds plus
+           their meets with everything accumulated so far — reaches the
+           fixpoint, which is exactly the global class upper-bound set. *)
+        let closed = Cell.Tbl.create 256 in
+        let add c = if not (Cell.Tbl.mem closed c) then Cell.Tbl.replace closed c () in
+        Array.iter
+          (fun cells ->
+            let existing = Cell.Tbl.fold (fun c () acc -> c :: acc) closed [] in
+            List.iter
+              (fun (u, _) ->
+                add u;
+                List.iter (fun v -> add (Cell.meet u v)) existing)
+              cells)
+          lists;
+        (* merge each candidate's per-shard cover aggregates (AVG stays
+           sum+count throughout); the threshold applies only post-merge *)
+        let out = ref [] in
+        (try
+           Cell.Tbl.iter
+             (fun u () ->
+               let acc = ref Agg.empty in
+               Array.iter
+                 (fun part ->
+                   match B.point part u with
+                   | Ok a -> acc := Agg.merge !acc a
+                   | Error (Engine.Empty_cover _) -> ()
+                   | Error e -> raise (Gather_error e))
+                 parts;
+               if (not (Agg.is_empty !acc)) && Agg.value func !acc >= threshold then
+                 out := (Cell.copy u, !acc) :: !out)
+             closed;
+           Ok (List.sort by_cell !out)
+         with Gather_error e -> Error e)
+    end
+
+  let explain parts cell =
+    if Array.length parts = 1 then B.explain parts.(0) cell
+    else
+      match Engine.check_arity (schema parts) (Array.length cell) with
+      | Error _ as e -> e
+      | Ok () ->
+        Metrics.add m_fanout (Array.length parts);
+        let err = ref None in
+        let xs =
+          Array.map
+            (fun part ->
+              if Option.is_some !err then None
+              else
+                match B.explain part cell with
+                | Ok x -> Some x
+                | Error e ->
+                  err := Some e;
+                  None)
+            parts
+        in
+        (match !err with
+        | Some e -> Error e
+        | None ->
+          let hits =
+            Array.to_list xs
+            |> List.filter_map (fun x ->
+                   match x with
+                   | Some x -> Option.map (fun ans -> (x, ans)) x.Engine.x_answer
+                   | None -> None)
+          in
+          (match hits with
+          | [] -> ( match xs.(0) with Some x -> Ok x | None -> assert false)
+          | (x0, (c0, a0)) :: rest ->
+            (* representative path: the first hitting shard's; the answer
+               cell is the global closure (meet of the per-shard bounds)
+               and the aggregate the cross-shard merge *)
+            let cell_ub = List.fold_left (fun acc (_, (c, _)) -> Cell.meet acc c) c0 rest in
+            let agg = List.fold_left (fun acc (_, (_, a)) -> Agg.merge acc a) a0 rest in
+            Ok { x0 with Engine.x_answer = Some (cell_ub, agg) }))
+
+  let node_accesses parts cell =
+    if Array.length parts = 1 then B.node_accesses parts.(0) cell
+    else
+      match Engine.check_arity (schema parts) (Array.length cell) with
+      | Error _ as e -> e
+      | Ok () ->
+        let err = ref None in
+        let total = ref 0 in
+        Array.iter
+          (fun part ->
+            if Option.is_none !err then
+              match B.node_accesses part cell with
+              | Ok k -> total := !total + k
+              | Error e -> err := Some e)
+          parts;
+        (match !err with Some e -> Error e | None -> Ok !total)
+end
+
+module Packed_gather = Gather (Engine.Packed_backend)
+
+let schema t = Packed_gather.schema t.parts
+
+module Backend = struct
+  type nonrec t = t
+
+  let name = "shard"
+
+  let schema = schema
+
+  let describe t =
+    let classes = Array.fold_left (fun acc p -> acc + Packed.n_classes p) 0 t.parts in
+    let nodes = Array.fold_left (fun acc p -> acc + Packed.n_nodes p) 0 t.parts in
+    Printf.sprintf "sharded QC-tree: %d shards by %s, %d classes, %d nodes (summed)"
+      (Array.length t.parts)
+      (partitioner_to_string (schema t) t.part)
+      classes nodes
+
+  let point t = Packed_gather.point t.parts
+
+  let range t = Packed_gather.range t.parts
+
+  let iceberg t = Packed_gather.iceberg t.parts
+
+  let explain t = Packed_gather.explain t.parts
+
+  let node_accesses t = Packed_gather.node_accesses t.parts
+end

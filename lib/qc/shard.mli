@@ -1,0 +1,98 @@
+(** Sharded QC-trees with a scatter-gather query backend.
+
+    The cover-quotient aggregate algebra is mergeable (Lemma 1 plus the
+    {!Qc_cube.Agg} monoid: COUNT/SUM/MIN/MAX compose, AVG is carried as
+    sum+count and read off only after the final merge), so the base table
+    can be horizontally partitioned into N shards — each with its own
+    QC-tree and packed image — and any query answered by fanning out to
+    every shard and merging the per-shard summaries:
+
+    - {e point}: the cover set of a cell is the disjoint union of its
+      per-shard cover sets, so the global class aggregate is the merge of
+      the per-shard point answers; shards where the cell has an empty
+      cover contribute the monoid identity.
+    - {e range}: each matched range instantiation is answered per shard
+      and merged cell-wise; the result is re-emitted in Algorithm 4's
+      expansion order so the answer is identical (cells, aggregates and
+      order) to the unsharded tree's.
+    - {e iceberg}: per-shard class lists are gathered {e unthresholded}
+      (a class may clear the threshold only after the cross-shard merge),
+      the global closed-cell set is derived as the meet-closure of the
+      per-shard upper-bound sets, global aggregates are merged per
+      candidate, and the threshold is applied only post-merge.
+
+    Shards are built in parallel OCaml Domains; worker domains follow the
+    {!Qc_util.Metrics}/{!Qc_util.Trace} drain/absorb discipline (deltas
+    absorbed in shard-chunk order), so a parallel build records exactly
+    the same counter totals and span multiset as a sequential one. *)
+
+open Qc_cube
+
+(** How tuples map to shards.  Both partitioners are pure functions of the
+    tuple's dimension codes (and, for [Range], the dimension cardinality
+    at split time), so placement is deterministic and auditable. *)
+type partitioner =
+  | Hash  (** FNV-1a over all dimension codes, modulo the shard count *)
+  | Range of int
+      (** contiguous code ranges of one dimension: shard
+          [(code - 1) * N / cardinality] — the dimension-range scheme of
+          hierarchical-domain partitioning *)
+
+val partitioner_equal : partitioner -> partitioner -> bool
+
+val partitioner_to_string : Schema.t -> partitioner -> string
+(** ["hash"], or ["range:DIM"] with the dimension's name. *)
+
+val partitioner_of_string : Schema.t -> string -> (partitioner, string) result
+(** Parse ["hash"] or ["range:DIM"] where [DIM] is a dimension name or
+    0-based index. *)
+
+val shard_of_tuple : Schema.t -> partitioner -> shards:int -> Cell.t -> int
+(** The shard a base tuple belongs to — the placement contract audited by
+    [qct check] on sharded directories. *)
+
+val split : partitioner:partitioner -> shards:int -> Table.t -> Table.t array
+(** Partition a base table into [shards] tables sharing the input's
+    schema.  Row order is preserved within each shard, so a 1-shard split
+    reproduces the input table exactly.
+    @raise Invalid_argument if [shards < 1] or a [Range] dimension is out
+    of range. *)
+
+val build_packed : ?jobs:int -> Table.t array -> Packed.t array
+(** Build one frozen QC-tree per table, in parallel Domains ([jobs]
+    defaults to {!Engine.default_jobs}; capped by the table count).
+    Worker metrics, trace spans and histogram samples are drained per
+    worker and absorbed in chunk order, matching a sequential build. *)
+
+type t
+(** A sharded, frozen QC-tree: one {!Packed.t} per shard plus the
+    partitioner that routed the rows. *)
+
+val build : ?jobs:int -> partitioner:partitioner -> shards:int -> Table.t -> t
+(** {!split} + {!build_packed}. *)
+
+val of_parts : partitioner:partitioner -> Packed.t array -> t
+(** Wrap already-built shard images (the warehouse open path).
+    @raise Invalid_argument on an empty array. *)
+
+val parts : t -> Packed.t array
+val n_shards : t -> int
+val partitioner : t -> partitioner
+val schema : t -> Schema.t
+
+(** Scatter-gather over any backend — this is how [Engine.BACKEND] is
+    instantiated once more, as a composite.  Error discipline: a shard's
+    typed error surfaces as {e one} deterministic error — the error of the
+    lowest-indexed failing shard — never as N duplicates; a point query's
+    [Empty_cover] is a per-shard non-answer (the monoid identity), not a
+    failure, and becomes the composite answer only when every shard
+    reports it.  [explain] returns the root-to-answer path of the
+    lowest-indexed shard that hits, with the answer cell/aggregate merged
+    across all hitting shards; [node_accesses] is the sum over shards
+    (the honest total work of the fan-out), so it equals the single
+    backend's count only for 1 shard. *)
+module Gather (B : Engine.BACKEND) : Engine.BACKEND with type t = B.t array
+
+module Backend : Engine.BACKEND with type t = t
+(** {!Gather} over the packed backend, carrying the partitioner in
+    [describe]. *)

@@ -1,0 +1,240 @@
+open Qc_cube
+open Qc_core
+module Trace = Qc_util.Trace
+
+(* The composite commit point: the top-level manifest is written last,
+   through Durable with its own failpoint prefix, so the crash matrix can
+   kill the process at each of its durability instructions. *)
+let () =
+  List.iter Qc_util.Failpoint.register
+    [ "shards.manifest.tmp-write"; "shards.manifest.fsync"; "shards.manifest.rename" ]
+
+let log = Logs.Src.create "qc.shard" ~doc:"sharded warehouse operations"
+
+module Log = (val Logs.src_log log)
+
+let manifest_file dir = Filename.concat dir "shards.manifest"
+
+let shard_dir dir k = Filename.concat dir (Printf.sprintf "shard-%d" k)
+
+let is_sharded_dir dir = Sys.file_exists (manifest_file dir)
+
+let wrap_io f =
+  try f ()
+  with
+  | Qc_util.Failpoint.Injected label ->
+    raise
+      (Warehouse.Error
+         (Warehouse.Io (Printf.sprintf "injected failure at failpoint %s" label)))
+  | Sys_error msg -> raise (Warehouse.Error (Warehouse.Io msg))
+  | Unix.Unix_error (err, fn, arg) ->
+    raise
+      (Warehouse.Error
+         (Warehouse.Io (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))))
+
+(* ------------------------------------------------------------------ *)
+(* The composite manifest                                             *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_version = 1
+
+(* Same shape as the per-shard warehouse manifest: a fixed line order
+   and a trailing self-checksum over the preceding body, so torn or
+   bit-rotted manifests are detected before any shard is opened. *)
+let manifest_to_string ~shards ~partition =
+  let body =
+    Printf.sprintf "qcshards %d\nshards %d\npartition %s\n" manifest_version shards
+      partition
+  in
+  body ^ Printf.sprintf "crc %08x\n" (Qc_util.Crc32.string body)
+
+let strip_prefix prefix s =
+  let lp = String.length prefix in
+  if String.length s >= lp && String.equal (String.sub s 0 lp) prefix then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+(* [Ok (shards, partition_string)], or why not.  The partitioner string
+   is validated against the schema only after the shards are open (the
+   manifest cannot name dimensions by itself). *)
+let manifest_of_string data =
+  let fail reason = Error (`Corrupt reason) in
+  match String.split_on_char '\n' data with
+  | [ l0; l1; l2; l3; "" ] -> (
+    match strip_prefix "qcshards " l0 with
+    | None -> fail "missing qcshards header line"
+    | Some v -> (
+      match int_of_string_opt v with
+      | None -> fail "unreadable version"
+      | Some v when v <> manifest_version -> Error (`Version v)
+      | Some _ -> (
+        let body = String.concat "\n" [ l0; l1; l2 ] ^ "\n" in
+        match
+          ( Option.bind (strip_prefix "shards " l1) int_of_string_opt,
+            strip_prefix "partition " l2,
+            Option.bind (strip_prefix "crc " l3) (fun s -> int_of_string_opt ("0x" ^ s)) )
+        with
+        | Some n, Some partition, Some self_crc ->
+          if self_crc <> Qc_util.Crc32.string body then fail "self-checksum mismatch"
+          else if n < 1 then fail "shard count must be at least 1"
+          else Ok (n, partition)
+        | _ -> fail "malformed field")))
+  | _ -> fail "wrong line count"
+
+(* ------------------------------------------------------------------ *)
+(* The handle                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  shards : Warehouse.t array;
+  part : Shard.partitioner;
+  mutable dir : string option;
+  mutable backend_ : Shard.t option;  (** cached frozen composite *)
+}
+
+let n_shards t = Array.length t.shards
+
+let partitioner t = t.part
+
+let schema t = Warehouse.schema t.shards.(0)
+
+let attached_dir t = t.dir
+
+let shards t = t.shards
+
+let recoveries t = Array.map Warehouse.last_recovery t.shards
+
+let total_rows t =
+  Array.fold_left (fun acc w -> acc + Table.n_rows (Warehouse.table w)) 0 t.shards
+
+let create ?jobs ~partitioner ~shards table =
+  Trace.with_span ~cat:"shard"
+    ~args:[ ("shards", Trace.Int shards); ("rows", Trace.Int (Table.n_rows table)) ]
+    "sharded.create"
+  @@ fun () ->
+  let tables = Shard.split ~partitioner ~shards table in
+  let packs = Shard.build_packed ?jobs tables in
+  let ws = Array.map2 Warehouse.create_frozen tables packs in
+  { shards = ws; part = partitioner; dir = None; backend_ = None }
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let save t dir =
+  Trace.with_span ~cat:"warehouse"
+    ~args:[ ("shards", Trace.Int (n_shards t)) ]
+    "sharded.checkpoint"
+  @@ fun () ->
+  wrap_io (fun () -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  (* Each shard checkpoint is internally atomic (its own manifest rename
+     commits it); the composite commits only when the top-level manifest
+     lands, after every shard. *)
+  Array.iteri (fun k w -> Warehouse.save w (shard_dir dir k)) t.shards;
+  let data =
+    manifest_to_string ~shards:(n_shards t)
+      ~partition:(Shard.partitioner_to_string (schema t) t.part)
+  in
+  wrap_io (fun () ->
+      Qc_util.Durable.write_file ~fp:"shards.manifest" (manifest_file dir) data;
+      Qc_util.Durable.fsync_dir dir);
+  t.dir <- Some dir;
+  Log.info (fun m -> m "checkpointed %d-shard warehouse to %s" (n_shards t) dir)
+
+let open_dir dir =
+  Trace.with_span ~cat:"warehouse" "sharded.open" @@ fun () ->
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    raise (Warehouse.Error (Warehouse.Missing_file dir));
+  let mpath = manifest_file dir in
+  if not (Sys.file_exists mpath) then
+    raise (Warehouse.Error (Warehouse.Missing_file mpath));
+  let data = wrap_io (fun () -> Qc_util.Durable.read_file mpath) in
+  let n, partition =
+    match manifest_of_string data with
+    | Ok np -> np
+    | Error (`Version got) ->
+      raise (Warehouse.Error (Warehouse.Version_mismatch { path = mpath; got }))
+    | Error (`Corrupt reason) ->
+      raise (Warehouse.Error (Warehouse.Corrupt_manifest { path = mpath; reason }))
+  in
+  let ws = Array.init n (fun k -> Warehouse.open_dir (shard_dir dir k)) in
+  (* One code space: dictionaries agree across shards unless a shard's
+     tree was rebuilt from its CSV (appearance-order codes).  Align every
+     shard to the first cleanly-loaded one. *)
+  let ref_ix =
+    let rec go k =
+      if k >= n then 0
+      else if not (Warehouse.last_recovery ws.(k)).Warehouse.rebuilt_tree then k
+      else go (k + 1)
+    in
+    go 0
+  in
+  let target = Warehouse.schema ws.(ref_ix) in
+  let realigned = ref 0 in
+  Array.iteri
+    (fun k w ->
+      if k <> ref_ix && Warehouse.align_schema w target then incr realigned)
+    ws;
+  if !realigned > 0 then
+    Log.warn (fun m ->
+        m "re-encoded %d shard(s) to shard %d's dictionary code space" !realigned ref_ix);
+  let part =
+    match Shard.partitioner_of_string target partition with
+    | Ok p -> p
+    | Error reason ->
+      raise (Warehouse.Error (Warehouse.Corrupt_manifest { path = mpath; reason }))
+  in
+  Log.info (fun m -> m "opened %d-shard warehouse %s" n dir);
+  { shards = ws; part; dir = Some dir; backend_ = None }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let backend t =
+  match t.backend_ with
+  | Some b -> b
+  | None ->
+    let b = Shard.of_parts ~partitioner:t.part (Array.map Warehouse.packed t.shards) in
+    t.backend_ <- Some b;
+    b
+
+let query t cell =
+  match Shard.Backend.point (backend t) cell with
+  | Ok a -> Some a
+  | Error (Engine.Empty_cover _) -> None
+  | Error e -> invalid_arg (Engine.error_to_string e)
+
+let range t q =
+  match Shard.Backend.range (backend t) q with
+  | Ok answer -> answer
+  | Error e -> invalid_arg (Engine.error_to_string e)
+
+let iceberg t func ~threshold =
+  match Shard.Backend.iceberg (backend t) func ~threshold with
+  | Ok answer -> answer
+  | Error e -> invalid_arg (Engine.error_to_string e)
+
+let run_batch ?jobs ?node_accesses t queries =
+  Engine.run_batch ?jobs ?node_accesses (module Shard.Backend) (backend t) queries
+
+(* ------------------------------------------------------------------ *)
+(* Audits                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let misplaced t =
+  let sch = schema t in
+  let n = n_shards t in
+  let acc = ref [] in
+  Array.iteri
+    (fun k w ->
+      Table.iter
+        (fun cell _ ->
+          if Shard.shard_of_tuple sch t.part ~shards:n cell <> k then
+            acc := (k, Cell.copy cell) :: !acc)
+        (Warehouse.table w))
+    t.shards;
+  List.rev !acc
+
+let describe t =
+  Printf.sprintf "%s | %d rows" (Shard.Backend.describe (backend t)) (total_rows t)

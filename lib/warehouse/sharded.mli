@@ -1,0 +1,121 @@
+(** A sharded, durable warehouse: N {!Warehouse} directories under one
+    roof, queried through the {!Qc_core.Shard} scatter-gather backend.
+
+    On disk a sharded warehouse is a directory of directories:
+
+    {v
+    <dir>/shards.manifest   shard count + partitioner (self-checksummed)
+    <dir>/shard-0/          a complete Warehouse directory
+    ...
+    <dir>/shard-<N-1>/
+    v}
+
+    Each [shard-K/] is an ordinary PR4 warehouse — base image, tree
+    image, manifest, journal — with the full per-shard durability
+    contract: every save.* / wal.* failpoint fires once per shard, and
+    {!open_dir} runs each shard through {!Warehouse.open_dir}'s
+    recovery.  The top-level [shards.manifest] is written {e last}
+    (through {!Qc_util.Durable.write_file} with failpoint prefix
+    [shards.manifest]), so a directory is recognised as sharded only
+    once every shard directory has committed — a crash anywhere in a
+    first save leaves either no sharded warehouse or a complete one.
+    Re-saves may leave shards at mixed checkpoint generations after a
+    crash; that is benign because the composite is read-only (shard
+    content is identical across its checkpoints) and every shard is
+    individually consistent.
+
+    {2 One code space}
+
+    All shards must agree on dictionary code assignment, or merged
+    cells would be meaningless.  Both serial formats persist full
+    dictionaries, so a clean open reproduces the build-time codes in
+    every shard; the exception is a shard whose tree image was lost and
+    rebuilt from [base.csv] (value-appearance order).  {!open_dir}
+    therefore picks a reference schema from the first cleanly-loaded
+    shard and runs {!Warehouse.align_schema} over the rest, re-encoding
+    any divergent shard. *)
+
+open Qc_cube
+open Qc_core
+
+type t
+
+val manifest_file : string -> string
+(** [<dir>/shards.manifest]. *)
+
+val shard_dir : string -> int -> string
+(** [shard_dir dir k] is [<dir>/shard-<k>]. *)
+
+val is_sharded_dir : string -> bool
+(** A committed [shards.manifest] exists — how the CLI routes a
+    directory to this module instead of {!Warehouse}. *)
+
+val create :
+  ?jobs:int -> partitioner:Shard.partitioner -> shards:int -> Table.t -> t
+(** Partition the table ({!Shard.split}) and build one frozen QC-tree
+    per shard in parallel Domains ({!Shard.build_packed}), wrapping
+    each in an unattached {!Warehouse} handle.
+    @raise Invalid_argument as {!Shard.split} does. *)
+
+val save : t -> string -> unit
+(** Checkpoint every shard (each internally atomic, in shard order)
+    into [<dir>/shard-K/], then commit the whole composite by writing
+    [shards.manifest] last.
+    @raise Warehouse.Error ([Io]) as {!Warehouse.save} does. *)
+
+val open_dir : string -> t
+(** Open (and, per shard, recover) a sharded warehouse.  Shards are
+    opened in order through {!Warehouse.open_dir}; divergent
+    dictionaries are re-aligned to the reference schema.
+    @raise Warehouse.Error — [Missing_file] when [shards.manifest] or a
+    shard directory is absent, [Corrupt_manifest] when the manifest
+    does not parse, names an unknown partitioner, or disagrees with the
+    shards' dimension count; per-shard errors as {!Warehouse.open_dir}. *)
+
+val attached_dir : t -> string option
+
+val n_shards : t -> int
+
+val partitioner : t -> Shard.partitioner
+
+val schema : t -> Schema.t
+(** The composite's (reference) schema — parse queries against this. *)
+
+val shards : t -> Warehouse.t array
+(** The per-shard handles, for stats and per-shard audits.  Callers
+    must not mutate through them: the composite is read-only. *)
+
+val recoveries : t -> Warehouse.recovery array
+(** What {!open_dir} had to do, shard by shard ([qct recover]'s
+    per-shard report). *)
+
+val total_rows : t -> int
+
+val backend : t -> Shard.t
+(** The frozen scatter-gather composite over the shards' packed images
+    (built once and cached) — pass to {!Shard.Backend} /
+    {!Engine.run_batch}. *)
+
+val query : t -> Cell.t -> Agg.t option
+(** Scatter-gather point query ([None] on a cross-shard empty cover). *)
+
+val range : t -> Query.range -> (Cell.t * Agg.t) list
+
+val iceberg : t -> Agg.func -> threshold:float -> (Cell.t * Agg.t) list
+(** Exact sharded iceberg (meet-closure candidate set, post-merge
+    threshold).
+    @raise Invalid_argument on a backend error other than empty results
+    — cannot happen for the packed composite. *)
+
+val run_batch :
+  ?jobs:int -> ?node_accesses:bool -> t -> Engine.query array -> Engine.batch
+(** {!Engine.run_batch} over {!Shard.Backend}. *)
+
+val misplaced : t -> (int * Cell.t) list
+(** Placement audit: base tuples living in a shard other than the one
+    {!Shard.shard_of_tuple} assigns them — [(shard index, tuple)] in
+    shard order.  Empty iff every row is routed correctly; [qct check]
+    reports any entry as a violation. *)
+
+val describe : t -> string
+(** One line: shard count, partitioner, rows, classes, nodes. *)

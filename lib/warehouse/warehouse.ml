@@ -163,9 +163,77 @@ let create base =
     recovery = no_recovery;
   }
 
+let create_frozen base packed =
+  {
+    base;
+    tree_ = None;
+    packed_ = Some packed;
+    index = None;
+    generation = 0;
+    index_generation = -1;
+    self_check_enabled = false;
+    dir = None;
+    ckpt_generation = 0;
+    wal_out = None;
+    wal_pos = 0;
+    wal_records = 0;
+    recovery = no_recovery;
+  }
+
 let table t = t.base
 
 let schema t = Table.schema t.base
+
+(* Two schemas assign the same codes iff each dimension's dictionary holds
+   the same values in the same order (codes are allocation order). *)
+let dicts_agree s1 s2 =
+  Schema.n_dims s1 = Schema.n_dims s2
+  &&
+  let rec dims i =
+    i >= Schema.n_dims s1
+    ||
+    let v1 = Qc_util.Dict.values (Schema.dict s1 i)
+    and v2 = Qc_util.Dict.values (Schema.dict s2 i) in
+    Array.length v1 = Array.length v2
+    && Array.for_all2 String.equal v1 v2
+    && dims (i + 1)
+  in
+  dims 0
+
+let align_schema t target =
+  let own = Table.schema t.base in
+  if Schema.n_dims own <> Schema.n_dims target then
+    raise
+      (Error
+         (Corrupt_base
+            {
+              path = (match t.dir with Some d -> d | None -> "<memory>");
+              reason =
+                Printf.sprintf "dimension count %d disagrees with the composite's %d"
+                  (Schema.n_dims own) (Schema.n_dims target);
+            }));
+  if dicts_agree own target then false
+  else begin
+    let base = Table.create target in
+    Table.iter
+      (fun cell m ->
+        let values =
+          List.init (Schema.n_dims own) (fun i -> Schema.decode_value own i cell.(i))
+        in
+        Table.add_row base values m)
+      t.base;
+    let tree = Qc_core.Qc_tree.of_table base in
+    t.base <- base;
+    t.tree_ <- Some tree;
+    t.packed_ <- Some (Qc_core.Packed.of_tree tree);
+    t.index <- None;
+    t.generation <- t.generation + 1;
+    t.recovery <- { t.recovery with rebuilt_tree = true };
+    Log.warn (fun m ->
+        m "re-encoded %d rows against the composite dictionary and rebuilt the summary"
+          (Table.n_rows base));
+    true
+  end
 
 let attached_dir t = t.dir
 

@@ -97,6 +97,26 @@ val create : Table.t -> t
     tree).  Not attached to any directory — mutations are not journaled
     until the first {!save}. *)
 
+val create_frozen : Table.t -> Packed.t -> t
+(** {!create} with an externally built frozen summary, trusted to be the
+    QC-tree of the table — the sharded builder ({!Sharded}) constructs
+    per-shard images in parallel Domains and wraps each in a warehouse
+    handle without rebuilding.  The mutable tree is thawed on demand, as
+    after an {!open_dir} of a packed image. *)
+
+val align_schema : t -> Schema.t -> bool
+(** [align_schema w target] makes [w]'s dictionary code assignment agree
+    with [target]'s: when they already agree (same values in the same
+    order per dimension — the invariant both serial formats preserve)
+    this is a cheap no-op returning [false]; otherwise the base table is
+    re-encoded against [target] and the summary rebuilt, returning [true]
+    and marking the recovery as a rebuild.  The divergent case arises
+    when a shard's tree image was lost and rebuilt from [base.csv], whose
+    value-appearance order need not match the saved dictionaries; the
+    sharded composite requires one code space across all shards.
+    @raise Error ([Corrupt_base]) when the dimension counts disagree —
+    damage re-encoding cannot explain. *)
+
 val open_dir : string -> t
 (** Load (and, if needed, recover) a warehouse saved by {!save}.
     @raise Error when the directory does not hold a recoverable

@@ -249,6 +249,73 @@ if ! grep -q '_bucket{le="+Inf"}' stdout.txt; then
   fails=$((fails + 1))
 fi
 
+# --- sharded warehouses: build / query / batch / check / recover ---
+rm -rf swh swh3
+expect 0 "$QCT" build sales.csv swh --shards 2 --partition range:Store --jobs 2
+if [ ! -f swh/shards.manifest ] || [ ! -f swh/shard-1/manifest ]; then
+  echo "FAIL: sharded build did not lay out shard directories" >&2
+  fails=$((fails + 1))
+fi
+
+# scatter-gather answers are byte-identical to the single packed image,
+# whatever the partitioner or worker-domain count
+expect 0 "$QCT" batch swh queries.txt --jobs 1
+cp stdout.txt shardbatch.txt
+if ! cmp -s batch1.txt shardbatch.txt; then
+  echo "FAIL: sharded batch differs from the packed-file batch" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" batch swh queries.txt --jobs 4
+if ! cmp -s shardbatch.txt stdout.txt; then
+  echo "FAIL: sharded batch --jobs 4 differs from --jobs 1" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" build sales.csv swh3 --shards 3   # hash is the default partitioner
+expect 0 "$QCT" batch swh3 queries.txt --jobs 2
+if ! cmp -s batch1.txt stdout.txt; then
+  echo "FAIL: hash-sharded batch differs from the packed-file batch" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" query swh 'S2,*,f'
+if ! cmp -s a.txt stdout.txt; then
+  echo "FAIL: sharded point query differs from the tree answer" >&2
+  fails=$((fails + 1))
+fi
+
+# the deep audit covers every shard plus tuple placement
+expect 0 "$QCT" check swh --deep
+
+# corrupt exactly one shard: check reports it (2), recover --dry-run
+# reports it (2), recover repairs it — and only it
+cp swh/shard-0/manifest shard0-manifest.bak
+printf 'garbage' > swh/shard-1/tree.qct
+expect 2 "$QCT" check swh
+expect 2 "$QCT" recover swh --dry-run
+expect 2 "$QCT" recover swh --dry-run --json
+if ! grep -q '"shard_recoveries"' stdout.txt; then
+  echo "FAIL: sharded recover --json lacks shard_recoveries" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" recover swh
+if ! cmp -s shard0-manifest.bak swh/shard-0/manifest; then
+  echo "FAIL: recover rewrote the healthy shard-0" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" check swh --deep
+expect 0 "$QCT" batch swh queries.txt --jobs 2
+if ! cmp -s batch1.txt stdout.txt; then
+  echo "FAIL: repaired sharded warehouse answers diverged" >&2
+  fails=$((fails + 1))
+fi
+
+# bad --shards / --partition are usage errors (124); an unknown range
+# dimension is only detectable against the CSV's schema (runtime, 1)
+expect 124 "$QCT" build sales.csv x.qct --shards 0
+expect 124 "$QCT" build sales.csv x.qct --partition bogus
+expect 124 "$QCT" build sales.csv x.qct --partition range:
+expect 1 "$QCT" build sales.csv x.qct --partition range:NoSuchDim
+expect_stderr '^qct:'
+
 # --- usage errors keep cmdliner's 124 ---
 expect 124 "$QCT" no-such-subcommand
 expect 124 "$QCT" query

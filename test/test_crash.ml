@@ -25,6 +25,7 @@
    consistent. *)
 
 module W = Qc_warehouse.Warehouse
+module SW = Qc_warehouse.Sharded
 module Wal = Qc_core.Wal
 module FP = Qc_util.Failpoint
 open Qc_cube
@@ -105,6 +106,26 @@ let warehouse_child () =
       log_line log ("committed:" ^ name))
     op_names;
   (* every step survived: the armed failpoint never fired *)
+  exit 0
+
+(* Sharded workload: a 2-shard warehouse built in parallel Domains, then
+   checkpointed twice.  Each composite save fires every per-shard save.*
+   site once per shard (hits 1,2 = first checkpoint, 3,4 = second) and
+   each shards.manifest.* site once (hits 1, 2). *)
+let sharded_child () =
+  let dir = getenv_req "QC_CRASH_DIR" and log = getenv_req "QC_CRASH_LOG" in
+  let s = script () in
+  let schema = Prop.schema_of s.c in
+  let sw =
+    SW.create ~jobs:2 ~partitioner:Qc_core.Shard.Hash ~shards:2
+      (table_of_rows schema (s.base @ s.ins_a))
+  in
+  log_line log "start:save1";
+  SW.save sw dir;
+  log_line log "committed:save1";
+  log_line log "start:save2";
+  SW.save sw dir;
+  log_line log "committed:save2";
   exit 0
 
 let serial_child () =
@@ -278,11 +299,12 @@ let check_same_result what a b =
       (String.concat " " (List.map (fun (cs, _) -> cellname cs) a))
       (String.concat " " (List.map (fun (cs, _) -> cellname cs) b))
 
-(* Point + range + iceberg differential between the recovered warehouse and
-   a reference built from the expected rows. *)
-let differential s w reference =
+(* Point + range + iceberg differential between a recovered store (any
+   query surface over schema [ws]) and a reference warehouse built from
+   the expected rows. *)
+let differential_q s ~ws ~query ~range ~iceberg reference =
   let c = s.c in
-  let ws = W.schema w and rs = W.schema reference in
+  let rs = W.schema reference in
   Prop.iter_cells ~sample:300 c (fun cell ->
       let strs =
         List.init c.Prop.dims (fun i ->
@@ -292,7 +314,7 @@ let differential s w reference =
       let got =
         match Cell.parse ws strs with
         | exception Invalid_argument _ -> None (* value unknown to the recovered dirs *)
-        | qc -> W.query w qc
+        | qc -> query qc
       in
       match (expect, got) with
       | None, None -> ()
@@ -325,11 +347,15 @@ let differential s w reference =
       if !expressible then
         check_same_result "range query"
           (norm_result rs (W.range reference q))
-          (norm_result ws (W.range w tq)))
+          (norm_result ws (range tq)))
     (Prop.random_ranges c 8);
   check_same_result "iceberg query"
     (norm_result rs (W.iceberg reference Agg.Sum ~threshold:1.0))
-    (norm_result ws (W.iceberg w Agg.Sum ~threshold:1.0))
+    (norm_result ws (iceberg Agg.Sum ~threshold:1.0))
+
+let differential s w reference =
+  differential_q s ~ws:(W.schema w) ~query:(W.query w) ~range:(W.range w)
+    ~iceberg:(W.iceberg w) reference
 
 (* Full verdict on a warehouse directory after a child died at [label]. *)
 let verify_recovery ~ctx s dir log =
@@ -375,6 +401,42 @@ let verify_recovery ~ctx s dir log =
           (List.length report.Qc_core.Check.violations);
       differential s w (reference_of s expected))
 
+(* Verdict on a *sharded* directory.  The composite is read-only, so both
+   script saves checkpoint the same rows: whatever the committed prefix,
+   a directory that opens at all must hold exactly the full table, every
+   shard must pass the deep invariant audit, and every base tuple must
+   live in the shard the partitioner assigns it.  A directory that does
+   not open (no committed [shards.manifest]) is legal only when the child
+   never logged a completed save. *)
+let verify_sharded_recovery ~ctx s dir log =
+  let committed, _inflight = committed_and_inflight (log_lines log) in
+  match SW.open_dir dir with
+  | exception W.Error (W.Missing_file _) when committed = [] -> ()
+  | exception W.Error e ->
+    Alcotest.failf "%s: sharded recovery failed: %s (committed: %s)" ctx
+      (W.error_to_string e) (String.concat "," committed)
+  | sw ->
+    if SW.n_shards sw <> 2 then Alcotest.failf "%s: wrong shard count" ctx;
+    let expected = decode_rows s.c.Prop.dims (s.base @ s.ins_a) in
+    let got =
+      Array.to_list (SW.shards sw) |> List.concat_map warehouse_rows
+    in
+    if not (same_rows got expected) then
+      Alcotest.failf "%s: recovered sharded rows wrong\nrecovered: %s\nexpected:  %s" ctx
+        (show_rows got) (show_rows expected);
+    Array.iteri
+      (fun k w ->
+        let report = W.check w in
+        if not (Qc_core.Check.ok report) then
+          Alcotest.failf "%s: shard %d fails the deep invariant audit (%d violations)" ctx k
+            (List.length report.Qc_core.Check.violations))
+      (SW.shards sw);
+    (match SW.misplaced sw with
+    | [] -> ()
+    | l -> Alcotest.failf "%s: %d tuple(s) in the wrong shard after recovery" ctx (List.length l));
+    differential_q s ~ws:(SW.schema sw) ~query:(SW.query sw) ~range:(SW.range sw)
+      ~iceberg:(SW.iceberg sw) (reference_of s expected)
+
 let mode_spec = function FP.Raise -> "raise" | FP.Crash -> "crash" | FP.Torn -> "torn"
 
 let run_warehouse_crash label mode hit =
@@ -392,6 +454,25 @@ let run_warehouse_crash label mode hit =
       | Unix.WEXITED 0 ->
         Alcotest.failf "%s: child finished the workload — the failpoint never fired" ctx
       | Unix.WEXITED n when n = FP.exit_code -> verify_recovery ~ctx s dir log
+      | Unix.WEXITED n -> Alcotest.failf "%s: child exited %d (wanted %d)" ctx n FP.exit_code
+      | Unix.WSIGNALED n -> Alcotest.failf "%s: child killed by signal %d" ctx n
+      | Unix.WSTOPPED _ -> Alcotest.failf "%s: child stopped" ctx)
+
+let run_sharded_crash label mode hit =
+  let s = script () in
+  let dir = fresh_dir () and log = Filename.temp_file "qccrashlog" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf log;
+      rm_rf (log ^ ".stderr"))
+    (fun () ->
+      let spec = Printf.sprintf "%s@%d:%s" label hit (mode_spec mode) in
+      let ctx = Printf.sprintf "%s [sharded] (hit %d)" spec hit in
+      match run_child ~kind:"sharded" ~dir ~log ~spec with
+      | Unix.WEXITED 0 ->
+        Alcotest.failf "%s: child finished the workload — the failpoint never fired" ctx
+      | Unix.WEXITED n when n = FP.exit_code -> verify_sharded_recovery ~ctx s dir log
       | Unix.WEXITED n -> Alcotest.failf "%s: child exited %d (wanted %d)" ctx n FP.exit_code
       | Unix.WSIGNALED n -> Alcotest.failf "%s: child killed by signal %d" ctx n
       | Unix.WSTOPPED _ -> Alcotest.failf "%s: child stopped" ctx)
@@ -447,10 +528,15 @@ let run_serial_crash label mode hit =
 let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
 let crash_matrix_case label =
-  let runner, hits =
-    if has_prefix "serial.save." label then (run_serial_crash, [ 1; 2 ])
-    else if has_prefix "wal." label then (run_warehouse_crash, [ 1; 3; 4 ])
-    else if has_prefix "save." label then (run_warehouse_crash, [ 1; 2 ])
+  let runs =
+    if has_prefix "serial.save." label then [ (run_serial_crash, [ 1; 2 ]) ]
+    else if has_prefix "wal." label then [ (run_warehouse_crash, [ 1; 3; 4 ]) ]
+    else if has_prefix "shards.manifest." label then [ (run_sharded_crash, [ 1; 2 ]) ]
+    else if has_prefix "save." label then
+      (* single-directory checkpoints, plus the same sites firing inside a
+         sharded checkpoint: hit 1 = shard-0 of the first composite save,
+         hit 3 = shard-0 of the second (mixed shard generations) *)
+      [ (run_warehouse_crash, [ 1; 2 ]); (run_sharded_crash, [ 1; 3 ]) ]
     else
       Alcotest.failf
         "failpoint %S is not mapped to a crash workload — extend the matrix in test_crash.ml"
@@ -458,8 +544,11 @@ let crash_matrix_case label =
   in
   Alcotest.test_case label `Slow (fun () ->
       List.iter
-        (fun mode -> List.iter (fun hit -> runner label mode hit) hits)
-        [ FP.Crash; FP.Torn ])
+        (fun (runner, hits) ->
+          List.iter
+            (fun mode -> List.iter (fun hit -> runner label mode hit) hits)
+            [ FP.Crash; FP.Torn ])
+        runs)
 
 (* ------------------------------------------------------------------ *)
 (* In-process Raise-mode cases: simulated I/O errors                   *)
@@ -535,6 +624,7 @@ let raise_on_save site () =
 let () =
   match Sys.getenv_opt "QC_CRASH_CHILD" with
   | Some "warehouse" -> warehouse_child ()
+  | Some "sharded" -> sharded_child ()
   | Some "serial" -> serial_child ()
   | Some other ->
     prerr_endline ("crash child: unknown kind " ^ other);

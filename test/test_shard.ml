@@ -1,0 +1,387 @@
+(* The sharded scatter-gather layer, verified differentially.
+
+   The oracle is the unsharded frozen tree over the whole table.  Every
+   random instance is partitioned both ways (hash and dimension-range),
+   into several shard counts, and the composite backend must answer every
+   point / range / iceberg query *bit-identically* to the oracle — cells,
+   aggregate fields, list order and all.  The property generator draws
+   integer measures, so partial sums are exact in any association order
+   and bit-equality is the honest contract, not an approximation.
+
+   On top of the differential core: unit tests of the Agg merge monoid
+   the fan-out relies on, a hand-built counterexample proving the
+   meet-closure candidate set is needed (a global class whose upper bound
+   exists in no shard), the single-error discipline of the gather layer,
+   and drain/absorb parity of the parallel shard builder. *)
+
+open Qc_cube
+module T = Qc_core.Qc_tree
+module P = Qc_core.Packed
+module S = Qc_core.Shard
+module E = Qc_core.Engine
+
+let partitioners = [ S.Hash; S.Range 0 ]
+
+let shard_counts = [ 1; 2; 3; 8 ]
+
+(* ---------------- Agg merge algebra ---------------- *)
+
+(* Random summaries over integer measures: any merge tree over these has
+   exact float sums, so the monoid laws hold bit-exactly. *)
+let rand_aggs seed n =
+  let rng = Qc_util.Rng.create seed in
+  Array.init n (fun _ ->
+      let k = Qc_util.Rng.int rng 5 in
+      let acc = ref Agg.empty in
+      for _ = 1 to k do
+        acc :=
+          Agg.merge !acc (Agg.of_measure (float_of_int (Qc_util.Rng.int rng 41 - 20)))
+      done;
+      !acc)
+
+let check_agg msg a b = Alcotest.(check bool) msg true (Agg.equal a b)
+
+let test_agg_identity () =
+  Array.iter
+    (fun a ->
+      check_agg "left identity" (Agg.merge Agg.empty a) a;
+      check_agg "right identity" (Agg.merge a Agg.empty) a)
+    (rand_aggs 11 50);
+  Alcotest.(check bool) "empty is empty" true (Agg.is_empty Agg.empty);
+  Alcotest.(check bool) "merge_all [||] is empty" true (Agg.is_empty (Agg.merge_all [||]));
+  Alcotest.(check bool) "a tuple's summary is not empty" false
+    (Agg.is_empty (Agg.of_measure 0.0))
+
+let test_agg_commutative () =
+  let aggs = rand_aggs 23 60 in
+  Array.iteri
+    (fun i a ->
+      let b = aggs.((i + 1) mod Array.length aggs) in
+      check_agg "commutativity" (Agg.merge a b) (Agg.merge b a))
+    aggs
+
+let test_agg_associative () =
+  let aggs = rand_aggs 37 60 in
+  let n = Array.length aggs in
+  Array.iteri
+    (fun i a ->
+      let b = aggs.((i + 1) mod n) and c = aggs.((i + 2) mod n) in
+      check_agg "associativity" (Agg.merge (Agg.merge a b) c) (Agg.merge a (Agg.merge b c)))
+    aggs
+
+(* merge_all under permuted shard orders: the composite must not depend on
+   which shard reports first, and AVG must be read off only after the
+   final merge (sum/count of the permuted merge equals the direct
+   quotient). *)
+let test_agg_merge_all_permutations () =
+  let parts = rand_aggs 53 8 in
+  let reference = Agg.merge_all parts in
+  let rng = Qc_util.Rng.create 99 in
+  for _ = 1 to 50 do
+    let perm = Array.copy parts in
+    Qc_util.Rng.shuffle rng perm;
+    check_agg "permuted merge order" (Agg.merge_all perm) reference
+  done;
+  let total_sum = Array.fold_left (fun acc a -> acc +. a.Agg.sum) 0.0 parts in
+  let total_count = Array.fold_left (fun acc a -> acc + a.Agg.count) 0 parts in
+  if total_count > 0 then
+    Alcotest.(check (float 0.0))
+      "AVG is sum/count post-merge"
+      (total_sum /. float_of_int total_count)
+      (Agg.value Agg.Avg reference)
+
+(* ---------------- split / placement ---------------- *)
+
+let rows_of table =
+  let out = ref [] in
+  Table.iter (fun cell m -> out := (Array.to_list cell, m) :: !out) table;
+  List.rev !out
+
+let prop_split_partitions c =
+  let table = Prop.table_of c in
+  let schema = Table.schema table in
+  List.for_all
+    (fun partitioner ->
+      List.for_all
+        (fun shards ->
+          let parts = S.split ~partitioner ~shards table in
+          let total = Array.fold_left (fun acc t -> acc + Table.n_rows t) 0 parts in
+          let placed = ref true in
+          Array.iteri
+            (fun k t ->
+              Table.iter
+                (fun cell _ ->
+                  if S.shard_of_tuple schema partitioner ~shards cell <> k then
+                    placed := false)
+                t)
+            parts;
+          total = Table.n_rows table
+          && !placed
+          && (shards <> 1 || rows_of parts.(0) = rows_of table))
+        shard_counts)
+    partitioners
+
+(* ---------------- the differential core ---------------- *)
+
+let queries_of c =
+  let qs = ref [] in
+  qs := E.Iceberg { func = Agg.Count; threshold = float_of_int c.Prop.min_support } :: !qs;
+  qs := E.Iceberg { func = Agg.Sum; threshold = 5.0 } :: !qs;
+  qs := E.Iceberg { func = Agg.Min; threshold = -3.0 } :: !qs;
+  List.iter (fun r -> qs := E.Range r :: !qs) (Prop.random_ranges c 6);
+  Prop.iter_cells ~sample:120 c (fun cell -> qs := E.Point (Cell.copy cell) :: !qs);
+  Array.of_list !qs
+
+(* Sharded answers are bit-identical to the unsharded oracle for both
+   partitioners, shard counts 1..8, and 1 vs 4 worker domains. *)
+let prop_sharded_differential c =
+  let table = Prop.table_of c in
+  let oracle = P.of_tree (T.of_table table) in
+  let queries = queries_of c in
+  let expected = Array.map (E.run_one_plain (module E.Packed_backend) oracle) queries in
+  List.for_all
+    (fun partitioner ->
+      List.for_all
+        (fun shards ->
+          let s = S.build ~jobs:1 ~partitioner ~shards table in
+          let agrees (b : E.batch) =
+            let ok = ref true in
+            Array.iteri
+              (fun i o -> if not (E.outcome_equal o b.E.outcomes.(i)) then ok := false)
+              expected;
+            !ok
+          in
+          agrees (E.run_batch ~jobs:1 (module S.Backend) s queries)
+          && agrees (E.run_batch ~jobs:4 (module S.Backend) s queries))
+        shard_counts)
+    partitioners
+
+(* explain: the composite's answer cell and aggregate equal the oracle's
+   closure, whatever shard the representative path comes from *)
+let prop_explain_answer_parity c =
+  let table = Prop.table_of c in
+  let oracle = P.of_tree (T.of_table table) in
+  let s = S.build ~jobs:1 ~partitioner:S.Hash ~shards:3 table in
+  let ok = ref true in
+  Prop.iter_cells ~sample:60 c (fun cell ->
+      match (E.Packed_backend.explain oracle cell, S.Backend.explain s cell) with
+      | Ok xo, Ok xs -> (
+        match (xo.E.x_answer, xs.E.x_answer) with
+        | None, None -> ()
+        | Some (c1, a1), Some (c2, a2) ->
+          if not (Cell.equal c1 c2 && Agg.equal a1 a2) then ok := false
+        | _ -> ok := false)
+      | Error e1, Error e2 -> if not (E.error_equal e1 e2) then ok := false
+      | _ -> ok := false);
+  !ok
+
+(* node accesses: exactly the oracle's count at one shard; at N > 1 the
+   total is the sum over shards, which must not depend on how many
+   domains built the composite *)
+let prop_node_access_totals c =
+  let table = Prop.table_of c in
+  let oracle = P.of_tree (T.of_table table) in
+  let s1 = S.build ~jobs:1 ~partitioner:S.Hash ~shards:1 table in
+  let s4a = S.build ~jobs:1 ~partitioner:(S.Range 0) ~shards:4 table in
+  let s4b = S.build ~jobs:4 ~partitioner:(S.Range 0) ~shards:4 table in
+  let ok = ref true in
+  Prop.iter_cells ~sample:80 c (fun cell ->
+      (match (S.Backend.node_accesses s1 cell, E.Packed_backend.node_accesses oracle cell) with
+      | Ok a, Ok b -> if a <> b then ok := false
+      | _ -> ok := false);
+      match (S.Backend.node_accesses s4a cell, S.Backend.node_accesses s4b cell) with
+      | Ok a, Ok b -> if a <> b then ok := false
+      | _ -> ok := false);
+  !ok
+
+(* ---------------- meet-closure counterexample ---------------- *)
+
+(* Tuples (a1,b2) and (a1,b3) in *different* shards: the global class
+   upper bound (a1,ALL) is a class of neither shard, so any gather that
+   merely merges per-shard class lists by cell misses it.  The composite
+   must produce it via the meet-closure candidate set. *)
+let test_cross_shard_class () =
+  let s = Schema.create [ "A"; "B" ] in
+  for v = 1 to 3 do
+    ignore (Schema.encode_value s 0 (Printf.sprintf "a%d" v));
+    ignore (Schema.encode_value s 1 (Printf.sprintf "b%d" v))
+  done;
+  let t1 = Table.create s and t2 = Table.create s and full = Table.create s in
+  Table.add_encoded t1 [| 1; 2 |] 1.0;
+  Table.add_encoded t2 [| 1; 3 |] 1.0;
+  Table.add_encoded full [| 1; 2 |] 1.0;
+  Table.add_encoded full [| 1; 3 |] 1.0;
+  let g = S.of_parts ~partitioner:S.Hash (S.build_packed ~jobs:1 [| t1; t2 |]) in
+  let oracle = P.of_tree (T.of_table full) in
+  (match S.Backend.iceberg g Agg.Count ~threshold:2.0 with
+  | Ok [ (cell, agg) ] ->
+    Alcotest.(check bool) "the cross-shard class is (a1,*)" true
+      (Cell.equal cell [| 1; Cell.all |]);
+    Alcotest.(check int) "its cover spans both shards" 2 agg.Agg.count
+  | Ok l -> Alcotest.failf "expected exactly the (a1,*) class, got %d cells" (List.length l)
+  | Error _ -> Alcotest.fail "iceberg failed");
+  match (S.Backend.iceberg g Agg.Count ~threshold:1.0, E.Packed_backend.iceberg oracle Agg.Count ~threshold:1.0) with
+  | Ok got, Ok want ->
+    Alcotest.(check int) "same class count as the oracle" (List.length want) (List.length got);
+    List.iter2
+      (fun (c1, a1) (c2, a2) ->
+        Alcotest.(check bool) "same class" true (Cell.equal c1 c2 && Agg.equal a1 a2))
+      want got
+  | _ -> Alcotest.fail "iceberg failed"
+
+(* ---------------- single-error discipline ---------------- *)
+
+(* A failing shard must surface as *one* deterministic typed error — the
+   lowest-indexed shard's — not as one copy per shard and not wrapped.
+   Dwarf's unsupported iceberg is the natural probe. *)
+let test_single_error_surface () =
+  let c = Prop.make_case ~seed:7 ~n_rows:40 in
+  let table = Prop.table_of c in
+  let tables = S.split ~partitioner:S.Hash ~shards:3 table in
+  let parts = Array.map (fun t -> Qc_dwarf.Dwarf.build t) tables in
+  let module G = S.Gather (Qc_dwarf.Dwarf.Backend) in
+  let single =
+    match Qc_dwarf.Dwarf.Backend.iceberg parts.(0) Agg.Count ~threshold:1.0 with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "dwarf unexpectedly supports iceberg"
+  in
+  (match G.iceberg parts Agg.Count ~threshold:1.0 with
+  | Error e ->
+    Alcotest.(check bool) "composite error equals the single-shard error" true
+      (E.error_equal e single)
+  | Ok _ -> Alcotest.fail "expected an Unsupported error");
+  (* arity errors are checked once, before any fan-out *)
+  let p = S.build ~jobs:1 ~partitioner:S.Hash ~shards:3 table in
+  match S.Backend.point p [| 1 |] with
+  | Error (E.Arity_mismatch { expected; got }) ->
+    Alcotest.(check int) "expected arity" c.Prop.dims expected;
+    Alcotest.(check int) "got arity" 1 got
+  | _ -> Alcotest.fail "expected one Arity_mismatch"
+
+(* empty shards contribute the identity, and an all-empty composite
+   answers like an empty cube *)
+let test_empty_shards () =
+  let c = Prop.make_case ~seed:5 ~n_rows:0 in
+  let table = Prop.table_of c in
+  let s = S.build ~jobs:1 ~partitioner:S.Hash ~shards:4 table in
+  let all = Array.make c.Prop.dims Cell.all in
+  (match S.Backend.point s all with
+  | Error (E.Empty_cover _) -> ()
+  | _ -> Alcotest.fail "point on an empty composite must report Empty_cover");
+  (match S.Backend.range s (Array.make c.Prop.dims [||]) with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "range on an empty composite must be Ok []");
+  match S.Backend.iceberg s Agg.Count ~threshold:1.0 with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "iceberg on an empty composite must be Ok []"
+
+(* ---------------- partitioner strings ---------------- *)
+
+let test_partitioner_strings () =
+  let c = Prop.make_case ~seed:3 ~n_rows:5 in
+  let schema = Prop.schema_of c in
+  List.iter
+    (fun p ->
+      match S.partitioner_of_string schema (S.partitioner_to_string schema p) with
+      | Ok p' -> Alcotest.(check bool) "round trip" true (S.partitioner_equal p p')
+      | Error e -> Alcotest.fail e)
+    [ S.Hash; S.Range 0; S.Range (c.Prop.dims - 1) ];
+  (match S.partitioner_of_string schema "range:1" with
+  | Ok (S.Range 1) -> ()
+  | _ -> Alcotest.fail "numeric dimension index must parse");
+  (match S.partitioner_of_string schema "range:nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown dimension must not parse");
+  match S.partitioner_of_string schema "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad partitioner must not parse"
+
+(* ---------------- parallel build drain/absorb parity ---------------- *)
+
+let span_summary () =
+  List.sort String.compare
+    (List.map
+       (fun (sp : Qc_util.Trace.span) ->
+         Printf.sprintf "%s|%s|%s" sp.Qc_util.Trace.sp_cat sp.Qc_util.Trace.sp_name
+           (String.concat ","
+              (List.map
+                 (fun (k, v) ->
+                   k ^ "="
+                   ^ (match v with
+                     | Qc_util.Trace.Int i -> string_of_int i
+                     | Qc_util.Trace.Float f -> string_of_float f
+                     | Qc_util.Trace.String s -> s
+                     | Qc_util.Trace.Bool b -> string_of_bool b))
+                 sp.Qc_util.Trace.sp_args)))
+       (Qc_util.Trace.spans ()))
+
+let test_build_drain_parity () =
+  let c = Prop.make_case ~seed:2024 ~n_rows:60 in
+  let tables = S.split ~partitioner:S.Hash ~shards:4 (Prop.table_of c) in
+  Qc_util.Metrics.set_enabled true;
+  Qc_util.Trace.set_enabled true;
+  let snap jobs =
+    Qc_util.Metrics.reset ();
+    Qc_util.Trace.reset ();
+    ignore (S.build_packed ~jobs tables);
+    ((Qc_util.Metrics.snapshot ()).Qc_util.Metrics.counters, span_summary ())
+  in
+  let m1, t1 = snap 1 in
+  let m4, t4 = snap 4 in
+  Qc_util.Metrics.set_enabled false;
+  Qc_util.Trace.set_enabled false;
+  Qc_util.Trace.reset ();
+  Alcotest.(check (list (pair string int))) "counter totals" m1 m4;
+  Alcotest.(check (list string)) "span multiset" t1 t4
+
+(* builds with 1 and 4 domains produce structurally identical shards *)
+let prop_parallel_build_determinism c =
+  let table = Prop.table_of c in
+  List.for_all
+    (fun partitioner ->
+      let a = S.build ~jobs:1 ~partitioner ~shards:4 table in
+      let b = S.build ~jobs:4 ~partitioner ~shards:4 table in
+      let ca = Array.map (fun p -> T.canonical_string (P.to_tree p)) (S.parts a) in
+      let cb = Array.map (fun p -> T.canonical_string (P.to_tree p)) (S.parts b) in
+      ca = cb)
+    partitioners
+
+let () =
+  Alcotest.run "qc_shard"
+    [
+      ( "agg-algebra",
+        [
+          Alcotest.test_case "merge identity and is_empty" `Quick test_agg_identity;
+          Alcotest.test_case "merge is commutative" `Quick test_agg_commutative;
+          Alcotest.test_case "merge is associative (integer measures)" `Quick
+            test_agg_associative;
+          Alcotest.test_case "merge_all is order-independent; AVG post-merge" `Quick
+            test_agg_merge_all_permutations;
+        ] );
+      ( "unit",
+        [
+          Alcotest.test_case "a class spanning shards exists in no shard" `Quick
+            test_cross_shard_class;
+          Alcotest.test_case "one failing shard surfaces one typed error" `Quick
+            test_single_error_surface;
+          Alcotest.test_case "empty shards are the merge identity" `Quick test_empty_shards;
+          Alcotest.test_case "partitioner strings round-trip" `Quick test_partitioner_strings;
+          Alcotest.test_case "parallel build drains metrics and spans deterministically"
+            `Quick test_build_drain_parity;
+        ] );
+      ( "property",
+        [
+          Prop.qcheck_case ~count:120 ~name:"split partitions losslessly and places by contract"
+            Prop.arb_case prop_split_partitions;
+          Prop.qcheck_case ~count:90
+            ~name:"sharded answers are bit-identical to the unsharded oracle" Prop.arb_case
+            prop_sharded_differential;
+          Prop.qcheck_case ~count:80 ~name:"explain answers match the oracle closure"
+            Prop.arb_case prop_explain_answer_parity;
+          Prop.qcheck_case ~count:80
+            ~name:"node-access totals: oracle-exact at 1 shard, build-invariant at 4"
+            Prop.arb_case prop_node_access_totals;
+          Prop.qcheck_case ~count:60 ~name:"1-domain and 4-domain builds are identical"
+            Prop.arb_case prop_parallel_build_determinism;
+        ] );
+    ]
