@@ -36,7 +36,7 @@ let record name json = json_records := (name, json) :: !json_records
 (* Print the table; additionally write it as CSV when --out was given, and
    stash it for the JSON report. *)
 let emit table =
-  Tf.print table;
+  print_string (Tf.to_string table);
   json_tables := Tf.to_json table :: !json_tables;
   match !csv_out_dir with
   | None -> ()

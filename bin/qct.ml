@@ -158,7 +158,9 @@ let with_trace trace f =
       write ();
       v
     | exception e ->
-      (try write () with _ -> ());
+      (* best-effort: a failed trace write must not mask the original
+         error, but only expected I/O failures are swallowed *)
+      (try write () with Sys_error _ | Unix.Unix_error _ -> ());
       raise e)
 
 let trace_arg =
@@ -961,7 +963,7 @@ let check_sharded trace dir deep samples json =
          (Obj
             [
               ("dir", String dir);
-              ("report", C.report_to_json report);
+              ("report", C.report_to_json ~path:dir report);
               ("misplaced", Int (List.length misplaced));
               ("rebuilt_shards", List (List.map (fun k -> Int k) repaired));
             ]))
@@ -1056,7 +1058,9 @@ let check () backend packed trace tree_path base_csv deep samples json =
   let report = Qc_core.Check.merge_reports (List.rev !reports) in
   let n_checks = List.fold_left (fun acc (_, n) -> acc + n) 0 report.Qc_core.Check.checked in
   let violations = report.Qc_core.Check.violations in
-  if json then print_endline (Qc_util.Jsonx.to_string (Qc_core.Check.report_to_json report))
+  if json then
+    print_endline
+      (Qc_util.Jsonx.to_string (Qc_core.Check.report_to_json ~path:tree_path report))
   else begin
     let schema =
       match tree with Some t -> Some (Qc_core.Qc_tree.schema t) | None -> None
@@ -1113,6 +1117,26 @@ let check_cmd =
    crash residue, not corruption; 2 = --dry-run found repairs that a real
    run would persist (torn journal tail, rebuilt tree, rolled-forward
    checkpoint); 1 = the directory cannot be opened at all. *)
+(* Crash residue rendered in the {label, file_or_path, detail} envelope
+   shared with [qct check --json] and [qclint --json] (DESIGN.md "Static
+   analysis"): one parser reads findings from all three tools. *)
+let recovery_violations ~path (r : Qc_warehouse.Warehouse.recovery) =
+  let module W = Qc_warehouse.Warehouse in
+  let open Qc_util.Jsonx in
+  let v label detail =
+    Obj [ ("label", String label); ("file_or_path", String path); ("detail", String detail) ]
+  in
+  (if r.W.torn_bytes > 0 then
+     [ v "torn-tail" (Printf.sprintf "%d-byte torn journal tail" r.W.torn_bytes) ]
+   else [])
+  @ (if r.W.rebuilt_tree then
+       [ v "rebuilt-tree" "tree image missing or damaged; rebuilt from base.csv" ]
+     else [])
+  @
+  if r.W.rolled_forward then
+    [ v "rolled-forward" "interrupted checkpoint rolled forward to its manifest generation" ]
+  else []
+
 (* Sharded recovery repairs shard by shard: only damaged shards are
    re-checkpointed, so a healthy shard's files (manifest included) are
    byte-identical before and after — asserted by the CLI contract tests. *)
@@ -1138,6 +1162,13 @@ let recover_sharded dir dry_run json =
               ("rows", Int (S.total_rows s));
               ("corrupt", Bool any_damaged);
               ("checkpointed", Bool (not dry_run));
+              ( "violations",
+                List
+                  (List.concat
+                     (Array.to_list
+                        (Array.mapi
+                           (fun k r -> recovery_violations ~path:(S.shard_dir dir k) r)
+                           recs))) );
               ( "shard_recoveries",
                 List
                   (Array.to_list
@@ -1202,6 +1233,7 @@ let recover () dir dry_run json =
               ("rolled_forward", Bool r.W.rolled_forward);
               ("corrupt", Bool corrupt);
               ("checkpointed", Bool (not dry_run));
+              ("violations", List (recovery_violations ~path:dir r));
             ]))
   else begin
     Printf.printf "%s: %d rows at generation %d\n" dir s.W.rows s.W.generation;

@@ -199,7 +199,10 @@ let pp_violation schema ppf v =
     f "QCTP: link %d has %s %d out of range" index field value
   | Qctp_trailing_bytes n -> f "QCTP: %d trailing bytes after the structure" n
 
-let report_to_json r =
+(* Violations render in the envelope {label, file_or_path, detail} shared
+   with [qct recover --json] and qclint [--json] (DESIGN.md "Static
+   analysis"), so one consumer parses all three reports. *)
+let report_to_json ?(path = "") r =
   let open Qc_util.Jsonx in
   Obj
     [
@@ -213,6 +216,7 @@ let report_to_json r =
                Obj
                  [
                    ("label", String (violation_label v));
+                   ("file_or_path", String path);
                    ("detail", String (Format.asprintf "%a" (pp_violation None) v));
                  ])
              r.violations) );

@@ -122,7 +122,12 @@ val pp_violation : Schema.t option -> Format.formatter -> violation -> unit
 (** Human rendering; with a schema, cells print as value tuples rather than
     code vectors. *)
 
-val report_to_json : report -> Qc_util.Jsonx.t
+val report_to_json : ?path:string -> report -> Qc_util.Jsonx.t
+(** Violations are emitted in the envelope
+    [{label, file_or_path, detail}] shared by [qct check --json],
+    [qct recover --json] and [qclint --json] (see DESIGN.md "Static
+    analysis"); [?path] (default [""]) fills [file_or_path] with the
+    audited file or directory. *)
 
 (** {1 Checkers} *)
 

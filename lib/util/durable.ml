@@ -66,6 +66,10 @@ let write_file ?fp path content =
 let open_append path =
   open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path
 
+let truncate ?fp path len =
+  hit_site fp "truncate";
+  Unix.truncate path len
+
 let append ?fp oc frame =
   (match check_site fp "append" with
   | Some Failpoint.Raise -> raise (Failpoint.Injected (Option.get (site fp "append")))

@@ -36,6 +36,13 @@ val write_file : ?fp:string -> string -> string -> unit
 (** {!write_tmp} followed by {!commit_tmp}: the one-call atomic durable
     write used for self-contained files (saved trees, CSV exports). *)
 
+val truncate : ?fp:string -> string -> int -> unit
+(** [truncate path len] cuts [path] back to its first [len] bytes — how the
+    journal discards a half-written frame after a failed append.  Failpoint:
+    [<fp>.truncate].  Like every destructive file operation, it lives here
+    so qclint's [durable-raw-write] rule keeps raw [Unix.truncate] out of
+    the rest of [lib/] and [bin/]. *)
+
 val open_append : string -> out_channel
 (** Open a binary append channel (creating the file at permission 0o644 if
     missing) — the journal's write handle. *)

@@ -9,6 +9,11 @@ let () =
 
 let exit_code = 42
 
+(* Both tables are process-global and probed from every Domain that crosses
+   a durability site; one mutex keeps them coherent.  Sites are cold paths
+   (file I/O dwarfs the lock), so the protection is free in practice. *)
+let lock = Mutex.create ()
+
 (* Site labels declared by the instrumented modules, for enumeration by the
    crash suite. *)
 let registry : (string, unit) Hashtbl.t = Hashtbl.create 32
@@ -16,18 +21,19 @@ let registry : (string, unit) Hashtbl.t = Hashtbl.create 32
 (* label -> (hits remaining before firing, mode) *)
 let armed : (string, int ref * mode) Hashtbl.t = Hashtbl.create 8
 
-let register label = Hashtbl.replace registry label ()
+let register label = Mutex.protect lock (fun () -> Hashtbl.replace registry label ())
 
 let registered () =
-  List.sort String.compare (Hashtbl.fold (fun l () acc -> l :: acc) registry [])
+  Mutex.protect lock (fun () ->
+      List.sort String.compare (Hashtbl.fold (fun l () acc -> l :: acc) registry []))
 
 let set ?(hits = 1) label mode =
   if hits < 1 then invalid_arg "Failpoint.set: hits must be >= 1";
-  Hashtbl.replace armed label (ref hits, mode)
+  Mutex.protect lock (fun () -> Hashtbl.replace armed label (ref hits, mode))
 
-let unset label = Hashtbl.remove armed label
+let unset label = Mutex.protect lock (fun () -> Hashtbl.remove armed label)
 
-let reset () = Hashtbl.reset armed
+let reset () = Mutex.protect lock (fun () -> Hashtbl.reset armed)
 
 let mode_of_string = function
   | "raise" -> Some Raise
@@ -75,15 +81,16 @@ let arm_from_spec spec =
 let crash () = Unix._exit exit_code
 
 let check label =
-  match Hashtbl.find_opt armed label with
-  | None -> None
-  | Some (remaining, mode) ->
-    decr remaining;
-    if !remaining > 0 then None
-    else begin
-      Hashtbl.remove armed label;
-      Some mode
-    end
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt armed label with
+      | None -> None
+      | Some (remaining, mode) ->
+        decr remaining;
+        if !remaining > 0 then None
+        else begin
+          Hashtbl.remove armed label;
+          Some mode
+        end)
 
 let hit label =
   match check label with

@@ -140,7 +140,7 @@ let parse s =
             let hex = String.sub s !pos 4 in
             pos := !pos + 4;
             let code =
-              try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape"
             in
             (* encode as UTF-8; the emitter only produces codes < 0x20 *)
             if code < 0x80 then Buffer.add_char buf (Char.chr code)

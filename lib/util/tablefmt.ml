@@ -14,7 +14,10 @@ let add_row t row =
 
 let note t s = t.notes <- s :: t.notes
 
-let print t =
+(* Rendering returns a string rather than printing: stdout writes belong to
+   bin/ and bench/ (qclint's stdout-in-lib rule), and a pure renderer can be
+   diffed in tests. *)
+let to_string t =
   let rows = List.rev t.rows in
   let all = t.columns :: rows in
   let ncols = List.length t.columns in
@@ -28,9 +31,11 @@ let print t =
   let sep =
     String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
   in
-  Printf.printf "\n== %s ==\n%s\n%s\n" t.title (render t.columns) sep;
-  List.iter (fun row -> print_endline (render row)) rows;
-  List.iter (fun s -> Printf.printf "   note: %s\n" s) (List.rev t.notes)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n%s\n%s\n" t.title (render t.columns) sep);
+  List.iter (fun row -> Buffer.add_string buf (render row ^ "\n")) rows;
+  List.iter (fun s -> Buffer.add_string buf ("   note: " ^ s ^ "\n")) (List.rev t.notes);
+  Buffer.contents buf
 
 let to_csv t =
   let buf = Buffer.create 1024 in

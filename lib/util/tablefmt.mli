@@ -15,8 +15,10 @@ val add_row : t -> string list -> unit
 val note : t -> string -> unit
 (** Attach a free-form footnote printed under the table. *)
 
-val print : t -> unit
-(** Render the table to stdout with aligned columns. *)
+val to_string : t -> string
+(** Render the table with aligned columns, ready for the caller to print.
+    (Library code never writes to stdout itself — qclint's [stdout-in-lib]
+    rule; the bench harness and CLI do the printing.) *)
 
 val to_csv : t -> string
 (** The same table as CSV (header + data rows), for plotting. *)

@@ -408,7 +408,7 @@ let wal_channel t dir =
                  (Io
                     (Printf.sprintf "%s shrank below its committed prefix (%d < %d bytes)" path
                        size t.wal_pos)));
-          if size > t.wal_pos then Unix.truncate path t.wal_pos
+          if size > t.wal_pos then Qc_util.Durable.truncate path t.wal_pos
         end);
     let oc = wrap_io (fun () -> Qc_util.Durable.open_append path) in
     t.wal_out <- Some oc;
@@ -445,7 +445,8 @@ let log_mutation t op delta =
       t.wal_records <- t.wal_records + 1
     | exception e ->
       close_wal t;
-      (try Unix.truncate (wal_file dir) t.wal_pos with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Qc_util.Durable.truncate (wal_file dir) t.wal_pos with
+      | Unix.Unix_error _ | Sys_error _ -> ());
       (match io_error_of_exn e with Some err -> raise (Error err) | None -> raise e))
 
 (* ------------------------------------------------------------------ *)

@@ -82,6 +82,14 @@ if ! grep -q '"qctp-truncated"' stdout.txt; then
   echo "FAIL: JSON report lacks the qctp-truncated label" >&2
   fails=$((fails + 1))
 fi
+# check --json violations use the shared {label, file_or_path, detail}
+# envelope (same as recover --json and qclint --json)
+for key in '"label"' '"file_or_path": *"truncated.qcp"' '"detail"'; do
+  if ! grep -q "$key" stdout.txt; then
+    echo "FAIL: check --json violation lacks the envelope field $key" >&2
+    fails=$((fails + 1))
+  fi
+done
 
 # --- batch: answers are byte-identical across --jobs and backends ---
 printf '# demo\npoint S1,P2,*\npoint *,*,*\npoint S2,P2,*\nrange *,P1|P2,f\niceberg sum 10\n' > queries.txt
@@ -158,6 +166,13 @@ if ! grep -q '"corrupt": *true' stdout.txt; then
   echo "FAIL: recover --json lacks \"corrupt\": true" >&2
   fails=$((fails + 1))
 fi
+# crash residue is reported in the shared violation envelope
+for key in '"label": *"torn-tail"' '"file_or_path": *"wh"' '"detail"'; do
+  if ! grep -q "$key" stdout.txt; then
+    echo "FAIL: recover --json violation lacks the envelope field $key" >&2
+    fails=$((fails + 1))
+  fi
+done
 expect 0 "$QCT" recover wh             # repair persists a clean checkpoint
 expect 0 "$QCT" recover wh --dry-run
 expect 0 "$QCT" wal wh

@@ -1,0 +1,11 @@
+(* clean twin of catch_all_bad.ml: specific exceptions, and a capture that
+   faithfully re-raises is not a swallow *)
+let specific g = try g () with Not_found -> 0
+
+let logged g =
+  try g ()
+  with e ->
+    ignore e;
+    raise e
+
+let match_specific g = match g () with x -> x | exception Exit -> 0

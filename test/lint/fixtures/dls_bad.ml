@@ -1,0 +1,5 @@
+(* fixture: [dls-without-drain] — a per-domain buffer that no drain/absorb
+   pair can ever merge back deterministically *)
+let buffer = Domain.DLS.new_key (fun () -> [])
+
+let record x = Domain.DLS.set buffer (x :: Domain.DLS.get buffer)

@@ -1,0 +1,12 @@
+(* clean twin of dls_bad.ml: the buffer ships with its drain/absorb pair,
+   the discipline Metrics and Trace follow *)
+let buffer = Domain.DLS.new_key (fun () -> [])
+
+let record x = Domain.DLS.set buffer (x :: Domain.DLS.get buffer)
+
+let drain () =
+  let v = Domain.DLS.get buffer in
+  Domain.DLS.set buffer [];
+  v
+
+let absorb delta = Domain.DLS.set buffer (delta @ Domain.DLS.get buffer)

@@ -1,0 +1,4 @@
+(* fixture: [domain-outside-allowlist] when placed outside
+   lib/qc/engine.ml / lib/qc/shard.ml; the clean-twin run places this same
+   file AT lib/qc/engine.ml, the audited executor *)
+let run f = Domain.join (Domain.spawn f)

@@ -1,0 +1,4 @@
+(* fixture: [obj-magic] — including the qualified Stdlib spelling *)
+let f x = Obj.magic x
+
+let g x = Stdlib.Obj.magic x

@@ -1,0 +1,4 @@
+(* clean twin of obj_magic_bad.ml: the identity needs no magic *)
+let f x = x
+
+let g x = x

@@ -1,0 +1,6 @@
+(* fixture: [option-poly-eq] — both polarities, one split across lines *)
+let is_empty x = x = None
+
+let is_filled x =
+  x
+  <> None

@@ -1,0 +1,4 @@
+(* clean twin of option_poly_eq_bad.ml *)
+let is_empty x = Option.is_none x
+
+let is_filled x = Option.is_some x

@@ -1,0 +1,2 @@
+(* fixture: does not parse — qclint must report [parse-error], not crash *)
+let broken = (

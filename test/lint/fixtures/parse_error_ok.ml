@@ -1,0 +1,2 @@
+(* clean twin of parse_error_bad.ml *)
+let fine = 1

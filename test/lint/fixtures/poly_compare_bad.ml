@@ -1,0 +1,5 @@
+(* fixture: [poly-compare] — bare and Stdlib-qualified, which the old grep
+   missed *)
+let c a b = compare a b
+
+let d a b = Stdlib.compare a b

@@ -1,0 +1,7 @@
+(* clean twin of poly_compare_bad.ml: typed comparisons, plus a file-local
+   [compare] binding that legitimately shadows the polymorphic one *)
+let c a b = Int.compare a b
+
+let d a b = String.compare a b
+
+let shadowed compare a b = compare a b

@@ -1,0 +1,7 @@
+(* fixture: [raising-find] — the direct call and a module-alias spelling a
+   grep would miss *)
+let direct l = List.assoc "k" l
+
+module H = Hashtbl
+
+let aliased t = H.find t "k"

@@ -1,0 +1,6 @@
+(* clean twin of raising_find_bad.ml: the _opt forms with explicit branches *)
+let direct l = match List.assoc_opt "k" l with Some v -> v | None -> 0
+
+module H = Hashtbl
+
+let aliased t = match H.find_opt t "k" with Some v -> v | None -> 0

@@ -1,0 +1,5 @@
+(* fixture: [stdout-in-lib] when placed under lib/; the clean twin places
+   this same file under bin/, where printing is the whole point *)
+let banner () = print_endline "qc-tree"
+
+let stats n = Printf.printf "%d nodes\n" n

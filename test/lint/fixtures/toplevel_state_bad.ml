@@ -1,0 +1,7 @@
+(* fixture: [toplevel-mutable-state] — structure-level ref and Hashtbl in
+   lib/ with no Mutex/Atomic/DLS anywhere in the file *)
+let counter = ref 0
+
+let cache = Hashtbl.create 16
+
+let bump () = incr counter

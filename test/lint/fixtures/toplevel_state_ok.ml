@@ -1,0 +1,9 @@
+(* clean twin of toplevel_state_bad.ml: the same state with a declared
+   concurrency story (a Mutex guarding every access) *)
+let lock = Mutex.create ()
+
+let counter = ref 0
+
+let cache = Hashtbl.create 16
+
+let bump () = Mutex.protect lock (fun () -> incr counter)

@@ -1,0 +1,8 @@
+(* fixture: [typed-error-bypass] when placed at a typed-error module
+   (lib/qc/engine.ml); the clean-twin run places this same panic in a module
+   with no typed error channel, where failwith is merely discouraged style *)
+let lookup = function
+  | Some v -> v
+  | None -> failwith "empty slot"
+
+let unreachable () = assert false

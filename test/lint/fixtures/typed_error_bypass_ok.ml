@@ -1,0 +1,7 @@
+(* clean twin of typed_error_bypass_bad.ml for lib/qc/engine.ml: the typed
+   channel carries the condition *)
+type ('a, 'e) result2 = Ok2 of 'a | Err2 of 'e
+
+let lookup = function
+  | Some v -> Ok2 v
+  | None -> Err2 "empty slot"

@@ -1,0 +1,254 @@
+#!/usr/bin/env bash
+# Golden contract tests for qclint: every rule has an offending fixture
+# (exit 2, exact label reported) and a clean twin (exit 0) — so deleting any
+# single rule's implementation fails at least one case here.  Each case
+# copies its fixture into a throwaway mini-repo tree at the destination path
+# the rule's scoping cares about (the same file can be a violation at
+# lib/util/other.ml and sanctioned at lib/util/durable.ml), then runs
+# `qclint --root <tree>`.  The CLI contract (exit 0/2/124, --json envelope,
+# --fix-dry-run, allowlist semantics) is asserted at the end.
+set -u
+
+QCLINT="$1"
+FIXTURES="$(dirname "$0")/fixtures"
+fails=0
+cases=0
+
+tree=""
+new_tree() {
+  tree="$(mktemp -d "./faketree.XXXXXX")"
+}
+
+place() { # fixture dest-relpath
+  mkdir -p "$tree/$(dirname "$2")"
+  cp "$FIXTURES/$1" "$tree/$2"
+}
+
+run_lint() { # extra args...
+  "$QCLINT" --root "$tree" "$@" >out.txt 2>err.txt
+  code=$?
+}
+
+check_exit() { # name want
+  cases=$((cases + 1))
+  if [ "$code" -ne "$2" ]; then
+    echo "FAIL: $1 exited $code, expected $2" >&2
+    sed 's/^/  out: /' out.txt >&2
+    sed 's/^/  err: /' err.txt >&2
+    fails=$((fails + 1))
+  fi
+}
+
+check_out() { # name pattern
+  cases=$((cases + 1))
+  if ! grep -q "$2" out.txt; then
+    echo "FAIL: $1 output does not match '$2'" >&2
+    sed 's/^/  out: /' out.txt >&2
+    fails=$((fails + 1))
+  fi
+}
+
+check_not_out() { # name pattern
+  cases=$((cases + 1))
+  if grep -q "$2" out.txt; then
+    echo "FAIL: $1 output unexpectedly matches '$2'" >&2
+    sed 's/^/  out: /' out.txt >&2
+    fails=$((fails + 1))
+  fi
+}
+
+bad() { # rule fixture dest
+  new_tree
+  place "$2" "$3"
+  run_lint
+  check_exit "bad[$1] at $3" 2
+  check_out "bad[$1] at $3" "\[$1\]"
+}
+
+ok() { # label fixture dest
+  new_tree
+  place "$2" "$3"
+  run_lint
+  check_exit "ok[$1] at $3" 0
+  check_out "ok[$1] at $3" "OK"
+}
+
+# --- one bad fixture + one clean twin per rule ------------------------------
+
+bad parse-error        parse_error_bad.ml     lib/util/broken.ml
+ok  parse-error        parse_error_ok.ml      lib/util/broken.ml
+# interfaces are parsed too: the same garbage as an .mli must also be caught
+new_tree
+place parse_error_bad.ml lib/util/broken.mli
+run_lint
+check_exit "bad[parse-error] .mli" 2
+check_out "bad[parse-error] .mli" "interface does not"
+
+bad obj-magic          obj_magic_bad.ml       lib/util/fixture.ml
+ok  obj-magic          obj_magic_ok.ml        lib/util/fixture.ml
+
+bad raising-find       raising_find_bad.ml    lib/util/fixture.ml
+ok  raising-find       raising_find_ok.ml     lib/util/fixture.ml
+
+bad poly-compare       poly_compare_bad.ml    lib/util/fixture.ml
+ok  poly-compare       poly_compare_ok.ml     lib/util/fixture.ml
+
+bad option-poly-eq     option_poly_eq_bad.ml  lib/util/fixture.ml
+ok  option-poly-eq     option_poly_eq_ok.ml   lib/util/fixture.ml
+
+# scoping rules: the clean twin is the SAME file at the sanctioned path
+bad durable-raw-write  durable_raw_write_bad.ml lib/util/fixture.ml
+ok  durable-raw-write  durable_raw_write_bad.ml lib/util/durable.ml
+
+bad clock-raw-time     clock_raw_time_bad.ml  lib/util/fixture.ml
+ok  clock-raw-time     clock_raw_time_bad.ml  lib/util/clock.ml
+
+bad stdout-in-lib      stdout_in_lib_bad.ml   lib/util/fixture.ml
+ok  stdout-in-lib      stdout_in_lib_bad.ml   bin/fixture.ml
+
+bad catch-all-handler  catch_all_bad.ml       lib/util/fixture.ml
+ok  catch-all-handler  catch_all_ok.ml        lib/util/fixture.ml
+# outside lib/ and bin/ the handler rule does not apply (tests may swallow)
+ok  catch-all-scope    catch_all_bad.ml       test/fixture.ml
+
+bad typed-error-bypass typed_error_bypass_bad.ml lib/qc/engine.ml
+ok  typed-error-bypass typed_error_bypass_ok.ml  lib/qc/engine.ml
+# the same panic in a module with no typed error channel is not this rule
+ok  typed-error-scope  typed_error_bypass_bad.ml lib/util/fixture.ml
+
+bad domain-outside-allowlist domain_bad.ml    lib/qc/query.ml
+ok  domain-outside-allowlist domain_bad.ml    lib/qc/engine.ml
+
+bad toplevel-mutable-state toplevel_state_bad.ml lib/util/fixture.ml
+ok  toplevel-mutable-state toplevel_state_ok.ml  lib/util/fixture.ml
+
+bad dls-without-drain  dls_bad.ml             lib/util/fixture.ml
+ok  dls-without-drain  dls_ok.ml              lib/util/fixture.ml
+
+# the three bad cases above that flagged >1 site: make sure counts agree
+new_tree
+place catch_all_bad.ml lib/util/fixture.ml
+run_lint
+check_out "catch-all flags all three shapes" "3 violation(s)"
+
+# --- allowlist semantics ----------------------------------------------------
+
+# an entry absolves exactly (count N) sites of its rule in its file
+new_tree
+place obj_magic_bad.ml lib/util/fixture.ml
+cat > "$tree/allow.sexp" <<'EOF'
+((rule obj-magic) (file lib/util/fixture.ml) (count 2)
+ (justification "fixture: both casts are sanctioned here"))
+EOF
+run_lint --allow "$tree/allow.sexp"
+check_exit "allowlisted sites pass" 0
+check_out "allowlisted count reported" "(2 allowlisted)"
+
+# an entry matching nothing is itself a violation: dangling-allow-entry
+new_tree
+place obj_magic_ok.ml lib/util/fixture.ml
+cat > "$tree/allow.sexp" <<'EOF'
+((rule obj-magic) (file lib/util/fixture.ml)
+ (justification "fixture: the site this justified is gone"))
+EOF
+run_lint --allow "$tree/allow.sexp"
+check_exit "dangling allow entry fails" 2
+check_out "dangling allow entry labelled" "\[dangling-allow-entry\]"
+
+# --check-allowlist: same verdict, entry-oriented report
+run_lint --allow "$tree/allow.sexp" --check-allowlist
+check_exit "check-allowlist flags dangling" 2
+check_out "check-allowlist names the entry" "obj-magic"
+
+# a malformed allowlist is a runtime failure (exit 1), not a violation
+cat > "$tree/allow.sexp" <<'EOF'
+((rule no-such-rule) (file x.ml) (justification "bad"))
+EOF
+run_lint --allow "$tree/allow.sexp"
+check_exit "unknown rule in allowlist" 1
+
+cat > "$tree/allow.sexp" <<'EOF'
+((rule obj-magic) (file x.ml) (justification ""))
+EOF
+run_lint --allow "$tree/allow.sexp"
+check_exit "empty justification in allowlist" 1
+
+# --- CLI contract -----------------------------------------------------------
+
+# clean tree: exit 0 and a summary
+new_tree
+place obj_magic_ok.ml lib/util/fixture.ml
+run_lint
+check_exit "clean tree" 0
+check_out "clean summary" "0 violations"
+
+# --json on a clean tree: ok:true, empty violations array
+run_lint --json
+check_exit "clean --json" 0
+check_out "clean --json ok" '"ok":true'
+check_out "clean --json empty" '"violations":\[\]'
+
+# --json on a violating tree: the shared {label, file_or_path, detail}
+# envelope, same as qct check --json / qct recover --json
+new_tree
+place raising_find_bad.ml lib/util/fixture.ml
+run_lint --json
+check_exit "violating --json" 2
+check_out "--json tool field" '"tool":"qclint"'
+check_out "--json ok:false" '"ok":false'
+check_out "--json label" '"label":"raising-find"'
+check_out "--json file_or_path" '"file_or_path":"lib/util/fixture.ml"'
+check_out "--json detail has location" '"detail":"lib/util/fixture.ml:[0-9]*:[0-9]*:'
+
+# --fix-dry-run lists mechanically fixable sites and always exits 0
+run_lint --fix-dry-run
+check_exit "--fix-dry-run exits 0 despite violations" 0
+check_out "--fix-dry-run lists the find_opt fix" "find_opt"
+check_out "--fix-dry-run counts sites" "2 mechanically fixable site(s)"
+
+# a clean tree has nothing to fix
+new_tree
+place obj_magic_ok.ml lib/util/fixture.ml
+run_lint --fix-dry-run
+check_exit "--fix-dry-run on clean tree" 0
+check_out "--fix-dry-run zero sites" "0 mechanically fixable site(s)"
+
+# explicit file arguments are taken relative to --root so scoping applies
+new_tree
+place stdout_in_lib_bad.ml lib/util/fixture.ml
+place obj_magic_bad.ml bin/fixture.ml
+run_lint lib/util/fixture.ml
+check_exit "positional file" 2
+check_out "positional file flags its own rule" "\[stdout-in-lib\]"
+check_not_out "positional file skips unlisted files" "\[obj-magic\]"
+
+# usage errors: unknown flag is 124, bad paths are runtime failures (1)
+"$QCLINT" --bogus >out.txt 2>err.txt
+code=$?
+check_exit "unknown flag" 124
+"$QCLINT" --root ./no-such-dir >out.txt 2>err.txt
+code=$?
+check_exit "missing root" 1
+new_tree
+"$QCLINT" --root "$tree" --allow ./no-such-allow.sexp >out.txt 2>err.txt
+code=$?
+check_exit "missing allowlist" 1
+
+# --rules lists every registered rule (the fixture suite's own contract)
+"$QCLINT" --rules >out.txt 2>err.txt
+code=$?
+check_exit "--rules" 0
+for rule in parse-error obj-magic raising-find poly-compare option-poly-eq \
+            durable-raw-write clock-raw-time stdout-in-lib catch-all-handler \
+            typed-error-bypass domain-outside-allowlist toplevel-mutable-state \
+            dls-without-drain dangling-allow-entry; do
+  check_out "--rules lists $rule" "^$rule "
+done
+
+rm -rf ./faketree.* out.txt err.txt
+
+if [ "$fails" -gt 0 ]; then
+  echo "qclint contract: $fails of $cases checks FAILED" >&2
+  exit 1
+fi
+echo "qclint contract: all $cases checks passed"

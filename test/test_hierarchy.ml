@@ -135,7 +135,7 @@ let prop_leaves_union () =
       Hierarchy.assign h ~value:(Printf.sprintf "v%d" v) target
     done;
     let union =
-      List.sort_uniq compare
+      List.sort_uniq Int.compare
         (List.concat
            (List.map
               (fun v -> [ Option.get (Qc_util.Dict.find (Schema.dict schema 0) v) ])

@@ -11,6 +11,13 @@ let with_metrics f () =
   fresh ();
   Fun.protect ~finally:teardown f
 
+(* the raising List.assoc would surface a missing name as an uncaught
+   Not_found far from the bug (qclint: raising-find); fail by name instead *)
+let hist name s =
+  match List.assoc_opt name s.Metrics.histograms with
+  | Some h -> h
+  | None -> Alcotest.failf "no histogram %S in the snapshot" name
+
 let test_counter_math () =
   let c = Metrics.counter "t.counter_math" in
   Alcotest.(check int) "starts at zero" 0 (Metrics.value c);
@@ -32,12 +39,12 @@ let test_disabled_is_inert () =
   Alcotest.(check int) "counter unchanged" 0 (Metrics.value c);
   let s = Metrics.snapshot () in
   Alcotest.(check int) "histogram unchanged" 0
-    (List.assoc "t.disabled_hist" s.histograms).Metrics.total
+    (hist "t.disabled_hist" s).Metrics.total
 
 let test_histogram_buckets () =
   let h = Metrics.histogram ~buckets:[| 1; 2; 4 |] "t.hist" in
   List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
-  let s = List.assoc "t.hist" (Metrics.snapshot ()).histograms in
+  let s = hist "t.hist" (Metrics.snapshot ()) in
   Alcotest.(check (array int)) "bounds" [| 1; 2; 4 |] s.Metrics.bounds;
   (* <=1: {0,1}  <=2: {2}  <=4: {3,4}  overflow: {5,100} *)
   Alcotest.(check (array int)) "bucket counts" [| 2; 1; 2; 2 |] s.Metrics.counts;
@@ -64,7 +71,7 @@ let test_reset () =
   Metrics.observe h 7;
   Metrics.reset ();
   Alcotest.(check int) "counter zeroed" 0 (Metrics.value c);
-  let s = List.assoc "t.reset_h" (Metrics.snapshot ()).histograms in
+  let s = hist "t.reset_h" (Metrics.snapshot ()) in
   Alcotest.(check int) "histogram zeroed" 0 s.Metrics.total;
   Alcotest.(check int) "max zeroed" 0 s.Metrics.max_value;
   Alcotest.(check (array int)) "counts zeroed"
@@ -122,7 +129,7 @@ let test_drain_absorb () =
   Alcotest.(check int) "worker work is invisible before absorb" 5 (Metrics.value c);
   Array.iter Metrics.absorb deltas;
   Alcotest.(check int) "counter totals merge" (5 + 10 + 20 + 30) (Metrics.value c);
-  let s = List.assoc "t.par_h" (Metrics.snapshot ()).histograms in
+  let s = hist "t.par_h" (Metrics.snapshot ()) in
   (* observed 1, 3, 6, 9 -> <=2: {1}  <=8: {3,6}  overflow: {9} *)
   Alcotest.(check (array int)) "bucket counts merge" [| 1; 2; 1 |] s.Metrics.counts;
   Alcotest.(check int) "total merges" 4 s.Metrics.total;
@@ -159,7 +166,7 @@ let test_percentiles_oracle () =
       let h = Metrics.histogram ~buckets:[| 8; 64; 512 |] name in
       let samples = List.init n (fun _ -> next 1000) in
       List.iter (Metrics.observe h) samples;
-      let s = List.assoc name (Metrics.snapshot ()).histograms in
+      let s = hist name (Metrics.snapshot ()) in
       List.iter
         (fun (p, got) ->
           Alcotest.(check int)
@@ -174,7 +181,7 @@ let test_percentiles_parallel () =
   let h = Metrics.histogram ~buckets:[| 8; 64 |] "t.pct_par" in
   let chunks = List.init 4 (fun k -> List.init 25 (fun i -> ((k * 37) + (i * 13)) mod 200)) in
   List.iter (List.iter (Metrics.observe h)) chunks;
-  let seq = List.assoc "t.pct_par" (Metrics.snapshot ()).histograms in
+  let seq = hist "t.pct_par" (Metrics.snapshot ()) in
   Metrics.reset ();
   let deltas =
     List.map
@@ -186,7 +193,7 @@ let test_percentiles_parallel () =
     |> List.map Domain.join
   in
   List.iter Metrics.absorb deltas;
-  let par = List.assoc "t.pct_par" (Metrics.snapshot ()).histograms in
+  let par = hist "t.pct_par" (Metrics.snapshot ()) in
   Alcotest.(check int) "p50 matches sequential" seq.Metrics.p50 par.Metrics.p50;
   Alcotest.(check int) "p90 matches sequential" seq.Metrics.p90 par.Metrics.p90;
   Alcotest.(check int) "p99 matches sequential" seq.Metrics.p99 par.Metrics.p99;

@@ -21,6 +21,13 @@ let with_trace f () =
 
 let span_end s = s.T.sp_start_ns + s.T.sp_dur_ns
 
+(* the raising List.assoc would surface a missing attr as an uncaught
+   Not_found far from the bug (qclint: raising-find); fail by name instead *)
+let attr name args =
+  match List.assoc_opt name args with
+  | Some v -> v
+  | None -> Alcotest.failf "span lacks the %S attr" name
+
 (* ---------- with_span basics ---------- *)
 
 let test_nesting_and_attrs () =
@@ -39,9 +46,9 @@ let test_nesting_and_attrs () =
     Alcotest.(check string) "explicit category" "t" outer.T.sp_cat;
     Alcotest.(check string) "default category" "qc" inner.T.sp_cat;
     Alcotest.(check bool) "construction-time attr" true
-      (List.assoc "k" outer.T.sp_args = T.Int 1);
+      (attr "k" outer.T.sp_args = T.Int 1);
     Alcotest.(check bool) "add_attr lands on the innermost span" true
-      (List.assoc "r" inner.T.sp_args = T.Bool true);
+      (attr "r" inner.T.sp_args = T.Bool true);
     Alcotest.(check bool) "outer has no stray attr" true
       (not (List.mem_assoc "r" outer.T.sp_args));
     let tid = (Domain.self () :> int) in
@@ -171,7 +178,7 @@ let test_batch_span_tree () =
     (fun s ->
       if s.T.sp_name = "point" then begin
         Alcotest.(check bool) "point span has backend attr" true
-          (List.assoc "backend" s.T.sp_args = T.String "packed");
+          (attr "backend" s.T.sp_args = T.String "packed");
         match List.assoc_opt "nodes" s.T.sp_args with
         | Some (T.Int k) ->
           Alcotest.(check bool) "node accesses are positive" true (k >= 1)

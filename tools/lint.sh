@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Repo-wide static checks beyond what the compiler's strict warning profile
-# (see the root `dune` env stanza) can express.  Run from the repo root:
+# Shell-level repo checks: the few rules that live outside any .ml file's
+# AST.  Everything source-level (banned identifiers, module-boundary and
+# concurrency discipline, catch-all handlers, ...) moved to tools/qclint,
+# which parses every file with compiler-libs instead of grepping it — run
+# it directly with `dune build @lint`.  From the repo root:
 #
 #     bash tools/lint.sh
 #
@@ -12,13 +15,9 @@ fails=0
 offend() {
   echo "lint: $1" >&2
   shift
-  printf '  %s\n' "$@" >&2
+  if [ "$#" -gt 0 ]; then printf '  %s\n' "$@" >&2; fi
   fails=$((fails + 1))
 }
-
-# Every rule below scans tracked sources only, so generated files and the
-# build directory never trip it.
-ml_sources=$(git ls-files 'lib/**.ml' 'bin/**.ml' 'bench/**.ml' 'examples/**.ml' 'test/**.ml')
 
 # --- 1. no build artifacts under version control -------------------------
 tracked_build=$(git ls-files '_build/**' | head -5)
@@ -26,46 +25,11 @@ if [ -n "$tracked_build" ]; then
   offend "_build artifacts are tracked (add them to .gitignore and git rm --cached)" $tracked_build
 fi
 
-# --- 2. no Obj.magic anywhere -------------------------------------------
-hits=$(grep -n 'Obj\.magic' $ml_sources /dev/null | grep -v 'tools/lint' || true)
-if [ -n "$hits" ]; then
-  offend "Obj.magic defeats the type system; find a typed encoding" "$hits"
-fi
-
-# --- 3. Hashtbl.find / Tbl.find without a handler ------------------------
-# The raising find turns a data bug into an uncaught Not_found far from its
-# cause.  Use find_opt and fail with a named invariant instead.
-hits=$(grep -nE '(Hashtbl|Tbl)\.find[^_a-zA-Z]' $ml_sources /dev/null || true)
-if [ -n "$hits" ]; then
-  offend "use (Hashtbl|Tbl).find_opt with an explicit None branch, not the raising find" "$hits"
-fi
-
-# --- 4. no polymorphic option comparison --------------------------------
-# `x = None` structurally compares the payload when x is Some _; on cells,
-# nodes or functions that is wrong or raises.  Option.is_none/is_some are
-# total and intention-revealing.  (`field = None;` in record construction
-# is fine, so the `=` form is only flagged in comparison position.)
-hits=$(grep -nE '<> *None|= *None *(then|&&|\|\||\))' $ml_sources /dev/null || true)
-if [ -n "$hits" ]; then
-  offend "compare options with Option.is_none / Option.is_some, not (= None)" "$hits"
-fi
-
-# --- 5. no bare polymorphic compare -------------------------------------
-# Polymorphic compare on Cell.t, tree nodes or anything containing them
-# orders by memory representation, not meaning (and loops on cyclic link
-# structures).  Use a dedicated comparison: Int.compare, String.compare,
-# Cell.compare_dict, List.compare, ...  The pattern permits qualified
-# M.compare and definitions of compare functions.
-hits=$(grep -nE '(^|[^._A-Za-z0-9])compare[[:space:](]' $ml_sources /dev/null \
-  | grep -vE 'let compare|val compare|~compare|\bcompare_|"[^"]*compare[^"]*"' || true)
-if [ -n "$hits" ]; then
-  offend "bare polymorphic compare; use a typed comparison (Int.compare, Cell.compare_dict, ...)" "$hits"
-fi
-
-# --- 6. every library module declares its interface ----------------------
+# --- 2. every library module declares its interface ----------------------
 # An .mli is what keeps internals private and the strict warning profile
 # honest (unused exports show up as errors).  Executables and tests are
-# exempt.
+# exempt.  This stays shell-side: it is about which files exist, not what
+# any file contains.
 missing=""
 for f in $(git ls-files 'lib/**.ml'); do
   [ -f "${f%.ml}.mli" ] || missing="$missing $f"
@@ -74,28 +38,18 @@ if [ -n "$missing" ]; then
   offend "library module without an .mli interface" $missing
 fi
 
-# --- 7. all durable writes go through the durability module ---------------
-# A raw open_out or Sys.rename in lib/ or bin/ bypasses the atomic-write
-# protocol (temp + fsync + rename), the fsync discipline and the failpoint
-# instrumentation the crash suite relies on — a write the crash matrix
-# cannot kill is a write whose recovery story is untested.  Read-side
-# (open_in*) remains free; bench/, examples/ and test/ are out of scope.
-durable_sources=$(git ls-files 'lib/**.ml' 'bin/**.ml' | grep -v '^lib/util/durable\.ml$')
-hits=$(grep -nE '\bopen_out(_gen|_bin)?\b|\bSys\.rename\b' $durable_sources /dev/null || true)
-if [ -n "$hits" ]; then
-  offend "raw file write outside lib/util/durable.ml; route it through Qc_util.Durable" "$hits"
-fi
-
-# --- 8. one clock: no raw Unix.gettimeofday -------------------------------
-# Mixing wall-clock and monotonic timestamps is how span durations go
-# negative across NTP steps.  Qc_util.Clock is the single time source:
-# Clock.now_ns / now_s for durations (monotonic), Clock.wall_s for the rare
-# calendar need.  Only clock.ml itself may touch the raw primitive.
-clock_sources=$(git ls-files 'lib/**.ml' 'bin/**.ml' 'bench/**.ml' 'examples/**.ml' 'test/**.ml' \
-  | grep -v '^lib/util/clock\.ml$')
-hits=$(grep -n 'Unix\.gettimeofday' $clock_sources /dev/null || true)
-if [ -n "$hits" ]; then
-  offend "raw Unix.gettimeofday outside lib/util/clock.ml; use Qc_util.Clock (now_s/now_ns/wall_s)" "$hits"
+# --- 3. the AST-level rules ----------------------------------------------
+# qclint (tools/qclint) checks the parsed structure of every source file:
+# banned identifiers through aliases and opens, Domain/durability/clock
+# module boundaries, catch-all handlers, top-level mutable state, DLS
+# drain/absorb pairing.  See `qclint --rules` and DESIGN.md "Static
+# analysis".
+if command -v dune >/dev/null 2>&1; then
+  if ! dune build @lint; then
+    offend "qclint found violations (see above; run: dune build @lint)"
+  fi
+else
+  echo "lint: dune not found; skipping the AST-level rules (run: dune build @lint)" >&2
 fi
 
 if [ "$fails" -ne 0 ]; then

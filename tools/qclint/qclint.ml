@@ -1,0 +1,932 @@
+(* qclint — the repo's AST-level static analyzer.
+
+   tools/lint.sh used to defend the repo's three machine-checkable
+   disciplines with regexes: Domain-parallelism (mutable state in Atomics
+   or drained DLS buffers only), durability (raw file writes only inside
+   Qc_util.Durable, time only inside Qc_util.Clock) and comparison (no
+   polymorphic compare on cells/nodes whose drill-down links can cycle —
+   the QC-tree link structure of Lakshmanan et al., SIGMOD 2003).  Greps
+   miss qualified calls ([Stdlib.compare]), module aliases
+   ([module U = Unix ... U.gettimeofday]) and multi-line forms; this tool
+   parses every source file into a Parsetree with compiler-libs and checks
+   the real structure instead of its textual shadow.
+
+   Contract (mirrors qct):
+     exit 0    clean (or informational modes)
+     exit 2    violations found (or dangling allowlist entries)
+     exit 1    runtime failure (unreadable root, malformed allow.sexp)
+     exit 124  usage error (unknown flag)
+
+   [--json] emits the shared violation envelope
+   [{label, file_or_path, detail}] also produced by [qct check --json] and
+   [qct recover --json] (see DESIGN.md "Static analysis").
+
+   Rules are named by stable kebab-case labels (the contract tested by
+   test/lint); human wording may change, labels may not. *)
+
+let prog = "qclint"
+
+let usage () =
+  prerr_endline
+    ("usage: " ^ prog
+   ^ " [--root DIR] [--allow FILE] [--json] [--fix-dry-run] [--check-allowlist]\n\
+     \       [--rules] [FILE...]\n\
+      Run the repo's AST-level static rules over lib/ bin/ bench/ examples/ test/ tools/\n\
+      (or over the given files).  See DESIGN.md \"Static analysis\".")
+
+(* ------------------------------------------------------------------ *)
+(* Rule registry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every rule the engine can fire, with its one-line doc.  test/lint keeps a
+   bad/ok fixture pair per entry, so deleting a rule's implementation fails
+   the suite. *)
+let all_rules =
+  [
+    ("parse-error", "the file does not parse; nothing else can be checked");
+    ("obj-magic", "Obj.magic defeats the type system");
+    ("raising-find", "Hashtbl.find / List.assoc raise far from the bug; use the _opt forms");
+    ("poly-compare", "polymorphic compare orders by memory layout and loops on cyclic links");
+    ("option-poly-eq", "(= None) structurally compares the payload; use Option.is_none/is_some");
+    ("durable-raw-write", "raw file writes outside Qc_util.Durable bypass fsync + failpoints");
+    ("clock-raw-time", "raw clocks outside Qc_util.Clock mix wall and monotonic time");
+    ("stdout-in-lib", "library code must not print to stdout; return strings or take a formatter");
+    ("catch-all-handler", "try ... with _ -> swallows Out_of_memory and program bugs alike");
+    ("typed-error-bypass", "failwith/assert false on a path with a typed error channel");
+    ("domain-outside-allowlist", "Domain.spawn/join only in the audited parallel executors");
+    ("toplevel-mutable-state", "top-level ref/Hashtbl in lib/ without an Atomic/DLS/Mutex story");
+    ("dls-without-drain", "a DLS buffer with no drain/absorb pair can never merge deterministically");
+    ("dangling-allow-entry", "an allow.sexp entry whose site no longer exists");
+  ]
+
+type violation = {
+  v_rule : string;
+  v_file : string;
+  v_line : int;
+  v_col : int;
+  v_detail : string;
+  v_fix : string option;  (* mechanical fix, for --fix-dry-run *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let in_lib p = String.starts_with ~prefix:"lib/" p
+
+let in_bin p = String.starts_with ~prefix:"bin/" p
+
+let lib_or_bin p = in_lib p || in_bin p
+
+(* Modules allowed to spawn/join Domains: the batch executor and the shard
+   builder, whose drain/absorb discipline the test suite audits. *)
+let domain_allowlist = [ "lib/qc/engine.ml"; "lib/qc/shard.ml" ]
+
+(* Modules with a typed error channel (Engine.error / Warehouse.error): a
+   failwith there turns a recoverable condition into a crash. *)
+let typed_error_files =
+  [ "lib/qc/engine.ml"; "lib/qc/shard.ml"; "lib/warehouse/warehouse.ml";
+    "lib/warehouse/sharded.ml" ]
+
+let mem_s x l = List.exists (String.equal x) l
+
+let contains_sub hay sub =
+  let nh = String.length hay and ns = String.length sub in
+  let rec go i = i + ns <= nh && (String.equal (String.sub hay i ns) sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Banned identifiers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type banned = {
+  b_path : string;  (* canonical dotted path, leading Stdlib./Pervasives. stripped *)
+  b_rule : string;
+  b_msg : string;
+  b_fix : string option;
+  b_applies : string -> bool;
+}
+
+let banned_idents =
+  let all _ = true in
+  let durable p = lib_or_bin p && not (String.equal p "lib/util/durable.ml") in
+  let clock p = not (String.equal p "lib/util/clock.ml") in
+  let typed p = mem_s p typed_error_files in
+  let domain p = lib_or_bin p && not (mem_s p domain_allowlist) in
+  let raw_write name =
+    { b_path = name; b_rule = "durable-raw-write";
+      b_msg = name ^ " bypasses the atomic-write/fsync/failpoint protocol; route it through Qc_util.Durable";
+      b_fix = None; b_applies = durable }
+  in
+  let raw_time name =
+    { b_path = name; b_rule = "clock-raw-time";
+      b_msg = name ^ " outside lib/util/clock.ml; use Qc_util.Clock (now_s/now_ns/wall_s)";
+      b_fix = None; b_applies = clock }
+  in
+  let stdout_print name =
+    { b_path = name; b_rule = "stdout-in-lib";
+      b_msg = name ^ " prints to stdout from library code; return a string or take a formatter";
+      b_fix = None; b_applies = in_lib }
+  in
+  [
+    { b_path = "Obj.magic"; b_rule = "obj-magic";
+      b_msg = "Obj.magic defeats the type system; find a typed encoding";
+      b_fix = None; b_applies = all };
+    { b_path = "Hashtbl.find"; b_rule = "raising-find";
+      b_msg = "raising Hashtbl.find turns a data bug into an uncaught Not_found; use find_opt with an explicit None branch";
+      b_fix = Some "replace with Hashtbl.find_opt + explicit None branch"; b_applies = all };
+    { b_path = "List.assoc"; b_rule = "raising-find";
+      b_msg = "raising List.assoc turns a data bug into an uncaught Not_found; use List.assoc_opt with an explicit None branch";
+      b_fix = Some "replace with List.assoc_opt + explicit None branch"; b_applies = all };
+    { b_path = "compare"; b_rule = "poly-compare";
+      b_msg = "polymorphic compare orders by memory representation and loops on cyclic drill-down links; use a typed comparison (Int.compare, Cell.compare_dict, ...)";
+      b_fix = None; b_applies = all };
+    raw_write "Unix.openfile"; raw_write "Unix.write"; raw_write "Unix.single_write";
+    raw_write "Unix.write_substring"; raw_write "Unix.rename"; raw_write "Unix.fsync";
+    raw_write "Unix.truncate"; raw_write "Unix.ftruncate"; raw_write "Unix.unlink";
+    raw_write "Unix.link"; raw_write "Sys.rename"; raw_write "Sys.remove";
+    raw_write "open_out"; raw_write "open_out_bin"; raw_write "open_out_gen";
+    raw_time "Unix.gettimeofday"; raw_time "Unix.time"; raw_time "Unix.times";
+    raw_time "Sys.time";
+    stdout_print "print_string"; stdout_print "print_endline"; stdout_print "print_newline";
+    stdout_print "print_char"; stdout_print "print_int"; stdout_print "print_float";
+    stdout_print "print_bytes"; stdout_print "Printf.printf"; stdout_print "Format.printf";
+    stdout_print "Format.print_string"; stdout_print "Format.print_newline";
+    stdout_print "Format.print_flush";
+    { b_path = "failwith"; b_rule = "typed-error-bypass";
+      b_msg = "failwith on a path with a typed error channel (Engine.error / Warehouse.error); return the typed error instead";
+      b_fix = None; b_applies = typed };
+    { b_path = "Domain.spawn"; b_rule = "domain-outside-allowlist";
+      b_msg = "Domain.spawn outside the audited parallel executors (lib/qc/engine.ml, lib/qc/shard.ml); route parallelism through Engine.run_batch / Shard.build_packed";
+      b_fix = None; b_applies = domain };
+    { b_path = "Domain.join"; b_rule = "domain-outside-allowlist";
+      b_msg = "Domain.join outside the audited parallel executors (lib/qc/engine.ml, lib/qc/shard.ml)";
+      b_fix = None; b_applies = domain };
+  ]
+
+let strip_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    String.sub s (String.length prefix) (String.length s - String.length prefix)
+  else s
+
+let canonical path = strip_prefix ~prefix:"Stdlib." (strip_prefix ~prefix:"Pervasives." path)
+
+(* ------------------------------------------------------------------ *)
+(* Per-file analysis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+open Parsetree
+
+type fenv = {
+  relpath : string;
+  aliases : (string, string) Hashtbl.t;  (* module alias -> canonical head path *)
+  mutable opens : string list;  (* dotted module paths opened anywhere in the file *)
+  bound : (string, unit) Hashtbl.t;  (* every value name bound anywhere in the file *)
+  mutable mentions_sync : bool;  (* file references Mutex or Atomic *)
+  mutable dls_sites : (int * int) list;  (* Domain.DLS.new_key locations *)
+  mutable out : violation list;
+}
+
+let pos_of (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let report env ?fix ~loc rule detail =
+  let line, col = pos_of loc in
+  env.out <-
+    { v_rule = rule; v_file = env.relpath; v_line = line; v_col = col;
+      v_detail = detail; v_fix = fix }
+    :: env.out
+
+(* Expand a leading module alias (module U = Unix; module Tbl =
+   Hashtbl.Make (...)) so aliased calls resolve to their canonical path. *)
+let expand_alias env segs =
+  let rec go fuel segs =
+    match segs with
+    | head :: rest when fuel > 0 -> (
+      match Hashtbl.find_opt env.aliases head with
+      | Some target -> go (fuel - 1) (String.split_on_char '.' target @ rest)
+      | None -> segs)
+    | _ -> segs
+  in
+  go 8 segs
+
+(* All dotted spellings an identifier use can canonically refer to: the
+   alias-expanded qualified path, plus every opened module's qualification
+   when the use is a bare name.  The [unqual] flag marks spellings that a
+   local [let] binding of the same name would shadow. *)
+let candidates env lid =
+  let segs = Longident.flatten lid in
+  let expanded = expand_alias env segs in
+  let full = canonical (String.concat "." expanded) in
+  let base = [ (full, List.length expanded = 1) ] in
+  match segs with
+  | [ name ] ->
+    base @ List.map (fun m -> (canonical (m ^ "." ^ name), true)) env.opens
+  | _ -> base
+
+let check_ident env (lid : Longident.t Location.loc) =
+  let cands = candidates env lid.Location.txt in
+  List.iter
+    (fun b ->
+      if b.b_applies env.relpath then
+        List.iter
+          (fun (cand, unqual) ->
+            (* a file-local binding shadows bare (or open-resolved) names *)
+            let shadowed =
+              unqual
+              && Hashtbl.mem env.bound
+                   (match List.rev (String.split_on_char '.' cand) with
+                   | last :: _ -> last
+                   | [] -> cand)
+            in
+            if String.equal cand b.b_path && not shadowed then
+              report env ?fix:b.b_fix ~loc:lid.Location.loc b.b_rule b.b_msg)
+          cands)
+    banned_idents
+
+(* ---------- structural checks ---------- *)
+
+let is_none_construct e =
+  match e.pexp_desc with
+  | Pexp_construct ({ Location.txt = Longident.Lident "None"; _ }, None) -> true
+  | _ -> false
+
+let option_eq_check env e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { Location.txt = Longident.Lident op; _ }; _ }, args)
+    when (String.equal op "=" || String.equal op "<>")
+         && List.exists (fun (_, a) -> is_none_construct a) args ->
+    let suggestion = if String.equal op "=" then "Option.is_none" else "Option.is_some" in
+    report env
+      ~fix:("replace (" ^ op ^ " None) with " ^ suggestion)
+      ~loc:e.pexp_loc "option-poly-eq"
+      ("(" ^ op
+     ^ " None) structurally compares the Some payload (wrong or nonterminating on nodes); use "
+     ^ suggestion)
+  | _ -> ()
+
+(* Does [body] re-raise the exception variable [v]?  A handler that
+   captures and faithfully re-raises is not a swallow. *)
+let reraises v body =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident f; _ }, args) ->
+            let fname = canonical (String.concat "." (Longident.flatten f.Location.txt)) in
+            if
+              mem_s fname [ "raise"; "raise_notrace"; "Printexc.raise_with_backtrace" ]
+              && List.exists
+                   (fun (_, a) ->
+                     match a.pexp_desc with
+                     | Pexp_ident { Location.txt = Longident.Lident x; _ } -> String.equal x v
+                     | _ -> false)
+                   args
+            then found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.expr it body;
+  !found
+
+(* top-level catch-all shapes: _, e, (p as e), p | q where either arm is *)
+let rec pat_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any -> Some None
+  | Ppat_var v -> Some (Some v.Location.txt)
+  | Ppat_alias (inner, v) -> (
+    match pat_catch_all inner with Some _ -> Some (Some v.Location.txt) | None -> None)
+  | Ppat_or (a, b) -> ( match pat_catch_all a with Some r -> Some r | None -> pat_catch_all b)
+  | Ppat_constraint (inner, _) -> pat_catch_all inner
+  | _ -> None
+
+let handler_check env ~loc cases =
+  if lib_or_bin env.relpath then
+    List.iter
+      (fun c ->
+        match (pat_catch_all c.pc_lhs, c.pc_guard) with
+        | Some binding, None ->
+          let swallows =
+            match binding with None -> true | Some v -> not (reraises v c.pc_rhs)
+          in
+          if swallows then
+            report env
+              ~loc:(if c.pc_lhs.ppat_loc.Location.loc_ghost then loc else c.pc_lhs.ppat_loc)
+              "catch-all-handler"
+              "catch-all exception handler swallows Out_of_memory and program bugs alike; \
+               match the specific exceptions (or re-raise)"
+        | _ -> ())
+      cases
+
+(* [match ... with exception _ -> ...] is the same swallow in disguise *)
+let match_exception_check env cases =
+  if lib_or_bin env.relpath then
+    List.iter
+      (fun c ->
+        match c.pc_lhs.ppat_desc with
+        | Ppat_exception inner -> (
+          match (pat_catch_all inner, c.pc_guard) with
+          | Some binding, None ->
+            let swallows =
+              match binding with None -> true | Some v -> not (reraises v c.pc_rhs)
+            in
+            if swallows then
+              report env ~loc:inner.ppat_loc "catch-all-handler"
+                "catch-all exception case swallows Out_of_memory and program bugs alike; \
+                 match the specific exceptions (or re-raise)"
+          | _ -> ())
+        | _ -> ())
+      cases
+
+let assert_false_check env e =
+  match e.pexp_desc with
+  | Pexp_assert { pexp_desc = Pexp_construct ({ Location.txt = Longident.Lident "false"; _ }, None); _ }
+    when mem_s env.relpath typed_error_files ->
+    report env ~loc:e.pexp_loc "typed-error-bypass"
+      "assert false on a path with a typed error channel (Engine.error / Warehouse.error); \
+       return the typed error (or justify the invariant in tools/qclint/allow.sexp)"
+  | _ -> ()
+
+(* ---------- pass 1: environment ---------- *)
+
+let head_of_functor_path segs =
+  (* Hashtbl.Make -> Hashtbl, Map.Make -> Map: a functor instance inherits
+     its generator's raising-find discipline *)
+  match List.rev segs with
+  | "Make" :: rev_rest -> List.rev rev_rest
+  | _ -> segs
+
+let rec module_alias_target me =
+  match me.pmod_desc with
+  | Pmod_ident lid -> Some (String.concat "." (Longident.flatten lid.Location.txt))
+  | Pmod_apply ({ pmod_desc = Pmod_ident lid; _ }, _) ->
+    Some (String.concat "." (head_of_functor_path (Longident.flatten lid.Location.txt)))
+  | Pmod_constraint (inner, _) -> module_alias_target inner
+  | _ -> None
+
+let prepass env str =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var v -> Hashtbl.replace env.bound v.Location.txt ()
+          | Ppat_alias (_, v) -> Hashtbl.replace env.bound v.Location.txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident lid ->
+            let segs = Longident.flatten lid.Location.txt in
+            (match segs with
+            | head :: _ when String.equal head "Mutex" || String.equal head "Atomic" ->
+              env.mentions_sync <- true
+            | _ -> ());
+            let dotted = String.concat "." (expand_alias env segs) in
+            if
+              String.equal dotted "Domain.DLS.new_key"
+              || String.ends_with ~suffix:".DLS.new_key" dotted
+            then env.dls_sites <- pos_of lid.Location.loc :: env.dls_sites
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      module_binding =
+        (fun it mb ->
+          (match (mb.pmb_name.Location.txt, module_alias_target mb.pmb_expr) with
+          | Some name, Some target -> Hashtbl.replace env.aliases name target
+          | _ -> ());
+          Ast_iterator.default_iterator.module_binding it mb);
+      open_declaration =
+        (fun it od ->
+          (match od.popen_expr.pmod_desc with
+          | Pmod_ident lid ->
+            env.opens <-
+              String.concat "." (expand_alias env (Longident.flatten lid.Location.txt))
+              :: env.opens
+          | _ -> ());
+          Ast_iterator.default_iterator.open_declaration it od);
+    }
+  in
+  it.Ast_iterator.structure it str
+
+(* ---------- pass 2: rules ---------- *)
+
+let mainpass env str =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident lid -> check_ident env lid
+          | Pexp_try (_, cases) -> handler_check env ~loc:e.pexp_loc cases
+          | Pexp_match (_, cases) -> match_exception_check env cases
+          | _ -> ());
+          option_eq_check env e;
+          assert_false_check env e;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.structure it str
+
+(* Top-level mutable state in lib/: a structure-level [let x = ref ...] or
+   [let t = Hashtbl.create ...] is shared by every Domain that touches the
+   module.  Atomic.make / Domain.DLS.new_key bindings are the sanctioned
+   encodings; a module that at least takes a Mutex somewhere has a
+   concurrency story; anything else is flagged. *)
+let rec peel_expr e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) -> peel_expr inner
+  | _ -> e
+
+let toplevel_state_check env str =
+  if in_lib env.relpath && not env.mentions_sync then begin
+    let check_binding vb =
+      match (peel_expr vb.pvb_expr).pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident f; _ }, _) -> (
+        let name =
+          canonical (String.concat "." (expand_alias env (Longident.flatten f.Location.txt)))
+        in
+        match name with
+        | "ref" ->
+          report env ~loc:vb.pvb_loc "toplevel-mutable-state"
+            "top-level ref in lib/ with no Atomic/DLS/Mutex discipline; Domains will race on \
+             it (wrap in Atomic.make, move into Domain.DLS, or guard with a Mutex)"
+        | "Hashtbl.create" ->
+          report env ~loc:vb.pvb_loc "toplevel-mutable-state"
+            "top-level Hashtbl in lib/ with no Atomic/DLS/Mutex discipline; Domains will race \
+             on it (guard every access with a Mutex or move it into Domain.DLS)"
+        | _ -> ())
+      | _ -> ()
+    in
+    let rec walk items =
+      List.iter
+        (fun si ->
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) -> List.iter check_binding vbs
+          | Pstr_module mb -> walk_mod mb.pmb_expr
+          | Pstr_recmodule mbs -> List.iter (fun mb -> walk_mod mb.pmb_expr) mbs
+          | _ -> ())
+        items
+    and walk_mod me =
+      match me.pmod_desc with
+      | Pmod_structure s -> walk s
+      | Pmod_constraint (inner, _) | Pmod_functor (_, inner) -> walk_mod inner
+      | _ -> ()
+    in
+    walk str
+  end
+
+let dls_check env =
+  if in_lib env.relpath then
+    match env.dls_sites with
+    | [] -> ()
+    | (line, col) :: _ ->
+      let has sub = Hashtbl.fold (fun name () acc -> acc || contains_sub name sub) env.bound false in
+      if not (has "drain" && has "absorb") then
+        env.out <-
+          {
+            v_rule = "dls-without-drain";
+            v_file = env.relpath;
+            v_line = line;
+            v_col = col;
+            v_detail =
+              "Domain.DLS buffer with no drain/absorb pair: per-domain state that is never \
+               drained in chunk order cannot merge deterministically (see Metrics/Trace)";
+            v_fix = None;
+          }
+          :: env.out
+
+(* ---------- driver for one file ---------- *)
+
+let parse_structure path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+let parse_signature path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.interface lexbuf)
+
+let syntax_violation relpath (loc : Location.t) msg =
+  let line, col = pos_of loc in
+  { v_rule = "parse-error"; v_file = relpath; v_line = line; v_col = col;
+    v_detail = msg; v_fix = None }
+
+let analyze_file ~root relpath =
+  let path = Filename.concat root relpath in
+  if String.ends_with ~suffix:".mli" relpath then
+    (* interfaces carry no expressions; parsing them still catches rot *)
+    match parse_signature path with
+    | _sg -> []
+    | exception Syntaxerr.Error e ->
+      [ syntax_violation relpath (Syntaxerr.location_of_error e) "interface does not parse" ]
+    | exception Lexer.Error (_, loc) ->
+      [ syntax_violation relpath loc "interface does not lex" ]
+  else
+    match parse_structure path with
+    | str ->
+      let env =
+        { relpath; aliases = Hashtbl.create 8; opens = []; bound = Hashtbl.create 64;
+          mentions_sync = false; dls_sites = []; out = [] }
+      in
+      prepass env str;
+      mainpass env str;
+      toplevel_state_check env str;
+      dls_check env;
+      env.out
+    | exception Syntaxerr.Error e ->
+      [ syntax_violation relpath (Syntaxerr.location_of_error e) "file does not parse" ]
+    | exception Lexer.Error (_, loc) -> [ syntax_violation relpath loc "file does not lex" ]
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "examples"; "test"; "tools" ]
+
+(* deliberate-violation corpus for the fixture suite *)
+let skip_prefixes = [ "test/lint/fixtures" ]
+
+let skip_dir name = String.equal name "_build" || String.length name > 0 && name.[0] = '.'
+
+let discover ~root dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    if not (List.exists (fun p -> String.starts_with ~prefix:p rel) skip_prefixes) then begin
+      let abs = Filename.concat root rel in
+      if Sys.is_directory abs then
+        Array.iter
+          (fun entry -> if not (skip_dir entry) then walk (Filename.concat rel entry))
+          (Sys.readdir abs)
+      else if String.ends_with ~suffix:".ml" rel || String.ends_with ~suffix:".mli" rel then
+        acc := rel :: !acc
+    end
+  in
+  List.iter (fun d -> if Sys.file_exists (Filename.concat root d) then walk d) dirs;
+  List.sort String.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* allow.sexp                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type sexp = Atom of string | Sx_list of sexp list
+
+exception Allow_error of string
+
+let parse_sexps src =
+  let n = String.length src in
+  let i = ref 0 in
+  let peek () = if !i < n then Some src.[!i] else None in
+  let advance () = incr i in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let atom_char c =
+    match c with
+    | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"' -> false
+    | _ -> true
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Allow_error "unexpected end of file")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' ->
+          advance ();
+          Sx_list (List.rev !items)
+        | None -> raise (Allow_error "unclosed parenthesis")
+        | Some _ ->
+          items := parse_one () :: !items;
+          loop ()
+      in
+      loop ()
+    | Some ')' -> raise (Allow_error "unexpected closing parenthesis")
+    | Some '"' ->
+      advance ();
+      let buf = Buffer.create 32 in
+      let rec str () =
+        match peek () with
+        | None -> raise (Allow_error "unterminated string")
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+            Buffer.add_char buf (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+            advance ()
+          | None -> raise (Allow_error "unterminated escape"));
+          str ()
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          str ()
+      in
+      str ();
+      Atom (Buffer.contents buf)
+    | Some _ ->
+      let start = !i in
+      while (match peek () with Some c -> atom_char c | None -> false) do
+        advance ()
+      done;
+      Atom (String.sub src start (!i - start))
+  in
+  let out = ref [] in
+  let rec all () =
+    skip_ws ();
+    if !i < n then begin
+      out := parse_one () :: !out;
+      all ()
+    end
+  in
+  all ();
+  List.rev !out
+
+type allow_entry = {
+  a_rule : string;
+  a_file : string;
+  a_count : int;
+  a_just : string;
+  mutable a_matched : int;
+}
+
+let field name entry =
+  List.find_map
+    (function
+      | Sx_list [ Atom k; Atom v ] when String.equal k name -> Some v
+      | _ -> None)
+    entry
+
+let load_allow path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  List.map
+    (function
+      | Sx_list entry -> (
+        let get name =
+          match field name entry with
+          | Some v -> v
+          | None -> raise (Allow_error ("entry is missing a (" ^ name ^ " ...) field"))
+        in
+        let rule = get "rule" and file = get "file" in
+        if not (List.exists (fun (r, _) -> String.equal r rule) all_rules) then
+          raise (Allow_error ("entry names unknown rule " ^ rule));
+        let just = get "justification" in
+        if String.length (String.trim just) = 0 then
+          raise (Allow_error ("entry for " ^ rule ^ " in " ^ file ^ " has an empty justification"));
+        let count =
+          match field "count" entry with
+          | None -> 1
+          | Some v -> (
+            match int_of_string_opt v with
+            | Some n when n > 0 -> n
+            | _ -> raise (Allow_error ("bad count " ^ v ^ " for " ^ rule ^ " in " ^ file)))
+        in
+        { a_rule = rule; a_file = file; a_count = count; a_just = just; a_matched = 0 })
+      | Atom a -> raise (Allow_error ("top-level atom " ^ a ^ " is not an entry")))
+    (parse_sexps src)
+
+(* Consume allowlisted violations: each entry absolves up to [count]
+   violations of its rule in its file; an entry that absolves nothing is
+   itself a violation (the site it justified no longer exists). *)
+let apply_allowlist ~allow_path entries violations =
+  let remaining =
+    List.filter
+      (fun v ->
+        match
+          List.find_opt
+            (fun e ->
+              String.equal e.a_rule v.v_rule && String.equal e.a_file v.v_file
+              && e.a_matched < e.a_count)
+            entries
+        with
+        | Some e ->
+          e.a_matched <- e.a_matched + 1;
+          false
+        | None -> true)
+      violations
+  in
+  let dangling =
+    List.filter_map
+      (fun e ->
+        if e.a_matched = 0 then
+          Some
+            { v_rule = "dangling-allow-entry"; v_file = allow_path; v_line = 0; v_col = 0;
+              v_detail =
+                Printf.sprintf
+                  "allow entry (%s in %s) matches no remaining site; delete the entry"
+                  e.a_rule e.a_file;
+              v_fix = None }
+        else None)
+      entries
+  in
+  (remaining @ dangling, List.fold_left (fun n e -> n + e.a_matched) 0 entries)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sort_violations vs =
+  List.sort
+    (fun a b ->
+      let c = String.compare a.v_file b.v_file in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.v_line b.v_line in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.v_col b.v_col in
+          if c <> 0 then c else String.compare a.v_rule b.v_rule)
+    vs
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* The shared violation envelope: {label, file_or_path, detail} — the same
+   three fields qct check --json and qct recover --json emit.  Kept
+   dependency-free so qclint builds before the libraries it audits. *)
+let print_json ~files ~allowed violations =
+  let vjson v =
+    Printf.sprintf "{\"label\":\"%s\",\"file_or_path\":\"%s\",\"detail\":\"%s\"}"
+      (json_escape v.v_rule) (json_escape v.v_file)
+      (json_escape (Printf.sprintf "%s:%d:%d: %s" v.v_file v.v_line v.v_col v.v_detail))
+  in
+  Printf.printf
+    "{\"tool\":\"qclint\",\"ok\":%b,\"checked\":{\"files\":%d,\"rules\":%d,\"allowlisted\":%d},\"violations\":[%s]}\n"
+    (match violations with [] -> true | _ -> false)
+    files (List.length all_rules) allowed
+    (String.concat "," (List.map vjson violations))
+
+let print_text ~files ~allowed violations =
+  List.iter
+    (fun v ->
+      Printf.printf "%s: %s:%d:%d: [%s] %s\n" prog v.v_file v.v_line v.v_col v.v_rule v.v_detail)
+    violations;
+  match violations with
+  | [] ->
+    Printf.printf "%s: OK — %d files, %d rules, 0 violations (%d allowlisted)\n" prog files
+      (List.length all_rules) allowed
+  | vs ->
+    Printf.printf "%s: %d violation(s) across %d file(s) (%d allowlisted)\n" prog (List.length vs)
+      files allowed
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let root = ref "." in
+  let allow_file = ref None in
+  let json = ref false in
+  let fix_dry_run = ref false in
+  let check_allowlist = ref false in
+  let positional = ref [] in
+  let rec parse_args args =
+    match args with
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse_args rest
+    | "--allow" :: file :: rest ->
+      allow_file := Some file;
+      parse_args rest
+    | "--json" :: rest ->
+      json := true;
+      parse_args rest
+    | "--fix-dry-run" :: rest ->
+      fix_dry_run := true;
+      parse_args rest
+    | "--check-allowlist" :: rest ->
+      check_allowlist := true;
+      parse_args rest
+    | "--rules" :: _ ->
+      List.iter (fun (name, doc) -> Printf.printf "%-26s %s\n" name doc) all_rules;
+      exit 0
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: _ when String.starts_with ~prefix:"-" arg ->
+      Printf.eprintf "%s: unknown option %s\n" prog arg;
+      usage ();
+      exit 124
+    | file :: rest ->
+      positional := file :: !positional;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if not (Sys.file_exists !root && Sys.is_directory !root) then begin
+    Printf.eprintf "%s: root %s is not a directory\n" prog !root;
+    exit 1
+  end;
+  let files =
+    match List.rev !positional with
+    | [] -> discover ~root:!root default_dirs
+    | fs ->
+      (* explicit files are taken relative to --root so path scoping applies *)
+      List.concat_map
+        (fun f ->
+          if Sys.file_exists (Filename.concat !root f) then
+            if Sys.is_directory (Filename.concat !root f) then discover ~root:!root [ f ]
+            else [ f ]
+          else begin
+            Printf.eprintf "%s: no such file under %s: %s\n" prog !root f;
+            exit 1
+          end)
+        fs
+  in
+  let raw = List.concat_map (fun f -> analyze_file ~root:!root f) files in
+  let allow_path =
+    match !allow_file with
+    | Some p -> if Sys.file_exists p then Some p else begin
+        Printf.eprintf "%s: allowlist %s does not exist\n" prog p;
+        exit 1
+      end
+    | None ->
+      let default = Filename.concat !root "tools/qclint/allow.sexp" in
+      if Sys.file_exists default then Some default else None
+  in
+  let entries =
+    match allow_path with
+    | None -> []
+    | Some p -> (
+      try load_allow p with
+      | Allow_error msg ->
+        Printf.eprintf "%s: malformed allowlist %s: %s\n" prog p msg;
+        exit 1)
+  in
+  let violations, allowed =
+    apply_allowlist ~allow_path:(Option.value ~default:"allow.sexp" allow_path) entries raw
+  in
+  let violations = sort_violations violations in
+  if !fix_dry_run then begin
+    (* informational: list mechanically fixable sites (allowlisted or not)
+       so follow-up PRs can burn the baseline down; always exits 0 *)
+    let fixable = List.filter (fun v -> Option.is_some v.v_fix) (sort_violations raw) in
+    List.iter
+      (fun v ->
+        Printf.printf "%s-fix: %s:%d:%d: [%s] %s\n" prog v.v_file v.v_line v.v_col v.v_rule
+          (Option.value ~default:"" v.v_fix))
+      fixable;
+    Printf.printf "%s: %d mechanically fixable site(s)\n" prog (List.length fixable);
+    exit 0
+  end;
+  if !check_allowlist then begin
+    let dangling = List.filter (fun v -> String.equal v.v_rule "dangling-allow-entry") violations in
+    List.iter
+      (fun e ->
+        Printf.printf "%s: allow [%s] %s x%d (%d matched) — %s\n" prog e.a_rule e.a_file e.a_count
+          e.a_matched e.a_just)
+      entries;
+    List.iter (fun v -> Printf.printf "%s: [%s] %s\n" prog v.v_rule v.v_detail) dangling;
+    Printf.printf "%s: allowlist %s: %d entr(ies), %d site(s) matched, %d dangling\n" prog
+      (Option.value ~default:"(none)" allow_path)
+      (List.length entries) allowed (List.length dangling);
+    exit (match dangling with [] -> 0 | _ -> 2)
+  end;
+  if !json then print_json ~files:(List.length files) ~allowed violations
+  else print_text ~files:(List.length files) ~allowed violations;
+  exit (match violations with [] -> 0 | _ -> 2)
