@@ -1411,6 +1411,171 @@ let shard_scaling () =
   emit t
 
 (* ------------------------------------------------------------------ *)
+(* PR9: streaming ingest with rolling refreeze under concurrent reads  *)
+(* ------------------------------------------------------------------ *)
+
+(* Sustained insert throughput while a reader domain hammers the MVCC
+   snapshot server.  The claim under test: a rolling background refreeze
+   never takes readers down — the reader's worst-case gap between two
+   answered queries stays at single-query latency, orders of magnitude
+   below the refreeze itself, and the served generation only moves
+   forward.  Reported in BENCH_PR9.json via `--ingest`. *)
+let ingest_streaming () =
+  let module W = Qc_warehouse.Warehouse in
+  let module I = Qc_warehouse.Ingest in
+  let stream_rows = match !scale with Quick -> 30_000 | Full -> 300_000 in
+  let refreeze_rows = stream_rows / 6 in
+  let base_rows = 2_000 in
+  let spec = { Qc_data.Synthetic.default with dims = 4; cardinality = 20; rows = base_rows; seed = 91 } in
+  let base = Qc_data.Synthetic.generate spec in
+  let delta = Qc_data.Synthetic.generate_delta { spec with seed = 92 } base stream_rows in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let stream_path = Filename.temp_file "qcbench_stream" ".csv" in
+  let dir = Filename.temp_file "qcbench_ingest" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      if Sys.file_exists stream_path then Sys.remove stream_path)
+  @@ fun () ->
+  (* render the delta in the line protocol qct ingest consumes (the CSV
+     writer's first line is the header) *)
+  (let oc = open_out stream_path in
+   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+       let s = Qc_data.Csv.to_string delta in
+       match String.index_opt s '\n' with
+       | Some i -> output_substring oc s (i + 1) (String.length s - i - 1)
+       | None -> ()));
+  let queries = Array.of_list (Qc_data.Synthetic.random_point_queries ~seed:93 base 512) in
+  let run_once ~with_reader =
+    let w = W.create (Qc_data.Synthetic.generate spec) in
+    W.save w dir;
+    let server = I.Snapshot.make ~generation:(W.checkpoint_generation w) (W.packed w) in
+    let stop = Atomic.make false in
+    let reader =
+      if not with_reader then None
+      else
+        Some
+          (Domain.spawn (fun () ->
+               (* hammer the snapshot until told to stop; the worst gap
+                  between consecutive completions is the observed reader
+                  "downtime" *)
+               let n = ref 0 and max_gap = ref 0.0 and answered = ref 0 in
+               let min_gen = ref max_int and max_gen = ref min_int and regressed = ref false in
+               let last = ref (Qc_util.Clock.now_s ()) in
+               while not (Atomic.get stop) do
+                 let snap = I.Snapshot.current server in
+                 let g = snap.I.Snapshot.generation in
+                 if g < !max_gen then regressed := true;
+                 if g < !min_gen then min_gen := g;
+                 if g > !max_gen then max_gen := g;
+                 let cell = queries.(!n mod Array.length queries) in
+                 (match Qc_core.Query.point_packed snap.I.Snapshot.packed cell with
+                 | Some _ -> incr answered
+                 | None -> ());
+                 incr n;
+                 let now = Qc_util.Clock.now_s () in
+                 if now -. !last > !max_gap then max_gap := now -. !last;
+                 last := now
+               done;
+               (!n, !answered, !max_gap, !min_gen, !max_gen, !regressed)))
+    in
+    let ic = open_in stream_path in
+    let config = { I.default with I.refreeze_rows; batch_rows = 256 } in
+    let o, elapsed =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          Qc_util.Timer.time (fun () -> I.run ~config ~server w ~source:(I.Channel ic)))
+    in
+    Atomic.set stop true;
+    let reader_stats = Option.map Domain.join reader in
+    (w, o, elapsed, reader_stats)
+  in
+  let w0, o0, t0, _ = run_once ~with_reader:false in
+  assert (Qc_cube.Table.n_rows (W.table w0) = base_rows + o0.I.rows_ingested);
+  let w1, o1, t1, reader_stats = run_once ~with_reader:true in
+  assert (W.self_check w1 = Ok ());
+  let n_q, answered, max_gap, min_gen, max_gen, regressed =
+    match reader_stats with Some s -> s | None -> (0, 0, 0.0, 0, 0, false)
+  in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "streaming ingest + rolling refreeze - synthetic stream n=%d over base n=%d, \
+            refreeze every %d rows"
+           stream_rows base_rows refreeze_rows)
+      ~columns:
+        [
+          "concurrent load"; "inserts/s"; "elapsed s"; "refreezes"; "reader q/s";
+          "reader max gap ms"; "generations served";
+        ]
+  in
+  let ins_per_s o dt = float_of_int o.I.rows_ingested /. Float.max 1e-9 dt in
+  Tf.add_row t
+    [
+      "none";
+      Printf.sprintf "%.0f" (ins_per_s o0 t0);
+      Printf.sprintf "%.2f" t0;
+      Tf.cell_i o0.I.refreezes;
+      "-"; "-"; "-";
+    ];
+  Tf.add_row t
+    [
+      "reader domain";
+      Printf.sprintf "%.0f" (ins_per_s o1 t1);
+      Printf.sprintf "%.2f" t1;
+      Tf.cell_i o1.I.refreezes;
+      Printf.sprintf "%.0f" (float_of_int n_q /. Float.max 1e-9 t1);
+      Printf.sprintf "%.2f" (max_gap *. 1000.0);
+      Printf.sprintf "%d..%d%s" min_gen max_gen (if regressed then " REGRESSED" else "");
+    ];
+  record "ingest"
+    (Jx.Obj
+       [
+         ("stream_rows", Jx.Int stream_rows);
+         ("base_rows", Jx.Int base_rows);
+         ("refreeze_rows", Jx.Int refreeze_rows);
+         ( "unloaded",
+           Jx.Obj
+             [
+               ("inserts_per_s", Jx.Float (ins_per_s o0 t0));
+               ("elapsed_s", Jx.Float t0);
+               ("batches", Jx.Int o0.I.batches);
+               ("refreezes", Jx.Int o0.I.refreezes);
+               ("refreeze_failures", Jx.Int o0.I.refreeze_failures);
+             ] );
+         ( "with_concurrent_reads",
+           Jx.Obj
+             [
+               ("inserts_per_s", Jx.Float (ins_per_s o1 t1));
+               ("elapsed_s", Jx.Float t1);
+               ("batches", Jx.Int o1.I.batches);
+               ("refreezes", Jx.Int o1.I.refreezes);
+               ("refreeze_failures", Jx.Int o1.I.refreeze_failures);
+               ("reader_queries", Jx.Int n_q);
+               ("reader_queries_answered", Jx.Int answered);
+               ("reader_queries_per_s", Jx.Float (float_of_int n_q /. Float.max 1e-9 t1));
+               ("reader_max_gap_ms", Jx.Float (max_gap *. 1000.0));
+               ("generation_served_min", Jx.Int min_gen);
+               ("generation_served_max", Jx.Int max_gen);
+               ("generation_regressed", Jx.Bool regressed);
+             ] );
+       ]);
+  Tf.note t
+    "reader max gap = worst wall-clock between two consecutive answered snapshot queries; \
+     zero reader downtime means it stays at single-query latency while refreezes run";
+  emit t
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1429,6 +1594,7 @@ let experiments =
     ("batch", batch_scaling);
     ("trace", trace_overhead);
     ("shard", shard_scaling);
+    ("ingest", ingest_streaming);
     ("fig14a", fig14a);
     ("fig14b", fig14b);
     ("fig14c", fig14c);
@@ -1494,6 +1660,14 @@ let () =
          --json overrides *)
       selected := "trace" :: !selected;
       if not !json_out_set then json_out := "BENCH_PR6.json";
+      parse rest
+    | "--ingest" :: rest ->
+      (* the PR9 robustness report: sustained streaming-insert throughput
+         with a concurrent reader domain on the MVCC snapshot server, and
+         the zero-reader-downtime refreeze metric, in BENCH_PR9.json unless
+         --json overrides *)
+      selected := "ingest" :: !selected;
+      if not !json_out_set then json_out := "BENCH_PR9.json";
       parse rest
     | "--shard" :: rest ->
       (* the PR7 scaling report: 4-shard builds at 1/2/4 domains and

@@ -1004,6 +1004,37 @@ let check () backend packed trace tree_path base_csv deep samples json =
     Sys.file_exists tree_path && Sys.is_directory tree_path
     && Qc_warehouse.Sharded.is_sharded_dir tree_path
   then check_sharded trace tree_path deep samples json
+  else if Sys.file_exists tree_path && Sys.is_directory tree_path then begin
+    (* plain warehouse directory: open it (replaying the journal, exactly
+       what a reader would see) and audit the live state against its own
+       base table — the post-crash verdict the soak harness relies on *)
+    let module W = Qc_warehouse.Warehouse in
+    let w = W.open_dir tree_path in
+    let report =
+      with_trace trace @@ fun () ->
+      Qc_core.Check.run ~deep ~base:(W.table w) ~samples (W.tree w)
+    in
+    let violations = report.Qc_core.Check.violations in
+    if json then
+      print_endline
+        (Qc_util.Jsonx.to_string (Qc_core.Check.report_to_json ~path:tree_path report))
+    else begin
+      let schema = Some (W.schema w) in
+      List.iter
+        (fun v ->
+          Format.printf "violation [%s]: %a@." (Qc_core.Check.violation_label v)
+            (Qc_core.Check.pp_violation schema) v)
+        violations;
+      let n_checks =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 report.Qc_core.Check.checked
+      in
+      if List.is_empty violations then
+        Printf.printf "OK: %d checks across %d invariant families, no violations\n" n_checks
+          (List.length report.Qc_core.Check.checked)
+      else Printf.printf "FAILED: %d violation(s) in %d checks\n" (List.length violations) n_checks
+    end;
+    if not (List.is_empty violations) then exit 2
+  end
   else begin
   (* the audit runs (and its trace is written) before the exit-2 verdict,
      so a failing tree still yields a complete trace file *)
@@ -1132,9 +1163,24 @@ let recovery_violations ~path (r : Qc_warehouse.Warehouse.recovery) =
   @ (if r.W.rebuilt_tree then
        [ v "rebuilt-tree" "tree image missing or damaged; rebuilt from base.csv" ]
      else [])
+  @ (if r.W.rolled_forward then
+       [ v "rolled-forward" "interrupted checkpoint rolled forward to its manifest generation" ]
+     else [])
+  @ (if r.W.stale_skipped > 0 then
+       [
+         v "stale-records"
+           (Printf.sprintf "%d superseded journal record(s) skipped (checkpoint committed, \
+                            truncation interrupted)"
+              r.W.stale_skipped);
+       ]
+     else [])
   @
-  if r.W.rolled_forward then
-    [ v "rolled-forward" "interrupted checkpoint rolled forward to its manifest generation" ]
+  if r.W.segments > 0 then
+    [
+      v "wal-segments"
+        (Printf.sprintf "%d rotated journal segment(s) left by an interrupted refreeze"
+           r.W.segments);
+    ]
   else []
 
 (* Sharded recovery repairs shard by shard: only damaged shards are
@@ -1145,7 +1191,7 @@ let recover_sharded dir dry_run json =
   let module W = Qc_warehouse.Warehouse in
   let s = S.open_dir dir in
   let recs = S.recoveries s in
-  let damaged r = r.W.torn_bytes > 0 || r.W.rebuilt_tree || r.W.rolled_forward in
+  let damaged = W.recovered_something in
   let any_damaged = Array.exists damaged recs in
   if not dry_run then
     Array.iteri
@@ -1178,9 +1224,11 @@ let recover_sharded dir dry_run json =
                             [
                               ("shard", Int k);
                               ("replayed", Int r.W.replayed);
+                              ("stale_skipped", Int r.W.stale_skipped);
                               ("torn_bytes", Int r.W.torn_bytes);
                               ("rebuilt_tree", Bool r.W.rebuilt_tree);
                               ("rolled_forward", Bool r.W.rolled_forward);
+                              ("segments", Int r.W.segments);
                               ("repaired", Bool (damaged r && not dry_run));
                             ])
                         recs)) );
@@ -1190,12 +1238,18 @@ let recover_sharded dir dry_run json =
     Array.iteri
       (fun k (r : W.recovery) ->
         if damaged r then
-          Printf.printf "shard %d: %s%s%s-> %s\n" k
+          Printf.printf "shard %d: %s%s%s%s%s-> %s\n" k
             (if r.W.torn_bytes > 0 then
                Printf.sprintf "discarded a %d-byte torn journal tail " r.W.torn_bytes
              else "")
             (if r.W.rebuilt_tree then "rebuilt the QC-tree from base.csv " else "")
             (if r.W.rolled_forward then "rolled an interrupted checkpoint forward " else "")
+            (if r.W.stale_skipped > 0 then
+               Printf.sprintf "skipped %d stale journal record(s) " r.W.stale_skipped
+             else "")
+            (if r.W.segments > 0 then
+               Printf.sprintf "absorbed %d rotated journal segment(s) " r.W.segments
+             else "")
             (if dry_run then "needs repair" else "repaired"))
       recs;
     if dry_run then
@@ -1214,7 +1268,7 @@ let recover () dir dry_run json =
   let module W = Qc_warehouse.Warehouse in
   let w = W.open_dir dir in
   let r = W.last_recovery w in
-  let corrupt = r.W.torn_bytes > 0 || r.W.rebuilt_tree || r.W.rolled_forward in
+  let corrupt = W.recovered_something r in
   if not dry_run then W.save w dir;
   let s = W.stats_record w in
   if json then
@@ -1231,6 +1285,7 @@ let recover () dir dry_run json =
               ("torn_bytes", Int r.W.torn_bytes);
               ("rebuilt_tree", Bool r.W.rebuilt_tree);
               ("rolled_forward", Bool r.W.rolled_forward);
+              ("segments", Int r.W.segments);
               ("corrupt", Bool corrupt);
               ("checkpointed", Bool (not dry_run));
               ("violations", List (recovery_violations ~path:dir r));
@@ -1244,6 +1299,9 @@ let recover () dir dry_run json =
       Printf.printf "discarded a %d-byte torn journal tail\n" r.W.torn_bytes;
     if r.W.rebuilt_tree then print_endline "rebuilt the QC-tree from base.csv";
     if r.W.rolled_forward then print_endline "rolled an interrupted checkpoint forward";
+    if r.W.segments > 0 then
+      Printf.printf "absorbed %d rotated journal segment(s) from an interrupted refreeze\n"
+        r.W.segments;
     if dry_run then
       print_endline
         (if corrupt then "dry run: repairs needed (rerun without --dry-run to persist them)"
@@ -1273,12 +1331,15 @@ let recover_cmd =
 
 (* ---------- wal ---------- *)
 
+(* Replay order (rotated segments by sequence, then the active file) and
+   the replay rule (a record is live iff its generation stamp is >= the
+   committed checkpoint generation) mirror Warehouse.open_dir exactly —
+   what this lists is what recovery would apply. *)
 let wal () dir json =
   guard @@ fun () ->
   let module W = Qc_warehouse.Warehouse in
   let gen = W.committed_generation dir in
-  let path = Filename.concat dir "wal.log" in
-  let data =
+  let read path =
     if Sys.file_exists path then (
       let ic = open_in_bin path in
       Fun.protect
@@ -1286,62 +1347,267 @@ let wal () dir json =
         (fun () -> really_input_string ic (in_channel_length ic)))
     else Qc_core.Wal.header
   in
-  match Qc_core.Wal.scan data with
-  | Error c ->
-    Printf.eprintf "qct: %s: %s\n" path (Qc_core.Wal.corruption_to_string c);
-    exit 1
-  | Ok scan ->
-    let records = scan.Qc_core.Wal.records in
-    let op_name = function Qc_core.Wal.Insert -> "insert" | Qc_core.Wal.Delete -> "delete" in
-    let live = List.filter (fun (r : Qc_core.Wal.record) -> r.generation = gen) records in
-    let torn_bytes =
-      match scan.Qc_core.Wal.torn with Some (off, _) -> String.length data - off | None -> 0
-    in
-    if json then
-      let open Qc_util.Jsonx in
-      print_endline
-        (to_string
-           (Obj
-              [
-                ("path", String path);
-                ("generation", Int gen);
-                ( "records",
-                  List
-                    (List.map
-                       (fun (r : Qc_core.Wal.record) ->
-                         Obj
-                           [
-                             ("generation", Int r.generation);
-                             ("op", String (op_name r.op));
-                             ("rows", Int (List.length r.rows));
-                             ("stale", Bool (r.generation <> gen));
-                           ])
-                       records) );
-                ("live", Int (List.length live));
-                ("stale", Int (List.length records - List.length live));
-                ("torn_bytes", Int torn_bytes);
-              ]))
-    else begin
-      Printf.printf "%s: %d record(s), committed generation %d\n" path (List.length records) gen;
-      List.iteri
-        (fun i (r : Qc_core.Wal.record) ->
-          Printf.printf "  #%d %s %d row(s) @gen %d%s\n" i (op_name r.op) (List.length r.rows)
-            r.generation
-            (if r.generation <> gen then "  (stale: superseded by a checkpoint)" else ""))
-        records;
-      match scan.Qc_core.Wal.torn with
-      | Some (_, c) ->
-        Printf.printf "torn tail: %d byte(s) (%s) — discarded on recovery\n" torn_bytes
-          (Qc_core.Wal.corruption_to_string c)
-      | None -> print_endline "journal ends cleanly"
-    end
+  let files =
+    List.map
+      (fun (seq, name) -> (Some seq, Filename.concat dir name))
+      (W.list_segments dir)
+    @ [ (None, Filename.concat dir "wal.log") ]
+  in
+  let scanned =
+    List.map
+      (fun (seq, path) ->
+        let data = read path in
+        match Qc_core.Wal.scan data with
+        | Error c ->
+          Printf.eprintf "qct: %s: %s\n" path (Qc_core.Wal.corruption_to_string c);
+          exit 1
+        | Ok scan ->
+          let torn_bytes =
+            match scan.Qc_core.Wal.torn with
+            | Some (off, _) -> String.length data - off
+            | None -> 0
+          in
+          (seq, path, String.length data, scan, torn_bytes))
+      files
+  in
+  let op_name = function Qc_core.Wal.Insert -> "insert" | Qc_core.Wal.Delete -> "delete" in
+  let is_live (r : Qc_core.Wal.record) = r.generation >= gen in
+  let count p l = List.length (List.filter p l) in
+  let total f = List.fold_left (fun acc x -> acc + f x) 0 scanned in
+  let n_records = total (fun (_, _, _, s, _) -> List.length s.Qc_core.Wal.records) in
+  let n_live = total (fun (_, _, _, s, _) -> count is_live s.Qc_core.Wal.records) in
+  let n_torn = total (fun (_, _, _, _, tb) -> tb) in
+  if json then
+    let open Qc_util.Jsonx in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("dir", String dir);
+              ("generation", Int gen);
+              ( "files",
+                List
+                  (List.map
+                     (fun (seq, path, bytes, scan, torn_bytes) ->
+                       let records = scan.Qc_core.Wal.records in
+                       Obj
+                         [
+                           ("path", String path);
+                           ( "role",
+                             String (match seq with Some _ -> "segment" | None -> "active") );
+                           ("seq", match seq with Some s -> Int s | None -> Null);
+                           ("bytes", Int bytes);
+                           ( "generation_span",
+                             match Qc_core.Wal.generation_span records with
+                             | Some (lo, hi) -> List [ Int lo; Int hi ]
+                             | None -> Null );
+                           ( "records",
+                             List
+                               (List.map
+                                  (fun (r : Qc_core.Wal.record) ->
+                                    Obj
+                                      [
+                                        ("generation", Int r.generation);
+                                        ("op", String (op_name r.op));
+                                        ("rows", Int (List.length r.rows));
+                                        ("stale", Bool (not (is_live r)));
+                                      ])
+                                  records) );
+                           ("live", Int (count is_live records));
+                           ("stale", Int (count (fun r -> not (is_live r)) records));
+                           ("torn_bytes", Int torn_bytes);
+                         ])
+                     scanned) );
+              ("records", Int n_records);
+              ("live", Int n_live);
+              ("stale", Int (n_records - n_live));
+              ("torn_bytes", Int n_torn);
+            ]))
+  else begin
+    List.iter
+      (fun (seq, path, bytes, scan, torn_bytes) ->
+        let records = scan.Qc_core.Wal.records in
+        let role =
+          match seq with Some s -> Printf.sprintf "segment %d" s | None -> "active"
+        in
+        let span =
+          match Qc_core.Wal.generation_span records with
+          | Some (lo, hi) when lo = hi -> Printf.sprintf ", generation %d" lo
+          | Some (lo, hi) -> Printf.sprintf ", generations %d..%d" lo hi
+          | None -> ""
+        in
+        Printf.printf "%s [%s]: %d record(s), %d byte(s)%s\n" path role (List.length records)
+          bytes span;
+        List.iteri
+          (fun i (r : Qc_core.Wal.record) ->
+            Printf.printf "  #%d %s %d row(s) @gen %d%s\n" i (op_name r.op) (List.length r.rows)
+              r.generation
+              (if is_live r then "" else "  (stale: superseded by a checkpoint)"))
+          records;
+        match scan.Qc_core.Wal.torn with
+        | Some (_, c) ->
+          Printf.printf "  torn tail: %d byte(s) (%s) — discarded on recovery\n" torn_bytes
+            (Qc_core.Wal.corruption_to_string c)
+        | None -> ())
+      scanned;
+    Printf.printf "total: %d record(s) (%d live, %d stale) in %d file(s), committed generation %d\n"
+      n_records n_live (n_records - n_live) (List.length scanned) gen;
+    if n_torn = 0 then print_endline "journal ends cleanly"
+  end
 
 let wal_cmd =
   Cmd.v
     (Cmd.info "wal"
-       ~doc:"Inspect a warehouse directory's write-ahead journal: every record with its \
-             generation, liveness and row count, plus any torn tail.")
+       ~doc:"Inspect a warehouse directory's write-ahead journal — rotated segments in replay \
+             order, then the active file: every record with its generation, liveness and row \
+             count, plus any torn tail.")
     Term.(const wal $ common $ dir_arg 0 $ json_flag)
+
+(* ---------- ingest ---------- *)
+
+let ingest () dir from follow batch_rows batch_secs refreeze_rows refreeze_secs policy queue
+    max_rows quarantine no_final_ckpt json trace =
+  guard @@ fun () ->
+  with_trace trace @@ fun () ->
+  let module W = Qc_warehouse.Warehouse in
+  let module I = Qc_warehouse.Ingest in
+  let source =
+    match (from, follow) with
+    | Some _, Some _ -> invalid_arg "--from and --follow are mutually exclusive"
+    | None, Some path -> I.Tail path
+    | Some path, None -> I.Channel (open_in_bin path)
+    | None, None -> I.Channel stdin
+  in
+  let w = W.open_dir dir in
+  let config =
+    {
+      I.default with
+      I.batch_rows;
+      batch_interval_s = batch_secs;
+      refreeze_rows;
+      refreeze_interval_s = refreeze_secs;
+      policy;
+      queue_capacity = queue;
+      max_rows;
+      quarantine_path = quarantine;
+      checkpoint_on_exit = not no_final_ckpt;
+    }
+  in
+  let on_publish (s : I.Snapshot.t) =
+    Printf.eprintf "ingest: generation %d now serving\n%!" s.I.Snapshot.generation
+  in
+  let o = I.run ~config ~on_publish w ~source in
+  if json then
+    let open Qc_util.Jsonx in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("dir", String dir);
+              ("lines_read", Int o.I.lines_read);
+              ("rows_ingested", Int o.I.rows_ingested);
+              ("quarantined", Int o.I.quarantined);
+              ("dropped", Int o.I.dropped);
+              ("spilled", Int o.I.spilled);
+              ("batches", Int o.I.batches);
+              ("refreezes", Int o.I.refreezes);
+              ("refreeze_failures", Int o.I.refreeze_failures);
+              ("final_generation", Int o.I.final_generation);
+            ]))
+  else begin
+    Printf.printf "ingested %d row(s) in %d batch(es) from %d line(s)\n" o.I.rows_ingested
+      o.I.batches o.I.lines_read;
+    if o.I.quarantined > 0 || o.I.dropped > 0 || o.I.spilled > 0 then
+      Printf.printf "quarantined %d, dropped %d, spilled %d\n" o.I.quarantined o.I.dropped
+        o.I.spilled;
+    Printf.printf "refreezes: %d committed, %d failed; final generation %d\n" o.I.refreezes
+      o.I.refreeze_failures o.I.final_generation
+  end
+
+let ingest_cmd =
+  let from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE" ~doc:"Read tuples from $(docv) (default: stdin).")
+  in
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"FILE"
+          ~doc:"Tail $(docv) forever, ingesting lines as they are appended (end-of-file means \
+                \"no more bytes yet\"); stop with $(b,--max-rows) or a signal.")
+  in
+  let batch_rows =
+    Arg.(value & opt int 256 & info [ "batch-rows" ] ~doc:"Rows per insert batch.")
+  in
+  let batch_secs =
+    Arg.(
+      value & opt float 0.25
+      & info [ "batch-secs" ] ~docv:"S" ~doc:"Flush a partial batch after $(docv) seconds.")
+  in
+  let refreeze_rows =
+    Arg.(
+      value & opt int 5000
+      & info [ "refreeze-rows" ]
+          ~doc:"Background-refreeze the packed snapshot after this many un-checkpointed rows.")
+  in
+  let refreeze_secs =
+    Arg.(
+      value & opt float 10.0
+      & info [ "refreeze-secs" ] ~docv:"S"
+          ~doc:"Also refreeze after $(docv) seconds with un-checkpointed rows.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("block", Qc_warehouse.Ingest.Block);
+               ("drop", Qc_warehouse.Ingest.Drop);
+               ("spill", Qc_warehouse.Ingest.Spill);
+             ])
+          Qc_warehouse.Ingest.Block
+      & info [ "backpressure" ] ~docv:"POLICY"
+          ~doc:"Full-queue policy: $(b,block) the producer (lossless), $(b,drop) new rows \
+                (counted), or $(b,spill) them to disk and replay after the stream ends.")
+  in
+  let queue =
+    Arg.(value & opt int 4096 & info [ "queue" ] ~docv:"ROWS" ~doc:"Ingest queue capacity.")
+  in
+  let max_rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rows" ] ~docv:"N" ~doc:"Stop after ingesting at least $(docv) rows.")
+  in
+  let quarantine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"FILE"
+          ~doc:"Where malformed lines go, with line numbers and reasons (default \
+                $(i,DIR)/.quarantine).")
+  in
+  let no_final_ckpt =
+    Arg.(
+      value & flag
+      & info [ "no-final-checkpoint" ]
+          ~doc:"Skip the foreground checkpoint at the end of the stream (the journal still \
+                holds every ingested row).")
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Stream tuples (one $(b,v1,...,vd,measure) line each) into a warehouse \
+             directory: journaled batch insertion, poison-line quarantine, bounded-queue \
+             backpressure, and rolling background refreezes that readers observe as an \
+             atomic generation bump.")
+    Term.(
+      const ingest $ common $ dir_arg 0 $ from $ follow $ batch_rows $ batch_secs
+      $ refreeze_rows $ refreeze_secs $ policy $ queue $ max_rows $ quarantine $ no_final_ckpt
+      $ json_flag $ trace_arg)
 
 (* ---------- selfcheck ---------- *)
 
@@ -1428,6 +1694,7 @@ let () =
             check_cmd;
             recover_cmd;
             wal_cmd;
+            ingest_cmd;
             selfcheck_cmd;
             classes_cmd;
           ]))

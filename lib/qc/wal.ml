@@ -182,6 +182,38 @@ let scan data =
     | None -> Ok { records = List.rev !records; consumed = !pos; torn = None }
   end
 
+(* ---------- segment naming ---------- *)
+
+let segment_name seq =
+  if seq < 0 then invalid_arg "Wal.segment_name: negative sequence";
+  Printf.sprintf "wal-%06d.log" seq
+
+let segment_seq name =
+  let prefix = "wal-" and suffix = ".log" in
+  let pl = String.length prefix and sl = String.length suffix in
+  let n = String.length name in
+  if
+    n > pl + sl
+    && String.equal (String.sub name 0 pl) prefix
+    && String.equal (String.sub name (n - sl) sl) suffix
+  then begin
+    let digits = String.sub name pl (n - pl - sl) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then int_of_string_opt digits
+    else None
+  end
+  else None
+
+let generation_span records =
+  List.fold_left
+    (fun acc (r : record) ->
+      match acc with
+      | None -> Some (r.generation, r.generation)
+      | Some (lo, hi) ->
+        Some
+          ( (if r.generation < lo then r.generation else lo),
+            if r.generation > hi then r.generation else hi ))
+    None records
+
 (* ---------- table bridge ---------- *)
 
 let record_of_table ~generation op table =

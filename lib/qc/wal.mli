@@ -81,6 +81,31 @@ val scan : string -> (scan, corruption) result
     reserved for damage no crash can produce: a bad {!header}, or a
     CRC-valid frame with an unknown tag or malformed payload. *)
 
+(** {2 Segments}
+
+    A long-running ingest rotates the active journal out of the way
+    before each background refreeze: [wal.log] is renamed to
+    [wal-<seq>.log] (monotonically increasing [seq]) and a fresh
+    header-only [wal.log] is started.  The checkpoint that follows makes
+    the rotated records redundant and deletes the segments; until then,
+    recovery replays segments in sequence order before the active file.
+    This module only owns the naming scheme — rotation itself is
+    warehouse file I/O. *)
+
+val segment_name : int -> string
+(** [segment_name seq] is ["wal-%06d.log"] (widths beyond 6 digits are
+    legal and sort after by sequence, not lexically — always order by
+    {!segment_seq}).
+    @raise Invalid_argument on a negative [seq]. *)
+
+val segment_seq : string -> int option
+(** Parse a rotated-segment file name back to its sequence number;
+    [None] for anything else (including ["wal.log"] itself). *)
+
+val generation_span : record list -> (int * int) option
+(** Smallest and largest generation stamp among [records]; [None] when
+    empty.  What [qct wal] reports per segment. *)
+
 val record_of_table : generation:int -> op -> Qc_cube.Table.t -> record
 (** Snapshot a delta table as a journal record (decoding every row against
     the table's schema). *)

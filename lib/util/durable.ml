@@ -42,6 +42,7 @@ let write_tmp ?fp path content =
   | Some Failpoint.Raise -> raise (Failpoint.Injected (Option.get (site fp "tmp-write")))
   | Some Failpoint.Crash -> Failpoint.crash ()
   | Some Failpoint.Torn -> write_raw ~torn:true tmp content
+  | Some (Failpoint.Sleep ms) -> Failpoint.stall ms
   | None -> ());
   let oc = open_out_bin tmp in
   Fun.protect
@@ -58,6 +59,14 @@ let write_tmp ?fp path content =
 let commit_tmp ?fp path =
   hit_site fp "rename";
   Sys.rename (path ^ ".tmp") path
+
+(* Raw rename/remove for callers whose source and target are not in the
+   tmp-commit shape (journal segment rotation and post-checkpoint segment
+   deletion).  Callers hit their own failpoint labels around these — the
+   interesting kill sites there are protocol steps, not byte writes. *)
+let rename src dst = Sys.rename src dst
+
+let remove path = Sys.remove path
 
 let write_file ?fp path content =
   write_tmp ?fp path content;
@@ -78,6 +87,7 @@ let append ?fp oc frame =
     output_substring oc frame 0 (String.length frame / 2);
     fsync_out oc;
     Failpoint.crash ()
+  | Some (Failpoint.Sleep ms) -> Failpoint.stall ms
   | None -> ());
   output_string oc frame;
   flush oc;

@@ -36,6 +36,19 @@ val write_file : ?fp:string -> string -> string -> unit
 (** {!write_tmp} followed by {!commit_tmp}: the one-call atomic durable
     write used for self-contained files (saved trees, CSV exports). *)
 
+val rename : string -> string -> unit
+(** Raw [Sys.rename], housed here so qclint's [durable-raw-write] rule
+    keeps renames out of the rest of [lib/] and [bin/].  For moves whose
+    source is not a [.tmp] sibling (journal segment rotation); atomic,
+    {e not} durable on its own — pair with {!fsync_dir}.  Callers hit
+    their own {!Failpoint} labels around the call. *)
+
+val remove : string -> unit
+(** Raw [Sys.remove] (same housing rationale as {!rename}): deleting
+    journal segments that a committed checkpoint has made redundant.
+    Safe to crash around — recovery treats a missing segment as already
+    cleaned up. *)
+
 val truncate : ?fp:string -> string -> int -> unit
 (** [truncate path len] cuts [path] back to its first [len] bytes — how the
     journal discards a half-written frame after a failed append.  Failpoint:

@@ -1,4 +1,4 @@
-type mode = Raise | Crash | Torn
+type mode = Raise | Crash | Torn | Sleep of int
 
 exception Injected of string
 
@@ -35,11 +35,20 @@ let unset label = Mutex.protect lock (fun () -> Hashtbl.remove armed label)
 
 let reset () = Mutex.protect lock (fun () -> Hashtbl.reset armed)
 
-let mode_of_string = function
+let sleep_prefix = "sleep-"
+
+let mode_of_string s =
+  match s with
   | "raise" -> Some Raise
   | "crash" -> Some Crash
   | "torn" -> Some Torn
-  | _ -> None
+  | _ ->
+    if String.starts_with ~prefix:sleep_prefix s then
+      let ms = String.sub s (String.length sleep_prefix) (String.length s - String.length sleep_prefix) in
+      match int_of_string_opt ms with
+      | Some n when n >= 0 -> Some (Sleep n)
+      | Some _ | None -> None
+    else None
 
 let parse spec =
   let items = List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim spec)) in
@@ -59,7 +68,7 @@ let parse spec =
       match (hits, mode_of_string mode_s) with
       | Error e, _ -> Error e
       | Ok _, None ->
-        Error (Printf.sprintf "unknown mode %S in %S (raise|crash|torn)" mode_s item)
+        Error (Printf.sprintf "unknown mode %S in %S (raise|crash|torn|sleep-MS)" mode_s item)
       | Ok h, Some m ->
         if label = "" then Error (Printf.sprintf "empty label in %S" item)
         else Ok (label, h, m))
@@ -92,11 +101,17 @@ let check label =
           Some mode
         end)
 
+(* Outside the registry lock: a stalled site must not block other domains
+   from probing their own failpoints (the whole point of Sleep is to model
+   one slow actor while the rest of the system keeps moving). *)
+let stall ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0)
+
 let hit label =
   match check label with
   | None -> ()
   | Some Raise -> raise (Injected label)
   | Some (Crash | Torn) -> crash ()
+  | Some (Sleep ms) -> stall ms
 
 (* Arm from the environment once at program start.  A malformed spec is a
    configuration error: report it loudly rather than silently running the

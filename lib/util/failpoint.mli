@@ -22,12 +22,17 @@
       a strict prefix of the bytes it was asked to write, then dies as
       [Crash].  At sites that do not write bytes, [Torn] degrades to
       [Crash].
+    - [Sleep ms] — model a stall (slow disk, scheduling hiccup): the site
+      sleeps for [ms] milliseconds, then proceeds normally.  Used by the
+      ingest soak to stretch the background-refreeze window so kills land
+      inside it, and to prove readers stay served while a refreeze drags.
 
     {2 Activation}
 
     Failpoints arm programmatically ({!set}) or through the environment
     variable [QC_FAILPOINTS], a comma-separated list of
-    [label\@hit:mode] items (the [\@hit] part optional, default 1):
+    [label\@hit:mode] items (the [\@hit] part optional, default 1; modes
+    are [raise], [crash], [torn], and [sleep-MS] with [MS] milliseconds):
 
     {v QC_FAILPOINTS='wal.append@2:torn,save.base.rename:crash' v}
 
@@ -35,7 +40,7 @@
     of [save.base.rename] as a hard crash.  The environment is read once at
     program start. *)
 
-type mode = Raise | Crash | Torn
+type mode = Raise | Crash | Torn | Sleep of int  (** milliseconds *)
 
 exception Injected of string
 (** Raised by a [Raise]-armed site; the payload is the site label.  The
@@ -77,9 +82,15 @@ val check : string -> mode option
 
 val hit : string -> unit
 (** {!check}, then the default action: [Raise] raises {!Injected}; [Crash]
-    and [Torn] terminate the process with {!exit_code}. *)
+    and [Torn] terminate the process with {!exit_code}; [Sleep ms] sleeps
+    [ms] milliseconds and returns. *)
 
 val crash : unit -> 'a
 (** Terminate immediately with {!exit_code}, bypassing buffers and
     [at_exit] — the power-loss primitive [Torn] sites call after writing
     their prefix. *)
+
+val stall : int -> unit
+(** Sleep the given number of milliseconds — the [Sleep] action, exposed
+    for sites that pattern-match on {!check} results and must honour a
+    stall themselves. *)

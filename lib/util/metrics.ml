@@ -7,6 +7,8 @@
 
 type counter = { c_id : int }
 
+type gauge = { g_id : int }
+
 type histogram = { h_id : int; h_bounds : int array }
 
 let on = Atomic.make false
@@ -19,9 +21,13 @@ let registry_lock = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let n_counters = ref 0
+
+let n_gauges = ref 0
 
 let n_histograms = ref 0
 
@@ -34,6 +40,16 @@ let counter name =
         Stdlib.incr n_counters;
         Hashtbl.replace counters name c;
         c)
+
+let gauge name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_id = !n_gauges } in
+        Stdlib.incr n_gauges;
+        Hashtbl.replace gauges name g;
+        g)
 
 let default_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
 
@@ -73,16 +89,27 @@ type hist_cells = {
 
 type local = {
   mutable lc : int array;  (* counter values, indexed by c_id *)
+  mutable lg : int array;  (* gauge current values, indexed by g_id *)
+  mutable lgp : int array;  (* gauge peak values, indexed by g_id *)
   mutable lh : hist_cells option array;  (* indexed by h_id *)
 }
 
-let local_key = Domain.DLS.new_key (fun () -> { lc = [||]; lh = [||] })
+let local_key = Domain.DLS.new_key (fun () -> { lc = [||]; lg = [||]; lgp = [||]; lh = [||] })
 
 let grow_counters l id =
   let cap = max 8 (max (id + 1) (2 * Array.length l.lc)) in
   let a = Array.make cap 0 in
   Array.blit l.lc 0 a 0 (Array.length l.lc);
   l.lc <- a
+
+let grow_gauges l id =
+  let cap = max 8 (max (id + 1) (2 * Array.length l.lg)) in
+  let a = Array.make cap 0 in
+  Array.blit l.lg 0 a 0 (Array.length l.lg);
+  l.lg <- a;
+  let p = Array.make cap 0 in
+  Array.blit l.lgp 0 p 0 (Array.length l.lgp);
+  l.lgp <- p
 
 let grow_hists l id =
   let cap = max 4 (max (id + 1) (2 * Array.length l.lh)) in
@@ -92,6 +119,10 @@ let grow_hists l id =
 
 let[@inline] counter_cell l id =
   if id >= Array.length l.lc then grow_counters l id;
+  l
+
+let[@inline] gauge_cell l id =
+  if id >= Array.length l.lg then grow_gauges l id;
   l
 
 let hist_cells l (h : histogram) =
@@ -128,6 +159,21 @@ let value c =
   let l = Domain.DLS.get local_key in
   if c.c_id < Array.length l.lc then l.lc.(c.c_id) else 0
 
+let[@inline] set_gauge g v =
+  if Atomic.get on then begin
+    let l = gauge_cell (Domain.DLS.get local_key) g.g_id in
+    l.lg.(g.g_id) <- v;
+    if v > l.lgp.(g.g_id) then l.lgp.(g.g_id) <- v
+  end
+
+let gauge_value g =
+  let l = Domain.DLS.get local_key in
+  if g.g_id < Array.length l.lg then l.lg.(g.g_id) else 0
+
+let gauge_peak g =
+  let l = Domain.DLS.get local_key in
+  if g.g_id < Array.length l.lgp then l.lgp.(g.g_id) else 0
+
 let observe h x =
   if Atomic.get on then begin
     let hc = hist_cells (Domain.DLS.get local_key) h in
@@ -161,6 +207,7 @@ type hist_delta = {
 
 type delta = {
   d_counters : (int * int) list;  (* (c_id, value), non-zero only *)
+  d_gauges : (int * int * int) list;  (* (g_id, current, peak), non-zero only *)
   d_hists : (int * hist_delta) list;  (* (h_id, cells), non-empty only *)
 }
 
@@ -174,6 +221,16 @@ let drain () =
         l.lc.(id) <- 0
       end)
     l.lc;
+  let d_gauges = ref [] in
+  Array.iteri
+    (fun id v ->
+      let p = l.lgp.(id) in
+      if v <> 0 || p <> 0 then begin
+        d_gauges := (id, v, p) :: !d_gauges;
+        l.lg.(id) <- 0;
+        l.lgp.(id) <- 0
+      end)
+    l.lg;
   let d_hists = ref [] in
   Array.iteri
     (fun id slot ->
@@ -196,7 +253,7 @@ let drain () =
         hc.hc_len <- 0
       | Some _ | None -> ())
     l.lh;
-  { d_counters = !d_counters; d_hists = !d_hists }
+  { d_counters = !d_counters; d_gauges = !d_gauges; d_hists = !d_hists }
 
 let absorb d =
   let l = Domain.DLS.get local_key in
@@ -205,6 +262,15 @@ let absorb d =
       let l = counter_cell l id in
       l.lc.(id) <- l.lc.(id) + v)
     d.d_counters;
+  (* gauges are levels, not totals: merging takes the max of the two
+     sides for both current and peak, so a worker's momentary depth never
+     sums with the coordinator's into a level nobody observed *)
+  List.iter
+    (fun (id, v, p) ->
+      let l = gauge_cell l id in
+      if v > l.lg.(id) then l.lg.(id) <- v;
+      if p > l.lgp.(id) then l.lgp.(id) <- p)
+    d.d_gauges;
   List.iter
     (fun (id, (dh : hist_delta)) ->
       (* resolve the descriptor so a fresh slot gets the right bucket count *)
@@ -259,8 +325,11 @@ let percentile_sorted sorted p =
     sorted.(rank - 1)
   end
 
+type gauge_snapshot = { current : int; peak : int }
+
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * gauge_snapshot) list;
   histograms : (string * hist_snapshot) list;
 }
 
@@ -274,6 +343,14 @@ let snapshot () =
         let v = if c.c_id < Array.length l.lc then l.lc.(c.c_id) else 0 in
         (name, v) :: acc)
       counters []
+  in
+  let gs =
+    Hashtbl.fold
+      (fun name (g : gauge) acc ->
+        let current = if g.g_id < Array.length l.lg then l.lg.(g.g_id) else 0 in
+        let peak = if g.g_id < Array.length l.lgp then l.lgp.(g.g_id) else 0 in
+        (name, { current; peak }) :: acc)
+      gauges []
   in
   let hs =
     Hashtbl.fold
@@ -308,11 +385,17 @@ let snapshot () =
         (name, s) :: acc)
       histograms []
   in
-  { counters = List.sort by_name cs; histograms = List.sort by_name hs }
+  {
+    counters = List.sort by_name cs;
+    gauges = List.sort by_name gs;
+    histograms = List.sort by_name hs;
+  }
 
 let reset () =
   let l = Domain.DLS.get local_key in
   Array.fill l.lc 0 (Array.length l.lc) 0;
+  Array.fill l.lg 0 (Array.length l.lg) 0;
+  Array.fill l.lgp 0 (Array.length l.lgp) 0;
   Array.iter
     (function
       | Some hc ->
@@ -328,19 +411,28 @@ let reset () =
 let render () =
   let s = snapshot () in
   let live_counters = List.filter (fun (_, v) -> v <> 0) s.counters in
+  let live_gauges = List.filter (fun (_, g) -> g.current <> 0 || g.peak <> 0) s.gauges in
   let live_hists = List.filter (fun (_, h) -> h.total <> 0) s.histograms in
-  if List.is_empty live_counters && List.is_empty live_hists then "(no metrics recorded)\n"
+  if List.is_empty live_counters && List.is_empty live_gauges && List.is_empty live_hists
+  then "(no metrics recorded)\n"
   else begin
     let width =
       List.fold_left
         (fun acc (name, _) -> max acc (String.length name))
         0
-        (live_counters @ List.map (fun (n, _) -> (n, 0)) live_hists)
+        (live_counters
+        @ List.map (fun (n, _) -> (n, 0)) live_gauges
+        @ List.map (fun (n, _) -> (n, 0)) live_hists)
     in
     let buf = Buffer.create 512 in
     List.iter
       (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-*s %12d\n" width name v))
       live_counters;
+    List.iter
+      (fun (name, g) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s %12d  peak %d\n" width name g.current g.peak))
+      live_gauges;
     List.iter
       (fun (name, h) ->
         Buffer.add_string buf
@@ -366,6 +458,12 @@ let to_json () =
   Jsonx.Obj
     [
       ("counters", Jsonx.Obj (List.map (fun (n, v) -> (n, Jsonx.Int v)) s.counters));
+      ( "gauges",
+        Jsonx.Obj
+          (List.map
+             (fun (n, g) ->
+               (n, Jsonx.Obj [ ("value", Jsonx.Int g.current); ("peak", Jsonx.Int g.peak) ]))
+             s.gauges) );
       ( "histograms",
         Jsonx.Obj
           (List.map
@@ -403,6 +501,13 @@ let to_prometheus () =
       let n = prom_name name in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
     s.counters;
+  List.iter
+    (fun (name, g) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n g.current);
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s_peak gauge\n%s_peak %d\n" n n g.peak))
+    s.gauges;
   List.iter
     (fun (name, h) ->
       let n = prom_name name in

@@ -25,6 +25,8 @@
 
 type counter
 
+type gauge
+
 type histogram
 
 val set_enabled : bool -> unit
@@ -46,6 +48,21 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 
 val value : counter -> int
+
+val gauge : string -> gauge
+(** [gauge name] registers (or retrieves) a level instrument — a value
+    that goes up {e and} down, such as a queue depth.  Same naming
+    convention as counters, e.g. ["ingest.queue_depth"]. *)
+
+val set_gauge : gauge -> int -> unit
+(** Record the instrument's current level, when recording is enabled.
+    The per-domain peak (largest level ever set) is tracked alongside. *)
+
+val gauge_value : gauge -> int
+(** The calling domain's current level; 0 if never set. *)
+
+val gauge_peak : gauge -> int
+(** The calling domain's peak level; 0 if never set. *)
 
 val histogram : ?buckets:int array -> string -> histogram
 (** [histogram name] registers a fixed-bucket histogram of non-negative
@@ -95,8 +112,13 @@ type hist_snapshot = {
     retained samples travel through {!drain}/{!absorb} in chunk order, so
     parallel and sequential runs report identical percentiles. *)
 
+type gauge_snapshot = { current : int; peak : int }
+(** Gauges are levels: [drain]/[absorb] merge both fields by [max]
+    (a worker's momentary depth never {e adds} to the coordinator's). *)
+
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * gauge_snapshot) list;  (** sorted by name *)
   histograms : (string * hist_snapshot) list;  (** sorted by name *)
 }
 
@@ -113,6 +135,7 @@ val render : unit -> string
 val to_json : unit -> Jsonx.t
 (** The full snapshot as
     [{"counters": {name: int, ...},
+      "gauges": {name: {"value": n, "peak": n}, ...},
       "histograms": {name: {"bounds": [...], "counts": [...],
                             "total": n, "sum": n, "max": n,
                             "p50": n, "p90": n, "p99": n}, ...}}]. *)
@@ -122,6 +145,7 @@ val to_prometheus : unit -> string
     --prom], groundwork for [qct serve]).  Instrument names are prefixed
     [qc_] with non-alphanumeric characters mapped to [_]; every registered
     instrument is emitted even at zero (the Prometheus convention).
-    Counters become [# TYPE ... counter] samples; histograms become
+    Counters become [# TYPE ... counter] samples; gauges become a pair of
+    [# TYPE ... gauge] samples (current level plus a [_peak]); histograms become
     cumulative [_bucket{le="..."}] series with [_sum]/[_count], plus
     [_p50]/[_p90]/[_p99] gauges carrying the exact percentiles. *)

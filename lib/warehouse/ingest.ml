@@ -1,0 +1,673 @@
+(* Streaming ingestion with rolling refreeze.
+
+   One producer domain tails the input and parses lines into rows; the
+   calling domain (the consumer) absorbs rows through journaled batch
+   insertion and periodically seals the warehouse, handing the frozen
+   snapshot work to a background domain while it keeps absorbing.  The
+   reader-visible snapshot only ever moves forward, one committed
+   generation at a time. *)
+
+module W = Warehouse
+module Trace = Qc_util.Trace
+module Metrics = Qc_util.Metrics
+module FP = Qc_util.Failpoint
+module Clock = Qc_util.Clock
+
+let log = Logs.Src.create "qc.ingest" ~doc:"streaming ingestion"
+
+module Log = (val Logs.src_log log)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Bq = struct
+  type 'a t = {
+    cap : int;
+    buf : 'a Queue.t;
+    lock : Mutex.t;
+    not_full : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create cap =
+    if cap <= 0 then invalid_arg "Ingest.Bq.create: capacity must be positive";
+    {
+      cap;
+      buf = Queue.create ();
+      lock = Mutex.create ();
+      not_full = Condition.create ();
+      closed = false;
+    }
+
+  let with_lock t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let depth t = with_lock t (fun () -> Queue.length t.buf)
+
+  let is_closed t = with_lock t (fun () -> t.closed)
+
+  let close t =
+    with_lock t (fun () ->
+        t.closed <- true;
+        (* wake any producer parked in [push_wait] so it can observe the
+           close and stop *)
+        Condition.broadcast t.not_full)
+
+  let push t x =
+    with_lock t (fun () ->
+        if t.closed || Queue.length t.buf >= t.cap then false
+        else begin
+          Queue.push x t.buf;
+          true
+        end)
+
+  let push_wait t x =
+    with_lock t (fun () ->
+        let rec go () =
+          if t.closed then false
+          else if Queue.length t.buf < t.cap then begin
+            Queue.push x t.buf;
+            true
+          end
+          else begin
+            Condition.wait t.not_full t.lock;
+            go ()
+          end
+        in
+        go ())
+
+  (* Take up to [max] items, waiting up to [timeout_s] for the first one.
+     The stdlib's [Condition] has no timed wait, and the consumer must
+     multiplex queue input with refreeze-completion polling and flush
+     deadlines, so the empty case polls at millisecond granularity
+     instead of parking. *)
+  let pop_many t ~max ~timeout_s =
+    if max <= 0 then invalid_arg "Ingest.Bq.pop_many: max must be positive";
+    let deadline = Clock.now_s () +. timeout_s in
+    let rec take acc n =
+      if n = 0 then List.rev acc
+      else
+        match Queue.take_opt t.buf with
+        | Some x -> take (x :: acc) (n - 1)
+        | None -> List.rev acc
+    in
+    let rec go () =
+      let items, drained =
+        with_lock t (fun () ->
+            let xs = take [] max in
+            (match xs with
+            | [] -> ()
+            | _ :: _ -> Condition.broadcast t.not_full);
+            (xs, t.closed && Queue.is_empty t.buf))
+      in
+      match items with
+      | _ :: _ -> items
+      | [] ->
+        if drained || Clock.now_s () >= deadline then []
+        else begin
+          Unix.sleepf 0.002;
+          go ()
+        end
+    in
+    go ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type policy = Block | Drop | Spill
+
+let policy_to_string = function Block -> "block" | Drop -> "drop" | Spill -> "spill"
+
+let policy_of_string = function
+  | "block" -> Some Block
+  | "drop" -> Some Drop
+  | "spill" -> Some Spill
+  | _ -> None
+
+type config = {
+  queue_capacity : int;
+  policy : policy;
+  batch_rows : int;
+  batch_interval_s : float;
+  refreeze_rows : int;
+  refreeze_interval_s : float;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  checkpoint_on_exit : bool;
+  max_rows : int option;
+  quarantine_path : string option;
+  spill_path : string option;
+}
+
+let default =
+  {
+    queue_capacity = 4096;
+    policy = Block;
+    batch_rows = 256;
+    batch_interval_s = 0.25;
+    refreeze_rows = 5_000;
+    refreeze_interval_s = 10.0;
+    backoff_base_s = 0.5;
+    backoff_max_s = 30.0;
+    checkpoint_on_exit = true;
+    max_rows = None;
+    quarantine_path = None;
+    spill_path = None;
+  }
+
+type source = Channel of in_channel | Tail of string
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot server (MVCC by generation)                               *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  type t = { generation : int; packed : Qc_core.Packed.t }
+
+  type server = t Atomic.t
+
+  let make ~generation packed = Atomic.make { generation; packed }
+
+  let current = Atomic.get
+
+  (* Publish-if-greater: a stale publisher (a refreeze completion racing
+     a concurrent reader of an already-newer snapshot) silently loses.
+     The reader-visible generation is therefore monotonic by
+     construction. *)
+  let rec publish srv snap =
+    let cur = Atomic.get srv in
+    if snap.generation <= cur.generation then false
+    else if Atomic.compare_and_set srv cur snap then true
+    else publish srv snap
+end
+
+(* ------------------------------------------------------------------ *)
+(* Line parsing and quarantine                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_line ~n_dims line =
+  let fields = List.map String.trim (String.split_on_char ',' line) in
+  let nf = List.length fields in
+  if nf <> n_dims + 1 then
+    Result.Error (Printf.sprintf "expected %d fields, got %d" (n_dims + 1) nf)
+  else begin
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ m ] -> (List.rev acc, m)
+      | x :: tl -> split_last (x :: acc) tl
+    in
+    let values, m_str = split_last [] fields in
+    match float_of_string_opt m_str with
+    | None -> Result.Error (Printf.sprintf "unparsable measure %S" m_str)
+    | Some m when not (Float.is_finite m) ->
+      Result.Error (Printf.sprintf "non-finite measure %S" m_str)
+    | Some m -> Result.Ok (values, m)
+  end
+
+(* Cross-domain producer statistics.  Plain counters would race with the
+   consumer's end-of-run reads; these are only ever incremented by the
+   producer and read by the consumer. *)
+type prod_stats = {
+  lines_read : int Atomic.t;
+  quarantined : int Atomic.t;
+  dropped : int Atomic.t;
+  spilled : int Atomic.t;
+}
+
+(* Producer-side sinks.  The channels are lazily opened by the producer
+   and (for the spill) later read by the consumer — but only after the
+   producer has been joined, so each channel has a single owner at any
+   instant. *)
+type sinks = {
+  quarantine_file : string;
+  spill_file : string;
+  mutable quarantine_oc : out_channel option;
+  mutable spilling : bool;
+}
+
+let quarantine_line sinks line =
+  let oc =
+    match sinks.quarantine_oc with
+    | Some oc -> oc
+    | None ->
+      let oc = Qc_util.Durable.open_append sinks.quarantine_file in
+      sinks.quarantine_oc <- Some oc;
+      oc
+  in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let quarantine sinks st ~lineno ~reason raw =
+  Atomic.incr st.quarantined;
+  quarantine_line sinks (Printf.sprintf "line %d: %s: %s" lineno reason raw)
+
+(* ------------------------------------------------------------------ *)
+(* Producer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type producer_ctx = {
+  q : (string list * float) Bq.t;
+  st : prod_stats;
+  sinks : sinks;
+  policy : policy;
+  n_dims : int;
+  stop : bool Atomic.t;
+  mutable spill_oc : out_channel option;
+  mutable lineno : int;
+}
+
+(* The spill file gets raw (already-validated) lines, order-preserving:
+   once the queue first overflows, every subsequent line spills, so the
+   queue contents strictly precede the spill contents and replaying the
+   spill after the queue drains keeps arrival order. *)
+let spill_line ctx raw =
+  Atomic.incr ctx.st.spilled;
+  let oc =
+    match ctx.spill_oc with
+    | Some oc -> oc
+    | None ->
+      let oc = Qc_util.Durable.open_append ctx.sinks.spill_file in
+      ctx.spill_oc <- Some oc;
+      oc
+  in
+  output_string oc raw;
+  output_char oc '\n';
+  flush oc
+
+(* Returns [false] when the queue was closed under us (consumer asked to
+   stop) — the producer then abandons the stream. *)
+let handle_line ctx raw =
+  ctx.lineno <- ctx.lineno + 1;
+  Atomic.incr ctx.st.lines_read;
+  let line = String.trim raw in
+  if String.length line = 0 then true
+  else
+    match parse_line ~n_dims:ctx.n_dims line with
+    | Result.Error reason ->
+      quarantine ctx.sinks ctx.st ~lineno:ctx.lineno ~reason raw;
+      true
+    | Result.Ok row -> (
+      match ctx.policy with
+      | Block -> Bq.push_wait ctx.q row
+      | Drop ->
+        if not (Bq.push ctx.q row) then
+          if Bq.is_closed ctx.q then false
+          else begin
+            Atomic.incr ctx.st.dropped;
+            true
+          end
+        else true
+      | Spill ->
+        if ctx.sinks.spilling then begin
+          spill_line ctx raw;
+          true
+        end
+        else if Bq.push ctx.q row then true
+        else if Bq.is_closed ctx.q then false
+        else begin
+          ctx.sinks.spilling <- true;
+          spill_line ctx raw;
+          true
+        end)
+
+(* Chunked line reader shared by both sources: a [Tail] treats
+   end-of-file as "no more bytes yet" and polls, a [Channel] treats it as
+   the end of the stream.  Splitting on explicit buffered newlines (rather
+   than [input_line]) keeps a half-written tail line out of the parser
+   until its newline arrives. *)
+let read_lines ctx ic ~is_tail =
+  let pending = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let emit_buffered () =
+    let s = Buffer.contents pending in
+    Buffer.clear pending;
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | Some i ->
+        if handle_line ctx (String.sub s start (i - start)) then go (i + 1) else false
+      | None ->
+        if start < String.length s then
+          Buffer.add_substring pending s start (String.length s - start);
+        true
+    in
+    go 0
+  in
+  let rec loop () =
+    if Atomic.get ctx.stop then ()
+    else begin
+      let n = input ic chunk 0 (Bytes.length chunk) in
+      if n = 0 then
+        if is_tail then begin
+          Unix.sleepf 0.05;
+          loop ()
+        end
+        else begin
+          (* a final line without a trailing newline still counts *)
+          if Buffer.length pending > 0 then begin
+            let last = Buffer.contents pending in
+            Buffer.clear pending;
+            ignore (handle_line ctx last : bool)
+          end
+        end
+      else begin
+        Buffer.add_subbytes pending chunk 0 n;
+        if emit_buffered () then loop ()
+      end
+    end
+  in
+  loop ()
+
+let produce ctx src =
+  match src with
+  | Channel ic -> read_lines ctx ic ~is_tail:false
+  | Tail path ->
+    let rec wait_open () =
+      if Atomic.get ctx.stop then None
+      else
+        match open_in_bin path with
+        | ic -> Some ic
+        | exception Sys_error _ ->
+          Unix.sleepf 0.05;
+          wait_open ()
+    in
+    (match wait_open () with
+    | None -> ()
+    | Some ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_lines ctx ic ~is_tail:true))
+
+(* ------------------------------------------------------------------ *)
+(* Consumer: batches, refreeze scheduling, publication               *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  lines_read : int;
+  rows_ingested : int;
+  quarantined : int;
+  dropped : int;
+  spilled : int;
+  batches : int;
+  refreezes : int;
+  refreeze_failures : int;
+  final_generation : int;
+}
+
+type job = {
+  j_task : W.refreeze_task;
+  j_done : bool Atomic.t;
+  j_rows_at_seal : int;
+  j_domain : ((Qc_core.Packed.t, W.error) result * Metrics.delta * Trace.delta) Domain.t;
+}
+
+let g_queue_depth = Metrics.gauge "ingest.queue_depth"
+
+let c_rows = Metrics.counter "ingest.rows"
+
+let c_batches = Metrics.counter "ingest.batches"
+
+let c_refreezes = Metrics.counter "ingest.refreezes"
+
+let c_refreeze_failures = Metrics.counter "ingest.refreeze_failures"
+
+let c_quarantined = Metrics.counter "ingest.quarantined"
+
+let c_dropped = Metrics.counter "ingest.dropped"
+
+let c_spilled = Metrics.counter "ingest.spilled"
+
+let run ?(config = default) ?server ?on_publish w ~source =
+  let dir =
+    match W.attached_dir w with
+    | Some dir -> dir
+    | None -> invalid_arg "Ingest.run: the warehouse must be attached to a directory"
+  in
+  let n_dims = Qc_cube.Schema.n_dims (W.schema w) in
+  let q = Bq.create config.queue_capacity in
+  let st =
+    {
+      lines_read = Atomic.make 0;
+      quarantined = Atomic.make 0;
+      dropped = Atomic.make 0;
+      spilled = Atomic.make 0;
+    }
+  in
+  let sinks =
+    {
+      quarantine_file =
+        (match config.quarantine_path with
+        | Some p -> p
+        | None -> Filename.concat dir ".quarantine");
+      spill_file =
+        (match config.spill_path with Some p -> p | None -> Filename.concat dir ".spill");
+      quarantine_oc = None;
+      spilling = false;
+    }
+  in
+  let stop = Atomic.make false in
+  let ctx = { q; st; sinks; policy = config.policy; n_dims; stop; spill_oc = None; lineno = 0 } in
+  let producer =
+    Domain.spawn (fun () ->
+        (* the close must happen even if the producer dies of a bug,
+           otherwise the consumer waits on the queue forever *)
+        Fun.protect
+          ~finally:(fun () -> Bq.close q)
+          (fun () ->
+            try
+              produce ctx source;
+              Result.Ok ()
+            with
+            | Sys_error msg -> Result.Error msg
+            | Unix.Unix_error (err, fn, arg) ->
+              Result.Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))))
+  in
+  (* consumer state *)
+  let batch = ref [] and batch_n = ref 0 and batch_started = ref 0.0 in
+  let rows_ingested = ref 0 and batches = ref 0 in
+  let rows_since_ckpt = ref 0 and last_ckpt_time = ref (Clock.now_s ()) in
+  let job = ref None in
+  let refreezes = ref 0 and failures = ref 0 in
+  let attempts = ref 0 and next_attempt = ref 0.0 in
+  let flush () =
+    match !batch with
+    | [] -> ()
+    | rev_rows ->
+      let rows = List.rev rev_rows in
+      let n = List.length rows in
+      Trace.with_span ~cat:"ingest"
+        ~args:[ ("rows", Trace.Int n) ]
+        "ingest.batch"
+        (fun () -> ignore (W.insert_rows w rows : Qc_core.Maintenance.insert_stats));
+      rows_ingested := !rows_ingested + n;
+      rows_since_ckpt := !rows_since_ckpt + n;
+      incr batches;
+      Metrics.add c_rows n;
+      Metrics.incr c_batches;
+      batch := [];
+      batch_n := 0
+  in
+  let bump_backoff now =
+    incr attempts;
+    let delay =
+      Float.min config.backoff_max_s
+        (config.backoff_base_s *. (2.0 ** float_of_int (!attempts - 1)))
+    in
+    next_attempt := now +. delay;
+    Log.warn (fun m ->
+        m "refreeze attempt %d failed; serving generation %d, retrying in %.1fs" !attempts
+          (W.checkpoint_generation w) delay)
+  in
+  let start_refreeze () =
+    match W.seal w with
+    | task ->
+      let done_ = Atomic.make false in
+      let dom =
+        Domain.spawn (fun () ->
+            (* the flag must flip even on a programming error, otherwise
+               the consumer polls it forever; the error itself then
+               surfaces from [Domain.join] *)
+            Fun.protect
+              ~finally:(fun () -> Atomic.set done_ true)
+              (fun () ->
+                let res =
+                  (* [run_refreeze] already converts I/O failures into
+                     [Result.Error]; injected faults arrive as exceptions *)
+                  try W.run_refreeze task
+                  with FP.Injected _ as e -> Result.Error (W.Io (Printexc.to_string e))
+                in
+                let md = Metrics.drain () and td = Trace.drain () in
+                (res, md, td)))
+      in
+      job :=
+        Some { j_task = task; j_done = done_; j_rows_at_seal = !rows_since_ckpt; j_domain = dom };
+      Log.info (fun m -> m "refreeze started toward generation %d" (W.refreeze_target task))
+    | exception ((W.Error _ | FP.Injected _) as e) ->
+      (* a failed seal (rotation I/O error, injected fault) degrades to
+         serving the current state and retrying — never a hard stop *)
+      incr failures;
+      Metrics.incr c_refreeze_failures;
+      Log.warn (fun m -> m "seal failed: %s" (Printexc.to_string e));
+      bump_backoff (Clock.now_s ())
+  in
+  let publish_committed (oc : W.refreeze_outcome) =
+    FP.hit "refreeze.publish";
+    let packed = match oc.W.rf_packed with Some p -> p | None -> W.packed w in
+    let snap = { Snapshot.generation = oc.W.rf_generation; packed } in
+    (match server with
+    | Some srv -> ignore (Snapshot.publish srv snap : bool)
+    | None -> ());
+    match on_publish with Some f -> f snap | None -> ()
+  in
+  let harvest () =
+    match !job with
+    | Some j when Atomic.get j.j_done ->
+      let res, md, td = Domain.join j.j_domain in
+      Metrics.absorb md;
+      Trace.absorb td;
+      let oc = W.complete_refreeze w j.j_task res in
+      job := None;
+      if oc.W.rf_committed then begin
+        incr refreezes;
+        Metrics.incr c_refreezes;
+        rows_since_ckpt := !rows_since_ckpt - j.j_rows_at_seal;
+        last_ckpt_time := Clock.now_s ();
+        attempts := 0;
+        next_attempt := 0.0;
+        Log.info (fun m -> m "refreeze committed generation %d" oc.W.rf_generation);
+        publish_committed oc
+      end
+      else begin
+        incr failures;
+        Metrics.incr c_refreeze_failures;
+        bump_backoff (Clock.now_s ())
+      end
+    | _ -> ()
+  in
+  let maybe_refreeze now =
+    if
+      Option.is_none !job && (not (W.sealed w)) && !rows_since_ckpt > 0 && now >= !next_attempt
+      && (!rows_since_ckpt >= config.refreeze_rows
+         || now -. !last_ckpt_time >= config.refreeze_interval_s)
+    then start_refreeze ()
+  in
+  let absorb_rows rows =
+    match rows with
+    | [] -> ()
+    | _ :: _ ->
+      if !batch_n = 0 then batch_started := Clock.now_s ();
+      List.iter (fun r -> batch := r :: !batch) rows;
+      batch_n := !batch_n + List.length rows
+  in
+  let rec loop () =
+    harvest ();
+    (match config.max_rows with
+    | Some limit when (not (Atomic.get stop)) && !rows_ingested + !batch_n >= limit ->
+      Atomic.set stop true;
+      Bq.close q
+    | _ -> ());
+    let want = config.batch_rows - !batch_n in
+    let items = if want > 0 then Bq.pop_many q ~max:want ~timeout_s:0.02 else [] in
+    Metrics.set_gauge g_queue_depth (Bq.depth q);
+    absorb_rows items;
+    let now = Clock.now_s () in
+    if !batch_n >= config.batch_rows || (!batch_n > 0 && now -. !batch_started >= config.batch_interval_s)
+    then flush ();
+    maybe_refreeze now;
+    match items with
+    | [] when Bq.is_closed q && Bq.depth q = 0 -> flush ()
+    | _ -> loop ()
+  in
+  Trace.with_span ~cat:"ingest" "ingest.run" (fun () ->
+      loop ();
+      (* stream done: collect the producer, replay any spill, then wait
+         out an in-flight refreeze before touching the directory again *)
+      (match Domain.join producer with
+      | Result.Ok () -> ()
+      | Result.Error msg -> Log.warn (fun m -> m "producer failed: %s" msg));
+      (match ctx.spill_oc with
+      | None -> ()
+      | Some oc ->
+        close_out_noerr oc;
+        ctx.spill_oc <- None;
+        Trace.with_span ~cat:"ingest" "ingest.spill-drain" (fun () ->
+            let data = Qc_util.Durable.read_file sinks.spill_file in
+            let lines = String.split_on_char '\n' data in
+            List.iter
+              (fun raw ->
+                let line = String.trim raw in
+                if String.length line > 0 then begin
+                  match parse_line ~n_dims line with
+                  | Result.Ok row -> absorb_rows [ row ]
+                  | Result.Error reason ->
+                    (* spilled lines were validated before spilling, so
+                       this only fires on external tampering *)
+                    Atomic.incr st.quarantined;
+                    quarantine_line sinks (Printf.sprintf "spill: %s: %s" reason raw)
+                end;
+                if !batch_n >= config.batch_rows then flush ())
+              lines;
+            flush ());
+        Qc_util.Durable.remove sinks.spill_file);
+      flush ();
+      let rec wait_job () =
+        match !job with
+        | None -> ()
+        | Some _ ->
+          harvest ();
+          if Option.is_some !job then begin
+            Unix.sleepf 0.005;
+            wait_job ()
+          end
+      in
+      wait_job ();
+      if config.checkpoint_on_exit && !rows_since_ckpt > 0 then begin
+        match W.save w dir with
+        | () -> ()
+        | exception W.Error err ->
+          (* degrade: the journal already holds everything; the next open
+             replays it *)
+          Log.warn (fun m -> m "final checkpoint failed: %s" (W.error_to_string err))
+      end;
+      (match sinks.quarantine_oc with
+      | Some oc ->
+        close_out_noerr oc;
+        sinks.quarantine_oc <- None
+      | None -> ());
+      Metrics.set_gauge g_queue_depth 0;
+      Metrics.add c_quarantined (Atomic.get st.quarantined);
+      Metrics.add c_dropped (Atomic.get st.dropped);
+      Metrics.add c_spilled (Atomic.get st.spilled);
+      {
+        lines_read = Atomic.get st.lines_read;
+        rows_ingested = !rows_ingested;
+        quarantined = Atomic.get st.quarantined;
+        dropped = Atomic.get st.dropped;
+        spilled = Atomic.get st.spilled;
+        batches = !batches;
+        refreezes = !refreezes;
+        refreeze_failures = !failures;
+        final_generation = W.checkpoint_generation w;
+      })

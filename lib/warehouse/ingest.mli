@@ -1,0 +1,158 @@
+(** Streaming ingestion with rolling refreeze.
+
+    [qct ingest]'s engine: tail a tuple stream, absorb records through
+    WAL-journaled Algorithm-2 batch insertion, and periodically refreeze
+    the packed snapshot on a background domain while the foreground keeps
+    absorbing — readers are served from the last {e committed} generation
+    throughout (MVCC by generation, see {!Snapshot}).
+
+    Three domains cooperate:
+
+    - the {e producer} reads and parses lines, quarantines poison input,
+      and feeds a bounded queue under a configurable backpressure
+      {!policy};
+    - the {e consumer} (the caller of {!run}) drains the queue into
+      batches, drives {!Warehouse.insert_rows}, and schedules refreezes;
+    - a transient {e refreeze} domain runs {!Warehouse.run_refreeze} and
+      is joined by the consumer when its done-flag flips.
+
+    Input format: one tuple per line, [v1,...,vd,measure] (matching the
+    warehouse schema's dimension count; fields are trimmed, embedded
+    commas are not supported).  Blank lines are skipped.  Malformed lines
+    — wrong arity, unparsable or non-finite measure — are appended to
+    the quarantine file as [line <n>: <reason>: <raw line>] and never
+    reach the warehouse.
+
+    Failure containment: a refreeze that fails (I/O error, injected
+    fault) degrades to serving the last good generation and retrying
+    with exponential backoff; ingestion itself never stops.  A kill at
+    any point recovers on reopen to the committed prefix of the journal
+    ({!Warehouse.open_dir}), and the reader-visible generation never
+    regresses. *)
+
+(** {2 Bounded queue}
+
+    Exposed for the test suite; the unit of backpressure.  A fixed
+    capacity, mutex-and-condition protected FIFO shared by exactly one
+    producer and one consumer domain. *)
+module Bq : sig
+  type 'a t
+
+  val create : int -> 'a t
+  (** @raise Invalid_argument if the capacity is not positive. *)
+
+  val push : 'a t -> 'a -> bool
+  (** Non-blocking; [false] when the queue is full or closed. *)
+
+  val push_wait : 'a t -> 'a -> bool
+  (** Blocks while full; [false] only when the queue is (or becomes)
+      closed. *)
+
+  val pop_many : 'a t -> max:int -> timeout_s:float -> 'a list
+  (** Up to [max] items in arrival order; waits up to [timeout_s] for the
+      first one.  [[]] means timeout {e or} drained-and-closed —
+      distinguish with {!is_closed}/{!depth}.
+      @raise Invalid_argument if [max] is not positive. *)
+
+  val close : 'a t -> unit
+  (** No further pushes succeed; wakes blocked producers. *)
+
+  val is_closed : 'a t -> bool
+
+  val depth : 'a t -> int
+end
+
+(** {2 Configuration} *)
+
+(** What the producer does when the queue is full: [Block] waits for the
+    consumer (lossless, stalls the stream), [Drop] discards the new row
+    (counted), [Spill] diverts {e all} further input to an on-disk spill
+    file that is replayed after the stream ends (lossless for a finite
+    stream, order-preserving because the spill strictly follows the
+    queued prefix). *)
+type policy = Block | Drop | Spill
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+
+type config = {
+  queue_capacity : int;  (** bounded ingest queue, in rows *)
+  policy : policy;
+  batch_rows : int;  (** flush a batch at this many rows... *)
+  batch_interval_s : float;  (** ...or this much time, whichever first *)
+  refreeze_rows : int;  (** seal at this many un-checkpointed rows... *)
+  refreeze_interval_s : float;  (** ...or this much time since the last *)
+  backoff_base_s : float;  (** first retry delay after a failed refreeze *)
+  backoff_max_s : float;  (** retry delay cap (doubling in between) *)
+  checkpoint_on_exit : bool;  (** foreground {!Warehouse.save} at the end *)
+  max_rows : int option;  (** stop after ingesting at least this many rows *)
+  quarantine_path : string option;  (** default [<dir>/.quarantine] *)
+  spill_path : string option;  (** default [<dir>/.spill] *)
+}
+
+val default : config
+
+(** Where tuples come from: a channel read to EOF (stdin, a file), or a
+    file tailed forever — end-of-file means "no more bytes yet", the
+    producer polls for appends until stopped or killed. *)
+type source = Channel of in_channel | Tail of string
+
+(** {2 Snapshot server}
+
+    The MVCC hand-off point between the ingest loop and concurrent
+    readers: a single atomic holding the newest committed generation's
+    packed image.  Readers [current] it wait-free and query the immutable
+    {!Qc_core.Packed.t} they got, unaffected by any concurrent swap. *)
+module Snapshot : sig
+  type t = { generation : int; packed : Qc_core.Packed.t }
+
+  type server
+
+  val make : generation:int -> Qc_core.Packed.t -> server
+
+  val current : server -> t
+
+  val publish : server -> t -> bool
+  (** Publish-if-greater: [false] (and no change) unless [t.generation]
+      strictly exceeds the current one — the reader-visible generation is
+      monotonic by construction. *)
+end
+
+val parse_line :
+  n_dims:int -> string -> (string list * float, string) result
+(** One input line to (dimension values, measure), or the quarantine
+    reason.  Exposed for tests and for replaying quarantine/spill files. *)
+
+(** {2 Running} *)
+
+type outcome = {
+  lines_read : int;
+  rows_ingested : int;  (** rows absorbed into the warehouse *)
+  quarantined : int;
+  dropped : int;  (** [Drop] policy only *)
+  spilled : int;  (** [Spill] policy: rows that took the spill detour *)
+  batches : int;
+  refreezes : int;  (** background refreezes that committed *)
+  refreeze_failures : int;  (** failed attempts (each retried after backoff) *)
+  final_generation : int;
+}
+
+val run :
+  ?config:config ->
+  ?server:Snapshot.server ->
+  ?on_publish:(Snapshot.t -> unit) ->
+  Warehouse.t ->
+  source:source ->
+  outcome
+(** Ingest until the source ends (or [config.max_rows] is reached), then
+    drain the queue and any spill, wait out an in-flight refreeze, and —
+    when [config.checkpoint_on_exit] — cut a final foreground
+    checkpoint.  Each committed refreeze is published to [server] (if
+    given) and reported to [on_publish] after the ["refreeze.publish"]
+    failpoint.  Emits [ingest.*] metrics (rows, batches, refreezes,
+    queue-depth gauge) and [ingest.*] trace spans.
+    @raise Invalid_argument if the warehouse is not attached to a
+    directory.
+    @raise Error on a journal-append failure (mutation durability is
+    never silently skipped; refreeze failures, by contrast, degrade). *)

@@ -70,6 +70,15 @@ let () =
       "save.dir-fsync.pre-manifest";
       "save.dir-fsync.post-manifest";
       "save.wal-truncate";
+      (* rolling-refreeze protocol steps (the staged writes inside a
+         refreeze reuse the save.* sites above) *)
+      "refreeze.rotate";
+      "refreeze.freeze";
+      "refreeze.segment-delete";
+      (* hit by Ingest between a refreeze commit landing and the new
+         generation becoming reader-visible; registered here so it is
+         enumerable wherever the warehouse links *)
+      "refreeze.publish";
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -82,10 +91,18 @@ type recovery = {
   torn_bytes : int;
   rebuilt_tree : bool;
   rolled_forward : bool;
+  segments : int;
 }
 
 let no_recovery =
-  { replayed = 0; stale_skipped = 0; torn_bytes = 0; rebuilt_tree = false; rolled_forward = false }
+  {
+    replayed = 0;
+    stale_skipped = 0;
+    torn_bytes = 0;
+    rebuilt_tree = false;
+    rolled_forward = false;
+    segments = 0;
+  }
 
 (* The warehouse keeps the summary in two forms: the frozen [Packed.t],
    which answers all point/range queries, and the mutable [Qc_tree.t] the
@@ -95,6 +112,17 @@ let no_recovery =
    maintenance operation (or iceberg/self-check, which walk tree nodes) and
    kept warm afterwards.  Every mutation refreezes, so [packed] is never
    stale when present. *)
+(* A detached snapshot of everything the background half of a rolling
+   refreeze needs.  [rf_tree]/[rf_base] are the warehouse's live
+   structures, safe to read from another domain only because the sealed
+   writer stops mutating them until [complete_refreeze]. *)
+type refreeze_task = {
+  rf_dir : string;
+  rf_target : int;  (* the generation the refreeze commits *)
+  rf_tree : Qc_core.Qc_tree.t;
+  rf_base : Table.t;
+}
+
 type t = {
   mutable base : Table.t;
   mutable tree_ : Qc_core.Qc_tree.t option;  (** thawed working form *)
@@ -105,6 +133,19 @@ type t = {
   mutable self_check_enabled : bool;
   mutable dir : string option;  (** attached directory, once saved/opened *)
   mutable ckpt_generation : int;  (** generation of the last committed checkpoint *)
+  mutable gen_hwm : int;
+      (** highest generation any checkpoint attempt ever targeted or any
+          journal record ever carried — the next checkpoint targets
+          [gen_hwm + 1], so a failed refreeze's stamps are never reused
+          (committed generations may skip numbers) *)
+  mutable wal_stamp : int;
+      (** generation stamped on new journal records: [ckpt_generation]
+          normally, the refreeze target while sealed *)
+  mutable sealed_ : refreeze_task option;  (** in-flight background refreeze *)
+  mutable pending : Qc_core.Wal.record list;
+      (** journaled-but-unapplied inserts accumulated while sealed, in
+          reverse append order; applied at [complete_refreeze] through the
+          same record-materialization path crash replay uses *)
   mutable wal_out : out_channel option;
   mutable wal_pos : int;  (** length of the journal's valid prefix on disk *)
   mutable wal_records : int;  (** live records appended since the checkpoint *)
@@ -157,6 +198,10 @@ let create base =
     self_check_enabled = false;
     dir = None;
     ckpt_generation = 0;
+    gen_hwm = 0;
+    wal_stamp = 0;
+    sealed_ = None;
+    pending = [];
     wal_out = None;
     wal_pos = 0;
     wal_records = 0;
@@ -174,6 +219,10 @@ let create_frozen base packed =
     self_check_enabled = false;
     dir = None;
     ckpt_generation = 0;
+    gen_hwm = 0;
+    wal_stamp = 0;
+    sealed_ = None;
+    pending = [];
     wal_out = None;
     wal_pos = 0;
     wal_records = 0;
@@ -236,6 +285,8 @@ let align_schema t target =
   end
 
 let attached_dir t = t.dir
+
+let checkpoint_generation t = t.ckpt_generation
 
 let last_recovery t = t.recovery
 
@@ -421,33 +472,64 @@ let close_wal t =
     t.wal_out <- None
   | None -> ()
 
+(* Rotated journal segments in [dir], ordered by sequence number.  They
+   exist only between a refreeze's rotation and the next committed
+   checkpoint (which deletes them); recovery replays them before the
+   active journal. *)
+let list_segments dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match Qc_core.Wal.segment_seq name with
+           | Some seq -> Some (seq, name)
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let delete_segments dir =
+  match list_segments dir with
+  | [] -> ()
+  | segs ->
+    List.iter (fun (_, name) -> Qc_util.Durable.remove (Filename.concat dir name)) segs;
+    Qc_util.Durable.fsync_dir dir
+
 (* Append one record and fsync it — the commit point of a mutation.  On
    any failure the frame may be partly on disk but was never acknowledged,
    so cut the file back to the last valid prefix before reporting the
-   typed error; the batch is then neither applied nor durable. *)
-let log_mutation t op delta =
+   typed error; the batch is then neither applied nor durable.  Returns
+   the journaled record ([None] when nothing was written) so the sealed
+   path can buffer exactly what replay would see. *)
+let log_record t (record : Qc_core.Wal.record) =
   match t.dir with
-  | None -> ()
-  | Some _ when Table.n_rows delta = 0 -> ()
+  | None -> None
   | Some dir -> (
-    let record = Qc_core.Wal.record_of_table ~generation:t.ckpt_generation op delta in
     let frame = Qc_core.Wal.encode record in
     let oc = wal_channel t dir in
     match
       Trace.with_span ~cat:"wal"
         ~args:
-          [ ("bytes", Trace.Int (String.length frame)); ("rows", Trace.Int (Table.n_rows delta)) ]
+          [
+            ("bytes", Trace.Int (String.length frame));
+            ("rows", Trace.Int (List.length record.rows));
+          ]
         "wal.append"
         (fun () -> Qc_util.Durable.append ~fp:"wal" oc frame)
     with
     | () ->
       t.wal_pos <- t.wal_pos + String.length frame;
-      t.wal_records <- t.wal_records + 1
+      t.wal_records <- t.wal_records + 1;
+      Some record
     | exception e ->
       close_wal t;
       (try Qc_util.Durable.truncate (wal_file dir) t.wal_pos with
       | Unix.Unix_error _ | Sys_error _ -> ());
       (match io_error_of_exn e with Some err -> raise (Error err) | None -> raise e))
+
+let log_mutation t op delta =
+  match t.dir with
+  | None -> None
+  | Some _ when Table.n_rows delta = 0 -> None
+  | Some _ -> log_record t (Qc_core.Wal.record_of_table ~generation:t.wal_stamp op delta)
 
 (* ------------------------------------------------------------------ *)
 (* Maintenance                                                        *)
@@ -490,19 +572,66 @@ let validate_delete base delta =
   end
 
 let insert t delta =
-  log_mutation t Qc_core.Wal.Insert delta;
-  let stats = run_insert t delta in
-  refreeze t;
-  touch t;
-  Log.info (fun m ->
-      m "inserted %d rows (%d updated, %d carved, %d fresh classes)" (Table.n_rows delta)
-        stats.updated stats.carved stats.fresh);
-  post_maintenance_check t "insert";
-  stats
+  match t.sealed_ with
+  | Some _ ->
+    (* Sealed: the background refreeze is reading [t.base]/[t.tree_], so
+       the batch is journaled (durable, stamped with the refreeze target)
+       and buffered; it is applied in memory at [complete_refreeze].  The
+       returned stats are therefore all zero — the structural work has not
+       happened yet. *)
+    (match log_mutation t Qc_core.Wal.Insert delta with
+    | Some r -> t.pending <- r :: t.pending
+    | None -> ());
+    { Qc_core.Maintenance.updated = 0; carved = 0; fresh = 0; located = 0 }
+  | None ->
+    ignore (log_mutation t Qc_core.Wal.Insert delta);
+    let stats = run_insert t delta in
+    refreeze t;
+    touch t;
+    Log.info (fun m ->
+        m "inserted %d rows (%d updated, %d carved, %d fresh classes)" (Table.n_rows delta)
+          stats.updated stats.carved stats.fresh);
+    post_maintenance_check t "insert";
+    stats
+
+let insert_rows t rows =
+  let n_dims = Schema.n_dims (Table.schema t.base) in
+  List.iter
+    (fun (values, _) ->
+      if List.length values <> n_dims then
+        invalid_arg
+          (Printf.sprintf "Warehouse.insert_rows: expected %d dimension values, got %d" n_dims
+             (List.length values)))
+    rows;
+  match t.sealed_ with
+  | Some _ ->
+    (* Sealed: build the record straight from the decoded rows.  Routing
+       through a [Table.t] would allocate dictionary codes in the live
+       schema, which the background domain is concurrently reading — this
+       path must not touch shared structures, only the journal and the
+       pending buffer. *)
+    (match rows with
+    | [] -> ()
+    | _ :: _ -> (
+      let record = { Qc_core.Wal.generation = t.wal_stamp; op = Qc_core.Wal.Insert; rows } in
+      match log_record t record with
+      | Some r -> t.pending <- r :: t.pending
+      | None -> ()));
+    { Qc_core.Maintenance.updated = 0; carved = 0; fresh = 0; located = 0 }
+  | None ->
+    let delta = Table.create (Table.schema t.base) in
+    List.iter (fun (values, m) -> Table.add_row delta values m) rows;
+    insert t delta
 
 let delete t delta =
+  (* Deletions validate against the live base, which is frozen while a
+     background refreeze reads it — and a delete buffered against a moving
+     base could become invalid by apply time.  Streaming ingestion is
+     insert-only; interactive deletes must wait for the refreeze. *)
+  if Option.is_some t.sealed_ then
+    invalid_arg "Warehouse.delete: a background refreeze is in flight";
   validate_delete t.base delta;
-  log_mutation t Qc_core.Wal.Delete delta;
+  ignore (log_mutation t Qc_core.Wal.Delete delta);
   let stats = run_delete t delta in
   refreeze t;
   touch t;
@@ -563,7 +692,14 @@ type stat = {
   recovered : bool;
 }
 
-let recovered_something r = r.rebuilt_tree || r.rolled_forward || r.torn_bytes > 0
+(* Every action [open_dir] had to take that the next checkpoint makes
+   unnecessary.  Stale journal records (a crash between a checkpoint's
+   manifest commit and its journal truncation) and leftover rotated
+   segments count: the directory works as-is but still carries crash
+   residue a [save] would clean up — under-reporting them made
+   [qct recover --dry-run] call such a directory clean. *)
+let recovered_something r =
+  r.rebuilt_tree || r.rolled_forward || r.torn_bytes > 0 || r.stale_skipped > 0 || r.segments > 0
 
 let stats_record t =
   let p = packed t in
@@ -631,6 +767,8 @@ let resync_after_failed_save t dir ~gen' ~base_crc =
       if attached_here then begin
         if m.m_generation <> t.ckpt_generation then begin
           t.ckpt_generation <- m.m_generation;
+          t.wal_stamp <- m.m_generation;
+          t.gen_hwm <- (if m.m_generation > t.gen_hwm then m.m_generation else t.gen_hwm);
           t.wal_records <- 0
         end
       end
@@ -640,62 +778,227 @@ let resync_after_failed_save t dir ~gen' ~base_crc =
         close_wal t;
         t.dir <- Some dir;
         t.ckpt_generation <- gen';
+        t.wal_stamp <- gen';
+        t.gen_hwm <- (if gen' > t.gen_hwm then gen' else t.gen_hwm);
         t.wal_records <- 0;
         t.wal_pos <- wal_valid_prefix (wal_file dir)
       end)
 
+(* Stage the three files and commit the renames — the shared middle of a
+   foreground [save] and a background refreeze.  All three temporaries
+   are durable before any rename, so an interrupted checkpoint can
+   always be resolved to one side or rolled forward from its
+   temporaries; the manifest rename is the atomic commit point. *)
+let stage_and_commit ~dir ~base_data ~tree_data ~gen' =
+  let manifest_data =
+    manifest_to_string
+      {
+        m_generation = gen';
+        base_crc = Qc_util.Crc32.string base_data;
+        base_size = String.length base_data;
+        tree_crc = Qc_util.Crc32.string tree_data;
+        tree_size = String.length tree_data;
+      }
+  in
+  Trace.with_span ~cat:"wal" "ckpt.stage" (fun () ->
+      Qc_util.Durable.write_tmp ~fp:"save.base" (base_file dir) base_data;
+      Qc_util.Durable.write_tmp ~fp:"save.tree" (tree_file dir) tree_data;
+      Qc_util.Durable.write_tmp ~fp:"save.manifest" (manifest_file dir) manifest_data);
+  Trace.with_span ~cat:"wal" "ckpt.commit" (fun () ->
+      Qc_util.Durable.commit_tmp ~fp:"save.base" (base_file dir);
+      Qc_util.Durable.commit_tmp ~fp:"save.tree" (tree_file dir);
+      Qc_util.Failpoint.hit "save.dir-fsync.pre-manifest";
+      Qc_util.Durable.fsync_dir dir;
+      (* the manifest rename is the checkpoint's atomic commit point *)
+      Qc_util.Durable.commit_tmp ~fp:"save.manifest" (manifest_file dir);
+      Qc_util.Failpoint.hit "save.dir-fsync.post-manifest";
+      Qc_util.Durable.fsync_dir dir)
+
 let save t dir =
+  if Option.is_some t.sealed_ then
+    invalid_arg "Warehouse.save: a background refreeze is in flight";
   Trace.with_span ~cat:"warehouse"
-    ~args:[ ("generation", Trace.Int (t.ckpt_generation + 1)) ]
+    ~args:[ ("generation", Trace.Int (t.gen_hwm + 1)) ]
     "warehouse.checkpoint"
   @@ fun () ->
   wrap_io (fun () -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
   let base_data = Qc_data.Csv.to_string t.base in
   let tree_data = Qc_core.Serial.to_packed_string (packed t) in
   let base_crc = Qc_util.Crc32.string base_data in
-  let gen' = t.ckpt_generation + 1 in
-  let manifest_data =
-    manifest_to_string
-      {
-        m_generation = gen';
-        base_crc;
-        base_size = String.length base_data;
-        tree_crc = Qc_util.Crc32.string tree_data;
-        tree_size = String.length tree_data;
-      }
-  in
+  (* Target one above the high-water mark, not [ckpt_generation + 1]: a
+     failed refreeze may have stamped journal records with
+     [ckpt_generation + 1] already, and committing under a stamp that is
+     out in the wild would make recovery double-apply those records. *)
+  let gen' = t.gen_hwm + 1 in
   (* the handle would point into the file about to be truncated *)
   close_wal t;
   (try
-     (* Stage everything first: all three temporaries are durable before
-        any rename, so an interrupted checkpoint can always be resolved
-        to one side or rolled forward from its temporaries. *)
-     Trace.with_span ~cat:"wal" "ckpt.stage" (fun () ->
-         Qc_util.Durable.write_tmp ~fp:"save.base" (base_file dir) base_data;
-         Qc_util.Durable.write_tmp ~fp:"save.tree" (tree_file dir) tree_data;
-         Qc_util.Durable.write_tmp ~fp:"save.manifest" (manifest_file dir) manifest_data);
-     Trace.with_span ~cat:"wal" "ckpt.commit" (fun () ->
-         Qc_util.Durable.commit_tmp ~fp:"save.base" (base_file dir);
-         Qc_util.Durable.commit_tmp ~fp:"save.tree" (tree_file dir);
-         Qc_util.Failpoint.hit "save.dir-fsync.pre-manifest";
-         Qc_util.Durable.fsync_dir dir;
-         (* the manifest rename is the checkpoint's atomic commit point *)
-         Qc_util.Durable.commit_tmp ~fp:"save.manifest" (manifest_file dir);
-         Qc_util.Failpoint.hit "save.dir-fsync.post-manifest";
-         Qc_util.Durable.fsync_dir dir);
-     (* committed: reset the journal to an empty header *)
+     stage_and_commit ~dir ~base_data ~tree_data ~gen';
+     (* committed: reset the journal to an empty header and drop any
+        rotated segments (their records' effects are in the image) *)
      Trace.with_span ~cat:"wal" "wal.truncate" (fun () ->
          Qc_util.Failpoint.hit "save.wal-truncate";
          Qc_util.Durable.write_file (wal_file dir) Qc_core.Wal.header;
-         Qc_util.Durable.fsync_dir dir)
+         Qc_util.Durable.fsync_dir dir;
+         delete_segments dir)
    with e ->
      resync_after_failed_save t dir ~gen' ~base_crc;
      (match io_error_of_exn e with Some err -> raise (Error err) | None -> raise e));
   t.dir <- Some dir;
   t.ckpt_generation <- gen';
+  t.gen_hwm <- gen';
+  t.wal_stamp <- gen';
   t.wal_pos <- wal_header_len;
   t.wal_records <- 0;
   Log.info (fun m -> m "checkpointed warehouse to %s (generation %d)" dir gen')
+
+(* ------------------------------------------------------------------ *)
+(* Rolling refreeze (seal / background / complete)                     *)
+(* ------------------------------------------------------------------ *)
+
+let sealed t = Option.is_some t.sealed_
+
+let refreeze_target task = task.rf_target
+
+(* Seal the warehouse for a background refreeze: rotate the active
+   journal out of the way, pick the target generation, and hand back a
+   snapshot task.  From here until [complete_refreeze] the writer must
+   not mutate [base]/[tree] (inserts are journaled + buffered; deletes
+   and saves are refused), so the background domain can read them. *)
+let seal t =
+  if Option.is_some t.sealed_ then invalid_arg "Warehouse.seal: already sealed";
+  let dir =
+    match t.dir with
+    | Some d -> d
+    | None -> invalid_arg "Warehouse.seal: detached warehouse (save it first)"
+  in
+  let tr = tree t in
+  close_wal t;
+  wrap_io (fun () ->
+      let next_seq = match List.rev (list_segments dir) with (s, _) :: _ -> s + 1 | [] -> 0 in
+      let wal = wal_file dir in
+      Qc_util.Failpoint.hit "refreeze.rotate";
+      if Sys.file_exists wal then
+        Qc_util.Durable.rename wal (Filename.concat dir (Qc_core.Wal.segment_name next_seq));
+      Qc_util.Durable.write_file wal Qc_core.Wal.header;
+      Qc_util.Durable.fsync_dir dir);
+  t.wal_pos <- wal_header_len;
+  t.wal_records <- 0;
+  let task = { rf_dir = dir; rf_target = t.gen_hwm + 1; rf_tree = tr; rf_base = t.base } in
+  t.gen_hwm <- task.rf_target;
+  t.wal_stamp <- task.rf_target;
+  t.sealed_ <- Some task;
+  Log.info (fun m -> m "sealed for refreeze to generation %d" task.rf_target);
+  task
+
+(* The background half: freeze, serialize, stage + commit, clean up
+   rotated segments.  Pure in the warehouse record — safe to run on
+   another domain while the sealed writer keeps journaling.  Never
+   raises on I/O failure: the caller degrades to the last good
+   generation and retries. *)
+let run_refreeze task =
+  Trace.with_span ~cat:"warehouse"
+    ~args:[ ("generation", Trace.Int task.rf_target) ]
+    "refreeze.run"
+  @@ fun () ->
+  try
+    Qc_util.Failpoint.hit "refreeze.freeze";
+    let p =
+      Trace.with_span ~cat:"warehouse" "refreeze.freeze" (fun () ->
+          Qc_core.Packed.of_tree task.rf_tree)
+    in
+    let base_data = Qc_data.Csv.to_string task.rf_base in
+    let tree_data = Qc_core.Serial.to_packed_string p in
+    stage_and_commit ~dir:task.rf_dir ~base_data ~tree_data ~gen':task.rf_target;
+    (* Committed.  The rotated segments are now redundant; a kill between
+       here and the last unlink only leaves stale segments behind, which
+       both recovery and the next checkpoint skip/clean. *)
+    Qc_util.Failpoint.hit "refreeze.segment-delete";
+    delete_segments task.rf_dir;
+    Ok p
+  with e -> (
+    match io_error_of_exn e with Some err -> Result.Error err | None -> raise e)
+
+(* Did the attempt actually commit?  [Ok _] proves it; on [Error] the
+   commit point may still have been crossed (e.g. the injected failure
+   fired during segment deletion), so re-resolve the directory — and
+   finish an interrupted manifest rename while at it, closing the window
+   where only [manifest.tmp] records the commit. *)
+let refreeze_committed task result =
+  match result with
+  | Ok _ -> true
+  | Result.Error _ -> (
+    match
+      (try Some (Qc_util.Durable.read_file (base_file task.rf_dir)) with Sys_error _ -> None)
+    with
+    | None -> false
+    | Some base_data -> (
+      match
+        resolve_checkpoint task.rf_dir ~base_crc:(Qc_util.Crc32.string base_data) ~strict:false
+      with
+      | `Manifest m -> m.m_generation = task.rf_target
+      | `Rolled_forward m when m.m_generation = task.rf_target ->
+        (try
+           Qc_util.Durable.commit_tmp (manifest_file task.rf_dir);
+           Qc_util.Durable.fsync_dir task.rf_dir
+         with Sys_error _ | Unix.Unix_error _ -> ());
+        true
+      | `Rolled_forward _ | `Legacy | `Unresolved -> false))
+
+type refreeze_outcome = {
+  rf_committed : bool;
+  rf_generation : int;  (** the committed generation the warehouse now extends *)
+  rf_packed : Qc_core.Packed.t option;
+      (** on a committed refreeze, the frozen image at the sealed state —
+          what an MVCC server publishes for the new generation *)
+}
+
+(* Unseal: adopt the attempt's outcome, then apply the buffered records
+   through the same materialization path crash replay uses, so the
+   in-memory state converges with what a reopen would reconstruct. *)
+let complete_refreeze t task result =
+  (match t.sealed_ with
+  | Some s when s.rf_target = task.rf_target -> ()
+  | Some _ | None -> invalid_arg "Warehouse.complete_refreeze: not sealed with this task");
+  let committed = refreeze_committed task result in
+  let committed_packed =
+    match (committed, result) with
+    | false, _ -> None
+    | true, Ok p -> Some p
+    | true, Result.Error _ ->
+      (* the attempt errored after crossing the commit point (e.g. during
+         segment deletion): the sealed tree is exactly the committed image,
+         so refreeze it — the MVCC server still gets this generation *)
+      Some (Qc_core.Packed.of_tree task.rf_tree)
+  in
+  if committed then begin
+    t.ckpt_generation <- task.rf_target;
+    t.packed_ <- committed_packed
+  end;
+  (* failed attempt: new records keep extending the old checkpoint; the
+     target stamp stays burned (gen_hwm) so the next attempt skips it *)
+  t.wal_stamp <- t.ckpt_generation;
+  t.sealed_ <- None;
+  let buffered = List.rev t.pending in
+  t.pending <- [];
+  List.iter
+    (fun (r : Qc_core.Wal.record) ->
+      let delta = Qc_core.Wal.table_of_record (Table.schema t.base) r in
+      (match r.op with
+      | Qc_core.Wal.Insert -> ignore (run_insert t delta)
+      | Qc_core.Wal.Delete -> ignore (run_delete t delta));
+      touch t)
+    buffered;
+  (match buffered with [] -> () | _ :: _ -> refreeze t);
+  Log.info (fun m ->
+      m "refreeze to generation %d %s (%d buffered record(s) applied)" task.rf_target
+        (if committed then "committed" else "failed; serving stays on the last good generation")
+        (List.length buffered));
+  {
+    rf_committed = committed;
+    rf_generation = t.ckpt_generation;
+    rf_packed = committed_packed;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Open with recovery                                                 *)
@@ -834,40 +1137,51 @@ let open_dir dir =
       self_check_enabled = false;
       dir = Some dir;
       ckpt_generation;
+      gen_hwm = ckpt_generation;
+      wal_stamp = ckpt_generation;
+      sealed_ = None;
+      pending = [];
       wal_out = None;
       wal_pos = 0;
       wal_records = 0;
       recovery = no_recovery;
     }
   in
-  (* Replay the journal's committed suffix.  A torn tail is the expected
-     residue of a crash mid-append and is silently discarded; records from
-     a superseded generation are an interrupted checkpoint's leftovers and
-     are skipped rather than double-applied.  Structural damage a crash
-     cannot produce raises. *)
+  (* Replay the journal's committed suffix: rotated segments in sequence
+     order, then the active file — file order within each, which is the
+     order the effects were originally applied.  A record extends the
+     resolved checkpoint iff its stamp is >= the checkpoint generation
+     (equal in steady state; one above it when a sealed refreeze never
+     committed, in which case its buffered records must be revived).
+     Records stamped below it are a superseded checkpoint attempt's
+     leftovers and are skipped rather than double-applied.  A torn tail is
+     the expected residue of a crash mid-append and is discarded;
+     structural damage a crash cannot produce raises. *)
   let wal_path = wal_file dir in
   let replayed = ref 0 and stale_skipped = ref 0 and torn_bytes = ref 0 in
-  Trace.with_span ~cat:"wal" "wal.replay" (fun () ->
-      (match read_if_exists wal_path with
-  | None -> ()
-  | Some data -> (
+  let gen_hwm = ref ckpt_generation in
+  let segments = list_segments dir in
+  let replay_file ~path ~active data =
     match Qc_core.Wal.scan data with
     | Error c ->
-      raise (Error (Corrupt_wal { path = wal_path; reason = Qc_core.Wal.corruption_to_string c }))
+      raise (Error (Corrupt_wal { path; reason = Qc_core.Wal.corruption_to_string c }))
     | Ok s ->
-      w.wal_pos <- s.consumed;
+      if active then w.wal_pos <- s.consumed;
       (match s.torn with
       | None -> ()
       | Some (offset, c) ->
-        torn_bytes := String.length data - offset;
+        let torn = String.length data - offset in
+        torn_bytes := !torn_bytes + torn;
         Log.warn (fun f ->
-            f "discarding %d-byte torn journal tail (%s)" !torn_bytes
+            f "discarding %d-byte torn journal tail in %s (%s)" torn path
               (Qc_core.Wal.corruption_to_string c)));
+      let live = ref 0 in
       List.iter
         (fun (r : Qc_core.Wal.record) ->
-          if r.generation <> ckpt_generation then incr stale_skipped
+          if r.generation > !gen_hwm then gen_hwm := r.generation;
+          if r.generation < ckpt_generation then incr stale_skipped
           else begin
-            let corrupt reason = Error (Corrupt_wal { path = wal_path; reason }) in
+            let corrupt reason = Error (Corrupt_wal { path; reason }) in
             let delta =
               try Qc_core.Wal.table_of_record (Table.schema w.base) r
               with Invalid_argument reason -> raise (corrupt reason)
@@ -878,11 +1192,25 @@ let open_dir dir =
                | Qc_core.Wal.Delete -> ignore (run_delete w delta)
              with Invalid_argument reason -> raise (corrupt ("replay failed: " ^ reason)));
             touch w;
-            incr replayed
+            incr replayed;
+            incr live
           end)
         s.records;
-      w.wal_records <- !replayed));
+      if active then w.wal_records <- !live
+  in
+  Trace.with_span ~cat:"wal" "wal.replay" (fun () ->
+      List.iter
+        (fun (_, name) ->
+          let path = Filename.concat dir name in
+          match read_if_exists path with
+          | None -> ()
+          | Some data -> replay_file ~path ~active:false data)
+        segments;
+      (match read_if_exists wal_path with
+      | None -> ()
+      | Some data -> replay_file ~path:wal_path ~active:true data);
       Trace.add_attr "records" (Trace.Int !replayed));
+  w.gen_hwm <- !gen_hwm;
   w.recovery <-
     {
       replayed = !replayed;
@@ -890,6 +1218,7 @@ let open_dir dir =
       torn_bytes = !torn_bytes;
       rebuilt_tree;
       rolled_forward;
+      segments = List.length segments;
     };
   if recovered_something w.recovery || !replayed > 0 then
     Log.info (fun f ->

@@ -82,15 +82,32 @@ val error_to_string : error -> string
 
 val pp_error : Format.formatter -> error -> unit
 
-(** What {!open_dir} had to do beyond a clean load. *)
+(** What {!open_dir} had to do beyond a clean load.  Every field is
+    reported independently, so a multi-action recovery (e.g. a torn tail
+    {e and} an interrupted checkpoint in one open) surfaces all of its
+    actions, not just the first. *)
 type recovery = {
   replayed : int;  (** journal records applied over the checkpoint *)
-  stale_skipped : int;  (** records from a superseded generation, skipped *)
-  torn_bytes : int;  (** bytes of torn journal tail discarded *)
+  stale_skipped : int;
+      (** records from a superseded generation, skipped — the residue of a
+          crash between a checkpoint's manifest commit and its journal
+          truncation; the next {!save} cleans them up *)
+  torn_bytes : int;  (** bytes of torn journal tail discarded (all files) *)
   rebuilt_tree : bool;  (** [tree.qct] unusable; rebuilt from [base.csv] *)
   rolled_forward : bool;
       (** an interrupted checkpoint's temporaries were adopted *)
+  segments : int;
+      (** rotated journal segments found (an interrupted rolling refreeze
+          left them; replayed or skipped by stamp, deleted at the next
+          checkpoint) *)
 }
+
+val recovered_something : recovery -> bool
+(** Whether the open found {e any} crash residue a checkpoint would clean
+    up: a rebuilt tree, a roll-forward, torn bytes, stale records, or
+    leftover segments.  The single source of truth for "does this
+    directory need repair" — [qct recover] and {!stat.recovered} both
+    report it. *)
 
 val create : Table.t -> t
 (** Build a fresh in-memory warehouse over a base table (constructs the
@@ -124,16 +141,82 @@ val open_dir : string -> t
 
 val save : t -> string -> unit
 (** Checkpoint to a directory (created if missing): atomically replace both
-    images and the manifest, then truncate the journal and bump the
-    generation.  The warehouse is attached to [dir] afterwards.  On
-    failure raises {!Error} ([Io]) and leaves both the directory and the
-    in-memory state consistent: the directory holds either the old or the
-    new checkpoint, and subsequent mutations journal against whichever
-    generation the directory actually committed. *)
+    images and the manifest, then truncate the journal, delete any rotated
+    journal segments, and bump the generation.  The warehouse is attached
+    to [dir] afterwards.  On failure raises {!Error} ([Io]) and leaves
+    both the directory and the in-memory state consistent: the directory
+    holds either the old or the new checkpoint, and subsequent mutations
+    journal against whichever generation the directory actually committed.
+    @raise Invalid_argument while {!sealed}. *)
+
+(** {2 Rolling refreeze}
+
+    The streaming-ingestion checkpoint protocol: instead of a stop-the-world
+    {!save}, the writer {!seal}s the warehouse (rotating the active journal
+    into a [wal-<seq>.log] segment and fixing the target generation), hands
+    the returned task to a background domain that runs {!run_refreeze}
+    (freeze, serialize, stage, atomically commit — the same staged-rename
+    protocol and failpoint sites as {!save}), and finally calls
+    {!complete_refreeze} on the writer to adopt the outcome.  While sealed,
+    {!insert} keeps journaling durably (stamped with the target generation)
+    but buffers the in-memory application; queries keep answering from the
+    pre-seal state.  A failed attempt degrades cleanly: the warehouse keeps
+    extending the last good generation, the burned target stamp is never
+    reused (committed generations may skip numbers), and recovery replays
+    exactly the committed prefix whether or not the attempt landed. *)
+
+type refreeze_task
+(** A sealed snapshot: everything {!run_refreeze} needs, detached from the
+    warehouse handle so it can cross domains. *)
+
+val seal : t -> refreeze_task
+(** Rotate the journal and seal the warehouse for a background refreeze.
+    @raise Invalid_argument if already sealed or not attached.
+    @raise Error ([Io]) if the rotation fails (the warehouse stays
+    unsealed). *)
+
+val sealed : t -> bool
+
+val refreeze_target : refreeze_task -> int
+(** The generation the task will commit. *)
+
+val run_refreeze : refreeze_task -> (Packed.t, error) result
+(** The background half: freeze the sealed tree, serialize both images,
+    stage and commit them under the target generation, then delete the
+    rotated segments.  Reads only the task (safe on another domain while
+    the sealed writer keeps journaling); never raises on I/O failure —
+    the error is returned for {!complete_refreeze} to degrade on. *)
+
+type refreeze_outcome = {
+  rf_committed : bool;
+  rf_generation : int;  (** the committed generation the warehouse now extends *)
+  rf_packed : Packed.t option;
+      (** on a committed refreeze, the frozen image of the sealed state —
+          what an MVCC server publishes for the new generation *)
+}
+
+val complete_refreeze : t -> refreeze_task -> (Packed.t, error) result -> refreeze_outcome
+(** Unseal on the writer: determine whether the attempt actually committed
+    (an [Error] may still have crossed the commit point — the directory is
+    re-resolved), adopt the new generation if so, then apply the records
+    buffered while sealed through the same materialization path crash
+    replay uses.
+    @raise Invalid_argument if [t] is not sealed with this task. *)
+
+val list_segments : string -> (int * string) list
+(** Rotated journal segments in [dir] as [(sequence, filename)], ordered
+    by sequence — present only between a seal and the next committed
+    checkpoint.  [qct wal] and the tests use this to inspect rotation
+    state. *)
 
 val attached_dir : t -> string option
 (** The directory mutations are journaled to, once {!open_dir}/{!save} has
     attached one. *)
+
+val checkpoint_generation : t -> int
+(** The generation of the last committed checkpoint this warehouse
+    extends (0 when detached or never saved).  What an MVCC server
+    reports as the reader-visible generation. *)
 
 val committed_generation : string -> int
 (** The checkpoint generation {!open_dir} would resolve [dir] to (0 for a
@@ -159,15 +242,30 @@ val schema : t -> Schema.t
 
 val insert : t -> Table.t -> Maintenance.insert_stats
 (** Batch-insert new facts (Algorithm 2).  Journaled before application
-    when attached.
+    when attached.  While {!sealed}, the batch is journaled durably but
+    its in-memory application is deferred to {!complete_refreeze}; the
+    returned stats are then all zero and queries keep answering from the
+    pre-seal state.
     @raise Error ([Io]) if the journal append fails — the batch is then
     neither applied nor durable. *)
+
+val insert_rows : t -> (string list * float) list -> Maintenance.insert_stats
+(** {!insert} from decoded rows (dimension values + measure).  This is the
+    ingest entry point: while {!sealed} it journals and buffers the rows
+    {e without touching the live schema's dictionaries} (which the
+    background refreeze domain is concurrently reading), so it is the only
+    mutation that is safe to issue from the serving thread during a
+    refreeze.  Unsealed, it encodes the rows against the live schema and
+    behaves exactly like {!insert}.
+    @raise Invalid_argument if a row's arity does not match the schema. *)
 
 val delete : t -> Table.t -> Maintenance.delete_stats
 (** Batch-delete existing facts.  Journaled before application when
     attached.
     @raise Invalid_argument if a row is not present (checked {e before}
-    journaling, so an invalid batch is never logged).
+    journaling, so an invalid batch is never logged), or while {!sealed}
+    (a deferred delete could become invalid against the moving base by
+    apply time; streaming ingestion is insert-only).
     @raise Error ([Io]) if the journal append fails. *)
 
 val update : t -> old_rows:Table.t -> new_rows:Table.t ->

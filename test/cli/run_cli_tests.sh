@@ -199,6 +199,60 @@ expect_stderr '^qct:'
 expect 1 "$QCT" wal no-such-dir
 expect_stderr '^qct:'
 
+# --- streaming ingest: absorb a stream, quarantine poison, refreeze ---
+rm -rf iwh
+mkdir iwh
+cp sales.csv iwh/base.csv
+"$QCT" build sales.csv iwh/tree.qct >/dev/null 2>&1
+expect 0 "$QCT" recover iwh            # adopt as a manifested warehouse
+{ for i in $(seq 1 120); do echo "S1,P1,s,$i"; done
+  echo 'poison-line'
+  echo 'S2,P2,f,not-a-number'; } > stream.csv
+expect 0 "$QCT" ingest iwh --from stream.csv --batch-rows 8 --refreeze-rows 40 --json
+for key in '"lines_read":122' '"rows_ingested":120' '"quarantined":2' '"refreezes"' '"final_generation"'; do
+  if ! grep -q "$key" stdout.txt; then
+    echo "FAIL: ingest --json lacks $key" >&2
+    fails=$((fails + 1))
+  fi
+done
+expect_stderr 'now serving'            # each committed refreeze is announced
+if ! grep -q '^line 121: ' iwh/.quarantine || ! grep -q '^line 122: ' iwh/.quarantine; then
+  echo "FAIL: quarantine file lacks the poison lines with their line numbers" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "$QCT" check iwh --deep       # directory check audits the live warehouse
+expect 1 "$QCT" ingest iwh --from stream.csv --follow stream.csv   # mutually exclusive
+expect_stderr '^qct:'
+
+# a kill mid-refreeze strands a rotated segment; wal lists it per segment,
+# recover reports every repair in one envelope, then fixes them all
+expect 42 env QC_FAILPOINTS='refreeze.segment-delete@1:crash' \
+  "$QCT" ingest iwh --from stream.csv --batch-rows 8 --refreeze-rows 40
+expect 0 "$QCT" wal iwh
+for pattern in 'wal-000000.log \[segment 0\]' 'wal.log \[active\]' 'stale: superseded'; do
+  if ! grep -q "$pattern" stdout.txt; then
+    echo "FAIL: qct wal per-segment output lacks '$pattern'" >&2
+    fails=$((fails + 1))
+  fi
+done
+expect 0 "$QCT" wal iwh --json
+for key in '"role":"segment"' '"role":"active"' '"generation_span"' '"stale":true' '"seq":0'; do
+  if ! grep -q "$key" stdout.txt; then
+    echo "FAIL: qct wal --json lacks $key" >&2
+    fails=$((fails + 1))
+  fi
+done
+expect 2 "$QCT" recover iwh --dry-run --json   # one envelope, every repair
+for key in '"label": *"stale-records"' '"label": *"wal-segments"' '"corrupt": *true'; do
+  if ! grep -q "$key" stdout.txt; then
+    echo "FAIL: recover --json after a refreeze kill lacks $key" >&2
+    fails=$((fails + 1))
+  fi
+done
+expect 0 "$QCT" recover iwh
+expect 0 "$QCT" check iwh --deep
+expect 0 "$QCT" wal iwh
+
 # --- tracing: qct trace / --trace write Chrome trace-event JSON ---
 expect 0 "$QCT" trace sales.qcp queries.txt trace.json --jobs 2
 expect_stderr 'trace: .* span(s)'

@@ -71,6 +71,14 @@ let table_of_rows schema rows =
    3=delC, 4=insD), save.* sites once per save (1, 2). *)
 let op_names = [ "save1"; "insA"; "insB"; "delC"; "save2"; "insD" ]
 
+(* The rolling-refreeze workload: two full seal → absorb-while-sealed →
+   refreeze → publish cycles, with a delete between them so the second
+   rotated segment carries delete records.  Each refreeze.* site fires
+   once per cycle (hits 1, 2); wal.* sites fire at 1=insA, 2=insB (the
+   mid-refreeze absorb), 3=delC, 4=insD (the second mid-refreeze
+   absorb). *)
+let ingest_ops = [ "save1"; "insA"; "rfz1"; "delC"; "rfz2" ]
+
 (* ------------------------------------------------------------------ *)
 (* Child mode                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -112,6 +120,41 @@ let warehouse_child () =
    checkpointed twice.  Each composite save fires every per-shard save.*
    site once per shard (hits 1,2 = first checkpoint, 3,4 = second) and
    each shards.manifest.* site once (hits 1, 2). *)
+(* Streaming-ingest workload, run synchronously so the kill site is
+   deterministic: the same seal / run_refreeze / complete_refreeze
+   sequence [Ingest.run] drives, with a batch absorbed while sealed (so
+   it lands in the fresh post-rotation journal) and the reader-visible
+   publication recorded as a "published:<generation>" log line after the
+   refreeze.publish failpoint. *)
+let ingest_child () =
+  let dir = getenv_req "QC_CRASH_DIR" and log = getenv_req "QC_CRASH_LOG" in
+  let s = script () in
+  let schema = Prop.schema_of s.c in
+  let w = W.create (table_of_rows schema s.base) in
+  let refreeze_absorbing rows =
+    let task = W.seal w in
+    ignore (W.insert w (table_of_rows schema rows));
+    let res = W.run_refreeze task in
+    let oc = W.complete_refreeze w task res in
+    (* without injection on the save path this must commit *)
+    if not oc.W.rf_committed then exit 4;
+    FP.hit "refreeze.publish";
+    log_line log (Printf.sprintf "published:%d" oc.W.rf_generation)
+  in
+  List.iter
+    (fun name ->
+      log_line log ("start:" ^ name);
+      (match name with
+      | "save1" -> W.save w dir
+      | "insA" -> ignore (W.insert w (table_of_rows schema s.ins_a))
+      | "rfz1" -> refreeze_absorbing s.ins_b
+      | "delC" -> ignore (W.delete w (table_of_rows schema s.del_c))
+      | "rfz2" -> refreeze_absorbing s.ins_d
+      | _ -> assert false);
+      log_line log ("committed:" ^ name))
+    ingest_ops;
+  exit 0
+
 let sharded_child () =
   let dir = getenv_req "QC_CRASH_DIR" and log = getenv_req "QC_CRASH_LOG" in
   let s = script () in
@@ -264,6 +307,9 @@ let apply_op s rows name =
   | "insB" -> rows @ decode_rows dims s.ins_b
   | "insD" -> rows @ decode_rows dims s.ins_d
   | "delC" -> List.fold_left (fun acc r -> remove_one r acc) rows (decode_rows dims s.del_c)
+  (* a refreeze cycle's only row effect is the batch absorbed while sealed *)
+  | "rfz1" -> rows @ decode_rows dims s.ins_b
+  | "rfz2" -> rows @ decode_rows dims s.ins_d
   | _ -> assert false
 
 let warehouse_rows w =
@@ -401,6 +447,32 @@ let verify_recovery ~ctx s dir log =
           (List.length report.Qc_core.Check.violations);
       differential s w (reference_of s expected))
 
+(* The ingest child's extra obligation on top of {!verify_recovery}: the
+   directory must reopen at a generation at least as new as anything a
+   reader was ever shown.  "published:<g>" lines are logged only after
+   the refreeze.publish failpoint, so every logged generation was
+   committed before the kill. *)
+let published_gens lines =
+  List.filter_map
+    (fun l ->
+      if String.starts_with ~prefix:"published:" l then
+        int_of_string_opt (String.sub l 10 (String.length l - 10))
+      else None)
+    lines
+
+let verify_ingest_recovery ~ctx s dir log =
+  verify_recovery ~ctx s dir log;
+  match published_gens (log_lines log) with
+  | [] -> ()
+  | pubs ->
+    let hi = List.fold_left Int.max 0 pubs in
+    let got = W.committed_generation dir in
+    if got < hi then
+      Alcotest.failf
+        "%s: reader-visible generation regressed: directory reopened at %d but generation %d was \
+         published"
+        ctx got hi
+
 (* Verdict on a *sharded* directory.  The composite is read-only, so both
    script saves checkpoint the same rows: whatever the committed prefix,
    a directory that opens at all must hold exactly the full table, every
@@ -437,7 +509,11 @@ let verify_sharded_recovery ~ctx s dir log =
     differential_q s ~ws:(SW.schema sw) ~query:(SW.query sw) ~range:(SW.range sw)
       ~iceberg:(SW.iceberg sw) (reference_of s expected)
 
-let mode_spec = function FP.Raise -> "raise" | FP.Crash -> "crash" | FP.Torn -> "torn"
+let mode_spec = function
+  | FP.Raise -> "raise"
+  | FP.Crash -> "crash"
+  | FP.Torn -> "torn"
+  | FP.Sleep ms -> Printf.sprintf "sleep-%d" ms
 
 let run_warehouse_crash label mode hit =
   let s = script () in
@@ -454,6 +530,25 @@ let run_warehouse_crash label mode hit =
       | Unix.WEXITED 0 ->
         Alcotest.failf "%s: child finished the workload — the failpoint never fired" ctx
       | Unix.WEXITED n when n = FP.exit_code -> verify_recovery ~ctx s dir log
+      | Unix.WEXITED n -> Alcotest.failf "%s: child exited %d (wanted %d)" ctx n FP.exit_code
+      | Unix.WSIGNALED n -> Alcotest.failf "%s: child killed by signal %d" ctx n
+      | Unix.WSTOPPED _ -> Alcotest.failf "%s: child stopped" ctx)
+
+let run_ingest_crash label mode hit =
+  let s = script () in
+  let dir = fresh_dir () and log = Filename.temp_file "qccrashlog" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf log;
+      rm_rf (log ^ ".stderr"))
+    (fun () ->
+      let spec = Printf.sprintf "%s@%d:%s" label hit (mode_spec mode) in
+      let ctx = Printf.sprintf "%s [ingest] (hit %d)" spec hit in
+      match run_child ~kind:"ingest" ~dir ~log ~spec with
+      | Unix.WEXITED 0 ->
+        Alcotest.failf "%s: child finished the workload — the failpoint never fired" ctx
+      | Unix.WEXITED n when n = FP.exit_code -> verify_ingest_recovery ~ctx s dir log
       | Unix.WEXITED n -> Alcotest.failf "%s: child exited %d (wanted %d)" ctx n FP.exit_code
       | Unix.WSIGNALED n -> Alcotest.failf "%s: child killed by signal %d" ctx n
       | Unix.WSTOPPED _ -> Alcotest.failf "%s: child stopped" ctx)
@@ -530,8 +625,12 @@ let has_prefix p s = String.length s >= String.length p && String.sub s 0 (Strin
 let crash_matrix_case label =
   let runs =
     if has_prefix "serial.save." label then [ (run_serial_crash, [ 1; 2 ]) ]
-    else if has_prefix "wal." label then [ (run_warehouse_crash, [ 1; 3; 4 ]) ]
+    else if has_prefix "wal." label then
+      (* plain mutations, plus the same sites firing on a batch absorbed
+         while sealed (hit 2 = first mid-refreeze insert, 4 = second) *)
+      [ (run_warehouse_crash, [ 1; 3; 4 ]); (run_ingest_crash, [ 2; 4 ]) ]
     else if has_prefix "shards.manifest." label then [ (run_sharded_crash, [ 1; 2 ]) ]
+    else if has_prefix "refreeze." label then [ (run_ingest_crash, [ 1; 2 ]) ]
     else if has_prefix "save." label then
       (* single-directory checkpoints, plus the same sites firing inside a
          sharded checkpoint: hit 1 = shard-0 of the first composite save,
@@ -624,6 +723,7 @@ let raise_on_save site () =
 let () =
   match Sys.getenv_opt "QC_CRASH_CHILD" with
   | Some "warehouse" -> warehouse_child ()
+  | Some "ingest" -> ingest_child ()
   | Some "sharded" -> sharded_child ()
   | Some "serial" -> serial_child ()
   | Some other ->
@@ -631,7 +731,7 @@ let () =
     exit 3
   | None ->
     let labels = FP.registered () in
-    if List.length labels < 17 then
+    if List.length labels < 21 then
       Printf.eprintf "suspicious: only %d failpoints registered\n%!" (List.length labels);
     Alcotest.run "qc_crash"
       [

@@ -1,0 +1,487 @@
+(* Streaming ingestion: bounded-queue semantics, poison quarantine,
+   backpressure policies, the seal/run/complete refreeze protocol, and a
+   generation-MVCC property that interleaves ingest batches with point and
+   range queries answered from the published snapshot, checking every
+   answer against the Full_cube oracle for the generation served — with
+   random Raise faults at the refreeze failpoints along the way. *)
+
+open Qc_cube
+module W = Qc_warehouse.Warehouse
+module I = Qc_warehouse.Ingest
+module FP = Qc_util.Failpoint
+module Q = Qc_core.Query
+
+let fresh_dir () =
+  let dir = Filename.temp_file "qcing" "" in
+  Sys.remove dir;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* Every test that arms failpoints or touches disk cleans up both. *)
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      FP.reset ();
+      if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Run the ingest engine over a finite stream of literal lines. *)
+let run_lines ?server ?on_publish ~config w lines =
+  let path = Filename.temp_file "qcstream" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> I.run ~config ?server ?on_publish w ~source:(I.Channel ic)))
+
+(* ---------- Bounded queue ---------- *)
+
+let test_bq_basics () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Ingest.Bq.create: capacity must be positive")
+    (fun () -> ignore (I.Bq.create 0));
+  let q = I.Bq.create 3 in
+  Alcotest.(check bool) "push 1" true (I.Bq.push q 1);
+  Alcotest.(check bool) "push 2" true (I.Bq.push q 2);
+  Alcotest.(check bool) "push 3" true (I.Bq.push q 3);
+  Alcotest.(check bool) "full" false (I.Bq.push q 4);
+  Alcotest.(check int) "depth" 3 (I.Bq.depth q);
+  Alcotest.(check (list int)) "arrival order, capped at max"
+    [ 1; 2 ] (I.Bq.pop_many q ~max:2 ~timeout_s:0.1);
+  Alcotest.(check (list int)) "remainder" [ 3 ] (I.Bq.pop_many q ~max:10 ~timeout_s:0.05);
+  Alcotest.(check (list int)) "timeout on empty" [] (I.Bq.pop_many q ~max:4 ~timeout_s:0.01);
+  Alcotest.check_raises "bad max" (Invalid_argument "Ingest.Bq.pop_many: max must be positive")
+    (fun () -> ignore (I.Bq.pop_many q ~max:0 ~timeout_s:0.01))
+
+let test_bq_close () =
+  let q = I.Bq.create 2 in
+  ignore (I.Bq.push q "a");
+  I.Bq.close q;
+  Alcotest.(check bool) "closed" true (I.Bq.is_closed q);
+  Alcotest.(check bool) "push after close" false (I.Bq.push q "b");
+  Alcotest.(check bool) "push_wait after close" false (I.Bq.push_wait q "b");
+  (* a closed queue still drains what it holds *)
+  Alcotest.(check (list string)) "drain" [ "a" ] (I.Bq.pop_many q ~max:5 ~timeout_s:0.1);
+  Alcotest.(check (list string)) "drained and closed" [] (I.Bq.pop_many q ~max:5 ~timeout_s:0.1)
+
+let test_bq_push_wait_unblocks () =
+  (* a producer blocked on a full queue resumes when the consumer pops *)
+  let q = I.Bq.create 1 in
+  ignore (I.Bq.push q 0);
+  let producer = Domain.spawn (fun () -> List.map (I.Bq.push_wait q) [ 1; 2; 3 ]) in
+  let got = ref [] in
+  while List.length !got < 4 do
+    got := !got @ I.Bq.pop_many q ~max:2 ~timeout_s:0.5
+  done;
+  Alcotest.(check (list bool)) "all pushes landed" [ true; true; true ] (Domain.join producer);
+  Alcotest.(check (list int)) "order preserved" [ 0; 1; 2; 3 ] !got
+
+(* ---------- Line parsing ---------- *)
+
+let parse_ok = Alcotest.(result (pair (list string) (float 1e-9)) string)
+
+let test_parse_line () =
+  Alcotest.check parse_ok "plain" (Ok ([ "S1"; "P2" ], 4.5)) (I.parse_line ~n_dims:2 "S1,P2,4.5");
+  Alcotest.check parse_ok "fields are trimmed"
+    (Ok ([ "S1"; "P 2" ], -3.0))
+    (I.parse_line ~n_dims:2 " S1 , P 2 , -3.0 ");
+  (match I.parse_line ~n_dims:2 "S1,P2" with
+  | Error reason ->
+    Alcotest.(check bool) "arity reason names counts" true
+      (String.length reason > 0 && reason <> "")
+  | Ok _ -> Alcotest.fail "short line accepted");
+  (match I.parse_line ~n_dims:2 "S1,P2,abc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad measure accepted");
+  match I.parse_line ~n_dims:2 "S1,P2,nan" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-finite measure accepted"
+
+(* ---------- Refreeze protocol units ---------- *)
+
+let test_sealed_insert_rows_buffering () =
+  with_dir (fun dir ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      let schema = W.schema w in
+      let before = W.query w (Cell.parse schema [ "*"; "*"; "*" ]) in
+      let task = W.seal w in
+      Alcotest.(check bool) "sealed" true (W.sealed w);
+      (* journaled and buffered, but invisible until complete_refreeze *)
+      let stats = W.insert_rows w [ ([ "S9"; "P9"; "w" ], 100.0) ] in
+      Alcotest.(check int) "no in-place update while sealed" 0
+        (stats.Qc_core.Maintenance.updated + stats.carved + stats.fresh + stats.located);
+      Alcotest.(check Helpers.agg_option) "pre-seal answers while sealed" before
+        (W.query w (Cell.parse schema [ "*"; "*"; "*" ]));
+      let res = W.run_refreeze task in
+      let oc = W.complete_refreeze w task res in
+      Alcotest.(check bool) "committed" true oc.W.rf_committed;
+      Alcotest.(check int) "adopted the target generation" (W.refreeze_target task) oc.W.rf_generation;
+      Alcotest.(check bool) "unsealed" false (W.sealed w);
+      Alcotest.(check bool) "frozen image published" true (Option.is_some oc.W.rf_packed);
+      (* the buffered row is applied on completion *)
+      Alcotest.(check int) "rows" 4 (Table.n_rows (W.table w));
+      Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w);
+      (* and survives a reopen: the journal carried it *)
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "rows after reopen" 4 (Table.n_rows (W.table w'));
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w'))
+
+let test_failed_refreeze_never_reuses_stamp () =
+  with_dir (fun dir ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      ignore (W.insert_rows w [ ([ "S4"; "P1"; "s" ], 1.0) ]);
+      let task1 = W.seal w in
+      let g1 = W.refreeze_target task1 in
+      (* the attempt dies before doing anything; its stamp is burned *)
+      let oc1 = W.complete_refreeze w task1 (Error (W.Io "injected")) in
+      Alcotest.(check bool) "failed attempt does not commit" false oc1.W.rf_committed;
+      Alcotest.(check bool) "degraded but unsealed" false (W.sealed w);
+      ignore (W.insert_rows w [ ([ "S4"; "P2"; "s" ], 2.0) ]);
+      let task2 = W.seal w in
+      let g2 = W.refreeze_target task2 in
+      Alcotest.(check bool) "burned stamp is never reused" true (g2 > g1);
+      let oc2 = W.complete_refreeze w task2 (W.run_refreeze task2) in
+      Alcotest.(check bool) "retry commits" true oc2.W.rf_committed;
+      Alcotest.(check int) "committed generation skips the burned stamp" g2
+        (W.checkpoint_generation w);
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "rows after reopen" 5 (Table.n_rows (W.table w'));
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w'))
+
+(* ---------- Streams end to end ---------- *)
+
+let sales_lines n = List.init n (fun i ->
+    Printf.sprintf "S%d,P%d,%s,%d.5" (i mod 3) (i mod 4) (if i mod 2 = 0 then "s" else "f") i)
+
+let test_ingest_basic_and_quarantine () =
+  with_dir (fun dir ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      let lines =
+        [ "S1,P1,s,4.0"; "only-one-field"; "S2,P2,f,oops"; ""; "S3,P3,w,inf"; "S1,P2,f,6.0" ]
+      in
+      let config = { I.default with batch_rows = 2; refreeze_rows = 1_000_000 } in
+      let o = run_lines ~config w lines in
+      Alcotest.(check int) "lines read (blank skipped)" 6 o.I.lines_read;
+      Alcotest.(check int) "rows ingested" 2 o.I.rows_ingested;
+      Alcotest.(check int) "quarantined" 3 o.I.quarantined;
+      Alcotest.(check int) "nothing dropped" 0 (o.I.dropped + o.I.spilled);
+      let quarantined = read_lines (Filename.concat dir ".quarantine") in
+      Alcotest.(check int) "quarantine lines" 3 (List.length quarantined);
+      List.iter2
+        (fun lineno line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "quarantine records line number %d" lineno)
+            true
+            (String.starts_with ~prefix:(Printf.sprintf "line %d: " lineno) line))
+        [ 2; 3; 5 ] quarantined;
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "rows survive reopen" 5 (Table.n_rows (W.table w'));
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w'))
+
+let test_ingest_refreeze_publishes_monotonic_generations () =
+  with_dir (fun dir ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      let server = I.Snapshot.make ~generation:(W.checkpoint_generation w) (W.packed w) in
+      let published = ref [] in
+      let config = { I.default with batch_rows = 8; refreeze_rows = 60; backoff_base_s = 0.01 } in
+      let o =
+        run_lines ~config ~server
+          ~on_publish:(fun s -> published := s.I.Snapshot.generation :: !published)
+          w (sales_lines 300)
+      in
+      Alcotest.(check int) "all rows ingested" 300 o.I.rows_ingested;
+      Alcotest.(check bool) "refroze in the background" true (o.I.refreezes >= 1);
+      let gens = List.rev !published in
+      Alcotest.(check int) "every commit published" o.I.refreezes (List.length gens);
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a < b && ascending rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "published generations strictly increase" true (ascending gens);
+      let snap = I.Snapshot.current server in
+      Alcotest.(check bool) "server reached the last published generation" true
+        (gens = [] || snap.I.Snapshot.generation = List.nth gens (List.length gens - 1));
+      Alcotest.(check bool) "final checkpoint at or past the last publish" true
+        (o.I.final_generation >= snap.I.Snapshot.generation);
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "rows survive reopen" 303 (Table.n_rows (W.table w'));
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w'))
+
+let test_ingest_drop_policy () =
+  with_dir (fun dir ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      (* a one-slot queue against a file-speed producer guarantees overflow;
+         stalling the first journal append keeps the consumer behind *)
+      FP.set "wal.append" (FP.Sleep 100);
+      let config =
+        { I.default with queue_capacity = 1; policy = I.Drop; batch_rows = 4;
+          refreeze_rows = 1_000_000 }
+      in
+      let o = run_lines ~config w (sales_lines 400) in
+      Alcotest.(check bool) "overflow rows dropped" true (o.I.dropped > 0);
+      Alcotest.(check int) "accounting balances" 400 (o.I.rows_ingested + o.I.dropped);
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "exactly the undropped rows persist" (3 + o.I.rows_ingested)
+        (Table.n_rows (W.table w'));
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w'))
+
+let test_ingest_spill_policy_is_lossless () =
+  with_dir (fun dir ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      FP.set "wal.append" (FP.Sleep 100);
+      let config =
+        { I.default with queue_capacity = 1; policy = I.Spill; batch_rows = 1;
+          refreeze_rows = 1_000_000 }
+      in
+      let o = run_lines ~config w (sales_lines 400) in
+      Alcotest.(check bool) "overflow took the spill detour" true (o.I.spilled > 0);
+      Alcotest.(check int) "nothing dropped" 0 o.I.dropped;
+      Alcotest.(check int) "lossless: every row lands" 400 o.I.rows_ingested;
+      Alcotest.(check bool) "spill file removed after drain" false
+        (Sys.file_exists (Filename.concat dir ".spill"));
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "rows survive reopen" 403 (Table.n_rows (W.table w'));
+      (* order preservation: the measure sum is the full-stream sum *)
+      let expected =
+        List.fold_left (fun acc i -> acc +. (float_of_int i +. 0.5)) (6.0 +. 12.0 +. 9.0)
+          (List.init 400 Fun.id)
+      in
+      let schema = W.schema w' in
+      (match W.query w' (Cell.parse schema [ "*"; "*"; "*" ]) with
+      | Some a -> Alcotest.(check (float 1e-6)) "total measure" expected a.Agg.sum
+      | None -> Alcotest.fail "root cell missing");
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w'))
+
+let test_refreeze_failure_degrades_and_retries () =
+  with_dir (fun dir ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      (* first background refreeze dies mid-freeze; ingestion must keep
+         going, serve the last good generation, and retry after backoff *)
+      FP.set "refreeze.freeze" FP.Raise;
+      let published = ref [] in
+      let config =
+        { I.default with batch_rows = 16; refreeze_rows = 50; backoff_base_s = 0.01;
+          backoff_max_s = 0.05 }
+      in
+      let o =
+        run_lines ~config
+          ~on_publish:(fun s -> published := s.I.Snapshot.generation :: !published)
+          w (sales_lines 2000)
+      in
+      Alcotest.(check bool) "the injected failure was counted" true (o.I.refreeze_failures >= 1);
+      Alcotest.(check bool) "a retry eventually committed" true (o.I.refreezes >= 1);
+      Alcotest.(check int) "no rows lost to the failure" 2000 o.I.rows_ingested;
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a < b && ascending rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "served generation never regressed" true
+        (ascending (List.rev !published));
+      let w' = W.open_dir dir in
+      Alcotest.(check int) "rows survive reopen" 2003 (Table.n_rows (W.table w'));
+      Alcotest.(check (result unit string)) "reopened invariant" (Ok ()) (W.self_check w'))
+
+(* ---------- Generation-MVCC property (mixed read/write) ----------
+
+   Interleave ingest batches with point and range queries served from the
+   snapshot server, refreezing at random points with random Raise faults at
+   the refreeze failpoints.  Every answer must match the Full_cube oracle
+   computed over exactly the rows visible at the generation served — a
+   failed or in-flight refreeze must leave readers on the previous
+   generation, never on a half-applied one. *)
+
+let prop_mvcc_serving (dims, card, rows_n, seed) =
+  let rng = Qc_util.Rng.create (seed lxor 0x9C1) in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      FP.reset ();
+      if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  (* one shared schema with every value pre-registered keeps dictionary
+     codes identical across the warehouse, the oracle tables, and the
+     packed snapshots, so cells can be compared by code *)
+  let schema = Schema.create (List.init dims (fun i -> Printf.sprintf "D%d" i)) in
+  for i = 0 to dims - 1 do
+    for v = 1 to card do
+      ignore (Schema.encode_value schema i (Printf.sprintf "v%d" v))
+    done
+  done;
+  let w = W.create (Table.create schema) in
+  W.save w dir;
+  let server = I.Snapshot.make ~generation:(W.checkpoint_generation w) (W.packed w) in
+  (* [live] is every row absorbed, in order; the oracle for the served
+     generation is the prefix that had been absorbed when it was sealed *)
+  let live = ref [] and served = ref 0 and last_gen = ref (W.checkpoint_generation w) in
+  let ok = ref true in
+  let record ?(what = "query answer") b =
+    if not b then begin
+      if !ok then Printf.eprintf "mvcc property: first failing check: %s\n%!" what;
+      ok := false
+    end
+  in
+  let prefix_table n =
+    let t = Table.create schema in
+    List.iteri (fun i (vs, m) -> if i < n then Table.add_row t vs m) (List.rev !live);
+    t
+  in
+  let random_row () =
+    ( List.init dims (fun _ -> Printf.sprintf "v%d" (1 + Qc_util.Rng.int rng card)),
+      float_of_int (Qc_util.Rng.int rng 50) )
+  in
+  let absorb k =
+    let batch = List.init k (fun _ -> random_row ()) in
+    ignore (W.insert_rows w batch);
+    live := List.rev_append batch !live
+  in
+  let check_queries () =
+    let snap = I.Snapshot.current server in
+    let tbl = prefix_table !served in
+    let cube = Full_cube.compute tbl in
+    (* every cell the oracle materializes answers identically *)
+    Full_cube.iter
+      (fun cell truth ->
+        match Q.point_packed snap.I.Snapshot.packed cell with
+        | Some a when Agg.approx_equal a truth -> ()
+        | _ -> record false)
+      cube;
+    (* random point cells, including empty ones *)
+    for _ = 1 to 8 do
+      let cell = Array.init dims (fun _ -> Qc_util.Rng.int rng (card + 1)) in
+      let truth = Table.cover_agg tbl cell in
+      match (Q.point_packed snap.I.Snapshot.packed cell, truth.Agg.count) with
+      | None, 0 -> ()
+      | Some a, n when n > 0 && Agg.approx_equal a truth -> ()
+      | _ -> record false
+    done;
+    (* a random star-or-singleton range: the oracle is the one candidate
+       cell's cover aggregate *)
+    let range =
+      Array.init dims (fun _ ->
+          if Qc_util.Rng.int rng 2 = 0 then [||] else [| 1 + Qc_util.Rng.int rng card |])
+    in
+    let candidate = Array.map (fun set -> if Array.length set = 0 then 0 else set.(0)) range in
+    let truth = Table.cover_agg tbl candidate in
+    match Q.range_packed snap.I.Snapshot.packed range with
+    | [] -> record (truth.Agg.count = 0)
+    | [ (cell, a) ] ->
+      record (cell = candidate && truth.Agg.count > 0 && Agg.approx_equal a truth)
+    | _ -> record false
+  in
+  let refreeze_cycle () =
+    let pre_seal = List.length !live in
+    let inject =
+      match Qc_util.Rng.int rng 5 with
+      | 0 -> Some "refreeze.rotate"
+      | 1 -> Some "refreeze.freeze"
+      | 2 -> Some "refreeze.segment-delete"
+      | _ -> None
+    in
+    (match inject with Some label -> FP.set label FP.Raise | None -> ());
+    match W.seal w with
+    | exception W.Error _ ->
+      (* rotation failed: degraded, nothing sealed, keep absorbing *)
+      FP.reset ();
+      record ~what:"seal failure leaves the warehouse unsealed" (not (W.sealed w))
+    | task ->
+      (* mutations during the refreeze window are buffered; readers must
+         stay on the pre-seal generation *)
+      absorb (Qc_util.Rng.int rng 3);
+      check_queries ();
+      let res = try W.run_refreeze task with FP.Injected m -> Error (W.Io m) in
+      FP.reset ();
+      let oc = W.complete_refreeze w task res in
+      if oc.W.rf_committed then begin
+        record ~what:"committed generation advances" (oc.W.rf_generation > !last_gen);
+        last_gen := oc.W.rf_generation;
+        (match oc.W.rf_packed with
+        | Some packed ->
+          record ~what:"publish-if-greater accepts a new generation"
+            (I.Snapshot.publish server { I.Snapshot.generation = oc.W.rf_generation; packed })
+        | None -> record ~what:"committed refreeze carries a frozen image" false);
+        served := pre_seal
+      end
+  in
+  let steps = 4 + (rows_n mod 8) in
+  for _ = 1 to steps do
+    absorb (1 + Qc_util.Rng.int rng 4);
+    check_queries ();
+    if Qc_util.Rng.int rng 3 = 0 then begin
+      refreeze_cycle ();
+      check_queries ()
+    end
+  done;
+  (* the writer itself must hold the full stream, and survive a reopen *)
+  record ~what:"writer invariant" (W.self_check w = Ok ());
+  record ~what:"writer point queries vs oracle"
+    (Helpers.check_point_queries_against_table (prefix_table (List.length !live)) (fun c ->
+         W.query w c));
+  let w' = W.open_dir dir in
+  record ~what:"reopened row count" (Table.n_rows (W.table w') = List.length !live);
+  record ~what:"reopened invariant" (W.self_check w' = Ok ());
+  !ok
+
+let prop_mvcc =
+  Helpers.qcheck_case ~count:20
+    ~name:"snapshot answers match the Full_cube oracle for the generation served"
+    Helpers.table_config prop_mvcc_serving
+
+let () =
+  Alcotest.run "ingest"
+    [
+      ( "bq",
+        [
+          Alcotest.test_case "push/pop/depth" `Quick test_bq_basics;
+          Alcotest.test_case "close semantics" `Quick test_bq_close;
+          Alcotest.test_case "push_wait unblocks" `Quick test_bq_push_wait_unblocks;
+        ] );
+      ("parse", [ Alcotest.test_case "parse_line" `Quick test_parse_line ]);
+      ( "refreeze protocol",
+        [
+          Alcotest.test_case "sealed inserts buffer" `Quick test_sealed_insert_rows_buffering;
+          Alcotest.test_case "burned stamps are not reused" `Quick
+            test_failed_refreeze_never_reuses_stamp;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "basic + quarantine" `Quick test_ingest_basic_and_quarantine;
+          Alcotest.test_case "rolling refreeze publishes" `Quick
+            test_ingest_refreeze_publishes_monotonic_generations;
+          Alcotest.test_case "drop backpressure" `Quick test_ingest_drop_policy;
+          Alcotest.test_case "spill backpressure is lossless" `Quick
+            test_ingest_spill_policy_is_lossless;
+          Alcotest.test_case "refreeze failure degrades and retries" `Quick
+            test_refreeze_failure_degrades_and_retries;
+        ] );
+      ("mvcc", [ prop_mvcc ]);
+    ]

@@ -179,8 +179,33 @@ let test_hard_errors () =
 
 let mode = Alcotest.testable (fun fmt (m : FP.mode) ->
     Format.pp_print_string fmt
-      (match m with FP.Raise -> "raise" | FP.Crash -> "crash" | FP.Torn -> "torn"))
+      (match m with
+      | FP.Raise -> "raise"
+      | FP.Crash -> "crash"
+      | FP.Torn -> "torn"
+      | FP.Sleep ms -> Printf.sprintf "sleep-%d" ms))
     (fun a b -> a = b)
+
+(* ---------- Segment naming and spans ---------- *)
+
+let test_segment_naming () =
+  Alcotest.(check string) "fixed width" "wal-000007.log" (Wal.segment_name 7);
+  Alcotest.(check string) "wide sequences keep every digit" "wal-1234567.log"
+    (Wal.segment_name 1234567);
+  Alcotest.(check (option int)) "roundtrip" (Some 7) (Wal.segment_seq (Wal.segment_name 7));
+  Alcotest.(check (option int)) "wide roundtrip" (Some 1234567)
+    (Wal.segment_seq (Wal.segment_name 1234567));
+  List.iter
+    (fun name ->
+      Alcotest.(check (option int)) (name ^ " is not a segment") None (Wal.segment_seq name))
+    [ "wal.log"; "wal-.log"; "wal-12x3.log"; "wal-000001.tmp"; "base.csv"; "wal-000001.log.tmp" ]
+
+let test_generation_span () =
+  Alcotest.(check (option (pair int int))) "no records" None (Wal.generation_span []);
+  let r g = record ~generation:g Wal.Insert [ ([ "a"; "b" ], 1.0) ] in
+  Alcotest.(check (option (pair int int))) "single" (Some (4, 4)) (Wal.generation_span [ r 4 ]);
+  Alcotest.(check (option (pair int int))) "unordered span" (Some (2, 9))
+    (Wal.generation_span [ r 5; r 2; r 9; r 3 ])
 
 let test_failpoint_parse () =
   (match FP.parse "a.b:crash" with
@@ -195,7 +220,12 @@ let test_failpoint_parse () =
   Alcotest.(check bool) "bad mode" true (rejected "x:boom");
   Alcotest.(check bool) "no mode" true (rejected "x");
   Alcotest.(check bool) "empty label" true (rejected "@2:crash");
-  Alcotest.(check bool) "empty spec ok" true (match FP.parse "" with Ok [] -> true | _ -> false)
+  Alcotest.(check bool) "empty spec ok" true (match FP.parse "" with Ok [] -> true | _ -> false);
+  (match FP.parse "slow.disk@2:sleep-250" with
+  | Ok [ ("slow.disk", 2, FP.Sleep 250) ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "sleep mode with duration");
+  Alcotest.(check bool) "sleep without duration" true (rejected "x:sleep-");
+  Alcotest.(check bool) "negative sleep" true (rejected "x:sleep--5")
 
 let test_failpoint_hits () =
   Fun.protect ~finally:FP.reset @@ fun () ->
@@ -297,6 +327,8 @@ let () =
           Alcotest.test_case "torn tail: truncation" `Quick test_torn_truncated;
           Alcotest.test_case "torn tail: bad crc" `Quick test_torn_bad_crc;
           Alcotest.test_case "hard corruption classes" `Quick test_hard_errors;
+          Alcotest.test_case "segment naming" `Quick test_segment_naming;
+          Alcotest.test_case "generation span" `Quick test_generation_span;
         ] );
       ( "failpoints",
         [

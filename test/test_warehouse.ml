@@ -236,6 +236,40 @@ let test_stale_generation_skipped () =
     (Table.n_rows (W.table w'));
   Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w')
 
+(* One reopen after a messy crash can involve several distinct repairs;
+   [last_recovery] must report all of them, not just the first one the
+   replay happened to hit. *)
+let test_multi_action_recovery_reported () =
+  with_saved @@ fun dir w ->
+  insert_row w [ "S3"; "P3"; "f" ] 4.0;
+  (* an interrupted rolling refreeze: the commit lands but the process dies
+     before deleting the rotated segment, stranding its (now stale) records *)
+  Qc_util.Failpoint.set "refreeze.segment-delete" Qc_util.Failpoint.Raise;
+  Fun.protect ~finally:Qc_util.Failpoint.reset (fun () ->
+      let task = W.seal w in
+      let res = W.run_refreeze task in
+      let oc = W.complete_refreeze w task res in
+      Alcotest.(check bool) "refreeze committed despite the late fault" true oc.W.rf_committed);
+  (* new work lands in the fresh journal... *)
+  insert_row w [ "S2"; "P3"; "s" ] 1.0;
+  (* ...and the machine dies mid-append, tearing the active tail *)
+  let wal = Filename.concat dir "wal.log" in
+  write wal (read wal ^ "torn-half-frame");
+  let w' = W.open_dir dir in
+  let r = W.last_recovery w' in
+  Alcotest.(check int) "stranded segment found" 1 r.W.segments;
+  Alcotest.(check int) "its superseded record skipped" 1 r.W.stale_skipped;
+  Alcotest.(check int) "committed record replayed" 1 r.W.replayed;
+  Alcotest.(check bool) "torn tail discarded" true (r.W.torn_bytes > 0);
+  Alcotest.(check bool) "recovered flag set" true (W.recovered_something r);
+  Alcotest.(check int) "state converges" (Table.n_rows (W.table w)) (Table.n_rows (W.table w'));
+  Alcotest.(check (result unit string)) "invariant" (Ok ()) (W.self_check w');
+  (* the next checkpoint retires both the segment and the torn tail *)
+  W.save w' dir;
+  let w2 = W.open_dir dir in
+  Alcotest.(check bool) "clean after checkpoint" false
+    (W.recovered_something (W.last_recovery w2))
+
 let test_legacy_dir () =
   with_dir @@ fun dir ->
   (* a pre-manifest directory: just the two images, written by hand *)
@@ -295,6 +329,8 @@ let () =
           Alcotest.test_case "journal replay" `Quick test_wal_replay;
           Alcotest.test_case "torn tail discarded" `Quick test_torn_tail_discarded;
           Alcotest.test_case "stale generation skipped" `Quick test_stale_generation_skipped;
+          Alcotest.test_case "multi-action recovery reported" `Quick
+            test_multi_action_recovery_reported;
           Alcotest.test_case "legacy directory" `Quick test_legacy_dir;
           Alcotest.test_case "update journals two records" `Quick test_update_journals_two_records;
           Alcotest.test_case "invalid delete not journaled" `Quick test_invalid_delete_not_journaled;

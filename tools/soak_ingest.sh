@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Soak the streaming ingester under a random kill schedule.
+#
+#   tools/soak_ingest.sh /path/to/qct.exe [seconds]
+#
+# Each round streams a few hundred tuples (some rounds laced with poison
+# lines) into a warehouse through `qct ingest` with QC_FAILPOINTS armed at
+# a randomly chosen refreeze/journal site in a random power-loss mode, so
+# the process dies mid-batch, mid-refreeze, or mid-publish.  Some rounds
+# also stretch the background-refreeze window with a sleep failpoint so
+# kills land inside it.  After every round — killed or not — the directory
+# must recover (`qct recover`) and pass the deep invariant audit
+# (`qct check --deep`), and the committed generation must never move
+# backwards.  Reproduce a failing schedule with QC_SOAK_SEED.
+set -u
+
+QCT="${1:?usage: soak_ingest.sh /path/to/qct.exe [seconds]}"
+QCT=$(cd "$(dirname "$QCT")" && pwd)/$(basename "$QCT")
+DURATION="${2:-30}"
+SEED="${QC_SOAK_SEED:-$RANDOM}"
+RANDOM=$SEED
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work" || exit 1
+
+printf 'Store,Product,Season,Sale\nS1,P1,s,6\nS1,P2,s,12\nS2,P1,f,9\n' > sales.csv
+mkdir wh
+cp sales.csv wh/base.csv
+"$QCT" build sales.csv wh/tree.qct >/dev/null 2>&1 || exit 1
+"$QCT" recover wh >/dev/null 2>&1 || exit 1
+
+# the sites a kill schedule may arm: every refreeze step plus the journal
+# and checkpoint sites the ingest loop crosses
+sites=(refreeze.rotate refreeze.freeze refreeze.segment-delete refreeze.publish
+       wal.append wal.fsync save.base.rename save.manifest.rename save.wal-truncate)
+modes=(crash torn crash)   # biased toward crash; torn degrades to crash at non-write sites
+
+committed_gen() {
+  "$QCT" wal wh --json 2>/dev/null | grep -o '"generation":[0-9]*' | head -1 | cut -d: -f2
+}
+
+rounds=0 kills=0 prev_gen=$(committed_gen)
+end=$((SECONDS + DURATION))
+while [ "$SECONDS" -lt "$end" ]; do
+  rounds=$((rounds + 1))
+  site=${sites[$((RANDOM % ${#sites[@]}))]}
+  mode=${modes[$((RANDOM % ${#modes[@]}))]}
+  hit=$((RANDOM % 4 + 1))
+  spec="${site}@${hit}:${mode}"
+  # every third round, stretch the refreeze window so the kill can land
+  # while the background domain is mid-freeze
+  if [ $((rounds % 3)) -eq 0 ] && [ "$site" != refreeze.freeze ]; then
+    spec="refreeze.freeze:sleep-150,$spec"
+  fi
+  n=$((RANDOM % 400 + 100))
+  for i in $(seq 1 "$n"); do
+    echo "S$((RANDOM % 5)),P$((RANDOM % 7)),$([ $((i % 2)) -eq 0 ] && echo s || echo f),$i.5"
+  done > stream.csv
+  if [ $((rounds % 4)) -eq 0 ]; then
+    printf 'poison-line\nS1,P1,s,not-a-number\n' >> stream.csv
+  fi
+
+  QC_FAILPOINTS="$spec" "$QCT" ingest wh --from stream.csv \
+    --batch-rows 16 --refreeze-rows 64 --refreeze-secs 0.2 >/dev/null 2>&1
+  status=$?
+  case $status in
+    0) ;;                         # armed site never fired this round
+    42) kills=$((kills + 1)) ;;   # injected power loss
+    *) echo "soak: round $rounds ($spec) exited $status" >&2; exit 1 ;;
+  esac
+
+  if ! "$QCT" recover wh >/dev/null 2>&1; then
+    echo "soak: recover failed after round $rounds ($spec), seed $SEED" >&2
+    exit 1
+  fi
+  if ! "$QCT" check wh --deep >/dev/null 2>&1; then
+    echo "soak: deep check failed after round $rounds ($spec), seed $SEED" >&2
+    exit 1
+  fi
+  gen=$(committed_gen)
+  if [ -n "$prev_gen" ] && [ -n "$gen" ] && [ "$gen" -lt "$prev_gen" ]; then
+    echo "soak: committed generation regressed $prev_gen -> $gen after round $rounds ($spec), seed $SEED" >&2
+    exit 1
+  fi
+  prev_gen=$gen
+done
+
+echo "soak: $rounds round(s), $kills injected kill(s), committed generation $prev_gen, seed $SEED - all recoveries clean"
+if [ "$kills" -eq 0 ]; then
+  echo "soak: the schedule never fired a kill - not a real soak" >&2
+  exit 1
+fi
