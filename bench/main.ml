@@ -16,6 +16,20 @@ module Tf = Qc_util.Tablefmt
 module Jx = Qc_util.Jsonx
 module Metrics = Qc_util.Metrics
 
+(* Typed-API range accessors: the benchmarks only build well-formed
+   ranges, so an arity error here is a harness bug and surfaces loudly. *)
+let range_cells tree r =
+  match Qc_core.Query.range_result tree r with
+  | Ok cells -> cells
+  | Error e -> invalid_arg (Qc_core.Query.error_to_string e)
+
+let range_cells_packed packed r =
+  match Qc_core.Query.range_result_packed packed r with
+  | Ok cells -> cells
+  | Error e -> invalid_arg (Qc_core.Query.error_to_string e)
+
+let range_length tree r = List.length (range_cells tree r)
+
 type scale = Quick | Full
 
 let scale = ref Quick
@@ -226,14 +240,14 @@ let time_point_queries tree dwarf queries =
   let n = List.length queries in
   let t_tree =
     Qc_util.Timer.time_s (fun () ->
-        List.iter (fun q -> ignore (Qc_core.Query.point tree q)) queries)
+        List.iter (fun q -> ignore (Qc_core.Query.point_result tree q)) queries)
   in
   let t_dwarf =
     Qc_util.Timer.time_s (fun () ->
         List.iter (fun q -> ignore (Qc_dwarf.Dwarf.point dwarf q)) queries)
   in
   let hits =
-    List.length (List.filter (fun q -> Option.is_some (Qc_core.Query.point tree q)) queries)
+    List.length (List.filter (fun q -> Result.is_ok (Qc_core.Query.point_result tree q)) queries)
   in
   let acc_tree =
     List.fold_left (fun acc q -> acc + Qc_core.Query.node_accesses tree q) 0 queries
@@ -291,7 +305,7 @@ let fig13a () =
       let t_tree =
         per_query
           (Qc_util.Timer.repeat repeats (fun () ->
-               List.iter (fun q -> ignore (Qc_core.Query.point tree q)) queries))
+               List.iter (fun q -> ignore (Qc_core.Query.point_result tree q)) queries))
       in
       let t_dwarf =
         per_query
@@ -302,7 +316,7 @@ let fig13a () =
         with_counters (fun () ->
             List.iter
               (fun q ->
-                ignore (Qc_core.Query.point tree q);
+                ignore (Qc_core.Query.point_result tree q);
                 ignore (Qc_dwarf.Dwarf.point dwarf q))
               queries)
       in
@@ -370,14 +384,14 @@ let time_range_queries tree dwarf ranges =
   let n = List.length ranges in
   let t_tree =
     Qc_util.Timer.time_s (fun () ->
-        List.iter (fun r -> ignore (Qc_core.Query.range tree r)) ranges)
+        List.iter (fun r -> ignore (Qc_core.Query.range_result tree r)) ranges)
   in
   let t_dwarf =
     Qc_util.Timer.time_s (fun () ->
         List.iter (fun r -> ignore (Qc_dwarf.Dwarf.range dwarf r)) ranges)
   in
   let answers =
-    List.fold_left (fun acc r -> acc + List.length (Qc_core.Query.range tree r)) 0 ranges
+    List.fold_left (fun acc r -> acc + range_length tree r) 0 ranges
   in
   (t_tree /. float_of_int n *. 1e3, t_dwarf /. float_of_int n *. 1e3, answers)
 
@@ -490,7 +504,11 @@ let packed_fig13 () =
     let queries = Qc_data.Synthetic.random_point_queries ~seed:qseed table n_queries in
     let answers_equal =
       List.for_all
-        (fun q -> Qc_core.Query.point tree q = Qc_core.Query.point_packed packed q)
+        (fun q ->
+          match (Qc_core.Query.point_result tree q, Qc_core.Query.point_result_packed packed q) with
+          | Ok a, Ok b -> Agg.equal a b
+          | Error _, Error _ -> true
+          | Ok _, Error _ | Error _, Ok _ -> false)
         queries
     in
     let accesses_equal =
@@ -505,12 +523,12 @@ let packed_fig13 () =
     let t_mut =
       per_query
         (Qc_util.Timer.repeat repeats (fun () ->
-             List.iter (fun q -> ignore (Qc_core.Query.point tree q)) queries))
+             List.iter (fun q -> ignore (Qc_core.Query.point_result tree q)) queries))
     in
     let t_pack =
       per_query
         (Qc_util.Timer.repeat repeats (fun () ->
-             List.iter (fun q -> ignore (Qc_core.Query.point_packed packed q)) queries))
+             List.iter (fun q -> ignore (Qc_core.Query.point_result_packed packed q)) queries))
     in
     let m_mut = Qc_util.Timer.median t_mut and m_pack = Qc_util.Timer.median t_pack in
     let text, bin, size_json = sizes tree packed in
@@ -545,12 +563,12 @@ let packed_fig13 () =
       List.for_all
         (fun r ->
           List.equal same
-            (canon (Qc_core.Query.range tree r))
-            (canon (Qc_core.Query.range_packed packed r)))
+            (canon (range_cells tree r))
+            (canon (range_cells_packed packed r)))
         ranges
     in
     let cells =
-      List.fold_left (fun acc r -> acc + List.length (Qc_core.Query.range tree r)) 0 ranges
+      List.fold_left (fun acc r -> acc + range_length tree r) 0 ranges
     in
     let per_query samples =
       Array.map (fun s -> s /. float_of_int n_queries *. 1e3) samples
@@ -558,12 +576,12 @@ let packed_fig13 () =
     let t_mut =
       per_query
         (Qc_util.Timer.repeat repeats (fun () ->
-             List.iter (fun r -> ignore (Qc_core.Query.range tree r)) ranges))
+             List.iter (fun r -> ignore (Qc_core.Query.range_result tree r)) ranges))
     in
     let t_pack =
       per_query
         (Qc_util.Timer.repeat repeats (fun () ->
-             List.iter (fun r -> ignore (Qc_core.Query.range_packed packed r)) ranges))
+             List.iter (fun r -> ignore (Qc_core.Query.range_result_packed packed r)) ranges))
     in
     let m_mut = Qc_util.Timer.median t_mut and m_pack = Qc_util.Timer.median t_pack in
     let _, _, size_json = sizes tree packed in
@@ -923,7 +941,7 @@ let micro () =
         Test.make ~name:"point/qc-tree"
           (Staged.stage (fun () ->
                incr i;
-               ignore (Qc_core.Query.point tree queries.(!i land 511))));
+               ignore (Qc_core.Query.point_result tree queries.(!i land 511))));
         Test.make ~name:"point/dwarf"
           (Staged.stage (fun () ->
                incr i;
@@ -931,7 +949,7 @@ let micro () =
         Test.make ~name:"range/qc-tree"
           (Staged.stage (fun () ->
                incr j;
-               ignore (Qc_core.Query.range tree ranges.(!j land 63))));
+               ignore (Qc_core.Query.range_result tree ranges.(!j land 63))));
         Test.make ~name:"range/dwarf"
           (Staged.stage (fun () ->
                incr j;
@@ -1477,9 +1495,9 @@ let ingest_streaming () =
                  if g < !min_gen then min_gen := g;
                  if g > !max_gen then max_gen := g;
                  let cell = queries.(!n mod Array.length queries) in
-                 (match Qc_core.Query.point_packed snap.I.Snapshot.packed cell with
-                 | Some _ -> incr answered
-                 | None -> ());
+                 (match Qc_core.Query.point_result_packed snap.I.Snapshot.packed cell with
+                 | Ok _ -> incr answered
+                 | Error _ -> ());
                  incr n;
                  let now = Qc_util.Clock.now_s () in
                  if now -. !last > !max_gap then max_gap := now -. !last;
@@ -1576,6 +1594,186 @@ let ingest_streaming () =
   emit t
 
 (* ------------------------------------------------------------------ *)
+(* PR10: the query server under concurrent TCP load                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Closed-loop loadgen against an in-process [qct serve]: throughput and
+   tail latency across client counts, the result cache's hit rate on a
+   skewed workload, and the zero-downtime claim — a concurrent writer
+   driving refreezes while clients hammer the socket must lose no
+   request and only ever move the served generation forward.  Reported
+   in BENCH_PR10.json via `--serve`. *)
+let serve_load () =
+  let module W = Qc_warehouse.Warehouse in
+  let module S = Qc_server.Server in
+  let module L = Qc_server.Loadgen in
+  let module R = Qc_core.Request in
+  let base_rows = match !scale with Quick -> 5_000 | Full -> 50_000 in
+  let duration = match !scale with Quick -> 0.8 | Full -> 3.0 in
+  let spec =
+    { Qc_data.Synthetic.default with dims = 4; cardinality = 20; rows = base_rows; seed = 101 }
+  in
+  let base = Qc_data.Synthetic.generate spec in
+  let schema = Qc_cube.Table.schema base in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let dir = Filename.temp_file "qcbench_serve" "" in
+  Sys.remove dir;
+  let w = W.create base in
+  W.save w dir;
+  let lines =
+    Qc_data.Synthetic.random_point_queries ~seed:102 base 256
+    |> List.filter_map (fun c -> R.to_line schema (R.Query (R.Point c)))
+    |> Array.of_list
+  in
+  let config =
+    { S.default_config with S.port = 0; workers = 2; cache_capacity = 4096;
+      poll_interval_s = 0.05 }
+  in
+  let srv = S.start ~config dir in
+  let port = S.port srv in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (S.stop srv);
+      rm_rf dir)
+  @@ fun () ->
+  let shoot ?zipf_s ~clients ~duration_s () =
+    match L.run ~host:"127.0.0.1" ~port ~clients ?zipf_s ~duration_s ~lines () with
+    | Ok r -> r
+    | Error e -> failwith ("serve bench: loadgen setup failed: " ^ e)
+  in
+  (* leg 1: concurrency sweep, uniform workload *)
+  let sweep = List.map (fun clients -> (clients, shoot ~clients ~duration_s:duration ())) [ 1; 8; 64 ] in
+  (* leg 2: Zipf-skewed workload; the cache delta over the leg gives the
+     hit rate (the sweep already warmed the 256 distinct lines) *)
+  let st0 = S.stats srv in
+  let zr = shoot ~zipf_s:1.2 ~clients:8 ~duration_s:duration () in
+  let st1 = S.stats srv in
+  let z_hits = st1.R.sv_cache_hits - st0.R.sv_cache_hits in
+  let z_misses = st1.R.sv_cache_misses - st0.R.sv_cache_misses in
+  let hit_rate = float_of_int z_hits /. float_of_int (max 1 (z_hits + z_misses)) in
+  (* leg 3: three refreezes race the clients; the generation may only
+     advance and not one request may fail *)
+  let delta_rows =
+    let delta = Qc_data.Synthetic.generate_delta { spec with seed = 103 } base 1_500 in
+    Qc_data.Csv.to_string delta |> String.split_on_char '\n'
+    |> (function _header :: body -> body | [] -> [])
+    |> List.filter_map (fun line ->
+           if String.length line = 0 then None
+           else
+             match List.rev (String.split_on_char ',' line) with
+             | v :: rev_names -> Some (List.rev rev_names, float_of_string v)
+             | [] -> None)
+  in
+  let n_refreezes = 3 in
+  let chunk_len = (List.length delta_rows + n_refreezes - 1) / n_refreezes in
+  let chunks =
+    List.init n_refreezes (fun i ->
+        List.filteri (fun j _ -> j / chunk_len = i) delta_rows)
+  in
+  let g0 = S.generation srv in
+  let writer =
+    Domain.spawn (fun () ->
+        List.iter
+          (fun chunk ->
+            ignore (W.insert_rows w chunk);
+            let task = W.seal w in
+            ignore (W.complete_refreeze w task (W.run_refreeze task)))
+          chunks)
+  in
+  let rr = shoot ~clients:8 ~duration_s:(duration *. 2.0) () in
+  Domain.join writer;
+  (* the watcher polls; give it a moment to publish the last generation *)
+  let rec await_gen tries =
+    if S.generation srv >= g0 + n_refreezes || tries = 0 then S.generation srv
+    else begin
+      Unix.sleepf 0.05;
+      await_gen (tries - 1)
+    end
+  in
+  let g1 = await_gen 100 in
+  let t =
+    Tf.create
+      ~title:
+        (Printf.sprintf
+           "qct serve under TCP load - base n=%d, %d distinct point queries, %.1fs legs"
+           base_rows (Array.length lines) duration)
+      ~columns:
+        [ "workload"; "clients"; "req/s"; "p50 ms"; "p99 ms"; "ok"; "failed"; "note" ]
+  in
+  let failed r = r.L.lg_errors + r.L.lg_protocol_errors + r.L.lg_closed_early in
+  let row name clients r note =
+    Tf.add_row t
+      [
+        name; Tf.cell_i clients;
+        Printf.sprintf "%.0f" r.L.lg_rps;
+        Printf.sprintf "%.3f" r.L.lg_p50_ms;
+        Printf.sprintf "%.3f" r.L.lg_p99_ms;
+        Tf.cell_i r.L.lg_ok; Tf.cell_i (failed r); note;
+      ]
+  in
+  List.iter (fun (clients, r) -> row "uniform" clients r "") sweep;
+  row "zipf 1.2" 8 zr (Printf.sprintf "cache hit rate %.3f" hit_rate);
+  row "refreeze race" 8 rr
+    (Printf.sprintf "generation %d -> %d%s" g0 g1
+       (if g1 < g0 + n_refreezes then " STALLED" else ""));
+  let leg name clients r extra =
+    ( name,
+      Jx.Obj
+        ([
+           ("clients", Jx.Int clients);
+           ("sent", Jx.Int r.L.lg_sent);
+           ("ok", Jx.Int r.L.lg_ok);
+           ("errors", Jx.Int r.L.lg_errors);
+           ("overloaded", Jx.Int r.L.lg_overloaded);
+           ("protocol_errors", Jx.Int r.L.lg_protocol_errors);
+           ("closed_early", Jx.Int r.L.lg_closed_early);
+           ("rps", Jx.Float r.L.lg_rps);
+           ("p50_ms", Jx.Float r.L.lg_p50_ms);
+           ("p90_ms", Jx.Float r.L.lg_p90_ms);
+           ("p99_ms", Jx.Float r.L.lg_p99_ms);
+         ]
+        @ extra) )
+  in
+  record "serve"
+    (Jx.Obj
+       ([
+          ("base_rows", Jx.Int base_rows);
+          ("distinct_queries", Jx.Int (Array.length lines));
+          ("workers", Jx.Int config.S.workers);
+          ("cache_capacity", Jx.Int config.S.cache_capacity);
+        ]
+       @ List.map (fun (c, r) -> leg (Printf.sprintf "uniform_%d" c) c r []) sweep
+       @ [
+           leg "zipf" 8 zr
+             [
+               ("zipf_s", Jx.Float 1.2);
+               ("cache_hits", Jx.Int z_hits);
+               ("cache_misses", Jx.Int z_misses);
+               ("cache_hit_rate", Jx.Float hit_rate);
+             ];
+           leg "refreeze_race" 8 rr
+             [
+               ("refreezes", Jx.Int n_refreezes);
+               ("generation_before", Jx.Int g0);
+               ("generation_after", Jx.Int g1);
+               ("generation_advanced", Jx.Bool (g1 >= g0 + n_refreezes));
+               ("failed_requests", Jx.Int (failed rr));
+             ];
+         ]))
+  ;
+  Tf.note t
+    "failed = error + protocol-error + early-close responses; the refreeze-race leg \
+     demands 0 while a writer domain swaps generations under the server";
+  emit t
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1595,6 +1793,7 @@ let experiments =
     ("trace", trace_overhead);
     ("shard", shard_scaling);
     ("ingest", ingest_streaming);
+    ("serve", serve_load);
     ("fig14a", fig14a);
     ("fig14b", fig14b);
     ("fig14c", fig14c);
@@ -1668,6 +1867,14 @@ let () =
          --json overrides *)
       selected := "ingest" :: !selected;
       if not !json_out_set then json_out := "BENCH_PR9.json";
+      parse rest
+    | "--serve" :: rest ->
+      (* the PR10 serving report: qct serve throughput/tail latency across
+         client counts, result-cache hit rate on a Zipf workload, and the
+         zero-failed-requests refreeze race, in BENCH_PR10.json unless
+         --json overrides *)
+      selected := "serve" :: !selected;
+      if not !json_out_set then json_out := "BENCH_PR10.json";
       parse rest
     | "--shard" :: rest ->
       (* the PR7 scaling report: 4-shard builds at 1/2/4 domains and

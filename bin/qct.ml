@@ -16,6 +16,9 @@
                 the repaired state (--dry-run: report only, exit 2 if the
                 directory needed repair)
      wal        inspect a warehouse directory's write-ahead journal
+     serve      answer the newline-delimited query protocol over TCP from the
+                packed snapshot of a warehouse directory's current generation
+     loadgen    closed-loop load generator against a running serve endpoint
 
    Every subcommand takes --log-level (the per-library Logs sources qc.dfs,
    qc.tree, qc.maint, qc.warehouse, qc.slow report through a Fmt-based
@@ -420,7 +423,15 @@ let query () backend packed trace slow_ms tree_path cell_spec func =
     load_backend (resolve_backend ~default:(default_for tree_path) backend packed) tree_path
   in
   let schema = B.schema b in
-  let cell = Cell.parse schema (String.split_on_char ',' cell_spec) in
+  (* The argv cell goes through the same grammar as batch files and the
+     wire (Request.of_line), so a bad cell fails with the shared
+     "line 1: ..." text every other frontend uses. *)
+  let cell =
+    match Qc_core.Request.of_line ~lineno:1 schema ("point " ^ cell_spec) with
+    | Ok (Qc_core.Request.Query (Qc_core.Request.Point c)) -> c
+    | Ok _ -> failwith "query: expected a point query"
+    | Error e -> failwith (E.error_to_string ~schema e)
+  in
   let outcome = E.run_one (module B) b (E.Point cell) in
   E.flush_slow_log ();
   match outcome with
@@ -1609,6 +1620,197 @@ let ingest_cmd =
       $ refreeze_rows $ refreeze_secs $ policy $ queue $ max_rows $ quarantine $ no_final_ckpt
       $ json_flag $ trace_arg)
 
+(* ---------- serve ---------- *)
+
+let serve () dir port host workers max_clients max_pending cache poll_secs =
+  guard @@ fun () ->
+  let module S = Qc_server.Server in
+  let module R = Qc_core.Request in
+  let config =
+    {
+      S.host;
+      port;
+      workers;
+      max_clients;
+      max_pending;
+      cache_capacity = cache;
+      poll_interval_s = poll_secs;
+    }
+  in
+  let srv = S.start ~config dir in
+  (* Parsed by the CI smoke test and by humans alike; %! so a piped
+     stdout sees the line before the server blocks. *)
+  Printf.printf "listening on %s:%d (generation %d)\n%!" host (S.port srv) (S.generation srv);
+  let on_signal = Sys.Signal_handle (fun _ -> S.request_stop srv) in
+  (try Sys.set_signal Sys.sigint on_signal with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
+  while not (S.stopped srv) do
+    try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  let st = S.stop srv in
+  Printf.printf "served %d request(s) at generation %d; cache %d hit(s), %d miss(es), %d eviction(s)\n"
+    st.R.sv_served st.R.sv_generation st.R.sv_cache_hits st.R.sv_cache_misses
+    st.R.sv_cache_evictions
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 7050
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on; $(b,0) picks an ephemeral port (reported on the \
+                startup line).")
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind address.") in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Event-loop worker domains.")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 256
+      & info [ "max-clients" ] ~doc:"Connections served concurrently.")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ]
+          ~doc:"Accepted connections allowed to wait for a serving slot; beyond this a \
+                client gets one typed $(b,overloaded) response and is closed.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache" ] ~docv:"ENTRIES"
+          ~doc:"Result-cache capacity (LRU entries keyed by generation; $(b,0) disables \
+                caching).")
+  in
+  let poll =
+    Arg.(
+      value & opt float 0.25
+      & info [ "poll-secs" ] ~docv:"S"
+          ~doc:"How often the generation watcher polls the warehouse directory for a \
+                committed refreeze.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a warehouse directory over TCP: newline-delimited requests (JSON or the \
+             query grammar), one JSON response per line, answered from the frozen packed \
+             snapshot of the current generation.  A concurrent $(b,qct ingest) refreeze is \
+             picked up atomically with zero downtime.  Stop with SIGINT/SIGTERM.")
+    Term.(
+      const serve $ common $ dir_arg 0 $ port $ host $ workers $ max_clients $ max_pending
+      $ cache $ poll)
+
+(* ---------- loadgen ---------- *)
+
+let loadgen () target queries clients duration requests zipf seed json =
+  guard @@ fun () ->
+  let module L = Qc_server.Loadgen in
+  let host, port =
+    match String.rindex_opt target ':' with
+    | None -> invalid_arg (Printf.sprintf "bad target %S (expected HOST:PORT)" target)
+    | Some i -> (
+      let h = String.sub target 0 i in
+      let p = String.sub target (i + 1) (String.length target - i - 1) in
+      match int_of_string_opt p with
+      | Some p when p > 0 && String.length h > 0 -> (h, p)
+      | Some _ | None ->
+        invalid_arg (Printf.sprintf "bad target %S (expected HOST:PORT)" target))
+  in
+  let lines =
+    read_whole_file queries |> String.split_on_char '\n'
+    |> List.filter_map (fun l ->
+           let t = String.trim l in
+           if String.length t = 0 || t.[0] = '#' then None else Some t)
+    |> Array.of_list
+  in
+  (* A closed loop needs a stopping rule; default to five seconds when
+     neither bound is given. *)
+  let duration_s =
+    match (duration, requests) with None, None -> Some 5.0 | _ -> duration
+  in
+  match
+    L.run ~host ~port ~clients ?duration_s ?total_requests:requests ?zipf_s:zipf ~seed
+      ~lines ()
+  with
+  | Error msg -> failwith msg
+  | Ok r ->
+    if json then
+      let open Qc_util.Jsonx in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("target", String target);
+                ("clients", Int clients);
+                ("sent", Int r.L.lg_sent);
+                ("ok", Int r.L.lg_ok);
+                ("errors", Int r.L.lg_errors);
+                ("overloaded", Int r.L.lg_overloaded);
+                ("protocol_errors", Int r.L.lg_protocol_errors);
+                ("closed_early", Int r.L.lg_closed_early);
+                ("elapsed_s", Float r.L.lg_elapsed_s);
+                ("rps", Float r.L.lg_rps);
+                ("p50_ms", Float r.L.lg_p50_ms);
+                ("p90_ms", Float r.L.lg_p90_ms);
+                ("p99_ms", Float r.L.lg_p99_ms);
+                ("max_ms", Float r.L.lg_max_ms);
+              ]))
+    else begin
+      Printf.printf "%d client(s) against %s: %d ok, %d error(s), %d overloaded, %d protocol error(s)\n"
+        clients target r.L.lg_ok r.L.lg_errors r.L.lg_overloaded r.L.lg_protocol_errors;
+      Printf.printf "%.0f req/s over %.2fs; latency ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
+        r.L.lg_rps r.L.lg_elapsed_s r.L.lg_p50_ms r.L.lg_p90_ms r.L.lg_p99_ms r.L.lg_max_ms;
+      if r.L.lg_closed_early > 0 then
+        Printf.printf "warning: server closed %d connection(s) mid-run\n" r.L.lg_closed_early
+    end
+
+let loadgen_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT" ~doc:"A running $(b,qct serve) endpoint.")
+  in
+  let queries =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"QUERIES"
+          ~doc:"Request lines to draw from (query grammar or JSON, one per line; blank \
+                lines and $(b,#) comments skipped).")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"S"
+          ~doc:"Stop after $(docv) seconds (default 5 when $(b,--requests) is not given).")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N" ~doc:"Stop after $(docv) completed responses.")
+  in
+  let zipf =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Draw request lines Zipf-skewed with exponent $(docv) (line 1 hottest) \
+                instead of round-robin — the shape that exercises the result cache.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Closed-loop load generator for $(b,qct serve): N concurrent connections from \
+             one process, exact latency percentiles, typed error/overload accounting.")
+    Term.(
+      const loadgen $ common $ target $ queries $ clients $ duration $ requests $ zipf
+      $ seed_arg $ json_flag)
+
 (* ---------- selfcheck ---------- *)
 
 let selfcheck () tree_path base_csv =
@@ -1635,9 +1837,9 @@ let selfcheck () tree_path base_csv =
     let ok = ref true in
     Qc_core.Qc_tree.iter_classes
       (fun _ ub agg ->
-        match Qc_core.Query.point tree ub with
-        | Some a when Agg.approx_equal a agg -> ()
-        | _ ->
+        match Qc_core.Query.point_result tree ub with
+        | Ok a when Agg.approx_equal a agg -> ()
+        | Ok _ | Error _ ->
           ok := false;
           Printf.printf "MISMATCH at %s\n" (Cell.to_string schema ub))
       rebuilt;
@@ -1695,6 +1897,8 @@ let () =
             recover_cmd;
             wal_cmd;
             ingest_cmd;
+            serve_cmd;
+            loadgen_cmd;
             selfcheck_cmd;
             classes_cmd;
           ]))

@@ -55,7 +55,7 @@ let () =
   List.iter
     (fun region ->
       let range = [| [||]; Hierarchy.range_for geo region; [||] |] in
-      let results = Qc_core.Query.range tree range in
+      let results = Result.get_ok (Qc_core.Query.range_result tree range) in
       let total = List.fold_left (fun acc (_, a) -> acc +. a.Agg.sum) 0.0 results in
       Printf.printf "  %-7s %8.0f  (over %d cities)\n" region total (List.length results))
     [ "asia"; "europe" ];
@@ -72,7 +72,7 @@ let () =
           [| code |];
         |]
       in
-      let results = Qc_core.Query.range tree range in
+      let results = Result.get_ok (Qc_core.Query.range_result tree range) in
       let total = List.fold_left (fun acc (_, a) -> acc +. a.Agg.sum) 0.0 results in
       Printf.printf "  %-7s %8.0f\n" product total)
     products;
@@ -80,7 +80,7 @@ let () =
   (* Drill down the geography: europe -> germany -> berlin. *)
   print_endline "\nDrilling down the geography (all weeks, all products):";
   let show label range =
-    let results = Qc_core.Query.range tree range in
+    let results = Result.get_ok (Qc_core.Query.range_result tree range) in
     let total = List.fold_left (fun acc (_, a) -> acc +. a.Agg.sum) 0.0 results in
     let count = List.fold_left (fun acc (_, a) -> acc + a.Agg.count) 0 results in
     Printf.printf "  %-8s revenue %8.0f over %d sales\n" label total count

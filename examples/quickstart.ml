@@ -35,9 +35,9 @@ let () =
   (* 4. Point queries (paper Example 5). *)
   let q vals =
     let cell = Cell.parse schema vals in
-    match Qc_core.Query.point_value tree Agg.Avg cell with
-    | Some avg -> Printf.printf "  AVG(Sale) at %s = %g\n" (Cell.to_string schema cell) avg
-    | None -> Printf.printf "  AVG(Sale) at %s = NULL (empty cover)\n" (Cell.to_string schema cell)
+    match Qc_core.Query.point_value_result tree Agg.Avg cell with
+    | Ok avg -> Printf.printf "  AVG(Sale) at %s = %g\n" (Cell.to_string schema cell) avg
+    | Error _ -> Printf.printf "  AVG(Sale) at %s = NULL (empty cover)\n" (Cell.to_string schema cell)
   in
   print_endline "Point queries:";
   q [ "S2"; "*"; "f" ];
@@ -57,7 +57,7 @@ let () =
   List.iter
     (fun (cell, agg) ->
       Printf.printf "  %s -> AVG %g\n" (Cell.to_string schema cell) (Agg.value Agg.Avg agg))
-    (Qc_core.Query.range tree range);
+    (Result.get_ok (Qc_core.Query.range_result tree range));
 
   (* 6. An iceberg query: classes with SUM(Sale) of at least 10. *)
   let index = Qc_core.Query.make_index tree Agg.Sum in

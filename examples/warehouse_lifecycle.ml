@@ -43,11 +43,11 @@ let () =
   let tree = Qc_core.Serial.load path in
   Sys.remove path;
   let q vals =
-    match Qc_core.Query.point tree (Cell.parse schema vals) with
-    | Some a ->
+    match Qc_core.Query.point_result tree (Cell.parse schema vals) with
+    | Ok a ->
       Printf.printf "  %s: SUM=%g AVG=%.1f COUNT=%d\n" (String.concat "," vals)
         a.Agg.sum (Agg.value Agg.Avg a) a.Agg.count
-    | None -> Printf.printf "  %s: no data\n" (String.concat "," vals)
+    | Error _ -> Printf.printf "  %s: no data\n" (String.concat "," vals)
   in
   print_endline "Reloaded; sample queries:";
   q [ "north"; "*"; "Q4"; "*" ];

@@ -36,7 +36,7 @@ let () =
   let range = Array.make d [||] in
   range.(4) <- [| 1; 2 |] (* present-weather codes *);
   range.(8) <- [| 2 |] (* brightness = bright *);
-  let (results, dt) = Qc_util.Timer.time (fun () -> Qc_core.Query.range tree range) in
+  let (results, dt) = Qc_util.Timer.time (fun () -> Result.get_ok (Qc_core.Query.range_result tree range)) in
   Printf.printf "\nRange query (weather in {1,2}, bright): %d cells in %.4fs\n"
     (List.length results) dt;
   List.iteri

@@ -194,121 +194,33 @@ module Packed_backend = struct
     | Ok () -> Ok (Query.node_accesses_packed t cell)
 end
 
-(* ---------- batch queries ---------- *)
+(* ---------- batch queries ----------
 
-type query =
+   The query vocabulary and both its codecs live in {!Request} (the one
+   surface shared with the CLI and the wire protocol); the engine
+   re-exports the constructors so existing [E.Point ...] call sites keep
+   compiling, and delegates parsing/rendering. *)
+
+type query = Request.query =
   | Point of Cell.t
   | Range of Query.range
   | Iceberg of { func : Agg.func; threshold : float }
 
-type answer = Agg_answer of Agg.t | Cells_answer of (Cell.t * Agg.t) list
+type answer = Request.answer = Agg_answer of Agg.t | Cells_answer of (Cell.t * Agg.t) list
 
 type outcome = (answer, error) result
 
-let answer_equal a b =
-  match (a, b) with
-  | Agg_answer x, Agg_answer y -> Agg.equal x y
-  | Cells_answer xs, Cells_answer ys ->
-    List.equal (fun (c1, a1) (c2, a2) -> Cell.equal c1 c2 && Agg.equal a1 a2) xs ys
-  | (Agg_answer _ | Cells_answer _), _ -> false
+let answer_equal = Request.answer_equal
 
-let outcome_equal a b =
-  match (a, b) with
-  | Ok x, Ok y -> answer_equal x y
-  | Error x, Error y -> error_equal x y
-  | Ok _, Error _ | Error _, Ok _ -> false
+let outcome_equal = Request.outcome_equal
 
-(* ---------- query-file syntax ---------- *)
+let parse_query = Request.parse_query
 
-exception Parse_error of string
+let parse_queries = Request.queries_of_lines
 
-let split_fields s = List.map String.trim (String.split_on_char ',' s)
+let query_kind = Request.query_kind
 
-let parse_point schema rest =
-  match Cell.parse schema (split_fields rest) with
-  | cell -> Ok (Point cell)
-  | exception Invalid_argument msg -> Error (Bad_query msg)
-
-let parse_range schema rest =
-  let fields = split_fields rest in
-  let expected = Schema.n_dims schema in
-  let got = List.length fields in
-  if expected <> got then Error (Arity_mismatch { expected; got })
-  else
-    match
-      List.mapi
-        (fun i field ->
-          if String.equal field "*" then [||]
-          else
-            field
-            |> String.split_on_char '|'
-            |> List.map (fun v ->
-                   let v = String.trim v in
-                   match Qc_util.Dict.find (Schema.dict schema i) v with
-                   | Some code -> code
-                   | None ->
-                     raise
-                       (Parse_error
-                          (Printf.sprintf "unknown value %S in dimension %s" v
-                             (Schema.dim_name schema i))))
-            |> Array.of_list)
-        fields
-    with
-    | dims -> Ok (Range (Array.of_list dims))
-    | exception Parse_error msg -> Error (Bad_query msg)
-
-let parse_iceberg rest =
-  match String.split_on_char ' ' rest |> List.filter (fun s -> String.length s > 0) with
-  | [ func; threshold ] -> (
-    match (Agg.func_of_string func, float_of_string_opt threshold) with
-    | f, Some th -> Ok (Iceberg { func = f; threshold = th })
-    | _, None -> Error (Bad_query (Printf.sprintf "bad iceberg threshold %S" threshold))
-    | exception Invalid_argument _ ->
-      Error (Bad_query (Printf.sprintf "unknown aggregate function %S" func)))
-  | _ -> Error (Bad_query "iceberg expects: iceberg FUNC THRESHOLD")
-
-let parse_query schema line =
-  let line = String.trim line in
-  let kw, rest =
-    match String.index_opt line ' ' with
-    | Some i ->
-      (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
-    | None -> (line, "")
-  in
-  match kw with
-  | "point" -> parse_point schema rest
-  | "range" -> parse_range schema rest
-  | "iceberg" -> parse_iceberg rest
-  | _ ->
-    Error
-      (Bad_query (Printf.sprintf "unknown query kind %S (expected point, range or iceberg)" kw))
-
-let parse_queries schema text =
-  let rec go lineno acc = function
-    | [] -> Ok (Array.of_list (List.rev acc))
-    | line :: rest ->
-      let trimmed = String.trim line in
-      if String.length trimmed = 0 || trimmed.[0] = '#' then go (lineno + 1) acc rest
-      else (
-        match parse_query schema trimmed with
-        | Ok q -> go (lineno + 1) (q :: acc) rest
-        | Error e ->
-          Error (Bad_query (Printf.sprintf "line %d: %s" lineno (error_to_string ~schema e))))
-  in
-  go 1 [] (String.split_on_char '\n' text)
-
-let query_kind = function Point _ -> "point" | Range _ -> "range" | Iceberg _ -> "iceberg"
-
-let render_query schema = function
-  | Point cell -> Printf.sprintf "point %s" (Cell.to_string schema cell)
-  | Range q ->
-    let dim i vs =
-      if Array.length vs = 0 then "*"
-      else String.concat "|" (Array.to_list (Array.map (Schema.decode_value schema i) vs))
-    in
-    Printf.sprintf "range (%s)" (String.concat ", " (Array.to_list (Array.mapi dim q)))
-  | Iceberg { func; threshold } ->
-    Printf.sprintf "iceberg %s %g" (Agg.func_to_string func) threshold
+let render_query = Request.render_query
 
 (* ---------- the slow-query log ----------
 

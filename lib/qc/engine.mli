@@ -101,12 +101,14 @@ val check_arity : Schema.t -> int -> (unit, error) result
 
 (** {1 Batch queries} *)
 
-type query =
+type query = Request.query =
   | Point of Cell.t
   | Range of Query.range
   | Iceberg of { func : Agg.func; threshold : float }
+      (** Re-export of {!Request.query} — the one query vocabulary shared
+          by the CLI, the query files and the wire protocol. *)
 
-type answer = Agg_answer of Agg.t | Cells_answer of (Cell.t * Agg.t) list
+type answer = Request.answer = Agg_answer of Agg.t | Cells_answer of (Cell.t * Agg.t) list
 
 type outcome = (answer, error) result
 

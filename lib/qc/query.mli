@@ -46,11 +46,14 @@ val point_result : Qc_tree.t -> Cell.t -> (Agg.t, error) result
 val point_value_result : Qc_tree.t -> Agg.func -> Cell.t -> (float, error) result
 
 val point : Qc_tree.t -> Cell.t -> Agg.t option
+  [@@deprecated "use point_result or Engine.run_one"]
 (** Deprecated wrapper around {!point_result} ([Error _] collapses to
-    [None]); kept so pre-Engine callers compile.  New code should use
-    {!point_result} or go through [Engine]. *)
+    [None]); kept so pre-Engine callers compile.  New code must use
+    {!point_result} or go through [Engine] — qclint's
+    [deprecated-query-api] rule flags new uses. *)
 
 val point_value : Qc_tree.t -> Agg.func -> Cell.t -> float option
+  [@@deprecated "use point_value_result or Engine.run_one"]
 (** Deprecated convenience wrapper reading one aggregate function off
     {!point}. *)
 
@@ -109,6 +112,7 @@ type range = int array array
     set form handles both numeric and hierarchical ranges). *)
 
 val range : Qc_tree.t -> range -> (Cell.t * Agg.t) list
+  [@@deprecated "use range_result or Engine.run_one"]
 (** All cells in the given range with non-empty cover, with their
     aggregates.  Each returned cell is the range instantiation that matched
     (with [*] in unconstrained dimensions).
@@ -168,15 +172,18 @@ val point_value_result_packed : Packed.t -> Agg.func -> Cell.t -> (float, error)
 val range_result_packed : Packed.t -> range -> ((Cell.t * Agg.t) list, error) result
 
 val point_packed : Packed.t -> Cell.t -> Agg.t option
+  [@@deprecated "use point_result_packed or Engine.run_one"]
 (** Deprecated wrapper around {!point_result_packed}. *)
 
 val point_value_packed : Packed.t -> Agg.func -> Cell.t -> float option
+  [@@deprecated "use point_value_result_packed or Engine.run_one"]
 (** Deprecated wrapper around {!point_value_result_packed}. *)
 
 val locate_packed : Packed.t -> Cell.t -> int option
 (** The class upper-bound node id of a cell, or [None] for empty cover. *)
 
 val range_packed : Packed.t -> range -> (Cell.t * Agg.t) list
+  [@@deprecated "use range_result_packed or Engine.run_one"]
 (** Algorithm 4 over the packed layout; result cells, aggregates and order
     are identical to {!range} on the tree the structure was frozen from. *)
 

@@ -1,0 +1,167 @@
+(** The unified request/response surface: one typed vocabulary shared by
+    the CLI ([qct query], [qct batch]), the query files, and the wire
+    protocol of [qct serve].
+
+    Historically the repository grew three ad-hoc parsers for the same
+    logical queries — the query-file grammar in {!Engine}, the argv cell
+    parser in [bin/qct.ml], and (with a server) a JSON decoder would have
+    been the third.  This module collapses them: a {!request} is either a
+    data query (point / range / iceberg, the paper's three algorithms), a
+    batch of them, or a protocol request ([stats] / [describe]), and every
+    frontend goes through {!of_line} / {!of_json} so a malformed query
+    produces the {e same} typed {!Query.error} (and the same
+    ["line N: ..."] text) whether it arrives from a file, an argv string,
+    or a socket.
+
+    {2 Wire protocol}
+
+    [qct serve] speaks newline-delimited messages: one request per line,
+    one response per line.  A request line starting with ['{'] is parsed
+    as JSON ({!of_json}); anything else is parsed with the text grammar
+    ({!of_line}) — so a human with [nc] and a program with a JSON library
+    use the same port.  Responses are always one JSON object per line
+    ({!response_to_json}).
+
+    {2 JSON schema}
+
+    Requests:
+    {v
+    {"op":"point","cell":["S1","P2","*"]}
+    {"op":"range","dims":["*",["P1","P2"],["f"]]}
+    {"op":"iceberg","func":"sum","threshold":25}
+    {"op":"batch","queries":[...]}
+    {"op":"stats"}
+    {"op":"describe"}
+    v}
+
+    Responses ([status] is ["ok"], ["error"] or ["overloaded"]):
+    {v
+    {"status":"ok","agg":{"count":3,"sum":21,"min":5,"max":9}}
+    {"status":"ok","cells":[{"cell":["S1","*","*"],"agg":{...}},...]}
+    {"status":"ok","outcomes":[...]}            (batch: one entry per query)
+    {"status":"ok","stats":{...}}
+    {"status":"ok","describe":"..."}
+    {"status":"error","error":{"kind":"bad-query","message":"..."}}
+    {"status":"overloaded","pending":8,"max_pending":8}
+    v}
+
+    Both codecs round-trip exactly ([parse ∘ print = id], property-tested
+    in [test/test_request.ml]) for finite float payloads; non-finite
+    floats do not survive JSON ({!Qc_util.Jsonx} renders them [null]) and
+    never appear in well-formed answers. *)
+
+open Qc_cube
+
+(** {1 Queries} *)
+
+type query =
+  | Point of Cell.t
+  | Range of Query.range
+  | Iceberg of { func : Agg.func; threshold : float }
+
+type answer = Agg_answer of Agg.t | Cells_answer of (Cell.t * Agg.t) list
+
+type outcome = (answer, Query.error) result
+
+val answer_equal : answer -> answer -> bool
+(** Exact: [Cell.equal] cells and [Agg.equal] (bit-exact float)
+    summaries. *)
+
+val outcome_equal : outcome -> outcome -> bool
+
+val query_equal : query -> query -> bool
+(** Exact, like {!answer_equal}; iceberg thresholds compare bit-exact. *)
+
+val query_kind : query -> string
+(** ["point"], ["range"] or ["iceberg"] — also the per-query span name. *)
+
+(** {1 Requests and responses} *)
+
+type request =
+  | Query of query
+  | Batch of query array
+  | Stats
+  | Describe
+
+(** Server-state snapshot answered to a [stats] request.  All counts are
+    integers so the JSON round-trip is exact. *)
+type stats = {
+  sv_generation : int;  (** published warehouse generation being served *)
+  sv_classes : int;  (** quotient classes in the served snapshot *)
+  sv_nodes : int;  (** QC-tree nodes in the served snapshot *)
+  sv_clients : int;  (** currently connected clients *)
+  sv_served : int;  (** requests answered since startup *)
+  sv_cache_hits : int;
+  sv_cache_misses : int;
+  sv_cache_evictions : int;
+}
+
+type response =
+  | Answer of outcome  (** reply to [Query]; parse errors also land here *)
+  | Answers of outcome array  (** reply to [Batch], one outcome per query *)
+  | Stats_reply of stats
+  | Describe_reply of string
+  | Overloaded of { pending : int; max_pending : int }
+      (** admission control: the accept queue is full; the server closes
+          the connection after sending this *)
+
+val request_equal : request -> request -> bool
+val response_equal : response -> response -> bool
+
+(** {1 Text codec}
+
+    The query-file grammar (one request per line; blank lines and [#]
+    comments are the caller's concern):
+    {v
+    point S1,P2,*
+    range *,P1|P2,f
+    iceberg sum 25
+    stats
+    describe
+    v}
+    Point cells use [*] for ALL; range dimensions are [*] (unconstrained)
+    or [|]-separated value enumerations; iceberg takes an aggregate
+    function name and a threshold. *)
+
+val of_line : ?lineno:int -> Schema.t -> string -> (request, Query.error) result
+(** Parse one line.  With [~lineno] every error is normalized to
+    [Bad_query "line N: ..."] — the one shared error text the CLI contract
+    tests assert for [qct query] (which parses its argv cell as line 1)
+    and [qct batch] (which numbers file lines).  Without [~lineno] the
+    typed error is returned as-is. *)
+
+val to_line : Schema.t -> request -> string option
+(** Exact inverse of {!of_line} ([None] for [Batch], which has no one-line
+    text form).  Unlike {!render_query} this prints machine-parseable
+    lines, with iceberg thresholds in shortest-round-trip float form. *)
+
+val parse_query : Schema.t -> string -> (query, Query.error) result
+(** {!of_line} restricted to data queries: [stats] / [describe] lines are
+    rejected with [Bad_query] since they have no answer over a bare
+    snapshot. *)
+
+val queries_of_lines : Schema.t -> string -> (query array, Query.error) result
+(** Parse a whole query file (the body of {!Engine.parse_queries}): blank
+    lines and [#] comments skipped, first bad line fails the batch with
+    [Bad_query "line N: ..."]. *)
+
+val render_query : Schema.t -> query -> string
+(** One-line {e human} rendering (parenthesized comma-space cells, the
+    [qct explain] style) — used
+    by [qct batch] output and the slow-query log.  Not parseable; use
+    {!to_line} for the codec. *)
+
+(** {1 JSON codec} *)
+
+val request_to_json : Schema.t -> request -> Qc_util.Jsonx.t
+val of_json : Schema.t -> Qc_util.Jsonx.t -> (request, Query.error) result
+
+val response_to_json : Schema.t -> response -> Qc_util.Jsonx.t
+val response_of_json : Schema.t -> Qc_util.Jsonx.t -> (response, string) result
+(** Client-side decode; the [string] error describes the malformed field
+    (protocol errors are the client's bug report, not a typed engine
+    error). *)
+
+val of_wire : Schema.t -> string -> (request, Query.error) result
+(** One server-side entry point for a request line: JSON if the line
+    starts with ['{'] (after leading blanks), text grammar otherwise. *)

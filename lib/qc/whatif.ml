@@ -33,8 +33,8 @@ let differ a b =
 let compare_cells t ~against cells =
   List.filter_map
     (fun cell ->
-      let before = Query.point against cell in
-      let after = Query.point t.tree cell in
+      let before = Result.to_option (Query.point_result against cell) in
+      let after = Result.to_option (Query.point_result t.tree cell) in
       if differ before after then Some { cell = Cell.copy cell; before; after } else None)
     cells
 

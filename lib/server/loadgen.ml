@@ -1,0 +1,238 @@
+module Jx = Qc_util.Jsonx
+module Clock = Qc_util.Clock
+
+type result = {
+  lg_sent : int;
+  lg_ok : int;
+  lg_errors : int;
+  lg_overloaded : int;
+  lg_protocol_errors : int;
+  lg_closed_early : int;
+  lg_elapsed_s : float;
+  lg_rps : float;
+  lg_p50_ms : float;
+  lg_p90_ms : float;
+  lg_p99_ms : float;
+  lg_max_ms : float;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  oc : out_channel;
+  mutable inflight_since_ns : int;  (* send time of the awaited request; -1 = idle *)
+  mutable closed : bool;
+}
+
+(* Growable latency store; exact percentiles need every sample. *)
+type samples = { mutable arr : float array; mutable len : int }
+
+let add_sample s v =
+  if s.len = Array.length s.arr then begin
+    let bigger = Array.make (2 * Array.length s.arr) 0.0 in
+    Array.blit s.arr 0 bigger 0 s.len;
+    s.arr <- bigger
+  end;
+  s.arr.(s.len) <- v;
+  s.len <- s.len + 1
+
+let percentile sorted n p =
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1 |> max 0))
+
+let classify line =
+  match Jx.parse line with
+  | Error _ -> `Protocol
+  | Ok j -> (
+    match Jx.member "status" j with
+    | Some (Jx.String "ok") -> `Ok
+    | Some (Jx.String "error") -> `Error
+    | Some (Jx.String "overloaded") -> `Overloaded
+    | Some _ | None -> `Protocol)
+
+let run ~host ~port ~clients ?duration_s ?total_requests ?zipf_s ?(seed = 42) ~lines () =
+  if Array.length lines = 0 then Stdlib.Error "no request lines"
+  else if clients < 1 then Stdlib.Error "clients must be positive"
+  else if Option.is_none duration_s && Option.is_none total_requests then
+    Stdlib.Error "need a duration or a request budget"
+  else begin
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let rng = Qc_util.Rng.create seed in
+    let zipf = Option.map (fun s -> Qc_data.Zipf.create ~s (Array.length lines)) zipf_s in
+    let rr = ref 0 in
+    let next_line () =
+      match zipf with
+      | Some z -> lines.(Qc_data.Zipf.sample z rng - 1)
+      | None ->
+        let i = !rr in
+        incr rr;
+        lines.(i mod Array.length lines)
+    in
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | a -> Ok (Unix.ADDR_INET (a, port))
+      | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> Stdlib.Error ("unknown host " ^ host)
+        | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))
+        | exception Not_found -> Stdlib.Error ("unknown host " ^ host))
+    in
+    match addr with
+    | Stdlib.Error _ as e -> e
+    | Ok addr -> (
+      let connect () =
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match Unix.connect fd addr with
+        | () ->
+          Ok
+            {
+              fd;
+              inbuf = Buffer.create 512;
+              oc = Unix.out_channel_of_descr fd;
+              inflight_since_ns = -1;
+              closed = false;
+            }
+        | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          Stdlib.Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+      in
+      let rec connect_all n acc =
+        if n = 0 then Ok (List.rev acc)
+        else
+          match connect () with
+          | Ok c -> connect_all (n - 1) (c :: acc)
+          | Stdlib.Error _ as e ->
+            List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()) acc;
+            e
+      in
+      match connect_all clients [] with
+      | Stdlib.Error _ as e -> e
+      | Ok conns ->
+        let sent = ref 0 in
+        let ok = ref 0 in
+        let errors = ref 0 in
+        let overloaded = ref 0 in
+        let protocol_errors = ref 0 in
+        let closed_early = ref 0 in
+        let lat = { arr = Array.make 4096 0.0; len = 0 } in
+        (* gate on [sent], not on completed responses: with several
+           connections in flight the latter overshoots the budget by up
+           to [clients - 1] requests *)
+        let budget_left () =
+          match total_requests with None -> true | Some n -> !sent < n
+        in
+        let t0 = Clock.now_s () in
+        let deadline = Option.map (fun d -> t0 +. d) duration_s in
+        let time_left () =
+          match deadline with None -> true | Some d -> Clock.now_s () < d
+        in
+        let close_conn c =
+          if not c.closed then begin
+            c.closed <- true;
+            try close_out c.oc with Sys_error _ -> ()
+          end
+        in
+        let send c =
+          if budget_left () then (
+            let line = next_line () in
+            match
+              (output_string c.oc line;
+               output_char c.oc '\n';
+               flush c.oc)
+            with
+            | () ->
+              c.inflight_since_ns <- Clock.now_ns ();
+              incr sent
+            | exception Sys_error _ ->
+              incr closed_early;
+              close_conn c
+            | exception Unix.Unix_error (_, _, _) ->
+              incr closed_early;
+              close_conn c)
+        in
+        let finish_response c line =
+          (match classify line with
+          | `Ok -> incr ok
+          | `Error -> incr errors
+          | `Overloaded -> incr overloaded
+          | `Protocol -> incr protocol_errors);
+          if c.inflight_since_ns >= 0 then
+            add_sample lat (Clock.ns_to_s (Clock.now_ns () - c.inflight_since_ns) *. 1e3);
+          c.inflight_since_ns <- -1
+        in
+        let buf = Bytes.create 65536 in
+        let handle_readable c =
+          match Unix.read c.fd buf 0 (Bytes.length buf) with
+          | 0 ->
+            (* EOF: a clean close ends exactly at a line boundary; leftover
+               bytes are a torn line — a protocol error by definition. *)
+            if Buffer.length c.inbuf > 0 then incr protocol_errors
+            else if c.inflight_since_ns >= 0 then incr closed_early;
+            close_conn c
+          | n ->
+            Buffer.add_subbytes c.inbuf buf 0 n;
+            let rec lines_loop () =
+              let s = Buffer.contents c.inbuf in
+              match String.index_opt s '\n' with
+              | None -> ()
+              | Some i ->
+                let line = String.sub s 0 i in
+                Buffer.clear c.inbuf;
+                Buffer.add_substring c.inbuf s (i + 1) (String.length s - i - 1);
+                finish_response c line;
+                if (not c.closed) && budget_left () && time_left () then send c;
+                lines_loop ()
+            in
+            lines_loop ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            if c.inflight_since_ns >= 0 then incr closed_early;
+            close_conn c
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        in
+        (* prime every connection *)
+        List.iter send conns;
+        let live () = List.filter (fun c -> not c.closed) conns in
+        let rec loop () =
+          match live () with
+          | [] -> ()
+          | alive ->
+            if (not (budget_left ())) || not (time_left ()) then
+              (* finished: wait out in-flight responses only *)
+              if List.for_all (fun c -> c.inflight_since_ns < 0) alive then
+                List.iter close_conn alive
+              else
+                select_step (List.filter (fun c -> c.inflight_since_ns >= 0) alive)
+            else select_step alive
+        and select_step watch =
+          (match Unix.select (List.map (fun c -> c.fd) watch) [] [] 0.2 with
+          | readable, _, _ ->
+            List.iter
+              (fun c -> if List.memq c.fd readable then handle_readable c)
+              watch
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> ());
+          loop ()
+        in
+        loop ();
+        let elapsed = Clock.now_s () -. t0 in
+        let sorted = Array.sub lat.arr 0 lat.len in
+        Array.sort Float.compare sorted;
+        let n = lat.len in
+        Ok
+          {
+            lg_sent = !sent;
+            lg_ok = !ok;
+            lg_errors = !errors;
+            lg_overloaded = !overloaded;
+            lg_protocol_errors = !protocol_errors;
+            lg_closed_early = !closed_early;
+            lg_elapsed_s = elapsed;
+            lg_rps =
+              (let completed = !ok + !errors + !overloaded + !protocol_errors in
+               if elapsed > 0.0 then float_of_int completed /. elapsed else 0.0);
+            lg_p50_ms = percentile sorted n 0.50;
+            lg_p90_ms = percentile sorted n 0.90;
+            lg_p99_ms = percentile sorted n 0.99;
+            lg_max_ms = (if n = 0 then 0.0 else sorted.(n - 1));
+          })
+  end

@@ -1,0 +1,46 @@
+(** The load-test client behind [qct loadgen] and [bench --serve].
+
+    Drives [clients] concurrent connections against a {!Server} from a
+    single thread: every connection runs a closed loop (send one request
+    line, wait for its response line, send the next), multiplexed with
+    [select] — no domain per connection, so 64 simulated clients cost one
+    core, which is also what keeps single-machine benchmarks honest.
+
+    Requests are drawn from [lines] (raw wire lines — text grammar or
+    JSON, the server takes both).  With [~zipf_s] the draw is
+    Zipf-skewed over the array (rank 1 = [lines.(0)]), the workload shape
+    the result cache is measured under; otherwise the draw is
+    round-robin.  Per-request latency is measured with
+    {!Qc_util.Clock} and reported as exact percentiles. *)
+
+type result = {
+  lg_sent : int;
+  lg_ok : int;  (** responses with ["status":"ok"] *)
+  lg_errors : int;  (** typed error responses (still protocol-clean) *)
+  lg_overloaded : int;  (** typed admission refusals *)
+  lg_protocol_errors : int;  (** unparseable response lines — server bugs *)
+  lg_closed_early : int;  (** connections the server closed mid-run *)
+  lg_elapsed_s : float;
+  lg_rps : float;  (** completed responses per second *)
+  lg_p50_ms : float;
+  lg_p90_ms : float;
+  lg_p99_ms : float;
+  lg_max_ms : float;
+}
+
+val run :
+  host:string ->
+  port:int ->
+  clients:int ->
+  ?duration_s:float ->
+  ?total_requests:int ->
+  ?zipf_s:float ->
+  ?seed:int ->
+  lines:string array ->
+  unit ->
+  (result, string) Stdlib.result
+(** Run until [duration_s] elapses or exactly [total_requests] requests
+    have been sent and their responses drained (whichever first; at
+    least one bound must be given).  [Error] only
+    for setup failures (connect refused, empty [lines]) — server
+    misbehaviour during the run is {e data}, reported in the counters. *)

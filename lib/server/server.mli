@@ -1,0 +1,86 @@
+(** The [qct serve] daemon: a concurrent, generation-aware query server.
+
+    Accepts many clients over TCP and speaks the newline-delimited
+    protocol of {!Qc_core.Request}: one request per line (JSON or the
+    text query grammar — {!Qc_core.Request.of_wire}), one JSON response
+    per line.  Every request is answered from the frozen {!Qc_core.Packed}
+    image of the current warehouse generation, held in an
+    {!Qc_warehouse.Ingest.Snapshot} server: a watcher domain polls the
+    warehouse directory's committed generation and republishes on
+    advance, so a concurrent [qct ingest] refreeze swaps generations
+    under the server with zero downtime — in-flight queries keep the
+    packed value they already read (MVCC), new requests see the new
+    generation.
+
+    {2 Concurrency}
+
+    One accept/admission domain, [workers] event-loop domains (each
+    multiplexing its share of the clients with [select]), and one
+    generation-watcher domain.  No locks on the query path beyond the
+    result cache's.
+
+    {2 Admission control}
+
+    At most [max_clients] connections are served at once; beyond that,
+    accepted connections wait in a bounded {!Qc_warehouse.Ingest.Bq}
+    queue of capacity [max_pending] (the ingest backpressure discipline).
+    When that queue is full too, the connection is answered with one
+    typed [Overloaded] response line and closed — clients always learn
+    {e why} they were dropped.
+
+    {2 Result cache}
+
+    An LRU keyed by [(generation, canonical request)] caches serialized
+    responses for single-query requests.  Invalidation on refreeze is
+    implicit: the key embeds the generation stamp, so entries for a
+    superseded generation simply stop being looked up and age out.
+    Hit/miss/eviction counts are exposed in {!Qc_util.Metrics}
+    ([serve.cache.*]) and in the [stats] response.
+
+    {2 Crash discipline}
+
+    The ["serve.respond"] failpoint fires before each response write, and
+    a response is written with a single buffered-channel flush — so a
+    server killed mid-response (crash test) leaves clients a clean close
+    after a whole number of lines, never a torn half-JSON line. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  workers : int;  (** event-loop domains *)
+  max_clients : int;  (** connections served concurrently *)
+  max_pending : int;  (** bounded accept queue beyond that *)
+  cache_capacity : int;  (** LRU entries; [0] disables the cache *)
+  poll_interval_s : float;  (** generation watcher poll period *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> string -> t
+(** [start dir] opens the warehouse at [dir], binds the listen socket and
+    spawns the serving domains.  Returns once the server is accepting.
+    @raise Qc_warehouse.Warehouse.Error when the directory does not hold
+    a valid warehouse.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound TCP port (useful with [config.port = 0]). *)
+
+val generation : t -> int
+(** The warehouse generation currently being served. *)
+
+val stats : t -> Qc_core.Request.stats
+(** Live counters — the same record a [stats] request is answered with. *)
+
+val request_stop : t -> unit
+(** Ask the serving domains to wind down (async-signal-safe: one atomic
+    store).  Use {!stop} to wait for them. *)
+
+val stopped : t -> bool
+
+val stop : t -> Qc_core.Request.stats
+(** {!request_stop}, join every domain, close every socket, absorb the
+    workers' metric deltas (in worker order, deterministically) and
+    return the final counters.  Idempotent. *)

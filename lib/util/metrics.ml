@@ -498,7 +498,9 @@ let to_prometheus () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (name, v) ->
-      let n = prom_name name in
+      (* Prometheus naming convention: cumulative counters carry a
+         [_total] suffix; gauges and histogram series never do. *)
+      let n = prom_name name ^ "_total" in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
     s.counters;
   List.iter

@@ -142,10 +142,11 @@ val to_json : unit -> Jsonx.t
 
 val to_prometheus : unit -> string
 (** The full snapshot in Prometheus text exposition format ([qct stats
-    --prom], groundwork for [qct serve]).  Instrument names are prefixed
+    --prom] and the [qct serve] counters).  Instrument names are prefixed
     [qc_] with non-alphanumeric characters mapped to [_]; every registered
     instrument is emitted even at zero (the Prometheus convention).
-    Counters become [# TYPE ... counter] samples; gauges become a pair of
+    Counters are suffixed [_total] (the convention for cumulative
+    counters) and become [# TYPE ... counter] samples; gauges become a pair of
     [# TYPE ... gauge] samples (current level plus a [_peak]); histograms become
     cumulative [_bucket{le="..."}] series with [_sum]/[_count], plus
     [_p50]/[_p90]/[_p99] gauges carrying the exact percentiles. *)

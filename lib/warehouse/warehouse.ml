@@ -646,11 +646,15 @@ let update t ~old_rows ~new_rows =
   let istats = insert t new_rows in
   (dstats, istats)
 
-let query t cell = Qc_core.Query.point_packed (packed t) cell
+let query t cell = Result.to_option (Qc_core.Query.point_result_packed (packed t) cell)
 
-let query_value t func cell = Qc_core.Query.point_value_packed (packed t) func cell
+let query_value t func cell =
+  Result.to_option (Qc_core.Query.point_value_result_packed (packed t) func cell)
 
-let range t q = Qc_core.Query.range_packed (packed t) q
+let range t q =
+  match Qc_core.Query.range_result_packed (packed t) q with
+  | Ok cells -> cells
+  | Error e -> invalid_arg (Qc_core.Query.error_to_string e)
 
 let iceberg t func ~threshold =
   let index =

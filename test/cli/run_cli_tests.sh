@@ -49,8 +49,11 @@ for f in b.txt c.txt d.txt; do
 done
 
 # --- runtime failures exit 1 with a qct: diagnostic ---
+# query parses its argv through Request.of_line, so the diagnostic carries
+# the same "line N:" text as a batch file (the argv is line 1)
 expect 1 "$QCT" query sales.qct 'S9,*,f'       # unknown dimension value
 expect_stderr '^qct:'
+expect_stderr 'line 1:'
 expect 1 "$QCT" query no-such-file.qct 'S2,*,f'
 expect_stderr '^qct:'
 
@@ -121,12 +124,15 @@ if ! cmp -s batch1.txt stdout.txt; then
 fi
 
 # a bad query line fails the whole batch up front (exit 1, qct: diagnostic)
+# with the physical line number — same grammar and error text as qct query
 printf 'point S9,*,*\n' > badq.txt
 expect 1 "$QCT" batch sales.qcp badq.txt
 expect_stderr '^qct:'
-printf 'frobnicate 1\n' > badq.txt
+expect_stderr 'line 1:'
+printf '# comment\n\nfrobnicate 1\n' > badq.txt
 expect 1 "$QCT" batch sales.qcp badq.txt
 expect_stderr '^qct:'
+expect_stderr 'line 3:'                # physical line, comments/blanks counted
 expect 124 "$QCT" batch sales.qcp no-such-queries.txt   # missing file: usage error
 
 # --- maintenance with --self-check stays clean on the running example ---
@@ -316,6 +322,61 @@ fi
 if ! grep -q '_bucket{le="+Inf"}' stdout.txt; then
   echo "FAIL: stats --prom lacks +Inf buckets" >&2
   fails=$((fails + 1))
+fi
+# server and ingest instruments are registered at module init, so they are
+# present (at zero) in any qct process; counters carry the _total suffix
+for metric in qc_serve_requests_total qc_serve_cache_hits_total \
+              qc_serve_overloaded_total qc_ingest_queue_depth; do
+  if ! grep -q "^$metric " stdout.txt; then
+    echo "FAIL: stats --prom lacks $metric" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# --- serve / loadgen: the daemon answers the shared grammar over TCP ---
+printf 'point S1,P2,*\npoint *,*,*\nrange *,P1|P2,f\niceberg sum 10\nstats\ndescribe\n' > servq.txt
+"$QCT" serve wh --port 0 --cache 64 > serve-out.txt 2> serve-err.txt &
+serve_pid=$!
+serve_port=""
+for _ in $(seq 1 100); do
+  serve_port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' serve-out.txt)
+  [ -n "$serve_port" ] && break
+  sleep 0.1
+done
+if [ -z "$serve_port" ]; then
+  echo "FAIL: qct serve never announced its port" >&2
+  sed 's/^/  serve: /' serve-err.txt >&2
+  fails=$((fails + 1))
+  kill "$serve_pid" 2>/dev/null
+else
+  expect 0 "$QCT" loadgen "127.0.0.1:$serve_port" servq.txt --clients 4 --requests 400 --json
+  # every request answered, none dropped, refused, or torn
+  for key in '"sent":400' '"ok":400' '"errors":0' '"overloaded":0' \
+             '"protocol_errors":0' '"closed_early":0'; do
+    if ! grep -q "$key" stdout.txt; then
+      echo "FAIL: loadgen --json lacks $key" >&2
+      sed 's/^/  loadgen: /' stdout.txt >&2
+      fails=$((fails + 1))
+    fi
+  done
+  kill -INT "$serve_pid"
+  wait "$serve_pid"
+  serve_exit=$?
+  if [ "$serve_exit" -ne 0 ]; then
+    echo "FAIL: qct serve exited $serve_exit on SIGINT, expected 0" >&2
+    sed 's/^/  serve: /' serve-err.txt >&2
+    fails=$((fails + 1))
+  fi
+  # the shutdown summary reports the request and cache counters; six
+  # distinct queries from 400 requests must have hit the cache
+  if ! grep -q 'served [0-9]* request(s)' serve-out.txt; then
+    echo "FAIL: serve shutdown summary missing" >&2
+    fails=$((fails + 1))
+  fi
+  if grep -q 'cache 0 hit(s)' serve-out.txt; then
+    echo "FAIL: serve cache recorded zero hits on a repeating workload" >&2
+    fails=$((fails + 1))
+  fi
 fi
 
 # --- sharded warehouses: build / query / batch / check / recover ---

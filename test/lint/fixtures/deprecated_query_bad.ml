@@ -1,0 +1,10 @@
+(* fixture: [deprecated-query-api] — the option-returning wrappers, in
+   their qualified, aliased and packed spellings; the clean-twin run
+   places this same file AT lib/qc/query.ml, the defining module *)
+module Q = Qc_core.Query
+
+let a tree cell = Query.point tree cell
+
+let b tree cell = Q.point_value tree Agg.Sum cell
+
+let c packed r = Qc_core.Query.range_packed packed r

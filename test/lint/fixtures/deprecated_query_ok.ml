@@ -1,0 +1,9 @@
+(* clean twin of deprecated_query_bad.ml: the *_result forms carry the
+   typed error instead of collapsing it into None *)
+module Q = Qc_core.Query
+
+let a tree cell = Query.point_result tree cell
+
+let b tree cell = Q.point_value_result tree Agg.Sum cell
+
+let c packed r = Qc_core.Query.range_result_packed packed r

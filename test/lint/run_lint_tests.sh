@@ -118,6 +118,18 @@ ok  typed-error-scope  typed_error_bypass_bad.ml lib/util/fixture.ml
 
 bad domain-outside-allowlist domain_bad.ml    lib/qc/query.ml
 ok  domain-outside-allowlist domain_bad.ml    lib/qc/engine.ml
+# the query server spawns its own audited domains
+ok  domain-server-scope      domain_bad.ml    lib/server/server.ml
+
+bad deprecated-query-api deprecated_query_bad.ml lib/util/fixture.ml
+ok  deprecated-query-api deprecated_query_ok.ml  lib/util/fixture.ml
+# inside the defining module the wrappers may mention themselves
+ok  deprecated-query-scope deprecated_query_bad.ml lib/qc/query.ml
+# all three deprecated spellings (direct, aliased, fully qualified) fire
+new_tree
+place deprecated_query_bad.ml lib/util/fixture.ml
+run_lint
+check_out "deprecated-query-api flags all three spellings" "3 violation(s)"
 
 bad toplevel-mutable-state toplevel_state_bad.ml lib/util/fixture.ml
 ok  toplevel-mutable-state toplevel_state_ok.ml  lib/util/fixture.ml

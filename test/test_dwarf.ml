@@ -1,6 +1,8 @@
 open Qc_cube
 module D = Qc_dwarf.Dwarf
 
+let point_opt t c = Result.to_option (Qc_core.Query.point_result t c)
+
 let prop_point_queries_exact =
   Helpers.qcheck_case ~count:150 ~name:"Dwarf point query = cover aggregate"
     Helpers.table_config (fun (dims, card, rows, seed) ->
@@ -18,7 +20,7 @@ let prop_agrees_with_qc_tree =
       let tree = Qc_core.Qc_tree.of_table table in
       let ok = ref true in
       Helpers.iter_all_cells ~dims ~card (fun cell ->
-          match (D.point dwarf cell, Qc_core.Query.point tree cell) with
+          match (D.point dwarf cell, point_opt tree cell) with
           | None, None -> ()
           | Some a, Some b when Agg.approx_equal a b -> ()
           | _ -> ok := false);

@@ -1,5 +1,7 @@
 open Qc_cube
 
+let range_list t r = Result.get_ok (Qc_core.Query.range_result t r)
+
 (* A product dimension with a two-level hierarchy:
    electronics > {computers > {laptop, desktop}, phones > {phone}},
    grocery > {produce > {apple, pear}}. *)
@@ -66,7 +68,7 @@ let test_hierarchical_range_query () =
   let schema, table, h = product_fixture () in
   let tree = Qc_core.Qc_tree.of_table table in
   let range = [| Hierarchy.range_for h "electronics"; [||] |] in
-  let results = Qc_core.Query.range tree range in
+  let results = range_list tree range in
   (* three electronics products exist: laptop, desktop, phone *)
   Alcotest.(check int) "3 product groups" 3 (List.length results);
   let total =
@@ -76,7 +78,7 @@ let test_hierarchical_range_query () =
   (* a concept combined with a point constraint *)
   let east = Option.get (Qc_util.Dict.find (Schema.dict schema 1) "east") in
   let range = [| Hierarchy.range_for h "grocery"; [| east |] |] in
-  match Qc_core.Query.range tree range with
+  match range_list tree range with
   | [ (_, a) ] -> Alcotest.(check (float 1e-9)) "east grocery" 2.0 a.Agg.sum
   | l -> Alcotest.failf "expected 1 result, got %d" (List.length l)
 

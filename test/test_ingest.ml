@@ -11,6 +11,10 @@ module I = Qc_warehouse.Ingest
 module FP = Qc_util.Failpoint
 module Q = Qc_core.Query
 
+let point_packed_opt p c = Result.to_option (Q.point_result_packed p c)
+
+let range_packed_list p r = Result.get_ok (Q.range_result_packed p r)
+
 let fresh_dir () =
   let dir = Filename.temp_file "qcing" "" in
   Sys.remove dir;
@@ -371,7 +375,7 @@ let prop_mvcc_serving (dims, card, rows_n, seed) =
     (* every cell the oracle materializes answers identically *)
     Full_cube.iter
       (fun cell truth ->
-        match Q.point_packed snap.I.Snapshot.packed cell with
+        match point_packed_opt snap.I.Snapshot.packed cell with
         | Some a when Agg.approx_equal a truth -> ()
         | _ -> record false)
       cube;
@@ -379,7 +383,7 @@ let prop_mvcc_serving (dims, card, rows_n, seed) =
     for _ = 1 to 8 do
       let cell = Array.init dims (fun _ -> Qc_util.Rng.int rng (card + 1)) in
       let truth = Table.cover_agg tbl cell in
-      match (Q.point_packed snap.I.Snapshot.packed cell, truth.Agg.count) with
+      match (point_packed_opt snap.I.Snapshot.packed cell, truth.Agg.count) with
       | None, 0 -> ()
       | Some a, n when n > 0 && Agg.approx_equal a truth -> ()
       | _ -> record false
@@ -392,7 +396,7 @@ let prop_mvcc_serving (dims, card, rows_n, seed) =
     in
     let candidate = Array.map (fun set -> if Array.length set = 0 then 0 else set.(0)) range in
     let truth = Table.cover_agg tbl candidate in
-    match Q.range_packed snap.I.Snapshot.packed range with
+    match range_packed_list snap.I.Snapshot.packed range with
     | [] -> record (truth.Agg.count = 0)
     | [ (cell, a) ] ->
       record (cell = candidate && truth.Agg.count > 0 && Agg.approx_equal a truth)

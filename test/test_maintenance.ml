@@ -2,6 +2,8 @@ open Qc_cube
 module T = Qc_core.Qc_tree
 module M = Qc_core.Maintenance
 
+let point_opt t c = Result.to_option (Qc_core.Query.point_result t c)
+
 (* Configurations: a base table plus a delta. *)
 let maint_config =
   QCheck.make
@@ -27,7 +29,7 @@ let queries_equal schema dims tree rebuilt =
   let card = Schema.cardinality schema 0 in
   let ok = ref true in
   Helpers.iter_all_cells ~dims ~card (fun cell ->
-      match (Qc_core.Query.point tree cell, Qc_core.Query.point rebuilt cell) with
+      match (point_opt tree cell, point_opt rebuilt cell) with
       | None, None -> ()
       | Some a, Some b when Agg.approx_equal a b -> ()
       | _ -> ok := false);
@@ -71,7 +73,7 @@ let test_insert_case1_duplicate_tuple () =
   Alcotest.(check bool) "updates happened" true (stats.updated > 0);
   (* The cell (S1,P1,ALL) now counts the tuple twice. *)
   let schema = Table.schema base in
-  match Qc_core.Query.point tree (Cell.parse schema [ "S1"; "P1"; "*" ]) with
+  match point_opt tree (Cell.parse schema [ "S1"; "P1"; "*" ]) with
   | Some a ->
     Alcotest.(check int) "count 2" 2 a.Agg.count;
     Alcotest.(check (float 1e-9)) "sum 12" 12.0 a.Agg.sum
@@ -95,7 +97,7 @@ let test_insert_example3 () =
   Alcotest.(check string) "identical to rebuild" (T.canonical_string rebuilt)
     (T.canonical_string tree);
   (* Figure 9 spot checks. *)
-  let q vals = Qc_core.Query.point tree (Cell.parse schema vals) in
+  let q vals = point_opt tree (Cell.parse schema vals) in
   (match q [ "S2"; "*"; "f" ] with
   | Some a -> Alcotest.(check int) "S2-f count 3" 3 a.Agg.count
   | None -> Alcotest.fail "S2,*,f missing");
@@ -157,7 +159,7 @@ let test_delete_example4 () =
   let rebuilt = T.of_table new_base in
   Alcotest.(check bool) "query equivalent" true (queries_equal schema 3 tree rebuilt);
   (* The merge adds the paper's link: the P2 cell now answers via (S1,P2,s). *)
-  match Qc_core.Query.point tree (Cell.parse schema [ "*"; "P2"; "*" ]) with
+  match point_opt tree (Cell.parse schema [ "*"; "P2"; "*" ]) with
   | Some a -> Alcotest.(check (float 1e-9)) "P2 avg 12" 12.0 (Agg.value Agg.Avg a)
   | None -> Alcotest.fail "(*,P2,*) lost"
 
@@ -204,7 +206,7 @@ let test_min_max_after_delete () =
   let delta = Table.sub base [ 0 ] in
   let tree = T.of_table base in
   let _, _ = M.delete_batch tree ~base ~delta in
-  match Qc_core.Query.point tree (Cell.parse schema [ "a1"; "*" ]) with
+  match point_opt tree (Cell.parse schema [ "a1"; "*" ]) with
   | Some a ->
     Alcotest.(check (float 1e-9)) "max recomputed" 50.0 a.Agg.max;
     Alcotest.(check (float 1e-9)) "min kept" 1.0 a.Agg.min;
@@ -254,7 +256,7 @@ let test_duplicate_rows_multiset_delete () =
   let delta = Table.sub base [ 0 ] in
   let new_base, _ = M.delete_batch tree ~base ~delta in
   Alcotest.(check int) "one left" 1 (Table.n_rows new_base);
-  match Qc_core.Query.point tree (Cell.parse schema [ "x" ]) with
+  match point_opt tree (Cell.parse schema [ "x" ]) with
   | Some a ->
     Alcotest.(check int) "count 1" 1 a.Agg.count;
     Alcotest.(check (float 1e-9)) "sum 5" 5.0 a.Agg.sum

@@ -215,7 +215,8 @@ let test_prometheus () =
       Alcotest.(check bool) (Printf.sprintf "exposition contains %S" sub) true
         (contains ~sub out))
     [
-      "# TYPE qc_t_prom_c counter\nqc_t_prom_c 7\n";
+      (* counters carry the conventional _total suffix; nothing else does *)
+      "# TYPE qc_t_prom_c_total counter\nqc_t_prom_c_total 7\n";
       "# TYPE qc_t_prom_h histogram\n";
       (* buckets are cumulative: <=2 holds {1}, <=8 adds {3}, +Inf adds {9} *)
       "qc_t_prom_h_bucket{le=\"2\"} 1\n";

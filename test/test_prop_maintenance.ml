@@ -10,6 +10,8 @@ module M = Qc_core.Maintenance
 module Q = Qc_core.Query
 module Metrics = Qc_util.Metrics
 
+let point_opt t c = Result.to_option (Q.point_result t c)
+
 let add_rows table rows lo hi =
   for j = lo to hi - 1 do
     let cell, m = List.nth rows j in
@@ -69,7 +71,7 @@ let prop_delete_equivalent c =
     if not (Prop.check_clean ~deep:true ~base:new_base tree) then ok := false;
     if T.n_classes tree <> T.n_classes rebuilt then ok := false;
     Prop.iter_cells c (fun cell ->
-        let a = Q.point tree cell and b = Q.point rebuilt cell in
+        let a = point_opt tree cell and b = point_opt rebuilt cell in
         let same =
           match (a, b) with
           | None, None -> true
@@ -100,7 +102,7 @@ let prop_warehouse_freeze_cycle c =
   let tree = Qc_warehouse.Warehouse.tree wh in
   let ok = ref (Qc_warehouse.Warehouse.self_check wh = Ok ()) in
   Prop.iter_cells c (fun cell ->
-      if Qc_warehouse.Warehouse.query wh cell <> Q.point tree cell then ok := false);
+      if Qc_warehouse.Warehouse.query wh cell <> point_opt tree cell then ok := false);
   !ok
 
 (* Journal codec round trip on random instances: snapshot a table as a

@@ -2,13 +2,19 @@ open Qc_cube
 module T = Qc_core.Qc_tree
 module Q = Qc_core.Query
 
+let point_opt t c = Result.to_option (Q.point_result t c)
+
+let point_value_opt t f c = Result.to_option (Q.point_value_result t f c)
+
+let range_list t r = Result.get_ok (Q.range_result t r)
+
 (* ---------- Paper Example 5: point queries on the running example ---------- *)
 
 let test_example5 () =
   let table = Helpers.sales_table () in
   let schema = Table.schema table in
   let tree = T.of_table table in
-  let q vals = Q.point_value tree Agg.Avg (Cell.parse schema vals) in
+  let q vals = point_value_opt tree Agg.Avg (Cell.parse schema vals) in
   Alcotest.(check (option (float 1e-9))) "(S2,*,f) = 9" (Some 9.0) (q [ "S2"; "*"; "f" ]);
   Alcotest.(check (option (float 1e-9))) "(S2,*,s) = null" None (q [ "S2"; "*"; "s" ]);
   Alcotest.(check (option (float 1e-9))) "(*,P2,*) = 12" (Some 12.0) (q [ "*"; "P2"; "*" ]);
@@ -32,7 +38,7 @@ let test_example6 () =
       [| Option.get (Qc_util.Dict.find season "f") |];
     |]
   in
-  match Q.range tree range with
+  match range_list tree range with
   | [ (cell, agg) ] ->
     Alcotest.(check string) "cell" "(S2, P1, f)" (Cell.to_string schema cell);
     Alcotest.(check (float 1e-9)) "agg" 9.0 (Agg.value Agg.Avg agg)
@@ -46,7 +52,7 @@ let prop_point_queries_exact =
       let rng = Qc_util.Rng.create seed in
       let table = Helpers.random_table rng ~dims ~card ~rows () in
       let tree = T.of_table table in
-      Helpers.check_point_queries_against_table table (Q.point tree))
+      Helpers.check_point_queries_against_table table (point_opt tree))
 
 let prop_range_equals_points =
   Helpers.qcheck_case ~count:100 ~name:"range query = union of its point queries"
@@ -64,11 +70,11 @@ let prop_range_equals_points =
               let a = 1 + Qc_util.Rng.int rng card and b = 1 + Qc_util.Rng.int rng card in
               if a = b then [| a |] else [| min a b; max a b |])
       in
-      let results = Q.range tree q in
+      let results = range_list tree q in
       let expected =
         List.filter_map
           (fun cell ->
-            match Q.point tree cell with Some a -> Some (cell, a) | None -> None)
+            match point_opt tree cell with Some a -> Some (cell, a) | None -> None)
           (Q.range_of_cells tree q)
       in
       let norm l =
@@ -142,7 +148,7 @@ let test_against_full_cube_bigger () =
   Full_cube.iter
     (fun cell truth ->
       incr checked;
-      match Q.point tree cell with
+      match point_opt tree cell with
       | Some a when Agg.approx_equal a truth -> ()
       | Some a -> Alcotest.failf "cell wrong: %a vs %a" Agg.pp a Agg.pp truth
       | None -> Alcotest.fail "cell missing")
@@ -153,7 +159,7 @@ let test_against_full_cube_bigger () =
   for _ = 1 to 200 do
     let cell = Array.init 4 (fun _ -> 1 + Qc_util.Rng.int rng 8) in
     let truth = Table.cover_agg table cell in
-    match Q.point tree cell with
+    match point_opt tree cell with
     | None -> Alcotest.(check int) "truly empty" 0 truth.Agg.count
     | Some a -> Alcotest.(check Helpers.agg_testable) "truly present" truth a
   done
@@ -170,7 +176,7 @@ let prop_node_accesses_bounded =
           if acc < 1 || acc > T.n_nodes tree then ok := false;
           (* a base tuple's path has at most dims+1 nodes and cannot need
              hops beyond one per dimension *)
-          if Cell.is_base cell && Option.is_some (Q.point tree cell) && acc > (2 * dims) + 1 then
+          if Cell.is_base cell && Option.is_some (point_opt tree cell) && acc > (2 * dims) + 1 then
             ok := false);
       !ok)
 

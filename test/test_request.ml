@@ -1,0 +1,269 @@
+(* The Request codec contract: parse ∘ print = id on both the text grammar
+   and the JSON wire form, for every constructor — including all four
+   typed error kinds — plus the shared "line N: ..." error text every
+   frontend (batch files, qct query argv, the socket) renders through.
+
+   The round-trip properties run over random schemas from the shared
+   [Prop] generator, so dimension counts, cardinalities and value
+   spellings vary per case; requests and responses are derived
+   deterministically from the case seed. *)
+
+open Qc_cube
+module Q = Qc_core.Query
+module R = Qc_core.Request
+module Jx = Qc_util.Jsonx
+module Rng = Qc_util.Rng
+
+(* ---------- random requests/responses over a Prop case ---------- *)
+
+let rand_cell rng (c : Prop.case) =
+  Array.init c.Prop.dims (fun i -> Rng.int rng (c.Prop.cards.(i) + 1))
+
+let rand_range rng (c : Prop.case) =
+  Array.init c.Prop.dims (fun i ->
+      match Rng.int rng 3 with
+      | 0 -> [||]
+      | k -> Array.init k (fun _ -> 1 + Rng.int rng c.Prop.cards.(i)))
+
+let funcs = [| Agg.Count; Agg.Sum; Agg.Avg; Agg.Min; Agg.Max |]
+
+let rand_func rng = funcs.(Rng.int rng (Array.length funcs))
+
+(* Thresholds stay finite and never -0.0 (Jsonx prints -0.0 as "-0",
+   which reparses as the integer 0 — a representation change the
+   bit-exact equality would rightly reject). *)
+let rand_threshold rng = float_of_int (Rng.int rng 401 - 200) /. 8.0
+
+let rand_query rng c =
+  match Rng.int rng 3 with
+  | 0 -> R.Point (rand_cell rng c)
+  | 1 -> R.Range (rand_range rng c)
+  | _ -> R.Iceberg { func = rand_func rng; threshold = rand_threshold rng }
+
+let rand_request rng c =
+  match Rng.int rng 5 with
+  | 0 | 1 -> R.Query (rand_query rng c)
+  | 2 -> R.Batch (Array.init (Rng.int rng 4) (fun _ -> rand_query rng c))
+  | 3 -> R.Stats
+  | _ -> R.Describe
+
+let rand_agg rng =
+  {
+    Agg.count = Rng.int rng 1000;
+    sum = float_of_int (Rng.int rng 2001 - 1000) /. 4.0;
+    min = float_of_int (Rng.int rng 2001 - 1000) /. 4.0;
+    max = float_of_int (Rng.int rng 2001 - 1000) /. 4.0;
+  }
+
+let rand_error rng c : Q.error =
+  match Rng.int rng 4 with
+  | 0 -> Q.Arity_mismatch { expected = Rng.int rng 8; got = Rng.int rng 8 }
+  | 1 -> Q.Empty_cover (rand_cell rng c)
+  | 2 -> Q.Unsupported { backend = "dwarf"; operation = "iceberg over ranges" }
+  | _ -> Q.Bad_query "unknown value \"S9\" in dimension Store"
+
+let rand_outcome rng c : R.outcome =
+  match Rng.int rng 3 with
+  | 0 -> Ok (R.Agg_answer (rand_agg rng))
+  | 1 ->
+    Ok
+      (R.Cells_answer
+         (List.init (Rng.int rng 4) (fun _ -> (rand_cell rng c, rand_agg rng))))
+  | _ -> Error (rand_error rng c)
+
+let rand_stats rng =
+  {
+    R.sv_generation = Rng.int rng 100;
+    sv_classes = Rng.int rng 10000;
+    sv_nodes = Rng.int rng 10000;
+    sv_clients = Rng.int rng 64;
+    sv_served = Rng.int rng 1_000_000;
+    sv_cache_hits = Rng.int rng 1_000_000;
+    sv_cache_misses = Rng.int rng 1_000_000;
+    sv_cache_evictions = Rng.int rng 1_000_000;
+  }
+
+let rand_response rng c =
+  match Rng.int rng 6 with
+  | 0 | 1 -> R.Answer (rand_outcome rng c)
+  | 2 -> R.Answers (Array.init (Rng.int rng 4) (fun _ -> rand_outcome rng c))
+  | 3 -> R.Stats_reply (rand_stats rng)
+  | 4 -> R.Describe_reply "generation 3 | packed QC-tree: 42 nodes"
+  | _ -> R.Overloaded { pending = Rng.int rng 16; max_pending = 1 + Rng.int rng 16 }
+
+(* ---------- round-trip properties ---------- *)
+
+(* Text: every request with a one-line form reparses to itself. *)
+let prop_text_roundtrip (c : Prop.case) =
+  let schema = Prop.schema_of c in
+  let rng = Rng.create (c.Prop.seed lxor 0x7EC7) in
+  let ok = ref true in
+  for _ = 1 to 25 do
+    let req = rand_request rng c in
+    match R.to_line schema req with
+    | None -> () (* Batch: no one-line text form, by contract *)
+    | Some line -> (
+      match R.of_line schema line with
+      | Ok req' when R.request_equal req req' -> ()
+      | Ok _ | Error _ -> QCheck.Test.fail_reportf "text round-trip broke on %S" line)
+  done;
+  !ok
+
+(* JSON: every request survives print → string → parse → decode,
+   through the same of_wire entry point the server uses. *)
+let prop_json_request_roundtrip (c : Prop.case) =
+  let schema = Prop.schema_of c in
+  let rng = Rng.create (c.Prop.seed lxor 0x15AC) in
+  let ok = ref true in
+  for _ = 1 to 25 do
+    let req = rand_request rng c in
+    let wire = Jx.to_string (R.request_to_json schema req) in
+    match R.of_wire schema wire with
+    | Ok req' when R.request_equal req req' -> ()
+    | Ok _ | Error _ -> QCheck.Test.fail_reportf "JSON request round-trip broke on %s" wire
+  done;
+  !ok
+
+(* JSON: every response — all five constructors, both outcome shapes,
+   all four typed error kinds — survives the client-side decode. *)
+let prop_json_response_roundtrip (c : Prop.case) =
+  let schema = Prop.schema_of c in
+  let rng = Rng.create (c.Prop.seed lxor 0x3E5B) in
+  let ok = ref true in
+  for _ = 1 to 25 do
+    let resp = rand_response rng c in
+    let wire = Jx.to_string (R.response_to_json schema resp) in
+    match Jx.parse wire with
+    | Error msg -> QCheck.Test.fail_reportf "response did not reparse as JSON (%s): %s" msg wire
+    | Ok j -> (
+      match R.response_of_json schema j with
+      | Ok resp' when R.response_equal resp resp' -> ()
+      | Ok _ -> QCheck.Test.fail_reportf "response round-trip changed the value on %s" wire
+      | Error msg -> QCheck.Test.fail_reportf "response decode failed (%s) on %s" msg wire)
+  done;
+  !ok
+
+(* ---------- unit tests: grammar + the one shared error text ---------- *)
+
+let sales_schema () =
+  let s = Schema.create [ "Store"; "Product"; "Season" ] in
+  List.iter
+    (fun (d, vs) -> List.iter (fun v -> ignore (Schema.encode_value s d v)) vs)
+    [ (0, [ "S1"; "S2" ]); (1, [ "P1"; "P2" ]); (2, [ "f"; "s" ]) ];
+  s
+
+let check_parses schema line expected =
+  match R.of_line schema line with
+  | Ok req ->
+    Alcotest.(check bool) (Printf.sprintf "%S parses to the expected request" line) true
+      (R.request_equal req expected)
+  | Error e -> Alcotest.failf "%S did not parse: %s" line (Q.error_to_string ~schema e)
+
+let test_grammar () =
+  let s = sales_schema () in
+  check_parses s "point S1,P2,*" (R.Query (R.Point [| 1; 2; 0 |]));
+  check_parses s "  point  *,*,*  " (R.Query (R.Point [| 0; 0; 0 |]));
+  check_parses s "range *,P1|P2,f" (R.Query (R.Range [| [||]; [| 1; 2 |]; [| 1 |] |]));
+  check_parses s "iceberg sum 25" (R.Query (R.Iceberg { func = Agg.Sum; threshold = 25.0 }));
+  check_parses s "stats" R.Stats;
+  check_parses s "describe" R.Describe
+
+let expect_bad schema line =
+  match R.of_line schema line with
+  | Ok _ -> Alcotest.failf "%S parsed but should not" line
+  | Error e -> Q.error_to_string ~schema e
+
+let starts_with ~prefix s = String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let test_grammar_errors () =
+  let s = sales_schema () in
+  ignore (expect_bad s "point S9,*,*");
+  ignore (expect_bad s "range *,*");        (* arity *)
+  ignore (expect_bad s "iceberg sum");      (* missing threshold *)
+  ignore (expect_bad s "iceberg frob 1");   (* unknown function *)
+  ignore (expect_bad s "stats now");        (* bare keyword takes no args *)
+  let msg = expect_bad s "frobnicate 1" in
+  Alcotest.(check bool) "unknown keyword names the alternatives" true
+    (starts_with ~prefix:"bad query: unknown request \"frobnicate\"" msg)
+
+let test_line_error_text () =
+  let s = sales_schema () in
+  (* the one shared spelling: Bad_query "line N: ..." whatever the source *)
+  (match R.of_line ~lineno:7 s "point S9,*,*" with
+  | Error (Q.Bad_query m) ->
+    Alcotest.(check bool) "of_line ~lineno normalizes to line N text" true
+      (starts_with ~prefix:"line 7: " m)
+  | Ok _ | Error _ -> Alcotest.fail "bad point did not produce Bad_query");
+  (* queries_of_lines numbers physical lines, comments included *)
+  (match R.queries_of_lines s "# header\npoint *,*,*\n\npoint S9,*,*\n" with
+  | Error (Q.Bad_query m) ->
+    Alcotest.(check bool) "queries_of_lines points at the physical line" true
+      (starts_with ~prefix:"line 4: " m)
+  | Ok _ | Error _ -> Alcotest.fail "bad batch line did not produce Bad_query");
+  (* protocol requests are not data queries *)
+  match R.queries_of_lines s "stats\n" with
+  | Error (Q.Bad_query m) ->
+    Alcotest.(check bool) "stats rejected from a query file" true
+      (starts_with ~prefix:"line 1: " m)
+  | Ok _ | Error _ -> Alcotest.fail "stats in a query file did not fail"
+
+let test_wire_forms () =
+  let s = sales_schema () in
+  (* the wire takes JSON and the text grammar on the same port *)
+  (match R.of_wire s {|{"op":"point","cell":["S1","P2","*"]}|} with
+  | Ok req ->
+    Alcotest.(check bool) "JSON wire form decodes" true
+      (R.request_equal req (R.Query (R.Point [| 1; 2; 0 |])))
+  | Error e -> Alcotest.failf "JSON wire form failed: %s" (Q.error_to_string e));
+  (match R.of_wire s "point S1,P2,*" with
+  | Ok req ->
+    Alcotest.(check bool) "text wire form decodes" true
+      (R.request_equal req (R.Query (R.Point [| 1; 2; 0 |])))
+  | Error e -> Alcotest.failf "text wire form failed: %s" (Q.error_to_string e));
+  (match R.of_wire s "{not json" with
+  | Error (Q.Bad_query m) ->
+    Alcotest.(check bool) "malformed JSON is a typed Bad_query" true
+      (starts_with ~prefix:"bad JSON: " m)
+  | Ok _ | Error _ -> Alcotest.fail "malformed JSON did not fail as Bad_query");
+  (* Batch has no one-line text form *)
+  Alcotest.(check bool) "to_line Batch = None" true
+    (Option.is_none (R.to_line s (R.Batch [| R.Point [| 0; 0; 0 |] |])))
+
+let test_response_decode_errors () =
+  let s = sales_schema () in
+  let bad j msg_part =
+    match Jx.parse j with
+    | Error e -> Alcotest.failf "fixture %S is not JSON: %s" j e
+    | Ok j -> (
+      match R.response_of_json s j with
+      | Ok _ -> Alcotest.failf "%s decoded but should not" msg_part
+      | Error _ -> ())
+  in
+  bad {|{"status":"weird"}|} "unknown status";
+  bad {|{"no_status":1}|} "missing status";
+  bad {|{"status":"ok","outcomes":3}|} "non-array outcomes";
+  bad {|{"status":"overloaded","pending":1}|} "overloaded missing max_pending"
+
+let () =
+  Alcotest.run "qc_request"
+    [
+      ( "roundtrip",
+        [
+          Prop.qcheck_case ~count:150 ~name:"text codec: of_line (to_line r) = r"
+            Prop.arb_case prop_text_roundtrip;
+          Prop.qcheck_case ~count:150 ~name:"JSON codec: of_wire (to_json r) = r"
+            Prop.arb_case prop_json_request_roundtrip;
+          Prop.qcheck_case ~count:150
+            ~name:"JSON codec: response_of_json (response_to_json r) = r" Prop.arb_case
+            prop_json_response_roundtrip;
+        ] );
+      ( "grammar",
+        [
+          Alcotest.test_case "accepted forms" `Quick test_grammar;
+          Alcotest.test_case "rejected forms" `Quick test_grammar_errors;
+          Alcotest.test_case "shared line N error text" `Quick test_line_error_text;
+          Alcotest.test_case "wire accepts JSON and text" `Quick test_wire_forms;
+          Alcotest.test_case "client-side decode errors" `Quick test_response_decode_errors;
+        ] );
+    ]

@@ -2,6 +2,12 @@ open Qc_cube
 module T = Qc_core.Qc_tree
 module S = Qc_core.Serial
 
+let point_opt t c = Result.to_option (Qc_core.Query.point_result t c)
+
+let point_value_opt t f c = Result.to_option (Qc_core.Query.point_value_result t f c)
+
+let point_packed_opt p c = Result.to_option (Qc_core.Query.point_result_packed p c)
+
 let prop_roundtrip_canonical =
   Helpers.qcheck_case ~count:150 ~name:"save/load preserves the canonical tree"
     Helpers.table_config (fun (dims, card, rows, seed) ->
@@ -20,7 +26,7 @@ let prop_roundtrip_queries =
       let tree' = S.of_string (S.to_string tree) in
       let ok = ref true in
       Helpers.iter_all_cells ~dims ~card (fun cell ->
-          match (Qc_core.Query.point tree cell, Qc_core.Query.point tree' cell) with
+          match (point_opt tree cell, point_opt tree' cell) with
           | None, None -> ()
           | Some a, Some b when Agg.equal a b -> ()
           | _ -> ok := false);
@@ -38,7 +44,7 @@ let test_roundtrip_schema () =
     Alcotest.(check int) "cardinality" (Schema.cardinality s i) (Schema.cardinality s' i)
   done;
   (* dictionary codes are preserved, so external-value queries agree *)
-  let q t vals = Qc_core.Query.point_value t Agg.Avg (Cell.parse (T.schema t) vals) in
+  let q t vals = point_value_opt t Agg.Avg (Cell.parse (T.schema t) vals) in
   Alcotest.(check (option (float 1e-9))) "query by name" (q tree [ "S2"; "*"; "f" ])
     (q tree' [ "S2"; "*"; "f" ])
 
@@ -50,8 +56,8 @@ let test_float_exactness () =
   let tree = T.of_table table in
   let tree' = S.of_string (S.to_string tree) in
   match
-    ( Qc_core.Query.point tree (Cell.parse schema [ "x" ]),
-      Qc_core.Query.point tree' (Cell.parse (T.schema tree') [ "x" ]) )
+    ( point_opt tree (Cell.parse schema [ "x" ]),
+      point_opt tree' (Cell.parse (T.schema tree') [ "x" ]) )
   with
   | Some a, Some b ->
     Alcotest.(check bool) "bit-exact sums" true (a.Agg.sum = b.Agg.sum)
@@ -167,7 +173,7 @@ let test_packed_float_exactness () =
   let tree = T.of_table table in
   let p' = S.of_packed_string (S.to_packed_string (P.of_tree tree)) in
   let cell = Cell.parse schema [ "x" ] in
-  match (Qc_core.Query.point tree cell, Qc_core.Query.point_packed p' cell) with
+  match (point_opt tree cell, point_packed_opt p' cell) with
   | Some a, Some b -> Alcotest.(check bool) "bit-exact sums" true (a.Agg.sum = b.Agg.sum)
   | _ -> Alcotest.fail "query failed"
 

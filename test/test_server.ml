@@ -1,0 +1,368 @@
+(* The qct serve daemon, exercised in-process: answers must bit-match the
+   engine run directly on the same packed snapshot; malformed lines get a
+   typed error without costing the connection; admission control refuses
+   with one typed Overloaded line; the generation-keyed cache invalidates
+   across a refreeze; a concurrent refreeze never fails a request (MVCC
+   zero-downtime); and a server crashed mid-response leaves clients whole
+   lines and a clean EOF — never a torn half-JSON line. *)
+
+open Qc_cube
+module W = Qc_warehouse.Warehouse
+module E = Qc_core.Engine
+module R = Qc_core.Request
+module S = Qc_server.Server
+module L = Qc_server.Loadgen
+module FP = Qc_util.Failpoint
+module Jx = Qc_util.Jsonx
+
+let fresh_dir () =
+  let dir = Filename.temp_file "qcserve" "" in
+  Sys.remove dir;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* A saved sales warehouse directory, torn down with any failpoints. *)
+let with_wh f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      FP.reset ();
+      if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let w = W.create (Helpers.sales_table ()) in
+      W.save w dir;
+      f dir)
+
+let with_server ?config dir f =
+  let srv = S.start ?config dir in
+  Fun.protect ~finally:(fun () -> ignore (S.stop srv)) (fun () -> f srv)
+
+(* ---------- a minimal blocking client ---------- *)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* a hung server fails the test with a read timeout instead of wedging
+     the whole suite *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close_client c = try close_out c.oc with Sys_error _ -> ()
+
+let with_client port f =
+  let c = connect port in
+  Fun.protect ~finally:(fun () -> close_client c) (fun () -> f c)
+
+let send c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let roundtrip c line =
+  send c line;
+  input_line c.ic
+
+(* Poll for an asynchronous condition (admission, watcher republish). *)
+let eventually ?(timeout_s = 10.0) what pred =
+  let t0 = Qc_util.Clock.now_s () in
+  let rec go () =
+    if pred () then ()
+    else if Qc_util.Clock.now_s () -. t0 > timeout_s then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let decode_response schema line =
+  match Jx.parse line with
+  | Error msg -> Alcotest.failf "response is not JSON (%s): %s" msg line
+  | Ok j -> (
+    match R.response_of_json schema j with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "response does not decode (%s): %s" msg line)
+
+(* ---------- answers match the engine on the same snapshot ---------- *)
+
+let test_answers_match_engine () =
+  with_wh @@ fun dir ->
+  let packed = W.packed (W.open_dir dir) in
+  let schema = Qc_core.Packed.schema packed in
+  let queries =
+    [
+      "point *,*,*";
+      "point S1,P1,s";
+      "point S2,P2,*";  (* empty cover: the typed error must match too *)
+      "range *,P1|P2,s";
+      "iceberg sum 10";
+      {|{"op":"point","cell":["S1","*","*"]}|};
+    ]
+  in
+  with_server dir @@ fun srv ->
+  with_client (S.port srv) @@ fun c ->
+  List.iter
+    (fun qline ->
+      let direct =
+        match R.of_wire schema qline with
+        | Ok (R.Query q) -> R.Answer (E.run_one (module E.Packed_backend) packed q)
+        | Ok _ | Error _ -> Alcotest.failf "fixture query %S did not parse" qline
+      in
+      let served = decode_response schema (roundtrip c qline) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S answered as the direct engine run" qline)
+        true
+        (R.response_equal direct served))
+    queries;
+  (* batch over the wire: one outcome per query, same engine results *)
+  let served =
+    decode_response schema
+      (roundtrip c
+         {|{"op":"batch","queries":[{"op":"point","cell":["*","*","*"]},{"op":"point","cell":["S2","P2","*"]}]}|})
+  in
+  let direct =
+    R.Answers
+      (Array.map
+         (fun q -> E.run_one (module E.Packed_backend) packed q)
+         [| R.Point [| 0; 0; 0 |];
+            R.Point (Cell.parse schema [ "S2"; "P2"; "*" ]) |])
+  in
+  Alcotest.(check bool) "batch answered as the direct engine run" true
+    (R.response_equal direct served)
+
+(* ---------- protocol errors are typed and non-fatal ---------- *)
+
+let test_bad_line_keeps_connection () =
+  with_wh @@ fun dir ->
+  with_server dir @@ fun srv ->
+  let schema = Qc_core.Packed.schema (W.packed (W.open_dir dir)) in
+  with_client (S.port srv) @@ fun c ->
+  (match decode_response schema (roundtrip c "frobnicate everything") with
+  | R.Answer (Error (Qc_core.Query.Bad_query _)) -> ()
+  | _ -> Alcotest.fail "garbage line did not produce a typed Bad_query");
+  (match decode_response schema (roundtrip c "{\"op\":17") with
+  | R.Answer (Error (Qc_core.Query.Bad_query _)) -> ()
+  | _ -> Alcotest.fail "bad JSON did not produce a typed Bad_query");
+  (* the connection survived both *)
+  match decode_response schema (roundtrip c "point *,*,*") with
+  | R.Answer (Ok _) -> ()
+  | _ -> Alcotest.fail "connection did not survive the bad lines"
+
+(* ---------- admission control ---------- *)
+
+let test_overload_refusal () =
+  with_wh @@ fun dir ->
+  let config = { S.default_config with S.max_clients = 1; max_pending = 1 } in
+  with_server ~config dir @@ fun srv ->
+  let schema = Qc_core.Packed.schema (W.packed (W.open_dir dir)) in
+  let port = S.port srv in
+  let c1 = connect port in
+  Fun.protect ~finally:(fun () -> close_client c1) @@ fun () ->
+  (* c1 is being served once it answers *)
+  ignore (roundtrip c1 "stats");
+  (* c2 parks in the bounded accept queue *)
+  let c2 = connect port in
+  Fun.protect ~finally:(fun () -> close_client c2) @@ fun () ->
+  eventually "c2 queued" (fun () -> (S.stats srv).R.sv_clients = 1);
+  Unix.sleepf 0.15;
+  (* c3 finds the queue full: one typed refusal, then close *)
+  let c3 = connect port in
+  Fun.protect ~finally:(fun () -> close_client c3) @@ fun () ->
+  (match decode_response schema (input_line c3.ic) with
+  | R.Overloaded { max_pending; _ } ->
+    Alcotest.(check int) "refusal names the configured bound" 1 max_pending
+  | _ -> Alcotest.fail "third client did not get the typed Overloaded response");
+  (match input_line c3.ic with
+  | _ -> Alcotest.fail "server kept the overloaded connection open"
+  | exception End_of_file -> ());
+  (* freeing the slot admits the queued client *)
+  close_client c1;
+  send c2 "point *,*,*";
+  match decode_response schema (input_line c2.ic) with
+  | R.Answer (Ok _) -> ()
+  | _ -> Alcotest.fail "queued client was not served after the slot freed"
+
+(* ---------- result cache: hits and generation-keyed invalidation ---------- *)
+
+let server_stats schema c =
+  match decode_response schema (roundtrip c "stats") with
+  | R.Stats_reply s -> s
+  | _ -> Alcotest.fail "stats request did not answer with stats"
+
+let refreeze w =
+  ignore (W.insert_rows w [ ([ "S1"; "P1"; "f" ], 5.0) ]);
+  let task = W.seal w in
+  let oc = W.complete_refreeze w task (W.run_refreeze task) in
+  Alcotest.(check bool) "refreeze committed" true oc.W.rf_committed
+
+let test_cache_generation_invalidation () =
+  with_wh @@ fun dir ->
+  let config = { S.default_config with S.poll_interval_s = 0.05 } in
+  with_server ~config dir @@ fun srv ->
+  let schema = Qc_core.Packed.schema (W.packed (W.open_dir dir)) in
+  let g0 = S.generation srv in
+  with_client (S.port srv) @@ fun c ->
+  ignore (roundtrip c "point *,*,*");
+  ignore (roundtrip c "point *,*,*");
+  let s1 = server_stats schema c in
+  Alcotest.(check int) "second identical query hit the cache" 1 s1.R.sv_cache_hits;
+  Alcotest.(check int) "first query missed" 1 s1.R.sv_cache_misses;
+  (* advance the generation under the server *)
+  let w = W.open_dir dir in
+  refreeze w;
+  eventually "watcher republish" (fun () -> S.generation srv > g0);
+  (* the same line now keys a fresh generation: a miss, not a stale hit *)
+  ignore (roundtrip c "point *,*,*");
+  let s2 = server_stats schema c in
+  Alcotest.(check int) "same query after refreeze misses" 2 s2.R.sv_cache_misses;
+  Alcotest.(check int) "no stale hit crossed the generation" 1 s2.R.sv_cache_hits;
+  Alcotest.(check int) "stats reports the new generation" (g0 + 1) s2.R.sv_generation
+
+(* ---------- zero-downtime serving under refreeze ---------- *)
+
+let test_zero_downtime_under_refreeze () =
+  with_wh @@ fun dir ->
+  let config = { S.default_config with S.poll_interval_s = 0.05 } in
+  with_server ~config dir @@ fun srv ->
+  let g0 = S.generation srv in
+  (* a writer advancing generations while the load generator hammers *)
+  let writer =
+    Domain.spawn (fun () ->
+        let w = W.open_dir dir in
+        for _ = 1 to 3 do
+          Unix.sleepf 0.2;
+          refreeze w
+        done)
+  in
+  let r =
+    match
+      L.run ~host:"127.0.0.1" ~port:(S.port srv) ~clients:4 ~duration_s:1.2
+        ~lines:[| "point *,*,*"; "point S1,*,*"; "range *,P1|P2,*"; "iceberg sum 1" |]
+        ()
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "loadgen setup failed: %s" msg
+  in
+  Domain.join writer;
+  Alcotest.(check bool) "requests completed" true (r.L.lg_ok > 0);
+  Alcotest.(check int) "zero failed requests during refreeze" 0 r.L.lg_errors;
+  Alcotest.(check int) "zero protocol errors during refreeze" 0 r.L.lg_protocol_errors;
+  Alcotest.(check int) "zero dropped connections during refreeze" 0 r.L.lg_closed_early;
+  eventually "generation advanced" (fun () -> S.generation srv >= g0 + 3)
+
+(* ---------- crash mid-response: whole lines, then clean EOF ---------- *)
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Buffer.contents buf
+  in
+  go ()
+
+let test_crash_mid_response_never_tears () =
+  with_wh @@ fun dir ->
+  let portfile = Filename.concat dir "crash-port" in
+  flush stdout;
+  flush stderr;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (* child: the third response write crashes the process like a power
+       cut — before the line's single flush, so nothing partial escapes *)
+    FP.set ~hits:3 "serve.respond" FP.Crash;
+    let srv = S.start ~config:{ S.default_config with S.cache_capacity = 0 } dir in
+    let oc = open_out portfile in
+    output_string oc (string_of_int (S.port srv));
+    close_out oc;
+    while true do
+      Unix.sleepf 0.1
+    done
+  end
+  else begin
+    eventually "child server port" (fun () ->
+        Sys.file_exists portfile
+        &&
+        let ic = open_in portfile in
+        let ok = try String.length (input_line ic) > 0 with End_of_file -> false in
+        close_in ic;
+        ok);
+    let ic = open_in portfile in
+    let port = int_of_string (input_line ic) in
+    close_in ic;
+    let c = connect port in
+    Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+    for _ = 1 to 6 do
+      send c "point *,*,*"
+    done;
+    let data = read_all c.fd in
+    let _, status = Unix.waitpid [] pid in
+    (match status with
+    | Unix.WEXITED n ->
+      Alcotest.(check int) "child died through the failpoint exit" FP.exit_code n
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> Alcotest.fail "child did not exit through the failpoint");
+    (* exactly the responses before the armed hit, each a complete line *)
+    Alcotest.(check bool) "every byte received belongs to a whole line" true
+      (String.length data = 0 || data.[String.length data - 1] = '\n');
+    let lines = String.split_on_char '\n' data |> List.filter (fun l -> String.length l > 0) in
+    Alcotest.(check int) "two whole responses escaped before the crash" 2 (List.length lines);
+    List.iter
+      (fun line ->
+        match Jx.parse line with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "torn half-JSON line escaped (%s): %s" msg line)
+      lines
+  end
+
+(* ---------- config validation ---------- *)
+
+let test_config_validation () =
+  with_wh @@ fun dir ->
+  List.iter
+    (fun (what, config) ->
+      match S.start ~config dir with
+      | srv ->
+        ignore (S.stop srv);
+        Alcotest.failf "%s accepted" what
+      | exception Invalid_argument _ -> ())
+    [
+      ("workers = 0", { S.default_config with S.workers = 0 });
+      ("max_clients = 0", { S.default_config with S.max_clients = 0 });
+      ("max_pending = 0", { S.default_config with S.max_pending = 0 });
+    ]
+
+let () =
+  Alcotest.run "qc_server"
+    [
+      ( "serve",
+        [
+          (* must run first: [Unix.fork] is illegal once any test has spawned
+             server domains in this process *)
+          Alcotest.test_case "crash mid-response never tears a line" `Quick
+            test_crash_mid_response_never_tears;
+          Alcotest.test_case "answers match the direct engine run" `Quick
+            test_answers_match_engine;
+          Alcotest.test_case "bad lines are typed errors, connection survives" `Quick
+            test_bad_line_keeps_connection;
+          Alcotest.test_case "admission refuses with a typed Overloaded line" `Quick
+            test_overload_refusal;
+          Alcotest.test_case "cache hits within a generation, invalidates across" `Quick
+            test_cache_generation_invalidation;
+          Alcotest.test_case "zero downtime under concurrent refreeze" `Quick
+            test_zero_downtime_under_refreeze;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+    ]

@@ -2,6 +2,8 @@ open Qc_cube
 module T = Qc_core.Qc_tree
 module W = Qc_core.Whatif
 
+let point_opt t c = Result.to_option (Qc_core.Query.point_result t c)
+
 (* ---------- Qc_tree.copy ---------- *)
 
 let prop_copy_canonical =
@@ -32,11 +34,11 @@ let test_whatif_insert () =
   (* the original warehouse is untouched *)
   Alcotest.(check int) "base unchanged" 3 (Table.n_rows base);
   Alcotest.(check (option Helpers.agg_option)) "dummy" None None;
-  (match Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "f" ]) with
+  (match point_opt tree (Cell.parse schema [ "S2"; "*"; "f" ]) with
   | Some a -> Alcotest.(check int) "original count" 1 a.Agg.count
   | None -> Alcotest.fail "original query failed");
   (* the scenario sees the hypothesis *)
-  (match Qc_core.Query.point (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "f" ]) with
+  (match point_opt (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "f" ]) with
   | Some a ->
     Alcotest.(check int) "scenario count" 2 a.Agg.count;
     Alcotest.(check (float 1e-9)) "scenario sum" 39.0 a.Agg.sum
@@ -60,9 +62,9 @@ let test_whatif_delete () =
   Alcotest.(check int) "scenario table shrank" 2 (Table.n_rows (W.table scenario));
   Alcotest.(check int) "original intact" 3 (Table.n_rows base);
   Alcotest.(check bool) "deleted cell gone in scenario" true
-    (Option.is_none (Qc_core.Query.point (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "*" ])));
+    (Option.is_none (point_opt (W.tree scenario) (Cell.parse schema [ "S2"; "*"; "*" ])));
   Alcotest.(check bool) "still present in original" true
-    (Option.is_some (Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "*" ])))
+    (Option.is_some (point_opt tree (Cell.parse schema [ "S2"; "*"; "*" ])))
 
 let test_whatif_affected_classes () =
   let base = Helpers.sales_table () in
@@ -115,16 +117,16 @@ let test_update_batch () =
   Alcotest.(check int) "row count" 3 (Table.n_rows new_base);
   Alcotest.(check bool) "old classes removed" true (del_stats.removed > 0);
   Alcotest.(check bool) "new classes created" true (ins_stats.fresh > 0);
-  (match Qc_core.Query.point tree (Cell.parse schema [ "S2"; "*"; "*" ]) with
+  (match point_opt tree (Cell.parse schema [ "S2"; "*"; "*" ]) with
   | Some a -> Alcotest.(check (float 1e-9)) "modified measure" 15.0 a.Agg.sum
   | None -> Alcotest.fail "modified row lost");
   Alcotest.(check bool) "fall sales gone" true
-    (Option.is_none (Qc_core.Query.point tree (Cell.parse schema [ "*"; "*"; "f" ])));
+    (Option.is_none (point_opt tree (Cell.parse schema [ "*"; "*"; "f" ])));
   (* equivalence with a rebuild *)
   let rebuilt = T.of_table new_base in
   let ok = ref true in
   Helpers.iter_all_cells ~dims:3 ~card:3 (fun cell ->
-      match (Qc_core.Query.point tree cell, Qc_core.Query.point rebuilt cell) with
+      match (point_opt tree cell, point_opt rebuilt cell) with
       | None, None -> ()
       | Some a, Some b when Agg.approx_equal a b -> ()
       | _ -> ok := false);
@@ -146,7 +148,7 @@ let prop_update_batch_equiv =
       let ok = ref true in
       let c = Schema.cardinality (Table.schema base) 0 in
       Helpers.iter_all_cells ~dims ~card:c (fun cell ->
-          match (Qc_core.Query.point tree cell, Qc_core.Query.point rebuilt cell) with
+          match (point_opt tree cell, point_opt rebuilt cell) with
           | None, None -> ()
           | Some a, Some b when Agg.approx_equal a b -> ()
           | _ -> ok := false);

@@ -54,6 +54,7 @@ let all_rules =
     ("catch-all-handler", "try ... with _ -> swallows Out_of_memory and program bugs alike");
     ("typed-error-bypass", "failwith/assert false on a path with a typed error channel");
     ("domain-outside-allowlist", "Domain.spawn/join only in the audited parallel executors");
+    ("deprecated-query-api", "option-returning Query wrappers; use the *_result forms or Engine.run_one");
     ("toplevel-mutable-state", "top-level ref/Hashtbl in lib/ without an Atomic/DLS/Mutex story");
     ("dls-without-drain", "a DLS buffer with no drain/absorb pair can never merge deterministically");
     ("dangling-allow-entry", "an allow.sexp entry whose site no longer exists");
@@ -79,11 +80,14 @@ let in_bin p = String.starts_with ~prefix:"bin/" p
 let lib_or_bin p = in_lib p || in_bin p
 
 (* Modules allowed to spawn/join Domains: the batch executor, the shard
-   builder, and the streaming-ingest loop (one producer domain plus a
+   builder, the streaming-ingest loop (one producer domain plus a
    transient background-refreeze domain, both joined before [Ingest.run]
    returns; its drain/absorb and done-flag discipline is audited by the
-   ingest test suite and the crash matrix). *)
-let domain_allowlist = [ "lib/qc/engine.ml"; "lib/qc/shard.ml"; "lib/warehouse/ingest.ml" ]
+   ingest test suite and the crash matrix), and the query server (worker,
+   accept and generation-watcher domains, all joined by [Server.stop]
+   which absorbs their metric deltas in worker order). *)
+let domain_allowlist =
+  [ "lib/qc/engine.ml"; "lib/qc/shard.ml"; "lib/warehouse/ingest.ml"; "lib/server/server.ml" ]
 
 (* Modules with a typed error channel (Engine.error / Warehouse.error): a
    failwith there turns a recoverable condition into a crash. *)
@@ -160,12 +164,37 @@ let banned_idents =
       b_msg = "failwith on a path with a typed error channel (Engine.error / Warehouse.error); return the typed error instead";
       b_fix = None; b_applies = typed };
     { b_path = "Domain.spawn"; b_rule = "domain-outside-allowlist";
-      b_msg = "Domain.spawn outside the audited parallel executors (lib/qc/engine.ml, lib/qc/shard.ml, lib/warehouse/ingest.ml); route parallelism through Engine.run_batch / Shard.build_packed / Ingest.run";
+      b_msg = "Domain.spawn outside the audited parallel executors (lib/qc/engine.ml, lib/qc/shard.ml, lib/warehouse/ingest.ml, lib/server/server.ml); route parallelism through Engine.run_batch / Shard.build_packed / Ingest.run / Server.start";
       b_fix = None; b_applies = domain };
     { b_path = "Domain.join"; b_rule = "domain-outside-allowlist";
-      b_msg = "Domain.join outside the audited parallel executors (lib/qc/engine.ml, lib/qc/shard.ml, lib/warehouse/ingest.ml)";
+      b_msg = "Domain.join outside the audited parallel executors (lib/qc/engine.ml, lib/qc/shard.ml, lib/warehouse/ingest.ml, lib/server/server.ml)";
       b_fix = None; b_applies = domain };
   ]
+  @
+  (* The option-returning Query wrappers survive for bc but are
+     [@@deprecated]; outside their own defining module every use — any
+     alias or open spelling the resolver normalizes — is flagged. *)
+  let dep_query p = not (String.equal p "lib/qc/query.ml") in
+  List.concat_map
+    (fun (name, instead) ->
+      let msg =
+        Printf.sprintf
+          "Query.%s is deprecated (None conflates empty cover with failure); use Query.%s or Engine.run_one and match the typed error"
+          name instead
+      in
+      List.map
+        (fun path ->
+          { b_path = path; b_rule = "deprecated-query-api"; b_msg = msg;
+            b_fix = Some ("replace with Query." ^ instead); b_applies = dep_query })
+        [ "Query." ^ name; "Qc_core.Query." ^ name ])
+    [
+      ("point", "point_result");
+      ("point_value", "point_value_result");
+      ("range", "range_result");
+      ("point_packed", "point_result_packed");
+      ("point_value_packed", "point_value_result_packed");
+      ("range_packed", "range_result_packed");
+    ]
 
 let strip_prefix ~prefix s =
   if String.starts_with ~prefix s then
